@@ -1,0 +1,201 @@
+/// \file ablation_classifiers.cpp
+/// \brief Classifier choice for the Taxonomist baseline. The original
+/// Taxonomist paper evaluated several classifier families over its
+/// statistical features; this bench reruns the normal fold swapping the
+/// forest for kNN, multinomial logistic regression, Gaussian naive Bayes,
+/// and a single CART tree — and contrasts them all against the EFD, which
+/// needs no model at all.
+///
+/// Flags: --repetitions N, --seed S, --trees N.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/efd_experiment.hpp"
+#include "eval/splits.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/features.hpp"
+#include "ml/kfold.hpp"
+#include "ml/knn.hpp"
+#include "ml/label_encoder.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+
+namespace {
+
+using namespace efd;
+
+/// Runs the normal fold with a classifier over Taxonomist features;
+/// returns (macro F, train+predict seconds).
+template <typename FitPredict>
+std::pair<double, double> run_with(const telemetry::Dataset& dataset,
+                                   const ml::NodeSamples& samples,
+                                   std::uint64_t seed, FitPredict&& fit_predict) {
+  const auto rounds =
+      eval::make_rounds(dataset, eval::ExperimentKind::kNormalFold,
+                        {.folds = 5, .seed = seed});
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::string> truth, predicted;
+  for (const auto& round : rounds) {
+    // Node rows of train/test executions.
+    std::vector<std::size_t> train_rows, test_rows;
+    std::vector<bool> in_train(dataset.size(), false);
+    for (std::size_t i : round.train) in_train[i] = true;
+    for (std::size_t row = 0; row < samples.execution_index.size(); ++row) {
+      (in_train[samples.execution_index[row]] ? train_rows : test_rows)
+          .push_back(row);
+    }
+
+    ml::StandardScaler scaler;
+    scaler.fit(samples.features.gather_rows(train_rows));
+    const ml::Matrix train_X =
+        scaler.transform(samples.features.gather_rows(train_rows));
+    ml::LabelEncoder encoder;
+    std::vector<std::uint32_t> train_y;
+    for (std::size_t row : train_rows) {
+      train_y.push_back(encoder.fit_encode(samples.labels[row]));
+    }
+    const ml::Matrix test_X =
+        scaler.transform(samples.features.gather_rows(test_rows));
+
+    const std::vector<std::uint32_t> node_predictions =
+        fit_predict(train_X, train_y, encoder.size(), test_X);
+
+    // Execution-level majority vote.
+    std::map<std::size_t, std::map<std::string, std::size_t>> votes;
+    for (std::size_t k = 0; k < test_rows.size(); ++k) {
+      ++votes[samples.execution_index[test_rows[k]]]
+             [encoder.decode(node_predictions[k])];
+    }
+    for (std::size_t k = 0; k < round.test.size(); ++k) {
+      truth.push_back(round.truth[k]);
+      std::string best;
+      std::size_t best_votes = 0;
+      for (const auto& [label, count] : votes[round.test[k]]) {
+        if (count > best_votes) {
+          best = label;
+          best_votes = count;
+        }
+      }
+      predicted.push_back(best);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {ml::macro_f1(truth, predicted), seconds};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  const auto metrics = bench::modeled_metric_names();
+  auto bench_data =
+      bench::make_bench_dataset(args, metrics, /*default_repetitions=*/8);
+  const telemetry::Dataset& dataset = bench_data.dataset;
+  const ml::NodeSamples samples = ml::extract_node_samples(dataset, metrics);
+
+  bench::print_header("Ablation: baseline classifier choice (normal fold, " +
+                      std::to_string(metrics.size()) + " metrics)");
+
+  util::TablePrinter table({"classifier", "macro F", "5-fold wall time"});
+
+  auto add = [&](const std::string& name, auto&& fit_predict) {
+    const auto [f, seconds] = run_with(dataset, samples, seed, fit_predict);
+    table.add_row({name, util::format_fixed(f, 3),
+                   util::format_fixed(seconds, 2) + " s"});
+  };
+
+  add("random forest (Taxonomist)",
+      [&](const ml::Matrix& X, const std::vector<std::uint32_t>& y,
+          std::size_t classes, const ml::Matrix& test) {
+        ml::ForestConfig config;
+        config.n_trees = static_cast<std::size_t>(args.get_int("trees", 40));
+        ml::RandomForest model(config);
+        model.fit(X, y, classes);
+        std::vector<std::uint32_t> out;
+        for (std::size_t r = 0; r < test.rows(); ++r)
+          out.push_back(model.predict(test.row(r)));
+        return out;
+      });
+
+  add("single CART tree",
+      [&](const ml::Matrix& X, const std::vector<std::uint32_t>& y,
+          std::size_t classes, const ml::Matrix& test) {
+        ml::DecisionTree model;
+        model.fit(X, y, classes);
+        std::vector<std::uint32_t> out;
+        for (std::size_t r = 0; r < test.rows(); ++r)
+          out.push_back(model.predict(test.row(r)));
+        return out;
+      });
+
+  add("kNN (k=5)",
+      [&](const ml::Matrix& X, const std::vector<std::uint32_t>& y,
+          std::size_t classes, const ml::Matrix& test) {
+        ml::KNearestNeighbors model(5);
+        model.fit(X, y, classes);
+        std::vector<std::uint32_t> out;
+        for (std::size_t r = 0; r < test.rows(); ++r)
+          out.push_back(model.predict(test.row(r)));
+        return out;
+      });
+
+  add("logistic regression",
+      [&](const ml::Matrix& X, const std::vector<std::uint32_t>& y,
+          std::size_t classes, const ml::Matrix& test) {
+        ml::LogisticConfig config;
+        config.epochs = 150;
+        ml::LogisticRegression model(config);
+        model.fit(X, y, classes);
+        std::vector<std::uint32_t> out;
+        for (std::size_t r = 0; r < test.rows(); ++r)
+          out.push_back(model.predict(test.row(r)));
+        return out;
+      });
+
+  add("Gaussian naive Bayes",
+      [&](const ml::Matrix& X, const std::vector<std::uint32_t>& y,
+          std::size_t classes, const ml::Matrix& test) {
+        ml::GaussianNaiveBayes model;
+        model.fit(X, y, classes);
+        std::vector<std::uint32_t> out;
+        for (std::size_t r = 0; r < test.rows(); ++r)
+          out.push_back(model.predict(test.row(r)));
+        return out;
+      });
+
+  // The EFD, for contrast: no features, no model, one metric.
+  {
+    eval::EfdExperimentConfig config;
+    config.metrics = {std::string(telemetry::kHeadlineMetric)};
+    config.split.seed = seed;
+    const auto start = std::chrono::steady_clock::now();
+    const double f =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold,
+                                 config)
+            .mean_f1;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    table.add_row({"EFD (1 metric, 2 minutes)", util::format_fixed(f, 3),
+                   util::format_fixed(seconds, 2) + " s"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nexpected shape: every strong classifier separates these\n"
+               "applications given rich features — the paper's point is not\n"
+               "that ML cannot do it, but that a dictionary lookup over a\n"
+               "single rounded mean does it too, at a fraction of the data\n"
+               "and compute.\n";
+  return 0;
+}

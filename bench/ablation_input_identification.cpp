@@ -1,0 +1,73 @@
+/// \file ablation_input_identification.cpp
+/// \brief Beyond application names: can the dictionary also identify the
+/// *input size*? The paper stores "application and input size
+/// information" as values but scores recognition at the name level
+/// ("returning FT X for FT Y is considered correct"). This bench scores
+/// the stricter task — exact (application, input) identification — via
+/// label-level votes, quantifying how much input information the
+/// fingerprints really carry per metric.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "eval/splits.hpp"
+#include "ml/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+
+  const std::vector<std::string> metrics = {
+      std::string(telemetry::kHeadlineMetric),  // input-invariant by design
+      "Committed_AS_meminfo",                   // partially input-sensitive
+      "AMO_PKTS_metric_set_nic",
+  };
+  auto bench_data = bench::make_bench_dataset(args, metrics);
+  const telemetry::Dataset& dataset = bench_data.dataset;
+
+  bench::print_header(
+      "Extension: exact (application, input) identification per metric");
+
+  util::TablePrinter table({"metric", "app-level F (paper's scoring)",
+                            "label-level F (strict)", "gap"});
+  for (const std::string& metric : metrics) {
+    const auto rounds =
+        eval::make_rounds(dataset, eval::ExperimentKind::kNormalFold,
+                          {.folds = 5, .seed = static_cast<std::uint64_t>(
+                                           args.get_int("seed", 42))});
+
+    std::vector<std::string> app_truth, app_pred, label_truth, label_pred;
+    for (const auto& round : rounds) {
+      core::FingerprintConfig fp;
+      fp.metrics = {metric};
+      fp.rounding_depth = 3;
+      const auto dictionary = core::train_dictionary(dataset, fp, round.train);
+      const core::Matcher matcher(dictionary);
+      for (std::size_t i : round.test) {
+        const auto& record = dataset.record(i);
+        const auto result = matcher.recognize(record, dataset);
+        app_truth.push_back(record.label().application);
+        app_pred.push_back(result.prediction());
+        label_truth.push_back(record.label().full());
+        label_pred.push_back(result.label_prediction());
+      }
+    }
+    const double app_f = ml::macro_f1(app_truth, app_pred);
+    const double label_f = ml::macro_f1(label_truth, label_pred);
+    table.add_row({metric, util::format_fixed(app_f, 3),
+                   util::format_fixed(label_f, 3),
+                   util::format_fixed(app_f - label_f, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: application-level F stays near 1.0 while\n"
+               "label-level F drops on metrics whose fingerprints repeat\n"
+               "across input sizes (the invariance that *helps* the paper's\n"
+               "soft/hard input experiments makes exact input attribution\n"
+               "ambiguous — the two goals trade off).\n";
+  return 0;
+}

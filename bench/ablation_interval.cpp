@@ -1,0 +1,71 @@
+/// \file ablation_interval.cpp
+/// \brief Ablation of the fingerprint window. The paper fixes [60:120)
+/// "to avoid the perturbations in the initialization phase while still
+/// reporting results relatively early" — this bench validates that choice
+/// by sweeping window placement (including windows inside the noisy init
+/// phase) and window length, and by trying multi-interval dictionaries.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/efd_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+
+  const std::string metric(telemetry::kHeadlineMetric);
+  auto bench_data = bench::make_bench_dataset(args, {metric});
+  const telemetry::Dataset& dataset = bench_data.dataset;
+
+  auto run_with_intervals = [&](std::vector<telemetry::Interval> intervals) {
+    eval::EfdExperimentConfig config;
+    config.metrics = {metric};
+    config.intervals = std::move(intervals);
+    config.split.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    return eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold,
+                                    config)
+        .mean_f1;
+  };
+
+  bench::print_header("Ablation: window placement (60 s windows)");
+  util::TablePrinter placement({"interval", "normal fold F", "note"});
+  placement.add_row({"[0:60)", util::format_fixed(run_with_intervals({{0, 60}}), 3),
+                     "inside the init phase: ramp + heavy jitter"});
+  placement.add_row({"[30:90)", util::format_fixed(run_with_intervals({{30, 90}}), 3),
+                     "straddles init end"});
+  placement.add_row({"[60:120)",
+                     util::format_fixed(run_with_intervals({{60, 120}}), 3),
+                     "the paper's window"});
+  placement.add_row({"[90:150)",
+                     util::format_fixed(run_with_intervals({{90, 150}}), 3),
+                     "later: same quality, later verdict"});
+  placement.print(std::cout);
+
+  bench::print_header("Ablation: window length (starting at t=60)");
+  util::TablePrinter length({"interval", "normal fold F", "samples/node"});
+  for (int len : {5, 15, 30, 60, 90}) {
+    length.add_row({"[60:" + std::to_string(60 + len) + ")",
+                    util::format_fixed(run_with_intervals({{60, 60 + len}}), 3),
+                    std::to_string(len)});
+  }
+  length.print(std::cout);
+
+  bench::print_header("Ablation: multi-interval dictionaries (Section 6)");
+  util::TablePrinter multi({"intervals", "normal fold F"});
+  multi.add_row({"{[60:120)}",
+                 util::format_fixed(run_with_intervals({{60, 120}}), 3)});
+  multi.add_row({"{[60:90), [90:120)}",
+                 util::format_fixed(run_with_intervals({{60, 90}, {90, 120}}), 3)});
+  multi.add_row(
+      {"{[60:120), [120:150)}",
+       util::format_fixed(run_with_intervals({{60, 120}, {120, 150}}), 3)});
+  multi.print(std::cout);
+
+  std::cout << "\nexpected shape: the init-phase window scores worst (levels\n"
+               "still ramping, extra jitter); any steady-state window matches\n"
+               "the paper's; very short windows get noisier means.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file ablation_multimetric.cpp
+/// \brief The paper's Section 6 proposal, measured: "we can make
+/// fingerprints more exclusive by combining multiple system metrics".
+/// Compares single-metric, multi-metric (separate keys), and
+/// combinatorial (joint keys) dictionaries — exclusiveness should rise
+/// with combination, lifting the unknown-robustness experiments.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+#include "eval/efd_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+
+  const std::vector<std::string> one = {"nr_mapped_vmstat"};
+  const std::vector<std::string> three = {"nr_mapped_vmstat",
+                                          "Committed_AS_meminfo",
+                                          "AMO_PKTS_metric_set_nic"};
+
+  auto bench_data = bench::make_bench_dataset(args, three);
+  const telemetry::Dataset& dataset = bench_data.dataset;
+
+  struct Variant {
+    std::string name;
+    std::vector<std::string> metrics;
+    bool combine;
+  };
+  const std::vector<Variant> variants = {
+      {"1 metric", one, false},
+      {"3 metrics, separate keys", three, false},
+      {"3 metrics, combinatorial keys", three, true},
+  };
+
+  bench::print_header("Ablation: multi-metric fingerprints (Section 6)");
+  util::TablePrinter table({"variant", "normal fold F", "soft unknown F",
+                            "hard unknown F", "exclusive keys", "colliding"});
+  for (const Variant& variant : variants) {
+    eval::EfdExperimentConfig config;
+    config.metrics = variant.metrics;
+    config.combine_metrics = variant.combine;
+    config.split.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    const double normal =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold, config)
+            .mean_f1;
+    const double soft =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kSoftUnknown, config)
+            .mean_f1;
+    const double hard =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kHardUnknown, config)
+            .mean_f1;
+
+    core::FingerprintConfig fp;
+    fp.metrics = variant.metrics;
+    fp.combine_metrics = variant.combine;
+    fp.rounding_depth = 3;
+    const auto stats = core::train_dictionary(dataset, fp).stats();
+
+    table.add_row({variant.name, util::format_fixed(normal, 3),
+                   util::format_fixed(soft, 3), util::format_fixed(hard, 3),
+                   std::to_string(stats.exclusive_keys),
+                   std::to_string(stats.colliding_keys)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: combinatorial keys are the most exclusive\n"
+               "(an unknown app must match on every metric at once to be\n"
+               "falsely recognized), so the hard-unknown column should rise\n"
+               "left to right — the gain the paper anticipates in Section 6.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file ablation_noise.cpp
+/// \brief Robustness to system noise. The EFD's premise is Shazam-like
+/// recognition "in the presence of system noise and perturbations"; this
+/// bench scales the simulated perturbation amplitude and watches both the
+/// recognition quality and the depth the inner CV retreats to (noisier
+/// systems need coarser rounding).
+///
+/// Flags: --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/depth_selector.hpp"
+#include "eval/efd_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+  const std::string metric(telemetry::kHeadlineMetric);
+
+  bench::print_header("Ablation: noise scale vs recognition quality");
+  util::TablePrinter table(
+      {"noise scale", "normal fold F", "auto-selected depth"});
+  table.set_alignments(
+      {util::Align::kRight, util::Align::kRight, util::Align::kRight});
+
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    sim::GeneratorConfig generator;
+    generator.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    generator.small_repetitions =
+        static_cast<std::size_t>(args.get_int("repetitions", 12));
+    generator.metrics = {metric};
+    generator.noise_scale = scale;
+    const telemetry::Dataset dataset = sim::generate_paper_dataset(generator);
+
+    eval::EfdExperimentConfig config;
+    config.metrics = {metric};
+    config.split.seed = generator.seed;
+    const double f =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold, config)
+            .mean_f1;
+
+    core::FingerprintConfig fp;
+    fp.metrics = {metric};
+    const int depth = core::select_rounding_depth(dataset, fp).best_depth;
+
+    table.add_row({util::format_fixed(scale, 2), util::format_fixed(f, 3),
+                   std::to_string(depth)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: quality degrades gracefully with noise. The\n"
+               "inner CV keeps the depth where application levels stay\n"
+               "separated; once per-execution means wander across more\n"
+               "buckets than training repetitions can cover, F declines.\n";
+  return 0;
+}

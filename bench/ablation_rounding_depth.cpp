@@ -1,0 +1,84 @@
+/// \file ablation_rounding_depth.cpp
+/// \brief Ablation of the EFD's only tunable parameter. The paper argues
+/// (Section 3, "Pruning"): no pruning -> precise fingerprints, high
+/// exclusiveness, low repetition; excessive pruning -> generic
+/// fingerprints, low exclusiveness. This bench quantifies that trade-off:
+/// F-score per experiment vs fixed rounding depth, plus dictionary size
+/// and key exclusiveness, and what the inner-CV auto selection picks.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/depth_selector.hpp"
+#include "core/rounding.hpp"
+#include "core/trainer.hpp"
+#include "eval/efd_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+
+  const std::string metric(telemetry::kHeadlineMetric);
+  auto bench_data = bench::make_bench_dataset(args, {metric});
+  const telemetry::Dataset& dataset = bench_data.dataset;
+
+  bench::print_header("Ablation: rounding depth (metric " + metric + ")");
+
+  util::TablePrinter table({"depth", "normal fold F", "soft unknown F",
+                            "hard unknown F", "dict keys", "exclusive",
+                            "colliding"});
+  table.set_alignments({util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight});
+
+  for (int depth = core::kMinRoundingDepth; depth <= core::kMaxRoundingDepth;
+       ++depth) {
+    eval::EfdExperimentConfig config;
+    config.metrics = {metric};
+    config.auto_depth = false;
+    config.fixed_depth = depth;
+    config.split.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    const double normal =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold, config)
+            .mean_f1;
+    const double soft_unknown =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kSoftUnknown, config)
+            .mean_f1;
+    const double hard_unknown =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kHardUnknown, config)
+            .mean_f1;
+
+    core::FingerprintConfig fp;
+    fp.metrics = {metric};
+    fp.rounding_depth = depth;
+    const core::Dictionary dictionary = core::train_dictionary(dataset, fp);
+    const auto stats = dictionary.stats();
+
+    table.add_row({std::to_string(depth), util::format_fixed(normal, 3),
+                   util::format_fixed(soft_unknown, 3),
+                   util::format_fixed(hard_unknown, 3),
+                   std::to_string(stats.key_count),
+                   std::to_string(stats.exclusive_keys),
+                   std::to_string(stats.colliding_keys)});
+  }
+  table.print(std::cout);
+
+  // What would the paper's inner-CV procedure have picked?
+  core::FingerprintConfig fp;
+  fp.metrics = {metric};
+  const auto selection = core::select_rounding_depth(dataset, fp);
+  std::cout << "\ninner-CV auto selection picks depth " << selection.best_depth
+            << " (scores:";
+  for (const auto& [depth, f] : selection.f_score_by_depth) {
+    std::cout << " d" << depth << "=" << util::format_fixed(f, 3);
+  }
+  std::cout << ")\n\nexpected shape: too-coarse depths collide applications\n"
+               "(SP/BT merge at depth <= 2), too-deep depths fragment under\n"
+               "noise (means stop repeating); the sweet spot sits in between\n"
+               "and that is what the inner CV finds.\n";
+  return 0;
+}

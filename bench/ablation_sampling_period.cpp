@@ -1,0 +1,57 @@
+/// \file ablation_sampling_period.cpp
+/// \brief How much monitoring does the EFD actually need? The paper's
+/// dataset samples at 1 Hz; MODA deployments often sample every 5-60 s to
+/// bound overhead. This bench downsamples the telemetry to coarser
+/// cadences and re-runs the normal-fold experiment — because the
+/// fingerprint is an interval *mean*, quality should survive remarkably
+/// coarse sampling, strengthening the paper's "fraction of the necessary
+/// data" claim.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/efd_experiment.hpp"
+#include "telemetry/resample.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+  const std::string metric(telemetry::kHeadlineMetric);
+
+  auto bench_data = bench::make_bench_dataset(args, {metric});
+  const telemetry::Dataset& original = bench_data.dataset;
+
+  bench::print_header("Ablation: monitoring cadence (downsampled telemetry)");
+  util::TablePrinter table({"sampling period", "samples in [60:120)",
+                            "normal fold F", "data volume vs 1 Hz"});
+  table.set_alignments({util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight});
+
+  for (std::size_t factor : {1u, 2u, 5u, 10u, 15u, 30u}) {
+    const telemetry::Dataset dataset =
+        factor == 1 ? original : telemetry::downsample(original, factor);
+
+    eval::EfdExperimentConfig config;
+    config.metrics = {metric};
+    config.split.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const double f =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold,
+                                 config)
+            .mean_f1;
+
+    table.add_row({std::to_string(factor) + " s",
+                   std::to_string(60 / factor),
+                   util::format_fixed(f, 3),
+                   util::format_fixed(100.0 / static_cast<double>(factor), 1) +
+                       " %"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: the interval mean is insensitive to the\n"
+               "cadence until so few samples remain that noise no longer\n"
+               "averages out — the EFD tolerates an order of magnitude less\n"
+               "monitoring than the dataset provides.\n";
+  return 0;
+}

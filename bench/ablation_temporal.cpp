@@ -1,0 +1,120 @@
+/// \file ablation_temporal.cpp
+/// \brief Measures the paper's Section 6 proposal of *temporally aligned*
+/// fingerprints: sequences of consecutive sub-window means (absolute and
+/// Shazam-style relative encodings) versus the single [60:120) mean, on
+/// the experiments where exclusiveness matters most.
+///
+/// Flags: --full, --repetitions N, --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/matcher.hpp"
+#include "core/temporal.hpp"
+#include "core/trainer.hpp"
+#include "eval/splits.hpp"
+#include "ml/metrics.hpp"
+
+namespace {
+
+using namespace efd;
+
+/// Runs an experiment scoring predictions produced by a key builder.
+template <typename TrainFn, typename KeysFn>
+double run(const telemetry::Dataset& dataset, eval::ExperimentKind kind,
+           std::uint64_t seed, TrainFn&& train, KeysFn&& keys_of) {
+  const auto rounds = eval::make_rounds(dataset, kind, {.folds = 5, .seed = seed});
+  std::vector<std::string> truth, predicted;
+  for (const auto& round : rounds) {
+    const core::Dictionary dictionary = train(round.train);
+    const core::Matcher matcher(dictionary);
+    for (std::size_t k = 0; k < round.test.size(); ++k) {
+      truth.push_back(round.truth[k]);
+      predicted.push_back(
+          matcher.recognize_keys(keys_of(dataset.record(round.test[k])))
+              .prediction());
+    }
+  }
+  return ml::macro_f1(truth, predicted);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string metric(telemetry::kHeadlineMetric);
+
+  auto bench_data = bench::make_bench_dataset(args, {metric});
+  const telemetry::Dataset& dataset = bench_data.dataset;
+  const std::size_t slot = dataset.metric_slot(metric);
+
+  bench::print_header(
+      "Extension: temporally aligned fingerprints (Section 6)");
+
+  util::TablePrinter table({"fingerprint", "normal fold F", "soft unknown F",
+                            "hard unknown F", "dict keys"});
+
+  // Baseline: the paper's single [60:120) mean.
+  {
+    core::FingerprintConfig fp;
+    fp.metrics = {metric};
+    fp.rounding_depth = 3;
+    auto train = [&](const std::vector<std::size_t>& indices) {
+      return core::train_dictionary(dataset, fp, indices);
+    };
+    auto keys = [&](const telemetry::ExecutionRecord& record) {
+      return core::build_fingerprints(record, fp, {slot});
+    };
+    table.add_row(
+        {"single mean [60:120), depth 3",
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kNormalFold, seed, train, keys), 3),
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kSoftUnknown, seed, train, keys), 3),
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kHardUnknown, seed, train, keys), 3),
+         std::to_string(core::train_dictionary(dataset, fp).size())});
+  }
+
+  // Temporal variants.
+  for (const bool relative : {false, true}) {
+    core::TemporalConfig config;
+    config.metric = metric;
+    config.window_begin = 60;
+    config.window_length = 20;
+    config.window_count = 3;
+    config.rounding_depth = 3;
+    config.ratio_depth = 2;
+    config.relative = relative;
+
+    auto train = [&](const std::vector<std::size_t>& indices) {
+      return core::train_temporal_dictionary(dataset, config, indices);
+    };
+    auto keys = [&](const telemetry::ExecutionRecord& record) {
+      return core::build_temporal_fingerprints(record, config, slot);
+    };
+    table.add_row(
+        {relative ? "3x20 s sequence, relative (Shazam-style)"
+                  : "3x20 s sequence, absolute",
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kNormalFold, seed, train, keys), 3),
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kSoftUnknown, seed, train, keys), 3),
+         util::format_fixed(
+             run(dataset, eval::ExperimentKind::kHardUnknown, seed, train, keys), 3),
+         std::to_string(core::train_temporal_dictionary(dataset, config).size())});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nexpected shape: temporal sequences are at least as exclusive\n"
+               "as the single mean (hard-unknown column), because an unknown\n"
+               "application must now match level AND temporal shape. Absolute\n"
+               "sequences pay for it with fragmentation (20 s means are\n"
+               "noisier, so keys multiply and recall drops); the relative\n"
+               "encoding anchors on one level and matches shape coarsely,\n"
+               "keeping recall — which is precisely why Shazam hashes\n"
+               "relative peak structure rather than absolute spectra.\n";
+  return 0;
+}

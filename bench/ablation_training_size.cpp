@@ -1,0 +1,57 @@
+/// \file ablation_training_size.cpp
+/// \brief Learning-curve ablation: how many repeated executions does the
+/// dictionary need before recognition saturates? Relevant operationally —
+/// the paper's dataset has 30 repetitions per (application, input), but a
+/// production dictionary starts cold and "learning new applications is as
+/// simple as adding new keys".
+///
+/// Flags: --seed S.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+#include "eval/efd_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+  const util::ArgParser args(argc, argv);
+  const std::string metric(telemetry::kHeadlineMetric);
+
+  bench::print_header("Ablation: training repetitions vs recognition quality");
+  util::TablePrinter table({"repetitions per (app, input)", "normal fold F",
+                            "dictionary keys (depth 3)"});
+  table.set_alignments(
+      {util::Align::kRight, util::Align::kRight, util::Align::kRight});
+
+  for (std::size_t repetitions : {3u, 5u, 8u, 12u, 20u, 30u}) {
+    sim::GeneratorConfig generator;
+    generator.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    generator.small_repetitions = repetitions;
+    generator.large_repetitions = std::min<std::size_t>(repetitions, 6);
+    generator.metrics = {metric};
+    const telemetry::Dataset dataset = sim::generate_paper_dataset(generator);
+
+    eval::EfdExperimentConfig config;
+    config.metrics = {metric};
+    config.split.seed = generator.seed;
+    const double f =
+        eval::run_efd_experiment(dataset, eval::ExperimentKind::kNormalFold, config)
+            .mean_f1;
+
+    core::FingerprintConfig fp;
+    fp.metrics = {metric};
+    fp.rounding_depth = 3;
+    const std::size_t keys = core::train_dictionary(dataset, fp).size();
+
+    table.add_row({std::to_string(repetitions), util::format_fixed(f, 3),
+                   std::to_string(keys)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: a handful of repetitions already covers the\n"
+               "few rounding buckets each application's noise spans, so the\n"
+               "curve saturates early — recognition needs presence in the\n"
+               "dictionary, not statistical mass.\n";
+  return 0;
+}

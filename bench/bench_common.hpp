@@ -1,0 +1,62 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the table/figure regeneration binaries:
+/// a common dataset configuration (scaled-down Table 2 by default, full
+/// scale via --full) and formatting utilities.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/dataset_generator.hpp"
+#include "telemetry/dataset.hpp"
+#include "telemetry/metric_registry.hpp"
+#include "util/arg_parser.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace efd::bench {
+
+/// Dataset knobs common to all benches. The default scale keeps every
+/// binary under ~a minute on a laptop; --full reproduces Table 2's 30/6
+/// repetitions exactly.
+struct BenchDataset {
+  sim::GeneratorConfig generator;
+  telemetry::Dataset dataset;
+};
+
+inline BenchDataset make_bench_dataset(const util::ArgParser& args,
+                                       std::vector<std::string> metrics,
+                                       std::size_t default_repetitions = 15) {
+  BenchDataset out;
+  out.generator.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  out.generator.small_repetitions = args.has("full")
+      ? 30
+      : static_cast<std::size_t>(
+            args.get_int("repetitions",
+                         static_cast<long long>(default_repetitions)));
+  out.generator.large_repetitions = 6;
+  out.generator.include_large_input = !args.has("no-large");
+  out.generator.noise_scale = args.get_double("noise-scale", 1.0);
+  out.generator.metrics = std::move(metrics);
+  out.dataset = sim::generate_paper_dataset(out.generator);
+  return out;
+}
+
+/// All behaviour-modeled metric names from the standard catalog.
+inline std::vector<std::string> modeled_metric_names() {
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  std::vector<std::string> names;
+  for (telemetry::MetricId id : registry.modeled_metrics()) {
+    names.push_back(registry.name(id));
+  }
+  return names;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace efd::bench

@@ -1,0 +1,95 @@
+/// \file micro_dictionary.cpp
+/// \brief Microbenchmarks of the dictionary hot paths: key hashing,
+/// insertion, lookup, and the full recognize() vote. The paper's pitch is
+/// "a straightforward mechanism of recognition" with low-latency
+/// responses — lookups must be effectively free next to monitoring I/O.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/dictionary.hpp"
+#include "core/matcher.hpp"
+#include "core/rounding.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd;
+
+core::FingerprintKey make_key(std::uint64_t i) {
+  core::FingerprintKey key;
+  key.metric = "nr_mapped_vmstat";
+  key.node_id = static_cast<std::uint32_t>(i % 32);
+  key.interval = {60, 120};
+  key.rounded_means = {core::round_to_depth(5000.0 + static_cast<double>(i), 3)};
+  return key;
+}
+
+core::Dictionary build_dictionary(std::size_t keys) {
+  core::FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  core::Dictionary dictionary(config);
+  for (std::size_t i = 0; i < keys; ++i) {
+    dictionary.insert(make_key(i), "app" + std::to_string(i % 11) + "_X");
+  }
+  return dictionary;
+}
+
+void BM_KeyHash(benchmark::State& state) {
+  const core::FingerprintKey key = make_key(12345);
+  const core::FingerprintKeyHash hash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(key));
+  }
+}
+BENCHMARK(BM_KeyHash);
+
+void BM_DictionaryInsert(benchmark::State& state) {
+  const auto key_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Dictionary dictionary = build_dictionary(key_count);
+    benchmark::DoNotOptimize(dictionary.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(key_count));
+}
+BENCHMARK(BM_DictionaryInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  const auto key_count = static_cast<std::size_t>(state.range(0));
+  const core::Dictionary dictionary = build_dictionary(key_count);
+  util::Rng rng(99);
+  for (auto _ : state) {
+    const auto key = make_key(rng.uniform_index(key_count * 2));  // ~50% hits
+    benchmark::DoNotOptimize(dictionary.lookup(key));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DictionaryLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RecognizeVote(benchmark::State& state) {
+  // A realistic recognition: 32 node fingerprints against a 10k dictionary.
+  const core::Dictionary dictionary = build_dictionary(10000);
+  std::vector<core::FingerprintKey> keys;
+  for (std::uint64_t i = 0; i < 32; ++i) keys.push_back(make_key(i * 7));
+  const core::Matcher matcher(dictionary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.recognize_keys(keys));
+  }
+}
+BENCHMARK(BM_RecognizeVote);
+
+void BM_DictionarySerialize(benchmark::State& state) {
+  const core::Dictionary dictionary = build_dictionary(10000);
+  for (auto _ : state) {
+    std::ostringstream out;
+    dictionary.save(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_DictionarySerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/// \file micro_fingerprint.cpp
+/// \brief Microbenchmarks of fingerprint construction: significant-digit
+/// rounding, interval means, and end-to-end build_fingerprints() on a
+/// realistic execution record.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fingerprint.hpp"
+#include "core/rounding.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/dataset_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd;
+
+void BM_RoundToDepth(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<double> values(1024);
+  for (double& v : values) v = rng.lognormal(8.0, 3.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::round_to_depth(values[i++ & 1023], 3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoundToDepth);
+
+void BM_IntervalMean(benchmark::State& state) {
+  util::Rng rng(2);
+  telemetry::TimeSeries series(1.0);
+  for (int t = 0; t < 600; ++t) series.push_back(rng.normal(7500.0, 20.0));
+  const telemetry::Interval window{60, 120};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(series.mean_over(window));
+  }
+}
+BENCHMARK(BM_IntervalMean);
+
+void BM_BuildFingerprints(benchmark::State& state) {
+  const auto node_count = static_cast<std::uint32_t>(state.range(0));
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  const std::vector<std::string> metric = {"nr_mapped_vmstat"};
+  sim::ClusterSimulator simulator(registry, metric, 42);
+
+  const auto app = sim::make_application("kripke");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "X";
+  plan.node_count = node_count;
+  plan.execution_id = 1;
+  const telemetry::ExecutionRecord record = simulator.run(plan);
+
+  core::FingerprintConfig config;
+  config.metrics = metric;
+  config.rounding_depth = 3;
+  const std::vector<std::size_t> slots = {0};
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_fingerprints(record, config, slots));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          node_count);
+}
+BENCHMARK(BM_BuildFingerprints)->Arg(4)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/// \file micro_ml.cpp
+/// \brief Microbenchmarks of the Taxonomist baseline's cost structure —
+/// the quantitative backdrop for the paper's "fraction of the necessary
+/// data" claim: feature extraction over whole executions, forest training
+/// and prediction, against which the EFD's 60-sample mean is ~free.
+
+#include <benchmark/benchmark.h>
+
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd;
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  ml::Matrix m(rows, cols);
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+std::vector<std::uint32_t> random_labels(std::size_t rows, std::size_t classes,
+                                         std::uint64_t seed) {
+  std::vector<std::uint32_t> y(rows);
+  util::Rng rng(seed);
+  for (auto& label : y) {
+    label = static_cast<std::uint32_t>(rng.uniform_index(classes));
+  }
+  return y;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  telemetry::TimeSeries series(1.0);
+  for (std::size_t t = 0; t < samples; ++t) {
+    series.push_back(rng.normal(1e6, 1e4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::extract_series_features(series));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(60)->Arg(600)->Arg(3600);
+
+void BM_ForestTrain(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const ml::Matrix X = random_matrix(rows, 121, 11);
+  const auto y = random_labels(rows, 11, 13);
+  for (auto _ : state) {
+    ml::ForestConfig config;
+    config.n_trees = 20;
+    config.parallel = false;  // measure single-thread cost
+    ml::RandomForest forest(config);
+    forest.fit(X, y, 11);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const ml::Matrix X = random_matrix(1000, 121, 17);
+  const auto y = random_labels(1000, 11, 19);
+  ml::ForestConfig config;
+  config.n_trees = 50;
+  config.parallel = false;
+  ml::RandomForest forest(config);
+  forest.fit(X, y, 11);
+  const ml::Matrix queries = random_matrix(64, 121, 23);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(queries.row(q++ & 63)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const ml::Matrix X = random_matrix(2000, 121, 29);
+  const auto y = random_labels(2000, 11, 31);
+  ml::KNearestNeighbors knn(5);
+  knn.fit(X, y, 11);
+  const ml::Matrix queries = random_matrix(64, 121, 37);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.predict(queries.row(q++ & 63)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KnnPredict);
+
+void BM_LogisticTrain(benchmark::State& state) {
+  const ml::Matrix X = random_matrix(500, 60, 41);
+  const auto y = random_labels(500, 11, 43);
+  for (auto _ : state) {
+    ml::LogisticConfig config;
+    config.epochs = 50;
+    ml::LogisticRegression model(config);
+    model.fit(X, y, 11);
+    benchmark::DoNotOptimize(model.final_loss());
+  }
+}
+BENCHMARK(BM_LogisticTrain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

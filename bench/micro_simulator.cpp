@@ -1,0 +1,92 @@
+/// \file micro_simulator.cpp
+/// \brief Microbenchmarks of the telemetry substrate: raw signal
+/// generation throughput, one full execution, and the LDMS sampling path
+/// (which must be cheap enough to run at 1 Hz on every node — LDMS's own
+/// design constraint).
+
+#include <benchmark/benchmark.h>
+
+#include "ldms/collector.hpp"
+#include "ldms/sim_adapter.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/dataset_generator.hpp"
+
+namespace {
+
+using namespace efd;
+
+const telemetry::MetricRegistry& registry() {
+  static const telemetry::MetricRegistry instance =
+      telemetry::MetricRegistry::standard_catalog();
+  return instance;
+}
+
+std::vector<std::string> modeled_names() {
+  std::vector<std::string> names;
+  for (telemetry::MetricId id : registry().modeled_metrics()) {
+    names.push_back(registry().name(id));
+  }
+  return names;
+}
+
+void BM_SignalGeneration(benchmark::State& state) {
+  sim::SignalSpec spec;
+  spec.base = 7500.0;
+  spec.periodic_amplitude = 0.02;
+  spec.period_seconds = 10.0;
+  sim::SignalGenerator generator(spec, util::Rng(7));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.sample(t));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SignalGeneration);
+
+void BM_SimulateExecution(benchmark::State& state) {
+  const auto metric_count = static_cast<std::size_t>(state.range(0));
+  auto names = modeled_names();
+  names.resize(std::min(metric_count, names.size()));
+  sim::ClusterSimulator simulator(registry(), names, 42);
+  const auto app = sim::make_application("ft");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "X";
+  plan.node_count = 4;
+
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    plan.execution_id = ++id;
+    benchmark::DoNotOptimize(simulator.run(plan));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(names.size()) * 4 * 150);
+}
+BENCHMARK(BM_SimulateExecution)->Arg(1)->Arg(8)->Arg(33);
+
+void BM_LdmsSamplingTick(benchmark::State& state) {
+  // One 1 Hz tick of the full standard sampler set on one node.
+  const auto samplers = ldms::make_standard_samplers(registry());
+  const auto app = sim::make_application("cg");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "Y";
+  plan.node_count = 4;
+  plan.execution_id = 1;
+  ldms::SimulatedNodeSource source(registry(), plan, 0, 42);
+  ldms::NodeCollector collector(0, samplers);
+
+  double t = 0.0;
+  for (auto _ : state) {
+    collector.tick(source, t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(collector.metric_names().size()));
+}
+BENCHMARK(BM_LdmsSamplingTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/// \file online_recognition.cpp
+/// \brief Recognition *during* execution, through the full monitoring
+/// stack: a job starts on four simulated nodes, LDMS-style samplers feed
+/// the OnlineRecognizer one tick at a time, and the verdict fires the
+/// moment the [60,120) fingerprint window closes — minute 2 of a job that
+/// may run for hours, which is the operational win the paper argues for.
+///
+/// Run:  ./online_recognition [--app NAME] [--input X|Y|Z] [--seed S]
+
+#include <iostream>
+
+#include "core/online_recognizer.hpp"
+#include "core/recognizer.hpp"
+#include "ldms/collector.hpp"
+#include "ldms/sim_adapter.hpp"
+#include "sim/dataset_generator.hpp"
+#include "util/arg_parser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace efd;
+
+  const util::ArgParser args(argc, argv);
+  const std::string app_name = args.get("app", "miniGhost");
+  const std::string input = args.get("input", "Y");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string metric(telemetry::kHeadlineMetric);
+
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+
+  // --- Offline: learn the dictionary from past executions. ---
+  sim::GeneratorConfig generator;
+  generator.seed = seed;
+  generator.small_repetitions = 10;
+  generator.include_large_input = false;
+  generator.metrics = {metric};
+  const telemetry::Dataset history = sim::generate_paper_dataset(generator);
+
+  core::RecognizerConfig config;
+  config.metrics = {metric};
+  core::Recognizer recognizer(config);
+  recognizer.train(history);
+  std::cout << "trained dictionary: " << recognizer.dictionary().size()
+            << " keys, depth " << recognizer.rounding_depth() << "\n\n";
+
+  // --- Online: a new job starts; we only know it runs on 4 nodes. ---
+  const auto app = sim::make_application(app_name);
+  if (!app) {
+    std::cerr << "unknown application: " << app_name << "\n";
+    return 1;
+  }
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = input;
+  plan.node_count = 4;
+  plan.execution_id = 999'001;  // a job id the dictionary has never seen
+
+  auto sources = ldms::make_node_sources(registry, plan, /*seed=*/7777);
+  core::OnlineRecognizer online(recognizer.dictionary(), plan.node_count);
+
+  std::cout << "job started (truth: " << app_name << "_" << input
+            << ", hidden from the recognizer)\n";
+  for (int t = 0; t < 200; ++t) {
+    for (std::uint32_t node = 0; node < plan.node_count; ++node) {
+      online.push(node, metric, t, sources[node]->read(metric, t));
+    }
+    if ((t + 1) % 30 == 0 && !online.ready()) {
+      std::cout << "  t=" << t + 1 << "s: window still open ("
+                << online.seconds_until_ready(t + 1) << "s to go)\n";
+    }
+    if (online.ready()) {
+      const auto result = *online.result();
+      std::cout << "  t=" << t + 1 << "s: VERDICT -> " << result.prediction()
+                << "  (" << result.matched_count << "/"
+                << result.fingerprint_count << " node fingerprints matched)\n";
+      std::cout << "\nmatched historical labels:";
+      for (const auto& label : result.matched_labels) std::cout << ' ' << label;
+      std::cout << "\nrecognized after " << t + 1
+                << "s of a job that would run much longer.\n";
+      return 0;
+    }
+  }
+  std::cout << "window never closed (job shorter than the interval?)\n";
+  return 1;
+}

@@ -1,0 +1,49 @@
+#pragma once
+/// \file coverage.hpp
+/// \brief Dictionary coverage diagnostics.
+///
+/// Operationally, a dictionary degrades in two ways: executions drift away
+/// from their learned fingerprints (match fraction falls), or an
+/// application's keys get diluted across too many buckets (noise wider
+/// than the rounding bucket). This analysis quantifies both against a
+/// reference corpus, giving operators a health check before trusting
+/// recognitions — and giving the anomaly-detection example its signal.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dictionary.hpp"
+#include "core/matcher.hpp"
+#include "telemetry/dataset.hpp"
+
+namespace efd::core {
+
+/// Coverage of one corpus under one dictionary.
+struct CoverageReport {
+  std::size_t executions = 0;
+  std::size_t fully_matched = 0;     ///< every fingerprint found
+  std::size_t partially_matched = 0; ///< some but not all fingerprints found
+  std::size_t unmatched = 0;         ///< zero fingerprints found
+
+  /// Mean fraction of an execution's fingerprints found in the dictionary.
+  double mean_match_fraction = 0.0;
+
+  /// Per-application mean match fraction (sorted by name).
+  std::map<std::string, double> match_fraction_by_application;
+
+  /// Distinct keys carrying each application (bucket spread; a large
+  /// count relative to nodes x intervals means noisy fingerprints).
+  std::map<std::string, std::size_t> keys_by_application;
+
+  /// Human-readable multi-line rendering.
+  std::string to_string() const;
+};
+
+/// Analyzes how well \p dictionary covers \p dataset (empty indices = all
+/// records). Fingerprints are built with the dictionary's own config.
+CoverageReport analyze_coverage(const Dictionary& dictionary,
+                                const telemetry::Dataset& dataset,
+                                const std::vector<std::size_t>& indices = {});
+
+}  // namespace efd::core

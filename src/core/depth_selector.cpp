@@ -1,0 +1,95 @@
+#include "core/depth_selector.hpp"
+
+#include <numeric>
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "ml/kfold.hpp"
+#include "ml/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::core {
+
+DepthSelectionResult select_rounding_depth(
+    const telemetry::Dataset& dataset, const FingerprintConfig& base,
+    const std::vector<std::size_t>& train_indices,
+    const DepthSelectionConfig& selection) {
+  std::vector<std::size_t> indices = train_indices;
+  if (indices.empty()) {
+    indices.resize(dataset.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  }
+
+  // Stratify the inner folds on full labels so each fold covers every
+  // (application, input) pair when possible.
+  std::vector<std::string> strata;
+  strata.reserve(indices.size());
+  for (std::size_t index : indices) {
+    strata.push_back(dataset.record(index).label().full());
+  }
+  const std::vector<ml::FoldSplit> folds =
+      ml::stratified_kfold(strata, selection.folds, selection.seed);
+
+  std::vector<std::size_t> metric_slots;
+  metric_slots.reserve(base.metrics.size());
+  for (const std::string& name : base.metrics) {
+    metric_slots.push_back(dataset.metric_slot(name));
+  }
+
+  const int depth_count = selection.max_depth - selection.min_depth + 1;
+  std::vector<double> mean_f(static_cast<std::size_t>(depth_count), 0.0);
+
+  auto evaluate_depth = [&](std::size_t depth_offset) {
+    const int depth = selection.min_depth + static_cast<int>(depth_offset);
+    FingerprintConfig config = base;
+    config.rounding_depth = depth;
+
+    double f_sum = 0.0;
+    for (const ml::FoldSplit& fold : folds) {
+      // Fold indices are positions within `indices`.
+      std::vector<std::size_t> learn;
+      learn.reserve(fold.train.size());
+      for (std::size_t position : fold.train) learn.push_back(indices[position]);
+
+      const Dictionary dictionary = train_dictionary(dataset, config, learn);
+      const Matcher matcher(dictionary);
+
+      std::vector<std::string> truth, predicted;
+      truth.reserve(fold.test.size());
+      predicted.reserve(fold.test.size());
+      for (std::size_t position : fold.test) {
+        const telemetry::ExecutionRecord& record = dataset.record(indices[position]);
+        truth.push_back(record.label().application);
+        predicted.push_back(matcher.recognize(record, metric_slots).prediction());
+      }
+      f_sum += ml::macro_f1(truth, predicted);
+    }
+    mean_f[depth_offset] = f_sum / static_cast<double>(folds.size());
+  };
+
+  if (selection.parallel) {
+    util::parallel_for(0, static_cast<std::size_t>(depth_count), evaluate_depth);
+  } else {
+    for (std::size_t d = 0; d < static_cast<std::size_t>(depth_count); ++d) {
+      evaluate_depth(d);
+    }
+  }
+
+  DepthSelectionResult result;
+  double best_f = -1.0;
+  for (int d = 0; d < depth_count; ++d) {
+    const int depth = selection.min_depth + d;
+    const double f = mean_f[static_cast<std::size_t>(d)];
+    result.f_score_by_depth[depth] = f;
+    if (f > best_f + 1e-12) {  // strict improvement; ties keep shallower
+      best_f = f;
+      result.best_depth = depth;
+    }
+  }
+  EFD_LOG(kDebug, "depth-selector")
+      << "selected depth " << result.best_depth << " (inner F=" << best_f << ")";
+  return result;
+}
+
+}  // namespace efd::core

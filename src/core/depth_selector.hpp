@@ -1,0 +1,42 @@
+#pragma once
+/// \file depth_selector.hpp
+/// \brief Selection of the EFD's only tunable parameter, the rounding
+/// depth, "through cross-fold validation within the training set"
+/// (paper, Section 3).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "telemetry/dataset.hpp"
+
+namespace efd::core {
+
+struct DepthSelectionConfig {
+  int min_depth = 1;
+  int max_depth = 6;
+  std::size_t folds = 5;       ///< inner CV folds
+  std::uint64_t seed = 17;
+  bool parallel = true;        ///< evaluate depths across the thread pool
+};
+
+struct DepthSelectionResult {
+  int best_depth = 2;
+  /// Mean inner-CV macro F-score per candidate depth.
+  std::map<int, double> f_score_by_depth;
+};
+
+/// Evaluates every candidate depth with stratified inner cross-validation
+/// on the *training* records only (no test leakage) and returns the depth
+/// maximizing mean macro F-score over application names. Ties prefer the
+/// shallower (coarser, more noise-robust) depth.
+///
+/// \param base config whose rounding_depth field is ignored/overwritten.
+/// \param train_indices records available for learning (empty = all).
+DepthSelectionResult select_rounding_depth(
+    const telemetry::Dataset& dataset, const FingerprintConfig& base,
+    const std::vector<std::size_t>& train_indices = {},
+    const DepthSelectionConfig& selection = {});
+
+}  // namespace efd::core

@@ -1,0 +1,254 @@
+#include "core/dictionary.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/execution_record.hpp"
+#include "util/string_utils.hpp"
+
+namespace efd::core {
+
+void DictionaryEntry::observe(const std::string& label) {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) {
+      ++counts[i];
+      return;
+    }
+  }
+  labels.push_back(label);
+  counts.push_back(1);
+}
+
+bool DictionaryEntry::contains(const std::string& label) const {
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+std::uint64_t DictionaryEntry::total_count() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+void Dictionary::insert(const FingerprintKey& key, const std::string& label) {
+  entries_[key].observe(label);
+  const std::string application = telemetry::parse_label(label).application;
+  application_first_seen_.emplace(application, application_first_seen_.size());
+}
+
+const DictionaryEntry* Dictionary::lookup(const FingerprintKey& key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+std::size_t Dictionary::application_order(const std::string& application) const {
+  const auto it = application_first_seen_.find(application);
+  return it != application_first_seen_.end()
+             ? it->second
+             : application_first_seen_.size();  // unknowns sort last
+}
+
+std::size_t Dictionary::prune_rare(std::uint32_t min_observations) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.total_count() < min_observations) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Dictionary::merge(const Dictionary& other) {
+  const auto same_config = [&] {
+    const FingerprintConfig& a = config_;
+    const FingerprintConfig& b = other.config_;
+    return a.metrics == b.metrics && a.intervals == b.intervals &&
+           a.rounding_depth == b.rounding_depth &&
+           a.combine_metrics == b.combine_metrics;
+  };
+  if (!same_config()) {
+    throw std::invalid_argument("cannot merge dictionaries with different configs");
+  }
+  for (const auto& [key, entry] : other.entries_) {
+    for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+      for (std::uint32_t c = 0; c < entry.counts[i]; ++c) {
+        insert(key, entry.labels[i]);
+      }
+    }
+  }
+}
+
+DictionaryStats Dictionary::stats() const {
+  DictionaryStats stats;
+  stats.key_count = entries_.size();
+  std::size_t label_total = 0;
+  for (const auto& [key, entry] : entries_) {
+    std::set<std::string> applications;
+    for (const auto& label : entry.labels) {
+      applications.insert(telemetry::parse_label(label).application);
+    }
+    if (applications.size() <= 1) ++stats.exclusive_keys;
+    else ++stats.colliding_keys;
+    label_total += entry.labels.size();
+    stats.total_observations += entry.total_count();
+  }
+  stats.mean_labels_per_key =
+      entries_.empty() ? 0.0
+                       : static_cast<double>(label_total) /
+                             static_cast<double>(entries_.size());
+  return stats;
+}
+
+std::vector<std::pair<FingerprintKey, DictionaryEntry>>
+Dictionary::sorted_entries() const {
+  std::vector<std::pair<FingerprintKey, DictionaryEntry>> sorted(
+      entries_.begin(), entries_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.first.metric != b.first.metric) return a.first.metric < b.first.metric;
+    if (a.first.interval.begin_seconds != b.first.interval.begin_seconds) {
+      return a.first.interval.begin_seconds < b.first.interval.begin_seconds;
+    }
+    if (a.first.rounded_means != b.first.rounded_means) {
+      return a.first.rounded_means < b.first.rounded_means;
+    }
+    return a.first.node_id < b.first.node_id;
+  });
+  return sorted;
+}
+
+std::vector<FingerprintKey> Dictionary::keys_for_label(
+    const std::string& label) const {
+  std::vector<FingerprintKey> keys;
+  for (const auto& [key, entry] : sorted_entries()) {
+    if (entry.contains(label)) keys.push_back(key);
+  }
+  return keys;
+}
+
+namespace {
+constexpr char kFormatTag[] = "EFD-DICT-V1";
+}
+
+void Dictionary::save(std::ostream& out) const {
+  out << kFormatTag << '\n';
+  out << "metrics " << util::join(config_.metrics, ",") << '\n';
+  out << "intervals";
+  for (const auto& interval : config_.intervals) {
+    out << ' ' << interval.begin_seconds << ':' << interval.end_seconds;
+  }
+  out << '\n';
+  out << "depth " << config_.rounding_depth << '\n';
+  out << "combine " << (config_.combine_metrics ? 1 : 0) << '\n';
+  out << "keys " << entries_.size() << '\n';
+  for (const auto& [key, entry] : sorted_entries()) {
+    out << key.metric << '|' << key.node_id << '|' << key.interval.begin_seconds
+        << ':' << key.interval.end_seconds << '|';
+    for (std::size_t i = 0; i < key.rounded_means.size(); ++i) {
+      if (i != 0) out << ',';
+      out << util::format_mean(key.rounded_means[i]);
+    }
+    out << '|';
+    for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+      if (i != 0) out << ',';
+      out << entry.labels[i] << '=' << entry.counts[i];
+    }
+    out << '\n';
+  }
+}
+
+void Dictionary::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save(out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Dictionary Dictionary::load(std::istream& in) {
+  std::string line;
+  auto fail = [](const std::string& why) -> Dictionary {
+    throw std::runtime_error("malformed dictionary: " + why);
+  };
+
+  if (!std::getline(in, line) || line != kFormatTag) return fail("bad header");
+
+  FingerprintConfig config;
+  config.intervals.clear();
+
+  if (!std::getline(in, line) || !util::starts_with(line, "metrics "))
+    return fail("missing metrics");
+  const std::string metric_csv = line.substr(8);
+  if (!metric_csv.empty()) config.metrics = util::split(metric_csv, ',');
+
+  if (!std::getline(in, line) || !util::starts_with(line, "intervals"))
+    return fail("missing intervals");
+  for (const std::string& token : util::split(line, ' ')) {
+    if (token == "intervals" || token.empty()) continue;
+    const auto parts = util::split(token, ':');
+    if (parts.size() != 2) return fail("bad interval token");
+    const auto begin = util::parse_int(parts[0]);
+    const auto end = util::parse_int(parts[1]);
+    if (!begin || !end) return fail("bad interval numbers");
+    config.intervals.push_back(
+        {static_cast<int>(*begin), static_cast<int>(*end)});
+  }
+
+  if (!std::getline(in, line) || !util::starts_with(line, "depth "))
+    return fail("missing depth");
+  const auto depth = util::parse_int(line.substr(6));
+  if (!depth) return fail("bad depth");
+  config.rounding_depth = static_cast<int>(*depth);
+
+  if (!std::getline(in, line) || !util::starts_with(line, "combine "))
+    return fail("missing combine flag");
+  config.combine_metrics = line.substr(8) == "1";
+
+  if (!std::getline(in, line) || !util::starts_with(line, "keys "))
+    return fail("missing key count");
+  const auto key_count = util::parse_int(line.substr(5));
+  if (!key_count || *key_count < 0) return fail("bad key count");
+
+  Dictionary dictionary(config);
+  for (long long k = 0; k < *key_count; ++k) {
+    if (!std::getline(in, line)) return fail("truncated key list");
+    const auto fields = util::split(line, '|');
+    if (fields.size() != 5) return fail("bad key row");
+    FingerprintKey key;
+    key.metric = fields[0];
+    const auto node = util::parse_int(fields[1]);
+    if (!node) return fail("bad node id");
+    key.node_id = static_cast<std::uint32_t>(*node);
+    const auto interval_parts = util::split(fields[2], ':');
+    if (interval_parts.size() != 2) return fail("bad key interval");
+    const auto ib = util::parse_int(interval_parts[0]);
+    const auto ie = util::parse_int(interval_parts[1]);
+    if (!ib || !ie) return fail("bad key interval numbers");
+    key.interval = {static_cast<int>(*ib), static_cast<int>(*ie)};
+    for (const std::string& mean_text : util::split(fields[3], ',')) {
+      const auto mean = util::parse_double(mean_text);
+      if (!mean) return fail("bad mean");
+      key.rounded_means.push_back(*mean);
+    }
+    for (const std::string& label_token : util::split(fields[4], ',')) {
+      const auto eq = label_token.rfind('=');
+      if (eq == std::string::npos) return fail("bad label token");
+      const auto count = util::parse_int(label_token.substr(eq + 1));
+      if (!count || *count < 1) return fail("bad label count");
+      const std::string label = label_token.substr(0, eq);
+      for (long long c = 0; c < *count; ++c) dictionary.insert(key, label);
+    }
+  }
+  return dictionary;
+}
+
+Dictionary Dictionary::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dictionary: " + path);
+  return load(in);
+}
+
+}  // namespace efd::core

@@ -1,0 +1,117 @@
+#pragma once
+/// \file dictionary.hpp
+/// \brief The Execution Fingerprint Dictionary: a hash-based lookup table
+/// from fingerprint keys to application information — the paper's core
+/// data structure, analogous to Shazam's fingerprint index.
+///
+/// Keys are unique; each key's value is the ordered set of
+/// "application_input" labels whose training executions produced that
+/// fingerprint, plus per-label observation counts. Insertion order is
+/// preserved because the paper resolves recognition ties by "the first
+/// application name in the array" (Section 3) — e.g. SP before BT for
+/// their shared depth-2 keys in Table 4.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+
+namespace efd::core {
+
+/// Value of one dictionary entry.
+struct DictionaryEntry {
+  /// Distinct full labels ("ft_X"), in first-observation order.
+  std::vector<std::string> labels;
+  /// How many training executions contributed each label (aligned with
+  /// labels). Used for pruning statistics and the ablation benches.
+  std::vector<std::uint32_t> counts;
+
+  /// Adds one observation of a label.
+  void observe(const std::string& label);
+
+  /// True if the entry contains the label.
+  bool contains(const std::string& label) const;
+
+  /// Total observations across labels.
+  std::uint64_t total_count() const noexcept;
+};
+
+/// Exclusiveness/pruning statistics (Section 5 discussion).
+struct DictionaryStats {
+  std::size_t key_count = 0;          ///< unique fingerprints
+  std::size_t exclusive_keys = 0;     ///< keys with exactly 1 application
+  std::size_t colliding_keys = 0;     ///< keys shared by >= 2 applications
+  double mean_labels_per_key = 0.0;
+  std::uint64_t total_observations = 0;
+};
+
+/// The dictionary proper.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Construction-time config; stored so lookups are guaranteed to use the
+  /// same fingerprinting settings as training (the paper's "same rounding
+  /// depth as in the learning phase").
+  explicit Dictionary(FingerprintConfig config) : config_(std::move(config)) {}
+
+  const FingerprintConfig& config() const noexcept { return config_; }
+
+  /// Number of unique keys.
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Adds one (key, label) observation. Creates the key if absent.
+  void insert(const FingerprintKey& key, const std::string& label);
+
+  /// Entry for a key, or nullptr if absent. O(1) expected.
+  const DictionaryEntry* lookup(const FingerprintKey& key) const;
+
+  /// Application-name first-seen order (for deterministic tie arrays).
+  /// Applications are indexed in the order their first key was inserted.
+  std::size_t application_order(const std::string& application) const;
+
+  /// Removes all keys whose total observation count is below
+  /// \p min_observations; returns the number of keys removed. Models
+  /// eviction of one-off noise fingerprints.
+  std::size_t prune_rare(std::uint32_t min_observations);
+
+  /// Merges another dictionary built with the same config (distributed
+  /// learning across ingest shards). Throws std::invalid_argument on
+  /// config mismatch.
+  void merge(const Dictionary& other);
+
+  /// Aggregate statistics over keys.
+  DictionaryStats stats() const;
+
+  /// All entries, sorted lexicographically by key string rendering — the
+  /// order used for the Table 4 dump and for serialization determinism.
+  std::vector<std::pair<FingerprintKey, DictionaryEntry>> sorted_entries() const;
+
+  /// Reverse lookup (Section 6: "using the dictionary in reverse"): every
+  /// key observed for a full label, e.g. to predict a known application's
+  /// expected resource usage.
+  std::vector<FingerprintKey> keys_for_label(const std::string& label) const;
+
+  /// Serializes to a line-oriented text format.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Deserializes; throws std::runtime_error on malformed input.
+  static Dictionary load(std::istream& in);
+  static Dictionary load_file(const std::string& path);
+
+  /// Iteration support (unordered).
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  FingerprintConfig config_;
+  std::unordered_map<FingerprintKey, DictionaryEntry, FingerprintKeyHash> entries_;
+  std::unordered_map<std::string, std::size_t> application_first_seen_;
+};
+
+}  // namespace efd::core

@@ -1,0 +1,107 @@
+#include "core/fingerprint.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rounding.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace efd::core {
+
+std::string FingerprintKey::to_string() const {
+  std::ostringstream out;
+  out << '[' << metric << ", " << node_id << ", [" << interval.begin_seconds
+      << ':' << interval.end_seconds << "], ";
+  for (std::size_t i = 0; i < rounded_means.size(); ++i) {
+    if (i != 0) out << " + ";
+    out << util::format_mean(rounded_means[i]);
+  }
+  out << ']';
+  return out.str();
+}
+
+std::size_t FingerprintKeyHash::operator()(const FingerprintKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix64 = [&h](std::uint64_t word) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  for (char c : key.metric) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  mix64(key.node_id);
+  mix64(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(key.interval.begin_seconds)));
+  mix64(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(key.interval.end_seconds)));
+  for (double mean : key.rounded_means) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(mean));
+    __builtin_memcpy(&bits, &mean, sizeof(bits));
+    mix64(bits);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::vector<FingerprintKey> build_fingerprints(
+    const telemetry::ExecutionRecord& record, const FingerprintConfig& config,
+    const std::vector<std::size_t>& metric_slots) {
+  if (metric_slots.size() != config.metrics.size()) {
+    throw std::invalid_argument("metric_slots must align with config.metrics");
+  }
+  std::vector<FingerprintKey> keys;
+
+  for (const telemetry::Interval& interval : config.intervals) {
+    if (!interval.valid()) {
+      throw std::invalid_argument("invalid fingerprint interval");
+    }
+    for (std::size_t node = 0; node < record.node_count(); ++node) {
+      if (config.combine_metrics) {
+        // One combinatorial key carrying every metric's rounded mean.
+        FingerprintKey key;
+        key.metric = util::join(config.metrics, "+");
+        key.node_id = record.node(node).node_id;
+        key.interval = interval;
+        bool covered = true;
+        for (std::size_t m = 0; m < metric_slots.size(); ++m) {
+          const telemetry::TimeSeries& series = record.series(node, metric_slots[m]);
+          if (!series.covers(interval)) {
+            covered = false;
+            break;
+          }
+          key.rounded_means.push_back(
+              round_to_depth(series.mean_over(interval), config.rounding_depth));
+        }
+        if (covered) keys.push_back(std::move(key));
+      } else {
+        for (std::size_t m = 0; m < metric_slots.size(); ++m) {
+          const telemetry::TimeSeries& series = record.series(node, metric_slots[m]);
+          if (!series.covers(interval)) continue;
+          FingerprintKey key;
+          key.metric = config.metrics[m];
+          key.node_id = record.node(node).node_id;
+          key.interval = interval;
+          key.rounded_means.push_back(
+              round_to_depth(series.mean_over(interval), config.rounding_depth));
+          keys.push_back(std::move(key));
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+std::vector<FingerprintKey> build_fingerprints(
+    const telemetry::ExecutionRecord& record, const FingerprintConfig& config,
+    const telemetry::Dataset& dataset) {
+  std::vector<std::size_t> slots;
+  slots.reserve(config.metrics.size());
+  for (const std::string& name : config.metrics) {
+    slots.push_back(dataset.metric_slot(name));
+  }
+  return build_fingerprints(record, config, slots);
+}
+
+}  // namespace efd::core

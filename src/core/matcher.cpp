@@ -1,0 +1,90 @@
+#include "core/matcher.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace efd::core {
+
+std::string RecognitionResult::label_prediction() const {
+  if (!recognized) return kUnknownApplication;
+  const std::string& winner = applications.front();
+  int best_votes = 0;
+  std::string best_label;
+  // matched_labels preserves first-seen order, so ties resolve earliest.
+  for (const std::string& label : matched_labels) {
+    if (telemetry::parse_label(label).application != winner) continue;
+    const auto it = label_votes.find(label);
+    const int count = it != label_votes.end() ? it->second : 0;
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label.empty() ? winner : best_label;
+}
+
+RecognitionResult Matcher::recognize_keys(
+    const std::vector<FingerprintKey>& keys) const {
+  RecognitionResult result;
+  result.fingerprint_count = keys.size();
+
+  std::set<std::string> seen_labels;  // dedup while preserving first-seen order
+  for (const FingerprintKey& key : keys) {
+    const DictionaryEntry* entry = dictionary_->lookup(key);
+    if (entry == nullptr) continue;
+    ++result.matched_count;
+
+    // One vote per matched fingerprint per distinct application name in
+    // the entry (an entry listing sp_X, sp_Y, bt_X yields one sp vote and
+    // one bt vote for this fingerprint).
+    std::set<std::string> applications_in_entry;
+    for (const std::string& label : entry->labels) {
+      applications_in_entry.insert(telemetry::parse_label(label).application);
+      ++result.label_votes[label];
+      if (seen_labels.insert(label).second) {
+        result.matched_labels.push_back(label);
+      }
+    }
+    for (const std::string& application : applications_in_entry) {
+      ++result.votes[application];
+    }
+  }
+
+  if (result.matched_count == 0) return result;  // recognized stays false
+
+  int best_votes = 0;
+  for (const auto& [application, votes] : result.votes) {
+    best_votes = std::max(best_votes, votes);
+  }
+  for (const auto& [application, votes] : result.votes) {
+    if (votes == best_votes) result.applications.push_back(application);
+  }
+  // Tie array ordered by dictionary first-seen order (paper Section 3 /
+  // Table 4: "in this case SP" — SP was learned before BT).
+  std::sort(result.applications.begin(), result.applications.end(),
+            [this](const std::string& a, const std::string& b) {
+              return dictionary_->application_order(a) <
+                     dictionary_->application_order(b);
+            });
+  result.recognized = true;
+  return result;
+}
+
+RecognitionResult Matcher::recognize(
+    const telemetry::ExecutionRecord& record,
+    const std::vector<std::size_t>& metric_slots) const {
+  return recognize_keys(
+      build_fingerprints(record, dictionary_->config(), metric_slots));
+}
+
+RecognitionResult Matcher::recognize(const telemetry::ExecutionRecord& record,
+                                     const telemetry::Dataset& dataset) const {
+  std::vector<std::size_t> slots;
+  slots.reserve(dictionary_->config().metrics.size());
+  for (const std::string& name : dictionary_->config().metrics) {
+    slots.push_back(dataset.metric_slot(name));
+  }
+  return recognize(record, slots);
+}
+
+}  // namespace efd::core

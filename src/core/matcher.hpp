@@ -1,0 +1,79 @@
+#pragma once
+/// \file matcher.hpp
+/// \brief The testing phase: looks up an unlabeled execution's fingerprints
+/// and votes — the paper's Figure 1 steps (2) and (3).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dictionary.hpp"
+#include "telemetry/dataset.hpp"
+
+namespace efd::core {
+
+/// Label returned for executions with no matching fingerprints — the
+/// paper's in-built safeguard against unknown applications.
+inline const std::string kUnknownApplication = "unknown";
+
+/// Outcome of recognizing one execution.
+struct RecognitionResult {
+  /// True if at least one fingerprint matched a dictionary key.
+  bool recognized = false;
+
+  /// Application names with the maximum vote count, in dictionary
+  /// first-seen order. Size > 1 means the EFD "cannot distinguish between
+  /// them and will return an array of these application names" (the paper
+  /// scores the first element).
+  std::vector<std::string> applications;
+
+  /// Votes per application name (one vote per matched node fingerprint
+  /// containing that application).
+  std::map<std::string, int> votes;
+
+  /// Votes per full label ("sp_X"). Enables input-size identification on
+  /// top of application recognition: executions have "two identifying
+  /// dimensions: application name and input size" (Section 4).
+  std::map<std::string, int> label_votes;
+
+  /// Full labels ("sp_X") present in the matched entries, first-seen order.
+  std::vector<std::string> matched_labels;
+
+  std::size_t fingerprint_count = 0;  ///< fingerprints built for the execution
+  std::size_t matched_count = 0;      ///< fingerprints found in the dictionary
+
+  /// The label the evaluation scores: first tied application, or
+  /// kUnknownApplication when nothing matched.
+  const std::string& prediction() const {
+    return recognized ? applications.front() : kUnknownApplication;
+  }
+
+  /// Most-voted full label ("sp_X") among labels of the winning
+  /// application; kUnknownApplication when nothing matched. Ties resolve
+  /// to the earliest matched label.
+  std::string label_prediction() const;
+};
+
+/// Recognizes executions against a dictionary. Stateless; cheap to copy.
+class Matcher {
+ public:
+  /// \param dictionary borrowed; must outlive the matcher.
+  explicit Matcher(const Dictionary& dictionary) : dictionary_(&dictionary) {}
+
+  /// Builds the execution's fingerprints with the dictionary's own config
+  /// (guaranteeing identical rounding) and tallies votes.
+  RecognitionResult recognize(const telemetry::ExecutionRecord& record,
+                              const telemetry::Dataset& dataset) const;
+
+  /// Variant with pre-resolved metric slots (hot path for sweeps).
+  RecognitionResult recognize(const telemetry::ExecutionRecord& record,
+                              const std::vector<std::size_t>& metric_slots) const;
+
+  /// Tallies votes over already-built fingerprints (online path).
+  RecognitionResult recognize_keys(const std::vector<FingerprintKey>& keys) const;
+
+ private:
+  const Dictionary* dictionary_;
+};
+
+}  // namespace efd::core

@@ -1,0 +1,116 @@
+#include "core/online_recognizer.hpp"
+
+#include <algorithm>
+
+#include "core/rounding.hpp"
+
+namespace efd::core {
+
+void WindowAccumulator::push(int t, double value) noexcept {
+  if (t <= last_t_) return;  // duplicate/out-of-order ticks are dropped
+  last_t_ = t;
+  if (t >= interval_.begin_seconds && t < interval_.end_seconds) {
+    sum_ += value;
+    ++count_;
+  }
+}
+
+bool WindowAccumulator::complete() const noexcept {
+  return last_t_ >= interval_.end_seconds - 1 && count_ > 0;
+}
+
+double WindowAccumulator::mean() const noexcept {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+OnlineRecognizer::OnlineRecognizer(const Dictionary& dictionary,
+                                   std::uint32_t node_count)
+    : dictionary_(&dictionary), node_count_(node_count) {
+  const FingerprintConfig& config = dictionary_->config();
+  accumulators_.resize(node_count_);
+  for (auto& per_metric : accumulators_) {
+    per_metric.resize(config.metrics.size());
+    for (auto& per_interval : per_metric) {
+      per_interval.reserve(config.intervals.size());
+      for (const telemetry::Interval& interval : config.intervals) {
+        per_interval.emplace_back(interval);
+      }
+    }
+  }
+}
+
+void OnlineRecognizer::push(std::uint32_t node_id, std::string_view metric_name,
+                            int t, double value) {
+  if (node_id >= node_count_) return;
+  const FingerprintConfig& config = dictionary_->config();
+  for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+    if (config.metrics[m] != metric_name) continue;
+    for (WindowAccumulator& acc : accumulators_[node_id][m]) {
+      acc.push(t, value);
+    }
+    cached_.reset();  // new data invalidates a cached verdict
+  }
+}
+
+bool OnlineRecognizer::ready() const noexcept {
+  for (const auto& per_metric : accumulators_) {
+    for (const auto& per_interval : per_metric) {
+      for (const WindowAccumulator& acc : per_interval) {
+        if (!acc.complete()) return false;
+      }
+    }
+  }
+  return !accumulators_.empty();
+}
+
+int OnlineRecognizer::seconds_until_ready(int current_t) const noexcept {
+  int latest_end = 0;
+  for (const telemetry::Interval& interval : dictionary_->config().intervals) {
+    latest_end = std::max(latest_end, interval.end_seconds);
+  }
+  return std::max(0, latest_end - current_t);
+}
+
+std::optional<RecognitionResult> OnlineRecognizer::result() const {
+  if (!ready()) return std::nullopt;
+  if (cached_) return cached_;
+
+  const FingerprintConfig& config = dictionary_->config();
+  std::vector<FingerprintKey> keys;
+  for (std::uint32_t node = 0; node < node_count_; ++node) {
+    for (std::size_t i = 0; i < config.intervals.size(); ++i) {
+      if (config.combine_metrics) {
+        FingerprintKey key;
+        key.metric = config.metrics.empty() ? "" : config.metrics.front();
+        // Combined keys join all metric names, matching build_fingerprints.
+        std::string joined;
+        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+          if (m != 0) joined += "+";
+          joined += config.metrics[m];
+        }
+        key.metric = joined;
+        key.node_id = node;
+        key.interval = config.intervals[i];
+        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+          key.rounded_means.push_back(round_to_depth(
+              accumulators_[node][m][i].mean(), config.rounding_depth));
+        }
+        keys.push_back(std::move(key));
+      } else {
+        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+          FingerprintKey key;
+          key.metric = config.metrics[m];
+          key.node_id = node;
+          key.interval = config.intervals[i];
+          key.rounded_means.push_back(round_to_depth(
+              accumulators_[node][m][i].mean(), config.rounding_depth));
+          keys.push_back(std::move(key));
+        }
+      }
+    }
+  }
+  cached_ = Matcher(*dictionary_).recognize_keys(keys);
+  return cached_;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,72 @@
+#pragma once
+/// \file online_recognizer.hpp
+/// \brief Streaming recognition during execution — the deployment mode the
+/// paper motivates ("recognize known applications *during* execution")
+/// but evaluates offline. Samples arrive one tick at a time from the
+/// monitoring path; the verdict fires as soon as every fingerprint window
+/// has closed (at t = 120 s in the paper's configuration), using bounded
+/// per-stream state.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dictionary.hpp"
+#include "core/matcher.hpp"
+
+namespace efd::core {
+
+/// Incremental interval-mean accumulator for one (node, metric) stream.
+class WindowAccumulator {
+ public:
+  explicit WindowAccumulator(telemetry::Interval interval) : interval_(interval) {}
+
+  /// Feeds the sample at integer second \p t (monotonically increasing).
+  void push(int t, double value) noexcept;
+
+  telemetry::Interval interval() const noexcept { return interval_; }
+  bool complete() const noexcept;
+  std::size_t count() const noexcept { return count_; }
+
+  /// Mean over the samples received inside the window so far.
+  double mean() const noexcept;
+
+ private:
+  telemetry::Interval interval_;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+  int last_t_ = -1;
+};
+
+/// Streaming recognizer over a trained dictionary.
+class OnlineRecognizer {
+ public:
+  /// \param dictionary trained dictionary (borrowed; must outlive).
+  /// \param node_count nodes of the job being watched.
+  OnlineRecognizer(const Dictionary& dictionary, std::uint32_t node_count);
+
+  /// Feeds one sample. Ignores metrics the dictionary does not fingerprint.
+  void push(std::uint32_t node_id, std::string_view metric_name, int t,
+            double value);
+
+  /// True once every (node, metric, interval) window has closed.
+  bool ready() const noexcept;
+
+  /// Verdict; available (non-nullopt) once ready(). Computed lazily and
+  /// cached. Identical to the offline Matcher result for the same data.
+  std::optional<RecognitionResult> result() const;
+
+  /// Seconds still missing until the last window closes (0 when ready).
+  int seconds_until_ready(int current_t) const noexcept;
+
+ private:
+  const Dictionary* dictionary_;
+  std::uint32_t node_count_;
+  /// accumulators_[node][metric index][interval index]
+  std::vector<std::vector<std::vector<WindowAccumulator>>> accumulators_;
+  mutable std::optional<RecognitionResult> cached_;
+};
+
+}  // namespace efd::core

@@ -1,0 +1,37 @@
+#include "core/rounding.hpp"
+
+#include <cmath>
+
+#include "util/string_utils.hpp"
+
+namespace efd::core {
+
+double round_to_depth(double value, int depth) noexcept {
+  if (value == 0.0 || !std::isfinite(value)) return value;
+  if (depth < 1) depth = 1;
+
+  const double magnitude = std::floor(std::log10(std::fabs(value)));
+  // Digit position being rounded to: the depth-th significant digit sits
+  // at 10^(magnitude - depth + 1).
+  const double position = magnitude - static_cast<double>(depth) + 1.0;
+  const double scale = std::pow(10.0, -position);
+
+  // Round half away from zero, like Python's round() for the magnitudes
+  // involved here and like the paper's examples (5.28 -> 5.3 at depth 2).
+  const double scaled = value * scale;
+  const double rounded = std::copysign(std::floor(std::fabs(scaled) + 0.5), scaled);
+  return rounded / scale;
+}
+
+double bucket_width(double value, int depth) noexcept {
+  if (value == 0.0 || !std::isfinite(value)) return 0.0;
+  if (depth < 1) depth = 1;
+  const double magnitude = std::floor(std::log10(std::fabs(value)));
+  return std::pow(10.0, magnitude - static_cast<double>(depth) + 1.0);
+}
+
+std::string format_rounded(double rounded_value) {
+  return util::format_mean(rounded_value);
+}
+
+}  // namespace efd::core

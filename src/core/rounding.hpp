@@ -1,0 +1,48 @@
+#pragma once
+/// \file rounding.hpp
+/// \brief The paper's "pruning" mechanism: significant-digit rounding.
+///
+/// Computing interval means produces precise floating point values that
+/// are unlikely to repeat under system noise. Instead of comparing with a
+/// distance measure, the EFD rounds means so that similar-but-distinct
+/// measurements collapse into the same dictionary key — Shazam-style
+/// exact matching.
+///
+/// *Rounding depth* "defines the position of a non-zero digit, counting
+/// from the left, to which we will round" (paper, Table 1):
+///
+///     value    depth=1   depth=2   depth=3   depth=4
+///     1358.0    1000.0    1400.0    1360.0    1358.0
+///        5.28      5.0       5.3       5.28      -
+///        0.038     0.04      0.038     -         -
+///
+/// Crucially, a measurement's rounding is decided *before* seeing other
+/// measurements (no data-dependent quantile grids), so train-time and
+/// test-time keys agree by construction.
+
+#include <string>
+
+namespace efd::core {
+
+/// Rounds \p value to its \p depth-th significant digit (counted from the
+/// leftmost non-zero digit). depth < 1 is clamped to 1. Zero, infinities
+/// and NaN are returned unchanged. Negative values round by magnitude.
+double round_to_depth(double value, int depth) noexcept;
+
+/// Width of the rounding bucket \p value falls into at \p depth — i.e.
+/// one unit in the digit position being rounded to (1000 for 1358.0 at
+/// depth 1, 0.01 for 5.28 at depth 3). Returns 0 for zero/non-finite input.
+double bucket_width(double value, int depth) noexcept;
+
+/// Number of significant digits needed to represent the value exactly at
+/// the given depth — used when printing fingerprints the way the paper
+/// does ("6000.0", "5.3", "0.04").
+std::string format_rounded(double rounded_value);
+
+/// Inclusive range of depths the dictionary tuner searches. The dataset's
+/// metrics carry at most ~7 meaningful digits, so deeper settings only
+/// reproduce the raw mean.
+inline constexpr int kMinRoundingDepth = 1;
+inline constexpr int kMaxRoundingDepth = 6;
+
+}  // namespace efd::core

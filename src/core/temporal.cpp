@@ -1,0 +1,98 @@
+#include "core/temporal.hpp"
+
+#include <stdexcept>
+
+#include "core/rounding.hpp"
+
+namespace efd::core {
+
+namespace {
+
+std::string temporal_tag(const TemporalConfig& config) {
+  std::string tag = config.metric + "@T" +
+                    std::to_string(config.window_length) + "x" +
+                    std::to_string(config.window_count);
+  if (config.relative) tag += "r";
+  return tag;
+}
+
+}  // namespace
+
+std::vector<FingerprintKey> build_temporal_fingerprints(
+    const telemetry::ExecutionRecord& record, const TemporalConfig& config,
+    std::size_t metric_slot) {
+  if (config.window_length <= 0 || config.window_count <= 0) {
+    throw std::invalid_argument("temporal windows must be positive");
+  }
+  const telemetry::Interval envelope = config.envelope();
+
+  std::vector<FingerprintKey> keys;
+  for (std::size_t node = 0; node < record.node_count(); ++node) {
+    const telemetry::TimeSeries& series = record.series(node, metric_slot);
+    if (!series.covers(envelope)) continue;
+
+    FingerprintKey key;
+    key.metric = temporal_tag(config);
+    key.node_id = record.node(node).node_id;
+    key.interval = envelope;
+    key.rounded_means.reserve(static_cast<std::size_t>(config.window_count));
+
+    double anchor = 0.0;
+    for (int w = 0; w < config.window_count; ++w) {
+      const telemetry::Interval window{
+          config.window_begin + w * config.window_length,
+          config.window_begin + (w + 1) * config.window_length};
+      const double mean = series.mean_over(window);
+      if (w == 0) {
+        anchor = mean;
+        key.rounded_means.push_back(
+            round_to_depth(mean, config.rounding_depth));
+      } else if (config.relative) {
+        // Shape component: ratio to the anchor, rounded coarsely. A zero
+        // anchor (idle metric) degrades to the absolute value.
+        const double ratio = anchor != 0.0 ? mean / anchor : mean;
+        key.rounded_means.push_back(round_to_depth(ratio, config.ratio_depth));
+      } else {
+        key.rounded_means.push_back(
+            round_to_depth(mean, config.rounding_depth));
+      }
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::vector<FingerprintKey> build_temporal_fingerprints(
+    const telemetry::ExecutionRecord& record, const TemporalConfig& config,
+    const telemetry::Dataset& dataset) {
+  return build_temporal_fingerprints(record, config,
+                                     dataset.metric_slot(config.metric));
+}
+
+Dictionary train_temporal_dictionary(const telemetry::Dataset& dataset,
+                                     const TemporalConfig& config,
+                                     const std::vector<std::size_t>& indices) {
+  FingerprintConfig stored;
+  stored.metrics = {temporal_tag(config)};
+  stored.intervals = {config.envelope()};
+  stored.rounding_depth = config.rounding_depth;
+  Dictionary dictionary(stored);
+
+  const std::size_t slot = dataset.metric_slot(config.metric);
+  auto learn_one = [&](const telemetry::ExecutionRecord& record) {
+    const std::string label = record.label().full();
+    for (const FingerprintKey& key :
+         build_temporal_fingerprints(record, config, slot)) {
+      dictionary.insert(key, label);
+    }
+  };
+
+  if (indices.empty()) {
+    for (const auto& record : dataset.records()) learn_one(record);
+  } else {
+    for (std::size_t index : indices) learn_one(dataset.record(index));
+  }
+  return dictionary;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file temporal.hpp
+/// \brief Temporally aligned fingerprints — the paper's Section 6
+/// direction ("more exclusive, temporally aligned, and combinatorial
+/// fingerprints, which would bring the EFD closer to the mechanism used
+/// by Shazam").
+///
+/// Shazam gains exclusiveness by hashing *pairs of peaks with their time
+/// offset*, not individual peaks. The analogue here: instead of one mean
+/// over [60, 120), a temporal fingerprint carries the means of several
+/// consecutive sub-windows in order, so two applications must agree on the
+/// whole temporal profile — level *and* shape — to collide.
+///
+/// Two encodings are provided:
+///  * absolute: the rounded mean of each sub-window
+///    ([60:80) -> 7540, [80:100) -> 7540, [100:120) -> 7550);
+///  * relative ("delta"): the first sub-window's rounded mean anchors the
+///    key and subsequent windows contribute the rounded *ratio* to that
+///    anchor — making the shape component invariant to small level shifts,
+///    like Shazam's relative peak structure.
+
+#include <vector>
+
+#include "core/dictionary.hpp"
+#include "core/fingerprint.hpp"
+#include "telemetry/dataset.hpp"
+
+namespace efd::core {
+
+struct TemporalConfig {
+  std::string metric = "nr_mapped_vmstat";
+  /// First sub-window starts here (after the init phase, as in the paper).
+  int window_begin = 60;
+  /// Length of each sub-window in seconds.
+  int window_length = 20;
+  /// Number of consecutive sub-windows; 3 covers the paper's [60, 120).
+  int window_count = 3;
+  /// Rounding depth applied to the anchor mean (and to absolute windows).
+  int rounding_depth = 3;
+  /// Rounding depth applied to the ratios in relative mode (coarser than
+  /// the anchor: shapes are noisier than levels).
+  int ratio_depth = 3;
+  /// Relative (delta) encoding instead of absolute sub-window means.
+  bool relative = false;
+
+  /// Envelope interval covered by the whole sequence.
+  telemetry::Interval envelope() const noexcept {
+    return {window_begin, window_begin + window_length * window_count};
+  }
+};
+
+/// Builds one temporal key per node of the execution. Nodes whose series
+/// do not cover the full envelope are skipped. The key's metric field is
+/// tagged ("metric@T20x3" / "metric@T20x3r") so temporal keys never
+/// alias plain keys in a shared dictionary.
+std::vector<FingerprintKey> build_temporal_fingerprints(
+    const telemetry::ExecutionRecord& record, const TemporalConfig& config,
+    std::size_t metric_slot);
+
+/// Convenience: resolves the metric slot from the dataset first.
+std::vector<FingerprintKey> build_temporal_fingerprints(
+    const telemetry::ExecutionRecord& record, const TemporalConfig& config,
+    const telemetry::Dataset& dataset);
+
+/// Trains a dictionary of temporal fingerprints (empty indices = all).
+/// The dictionary's stored FingerprintConfig reflects the envelope and
+/// depth so diagnostics remain meaningful; lookups must go through
+/// build_temporal_fingerprints with the same TemporalConfig.
+Dictionary train_temporal_dictionary(const telemetry::Dataset& dataset,
+                                     const TemporalConfig& config,
+                                     const std::vector<std::size_t>& indices = {});
+
+}  // namespace efd::core

@@ -1,0 +1,70 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::core {
+
+Dictionary train_dictionary(const telemetry::Dataset& dataset,
+                            const FingerprintConfig& config,
+                            const std::vector<std::size_t>& indices) {
+  std::vector<std::size_t> slots;
+  slots.reserve(config.metrics.size());
+  for (const std::string& name : config.metrics) {
+    slots.push_back(dataset.metric_slot(name));
+  }
+
+  Dictionary dictionary(config);
+  auto learn_one = [&](const telemetry::ExecutionRecord& record) {
+    const std::string label = record.label().full();
+    for (const FingerprintKey& key : build_fingerprints(record, config, slots)) {
+      dictionary.insert(key, label);
+    }
+  };
+
+  if (indices.empty()) {
+    for (const auto& record : dataset.records()) learn_one(record);
+  } else {
+    for (std::size_t index : indices) learn_one(dataset.record(index));
+  }
+
+  EFD_LOG(kDebug, "trainer") << "dictionary built: " << dictionary.size()
+                             << " keys at depth " << config.rounding_depth;
+  return dictionary;
+}
+
+Dictionary train_dictionary_parallel(const telemetry::Dataset& dataset,
+                                     const FingerprintConfig& config,
+                                     const std::vector<std::size_t>& indices,
+                                     std::size_t shards) {
+  std::vector<std::size_t> all = indices;
+  if (all.empty()) {
+    all.resize(dataset.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+  }
+  if (shards == 0) shards = util::global_pool().size();
+  shards = std::max<std::size_t>(1, std::min(shards, all.size()));
+
+  // Contiguous shard ranges keep record order inside each shard, making
+  // the merged result deterministic for a given shard count.
+  std::vector<Dictionary> partial(shards, Dictionary(config));
+  util::parallel_for(0, shards, [&](std::size_t s) {
+    const std::size_t begin = s * all.size() / shards;
+    const std::size_t end = (s + 1) * all.size() / shards;
+    partial[s] = train_dictionary(
+        dataset, config,
+        std::vector<std::size_t>(all.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 all.begin() + static_cast<std::ptrdiff_t>(end)));
+  });
+
+  Dictionary merged(config);
+  for (const Dictionary& shard : partial) merged.merge(shard);
+  EFD_LOG(kDebug, "trainer") << "sharded dictionary built: " << merged.size()
+                             << " keys from " << shards << " shards";
+  return merged;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,33 @@
+#pragma once
+/// \file trainer.hpp
+/// \brief The learning phase: builds a Dictionary from labeled executions.
+
+#include "core/dictionary.hpp"
+#include "telemetry/dataset.hpp"
+
+namespace efd::core {
+
+/// Builds a dictionary from the given executions of \p dataset.
+///
+/// For every training execution, fingerprints are constructed under
+/// \p config and inserted with the execution's full label ("ft_X") as the
+/// value — the paper's Figure 1 step (1).
+///
+/// \param indices records to learn from; empty means all records.
+Dictionary train_dictionary(const telemetry::Dataset& dataset,
+                            const FingerprintConfig& config,
+                            const std::vector<std::size_t>& indices = {});
+
+/// Sharded learning: partitions the training records across the global
+/// thread pool, builds one dictionary per shard, and merges them — the
+/// ingest layout of a production deployment where every ingest daemon
+/// learns its own shard of job history. The result is identical to the
+/// sequential trainer up to per-entry label first-seen order within a
+/// key (vote semantics are unaffected; tie order follows shard merge
+/// order, which is deterministic).
+Dictionary train_dictionary_parallel(const telemetry::Dataset& dataset,
+                                     const FingerprintConfig& config,
+                                     const std::vector<std::size_t>& indices = {},
+                                     std::size_t shards = 0);
+
+}  // namespace efd::core

@@ -1,0 +1,93 @@
+#include "eval/efd_experiment.hpp"
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "ml/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::eval {
+
+namespace {
+
+core::FingerprintConfig base_fingerprint_config(const EfdExperimentConfig& config) {
+  core::FingerprintConfig fp;
+  fp.metrics = config.metrics;
+  fp.intervals = config.intervals;
+  fp.rounding_depth = config.fixed_depth;
+  fp.combine_metrics = config.combine_metrics;
+  return fp;
+}
+
+}  // namespace
+
+ExperimentScore run_efd_experiment(const telemetry::Dataset& dataset,
+                                   ExperimentKind kind,
+                                   const EfdExperimentConfig& config) {
+  const std::vector<EvaluationRound> rounds =
+      make_rounds(dataset, kind, config.split);
+
+  std::vector<std::size_t> metric_slots;
+  metric_slots.reserve(config.metrics.size());
+  for (const std::string& name : config.metrics) {
+    metric_slots.push_back(dataset.metric_slot(name));
+  }
+
+  ExperimentScore score;
+  score.per_round_f1.resize(rounds.size(), 0.0);
+  score.round_descriptions.reserve(rounds.size());
+  for (const EvaluationRound& round : rounds) {
+    score.round_descriptions.push_back(round.description);
+  }
+
+  auto run_round = [&](std::size_t r) {
+    const EvaluationRound& round = rounds[r];
+
+    core::FingerprintConfig fp = base_fingerprint_config(config);
+    if (config.auto_depth &&
+        round.train.size() >= config.depth_selection.folds * 2) {
+      // The paper selects the depth by CV inside the training set; the
+      // inner selection must not look at this round's test executions.
+      core::DepthSelectionConfig inner = config.depth_selection;
+      inner.parallel = false;  // round-level parallelism is enough
+      fp.rounding_depth =
+          core::select_rounding_depth(dataset, fp, round.train, inner).best_depth;
+    }
+
+    const core::Dictionary dictionary =
+        core::train_dictionary(dataset, fp, round.train);
+    const core::Matcher matcher(dictionary);
+
+    std::vector<std::string> predicted;
+    predicted.reserve(round.test.size());
+    for (std::size_t index : round.test) {
+      predicted.push_back(
+          matcher.recognize(dataset.record(index), metric_slots).prediction());
+    }
+    score.per_round_f1[r] = ml::macro_f1(round.truth, predicted);
+  };
+
+  if (config.parallel) {
+    util::parallel_for(0, rounds.size(), run_round);
+  } else {
+    for (std::size_t r = 0; r < rounds.size(); ++r) run_round(r);
+  }
+
+  score.mean_f1 = util::mean(score.per_round_f1);
+  EFD_LOG(kInfo, "efd-experiment")
+      << experiment_name(kind) << ": mean F=" << score.mean_f1 << " over "
+      << rounds.size() << " rounds";
+  return score;
+}
+
+std::vector<std::pair<ExperimentKind, ExperimentScore>> run_all_efd_experiments(
+    const telemetry::Dataset& dataset, const EfdExperimentConfig& config) {
+  std::vector<std::pair<ExperimentKind, ExperimentScore>> results;
+  for (ExperimentKind kind : all_experiments()) {
+    results.emplace_back(kind, run_efd_experiment(dataset, kind, config));
+  }
+  return results;
+}
+
+}  // namespace efd::eval

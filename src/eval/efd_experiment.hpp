@@ -1,0 +1,36 @@
+#pragma once
+/// \file efd_experiment.hpp
+/// \brief Runs the paper's experiments with the EFD method.
+
+#include "core/depth_selector.hpp"
+#include "core/fingerprint.hpp"
+#include "eval/splits.hpp"
+
+namespace efd::eval {
+
+struct EfdExperimentConfig {
+  /// Metrics to fingerprint (paper headline: just nr_mapped_vmstat).
+  std::vector<std::string> metrics{"nr_mapped_vmstat"};
+  std::vector<telemetry::Interval> intervals{telemetry::kPaperInterval};
+  bool combine_metrics = false;
+
+  /// Depth policy: auto (inner CV on each round's training set — the
+  /// paper's procedure) or fixed.
+  bool auto_depth = true;
+  int fixed_depth = 3;
+  core::DepthSelectionConfig depth_selection{};
+
+  SplitConfig split{};
+  bool parallel = true;  ///< run rounds across the thread pool
+};
+
+/// Scores one experiment kind; returns macro F-score per round plus mean.
+ExperimentScore run_efd_experiment(const telemetry::Dataset& dataset,
+                                   ExperimentKind kind,
+                                   const EfdExperimentConfig& config = {});
+
+/// Runs all five experiments (Figure 2's EFD series).
+std::vector<std::pair<ExperimentKind, ExperimentScore>> run_all_efd_experiments(
+    const telemetry::Dataset& dataset, const EfdExperimentConfig& config = {});
+
+}  // namespace efd::eval

@@ -1,0 +1,58 @@
+#include "eval/metric_sweep.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/depth_selector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::eval {
+
+std::vector<MetricSweepEntry> run_metric_sweep(const telemetry::Dataset& dataset,
+                                               const MetricSweepConfig& config) {
+  const std::vector<std::string> metrics =
+      config.metrics.empty() ? dataset.metric_names() : config.metrics;
+
+  std::vector<MetricSweepEntry> entries(metrics.size());
+
+  auto sweep_one = [&](std::size_t m) {
+    EfdExperimentConfig experiment = config.experiment;
+    experiment.metrics = {metrics[m]};
+    experiment.parallel = false;  // the sweep itself is the parallel axis
+
+    MetricSweepEntry entry;
+    entry.metric = metrics[m];
+    entry.f_score =
+        run_efd_experiment(dataset, ExperimentKind::kNormalFold, experiment)
+            .mean_f1;
+
+    // Report the depth the inner selection favours on the full dataset
+    // (diagnostic column; the per-round depths are chosen per fold).
+    if (experiment.auto_depth) {
+      core::FingerprintConfig fp;
+      fp.metrics = {metrics[m]};
+      fp.intervals = experiment.intervals;
+      core::DepthSelectionConfig inner = experiment.depth_selection;
+      inner.parallel = false;
+      entry.selected_depth =
+          core::select_rounding_depth(dataset, fp, {}, inner).best_depth;
+    } else {
+      entry.selected_depth = experiment.fixed_depth;
+    }
+    entries[m] = std::move(entry);
+  };
+
+  if (config.parallel) {
+    util::parallel_for(0, metrics.size(), sweep_one);
+  } else {
+    for (std::size_t m = 0; m < metrics.size(); ++m) sweep_one(m);
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MetricSweepEntry& a, const MetricSweepEntry& b) {
+                     return a.f_score > b.f_score;
+                   });
+  return entries;
+}
+
+}  // namespace efd::eval

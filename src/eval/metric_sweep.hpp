@@ -1,0 +1,33 @@
+#pragma once
+/// \file metric_sweep.hpp
+/// \brief Per-metric recognition quality — regenerates Table 3
+/// ("Excerpt of Individual System Metric Results"): the normal-fold
+/// F-score of an EFD built on each individual system metric.
+
+#include <string>
+#include <vector>
+
+#include "eval/efd_experiment.hpp"
+#include "eval/splits.hpp"
+
+namespace efd::eval {
+
+struct MetricSweepEntry {
+  std::string metric;
+  double f_score = 0.0;
+  int selected_depth = 0;  ///< depth chosen most often across rounds
+};
+
+struct MetricSweepConfig {
+  /// Metrics to sweep; empty = every metric in the dataset.
+  std::vector<std::string> metrics;
+  EfdExperimentConfig experiment{};
+  bool parallel = true;
+};
+
+/// Runs the normal-fold experiment once per metric and returns entries
+/// sorted by F-score descending (Table 3's ordering).
+std::vector<MetricSweepEntry> run_metric_sweep(const telemetry::Dataset& dataset,
+                                               const MetricSweepConfig& config = {});
+
+}  // namespace efd::eval

@@ -1,0 +1,93 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace efd::eval {
+
+void write_results_csv(const std::vector<ResultSeries>& series,
+                       std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row({"series", "experiment", "round", "description", "f1"});
+  for (const ResultSeries& s : series) {
+    for (const auto& [kind, score] : s.results) {
+      const std::string experiment(experiment_name(kind));
+      for (std::size_t r = 0; r < score.per_round_f1.size(); ++r) {
+        writer.write_row({s.name, experiment, std::to_string(r + 1),
+                          r < score.round_descriptions.size()
+                              ? score.round_descriptions[r]
+                              : "",
+                          util::format_fixed(score.per_round_f1[r], 6)});
+      }
+      writer.write_row(
+          {s.name, experiment, "mean", "", util::format_fixed(score.mean_f1, 6)});
+    }
+  }
+}
+
+void write_results_csv_file(const std::vector<ResultSeries>& series,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_results_csv(series, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_results_markdown(const std::vector<ResultSeries>& series,
+                            std::ostream& out) {
+  // Experiments in canonical order, restricted to those present anywhere.
+  std::set<ExperimentKind> present;
+  for (const ResultSeries& s : series) {
+    for (const auto& [kind, score] : s.results) present.insert(kind);
+  }
+
+  out << "| experiment |";
+  for (const ResultSeries& s : series) out << ' ' << s.name << " |";
+  out << "\n|---|";
+  for (std::size_t i = 0; i < series.size(); ++i) out << "---|";
+  out << '\n';
+
+  for (ExperimentKind kind : all_experiments()) {
+    if (!present.count(kind)) continue;
+    out << "| " << experiment_name(kind) << " |";
+    for (const ResultSeries& s : series) {
+      const auto it = std::find_if(
+          s.results.begin(), s.results.end(),
+          [kind](const auto& entry) { return entry.first == kind; });
+      if (it == s.results.end()) {
+        out << " – |";
+        continue;
+      }
+      const ExperimentScore& score = it->second;
+      double lo = 1.0, hi = 0.0;
+      for (double f : score.per_round_f1) {
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+      }
+      out << ' ' << util::format_fixed(score.mean_f1, 3);
+      if (score.per_round_f1.size() > 1) {
+        out << " (" << util::format_fixed(lo, 3) << "–"
+            << util::format_fixed(hi, 3) << ")";
+      }
+      out << " |";
+    }
+    out << '\n';
+  }
+}
+
+void write_results_markdown_file(const std::vector<ResultSeries>& series,
+                                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_results_markdown(series, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace efd::eval

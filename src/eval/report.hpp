@@ -1,0 +1,36 @@
+#pragma once
+/// \file report.hpp
+/// \brief Experiment result export: machine-readable CSV and
+/// human-readable markdown, so bench output can feed plotting scripts and
+/// CI regression checks without scraping ASCII tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/splits.hpp"
+
+namespace efd::eval {
+
+/// One named result series (e.g. "EFD" or "Taxonomist" in Figure 2).
+struct ResultSeries {
+  std::string name;
+  /// (experiment, score) pairs, in presentation order.
+  std::vector<std::pair<ExperimentKind, ExperimentScore>> results;
+};
+
+/// Writes a long-format CSV: series,experiment,round,description,f1 —
+/// one row per round plus a summary row (round = "mean") per experiment.
+void write_results_csv(const std::vector<ResultSeries>& series,
+                       std::ostream& out);
+void write_results_csv_file(const std::vector<ResultSeries>& series,
+                            const std::string& path);
+
+/// Writes a markdown comparison table: one row per experiment, one column
+/// per series (mean F with per-round min/max in parentheses).
+void write_results_markdown(const std::vector<ResultSeries>& series,
+                            std::ostream& out);
+void write_results_markdown_file(const std::vector<ResultSeries>& series,
+                                 const std::string& path);
+
+}  // namespace efd::eval

@@ -1,0 +1,172 @@
+#include "eval/splits.hpp"
+
+#include <stdexcept>
+
+#include "core/matcher.hpp"  // kUnknownApplication
+#include "ml/kfold.hpp"
+
+namespace efd::eval {
+
+std::string_view experiment_name(ExperimentKind kind) noexcept {
+  switch (kind) {
+    case ExperimentKind::kNormalFold: return "normal fold";
+    case ExperimentKind::kSoftInput: return "soft input";
+    case ExperimentKind::kSoftUnknown: return "soft unknown";
+    case ExperimentKind::kHardInput: return "hard input";
+    case ExperimentKind::kHardUnknown: return "hard unknown";
+  }
+  return "unknown experiment";
+}
+
+const std::vector<ExperimentKind>& all_experiments() {
+  static const std::vector<ExperimentKind> kinds = {
+      ExperimentKind::kNormalFold, ExperimentKind::kSoftInput,
+      ExperimentKind::kSoftUnknown, ExperimentKind::kHardInput,
+      ExperimentKind::kHardUnknown,
+  };
+  return kinds;
+}
+
+namespace {
+
+/// Ground truth for a test record given the applications removed from
+/// learning: the application name, or "unknown" when it was removed.
+std::string truth_label(const telemetry::ExecutionRecord& record,
+                        const std::vector<std::string>& removed_applications) {
+  for (const std::string& removed : removed_applications) {
+    if (record.label().application == removed) {
+      return core::kUnknownApplication;
+    }
+  }
+  return record.label().application;
+}
+
+std::vector<ml::FoldSplit> outer_folds(const telemetry::Dataset& dataset,
+                                       const SplitConfig& config) {
+  std::vector<std::string> strata;
+  strata.reserve(dataset.size());
+  for (const auto& record : dataset.records()) {
+    strata.push_back(record.label().full());
+  }
+  return ml::stratified_kfold(strata, config.folds, config.seed);
+}
+
+}  // namespace
+
+std::vector<EvaluationRound> make_rounds(const telemetry::Dataset& dataset,
+                                         ExperimentKind kind,
+                                         const SplitConfig& config) {
+  if (dataset.empty()) throw std::invalid_argument("empty dataset");
+  std::vector<EvaluationRound> rounds;
+
+  const std::vector<std::string> applications = dataset.applications();
+  const std::vector<std::string> inputs = dataset.input_sizes();
+
+  switch (kind) {
+    case ExperimentKind::kNormalFold: {
+      for (const ml::FoldSplit& fold : outer_folds(dataset, config)) {
+        EvaluationRound round;
+        round.train = fold.train;
+        round.test = fold.test;
+        for (std::size_t index : round.test) {
+          round.truth.push_back(dataset.record(index).label().application);
+        }
+        round.description = "fold " + std::to_string(rounds.size() + 1);
+        rounds.push_back(std::move(round));
+      }
+      break;
+    }
+
+    case ExperimentKind::kSoftInput: {
+      // Extends normal fold: each input size removed from learning once;
+      // testing sets stay the same.
+      const auto folds = outer_folds(dataset, config);
+      for (const std::string& removed : inputs) {
+        std::size_t fold_number = 0;
+        for (const ml::FoldSplit& fold : folds) {
+          ++fold_number;
+          EvaluationRound round;
+          for (std::size_t index : fold.train) {
+            if (dataset.record(index).label().input_size != removed) {
+              round.train.push_back(index);
+            }
+          }
+          round.test = fold.test;
+          for (std::size_t index : round.test) {
+            round.truth.push_back(dataset.record(index).label().application);
+          }
+          round.description = "fold " + std::to_string(fold_number) +
+                              ", removed input " + removed;
+          rounds.push_back(std::move(round));
+        }
+      }
+      break;
+    }
+
+    case ExperimentKind::kSoftUnknown: {
+      // Each application removed from learning once; an execution of the
+      // removed application is correctly predicted as "unknown".
+      const auto folds = outer_folds(dataset, config);
+      for (const std::string& removed : applications) {
+        std::size_t fold_number = 0;
+        for (const ml::FoldSplit& fold : folds) {
+          ++fold_number;
+          EvaluationRound round;
+          for (std::size_t index : fold.train) {
+            if (dataset.record(index).label().application != removed) {
+              round.train.push_back(index);
+            }
+          }
+          round.test = fold.test;
+          for (std::size_t index : round.test) {
+            round.truth.push_back(truth_label(dataset.record(index), {removed}));
+          }
+          round.description = "fold " + std::to_string(fold_number) +
+                              ", removed app " + removed;
+          rounds.push_back(std::move(round));
+        }
+      }
+      break;
+    }
+
+    case ExperimentKind::kHardInput: {
+      // Learning: 3 of 4 input sizes; testing: exclusively the 4th.
+      for (const std::string& held_out : inputs) {
+        EvaluationRound round;
+        for (std::size_t i = 0; i < dataset.size(); ++i) {
+          if (dataset.record(i).label().input_size == held_out) {
+            round.test.push_back(i);
+            round.truth.push_back(dataset.record(i).label().application);
+          } else {
+            round.train.push_back(i);
+          }
+        }
+        round.description = "held-out input " + held_out;
+        rounds.push_back(std::move(round));
+      }
+      break;
+    }
+
+    case ExperimentKind::kHardUnknown: {
+      // Learning: 10 of 11 applications; testing: exclusively the 11th,
+      // whose only correct prediction is "unknown".
+      for (const std::string& held_out : applications) {
+        EvaluationRound round;
+        for (std::size_t i = 0; i < dataset.size(); ++i) {
+          if (dataset.record(i).label().application == held_out) {
+            round.test.push_back(i);
+            round.truth.push_back(core::kUnknownApplication);
+          } else {
+            round.train.push_back(i);
+          }
+        }
+        round.description = "held-out app " + held_out;
+        rounds.push_back(std::move(round));
+      }
+      break;
+    }
+  }
+  return rounds;
+}
+
+}  // namespace efd::eval

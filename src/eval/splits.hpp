@@ -1,0 +1,74 @@
+#pragma once
+/// \file splits.hpp
+/// \brief The paper's five evaluation protocols (Section 4) as train/test
+/// split generators, shared by the EFD and Taxonomist runners so both
+/// methods are scored on identical rounds.
+///
+/// Executions have two identifying dimensions — application name and
+/// input size — and the experiments differ in how learning and testing
+/// sets are split along them:
+///
+///  1. normal fold   — stratified 5-fold CV on the full dataset.
+///  2. soft input    — normal fold, with one input size removed from
+///                     learning; testing sets stay the same. Averaged
+///                     over the removed input.
+///  3. soft unknown  — normal fold, with one application removed from
+///                     learning; testing sets stay the same. The removed
+///                     application's correct prediction is "unknown".
+///  4. hard input    — learning has 3 of 4 input sizes, testing only the
+///                     4th (exclusively unknown input sizes).
+///  5. hard unknown  — learning has 10 of 11 applications, testing only
+///                     the 11th (exclusively unknown applications).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.hpp"
+
+namespace efd::eval {
+
+enum class ExperimentKind {
+  kNormalFold,
+  kSoftInput,
+  kSoftUnknown,
+  kHardInput,
+  kHardUnknown,
+};
+
+/// Paper-style display name ("normal fold", "soft input", ...).
+std::string_view experiment_name(ExperimentKind kind) noexcept;
+
+/// All five kinds, in Figure 2 order.
+const std::vector<ExperimentKind>& all_experiments();
+
+/// One scoring round: a learning set, a testing set, and the ground-truth
+/// label the evaluation expects per test execution (application name, or
+/// "unknown" for applications removed from learning).
+struct EvaluationRound {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+  std::vector<std::string> truth;  ///< aligned with test
+  std::string description;         ///< e.g. "fold 2, removed input Y"
+};
+
+struct SplitConfig {
+  std::size_t folds = 5;      ///< outer folds for normal/soft experiments
+  std::uint64_t seed = 2021;
+};
+
+/// Builds the rounds of one experiment over a dataset. Soft experiments
+/// yield folds x removed-dimension rounds; hard experiments yield one
+/// round per removed input/application.
+std::vector<EvaluationRound> make_rounds(const telemetry::Dataset& dataset,
+                                         ExperimentKind kind,
+                                         const SplitConfig& config = {});
+
+/// Aggregated score of one experiment.
+struct ExperimentScore {
+  double mean_f1 = 0.0;
+  std::vector<double> per_round_f1;
+  std::vector<std::string> round_descriptions;
+};
+
+}  // namespace efd::eval

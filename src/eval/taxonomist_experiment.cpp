@@ -1,0 +1,134 @@
+#include "eval/taxonomist_experiment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ml/kfold.hpp"
+#include "ml/label_encoder.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::eval {
+
+namespace {
+
+/// Rows of `samples` belonging to the given executions.
+std::vector<std::size_t> rows_for_executions(
+    const ml::NodeSamples& samples, const std::vector<std::size_t>& executions) {
+  std::vector<bool> wanted;
+  for (std::size_t execution : executions) {
+    if (execution >= wanted.size()) wanted.resize(execution + 1, false);
+    wanted[execution] = true;
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t row = 0; row < samples.execution_index.size(); ++row) {
+    const std::size_t execution = samples.execution_index[row];
+    if (execution < wanted.size() && wanted[execution]) rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+ExperimentScore run_taxonomist_experiment(
+    const telemetry::Dataset& dataset, ExperimentKind kind,
+    const TaxonomistExperimentConfig& config) {
+  const std::vector<EvaluationRound> rounds =
+      make_rounds(dataset, kind, config.split);
+
+  // Feature extraction is by far the dominant cost and is identical for
+  // every round (features depend only on (execution, node, window)), so
+  // extract the whole dataset once up front.
+  const std::vector<std::string> metrics = config.pipeline.metrics.empty()
+                                               ? dataset.metric_names()
+                                               : config.pipeline.metrics;
+  const ml::NodeSamples samples =
+      ml::extract_node_samples(dataset, metrics, {}, config.pipeline.window);
+
+  const bool unknown_experiment = kind == ExperimentKind::kSoftUnknown ||
+                                  kind == ExperimentKind::kHardUnknown;
+  const double threshold =
+      unknown_experiment ? config.unknown_threshold
+                         : config.pipeline.unknown_threshold;
+
+  ExperimentScore score;
+  score.per_round_f1.resize(rounds.size(), 0.0);
+  for (const EvaluationRound& round : rounds) {
+    score.round_descriptions.push_back(round.description);
+  }
+
+  auto run_round = [&](std::size_t r) {
+    const EvaluationRound& round = rounds[r];
+    const std::vector<std::size_t> train_rows =
+        rows_for_executions(samples, round.train);
+
+    // Scale and encode on training rows only (no test leakage).
+    ml::StandardScaler scaler;
+    scaler.fit(samples.features.gather_rows(train_rows));
+    const ml::Matrix train_X =
+        scaler.transform(samples.features.gather_rows(train_rows));
+
+    ml::LabelEncoder encoder;
+    std::vector<std::uint32_t> train_y;
+    train_y.reserve(train_rows.size());
+    for (std::size_t row : train_rows) {
+      train_y.push_back(encoder.fit_encode(samples.labels[row]));
+    }
+
+    ml::ForestConfig forest_config = config.pipeline.forest;
+    forest_config.parallel = !config.parallel;  // avoid nested oversubscription
+    ml::RandomForest forest(forest_config);
+    forest.fit(train_X, train_y, encoder.size());
+
+    // Execution-level prediction: per-node labels (confidence-gated when
+    // detecting unknowns) aggregated by majority vote.
+    std::vector<std::string> predicted;
+    predicted.reserve(round.test.size());
+    for (std::size_t execution : round.test) {
+      const std::vector<std::size_t> rows =
+          rows_for_executions(samples, {execution});
+      std::map<std::string, std::size_t> votes;
+      for (std::size_t row : rows) {
+        ml::Matrix one;
+        one.append_row(samples.features.row(row));
+        const ml::Matrix scaled = scaler.transform(one);
+        const std::vector<double> proba = forest.predict_proba(scaled.row(0));
+        const auto best =
+            std::max_element(proba.begin(), proba.end()) - proba.begin();
+        if (threshold > 0.0 && proba[static_cast<std::size_t>(best)] < threshold) {
+          ++votes["unknown"];
+        } else {
+          ++votes[encoder.decode(static_cast<std::uint32_t>(best))];
+        }
+      }
+      std::string winner;
+      std::size_t winner_votes = 0;
+      for (const auto& [label, count] : votes) {
+        if (count > winner_votes) {
+          winner = label;
+          winner_votes = count;
+        }
+      }
+      predicted.push_back(winner);
+    }
+    score.per_round_f1[r] = ml::macro_f1(round.truth, predicted);
+  };
+
+  if (config.parallel) {
+    util::parallel_for(0, rounds.size(), run_round);
+  } else {
+    for (std::size_t r = 0; r < rounds.size(); ++r) run_round(r);
+  }
+
+  score.mean_f1 = util::mean(score.per_round_f1);
+  EFD_LOG(kInfo, "taxonomist-experiment")
+      << experiment_name(kind) << ": mean F=" << score.mean_f1 << " over "
+      << rounds.size() << " rounds";
+  return score;
+}
+
+}  // namespace efd::eval

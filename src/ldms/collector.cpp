@@ -1,0 +1,78 @@
+#include "ldms/collector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace efd::ldms {
+
+NodeCollector::NodeCollector(std::uint32_t node_id,
+                             const std::vector<std::unique_ptr<Sampler>>& samplers)
+    : node_id_(node_id), samplers_(samplers) {
+  for (const auto& sampler : samplers_) {
+    for (const auto& name : sampler->metric_names()) {
+      metric_names_.push_back(name);
+    }
+  }
+  series_.assign(metric_names_.size(), telemetry::TimeSeries(1.0));
+}
+
+void NodeCollector::tick(MetricSource& source, double t) {
+  std::size_t slot = 0;
+  for (const auto& sampler : samplers_) {
+    const std::vector<double> values = sampler->sample(source, t);
+    for (double value : values) {
+      series_.at(slot++).push_back(value);
+    }
+  }
+  ++tick_count_;
+}
+
+std::vector<telemetry::TimeSeries> NodeCollector::take_series() {
+  std::vector<telemetry::TimeSeries> out = std::move(series_);
+  series_.assign(metric_names_.size(), telemetry::TimeSeries(1.0));
+  tick_count_ = 0;
+  return out;
+}
+
+SamplingLoop::SamplingLoop(const std::vector<std::unique_ptr<Sampler>>& samplers)
+    : samplers_(samplers) {}
+
+std::vector<std::string> SamplingLoop::metric_names() const {
+  std::vector<std::string> names;
+  for (const auto& sampler : samplers_) {
+    for (const auto& name : sampler->metric_names()) names.push_back(name);
+  }
+  return names;
+}
+
+telemetry::ExecutionRecord SamplingLoop::run(
+    std::uint64_t execution_id, const telemetry::ExecutionLabel& label,
+    std::vector<std::unique_ptr<MetricSource>>& sources,
+    double duration_seconds) {
+  if (sources.empty()) throw std::invalid_argument("SamplingLoop needs >= 1 node");
+
+  std::vector<NodeCollector> collectors;
+  collectors.reserve(sources.size());
+  for (std::size_t node = 0; node < sources.size(); ++node) {
+    collectors.emplace_back(static_cast<std::uint32_t>(node), samplers_);
+  }
+
+  const auto ticks = static_cast<std::size_t>(std::floor(duration_seconds));
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t node = 0; node < sources.size(); ++node) {
+      collectors[node].tick(*sources[node], static_cast<double>(t));
+    }
+  }
+
+  telemetry::ExecutionRecord record(execution_id, label, sources.size(),
+                                    collectors.front().metric_names().size());
+  for (std::size_t node = 0; node < sources.size(); ++node) {
+    auto series = collectors[node].take_series();
+    for (std::size_t m = 0; m < series.size(); ++m) {
+      record.series(node, m) = std::move(series[m]);
+    }
+  }
+  return record;
+}
+
+}  // namespace efd::ldms

@@ -1,0 +1,75 @@
+#pragma once
+/// \file collector.hpp
+/// \brief Per-node collection of sampler output into time series, and the
+/// job-level sampling loop that drives all nodes of an execution.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldms/sampler.hpp"
+#include "telemetry/execution_record.hpp"
+
+namespace efd::ldms {
+
+/// Aggregates one node's sampler readings into dense 1 Hz series.
+class NodeCollector {
+ public:
+  /// \param node_id this node's rank within the job.
+  /// \param samplers plugins to run each tick (borrowed; must outlive).
+  NodeCollector(std::uint32_t node_id,
+                const std::vector<std::unique_ptr<Sampler>>& samplers);
+
+  std::uint32_t node_id() const noexcept { return node_id_; }
+
+  /// All metric names across all samplers, in collection order.
+  const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+
+  /// Reads every sampler once at time \p t and appends to the series.
+  void tick(MetricSource& source, double t);
+
+  /// Number of completed ticks.
+  std::size_t tick_count() const noexcept { return tick_count_; }
+
+  /// Collected series, aligned with metric_names().
+  const std::vector<telemetry::TimeSeries>& series() const noexcept {
+    return series_;
+  }
+
+  /// Moves the collected series out (collector resets to empty).
+  std::vector<telemetry::TimeSeries> take_series();
+
+ private:
+  std::uint32_t node_id_;
+  const std::vector<std::unique_ptr<Sampler>>& samplers_;
+  std::vector<std::string> metric_names_;
+  std::vector<telemetry::TimeSeries> series_;
+  std::size_t tick_count_ = 0;
+};
+
+/// Drives the collectors of every node of one job for a duration, then
+/// assembles the ExecutionRecord — the monitoring path an operational
+/// deployment would take (vs. the bulk generator used for offline
+/// experiments).
+class SamplingLoop {
+ public:
+  /// \param samplers shared plugin set (borrowed).
+  explicit SamplingLoop(const std::vector<std::unique_ptr<Sampler>>& samplers);
+
+  /// Runs \p duration_seconds of 1 Hz ticks over all nodes. \p sources
+  /// supplies one MetricSource per node.
+  telemetry::ExecutionRecord run(
+      std::uint64_t execution_id, const telemetry::ExecutionLabel& label,
+      std::vector<std::unique_ptr<MetricSource>>& sources,
+      double duration_seconds);
+
+  /// Metric order produced by the plugin set.
+  std::vector<std::string> metric_names() const;
+
+ private:
+  const std::vector<std::unique_ptr<Sampler>>& samplers_;
+};
+
+}  // namespace efd::ldms

@@ -1,0 +1,42 @@
+#include "ldms/metric_store.hpp"
+
+#include "telemetry/dataset_io.hpp"
+
+namespace efd::ldms {
+
+MetricStore::MetricStore(std::vector<std::string> metric_names)
+    : dataset_(std::move(metric_names)) {}
+
+MetricStore::MetricStore(telemetry::Dataset dataset)
+    : dataset_(std::move(dataset)) {}
+
+MetricStore::MetricStore(MetricStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  dataset_ = std::move(other.dataset_);
+}
+
+void MetricStore::commit(telemetry::ExecutionRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dataset_.add(std::move(record));
+}
+
+std::size_t MetricStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dataset_.size();
+}
+
+telemetry::Dataset MetricStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dataset_;
+}
+
+void MetricStore::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  telemetry::write_csv_file(dataset_, path);
+}
+
+MetricStore MetricStore::load(const std::string& path) {
+  return MetricStore(telemetry::read_csv_file(path));
+}
+
+}  // namespace efd::ldms

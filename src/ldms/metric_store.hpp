@@ -1,0 +1,50 @@
+#pragma once
+/// \file metric_store.hpp
+/// \brief Aggregation point for completed executions — the piece of the
+/// monitoring stack that the paper's dictionary learns from. Thread-safe:
+/// collectors on many "nodes" may commit concurrently.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.hpp"
+
+namespace efd::ldms {
+
+/// Accumulates finished ExecutionRecords into a Dataset and persists them.
+class MetricStore {
+ public:
+  /// \param metric_names the store's fixed metric axis.
+  explicit MetricStore(std::vector<std::string> metric_names);
+
+  /// Seeds the store with an existing dataset (used by load()).
+  explicit MetricStore(telemetry::Dataset dataset);
+
+  MetricStore(const MetricStore&) = delete;
+  MetricStore& operator=(const MetricStore&) = delete;
+  MetricStore(MetricStore&& other) noexcept;
+
+  /// Commits one finished execution. Thread-safe. Throws
+  /// std::invalid_argument if the record's metric count mismatches.
+  void commit(telemetry::ExecutionRecord record);
+
+  /// Number of committed executions.
+  std::size_t size() const;
+
+  /// Copy of the accumulated dataset (snapshot isolation).
+  telemetry::Dataset snapshot() const;
+
+  /// Writes the accumulated dataset to CSV.
+  void save(const std::string& path) const;
+
+  /// Loads a store from a CSV previously written by save().
+  static MetricStore load(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  telemetry::Dataset dataset_;
+};
+
+}  // namespace efd::ldms

@@ -1,0 +1,70 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// \brief Fixed-capacity ring buffer for streaming samples.
+///
+/// The online recognizer only ever needs the most recent two minutes of a
+/// stream, so per-stream storage is bounded regardless of job length —
+/// one of the paper's key operational advantages over whole-execution
+/// monitoring approaches.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace efd::ldms {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// \param capacity maximum retained elements; must be > 0.
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == capacity_; }
+
+  /// Total elements ever pushed (indexes the stream's absolute position).
+  std::size_t pushed() const noexcept { return pushed_; }
+
+  /// Appends, evicting the oldest element when full.
+  void push(const T& value) {
+    storage_[head_] = value;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+    ++pushed_;
+  }
+
+  /// Element \p i positions from the oldest retained element (0 = oldest).
+  /// Precondition: i < size().
+  const T& operator[](std::size_t i) const {
+    const std::size_t oldest = (head_ + capacity_ - size_) % capacity_;
+    return storage_[(oldest + i) % capacity_];
+  }
+
+  /// Copies the retained window, oldest first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+    pushed_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t pushed_ = 0;
+};
+
+}  // namespace efd::ldms

@@ -1,0 +1,43 @@
+#include "ldms/sampler.hpp"
+
+namespace efd::ldms {
+
+Sampler::Sampler(std::string set_name, std::vector<std::string> metric_names)
+    : set_name_(std::move(set_name)), metric_names_(std::move(metric_names)) {}
+
+std::vector<double> Sampler::sample(MetricSource& source, double t) const {
+  std::vector<double> values;
+  values.reserve(metric_names_.size());
+  for (const auto& name : metric_names_) {
+    values.push_back(source.read(name, t));
+  }
+  return values;
+}
+
+std::unique_ptr<Sampler> make_group_sampler(
+    const telemetry::MetricRegistry& registry, telemetry::MetricGroup group,
+    bool modeled_only) {
+  std::vector<std::string> names;
+  for (telemetry::MetricId id : registry.metrics_in_group(group)) {
+    if (modeled_only && !registry.info(id).modeled) continue;
+    names.push_back(registry.name(id));
+  }
+  return std::make_unique<Sampler>(std::string(telemetry::group_suffix(group)),
+                                   std::move(names));
+}
+
+std::vector<std::unique_ptr<Sampler>> make_standard_samplers(
+    const telemetry::MetricRegistry& registry, bool modeled_only) {
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  samplers.push_back(
+      make_group_sampler(registry, telemetry::MetricGroup::kVmstat, modeled_only));
+  samplers.push_back(
+      make_group_sampler(registry, telemetry::MetricGroup::kMeminfo, modeled_only));
+  samplers.push_back(
+      make_group_sampler(registry, telemetry::MetricGroup::kNic, modeled_only));
+  samplers.push_back(
+      make_group_sampler(registry, telemetry::MetricGroup::kCpu, modeled_only));
+  return samplers;
+}
+
+}  // namespace efd::ldms

@@ -1,0 +1,65 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief LDMS-style sampler plugins.
+///
+/// The paper's dataset was collected with LDMS (Agelastos et al., SC'14):
+/// on every node, sampler plugins read groups of kernel counters once per
+/// second and publish them as "metric sets". We reproduce that
+/// architecture: a MetricSource abstracts "the node" (here: the workload
+/// simulator; on a real system: /proc and the NIC), and group samplers
+/// (vmstat, meminfo, NIC, procstat) read their metric set from it.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metric_registry.hpp"
+
+namespace efd::ldms {
+
+/// What samplers read from: one node's instantaneous counter values.
+class MetricSource {
+ public:
+  virtual ~MetricSource() = default;
+
+  /// Value of a metric at time \p t (seconds since job start). Samplers
+  /// call this once per metric per tick, in metric order.
+  virtual double read(std::string_view metric_name, double t) = 0;
+};
+
+/// One sampler plugin: reads a fixed metric set each tick.
+class Sampler {
+ public:
+  /// \param set_name LDMS metric-set name ("vmstat", "meminfo", ...).
+  /// \param metric_names the set's metrics, in sampling order.
+  Sampler(std::string set_name, std::vector<std::string> metric_names);
+  virtual ~Sampler() = default;
+
+  const std::string& set_name() const noexcept { return set_name_; }
+  const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+
+  /// Reads the whole metric set at time \p t. Returns one value per
+  /// metric, aligned with metric_names().
+  std::vector<double> sample(MetricSource& source, double t) const;
+
+ private:
+  std::string set_name_;
+  std::vector<std::string> metric_names_;
+};
+
+/// Builds the sampler for one metric group, with the metric set drawn
+/// from the registry (modeled metrics only by default, to match what the
+/// simulator generates).
+std::unique_ptr<Sampler> make_group_sampler(
+    const telemetry::MetricRegistry& registry, telemetry::MetricGroup group,
+    bool modeled_only = true);
+
+/// Builds the standard plugin set (vmstat + meminfo + NIC + procstat),
+/// mirroring the deployment that produced the dataset.
+std::vector<std::unique_ptr<Sampler>> make_standard_samplers(
+    const telemetry::MetricRegistry& registry, bool modeled_only = true);
+
+}  // namespace efd::ldms

@@ -1,0 +1,67 @@
+#include "ldms/sim_adapter.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace efd::ldms {
+
+SimulatedNodeSource::SimulatedNodeSource(const telemetry::MetricRegistry& registry,
+                                         const sim::ExecutionPlan& plan,
+                                         std::uint32_t node_id, std::uint64_t seed)
+    : registry_(registry),
+      app_(plan.app),
+      input_(plan.input_size),
+      node_id_(node_id),
+      node_count_(plan.node_count),
+      execution_id_(plan.execution_id),
+      seed_(seed) {
+  if (app_ == nullptr) throw std::invalid_argument("plan.app is null");
+}
+
+SimulatedNodeSource::Stream& SimulatedNodeSource::stream_for(
+    std::string_view metric_name) {
+  const auto it = streams_.find(std::string(metric_name));
+  if (it != streams_.end()) return it->second;
+
+  const telemetry::MetricId id = registry_.require(metric_name);
+  const telemetry::MetricInfo& info = registry_.info(id);
+  // Seed derivation must match ClusterSimulator's bulk path exactly; see
+  // stream_rng() in cluster_sim.cpp.
+  util::Rng rng(util::mix_seed({seed_, execution_id_,
+                                static_cast<std::uint64_t>(node_id_) + 1,
+                                static_cast<std::uint64_t>(id) + 0x1000}));
+  Stream stream;
+  stream.generator = std::make_unique<sim::SignalGenerator>(
+      app_->signal(info, input_, node_id_, node_count_), rng);
+  return streams_.emplace(std::string(metric_name), std::move(stream))
+      .first->second;
+}
+
+double SimulatedNodeSource::read(std::string_view metric_name, double t) {
+  Stream& stream = stream_for(metric_name);
+  if (t <= stream.last_time) return stream.last_value;  // re-read within a tick
+  // Advance one tick at a time so the stateful noise path matches bulk
+  // generation sample-for-sample.
+  double value = stream.last_value;
+  for (double tick = stream.last_time + 1.0; tick <= t; tick += 1.0) {
+    value = stream.generator->sample(tick);
+  }
+  stream.last_time = t;
+  stream.last_value = value;
+  return value;
+}
+
+std::vector<std::unique_ptr<MetricSource>> make_node_sources(
+    const telemetry::MetricRegistry& registry, const sim::ExecutionPlan& plan,
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<MetricSource>> sources;
+  sources.reserve(plan.node_count);
+  for (std::uint32_t node = 0; node < plan.node_count; ++node) {
+    sources.push_back(
+        std::make_unique<SimulatedNodeSource>(registry, plan, node, seed));
+  }
+  return sources;
+}
+
+}  // namespace efd::ldms

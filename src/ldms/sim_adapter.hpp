@@ -1,0 +1,60 @@
+#pragma once
+/// \file sim_adapter.hpp
+/// \brief Bridges the workload simulator into the LDMS sampling path.
+///
+/// SimulatedNodeSource exposes one simulated node as a MetricSource whose
+/// per-metric streams are seeded exactly like ClusterSimulator::run()'s
+/// bulk path, so collecting an execution through samplers produces
+/// *bit-identical* telemetry to bulk generation — which the integration
+/// tests assert. This guarantees that results measured offline transfer
+/// to the online monitoring path unchanged.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ldms/sampler.hpp"
+#include "sim/app_model.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/signal.hpp"
+#include "telemetry/metric_registry.hpp"
+
+namespace efd::ldms {
+
+/// One simulated node, readable by samplers.
+class SimulatedNodeSource final : public MetricSource {
+ public:
+  /// Stream seeds derive from (seed, plan.execution_id, node_id, metric).
+  SimulatedNodeSource(const telemetry::MetricRegistry& registry,
+                      const sim::ExecutionPlan& plan, std::uint32_t node_id,
+                      std::uint64_t seed);
+
+  /// Reads a metric at time \p t. Ticks must be read in non-decreasing
+  /// time order per metric (the sampler loop guarantees this); each stream
+  /// maintains its own stateful generator.
+  double read(std::string_view metric_name, double t) override;
+
+ private:
+  struct Stream {
+    std::unique_ptr<sim::SignalGenerator> generator;
+    double last_time = -1.0;
+    double last_value = 0.0;
+  };
+  Stream& stream_for(std::string_view metric_name);
+
+  const telemetry::MetricRegistry& registry_;
+  const sim::AppModel* app_;
+  std::string input_;
+  std::uint32_t node_id_;
+  std::uint32_t node_count_;
+  std::uint64_t execution_id_;
+  std::uint64_t seed_;
+  std::unordered_map<std::string, Stream> streams_;
+};
+
+/// Builds one source per node for an execution plan.
+std::vector<std::unique_ptr<MetricSource>> make_node_sources(
+    const telemetry::MetricRegistry& registry, const sim::ExecutionPlan& plan,
+    std::uint64_t seed);
+
+}  // namespace efd::ldms

@@ -1,0 +1,179 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace efd::ml {
+
+namespace {
+
+/// Gini impurity from class counts.
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  const double n = static_cast<double>(total);
+  for (std::size_t count : counts) {
+    const double p = static_cast<double>(count) / n;
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+                       std::size_t n_classes,
+                       const std::vector<std::size_t>& sample_indices) {
+  if (X.rows() != y.size()) throw std::invalid_argument("X/y size mismatch");
+  if (n_classes == 0) throw std::invalid_argument("n_classes must be > 0");
+  nodes_.clear();
+  depth_ = 0;
+  n_classes_ = n_classes;
+
+  std::vector<std::size_t> indices;
+  if (sample_indices.empty()) {
+    indices.resize(X.rows());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  } else {
+    indices = sample_indices;
+  }
+  if (indices.empty()) throw std::invalid_argument("no training samples");
+
+  util::Rng rng(config_.seed);
+  root_ = build(X, y, indices, 0, indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::make_leaf(const std::vector<std::uint32_t>& y,
+                                     const std::vector<std::size_t>& indices,
+                                     std::size_t begin, std::size_t end) {
+  Node leaf;
+  std::vector<std::size_t> counts(n_classes_, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[y[indices[i]]];
+  leaf.class_fraction.resize(n_classes_, 0.0);
+  const double total = static_cast<double>(end - begin);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    leaf.class_fraction[c] = static_cast<double>(counts[c]) / total;
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t DecisionTree::build(const Matrix& X,
+                                 const std::vector<std::uint32_t>& y,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t level, util::Rng& rng) {
+  depth_ = std::max(depth_, level);
+  const std::size_t count = end - begin;
+
+  // Stop: depth, size, or purity.
+  bool pure = true;
+  for (std::size_t i = begin + 1; i < end && pure; ++i) {
+    pure = y[indices[i]] == y[indices[begin]];
+  }
+  if (pure || level >= config_.max_depth || count < config_.min_samples_split) {
+    return make_leaf(y, indices, begin, end);
+  }
+
+  // Candidate features: all, or a random subset (forest mode).
+  std::vector<std::uint32_t> features(X.cols());
+  std::iota(features.begin(), features.end(), 0u);
+  std::size_t feature_count = features.size();
+  if (config_.max_features > 0 && config_.max_features < features.size()) {
+    // Partial Fisher-Yates: first max_features entries become the subset.
+    for (std::size_t i = 0; i < config_.max_features; ++i) {
+      const std::size_t j = i + rng.uniform_index(features.size() - i);
+      std::swap(features[i], features[j]);
+    }
+    feature_count = config_.max_features;
+  }
+
+  // Scan features for the best gini split.
+  double best_score = std::numeric_limits<double>::infinity();
+  std::uint32_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::uint32_t>> column(count);
+  std::vector<std::size_t> left_counts(n_classes_), right_counts(n_classes_);
+
+  for (std::size_t f = 0; f < feature_count; ++f) {
+    const std::uint32_t feature = features[f];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {X(row, feature), y[row]};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::fill(right_counts.begin(), right_counts.end(), 0);
+    for (std::size_t i = 0; i < count; ++i) ++right_counts[column[i].second];
+
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      ++left_counts[column[i].second];
+      --right_counts[column[i].second];
+      if (column[i].first == column[i + 1].first) continue;  // no boundary
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(left_n) * gini(left_counts, left_n) +
+           static_cast<double>(right_n) * gini(right_counts, right_n)) /
+          static_cast<double>(count);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = feature;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (!std::isfinite(best_score)) {
+    return make_leaf(y, indices, begin, end);  // no usable split
+  }
+
+  // Partition indices in place around the threshold.
+  const auto middle = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return X(row, best_feature) <= best_threshold; });
+  const auto split =
+      static_cast<std::size_t>(middle - indices.begin());
+  if (split == begin || split == end) {
+    return make_leaf(y, indices, begin, end);  // degenerate partition
+  }
+
+  const std::int32_t left = build(X, y, indices, begin, split, level + 1, rng);
+  const std::int32_t right = build(X, y, indices, split, end, level + 1, rng);
+
+  Node node;
+  node.left = left;
+  node.right = right;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(std::move(node));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::vector<double> DecisionTree::predict_proba(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("DecisionTree not fitted");
+  std::int32_t index = root_;
+  while (!nodes_[static_cast<std::size_t>(index)].is_leaf()) {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    index = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(index)].class_fraction;
+}
+
+std::uint32_t DecisionTree::predict(std::span<const double> x) const {
+  const std::vector<double> proba = predict_proba(x);
+  return static_cast<std::uint32_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,73 @@
+#pragma once
+/// \file decision_tree.hpp
+/// \brief CART decision tree (gini impurity, binary splits) — the base
+/// learner of the random-forest baseline.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace efd::ml {
+
+/// Tree growth limits.
+struct TreeConfig {
+  std::size_t max_depth = 64;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split: 0 = all (single tree), otherwise a
+  /// random subset of this size (random-forest mode).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  /// Fits on rows of X (labels y encoded to [0, n_classes)).
+  /// \param sample_indices training rows (with repetition for bagging);
+  /// empty means all rows.
+  void fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+           std::size_t n_classes,
+           const std::vector<std::size_t>& sample_indices = {});
+
+  /// Predicted class id for one sample.
+  std::uint32_t predict(std::span<const double> x) const;
+
+  /// Class distribution at the reached leaf (sums to 1).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t n_classes() const noexcept { return n_classes_; }
+  bool fitted() const noexcept { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold + children. Leaves: class counts.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t feature = 0;
+    double threshold = 0.0;
+    std::vector<double> class_fraction;  ///< leaves only
+    bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(const Matrix& X, const std::vector<std::uint32_t>& y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t level, util::Rng& rng);
+  std::int32_t make_leaf(const std::vector<std::uint32_t>& y,
+                         const std::vector<std::size_t>& indices,
+                         std::size_t begin, std::size_t end);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t n_classes_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace efd::ml

@@ -1,0 +1,86 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace efd::ml {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "min", "max", "mean", "std", "skew", "kurt",
+      "p5",  "p25", "p50",  "p75", "p95",
+  };
+  return names;
+}
+
+std::vector<double> extract_series_features(const telemetry::TimeSeries& series,
+                                            telemetry::Interval window) {
+  std::span<const double> samples =
+      window.valid() ? series.window(window) : series.samples();
+
+  std::vector<double> features(kFeaturesPerMetric, 0.0);
+  if (samples.empty()) return features;
+
+  util::RunningMoments moments;
+  for (double v : samples) moments.add(v);
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  features[0] = sorted.front();
+  features[1] = sorted.back();
+  features[2] = moments.mean();
+  features[3] = moments.stddev();
+  features[4] = moments.skewness();
+  features[5] = moments.kurtosis();
+  features[6] = util::percentile_sorted(sorted, 5.0);
+  features[7] = util::percentile_sorted(sorted, 25.0);
+  features[8] = util::percentile_sorted(sorted, 50.0);
+  features[9] = util::percentile_sorted(sorted, 75.0);
+  features[10] = util::percentile_sorted(sorted, 95.0);
+  return features;
+}
+
+NodeSamples extract_node_samples(const telemetry::Dataset& dataset,
+                                 const std::vector<std::string>& metrics,
+                                 const std::vector<std::size_t>& indices,
+                                 telemetry::Interval window) {
+  std::vector<std::size_t> slots;
+  slots.reserve(metrics.size());
+  for (const auto& name : metrics) slots.push_back(dataset.metric_slot(name));
+
+  NodeSamples samples;
+  samples.feature_labels.reserve(metrics.size() * kFeaturesPerMetric);
+  for (const auto& metric : metrics) {
+    for (const auto& stat : feature_names()) {
+      samples.feature_labels.push_back(metric + ":" + stat);
+    }
+  }
+
+  auto extract_record = [&](std::size_t record_index) {
+    const telemetry::ExecutionRecord& record = dataset.record(record_index);
+    for (std::size_t node = 0; node < record.node_count(); ++node) {
+      std::vector<double> row;
+      row.reserve(slots.size() * kFeaturesPerMetric);
+      for (std::size_t slot : slots) {
+        const auto features =
+            extract_series_features(record.series(node, slot), window);
+        row.insert(row.end(), features.begin(), features.end());
+      }
+      samples.features.append_row(row);
+      samples.labels.push_back(record.label().application);
+      samples.full_labels.push_back(record.label().full());
+      samples.execution_index.push_back(record_index);
+    }
+  };
+
+  if (indices.empty()) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) extract_record(i);
+  } else {
+    for (std::size_t i : indices) extract_record(i);
+  }
+  return samples;
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,51 @@
+#pragma once
+/// \file features.hpp
+/// \brief Statistical feature extraction from telemetry series — the
+/// Taxonomist baseline's front end.
+///
+/// Taxonomist (Ates et al., Euro-Par 2018) summarizes each metric's
+/// per-node time series with order statistics and moments over the whole
+/// execution window, then classifies each node. We reproduce its feature
+/// set: min, max, mean, standard deviation, skewness, kurtosis, and the
+/// 5th/25th/50th/75th/95th percentiles — 11 features per metric.
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "telemetry/dataset.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace efd::ml {
+
+/// Number of features extracted per metric series.
+inline constexpr std::size_t kFeaturesPerMetric = 11;
+
+/// Names of the per-metric features, in extraction order.
+const std::vector<std::string>& feature_names();
+
+/// Extracts the 11 statistical features from one series window.
+/// \param window interval to summarize; an invalid interval ({0,0}) means
+/// the whole series — Taxonomist's whole-execution configuration.
+std::vector<double> extract_series_features(const telemetry::TimeSeries& series,
+                                            telemetry::Interval window = {0, 0});
+
+/// A per-node sample set extracted from a dataset: one row per
+/// (execution, node), features of every chosen metric concatenated.
+/// Taxonomist classifies nodes individually; execution-level predictions
+/// aggregate over nodes (majority vote).
+struct NodeSamples {
+  Matrix features;                       ///< rows: (execution, node)
+  std::vector<std::string> labels;       ///< application name per row
+  std::vector<std::string> full_labels;  ///< "app_input" per row
+  std::vector<std::size_t> execution_index;  ///< dataset record per row
+  std::vector<std::string> feature_labels;   ///< "metric:stat" per column
+};
+
+/// Extracts node samples for the given records (empty indices = all).
+NodeSamples extract_node_samples(const telemetry::Dataset& dataset,
+                                 const std::vector<std::string>& metrics,
+                                 const std::vector<std::size_t>& indices = {},
+                                 telemetry::Interval window = {0, 0});
+
+}  // namespace efd::ml

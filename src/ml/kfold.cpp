@@ -1,0 +1,65 @@
+#include "ml/kfold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace efd::ml {
+
+std::vector<FoldSplit> kfold(std::size_t n, std::size_t k, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("k must be >= 2");
+  if (n < k) throw std::invalid_argument("need at least k samples");
+
+  util::Rng rng(seed);
+  const std::vector<std::size_t> order = rng.permutation(n);
+
+  std::vector<FoldSplit> folds(k);
+  // Block f covers [f*n/k, (f+1)*n/k) of the shuffled order.
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t begin = f * n / k;
+    const std::size_t end = (f + 1) * n / k;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) folds[f].test.push_back(order[i]);
+      else folds[f].train.push_back(order[i]);
+    }
+  }
+  return folds;
+}
+
+std::vector<FoldSplit> stratified_kfold(const std::vector<std::string>& labels,
+                                        std::size_t k, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("k must be >= 2");
+  if (labels.size() < k) throw std::invalid_argument("need at least k samples");
+
+  // Group indices by class, shuffle within class, deal round-robin.
+  std::map<std::string, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  util::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> test_sets(k);
+  std::size_t deal = 0;
+  for (auto& [label, indices] : by_class) {
+    rng.shuffle(indices);
+    for (std::size_t index : indices) {
+      test_sets[deal % k].push_back(index);
+      ++deal;
+    }
+  }
+
+  std::vector<FoldSplit> folds(k);
+  std::vector<std::size_t> fold_of(labels.size());
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t index : test_sets[f]) fold_of[index] = f;
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t f = 0; f < k; ++f) {
+      if (fold_of[i] == f) folds[f].test.push_back(i);
+      else folds[f].train.push_back(i);
+    }
+  }
+  return folds;
+}
+
+}  // namespace efd::ml

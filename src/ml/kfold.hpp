@@ -1,0 +1,30 @@
+#pragma once
+/// \file kfold.hpp
+/// \brief K-fold and stratified k-fold cross-validation splitters
+/// (scikit-learn semantics). The paper's experiments are built on 5-fold
+/// cross-validation over executions, stratified by full label so every
+/// fold sees every (application, input) pair.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efd::ml {
+
+/// One train/test split.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Plain k-fold over n samples: shuffled indices cut into k contiguous
+/// test blocks.
+std::vector<FoldSplit> kfold(std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Stratified k-fold: each class's samples are distributed round-robin
+/// over folds (after a per-class shuffle), keeping class proportions
+/// nearly equal across folds.
+std::vector<FoldSplit> stratified_kfold(const std::vector<std::string>& labels,
+                                        std::size_t k, std::uint64_t seed);
+
+}  // namespace efd::ml

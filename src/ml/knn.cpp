@@ -1,0 +1,65 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace efd::ml {
+
+void KNearestNeighbors::fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+                            std::size_t n_classes) {
+  if (X.rows() != y.size()) throw std::invalid_argument("X/y size mismatch");
+  if (X.rows() == 0) throw std::invalid_argument("empty training set");
+  X_ = X;
+  y_ = y;
+  n_classes_ = n_classes;
+}
+
+namespace {
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+}  // namespace
+
+std::vector<double> KNearestNeighbors::predict_proba(
+    std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("KNN not fitted");
+  const std::size_t k = std::min(k_, X_.rows());
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, std::uint32_t>> distances(X_.rows());
+  for (std::size_t r = 0; r < X_.rows(); ++r) {
+    distances[r] = {squared_distance(x, X_.row(r)), y_[r]};
+  }
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   distances.end());
+
+  std::vector<double> votes(n_classes_, 0.0);
+  for (std::size_t i = 0; i < k; ++i) votes[distances[i].second] += 1.0;
+  for (double& v : votes) v /= static_cast<double>(k);
+  return votes;
+}
+
+std::uint32_t KNearestNeighbors::predict(std::span<const double> x) const {
+  const std::vector<double> votes = predict_proba(x);
+  return static_cast<std::uint32_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double KNearestNeighbors::nearest_distance(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("KNN not fitted");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < X_.rows(); ++r) {
+    best = std::min(best, squared_distance(x, X_.row(r)));
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,45 @@
+#pragma once
+/// \file knn.hpp
+/// \brief Brute-force k-nearest-neighbours classifier. Included both as a
+/// sanity baseline for the ML pipeline and as the natural "distance
+/// measure" alternative the paper's pruning mechanism deliberately avoids
+/// ("computing distance measures for every example introduces unnecessary
+/// computational steps") — the ablation benches quantify that trade.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace efd::ml {
+
+class KNearestNeighbors {
+ public:
+  /// \param k neighbours consulted per query (>= 1).
+  explicit KNearestNeighbors(std::size_t k = 5) : k_(k) {}
+
+  /// Stores the training data (lazy learner).
+  void fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+           std::size_t n_classes);
+
+  /// Majority label among the k nearest (Euclidean); distance-weighted
+  /// tie-break.
+  std::uint32_t predict(std::span<const double> x) const;
+
+  /// Neighbour-vote distribution.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Distance to the single nearest training sample (novelty signal).
+  double nearest_distance(std::span<const double> x) const;
+
+  bool fitted() const noexcept { return X_.rows() > 0; }
+
+ private:
+  std::size_t k_;
+  Matrix X_;
+  std::vector<std::uint32_t> y_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace efd::ml

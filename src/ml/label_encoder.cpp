@@ -1,0 +1,38 @@
+#include "ml/label_encoder.hpp"
+
+#include <stdexcept>
+
+namespace efd::ml {
+
+std::uint32_t LabelEncoder::fit_encode(const std::string& label) {
+  const auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(labels_.size());
+  labels_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+std::uint32_t LabelEncoder::encode(const std::string& label) const {
+  const auto it = ids_.find(label);
+  if (it == ids_.end()) throw std::out_of_range("unknown label: " + label);
+  return it->second;
+}
+
+bool LabelEncoder::contains(const std::string& label) const {
+  return ids_.count(label) > 0;
+}
+
+const std::string& LabelEncoder::decode(std::uint32_t id) const {
+  return labels_.at(id);
+}
+
+std::vector<std::uint32_t> LabelEncoder::fit_encode_all(
+    const std::vector<std::string>& labels) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(labels.size());
+  for (const auto& label : labels) ids.push_back(fit_encode(label));
+  return ids;
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,41 @@
+#pragma once
+/// \file label_encoder.hpp
+/// \brief Maps string class labels to dense integer ids and back
+/// (scikit-learn's LabelEncoder).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace efd::ml {
+
+class LabelEncoder {
+ public:
+  /// Encodes a label, registering it on first sight.
+  std::uint32_t fit_encode(const std::string& label);
+
+  /// Encodes without registering; throws std::out_of_range for unknowns.
+  std::uint32_t encode(const std::string& label) const;
+
+  /// True if the label is registered.
+  bool contains(const std::string& label) const;
+
+  /// Decodes an id; throws std::out_of_range if out of bounds.
+  const std::string& decode(std::uint32_t id) const;
+
+  /// Number of classes.
+  std::size_t size() const noexcept { return labels_.size(); }
+
+  /// All labels, in id order.
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// Encodes a whole vector (registering new labels).
+  std::vector<std::uint32_t> fit_encode_all(const std::vector<std::string>& labels);
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace efd::ml

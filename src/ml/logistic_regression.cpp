@@ -1,0 +1,101 @@
+#include "ml/logistic_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace efd::ml {
+
+namespace {
+void softmax_in_place(std::vector<double>& z) {
+  const double max_z = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - max_z);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+}
+}  // namespace
+
+void LogisticRegression::fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+                             std::size_t n_classes) {
+  if (X.rows() != y.size()) throw std::invalid_argument("X/y size mismatch");
+  if (X.rows() == 0) throw std::invalid_argument("empty training set");
+  n_features_ = X.cols();
+  n_classes_ = n_classes;
+
+  util::Rng rng(config_.seed);
+  weights_.assign(n_classes_ * n_features_, 0.0);
+  for (double& w : weights_) w = rng.normal(0.0, 0.01);
+  biases_.assign(n_classes_, 0.0);
+
+  std::vector<double> weight_velocity(weights_.size(), 0.0);
+  std::vector<double> bias_velocity(biases_.size(), 0.0);
+  std::vector<double> grad_w(weights_.size());
+  std::vector<double> grad_b(biases_.size());
+  std::vector<double> proba(n_classes_);
+
+  const double n = static_cast<double>(X.rows());
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+    double loss = 0.0;
+
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      const auto x = X.row(r);
+      proba = logits(x);
+      softmax_in_place(proba);
+      loss -= std::log(std::max(proba[y[r]], 1e-12));
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        const double error = proba[c] - (c == y[r] ? 1.0 : 0.0);
+        grad_b[c] += error;
+        double* row_grad = grad_w.data() + c * n_features_;
+        for (std::size_t f = 0; f < n_features_; ++f) row_grad[f] += error * x[f];
+      }
+    }
+
+    // L2 + momentum update.
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      const double grad = grad_w[i] / n + config_.l2 * weights_[i];
+      weight_velocity[i] =
+          config_.momentum * weight_velocity[i] - config_.learning_rate * grad;
+      weights_[i] += weight_velocity[i];
+    }
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      bias_velocity[c] = config_.momentum * bias_velocity[c] -
+                         config_.learning_rate * grad_b[c] / n;
+      biases_[c] += bias_velocity[c];
+    }
+    final_loss_ = loss / n;
+  }
+}
+
+std::vector<double> LogisticRegression::logits(std::span<const double> x) const {
+  std::vector<double> z(n_classes_);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    const double* row = weights_.data() + c * n_features_;
+    double sum = biases_[c];
+    for (std::size_t f = 0; f < n_features_; ++f) sum += row[f] * x[f];
+    z[c] = sum;
+  }
+  return z;
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("LogisticRegression not fitted");
+  std::vector<double> z = logits(x);
+  softmax_in_place(z);
+  return z;
+}
+
+std::uint32_t LogisticRegression::predict(std::span<const double> x) const {
+  const std::vector<double> proba = predict_proba(x);
+  return static_cast<std::uint32_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,53 @@
+#pragma once
+/// \file logistic_regression.hpp
+/// \brief Multinomial logistic regression trained with full-batch gradient
+/// descent + momentum and L2 regularization. A linear baseline next to
+/// the forest; its calibrated softmax output makes the unknown-detection
+/// confidence threshold interpretable.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace efd::ml {
+
+struct LogisticConfig {
+  std::size_t epochs = 300;
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  std::uint64_t seed = 3;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+
+  /// Fits weights on standardized features (callers should scale first).
+  void fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+           std::size_t n_classes);
+
+  std::uint32_t predict(std::span<const double> x) const;
+
+  /// Softmax class probabilities.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Final training cross-entropy (diagnostics / convergence tests).
+  double final_loss() const noexcept { return final_loss_; }
+
+  bool fitted() const noexcept { return n_classes_ > 0; }
+
+ private:
+  std::vector<double> logits(std::span<const double> x) const;
+
+  LogisticConfig config_;
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;
+  std::vector<double> weights_;  ///< [class][feature] row-major
+  std::vector<double> biases_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace efd::ml

@@ -1,0 +1,27 @@
+#include "ml/matrix.hpp"
+
+#include <stdexcept>
+
+namespace efd::ml {
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  } else if (values.size() != cols_) {
+    throw std::invalid_argument("append_row width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace efd::ml

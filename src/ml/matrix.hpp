@@ -1,0 +1,51 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Minimal dense row-major matrix for the ML substrate. Rows are
+/// samples, columns are features; contiguous storage keeps tree training
+/// and distance computation cache-friendly.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace efd::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const noexcept {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<double> row(std::size_t r) noexcept {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+
+  /// Appends a row; the first appended row fixes the column count.
+  void append_row(std::span<const double> values);
+
+  /// Rows selected by index (copy).
+  Matrix gather_rows(const std::vector<std::size_t>& indices) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace efd::ml

@@ -1,0 +1,96 @@
+#include "ml/metrics.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/string_utils.hpp"
+
+namespace efd::ml {
+
+ClassificationReport::ClassificationReport(
+    const std::vector<std::string>& truth,
+    const std::vector<std::string>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("truth/predicted size mismatch");
+  }
+  sample_count_ = truth.size();
+
+  std::set<std::string> classes(truth.begin(), truth.end());
+  classes.insert(predicted.begin(), predicted.end());
+
+  std::map<std::string, std::size_t> true_positive, false_positive, false_negative;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++confusion_[truth[i]][predicted[i]];
+    if (truth[i] == predicted[i]) {
+      ++true_positive[truth[i]];
+      ++correct;
+    } else {
+      ++false_positive[predicted[i]];
+      ++false_negative[truth[i]];
+    }
+  }
+  accuracy_ = sample_count_ > 0
+                  ? static_cast<double>(correct) / static_cast<double>(sample_count_)
+                  : 0.0;
+
+  double f1_sum = 0.0, precision_sum = 0.0, recall_sum = 0.0;
+  double weighted_sum = 0.0;
+  std::size_t support_total = 0;
+  for (const std::string& cls : classes) {
+    const double tp = static_cast<double>(true_positive[cls]);
+    const double fp = static_cast<double>(false_positive[cls]);
+    const double fn = static_cast<double>(false_negative[cls]);
+    ClassScores scores;
+    scores.support = true_positive[cls] + false_negative[cls];
+    scores.precision = tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+    scores.recall = tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
+    scores.f1 = util::harmonic_mean(scores.precision, scores.recall);
+    per_class_.emplace(cls, scores);
+
+    f1_sum += scores.f1;
+    precision_sum += scores.precision;
+    recall_sum += scores.recall;
+    weighted_sum += scores.f1 * static_cast<double>(scores.support);
+    support_total += scores.support;
+  }
+  const double class_count = static_cast<double>(classes.size());
+  if (class_count > 0.0) {
+    macro_f1_ = f1_sum / class_count;
+    macro_precision_ = precision_sum / class_count;
+    macro_recall_ = recall_sum / class_count;
+  }
+  weighted_f1_ =
+      support_total > 0 ? weighted_sum / static_cast<double>(support_total) : 0.0;
+}
+
+std::string ClassificationReport::to_string() const {
+  std::ostringstream out;
+  out << "class                         precision  recall  f1      support\n";
+  for (const auto& [cls, scores] : per_class_) {
+    out << cls;
+    for (std::size_t i = cls.size(); i < 30; ++i) out << ' ';
+    out << util::format_fixed(scores.precision, 3) << "      "
+        << util::format_fixed(scores.recall, 3) << "   "
+        << util::format_fixed(scores.f1, 3) << "   " << scores.support << '\n';
+  }
+  out << "macro F1 " << util::format_fixed(macro_f1_, 4) << ", weighted F1 "
+      << util::format_fixed(weighted_f1_, 4) << ", accuracy "
+      << util::format_fixed(accuracy_, 4) << " over " << sample_count_
+      << " samples\n";
+  return out.str();
+}
+
+double macro_f1(const std::vector<std::string>& truth,
+                const std::vector<std::string>& predicted) {
+  return ClassificationReport(truth, predicted).macro_f1();
+}
+
+double accuracy(const std::vector<std::string>& truth,
+                const std::vector<std::string>& predicted) {
+  return ClassificationReport(truth, predicted).accuracy();
+}
+
+}  // namespace efd::ml

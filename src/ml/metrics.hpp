@@ -1,0 +1,77 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Classification metrics: precision, recall, F-score, confusion
+/// matrix — the scoring the paper takes from scikit-learn ("F-score
+/// (harmonic mean of precision and recall)").
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace efd::ml {
+
+/// Per-class precision/recall/F1 plus supports.
+struct ClassScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;  ///< true instances of the class
+};
+
+/// Full evaluation of a prediction vector against ground truth.
+class ClassificationReport {
+ public:
+  /// \param truth ground-truth labels.
+  /// \param predicted predictions, aligned with truth.
+  /// Classes are the union of labels appearing in either vector.
+  ClassificationReport(const std::vector<std::string>& truth,
+                       const std::vector<std::string>& predicted);
+
+  /// Per-class scores (sorted by class name).
+  const std::map<std::string, ClassScores>& per_class() const noexcept {
+    return per_class_;
+  }
+
+  /// Unweighted mean of per-class F1 — scikit-learn's f1_score(average=
+  /// "macro"), the headline number reported throughout the paper.
+  double macro_f1() const noexcept { return macro_f1_; }
+  double macro_precision() const noexcept { return macro_precision_; }
+  double macro_recall() const noexcept { return macro_recall_; }
+
+  /// Support-weighted mean of per-class F1 (average="weighted").
+  double weighted_f1() const noexcept { return weighted_f1_; }
+
+  /// Fraction of exact matches.
+  double accuracy() const noexcept { return accuracy_; }
+
+  std::size_t sample_count() const noexcept { return sample_count_; }
+
+  /// confusion()[t][p] = count of true class t predicted as p.
+  const std::map<std::string, std::map<std::string, std::size_t>>& confusion()
+      const noexcept {
+    return confusion_;
+  }
+
+  /// Multi-line human-readable report (per-class rows + averages).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, ClassScores> per_class_;
+  std::map<std::string, std::map<std::string, std::size_t>> confusion_;
+  double macro_f1_ = 0.0;
+  double macro_precision_ = 0.0;
+  double macro_recall_ = 0.0;
+  double weighted_f1_ = 0.0;
+  double accuracy_ = 0.0;
+  std::size_t sample_count_ = 0;
+};
+
+/// Shorthand: macro F1 of predictions vs truth.
+double macro_f1(const std::vector<std::string>& truth,
+                const std::vector<std::string>& predicted);
+
+/// Shorthand: accuracy.
+double accuracy(const std::vector<std::string>& truth,
+                const std::vector<std::string>& predicted);
+
+}  // namespace efd::ml

@@ -1,0 +1,95 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace efd::ml {
+
+void GaussianNaiveBayes::fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+                             std::size_t n_classes) {
+  if (X.rows() != y.size()) throw std::invalid_argument("X/y size mismatch");
+  if (X.rows() == 0) throw std::invalid_argument("empty training set");
+  if (n_classes == 0) throw std::invalid_argument("n_classes must be > 0");
+  // Validate labels before any state mutation so a failed fit leaves the
+  // model unfitted rather than half-initialized.
+  for (std::uint32_t label : y) {
+    if (label >= n_classes) throw std::invalid_argument("label out of range");
+  }
+
+  n_features_ = X.cols();
+  n_classes_ = n_classes;
+  means_.assign(n_classes_ * n_features_, 0.0);
+  variances_.assign(n_classes_ * n_features_, 0.0);
+  log_prior_.assign(n_classes_, 0.0);
+
+  // Global variance for the smoothing floor.
+  double max_global_variance = 0.0;
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    util::RunningMoments global;
+    for (std::size_t r = 0; r < X.rows(); ++r) global.add(X(r, f));
+    max_global_variance = std::max(max_global_variance, global.variance());
+  }
+  const double floor = std::max(variance_floor_ * max_global_variance, 1e-18);
+
+  std::vector<std::size_t> counts(n_classes_, 0);
+  std::vector<util::RunningMoments> moments(n_classes_ * n_features_);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const std::uint32_t cls = y[r];
+    ++counts[cls];
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      moments[cls * n_features_ + f].add(X(r, f));
+    }
+  }
+
+  for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+    // Laplace-smoothed prior keeps unseen classes finite.
+    log_prior_[cls] = std::log(
+        (static_cast<double>(counts[cls]) + 1.0) /
+        (static_cast<double>(X.rows()) + static_cast<double>(n_classes_)));
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const auto& m = moments[cls * n_features_ + f];
+      means_[cls * n_features_ + f] = m.mean();
+      variances_[cls * n_features_ + f] = std::max(m.variance(), floor);
+    }
+  }
+}
+
+std::vector<double> GaussianNaiveBayes::predict_proba(
+    std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("GaussianNaiveBayes not fitted");
+
+  std::vector<double> log_posterior(n_classes_);
+  for (std::size_t cls = 0; cls < n_classes_; ++cls) {
+    double lp = log_prior_[cls];
+    const double* mean = means_.data() + cls * n_features_;
+    const double* variance = variances_.data() + cls * n_features_;
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const double d = x[f] - mean[f];
+      lp -= 0.5 * (std::log(2.0 * std::numbers::pi * variance[f]) +
+                   d * d / variance[f]);
+    }
+    log_posterior[cls] = lp;
+  }
+
+  const double max_lp =
+      *std::max_element(log_posterior.begin(), log_posterior.end());
+  double sum = 0.0;
+  for (double& lp : log_posterior) {
+    lp = std::exp(lp - max_lp);
+    sum += lp;
+  }
+  for (double& lp : log_posterior) lp /= sum;
+  return log_posterior;
+}
+
+std::uint32_t GaussianNaiveBayes::predict(std::span<const double> x) const {
+  const std::vector<double> proba = predict_proba(x);
+  return static_cast<std::uint32_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace efd::ml

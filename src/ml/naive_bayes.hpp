@@ -1,0 +1,44 @@
+#pragma once
+/// \file naive_bayes.hpp
+/// \brief Gaussian naive Bayes classifier. The Taxonomist paper evaluated
+/// several classifier families over its features; NB is the cheapest of
+/// them and serves here as the lower anchor of the classifier-choice
+/// ablation (bench/ablation_classifiers).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace efd::ml {
+
+/// Per-class independent Gaussians per feature, uniform-prior-smoothed.
+class GaussianNaiveBayes {
+ public:
+  /// \param variance_floor lower bound on per-feature variance, relative
+  /// to the feature's global variance (scikit-learn's var_smoothing).
+  explicit GaussianNaiveBayes(double variance_floor = 1e-9)
+      : variance_floor_(variance_floor) {}
+
+  void fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+           std::size_t n_classes);
+
+  std::uint32_t predict(std::span<const double> x) const;
+
+  /// Posterior class probabilities (normalized in log space).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  bool fitted() const noexcept { return n_classes_ > 0; }
+  std::size_t n_classes() const noexcept { return n_classes_; }
+
+ private:
+  double variance_floor_;
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;
+  std::vector<double> log_prior_;   ///< per class
+  std::vector<double> means_;       ///< [class][feature]
+  std::vector<double> variances_;   ///< [class][feature]
+};
+
+}  // namespace efd::ml

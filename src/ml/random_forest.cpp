@@ -1,0 +1,72 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::ml {
+
+void RandomForest::fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+                       std::size_t n_classes) {
+  if (X.rows() == 0) throw std::invalid_argument("empty training set");
+  n_classes_ = n_classes;
+
+  const std::size_t max_features =
+      config_.max_features > 0
+          ? config_.max_features
+          : static_cast<std::size_t>(
+                std::max(1.0, std::floor(std::sqrt(static_cast<double>(X.cols())))));
+
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    TreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.max_features = max_features;
+    tree_config.seed = util::mix_seed({config_.seed, t, 0xfeedULL});
+    trees_.emplace_back(tree_config);
+  }
+
+  auto fit_tree = [&](std::size_t t) {
+    // Bootstrap sample: n rows drawn with replacement, per-tree RNG.
+    util::Rng rng(util::mix_seed({config_.seed, t, 0xb007ULL}));
+    std::vector<std::size_t> bag(X.rows());
+    for (auto& index : bag) index = rng.uniform_index(X.rows());
+    trees_[t].fit(X, y, n_classes_, bag);
+  };
+
+  if (config_.parallel) {
+    util::parallel_for(0, trees_.size(), fit_tree);
+  } else {
+    for (std::size_t t = 0; t < trees_.size(); ++t) fit_tree(t);
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("RandomForest not fitted");
+  std::vector<double> proba(n_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> leaf = tree.predict_proba(x);
+    for (std::size_t c = 0; c < n_classes_; ++c) proba[c] += leaf[c];
+  }
+  const double scale = 1.0 / static_cast<double>(trees_.size());
+  for (double& p : proba) p *= scale;
+  return proba;
+}
+
+std::uint32_t RandomForest::predict(std::span<const double> x) const {
+  const std::vector<double> proba = predict_proba(x);
+  return static_cast<std::uint32_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+double RandomForest::confidence(std::span<const double> x) const {
+  const std::vector<double> proba = predict_proba(x);
+  return *std::max_element(proba.begin(), proba.end());
+}
+
+}  // namespace efd::ml

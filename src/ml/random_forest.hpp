@@ -1,0 +1,54 @@
+#pragma once
+/// \file random_forest.hpp
+/// \brief Bagged random forest over CART trees, with the prediction-
+/// confidence output Taxonomist uses to flag unknown applications.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/matrix.hpp"
+
+namespace efd::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  std::size_t max_depth = 64;
+  std::size_t min_samples_leaf = 1;
+  /// Features per split; 0 means floor(sqrt(n_features)).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+  /// Train trees across the global thread pool.
+  bool parallel = true;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  /// Fits n_trees bootstrap-bagged trees.
+  void fit(const Matrix& X, const std::vector<std::uint32_t>& y,
+           std::size_t n_classes);
+
+  /// Majority-vote class.
+  std::uint32_t predict(std::span<const double> x) const;
+
+  /// Mean leaf distribution over trees (sums to 1).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Confidence of the winning class = its mean probability; Taxonomist
+  /// labels a sample "unknown" when confidence falls below a threshold.
+  double confidence(std::span<const double> x) const;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  std::size_t n_classes() const noexcept { return n_classes_; }
+  bool fitted() const noexcept { return !trees_.empty(); }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace efd::ml

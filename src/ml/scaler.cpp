@@ -1,0 +1,43 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace efd::ml {
+
+void StandardScaler::fit(const Matrix& data) {
+  means_.assign(data.cols(), 0.0);
+  stddevs_.assign(data.cols(), 1.0);
+  if (data.rows() == 0) return;
+
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    util::RunningMoments moments;
+    for (std::size_t r = 0; r < data.rows(); ++r) moments.add(data(r, c));
+    means_[c] = moments.mean();
+    const double sd = moments.stddev();
+    stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& data) const {
+  if (!fitted()) throw std::logic_error("StandardScaler not fitted");
+  if (data.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler column mismatch");
+  }
+  Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = (data(r, c) - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& data) {
+  fit(data);
+  return transform(data);
+}
+
+}  // namespace efd::ml

@@ -1,0 +1,34 @@
+#pragma once
+/// \file scaler.hpp
+/// \brief Standard (z-score) feature scaling, fitted on training data only
+/// to avoid test leakage.
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace efd::ml {
+
+/// Per-column standardization: (x - mean) / std. Columns with ~zero
+/// variance pass through centered only.
+class StandardScaler {
+ public:
+  /// Learns column means and standard deviations.
+  void fit(const Matrix& data);
+
+  /// Applies the learned transform (copy).
+  Matrix transform(const Matrix& data) const;
+
+  /// fit + transform in one step.
+  Matrix fit_transform(const Matrix& data);
+
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& stddevs() const noexcept { return stddevs_; }
+  bool fitted() const noexcept { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace efd::ml

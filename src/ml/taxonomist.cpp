@@ -1,0 +1,85 @@
+#include "ml/taxonomist.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace efd::ml {
+
+TaxonomistPipeline::TaxonomistPipeline(TaxonomistConfig config)
+    : config_(std::move(config)), forest_(config_.forest) {}
+
+void TaxonomistPipeline::fit(const telemetry::Dataset& dataset,
+                             const std::vector<std::size_t>& train_indices) {
+  metrics_ = config_.metrics.empty() ? dataset.metric_names() : config_.metrics;
+
+  const NodeSamples samples =
+      extract_node_samples(dataset, metrics_, train_indices, config_.window);
+  if (samples.features.rows() == 0) {
+    throw std::invalid_argument("Taxonomist: empty training set");
+  }
+
+  const Matrix scaled = scaler_.fit_transform(samples.features);
+  encoder_ = LabelEncoder();
+  const std::vector<std::uint32_t> y = encoder_.fit_encode_all(samples.labels);
+  forest_ = RandomForest(config_.forest);
+  forest_.fit(scaled, y, encoder_.size());
+}
+
+std::vector<TaxonomistPipeline::NodePrediction> TaxonomistPipeline::predict_nodes(
+    const telemetry::Dataset& dataset,
+    const telemetry::ExecutionRecord& record) const {
+  if (!fitted()) throw std::logic_error("Taxonomist not fitted");
+
+  std::vector<std::size_t> slots;
+  slots.reserve(metrics_.size());
+  for (const auto& name : metrics_) slots.push_back(dataset.metric_slot(name));
+
+  std::vector<NodePrediction> predictions;
+  predictions.reserve(record.node_count());
+  for (std::size_t node = 0; node < record.node_count(); ++node) {
+    Matrix row_matrix;
+    std::vector<double> row;
+    row.reserve(slots.size() * kFeaturesPerMetric);
+    for (std::size_t slot : slots) {
+      const auto features =
+          extract_series_features(record.series(node, slot), config_.window);
+      row.insert(row.end(), features.begin(), features.end());
+    }
+    row_matrix.append_row(row);
+    const Matrix scaled = scaler_.transform(row_matrix);
+
+    NodePrediction prediction;
+    prediction.node_id = record.node(node).node_id;
+    prediction.confidence = forest_.confidence(scaled.row(0));
+    if (config_.unknown_threshold > 0.0 &&
+        prediction.confidence < config_.unknown_threshold) {
+      prediction.label = "unknown";
+    } else {
+      prediction.label = encoder_.decode(forest_.predict(scaled.row(0)));
+    }
+    predictions.push_back(std::move(prediction));
+  }
+  return predictions;
+}
+
+std::string TaxonomistPipeline::predict(
+    const telemetry::Dataset& dataset,
+    const telemetry::ExecutionRecord& record) const {
+  std::map<std::string, std::size_t> votes;
+  for (const NodePrediction& p : predict_nodes(dataset, record)) {
+    ++votes[p.label];
+  }
+  // Majority; deterministic tie-break on label name.
+  std::string best;
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best = label;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace efd::ml

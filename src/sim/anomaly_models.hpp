@@ -1,0 +1,34 @@
+#pragma once
+/// \file anomaly_models.hpp
+/// \brief Application models outside the paper's dataset, used by the
+/// examples that exercise the paper's motivating scenarios: detecting
+/// allocation-purpose deviation (cryptocurrency mining) and detecting
+/// behavioural drift of a known application (errors/failures).
+
+#include "sim/app_model.hpp"
+
+namespace efd::sim {
+
+/// A cryptocurrency miner masquerading as an HPC job (paper motivation
+/// (b)/(c); cf. the 2020 European supercomputer mining incidents). Tiny
+/// mapped footprint, saturated CPU, near-zero NIC traffic — a signature
+/// unlike any of the dataset's applications, so a dictionary of known
+/// workloads returns "unknown", and a dictionary of known-malicious
+/// fingerprints recognizes it positively.
+class CryptoMinerModel final : public AppModel {
+ public:
+  CryptoMinerModel();
+};
+
+/// A degraded variant of a known application: same code, but a failing
+/// node inflates memory use and depresses network traffic. Used by the
+/// anomaly-detection example to show fingerprint deviation from the
+/// dictionary entry of the healthy run.
+class DegradedAppModel final : public AppModel {
+ public:
+  /// Wraps the named healthy application; \p severity in (0, 1] scales
+  /// how far the degraded levels drift from the healthy ones.
+  DegradedAppModel(const AppModel& healthy, double severity);
+};
+
+}  // namespace efd::sim

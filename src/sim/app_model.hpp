@@ -1,0 +1,120 @@
+#pragma once
+/// \file app_model.hpp
+/// \brief Behavioural models of the 11 applications in the paper's dataset.
+///
+/// We do not port the applications' solvers; the paper never executes
+/// application code in its pipeline — only the telemetry the applications
+/// induce matters. Each model therefore describes, for every system metric
+/// in the catalog, the *signal* the application produces on a node:
+/// steady-state level as a function of input size and node role, iteration
+/// periodicity, and noise susceptibility.
+///
+/// The models encode the phenomena the paper reports:
+///  * distinct, repeatable levels per (application, input) on memory
+///    metrics — the basis of recognition (Tables 3-4);
+///  * input-size *invariance* of some application/metric pairs (Section 5,
+///    "execution fingerprints repeat even for different application input
+///    sizes") — but NOT for miniAMR, whose adaptive mesh refinement makes
+///    the footprint strongly input-dependent;
+///  * SP/BT near-collision on nr_mapped_vmstat: their fingerprints merge
+///    at rounding depth 2 and separate at depth 3 (Table 4 discussion);
+///  * node-role asymmetry: SP, BT and LU "use nodes in consistently
+///    different ways" — rank 0 carries extra mapped memory;
+///  * larger perturbation on NIC and CPU counters than on memory gauges,
+///    which is why the NIC metrics trail in Table 3.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "telemetry/metric_registry.hpp"
+
+namespace efd::sim {
+
+/// Scale-free character of an application; the base model derives
+/// plausible levels for every non-overridden metric from these knobs.
+struct AppCharacter {
+  double memory_footprint = 0.5;   ///< anon/mapped page pressure, 0..1
+  double network_intensity = 0.5;  ///< NIC counter activity, 0..1
+  double cpu_intensity = 0.7;      ///< user-time fraction, 0..1
+  double io_intensity = 0.1;       ///< dirty/writeback activity, 0..1
+  double iteration_period = 10.0;  ///< dominant solver period (s)
+  double input_sensitivity = 0.0;  ///< how strongly inputs scale derived
+                                   ///< levels (0 = input-invariant)
+  double node_asymmetry = 0.0;     ///< extra relative level on rank 0
+  double noise_factor = 1.0;       ///< multiplies catalog noise levels
+};
+
+/// Explicit per-metric override: exact base levels per input size and an
+/// optional distinct rank-0 level. Used for the metrics the paper prints
+/// (Table 4's nr_mapped_vmstat values are reproduced verbatim).
+struct MetricOverride {
+  /// input size -> steady base level (rank != 0).
+  std::map<std::string, double, std::less<>> base_by_input;
+  /// input size -> rank-0 level; falls back to base_by_input when absent.
+  std::map<std::string, double, std::less<>> rank0_by_input;
+  double noise_rel = -1.0;  ///< overrides derived noise when >= 0
+};
+
+/// Abstract application model.
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  const std::string& name() const noexcept { return name_; }
+  const AppCharacter& character() const noexcept { return character_; }
+
+  /// Input sizes this application was executed with in the dataset
+  /// (Table 2: all apps have X, Y, Z; the starred subset also has L).
+  const std::vector<std::string>& supported_inputs() const noexcept {
+    return inputs_;
+  }
+
+  /// Typical wall-clock duration for an input (seconds). The paper's
+  /// fingerprint only needs [60, 120); durations here keep the simulated
+  /// dataset small while still covering the window with margin.
+  virtual double typical_duration(std::string_view input) const;
+
+  /// Full signal description for one metric on one node.
+  SignalSpec signal(const telemetry::MetricInfo& metric, std::string_view input,
+                    std::uint32_t node_id, std::uint32_t node_count) const;
+
+ protected:
+  AppModel(std::string name, AppCharacter character, std::vector<std::string> inputs);
+
+  /// Registers an explicit override for a metric.
+  void override_metric(std::string name, MetricOverride override_spec);
+
+ private:
+  /// Derives a level for a non-overridden metric from the character and a
+  /// stable per-(app, metric) hash, so distinct apps get distinct but
+  /// repeatable levels.
+  SignalSpec derived_signal(const telemetry::MetricInfo& metric,
+                            std::string_view input, std::uint32_t node_id) const;
+
+  std::string name_;
+  AppCharacter character_;
+  std::vector<std::string> inputs_;
+  std::map<std::string, MetricOverride, std::less<>> overrides_;
+};
+
+/// Index of an input size in the canonical order X < Y < Z < L; used for
+/// input scaling laws. Unknown inputs map to 0.
+std::size_t input_rank(std::string_view input);
+
+/// Factory: all 11 models of the paper's dataset, in Table 2 order
+/// (ft, mg, sp, lu, bt, cg, CoMD, miniGhost, miniAMR, miniMD, kripke).
+std::vector<std::unique_ptr<AppModel>> make_paper_applications();
+
+/// Factory by name (case-sensitive); returns nullptr for unknown names.
+std::unique_ptr<AppModel> make_application(std::string_view name);
+
+/// Names of applications that also ran the large "L" input on 32 nodes
+/// (the starred subset in Table 2).
+const std::vector<std::string>& large_input_applications();
+
+}  // namespace efd::sim

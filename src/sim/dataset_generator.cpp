@@ -1,0 +1,82 @@
+#include "sim/dataset_generator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efd::sim {
+
+DatasetGenerator::DatasetGenerator(const telemetry::MetricRegistry& registry)
+    : registry_(registry) {}
+
+telemetry::Dataset DatasetGenerator::generate(const GeneratorConfig& config) const {
+  const auto models = make_paper_applications();
+  std::vector<const AppModel*> borrowed;
+  borrowed.reserve(models.size());
+  for (const auto& model : models) borrowed.push_back(model.get());
+  return generate(config, borrowed);
+}
+
+telemetry::Dataset DatasetGenerator::generate(
+    const GeneratorConfig& config, const std::vector<const AppModel*>& apps) const {
+  std::vector<std::string> metric_names = config.metrics;
+  if (metric_names.empty()) {
+    for (telemetry::MetricId id : registry_.modeled_metrics()) {
+      metric_names.push_back(registry_.name(id));
+    }
+  }
+  ClusterSimulator simulator(registry_, metric_names, config.seed);
+
+  // Build the full execution plan list first so ids (and therefore RNG
+  // streams) are stable regardless of parallelism.
+  std::vector<ExecutionPlan> plans;
+  std::uint64_t next_id = 1;
+  for (const AppModel* app : apps) {
+    for (const std::string& input : app->supported_inputs()) {
+      const bool is_large = input == "L";
+      if (is_large && !config.include_large_input) continue;
+      const std::size_t repetitions =
+          is_large ? config.large_repetitions : config.small_repetitions;
+      const std::uint32_t nodes =
+          is_large ? config.large_node_count : config.small_node_count;
+      for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        ExecutionPlan plan;
+        plan.app = app;
+        plan.input_size = input;
+        plan.node_count = nodes;
+        plan.duration_seconds = config.duration_seconds;
+        plan.noise_scale = config.noise_scale;
+        plan.execution_id = next_id++;
+        plans.push_back(plan);
+      }
+    }
+  }
+
+  EFD_LOG(kInfo, "dataset-generator")
+      << "generating " << plans.size() << " executions x "
+      << metric_names.size() << " metrics";
+
+  std::vector<telemetry::ExecutionRecord> records(plans.size());
+  auto simulate_one = [&](std::size_t i) { records[i] = simulator.run(plans[i]); };
+  if (config.parallel) {
+    util::parallel_for(0, plans.size(), simulate_one);
+  } else {
+    for (std::size_t i = 0; i < plans.size(); ++i) simulate_one(i);
+  }
+
+  telemetry::Dataset dataset(metric_names);
+  dataset.reserve(records.size());
+  for (auto& record : records) dataset.add(std::move(record));
+  return dataset;
+}
+
+telemetry::Dataset generate_paper_dataset(const GeneratorConfig& config) {
+  static const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  DatasetGenerator generator(registry);
+  return generator.generate(config);
+}
+
+}  // namespace efd::sim

@@ -1,0 +1,107 @@
+#include "sim/miniapp_models.hpp"
+
+namespace efd::sim {
+
+namespace {
+
+MetricOverride flat_inputs(std::initializer_list<std::string> inputs, double level) {
+  MetricOverride ov;
+  for (const std::string& input : inputs) ov.base_by_input.emplace(input, level);
+  return ov;
+}
+
+}  // namespace
+
+CoMdModel::CoMdModel()
+    : AppModel("CoMD",
+               AppCharacter{
+                   .memory_footprint = 0.60,
+                   .network_intensity = 0.40,  // halo exchange of atom lists
+                   .cpu_intensity = 0.90,      // force kernels dominate
+                   .io_intensity = 0.02,
+                   .iteration_period = 3.0,
+                   .input_sensitivity = 0.15,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  override_metric("nr_mapped_vmstat", flat_inputs({"X", "Y", "Z"}, 7200.0));
+}
+
+MiniGhostModel::MiniGhostModel()
+    : AppModel("miniGhost",
+               AppCharacter{
+                   .memory_footprint = 0.68,
+                   .network_intensity = 0.65,  // bulk-synchronous halos
+                   .cpu_intensity = 0.70,
+                   .io_intensity = 0.05,
+                   .iteration_period = 7.0,
+                   .input_sensitivity = 0.15,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z", "L"}) {
+  // Table 4: miniGhost 7900 on every node, every input — the flat,
+  // input-invariant profile that makes unknown-input recognition work.
+  override_metric("nr_mapped_vmstat", flat_inputs({"X", "Y", "Z", "L"}, 7900.0));
+}
+
+MiniAmrModel::MiniAmrModel()
+    : AppModel("miniAMR",
+               AppCharacter{
+                   .memory_footprint = 0.70,
+                   .network_intensity = 0.55,
+                   .cpu_intensity = 0.65,
+                   .io_intensity = 0.08,
+                   .iteration_period = 15.0,  // refinement epochs
+                   .input_sensitivity = 0.80, // AMR: strongly input-dependent
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.3,       // refinement adds variation
+               },
+               {"X", "Y", "Z", "L"}) {
+  // Table 4: 7800 (X), 8000 (Y), ~11000 (Z). The Z level sits just above
+  // a depth-2 bucket boundary (10500), so its per-execution means usually
+  // round to 11000 but occasionally to 10000 — reproducing the
+  // duplicate-fingerprint rows of Table 4 ("measurement variation and
+  // system noise").
+  MetricOverride ov;
+  ov.base_by_input = {{"X", 7800.0}, {"Y", 8030.0}, {"Z", 10530.0}, {"L", 12400.0}};
+  ov.noise_rel = 0.002;  // larger than the memory-metric default
+  override_metric("nr_mapped_vmstat", std::move(ov));
+}
+
+MiniMdModel::MiniMdModel()
+    : AppModel("miniMD",
+               AppCharacter{
+                   .memory_footprint = 0.45,
+                   .network_intensity = 0.35,
+                   .cpu_intensity = 0.92,
+                   .io_intensity = 0.02,
+                   .iteration_period = 2.5,
+                   .input_sensitivity = 0.15,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z", "L"}) {
+  override_metric("nr_mapped_vmstat",
+                  flat_inputs({"X", "Y", "Z", "L"}, 6500.0));
+}
+
+KripkeModel::KripkeModel()
+    : AppModel("kripke",
+               AppCharacter{
+                   .memory_footprint = 0.85,  // angular flux storage
+                   .network_intensity = 0.60, // sweep pipeline
+                   .cpu_intensity = 0.75,
+                   .io_intensity = 0.05,
+                   .iteration_period = 9.0,
+                   .input_sensitivity = 0.25,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z", "L"}) {
+  override_metric("nr_mapped_vmstat",
+                  flat_inputs({"X", "Y", "Z", "L"}, 8800.0));
+}
+
+}  // namespace efd::sim

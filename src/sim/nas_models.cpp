@@ -1,0 +1,131 @@
+#include "sim/nas_models.hpp"
+
+namespace efd::sim {
+
+namespace {
+
+/// Convenience: identical level for inputs X, Y, Z (input-invariant
+/// metrics are the common case the paper exploits in the input
+/// experiments).
+MetricOverride flat_xyz(double level) {
+  MetricOverride ov;
+  ov.base_by_input = {{"X", level}, {"Y", level}, {"Z", level}};
+  return ov;
+}
+
+/// Flat level with a distinct rank-0 level (node-role asymmetry). The
+/// tightened noise keeps interval means within one depth-3 bucket (+/-10
+/// pages), which is what lets depth 3 separate SP from BT while depth 2
+/// still merges them (Section 5).
+MetricOverride flat_xyz_rank0(double level, double rank0_level) {
+  MetricOverride ov = flat_xyz(level);
+  ov.rank0_by_input = {{"X", rank0_level}, {"Y", rank0_level}, {"Z", rank0_level}};
+  ov.noise_rel = 0.0005;
+  return ov;
+}
+
+}  // namespace
+
+FtModel::FtModel()
+    : AppModel("ft",
+               AppCharacter{
+                   .memory_footprint = 0.55,
+                   .network_intensity = 0.90,  // all-to-all transposes
+                   .cpu_intensity = 0.75,
+                   .io_intensity = 0.05,
+                   .iteration_period = 8.0,
+                   .input_sensitivity = 0.20,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  override_metric("nr_mapped_vmstat", flat_xyz(6000.0));  // Table 4
+}
+
+MgModel::MgModel()
+    : AppModel("mg",
+               AppCharacter{
+                   .memory_footprint = 0.50,
+                   .network_intensity = 0.60,  // nearest-neighbour + coarse grids
+                   .cpu_intensity = 0.65,
+                   .io_intensity = 0.05,
+                   .iteration_period = 6.0,
+                   .input_sensitivity = 0.25,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  override_metric("nr_mapped_vmstat", flat_xyz(6100.0));  // Table 4
+}
+
+SpModel::SpModel()
+    : AppModel("sp",
+               AppCharacter{
+                   .memory_footprint = 0.65,
+                   .network_intensity = 0.70,
+                   .cpu_intensity = 0.80,
+                   .io_intensity = 0.05,
+                   .iteration_period = 12.0,
+                   .input_sensitivity = 0.20,
+                   .node_asymmetry = 0.013,  // rank 0 runs heavier
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  // Table 4: sp keys 7600 (node 0) and 7500 (others). Depth 2 buckets are
+  // 100 pages wide here, so BT's 7640/7530 lands in the same keys; depth 3
+  // buckets are 10 pages wide and separate the two applications.
+  override_metric("nr_mapped_vmstat", flat_xyz_rank0(7500.0, 7600.0));
+}
+
+LuModel::LuModel()
+    : AppModel("lu",
+               AppCharacter{
+                   .memory_footprint = 0.75,
+                   .network_intensity = 0.55,  // many small wavefront messages
+                   .cpu_intensity = 0.85,
+                   .io_intensity = 0.05,
+                   .iteration_period = 5.0,
+                   .input_sensitivity = 0.20,
+                   .node_asymmetry = 0.012,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  override_metric("nr_mapped_vmstat", flat_xyz_rank0(8300.0, 8400.0));  // Table 4
+}
+
+BtModel::BtModel()
+    : AppModel("bt",
+               AppCharacter{
+                   .memory_footprint = 0.66,  // deliberately close to SP
+                   .network_intensity = 0.68,
+                   .cpu_intensity = 0.80,
+                   .io_intensity = 0.05,
+                   .iteration_period = 12.0,
+                   .input_sensitivity = 0.20,
+                   .node_asymmetry = 0.014,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  // Collides with SP at rounding depth 2 (7530 -> 7500, 7640 -> 7600) and
+  // separates at depth 3 (7530 vs 7500, 7640 vs 7600) — Section 5's
+  // "Rounding depth 3 avoids this collision and also recognizes BT".
+  override_metric("nr_mapped_vmstat", flat_xyz_rank0(7530.0, 7640.0));
+}
+
+CgModel::CgModel()
+    : AppModel("cg",
+               AppCharacter{
+                   .memory_footprint = 0.58,
+                   .network_intensity = 0.75,  // irregular point-to-point
+                   .cpu_intensity = 0.60,      // latency-bound
+                   .io_intensity = 0.05,
+                   .iteration_period = 4.0,
+                   .input_sensitivity = 0.20,
+                   .node_asymmetry = 0.0,
+                   .noise_factor = 1.0,
+               },
+               {"X", "Y", "Z"}) {
+  override_metric("nr_mapped_vmstat", flat_xyz(6900.0));
+}
+
+}  // namespace efd::sim

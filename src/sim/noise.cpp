@@ -1,0 +1,39 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+namespace efd::sim {
+
+NoiseProcess::NoiseProcess(NoiseSpec spec, util::Rng rng)
+    : spec_(spec), rng_(rng) {}
+
+void NoiseProcess::reset() noexcept {
+  ou_state_ = 0.0;
+  elapsed_ = 0.0;
+  spike_decay_ = 0.0;
+}
+
+double NoiseProcess::next() noexcept {
+  constexpr double dt = 1.0;  // 1 Hz sampling
+
+  // Exact discretization of the OU process with stationary stddev
+  // spec_.ou_sigma: x' = x e^{-theta dt} + sigma sqrt(1 - e^{-2 theta dt}) N.
+  const double decay = std::exp(-spec_.ou_theta * dt);
+  const double diffusion =
+      spec_.ou_sigma * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+  ou_state_ = ou_state_ * decay + diffusion * rng_.normal();
+
+  // Spikes: exponential height, then exponential decay with ~2 s constant,
+  // so a spike perturbs a handful of samples as real interference does.
+  spike_decay_ *= std::exp(-dt / 2.0);
+  if (spec_.spike_probability > 0.0 && rng_.bernoulli(spec_.spike_probability)) {
+    spike_decay_ += spec_.spike_magnitude * rng_.exponential(1.0);
+  }
+
+  const double white = spec_.white_sigma * rng_.normal();
+  const double drift = spec_.drift_per_second * elapsed_;
+  elapsed_ += dt;
+  return ou_state_ + white + spike_decay_ + drift;
+}
+
+}  // namespace efd::sim

@@ -1,0 +1,56 @@
+#pragma once
+/// \file noise.hpp
+/// \brief Stochastic perturbation models for simulated telemetry.
+///
+/// The paper's recognition mechanism hinges on real HPC telemetry being
+/// noisy: "Computing the mean produces precise floating point values that
+/// are unlikely to repeat due to system perturbations and noise." The
+/// simulator therefore perturbs every metric stream with a combination of
+///  * white measurement noise (sampling jitter in LDMS),
+///  * an Ornstein-Uhlenbeck process (slowly wandering background load:
+///    OS daemons, file-system caches warming, neighbouring jobs),
+///  * rare spikes (cron jobs, kernel housekeeping, network bursts),
+///  * optional linear drift (e.g. slowly growing page cache).
+///
+/// All state lives in the model instance; streams fork their own RNG so
+/// results are independent of generation order.
+
+#include "util/rng.hpp"
+
+namespace efd::sim {
+
+/// Parameters of the composite noise process. Magnitudes are *relative*
+/// to the signal's base level, which keeps specs scale-free.
+struct NoiseSpec {
+  double white_sigma = 0.002;   ///< stddev of per-sample white noise
+  double ou_sigma = 0.004;      ///< stationary stddev of the OU component
+  double ou_theta = 0.05;       ///< OU mean-reversion rate (1/s)
+  double spike_probability = 0.0;  ///< per-second probability of a spike
+  double spike_magnitude = 0.1;    ///< spike height (relative, exp-distributed)
+  double drift_per_second = 0.0;   ///< deterministic relative drift
+};
+
+/// Stateful generator for one stream. Not thread-safe; create one per
+/// (execution, node, metric) stream.
+class NoiseProcess {
+ public:
+  NoiseProcess(NoiseSpec spec, util::Rng rng);
+
+  /// Relative perturbation at the next 1 Hz tick; multiply by the base
+  /// level and add to the clean signal.
+  double next() noexcept;
+
+  /// Resets internal state (OU value, elapsed time) keeping the RNG.
+  void reset() noexcept;
+
+  const NoiseSpec& spec() const noexcept { return spec_; }
+
+ private:
+  NoiseSpec spec_;
+  util::Rng rng_;
+  double ou_state_ = 0.0;
+  double elapsed_ = 0.0;
+  double spike_decay_ = 0.0;  ///< spikes decay exponentially over a few seconds
+};
+
+}  // namespace efd::sim

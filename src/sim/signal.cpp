@@ -1,0 +1,47 @@
+#include "sim/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace efd::sim {
+
+SignalGenerator::SignalGenerator(SignalSpec spec, util::Rng rng)
+    : spec_(spec),
+      rng_(rng),
+      noise_(spec.noise, rng_.fork(0xA015EULL)),
+      init_duration_(0.0),
+      phase_offset_(0.0) {
+  init_duration_ =
+      spec_.init_duration_mean +
+      rng_.uniform(-spec_.init_duration_jitter, spec_.init_duration_jitter);
+  if (init_duration_ < 1.0) init_duration_ = 1.0;
+  phase_offset_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+}
+
+double SignalGenerator::sample(double t) noexcept {
+  double clean;
+  double extra_noise = 0.0;
+  if (t < init_duration_) {
+    // Ramp from init level toward the base over the init window with a
+    // smoothstep profile; heavy extra jitter models allocator/wire-up churn.
+    const double progress = t / init_duration_;
+    const double smooth = progress * progress * (3.0 - 2.0 * progress);
+    const double init_level = spec_.base * spec_.init_level_factor;
+    clean = init_level + (spec_.base - init_level) * smooth;
+    extra_noise = spec_.base * spec_.init_extra_noise * rng_.normal();
+  } else {
+    clean = spec_.base;
+    if (spec_.period_seconds > 0.0 && spec_.periodic_amplitude != 0.0) {
+      clean += spec_.base * spec_.periodic_amplitude *
+               std::sin(2.0 * std::numbers::pi * t / spec_.period_seconds +
+                        phase_offset_);
+    }
+  }
+
+  double value = clean + spec_.base * noise_.next() + extra_noise;
+  if (value < 0.0) value = 0.0;
+  if (spec_.integer_valued) value = std::floor(value + 0.5);
+  return value;
+}
+
+}  // namespace efd::sim

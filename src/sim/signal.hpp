@@ -1,0 +1,67 @@
+#pragma once
+/// \file signal.hpp
+/// \brief Clean signal shape of one metric stream plus the generator that
+/// combines it with a NoiseProcess into 1 Hz samples.
+///
+/// Every application execution in the simulator goes through two phases,
+/// mirroring what the paper observed on the real system:
+///
+///   1. an *initialization phase* (roughly the first 30-45 s: binary load,
+///      MPI wire-up, mesh/setup allocation) whose levels differ from the
+///      steady state and carry extra perturbation — this is exactly why
+///      the paper fingerprints the [60, 120) window rather than [0, 60);
+///   2. a *steady compute phase* where the level settles to an
+///      application-and-input-characteristic base, optionally modulated by
+///      a periodic iteration pattern (e.g. CG's solver sweeps show up as
+///      oscillation on NIC counters).
+
+#include "sim/noise.hpp"
+#include "util/rng.hpp"
+
+namespace efd::sim {
+
+/// Complete description of one (application, input, node, metric) stream.
+struct SignalSpec {
+  // --- Steady state ---
+  double base = 0.0;               ///< steady-state mean level
+  double periodic_amplitude = 0.0; ///< relative amplitude of iteration pattern
+  double period_seconds = 0.0;     ///< iteration period (0 => no oscillation)
+
+  // --- Initialization phase ---
+  double init_level_factor = 0.4;  ///< init level relative to base
+  double init_duration_mean = 35.0;   ///< mean init length (s)
+  double init_duration_jitter = 6.0;  ///< uniform +/- jitter (s)
+  double init_extra_noise = 0.05;     ///< extra relative white noise in init
+
+  // --- Perturbation ---
+  NoiseSpec noise;
+
+  /// Page/packet counters are integers; gauges in KB are also integer.
+  bool integer_valued = true;
+};
+
+/// Generates the 1 Hz sample stream for one SignalSpec. Not thread-safe;
+/// one instance per stream.
+class SignalGenerator {
+ public:
+  /// \param rng forked, stream-private generator. Consumed for the init
+  /// duration draw, the phase offset, and all noise.
+  SignalGenerator(SignalSpec spec, util::Rng rng);
+
+  /// Sample at integer second \p t (call with increasing t).
+  double sample(double t) noexcept;
+
+  /// The realized initialization duration for this stream (seconds).
+  double init_duration() const noexcept { return init_duration_; }
+
+  const SignalSpec& spec() const noexcept { return spec_; }
+
+ private:
+  SignalSpec spec_;
+  util::Rng rng_;
+  NoiseProcess noise_;
+  double init_duration_;
+  double phase_offset_;
+};
+
+}  // namespace efd::sim

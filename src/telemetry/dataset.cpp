@@ -1,0 +1,107 @@
+#include "telemetry/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace efd::telemetry {
+
+std::size_t Dataset::metric_slot(std::string_view name) const {
+  for (std::size_t i = 0; i < metric_names_.size(); ++i) {
+    if (metric_names_[i] == name) return i;
+  }
+  throw std::out_of_range("dataset does not carry metric: " + std::string(name));
+}
+
+bool Dataset::has_metric(std::string_view name) const noexcept {
+  return std::find(metric_names_.begin(), metric_names_.end(), name) !=
+         metric_names_.end();
+}
+
+void Dataset::add(ExecutionRecord record) {
+  if (record.node_count() > 0 && record.metric_count() != metric_names_.size()) {
+    throw std::invalid_argument(
+        "record metric count does not match dataset metric list");
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<std::string> Dataset::applications() const {
+  std::set<std::string> unique;
+  for (const auto& record : records_) unique.insert(record.label().application);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::string> Dataset::input_sizes() const {
+  std::set<std::string> unique;
+  for (const auto& record : records_) unique.insert(record.label().input_size);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::string> Dataset::full_labels() const {
+  std::set<std::string> unique;
+  for (const auto& record : records_) unique.insert(record.label().full());
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::size_t> Dataset::select(
+    const std::function<bool(const ExecutionRecord&)>& predicate) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (predicate(records_[i])) indices.push_back(i);
+  }
+  return indices;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(metric_names_);
+  out.reserve(indices.size());
+  for (std::size_t index : indices) out.add(records_.at(index));
+  return out;
+}
+
+Dataset Dataset::with_metrics(const std::vector<std::string>& names) const {
+  std::vector<std::size_t> slots;
+  slots.reserve(names.size());
+  for (const auto& name : names) slots.push_back(metric_slot(name));
+
+  Dataset out(names);
+  out.reserve(records_.size());
+  for (const auto& record : records_) {
+    ExecutionRecord trimmed(record.id(), record.label(), record.node_count(),
+                            names.size());
+    for (std::size_t n = 0; n < record.node_count(); ++n) {
+      for (std::size_t m = 0; m < slots.size(); ++m) {
+        trimmed.series(n, m) = record.series(n, slots[m]);
+      }
+    }
+    out.add(std::move(trimmed));
+  }
+  return out;
+}
+
+std::uint64_t Dataset::total_samples() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& record : records_) {
+    for (const auto& node : record.nodes()) {
+      for (const auto& series : node.per_metric) total += series.size();
+    }
+  }
+  return total;
+}
+
+DatasetSummary summarize(const Dataset& dataset) {
+  DatasetSummary summary;
+  summary.executions = dataset.size();
+  summary.applications = dataset.applications().size();
+  summary.input_sizes = dataset.input_sizes().size();
+  summary.metrics = dataset.metric_names().size();
+  summary.samples = dataset.total_samples();
+  double min_duration = dataset.empty() ? 0.0 : 1e300;
+  for (const auto& record : dataset.records()) {
+    min_duration = std::min(min_duration, record.min_duration_seconds());
+  }
+  summary.min_duration_seconds = dataset.empty() ? 0.0 : min_duration;
+  return summary;
+}
+
+}  // namespace efd::telemetry

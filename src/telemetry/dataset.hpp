@@ -1,0 +1,93 @@
+#pragma once
+/// \file dataset.hpp
+/// \brief A collection of labeled executions sharing one metric list — the
+/// in-memory replica of the Taxonomist figshare artifact's shape.
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "telemetry/execution_record.hpp"
+#include "telemetry/metric_registry.hpp"
+
+namespace efd::telemetry {
+
+/// Labeled executions plus the (shared) list of metrics each record's
+/// per-node series vectors are aligned with.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// \param metric_names the metric axis; every record added must have one
+  /// series per name per node, in this order.
+  explicit Dataset(std::vector<std::string> metric_names)
+      : metric_names_(std::move(metric_names)) {}
+
+  const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+
+  /// Slot index of a metric name within this dataset; throws
+  /// std::out_of_range if absent.
+  std::size_t metric_slot(std::string_view name) const;
+
+  /// True if the dataset carries the metric.
+  bool has_metric(std::string_view name) const noexcept;
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  const ExecutionRecord& record(std::size_t index) const { return records_.at(index); }
+  ExecutionRecord& record(std::size_t index) { return records_.at(index); }
+  const std::vector<ExecutionRecord>& records() const noexcept { return records_; }
+
+  /// Appends a record. The record's metric_count must match the dataset's
+  /// metric list; throws std::invalid_argument otherwise.
+  void add(ExecutionRecord record);
+
+  /// Reserves storage for n records.
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Distinct application names, sorted.
+  std::vector<std::string> applications() const;
+
+  /// Distinct input sizes, sorted.
+  std::vector<std::string> input_sizes() const;
+
+  /// Distinct full labels ("ft_X"), sorted.
+  std::vector<std::string> full_labels() const;
+
+  /// Indices of records matching a predicate.
+  std::vector<std::size_t> select(
+      const std::function<bool(const ExecutionRecord&)>& predicate) const;
+
+  /// New dataset (same metric axis) containing copies of the selected records.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// New dataset restricted to a subset of metrics (by name). Series data
+  /// for the kept metrics is copied; throws if a name is absent.
+  Dataset with_metrics(const std::vector<std::string>& names) const;
+
+  /// Total sample count across all records/nodes/metrics (for reporting).
+  std::uint64_t total_samples() const noexcept;
+
+ private:
+  std::vector<std::string> metric_names_;
+  std::vector<ExecutionRecord> records_;
+};
+
+/// Summary counts used by the Table 2 bench and README examples.
+struct DatasetSummary {
+  std::size_t executions = 0;
+  std::size_t applications = 0;
+  std::size_t input_sizes = 0;
+  std::size_t metrics = 0;
+  std::uint64_t samples = 0;
+  double min_duration_seconds = 0.0;
+};
+
+DatasetSummary summarize(const Dataset& dataset);
+
+}  // namespace efd::telemetry

@@ -1,0 +1,112 @@
+#include "telemetry/dataset_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace efd::telemetry {
+
+void write_csv(const Dataset& dataset, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row({"execution_id", "application", "input_size", "node_id",
+                    "metric", "second", "value"});
+  for (const auto& record : dataset.records()) {
+    const std::string id = std::to_string(record.id());
+    for (const auto& node : record.nodes()) {
+      const std::string node_id = std::to_string(node.node_id);
+      for (std::size_t m = 0; m < node.per_metric.size(); ++m) {
+        const auto& metric = dataset.metric_names()[m];
+        const auto& series = node.per_metric[m];
+        for (std::size_t t = 0; t < series.size(); ++t) {
+          writer.write_row({id, record.label().application,
+                            record.label().input_size, node_id, metric,
+                            std::to_string(t), util::format_mean(series[t])});
+        }
+      }
+    }
+  }
+}
+
+void write_csv_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(dataset, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Dataset read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty dataset CSV");
+  const auto header = util::parse_csv_line(line);
+  if (header.size() != 7 || header[0] != "execution_id") {
+    throw std::runtime_error("unexpected dataset CSV header");
+  }
+
+  // First pass data structures keyed by execution id.
+  struct PendingExecution {
+    ExecutionLabel label;
+    // (node_id, metric_slot) -> samples indexed by second.
+    std::map<std::pair<std::uint32_t, std::size_t>, std::vector<double>> series;
+    std::uint32_t max_node = 0;
+  };
+  std::map<std::uint64_t, PendingExecution> pending;
+  std::vector<std::string> metric_names;
+  std::map<std::string, std::size_t> metric_slots;
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != 7) {
+      throw std::runtime_error("bad dataset CSV row at line " +
+                               std::to_string(line_number));
+    }
+    const auto exec_id = util::parse_int(fields[0]);
+    const auto node_id = util::parse_int(fields[3]);
+    const auto second = util::parse_int(fields[5]);
+    const auto value = util::parse_double(fields[6]);
+    if (!exec_id || !node_id || !second || !value) {
+      throw std::runtime_error("unparsable dataset CSV row at line " +
+                               std::to_string(line_number));
+    }
+    auto [slot_it, inserted] =
+        metric_slots.emplace(fields[4], metric_names.size());
+    if (inserted) metric_names.push_back(fields[4]);
+    const std::size_t slot = slot_it->second;
+
+    auto& exec = pending[static_cast<std::uint64_t>(*exec_id)];
+    exec.label = ExecutionLabel{fields[1], fields[2]};
+    exec.max_node = std::max(exec.max_node, static_cast<std::uint32_t>(*node_id));
+    auto& samples =
+        exec.series[{static_cast<std::uint32_t>(*node_id), slot}];
+    const auto index = static_cast<std::size_t>(*second);
+    if (samples.size() <= index) samples.resize(index + 1, 0.0);
+    samples[index] = *value;
+  }
+
+  Dataset dataset(metric_names);
+  dataset.reserve(pending.size());
+  for (const auto& [exec_id, exec] : pending) {
+    ExecutionRecord record(exec_id, exec.label, exec.max_node + 1,
+                           metric_names.size());
+    for (const auto& [key, samples] : exec.series) {
+      record.series(key.first, key.second) = TimeSeries(samples, 1.0);
+    }
+    dataset.add(std::move(record));
+  }
+  return dataset;
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dataset CSV: " + path);
+  return read_csv(in);
+}
+
+}  // namespace efd::telemetry

@@ -1,0 +1,33 @@
+#pragma once
+/// \file dataset_io.hpp
+/// \brief CSV persistence for datasets, matching the long-format layout of
+/// the Taxonomist artifact: one row per (execution, node, metric, second).
+///
+/// Layout:
+///   execution_id,application,input_size,node_id,metric,second,value
+///
+/// The format is deliberately verbose but lossless and greppable; a 1000-
+/// execution dataset is a few hundred MB uncompressed, which matches the
+/// artifact's scale.
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/dataset.hpp"
+
+namespace efd::telemetry {
+
+/// Writes the dataset in long CSV format (with header row).
+void write_csv(const Dataset& dataset, std::ostream& out);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const Dataset& dataset, const std::string& path);
+
+/// Reads a long-format CSV produced by write_csv. Metric order follows
+/// first appearance. Throws std::runtime_error on malformed input.
+Dataset read_csv(std::istream& in);
+
+/// Reads from a file; throws std::runtime_error on I/O failure.
+Dataset read_csv_file(const std::string& path);
+
+}  // namespace efd::telemetry

@@ -1,0 +1,44 @@
+#include "telemetry/execution_record.hpp"
+
+#include <algorithm>
+
+namespace efd::telemetry {
+
+ExecutionLabel parse_label(const std::string& full_label) {
+  const std::size_t pos = full_label.rfind('_');
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= full_label.size()) {
+    return ExecutionLabel{full_label, ""};
+  }
+  return ExecutionLabel{full_label.substr(0, pos), full_label.substr(pos + 1)};
+}
+
+ExecutionRecord::ExecutionRecord(std::uint64_t id, ExecutionLabel label,
+                                 std::size_t node_count, std::size_t metric_count)
+    : id_(id), label_(std::move(label)) {
+  nodes_.resize(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    nodes_[n].node_id = static_cast<std::uint32_t>(n);
+    nodes_[n].per_metric.resize(metric_count, TimeSeries(1.0));
+  }
+}
+
+double ExecutionRecord::min_duration_seconds() const noexcept {
+  double shortest = nodes_.empty() ? 0.0 : 1e300;
+  for (const NodeSeries& node : nodes_) {
+    for (const TimeSeries& series : node.per_metric) {
+      shortest = std::min(shortest, series.duration_seconds());
+    }
+  }
+  return nodes_.empty() ? 0.0 : shortest;
+}
+
+bool ExecutionRecord::covers(Interval interval) const noexcept {
+  for (const NodeSeries& node : nodes_) {
+    for (const TimeSeries& series : node.per_metric) {
+      if (!series.covers(interval)) return false;
+    }
+  }
+  return !nodes_.empty();
+}
+
+}  // namespace efd::telemetry

@@ -1,0 +1,86 @@
+#pragma once
+/// \file execution_record.hpp
+/// \brief Labeled telemetry of one application execution across its nodes.
+///
+/// An ExecutionRecord is the unit the paper's experiments split on: one
+/// submission of one application with one input size, running on N nodes,
+/// with a dense 1 Hz series per (node, metric). The metric axis is shared
+/// across an entire Dataset (see dataset.hpp) so records store series in a
+/// vector parallel to the dataset's metric list.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_registry.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace efd::telemetry {
+
+/// Application identity: name plus input size ("ft" + "X" -> "ft_X").
+/// Input experiments score correctness at the application-name level.
+struct ExecutionLabel {
+  std::string application;  ///< e.g. "ft", "miniAMR", "kripke"
+  std::string input_size;   ///< e.g. "X", "Y", "Z", "L"
+
+  /// Canonical combined label used as dictionary value ("ft_X").
+  std::string full() const { return application + "_" + input_size; }
+
+  bool operator==(const ExecutionLabel&) const = default;
+  auto operator<=>(const ExecutionLabel&) const = default;
+};
+
+/// Parses "ft_X" back into {application="ft", input_size="X"}. Application
+/// names may themselves contain underscores; the input size is the final
+/// component.
+ExecutionLabel parse_label(const std::string& full_label);
+
+/// Telemetry of one node within an execution: one series per metric, in
+/// the order of the owning dataset's metric list.
+struct NodeSeries {
+  std::uint32_t node_id = 0;
+  std::vector<TimeSeries> per_metric;
+};
+
+/// One labeled application execution.
+class ExecutionRecord {
+ public:
+  ExecutionRecord() = default;
+  ExecutionRecord(std::uint64_t id, ExecutionLabel label, std::size_t node_count,
+                  std::size_t metric_count);
+
+  std::uint64_t id() const noexcept { return id_; }
+  const ExecutionLabel& label() const noexcept { return label_; }
+  void set_label(ExecutionLabel label) { label_ = std::move(label); }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t metric_count() const noexcept {
+    return nodes_.empty() ? 0 : nodes_.front().per_metric.size();
+  }
+
+  const NodeSeries& node(std::size_t index) const { return nodes_.at(index); }
+  NodeSeries& node(std::size_t index) { return nodes_.at(index); }
+  const std::vector<NodeSeries>& nodes() const noexcept { return nodes_; }
+
+  /// Series for (node, metric-slot). Slot indices are dataset metric-list
+  /// positions, not registry MetricIds.
+  const TimeSeries& series(std::size_t node_index, std::size_t metric_slot) const {
+    return nodes_.at(node_index).per_metric.at(metric_slot);
+  }
+  TimeSeries& series(std::size_t node_index, std::size_t metric_slot) {
+    return nodes_.at(node_index).per_metric.at(metric_slot);
+  }
+
+  /// Shortest series length across all (node, metric) pairs, in seconds.
+  double min_duration_seconds() const noexcept;
+
+  /// True if every (node, metric) series covers the interval.
+  bool covers(Interval interval) const noexcept;
+
+ private:
+  std::uint64_t id_ = 0;
+  ExecutionLabel label_;
+  std::vector<NodeSeries> nodes_;
+};
+
+}  // namespace efd::telemetry

@@ -1,0 +1,162 @@
+#include "telemetry/metric_registry.hpp"
+
+#include <stdexcept>
+
+namespace efd::telemetry {
+
+std::string_view group_suffix(MetricGroup group) noexcept {
+  switch (group) {
+    case MetricGroup::kVmstat: return "vmstat";
+    case MetricGroup::kMeminfo: return "meminfo";
+    case MetricGroup::kNic: return "metric_set_nic";
+    case MetricGroup::kCpu: return "procstat";
+    case MetricGroup::kOther: return "other";
+  }
+  return "other";
+}
+
+MetricId MetricRegistry::add(MetricInfo info) {
+  if (by_name_.count(info.name) > 0) {
+    throw std::invalid_argument("duplicate metric name: " + info.name);
+  }
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  by_name_.emplace(info.name, id);
+  metrics_.push_back(std::move(info));
+  return id;
+}
+
+std::optional<MetricId> MetricRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+MetricId MetricRegistry::require(std::string_view name) const {
+  const auto id = find(name);
+  if (!id) throw std::out_of_range("unknown metric: " + std::string(name));
+  return *id;
+}
+
+std::vector<MetricId> MetricRegistry::modeled_metrics() const {
+  std::vector<MetricId> ids;
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    if (metrics_[id].modeled) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<MetricId> MetricRegistry::metrics_in_group(MetricGroup group) const {
+  std::vector<MetricId> ids;
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    if (metrics_[id].group == group) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<MetricId> MetricRegistry::all_metrics() const {
+  std::vector<MetricId> ids(metrics_.size());
+  for (MetricId id = 0; id < metrics_.size(); ++id) ids[id] = id;
+  return ids;
+}
+
+const std::vector<std::string>& paper_table3_metrics() {
+  static const std::vector<std::string> names = {
+      "nr_mapped_vmstat",
+      "Committed_AS_meminfo",
+      "nr_active_anon_vmstat",
+      "nr_anon_pages_vmstat",
+      "Active_meminfo",
+      "Mapped_meminfo",
+      "AnonPages_meminfo",
+      "MemFree_meminfo",
+      "PageTables_meminfo",
+      "nr_page_table_pages_vmstat",
+      "AMO_PKTS_metric_set_nic",
+      "AMO_FLITS_metric_set_nic",
+      "PI_PKTS_metric_set_nic",
+  };
+  return names;
+}
+
+MetricRegistry MetricRegistry::standard_catalog(std::size_t catalog_size) {
+  MetricRegistry registry;
+
+  // --- Metrics named in the paper (Tables 3 and 4), behaviour-modeled. ---
+  // typical_scale reflects plausible magnitudes on a 64 GiB compute node.
+  registry.add({"nr_mapped_vmstat", MetricGroup::kVmstat, 1e4, true});
+  registry.add({"Committed_AS_meminfo", MetricGroup::kMeminfo, 1e7, true});
+  registry.add({"nr_active_anon_vmstat", MetricGroup::kVmstat, 1e6, true});
+  registry.add({"nr_anon_pages_vmstat", MetricGroup::kVmstat, 1e6, true});
+  registry.add({"Active_meminfo", MetricGroup::kMeminfo, 1e7, true});
+  registry.add({"Mapped_meminfo", MetricGroup::kMeminfo, 1e5, true});
+  registry.add({"AnonPages_meminfo", MetricGroup::kMeminfo, 1e7, true});
+  registry.add({"MemFree_meminfo", MetricGroup::kMeminfo, 1e7, true});
+  registry.add({"PageTables_meminfo", MetricGroup::kMeminfo, 1e4, true});
+  registry.add({"nr_page_table_pages_vmstat", MetricGroup::kVmstat, 1e4, true});
+  registry.add({"AMO_PKTS_metric_set_nic", MetricGroup::kNic, 1e5, true});
+  registry.add({"AMO_FLITS_metric_set_nic", MetricGroup::kNic, 1e5, true});
+  registry.add({"PI_PKTS_metric_set_nic", MetricGroup::kNic, 1e6, true});
+
+  // --- Additional modeled metrics for sweeps and multi-metric work. ---
+  registry.add({"nr_inactive_anon_vmstat", MetricGroup::kVmstat, 1e5, true});
+  registry.add({"nr_active_file_vmstat", MetricGroup::kVmstat, 1e5, true});
+  registry.add({"nr_dirty_vmstat", MetricGroup::kVmstat, 1e3, true});
+  registry.add({"nr_writeback_vmstat", MetricGroup::kVmstat, 1e2, true});
+  registry.add({"pgfault_vmstat", MetricGroup::kVmstat, 1e5, true});
+  registry.add({"pgmajfault_vmstat", MetricGroup::kVmstat, 1e1, true});
+  registry.add({"Cached_meminfo", MetricGroup::kMeminfo, 1e6, true});
+  registry.add({"Buffers_meminfo", MetricGroup::kMeminfo, 1e5, true});
+  registry.add({"Slab_meminfo", MetricGroup::kMeminfo, 1e5, true});
+  registry.add({"Shmem_meminfo", MetricGroup::kMeminfo, 1e4, true});
+  registry.add({"PI_FLITS_metric_set_nic", MetricGroup::kNic, 1e6, true});
+  registry.add({"BTE_PKTS_metric_set_nic", MetricGroup::kNic, 1e4, true});
+  registry.add({"BTE_FLITS_metric_set_nic", MetricGroup::kNic, 1e4, true});
+  registry.add({"RDMA_PKTS_metric_set_nic", MetricGroup::kNic, 1e5, true});
+  registry.add({"user_procstat", MetricGroup::kCpu, 1e2, true});
+  registry.add({"sys_procstat", MetricGroup::kCpu, 1e1, true});
+  registry.add({"idle_procstat", MetricGroup::kCpu, 1e2, true});
+  registry.add({"iowait_procstat", MetricGroup::kCpu, 1e0, true});
+  registry.add({"hwcntr_flops_procstat", MetricGroup::kCpu, 1e9, true});
+  registry.add({"hwcntr_l3_misses_procstat", MetricGroup::kCpu, 1e7, true});
+
+  // --- Filler metrics: present in the catalog, not behaviour-modeled. ---
+  // Their simulated values are node-level background noise, so any
+  // classifier that relies on them alone scores poorly (they populate the
+  // long tail of Table 3).
+  static const char* kFillerStems[] = {
+      "nr_free_pages",      "nr_alloc_batch",   "nr_inactive_file",
+      "nr_unevictable",     "nr_mlock",         "nr_file_pages",
+      "nr_slab_reclaimable","nr_slab_unreclaimable", "nr_kernel_stack",
+      "nr_unstable",        "nr_bounce",        "nr_vmscan_write",
+      "nr_shmem",           "nr_dirtied",       "nr_written",
+      "numa_hit",           "numa_miss",        "numa_foreign",
+      "numa_local",         "numa_other",       "pgpgin",
+      "pgpgout",            "pswpin",           "pswpout",
+      "pgalloc_normal",     "pgfree",           "pgactivate",
+      "pgdeactivate",       "pgrefill_normal",  "pgsteal_kswapd",
+      "pgscan_kswapd",      "pgscan_direct",    "pginodesteal",
+      "slabs_scanned",      "kswapd_inodesteal","pageoutrun",
+      "allocstall",         "pgrotated",        "drop_pagecache",
+      "drop_slab",          "thp_fault_alloc",  "thp_collapse_alloc",
+      "thp_split",          "unevictable_pgs_culled", "workingset_refault",
+  };
+  std::size_t stem_index = 0;
+  std::size_t variant = 0;
+  const MetricGroup filler_groups[] = {MetricGroup::kVmstat, MetricGroup::kMeminfo,
+                                       MetricGroup::kNic, MetricGroup::kCpu};
+  while (registry.size() < catalog_size) {
+    const char* stem = kFillerStems[stem_index % std::size(kFillerStems)];
+    const MetricGroup group = filler_groups[variant % std::size(filler_groups)];
+    std::string name = std::string(stem);
+    if (variant > 0) name += "_" + std::to_string(variant);
+    name += "_" + std::string(group_suffix(group));
+    if (!registry.find(name)) {
+      registry.add({std::move(name), group, 1e4, false});
+    }
+    ++stem_index;
+    if (stem_index % std::size(kFillerStems) == 0) ++variant;
+  }
+  return registry;
+}
+
+}  // namespace efd::telemetry

@@ -1,0 +1,58 @@
+#include "telemetry/resample.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace efd::telemetry {
+
+TimeSeries downsample(const TimeSeries& series, std::size_t factor,
+                      DownsampleMethod method) {
+  if (factor == 0) throw std::invalid_argument("downsample factor must be >= 1");
+  if (factor == 1) return series;
+
+  TimeSeries out(series.period_seconds() * static_cast<double>(factor));
+  out.reserve((series.size() + factor - 1) / factor);
+  const auto samples = series.samples();
+  for (std::size_t begin = 0; begin < samples.size(); begin += factor) {
+    const std::size_t end = std::min(begin + factor, samples.size());
+    const auto group = samples.subspan(begin, end - begin);
+    switch (method) {
+      case DownsampleMethod::kMean:
+        out.push_back(util::mean(group));
+        break;
+      case DownsampleMethod::kFirst:
+        out.push_back(group.front());
+        break;
+      case DownsampleMethod::kMax:
+        out.push_back(util::max_value(group));
+        break;
+    }
+  }
+  return out;
+}
+
+ExecutionRecord downsample(const ExecutionRecord& record, std::size_t factor,
+                           DownsampleMethod method) {
+  ExecutionRecord out(record.id(), record.label(), record.node_count(),
+                      record.metric_count());
+  for (std::size_t n = 0; n < record.node_count(); ++n) {
+    for (std::size_t m = 0; m < record.metric_count(); ++m) {
+      out.series(n, m) = downsample(record.series(n, m), factor, method);
+    }
+  }
+  return out;
+}
+
+Dataset downsample(const Dataset& dataset, std::size_t factor,
+                   DownsampleMethod method) {
+  Dataset out(dataset.metric_names());
+  out.reserve(dataset.size());
+  for (const auto& record : dataset.records()) {
+    out.add(downsample(record, factor, method));
+  }
+  return out;
+}
+
+}  // namespace efd::telemetry

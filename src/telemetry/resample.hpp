@@ -1,0 +1,37 @@
+#pragma once
+/// \file resample.hpp
+/// \brief Sampling-cadence transforms.
+///
+/// The paper's dataset is sampled at 1 Hz, but MODA deployments trade
+/// monitoring overhead against fidelity by sampling more coarsely. These
+/// helpers downsample series/records/datasets to a coarser period so the
+/// cadence ablation can measure how much monitoring the EFD actually
+/// needs (bench/ablation_sampling_period).
+
+#include "telemetry/dataset.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace efd::telemetry {
+
+/// How sample groups are collapsed when downsampling.
+enum class DownsampleMethod {
+  kMean,   ///< average within each new period (LDMS-style aggregation)
+  kFirst,  ///< take the first sample (pure decimation)
+  kMax,    ///< retain peaks (useful for spike-sensitive counters)
+};
+
+/// Downsamples to \p factor times the original period (factor >= 1).
+/// The last partial group is collapsed from the remaining samples.
+/// Throws std::invalid_argument for factor == 0.
+TimeSeries downsample(const TimeSeries& series, std::size_t factor,
+                      DownsampleMethod method = DownsampleMethod::kMean);
+
+/// Downsamples every series of a record.
+ExecutionRecord downsample(const ExecutionRecord& record, std::size_t factor,
+                           DownsampleMethod method = DownsampleMethod::kMean);
+
+/// Downsamples every record of a dataset (metric axis unchanged).
+Dataset downsample(const Dataset& dataset, std::size_t factor,
+                   DownsampleMethod method = DownsampleMethod::kMean);
+
+}  // namespace efd::telemetry

@@ -1,0 +1,35 @@
+#include "telemetry/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace efd::telemetry {
+
+std::span<const double> TimeSeries::window(Interval interval) const noexcept {
+  if (!interval.valid() || values_.empty() || period_ <= 0.0) return {};
+  // Sample i has timestamp i * period_. Include samples with
+  // begin <= t < end.
+  const auto first = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(interval.begin_seconds) / period_));
+  const auto last_exclusive = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(interval.end_seconds) / period_));
+  if (first >= values_.size()) return {};
+  const std::size_t end = std::min(last_exclusive, values_.size());
+  if (end <= first) return {};
+  return std::span<const double>(values_).subspan(first, end - first);
+}
+
+double TimeSeries::mean_over(Interval interval) const noexcept {
+  return util::mean(window(interval));
+}
+
+bool TimeSeries::covers(Interval interval) const noexcept {
+  if (!interval.valid() || period_ <= 0.0) return false;
+  const auto last_exclusive = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(interval.end_seconds) / period_));
+  return values_.size() >= last_exclusive;
+}
+
+}  // namespace efd::telemetry

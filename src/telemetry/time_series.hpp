@@ -1,0 +1,80 @@
+#pragma once
+/// \file time_series.hpp
+/// \brief Regularly sampled time series plus the half-open time interval
+/// type the fingerprint builder operates on.
+///
+/// All series in this project are sampled at a fixed period (1 Hz in the
+/// paper's dataset), so a series is simply a start time, a period, and a
+/// dense value vector — no per-sample timestamps are stored.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace efd::telemetry {
+
+/// Half-open interval [begin, end) in seconds relative to execution start.
+/// The paper's fingerprints use [60, 120).
+struct Interval {
+  int begin_seconds = 0;
+  int end_seconds = 0;
+
+  int length() const noexcept { return end_seconds - begin_seconds; }
+  bool valid() const noexcept { return end_seconds > begin_seconds && begin_seconds >= 0; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// The interval used throughout the paper: 60 to 120 seconds after launch,
+/// chosen to skip initialization-phase perturbations while still reporting
+/// early in the execution.
+inline constexpr Interval kPaperInterval{60, 120};
+
+/// Fixed-period sampled series.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// \param period_seconds sampling period (1 for the paper's dataset).
+  explicit TimeSeries(double period_seconds) : period_(period_seconds) {}
+
+  /// Constructs from existing samples.
+  TimeSeries(std::vector<double> values, double period_seconds = 1.0)
+      : values_(std::move(values)), period_(period_seconds) {}
+
+  double period_seconds() const noexcept { return period_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Duration covered by the samples, in seconds.
+  double duration_seconds() const noexcept {
+    return static_cast<double>(values_.size()) * period_;
+  }
+
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void push_back(double value) { values_.push_back(value); }
+  void clear() noexcept { values_.clear(); }
+
+  double operator[](std::size_t i) const noexcept { return values_[i]; }
+  double& operator[](std::size_t i) noexcept { return values_[i]; }
+
+  std::span<const double> samples() const noexcept { return values_; }
+  std::vector<double>& mutable_samples() noexcept { return values_; }
+
+  /// Samples whose timestamps fall inside [interval.begin, interval.end).
+  /// Clamped to the available range; may be empty if the series is shorter
+  /// than the interval start.
+  std::span<const double> window(Interval interval) const noexcept;
+
+  /// Mean of the samples inside the interval; 0 if the window is empty.
+  /// This is the statistical feature the paper fingerprints.
+  double mean_over(Interval interval) const noexcept;
+
+  /// True if the series fully covers the interval.
+  bool covers(Interval interval) const noexcept;
+
+ private:
+  std::vector<double> values_;
+  double period_ = 1.0;
+};
+
+}  // namespace efd::telemetry

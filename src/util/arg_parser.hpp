@@ -1,0 +1,43 @@
+#pragma once
+/// \file arg_parser.hpp
+/// \brief Tiny command-line argument parser for the example and bench
+/// executables. Supports --flag, --key=value and --key value forms.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efd::util {
+
+/// Parsed command line. Unknown options are collected, not rejected, so
+/// google-benchmark flags pass through harmlessly.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of --name, or fallback.
+  std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Integer value of --name, or fallback on absence/parse failure.
+  long long get_int(const std::string& name, long long fallback) const;
+
+  /// Double value of --name, or fallback on absence/parse failure.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace efd::util

@@ -1,0 +1,104 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace efd::util {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else if (c == '\r') {
+        // Swallow CR from CRLF line endings.
+      } else {
+        current += c;
+      }
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_csv_field(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += "\"\"";
+    else escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape_csv_field(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (std::string_view field : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape_csv_field(field);
+  }
+  out_ << '\n';
+}
+
+std::vector<CsvRow> CsvReader::read_all(std::istream& in, bool require_rectangular) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    CsvRow row = parse_csv_line(line);
+    if (require_rectangular) {
+      if (width == 0) {
+        width = row.size();
+      } else if (row.size() != width) {
+        std::ostringstream message;
+        message << "ragged CSV: row " << rows.size() + 1 << " has "
+                << row.size() << " fields, expected " << width;
+        throw std::runtime_error(message.str());
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<CsvRow> CsvReader::read_file(const std::string& path,
+                                         bool require_rectangular) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read_all(in, require_rectangular);
+}
+
+}  // namespace efd::util

@@ -1,0 +1,53 @@
+#pragma once
+/// \file csv.hpp
+/// \brief RFC-4180-ish CSV reading and writing.
+///
+/// Used to persist generated datasets in the same tabular shape as the
+/// Taxonomist figshare artifact (one row per (execution, node, metric,
+/// second)) and to export evaluation tables.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efd::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line honoring double-quote escaping.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Escapes a field if it contains a delimiter, quote, or newline.
+std::string escape_csv_field(std::string_view field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row (fields are escaped as needed).
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for heterogeneous rows built in place.
+  void write_row(std::initializer_list<std::string_view> fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Whole-file CSV reader with an optional header row.
+class CsvReader {
+ public:
+  /// Parses the entire stream. Throws std::runtime_error on ragged rows if
+  /// \p require_rectangular is set.
+  static std::vector<CsvRow> read_all(std::istream& in, bool require_rectangular = false);
+
+  /// Reads a file from disk. Throws std::runtime_error if it cannot be opened.
+  static std::vector<CsvRow> read_file(const std::string& path,
+                                       bool require_rectangular = false);
+};
+
+}  // namespace efd::util

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace efd::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "INFO";
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn), stream_(&std::cerr) {
+  if (const char* env = std::getenv("EFD_LOG_LEVEL")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+void Logger::set_stream(std::ostream* stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = stream != nullptr ? stream : &std::cerr;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*stream_) << '[' << to_string(level) << "] " << component << ": " << message
+             << '\n';
+}
+
+}  // namespace efd::util

@@ -1,0 +1,91 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Minimal, thread-safe, leveled logging for the EFD library.
+///
+/// The logger writes to stderr by default and can be redirected to any
+/// std::ostream. Log calls are cheap when the level is disabled: the
+/// message is only formatted after the level check passes.
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace efd::util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the canonical upper-case name of a level ("INFO", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses a level name (case-insensitive); returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Process-wide logger. All members are thread-safe.
+class Logger {
+ public:
+  /// Returns the singleton instance.
+  static Logger& instance();
+
+  /// Sets the minimum level that will be emitted.
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Redirects output. The stream must outlive the logger's use of it.
+  void set_stream(std::ostream* stream);
+
+  /// True if a message at \p level would be emitted.
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Emits one formatted line: "[LEVEL] component: message".
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::ostream* stream_;
+  std::mutex mutex_;
+};
+
+/// Streaming helper used by the EFD_LOG macro; accumulates into a buffer
+/// and emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, buffer_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace efd::util
+
+/// Logs a streamed message if the level is enabled, e.g.
+///   EFD_LOG(kInfo, "trainer") << "built dictionary with " << n << " keys";
+#define EFD_LOG(level_name, component)                                       \
+  if (::efd::util::Logger::instance().enabled(                               \
+          ::efd::util::LogLevel::level_name))                                \
+  ::efd::util::LogLine(::efd::util::LogLevel::level_name, (component))

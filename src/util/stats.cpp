@@ -1,0 +1,193 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace efd::util {
+
+namespace {
+constexpr double kTinyVariance = 1e-24;
+}
+
+void RunningMoments::add(double x) noexcept {
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+}
+
+double RunningMoments::variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningMoments::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningMoments::skewness() const noexcept {
+  if (n_ < 3 || m2_ < kTinyVariance) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningMoments::kurtosis() const noexcept {
+  if (n_ < 4 || m2_ < kTinyVariance) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return kahan_sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  RunningMoments moments;
+  for (double v : values) moments.add(v);
+  return moments.variance();
+}
+
+double stddev(std::span<const double> values) noexcept {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 100.0);
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double kahan_sum(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(x.subspan(0, n));
+  const double my = mean(y.subspan(0, n));
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom < kTinyVariance) return 0.0;
+  return sxy / denom;
+}
+
+double harmonic_mean(double a, double b) noexcept {
+  if (a + b <= 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+double slope(std::span<const double> values) noexcept {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  // x = 0..n-1, closed form least squares.
+  const double nf = static_cast<double>(n);
+  const double mean_x = (nf - 1.0) / 2.0;
+  const double mean_y = mean(values);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    sxy += dx * (values[i] - mean_y);
+    sxx += dx * dx;
+  }
+  return sxx > 0.0 ? sxy / sxx : 0.0;
+}
+
+double autocorrelation(std::span<const double> values, std::size_t lag) noexcept {
+  const std::size_t n = values.size();
+  if (lag >= n || n < 2) return 0.0;
+  const double m = mean(values);
+  double num = 0.0, denom = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = values[i] - m;
+    denom += d * d;
+  }
+  if (denom < kTinyVariance) return 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (values[i] - m) * (values[i + lag] - m);
+  }
+  return num / denom;
+}
+
+}  // namespace efd::util

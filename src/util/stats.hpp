@@ -1,0 +1,89 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Numerically stable statistics kernels shared by the fingerprint
+/// builder (interval means), the feature extractor (Taxonomist baseline),
+/// and the evaluation harness (score aggregation).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace efd::util {
+
+/// Streaming mean/variance/skewness/kurtosis accumulator (Welford / Pébay).
+/// Single pass, numerically stable, mergeable.
+class RunningMoments {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningMoments& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by n). Zero for n < 1.
+  double variance() const noexcept;
+
+  /// Sample variance (divides by n-1). Zero for n < 2.
+  double sample_variance() const noexcept;
+
+  double stddev() const noexcept;
+
+  /// Skewness (g1); zero when variance is ~0 or n < 3.
+  double skewness() const noexcept;
+
+  /// Excess kurtosis (g2); zero when variance is ~0 or n < 4.
+  double kurtosis() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values) noexcept;
+
+/// Population variance; 0 for fewer than 2 values.
+double variance(std::span<const double> values) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> values) noexcept;
+
+/// Minimum; 0 for empty input.
+double min_value(std::span<const double> values) noexcept;
+
+/// Maximum; 0 for empty input.
+double max_value(std::span<const double> values) noexcept;
+
+/// Linear-interpolated percentile, q in [0, 100]; matches numpy's default
+/// ("linear") method. 0 for empty input. Input need not be sorted.
+double percentile(std::span<const double> values, double q);
+
+/// Percentile on an already-sorted span (no copy).
+double percentile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Median (50th percentile).
+double median(std::span<const double> values);
+
+/// Sum with Kahan compensation.
+double kahan_sum(std::span<const double> values) noexcept;
+
+/// Pearson correlation of two equal-length spans; 0 if degenerate.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Harmonic mean of two non-negative numbers; 0 if both are 0.
+/// This is exactly the F-score combination rule used in the paper.
+double harmonic_mean(double a, double b) noexcept;
+
+/// Simple linear regression slope of y over x = 0..n-1 (trend of a series).
+double slope(std::span<const double> values) noexcept;
+
+/// Autocorrelation at a given lag (biased estimator); 0 if degenerate.
+double autocorrelation(std::span<const double> values, std::size_t lag) noexcept;
+
+}  // namespace efd::util

@@ -1,0 +1,111 @@
+#include "util/string_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace efd::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) result += delimiter;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<long long> parse_int(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  long long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string format_mean(double value) {
+  if (!std::isfinite(value)) return "nan";
+  char buffer[64];
+  // %.10g removes noise digits; then ensure a decimal point remains.
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  std::string text(buffer);
+  if (text.find('.') == std::string::npos &&
+      text.find('e') == std::string::npos &&
+      text.find("inf") == std::string::npos) {
+    text += ".0";
+  }
+  return text;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string replace_all(std::string text, std::string_view from, std::string_view to) {
+  if (from.empty()) return text;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+}  // namespace efd::util

@@ -1,0 +1,47 @@
+#pragma once
+/// \file string_utils.hpp
+/// \brief Small string helpers used across modules (parsing metric names,
+/// application labels, CSV fields, CLI arguments).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efd::util {
+
+/// Splits on a single character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Joins with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view text);
+
+/// True if \p text starts with \p prefix.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// True if \p text ends with \p suffix.
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Strict double parse; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Strict integer parse; nullopt on any trailing garbage or overflow.
+std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// Formats a double the way the paper prints fingerprint means:
+/// trailing zeros trimmed but at least one decimal ("6000.0", "5.3", "0.04").
+std::string format_mean(double value);
+
+/// Formats with fixed decimals.
+std::string format_fixed(double value, int decimals);
+
+/// Replaces every occurrence of \p from with \p to.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+}  // namespace efd::util

@@ -1,0 +1,130 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_utils.hpp"
+
+namespace efd::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)), alignments_(headers_.size(), Align::kLeft) {}
+
+void TablePrinter::set_alignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+  alignments_.resize(headers_.size(), Align::kLeft);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TablePrinter::add_separator() {
+  rows_.push_back(Row{{}, true});
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t width : widths) {
+      for (std::size_t i = 0; i < width + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      out << ' ';
+      if (alignments_[c] == Align::kRight) {
+        for (std::size_t i = 0; i < pad; ++i) out << ' ';
+        out << cell;
+      } else {
+        out << cell;
+        for (std::size_t i = 0; i < pad; ++i) out << ' ';
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_rule();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+BarChart::BarChart(std::string title, double max_value, int width)
+    : title_(std::move(title)),
+      max_value_(max_value > 0.0 ? max_value : 1.0),
+      width_(std::max(width, 10)) {}
+
+void BarChart::add_bar(const std::string& group, const std::string& label,
+                       double value) {
+  bars_.push_back(Bar{group, label, value, false, {}});
+}
+
+void BarChart::add_note(const std::string& group, const std::string& label,
+                        const std::string& note) {
+  bars_.push_back(Bar{group, label, 0.0, true, note});
+}
+
+void BarChart::print(std::ostream& out) const {
+  out << title_ << '\n';
+  std::size_t label_width = 0;
+  for (const Bar& bar : bars_) {
+    label_width = std::max(label_width, bar.group.size() + bar.label.size() + 3);
+  }
+  for (const Bar& bar : bars_) {
+    std::string label = bar.group + " | " + bar.label;
+    out << "  " << label;
+    for (std::size_t i = label.size(); i < label_width; ++i) out << ' ';
+    out << " ";
+    if (bar.is_note) {
+      out << "(" << bar.note << ")\n";
+      continue;
+    }
+    const double clamped = std::clamp(bar.value, 0.0, max_value_);
+    const int filled =
+        static_cast<int>(std::lround(clamped / max_value_ * width_));
+    out << '[';
+    for (int i = 0; i < width_; ++i) out << (i < filled ? '#' : ' ');
+    out << "] " << format_fixed(bar.value, 3) << '\n';
+  }
+}
+
+std::string BarChart::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace efd::util

@@ -1,0 +1,79 @@
+#pragma once
+/// \file table_printer.hpp
+/// \brief ASCII table and bar-chart rendering for the bench binaries that
+/// regenerate the paper's tables (1-4) and Figure 2.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace efd::util {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Renders a column-aligned ASCII table with a header row and separator,
+/// similar to how the paper's camera-ready tables read.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; defaults to left for all columns.
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Adds one row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the last added row.
+  void add_separator();
+
+  /// Renders to a stream with box-drawing via '-', '|' and '+'.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string.
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+/// Renders a horizontal bar chart, one labeled bar per entry, scaled so the
+/// maximum value fills \p width characters. Used for Figure 2.
+class BarChart {
+ public:
+  BarChart(std::string title, double max_value, int width = 50);
+
+  /// Adds a bar. \p group is printed before the label (e.g. "EFD" vs
+  /// "Taxonomist" series in Figure 2).
+  void add_bar(const std::string& group, const std::string& label, double value);
+
+  /// Adds an annotation-only row (e.g. "not reported in the paper").
+  void add_note(const std::string& group, const std::string& label,
+                const std::string& note);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  struct Bar {
+    std::string group;
+    std::string label;
+    double value = 0.0;
+    bool is_note = false;
+    std::string note;
+  };
+  std::string title_;
+  double max_value_;
+  int width_;
+  std::vector<Bar> bars_;
+};
+
+}  // namespace efd::util

@@ -1,0 +1,215 @@
+/// \file test_app_models.cpp
+/// \brief Tests that the application behaviour models encode the paper's
+/// phenomena: Table 4's nr_mapped levels, SP/BT proximity, node-role
+/// asymmetry, input invariance vs miniAMR's sensitivity, and the anomaly
+/// models used by the examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/anomaly_models.hpp"
+#include "sim/app_model.hpp"
+#include "telemetry/metric_registry.hpp"
+
+namespace {
+
+using namespace efd::sim;
+using efd::telemetry::MetricInfo;
+using efd::telemetry::MetricRegistry;
+
+const MetricRegistry& registry() {
+  static const MetricRegistry instance = MetricRegistry::standard_catalog();
+  return instance;
+}
+
+const MetricInfo& nr_mapped() {
+  return registry().info(registry().require("nr_mapped_vmstat"));
+}
+
+double level(const AppModel& app, const std::string& input,
+             std::uint32_t node = 1) {
+  return app.signal(nr_mapped(), input, node, 4).base;
+}
+
+TEST(AppFactory, AllElevenPaperApplications) {
+  const auto models = make_paper_applications();
+  ASSERT_EQ(models.size(), 11u);
+  std::set<std::string> names;
+  for (const auto& model : models) names.insert(model->name());
+  for (const char* expected :
+       {"ft", "mg", "sp", "lu", "bt", "cg", "CoMD", "miniGhost", "miniAMR",
+        "miniMD", "kripke"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(AppFactory, ByNameRoundTrip) {
+  for (const char* name : {"ft", "sp", "miniAMR", "kripke", "cryptominer"}) {
+    const auto model = make_application(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_EQ(make_application("no_such_app"), nullptr);
+}
+
+TEST(AppFactory, StarredAppsSupportInputL) {
+  for (const std::string& name : large_input_applications()) {
+    const auto model = make_application(name);
+    ASSERT_NE(model, nullptr);
+    const auto& inputs = model->supported_inputs();
+    EXPECT_NE(std::find(inputs.begin(), inputs.end(), "L"), inputs.end())
+        << name;
+  }
+  // NAS applications do not have L.
+  const auto ft = make_application("ft");
+  const auto& ft_inputs = ft->supported_inputs();
+  EXPECT_EQ(std::find(ft_inputs.begin(), ft_inputs.end(), "L"),
+            ft_inputs.end());
+}
+
+TEST(InputRank, CanonicalOrder) {
+  EXPECT_EQ(input_rank("X"), 0u);
+  EXPECT_EQ(input_rank("Y"), 1u);
+  EXPECT_EQ(input_rank("Z"), 2u);
+  EXPECT_EQ(input_rank("L"), 3u);
+  EXPECT_EQ(input_rank("?"), 0u);
+}
+
+TEST(Table4Levels, HeadlineMetricMatchesPaper) {
+  // Table 4's nr_mapped_vmstat levels, non-rank-0 nodes.
+  EXPECT_DOUBLE_EQ(level(*make_application("ft"), "X"), 6000.0);
+  EXPECT_DOUBLE_EQ(level(*make_application("mg"), "Y"), 6100.0);
+  EXPECT_DOUBLE_EQ(level(*make_application("sp"), "Z"), 7500.0);
+  EXPECT_DOUBLE_EQ(level(*make_application("lu"), "X"), 8300.0);
+  EXPECT_DOUBLE_EQ(level(*make_application("miniGhost"), "X"), 7900.0);
+  EXPECT_DOUBLE_EQ(level(*make_application("miniAMR"), "X"), 7800.0);
+}
+
+TEST(Table4Levels, Rank0Asymmetry) {
+  // SP/BT/LU "use nodes in consistently different ways": rank 0 is higher.
+  const auto sp = make_application("sp");
+  EXPECT_DOUBLE_EQ(level(*sp, "X", 0), 7600.0);
+  EXPECT_DOUBLE_EQ(level(*sp, "X", 1), 7500.0);
+  EXPECT_DOUBLE_EQ(level(*sp, "X", 3), 7500.0);
+
+  const auto lu = make_application("lu");
+  EXPECT_DOUBLE_EQ(level(*lu, "Y", 0), 8400.0);
+  EXPECT_DOUBLE_EQ(level(*lu, "Y", 2), 8300.0);
+}
+
+TEST(Table4Levels, SpBtDepth2CollisionDepth3Separation) {
+  const auto sp = make_application("sp");
+  const auto bt = make_application("bt");
+  // Same depth-2 bucket (hundreds), different depth-3 bucket (tens).
+  const double sp_level = level(*sp, "X");
+  const double bt_level = level(*bt, "X");
+  EXPECT_EQ(std::round(sp_level / 100.0), std::round(bt_level / 100.0));
+  EXPECT_NE(std::round(sp_level / 10.0), std::round(bt_level / 10.0));
+  // Same relationship on rank 0.
+  const double sp0 = level(*sp, "X", 0);
+  const double bt0 = level(*bt, "X", 0);
+  EXPECT_EQ(std::round(sp0 / 100.0), std::round(bt0 / 100.0));
+  EXPECT_NE(std::round(sp0 / 10.0), std::round(bt0 / 10.0));
+}
+
+TEST(InputSensitivity, HeadlineMetricInvariantForMostApps) {
+  for (const char* name : {"ft", "mg", "sp", "lu", "bt", "cg", "CoMD",
+                           "miniGhost", "miniMD", "kripke"}) {
+    const auto model = make_application(name);
+    EXPECT_DOUBLE_EQ(level(*model, "X"), level(*model, "Y")) << name;
+    EXPECT_DOUBLE_EQ(level(*model, "Y"), level(*model, "Z")) << name;
+  }
+}
+
+TEST(InputSensitivity, MiniAmrIsInputDependent) {
+  const auto model = make_application("miniAMR");
+  const double x = level(*model, "X");
+  const double y = level(*model, "Y");
+  const double z = level(*model, "Z");
+  EXPECT_NE(x, y);
+  EXPECT_NE(y, z);
+  EXPECT_GT(z, 10000.0);  // Table 4's 10000/11000 depth-2 region
+}
+
+TEST(Levels, DistinctAcrossApplicationsOnHeadlineMetric) {
+  const auto models = make_paper_applications();
+  std::set<double> levels;
+  for (const auto& model : models) {
+    levels.insert(level(*model, "X"));
+  }
+  EXPECT_EQ(levels.size(), models.size());  // all distinct
+}
+
+TEST(DerivedSignals, FillerMetricsAreApplicationIndependent) {
+  // Unmodeled metrics must look identical across applications, so they
+  // carry no recognition signal (the long tail of Table 3).
+  const MetricRegistry& reg = registry();
+  const MetricInfo* filler = nullptr;
+  for (efd::telemetry::MetricId id = 0; id < reg.size(); ++id) {
+    if (!reg.info(id).modeled) {
+      filler = &reg.info(id);
+      break;
+    }
+  }
+  ASSERT_NE(filler, nullptr);
+  const auto ft = make_application("ft");
+  const auto kripke = make_application("kripke");
+  EXPECT_DOUBLE_EQ(ft->signal(*filler, "X", 0, 4).base,
+                   kripke->signal(*filler, "Z", 0, 4).base);
+}
+
+TEST(DerivedSignals, ModeledMetricsDifferAcrossApplications) {
+  const MetricInfo& committed =
+      registry().info(registry().require("Committed_AS_meminfo"));
+  const auto ft = make_application("ft");
+  const auto cg = make_application("cg");
+  EXPECT_NE(ft->signal(committed, "X", 1, 4).base,
+            cg->signal(committed, "X", 1, 4).base);
+}
+
+TEST(DerivedSignals, DeterministicAcrossCalls) {
+  const MetricInfo& committed =
+      registry().info(registry().require("Committed_AS_meminfo"));
+  const auto a = make_application("mg");
+  const auto b = make_application("mg");
+  EXPECT_DOUBLE_EQ(a->signal(committed, "Y", 2, 4).base,
+                   b->signal(committed, "Y", 2, 4).base);
+}
+
+TEST(DerivedSignals, MemFreeInvertsWithFootprint) {
+  // Higher-footprint applications must show *less* free memory.
+  const MetricInfo& memfree =
+      registry().info(registry().require("MemFree_meminfo"));
+  const auto kripke = make_application("kripke");   // footprint 0.85
+  const auto minimd = make_application("miniMD");   // footprint 0.45
+  EXPECT_LT(kripke->signal(memfree, "X", 1, 4).base / 1e7,
+            minimd->signal(memfree, "X", 1, 4).base / 1e7 + 1.0);
+}
+
+TEST(Durations, CoverPaperWindowWithMargin) {
+  for (const auto& model : make_paper_applications()) {
+    for (const std::string& input : model->supported_inputs()) {
+      EXPECT_GE(model->typical_duration(input), 130.0)
+          << model->name() << " " << input;
+    }
+  }
+}
+
+TEST(CryptoMiner, FootprintFarBelowWorkloads) {
+  const CryptoMinerModel miner;
+  const double miner_level = miner.signal(nr_mapped(), "X", 0, 4).base;
+  EXPECT_LT(miner_level, 3000.0);  // Table 4 legit apps span 6000-11000
+}
+
+TEST(DegradedApp, ShiftsHeadlineLevelBySeverity) {
+  const auto healthy = make_application("miniGhost");
+  const DegradedAppModel degraded(*healthy, 0.15);
+  const double healthy_level = healthy->signal(nr_mapped(), "X", 1, 4).base;
+  const double degraded_level = degraded.signal(nr_mapped(), "X", 1, 4).base;
+  EXPECT_NEAR(degraded_level, healthy_level * 1.15, 1.0);
+  EXPECT_EQ(degraded.name(), "miniGhost_degraded");
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+/// \file test_cli_and_tables.cpp
+/// \brief Tests for the CLI argument parser and the ASCII table/chart
+/// renderers used by the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/arg_parser.hpp"
+#include "util/logging.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace efd::util;
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, ProgramName) {
+  const auto args = parse({"./bench"});
+  EXPECT_EQ(args.program(), "./bench");
+}
+
+TEST(ArgParser, EqualsForm) {
+  const auto args = parse({"prog", "--seed=99"});
+  EXPECT_TRUE(args.has("seed"));
+  EXPECT_EQ(args.get_int("seed", 0), 99);
+}
+
+TEST(ArgParser, SpaceForm) {
+  const auto args = parse({"prog", "--metric", "nr_mapped_vmstat"});
+  EXPECT_EQ(args.get("metric"), "nr_mapped_vmstat");
+}
+
+TEST(ArgParser, BareFlag) {
+  const auto args = parse({"prog", "--full", "--seed=1"});
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_EQ(args.get("full"), "");
+}
+
+TEST(ArgParser, FlagFollowedByFlag) {
+  // --full must not swallow --seed as its value.
+  const auto args = parse({"prog", "--full", "--seed", "7"});
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(ArgParser, Positionals) {
+  const auto args = parse({"prog", "input.csv", "--seed=1", "out.csv"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+}
+
+TEST(ArgParser, FallbacksOnMissing) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get("x", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 2.5), 2.5);
+}
+
+TEST(ArgParser, FallbackOnUnparsableNumber) {
+  const auto args = parse({"prog", "--n=abc"});
+  EXPECT_EQ(args.get_int("n", 5), 5);
+}
+
+TEST(ArgParser, DoubleValues) {
+  const auto args = parse({"prog", "--noise-scale=2.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("noise-scale", 1.0), 2.5);
+}
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"ft", "6000.0"});
+  table.add_row({"mg", "6100.0"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name |"), std::string::npos);
+  EXPECT_NE(out.find("| ft"), std::string::npos);
+  EXPECT_NE(out.find("6100.0"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(TablePrinter, RightAlignment) {
+  TablePrinter table({"num"});
+  table.set_alignments({Align::kRight});
+  table.add_row({"7"});
+  table.add_row({"1234"});
+  const std::string out = table.to_string();
+  // Right-aligned "7" is padded on the left within a width-4 column.
+  EXPECT_NE(out.find("|    7 |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorRowRendered) {
+  TablePrinter table({"x"});
+  table.add_row({"above"});
+  table.add_separator();
+  table.add_row({"below"});
+  const std::string out = table.to_string();
+  // 5 rules total: top, under header, separator, bottom... count '+' lines.
+  int rules = 0;
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(BarChart, BarsScaleWithValue) {
+  BarChart chart("title", 1.0, 20);
+  chart.add_bar("EFD", "normal", 1.0);
+  chart.add_bar("EFD", "hard", 0.5);
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("####################]"), std::string::npos);  // full bar
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+TEST(BarChart, NotesRenderWithoutBar) {
+  BarChart chart("title", 1.0);
+  chart.add_note("Taxonomist", "hard input", "not conducted");
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("(not conducted)"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(BarChart, ValuesClampedToMax) {
+  BarChart chart("t", 1.0, 10);
+  chart.add_bar("g", "over", 1.5);
+  EXPECT_NO_THROW(chart.to_string());
+}
+
+TEST(Logging, LevelsParseAndFormat) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, RespectsLevelAndStream) {
+  std::ostringstream sink;
+  Logger& logger = Logger::instance();
+  std::ostream* saved_level_sink = nullptr;
+  (void)saved_level_sink;
+  const LogLevel saved = logger.level();
+  logger.set_stream(&sink);
+  logger.set_level(LogLevel::kWarn);
+
+  EFD_LOG(kInfo, "test") << "hidden";
+  EFD_LOG(kError, "test") << "visible " << 42;
+
+  logger.set_level(saved);
+  logger.set_stream(nullptr);  // back to stderr
+
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("[ERROR] test: visible 42"), std::string::npos);
+}
+
+}  // namespace

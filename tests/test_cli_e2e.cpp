@@ -1,0 +1,143 @@
+/// \file test_cli_e2e.cpp
+/// \brief End-to-end tests of the efd_cli binary: the full operator
+/// workflow (generate -> train -> recognize -> stats -> coverage ->
+/// evaluate) through the real executable, exercising argument parsing,
+/// CSV and dictionary persistence across process boundaries.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef EFD_CLI_PATH
+#error "EFD_CLI_PATH must be defined by the build"
+#endif
+
+std::string cli() { return EFD_CLI_PATH; }
+
+std::string temp_path(const std::string& name) {
+  // Discovered tests run as concurrent processes; pid-suffixed paths keep
+  // their scratch files disjoint.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+/// Runs a command, captures stdout, returns (exit code, output).
+std::pair<int, std::string> run(const std::string& command_line) {
+  const std::string out_file = temp_path("cli_stdout.txt");
+  const std::string full = command_line + " > " + out_file + " 2>&1";
+  const int status = std::system(full.c_str());
+  std::ifstream in(out_file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(out_file.c_str());
+  return {status, buffer.str()};
+}
+
+class CliWorkflow : public ::testing::Test {
+ protected:
+  // Each discovered test runs in its own process, so the suite setup
+  // performs the full generate + train pipeline every time; individual
+  // tests then verify one aspect each.
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(temp_path("cli_history.csv"));
+    dict_path_ = new std::string(temp_path("cli_apps.efd"));
+    const auto [gen_status, gen_output] =
+        run(cli() + " generate --out " + *data_path_ +
+            " --repetitions 4 --no-large --seed 42");
+    ASSERT_EQ(gen_status, 0) << gen_output;
+    train_output_ = new std::string();
+    const auto [train_status, train_output] =
+        run(cli() + " train --data " + *data_path_ + " --out " + *dict_path_);
+    ASSERT_EQ(train_status, 0) << train_output;
+    *train_output_ = train_output;
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(data_path_->c_str());
+    std::remove(dict_path_->c_str());
+    delete data_path_;
+    delete dict_path_;
+    delete train_output_;
+  }
+
+  static std::string* data_path_;
+  static std::string* dict_path_;
+  static std::string* train_output_;
+};
+
+std::string* CliWorkflow::data_path_ = nullptr;
+std::string* CliWorkflow::dict_path_ = nullptr;
+std::string* CliWorkflow::train_output_ = nullptr;
+
+TEST_F(CliWorkflow, Step1GenerateWroteDataset) {
+  std::ifstream in(*data_path_);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.substr(0, 12), "execution_id");
+}
+
+TEST_F(CliWorkflow, Step2TrainSelectsDepthAndSaves) {
+  EXPECT_NE(train_output_->find("depth 3"), std::string::npos)
+      << *train_output_;
+  EXPECT_NE(train_output_->find("selected by inner CV"), std::string::npos);
+  std::ifstream dict(*dict_path_);
+  EXPECT_TRUE(dict.good());
+}
+
+TEST_F(CliWorkflow, Step3RecognizeIsPerfectOnTrainingCorpus) {
+  const auto [status, output] = run(cli() + " recognize --data " + *data_path_ +
+                                    " --dict " + *dict_path_);
+  ASSERT_EQ(status, 0) << output;
+  // 11 apps x 3 inputs x 4 repetitions, all recognized.
+  EXPECT_NE(output.find("132/132 correct"), std::string::npos) << output;
+}
+
+TEST_F(CliWorkflow, Step4StatsReportExclusiveness) {
+  const auto [status, output] = run(cli() + " stats --dict " + *dict_path_);
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("rounding depth: 3"), std::string::npos);
+  EXPECT_NE(output.find("keys:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, Step5CoverageIsFull) {
+  const auto [status, output] = run(cli() + " coverage --data " + *data_path_ +
+                                    " --dict " + *dict_path_);
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("mean match fraction 1.000"), std::string::npos)
+      << output;
+}
+
+TEST_F(CliWorkflow, Step6EvaluateRunsAnExperiment) {
+  const auto [status, output] =
+      run(cli() + " evaluate --data " + *data_path_ +
+          " --experiment normal-fold --folds 4");
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("normal fold: mean macro F"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, UnknownCommandFails) {
+  const auto [status, output] = run(cli() + " frobnicate");
+  EXPECT_NE(status, 0);
+}
+
+TEST_F(CliWorkflow, MissingArgumentsFail) {
+  EXPECT_NE(run(cli() + " train").first, 0);
+  EXPECT_NE(run(cli() + " recognize --data " + *data_path_).first, 0);
+}
+
+TEST_F(CliWorkflow, MissingFileReportsError) {
+  const auto [status, output] =
+      run(cli() + " stats --dict /no/such/file.efd");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+/// \file test_cluster_sim.cpp
+/// \brief Tests for the cluster simulator and dataset generator: shapes,
+/// determinism (the property every reproduced table rests on), and
+/// Table 2 composition.
+
+#include "sim/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset_generator.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace efd::sim;
+using namespace efd::telemetry;
+
+const MetricRegistry& registry() {
+  static const MetricRegistry instance = MetricRegistry::standard_catalog();
+  return instance;
+}
+
+ExecutionPlan plan_for(const AppModel& app, std::uint64_t id,
+                       const std::string& input = "X",
+                       std::uint32_t nodes = 4) {
+  ExecutionPlan plan;
+  plan.app = &app;
+  plan.input_size = input;
+  plan.node_count = nodes;
+  plan.execution_id = id;
+  return plan;
+}
+
+TEST(ClusterSimulator, RecordShape) {
+  const auto app = make_application("ft");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat", "MemFree_meminfo"},
+                             42);
+  const ExecutionRecord record = simulator.run(plan_for(*app, 1));
+  EXPECT_EQ(record.node_count(), 4u);
+  EXPECT_EQ(record.metric_count(), 2u);
+  EXPECT_EQ(record.label().full(), "ft_X");
+  EXPECT_GE(record.min_duration_seconds(), 130.0);
+  EXPECT_TRUE(record.covers(kPaperInterval));
+}
+
+TEST(ClusterSimulator, ExplicitDurationRespected) {
+  const auto app = make_application("cg");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  auto plan = plan_for(*app, 1);
+  plan.duration_seconds = 33.0;
+  const ExecutionRecord record = simulator.run(plan);
+  EXPECT_DOUBLE_EQ(record.min_duration_seconds(), 33.0);
+  EXPECT_FALSE(record.covers(kPaperInterval));
+}
+
+TEST(ClusterSimulator, NullAppThrows) {
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  ExecutionPlan plan;
+  EXPECT_THROW(simulator.run(plan), std::invalid_argument);
+}
+
+TEST(ClusterSimulator, UnknownMetricThrows) {
+  EXPECT_THROW(ClusterSimulator(registry(), {"no_such_metric"}, 42),
+               std::out_of_range);
+}
+
+TEST(ClusterSimulator, DeterministicAcrossInstances) {
+  const auto app = make_application("sp");
+  ClusterSimulator a(registry(), {"nr_mapped_vmstat"}, 42);
+  ClusterSimulator b(registry(), {"nr_mapped_vmstat"}, 42);
+  const ExecutionRecord ra = a.run(plan_for(*app, 9));
+  const ExecutionRecord rb = b.run(plan_for(*app, 9));
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t t = 0; t < ra.series(n, 0).size(); ++t) {
+      ASSERT_DOUBLE_EQ(ra.series(n, 0)[t], rb.series(n, 0)[t]);
+    }
+  }
+}
+
+TEST(ClusterSimulator, DifferentExecutionsDiffer) {
+  const auto app = make_application("sp");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  const ExecutionRecord r1 = simulator.run(plan_for(*app, 1));
+  const ExecutionRecord r2 = simulator.run(plan_for(*app, 2));
+  // Same application and input, different repetition: values differ
+  // (noise) but the interval means stay within one rounding bucket.
+  bool any_difference = false;
+  for (std::size_t t = 0; t < r1.series(0, 0).size(); ++t) {
+    any_difference |= r1.series(0, 0)[t] != r2.series(0, 0)[t];
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_NEAR(r1.series(1, 0).mean_over(kPaperInterval),
+              r2.series(1, 0).mean_over(kPaperInterval), 30.0);
+}
+
+TEST(ClusterSimulator, IntervalMeanNearConfiguredLevel) {
+  const auto app = make_application("miniGhost");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  const ExecutionRecord record = simulator.run(plan_for(*app, 3));
+  // Steady-state level is 7900 (Table 4); the [60,120) mean must sit
+  // within a depth-3 bucket or two of it.
+  EXPECT_NEAR(record.series(2, 0).mean_over(kPaperInterval), 7900.0, 30.0);
+}
+
+TEST(ClusterSimulator, InitPhaseLowerThanSteadyState) {
+  const auto app = make_application("kripke");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  const ExecutionRecord record = simulator.run(plan_for(*app, 4));
+  const double init_mean = record.series(0, 0).mean_over({0, 20});
+  const double steady_mean = record.series(0, 0).mean_over(kPaperInterval);
+  EXPECT_LT(init_mean, 0.85 * steady_mean);
+}
+
+TEST(ClusterSimulator, NoiseScaleWidensSpread) {
+  const auto app = make_application("ft");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+
+  auto spread = [&](double noise_scale) {
+    double lo = 1e18, hi = -1e18;
+    for (std::uint64_t id = 1; id <= 20; ++id) {
+      auto plan = plan_for(*app, id);
+      plan.noise_scale = noise_scale;
+      const auto record = simulator.run(plan);
+      const double m = record.series(0, 0).mean_over(kPaperInterval);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(0.25), spread(4.0));
+}
+
+TEST(ClusterSimulator, StreamSamplingMatchesBulk) {
+  const auto app = make_application("lu");
+  ClusterSimulator simulator(registry(), {"nr_mapped_vmstat"}, 42);
+  const auto plan = plan_for(*app, 5);
+  const ExecutionRecord record = simulator.run(plan);
+  // sample_stream replays the same RNG stream; spot-check a few ticks.
+  EXPECT_DOUBLE_EQ(simulator.sample_stream(plan, 0, "nr_mapped_vmstat", 0.0),
+                   record.series(0, 0)[0]);
+  EXPECT_DOUBLE_EQ(simulator.sample_stream(plan, 2, "nr_mapped_vmstat", 80.0),
+                   record.series(2, 0)[80]);
+}
+
+TEST(DatasetGenerator, Table2Composition) {
+  GeneratorConfig config;
+  config.seed = 1;
+  config.small_repetitions = 3;
+  config.large_repetitions = 2;
+  config.metrics = {"nr_mapped_vmstat"};
+  const Dataset dataset = generate_paper_dataset(config);
+
+  // 11 apps x 3 inputs x 3 reps + 4 starred apps x 2 L-reps.
+  EXPECT_EQ(dataset.size(), 11u * 3 * 3 + 4u * 2);
+  EXPECT_EQ(dataset.applications().size(), 11u);
+  EXPECT_EQ(dataset.input_sizes(),
+            (std::vector<std::string>{"L", "X", "Y", "Z"}));
+
+  // L executions run on 32 nodes, the rest on 4.
+  for (const auto& record : dataset.records()) {
+    EXPECT_EQ(record.node_count(),
+              record.label().input_size == "L" ? 32u : 4u);
+  }
+}
+
+TEST(DatasetGenerator, LargeInputCanBeDisabled) {
+  GeneratorConfig config;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  const Dataset dataset = generate_paper_dataset(config);
+  EXPECT_EQ(dataset.size(), 11u * 3 * 2);
+  for (const auto& record : dataset.records()) {
+    EXPECT_NE(record.label().input_size, "L");
+  }
+}
+
+TEST(DatasetGenerator, ParallelEqualsSerial) {
+  GeneratorConfig config;
+  config.seed = 77;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+
+  config.parallel = true;
+  const Dataset parallel_ds = generate_paper_dataset(config);
+  config.parallel = false;
+  const Dataset serial_ds = generate_paper_dataset(config);
+
+  ASSERT_EQ(parallel_ds.size(), serial_ds.size());
+  for (std::size_t r = 0; r < parallel_ds.size(); ++r) {
+    const auto& a = parallel_ds.record(r);
+    const auto& b = serial_ds.record(r);
+    ASSERT_EQ(a.label(), b.label());
+    for (std::size_t n = 0; n < a.node_count(); ++n) {
+      for (std::size_t t = 0; t < a.series(n, 0).size(); ++t) {
+        ASSERT_DOUBLE_EQ(a.series(n, 0)[t], b.series(n, 0)[t]);
+      }
+    }
+  }
+}
+
+TEST(DatasetGenerator, DefaultMetricsAreAllModeled) {
+  GeneratorConfig config;
+  config.small_repetitions = 1;
+  config.include_large_input = false;
+  const Dataset dataset = generate_paper_dataset(config);
+  EXPECT_EQ(dataset.metric_names().size(),
+            registry().modeled_metrics().size());
+}
+
+TEST(DatasetGenerator, CustomApplicationList) {
+  const auto ft = make_application("ft");
+  const auto cg = make_application("cg");
+  DatasetGenerator generator(registry());
+  GeneratorConfig config;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  const Dataset dataset = generator.generate(config, {ft.get(), cg.get()});
+  EXPECT_EQ(dataset.size(), 2u * 3 * 2);
+  EXPECT_EQ(dataset.applications(), (std::vector<std::string>{"cg", "ft"}));
+}
+
+}  // namespace

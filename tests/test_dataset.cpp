@@ -1,0 +1,171 @@
+/// \file test_dataset.cpp
+/// \brief Tests for ExecutionRecord, labels, and the Dataset container.
+
+#include "telemetry/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/execution_record.hpp"
+
+namespace {
+
+using namespace efd::telemetry;
+
+ExecutionRecord make_record(std::uint64_t id, const std::string& app,
+                            const std::string& input, std::size_t nodes,
+                            std::size_t metrics, std::size_t samples,
+                            double level = 1.0) {
+  ExecutionRecord record(id, {app, input}, nodes, metrics);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t m = 0; m < metrics; ++m) {
+      for (std::size_t t = 0; t < samples; ++t) {
+        record.series(n, m).push_back(level + static_cast<double>(t));
+      }
+    }
+  }
+  return record;
+}
+
+TEST(ExecutionLabel, FullCombinesAppAndInput) {
+  const ExecutionLabel label{"ft", "X"};
+  EXPECT_EQ(label.full(), "ft_X");
+}
+
+TEST(ExecutionLabel, ParseRoundTrip) {
+  const ExecutionLabel original{"miniAMR", "Z"};
+  EXPECT_EQ(parse_label(original.full()), original);
+}
+
+TEST(ExecutionLabel, ParseAppWithUnderscores) {
+  const auto parsed = parse_label("my_app_name_L");
+  EXPECT_EQ(parsed.application, "my_app_name");
+  EXPECT_EQ(parsed.input_size, "L");
+}
+
+TEST(ExecutionLabel, ParseDegenerateInputs) {
+  EXPECT_EQ(parse_label("plain").application, "plain");
+  EXPECT_EQ(parse_label("plain").input_size, "");
+  EXPECT_EQ(parse_label("trailing_").application, "trailing_");
+}
+
+TEST(ExecutionRecord, ShapeAfterConstruction) {
+  const ExecutionRecord record(7, {"cg", "Y"}, 4, 3);
+  EXPECT_EQ(record.id(), 7u);
+  EXPECT_EQ(record.node_count(), 4u);
+  EXPECT_EQ(record.metric_count(), 3u);
+  EXPECT_EQ(record.node(2).node_id, 2u);
+  EXPECT_EQ(record.label().full(), "cg_Y");
+}
+
+TEST(ExecutionRecord, MinDurationAcrossSeries) {
+  ExecutionRecord record(1, {"ft", "X"}, 2, 1);
+  for (int t = 0; t < 100; ++t) record.series(0, 0).push_back(0.0);
+  for (int t = 0; t < 80; ++t) record.series(1, 0).push_back(0.0);
+  EXPECT_DOUBLE_EQ(record.min_duration_seconds(), 80.0);
+}
+
+TEST(ExecutionRecord, CoversRequiresAllSeries) {
+  ExecutionRecord record(1, {"ft", "X"}, 2, 1);
+  for (int t = 0; t < 130; ++t) record.series(0, 0).push_back(0.0);
+  for (int t = 0; t < 100; ++t) record.series(1, 0).push_back(0.0);
+  EXPECT_FALSE(record.covers({60, 120}));
+  for (int t = 100; t < 130; ++t) record.series(1, 0).push_back(0.0);
+  EXPECT_TRUE(record.covers({60, 120}));
+}
+
+TEST(Dataset, AddAndQuery) {
+  Dataset dataset({"m1", "m2"});
+  dataset.add(make_record(1, "ft", "X", 4, 2, 10));
+  dataset.add(make_record(2, "mg", "Y", 4, 2, 10));
+  dataset.add(make_record(3, "ft", "Z", 4, 2, 10));
+
+  EXPECT_EQ(dataset.size(), 3u);
+  EXPECT_EQ(dataset.applications(), (std::vector<std::string>{"ft", "mg"}));
+  EXPECT_EQ(dataset.input_sizes(), (std::vector<std::string>{"X", "Y", "Z"}));
+  EXPECT_EQ(dataset.full_labels(),
+            (std::vector<std::string>{"ft_X", "ft_Z", "mg_Y"}));
+}
+
+TEST(Dataset, MetricSlotLookup) {
+  Dataset dataset({"alpha", "beta"});
+  EXPECT_EQ(dataset.metric_slot("beta"), 1u);
+  EXPECT_TRUE(dataset.has_metric("alpha"));
+  EXPECT_FALSE(dataset.has_metric("gamma"));
+  EXPECT_THROW(dataset.metric_slot("gamma"), std::out_of_range);
+}
+
+TEST(Dataset, AddRejectsMetricMismatch) {
+  Dataset dataset({"m1", "m2"});
+  EXPECT_THROW(dataset.add(make_record(1, "ft", "X", 2, 3, 5)),
+               std::invalid_argument);
+}
+
+TEST(Dataset, SelectByPredicate) {
+  Dataset dataset({"m"});
+  dataset.add(make_record(1, "ft", "X", 1, 1, 5));
+  dataset.add(make_record(2, "mg", "X", 1, 1, 5));
+  dataset.add(make_record(3, "ft", "Y", 1, 1, 5));
+
+  const auto ft_indices = dataset.select([](const ExecutionRecord& r) {
+    return r.label().application == "ft";
+  });
+  EXPECT_EQ(ft_indices, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Dataset, SubsetCopiesRecords) {
+  Dataset dataset({"m"});
+  dataset.add(make_record(1, "ft", "X", 1, 1, 5, 10.0));
+  dataset.add(make_record(2, "mg", "X", 1, 1, 5, 20.0));
+
+  const Dataset subset = dataset.subset({1});
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_EQ(subset.record(0).label().application, "mg");
+  EXPECT_DOUBLE_EQ(subset.record(0).series(0, 0)[0], 20.0);
+}
+
+TEST(Dataset, WithMetricsProjects) {
+  Dataset dataset({"m1", "m2", "m3"});
+  ExecutionRecord record(1, {"ft", "X"}, 1, 3);
+  record.series(0, 0).push_back(1.0);
+  record.series(0, 1).push_back(2.0);
+  record.series(0, 2).push_back(3.0);
+  dataset.add(record);
+
+  const Dataset projected = dataset.with_metrics({"m3", "m1"});
+  EXPECT_EQ(projected.metric_names(), (std::vector<std::string>{"m3", "m1"}));
+  EXPECT_DOUBLE_EQ(projected.record(0).series(0, 0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(projected.record(0).series(0, 1)[0], 1.0);
+}
+
+TEST(Dataset, WithMetricsUnknownThrows) {
+  Dataset dataset({"m1"});
+  EXPECT_THROW(dataset.with_metrics({"mX"}), std::out_of_range);
+}
+
+TEST(Dataset, TotalSamples) {
+  Dataset dataset({"m1", "m2"});
+  dataset.add(make_record(1, "ft", "X", 3, 2, 7));
+  EXPECT_EQ(dataset.total_samples(), 3u * 2u * 7u);
+}
+
+TEST(Dataset, SummarizeCounts) {
+  Dataset dataset({"m"});
+  dataset.add(make_record(1, "ft", "X", 2, 1, 10));
+  dataset.add(make_record(2, "mg", "Y", 2, 1, 20));
+  const DatasetSummary summary = summarize(dataset);
+  EXPECT_EQ(summary.executions, 2u);
+  EXPECT_EQ(summary.applications, 2u);
+  EXPECT_EQ(summary.input_sizes, 2u);
+  EXPECT_EQ(summary.metrics, 1u);
+  EXPECT_EQ(summary.samples, 2u * 10 + 2u * 20);
+  EXPECT_DOUBLE_EQ(summary.min_duration_seconds, 10.0);
+}
+
+TEST(Dataset, EmptySummary) {
+  const Dataset dataset;
+  const DatasetSummary summary = summarize(dataset);
+  EXPECT_EQ(summary.executions, 0u);
+  EXPECT_DOUBLE_EQ(summary.min_duration_seconds, 0.0);
+}
+
+}  // namespace

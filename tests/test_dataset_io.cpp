@@ -1,0 +1,125 @@
+/// \file test_dataset_io.cpp
+/// \brief Round-trip and error-path tests for long-format CSV dataset
+/// persistence.
+
+#include "telemetry/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace efd::telemetry;
+
+Dataset sample_dataset() {
+  Dataset dataset({"nr_mapped_vmstat", "MemFree_meminfo"});
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ExecutionRecord record(
+        id, {id == 2 ? "miniAMR" : "ft", id == 3 ? "Y" : "X"}, 2, 2);
+    for (std::size_t n = 0; n < 2; ++n) {
+      for (std::size_t m = 0; m < 2; ++m) {
+        for (int t = 0; t < 5; ++t) {
+          record.series(n, m).push_back(
+              1000.0 * static_cast<double>(id) + 10.0 * static_cast<double>(n) +
+              static_cast<double>(m) + 0.5 * t);
+        }
+      }
+    }
+    dataset.add(std::move(record));
+  }
+  return dataset;
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const Dataset original = sample_dataset();
+  std::ostringstream out;
+  write_csv(original, out);
+
+  std::istringstream in(out.str());
+  const Dataset loaded = read_csv(in);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.metric_names(), original.metric_names());
+  for (std::size_t r = 0; r < original.size(); ++r) {
+    const auto& a = original.record(r);
+    const auto& b = loaded.record(r);
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(a.label(), b.label());
+    ASSERT_EQ(a.node_count(), b.node_count());
+    ASSERT_EQ(a.metric_count(), b.metric_count());
+    for (std::size_t n = 0; n < a.node_count(); ++n) {
+      for (std::size_t m = 0; m < a.metric_count(); ++m) {
+        ASSERT_EQ(a.series(n, m).size(), b.series(n, m).size());
+        for (std::size_t t = 0; t < a.series(n, m).size(); ++t) {
+          EXPECT_DOUBLE_EQ(a.series(n, m)[t], b.series(n, m)[t]);
+        }
+      }
+    }
+  }
+}
+
+TEST(DatasetIo, HeaderRowWritten) {
+  std::ostringstream out;
+  write_csv(sample_dataset(), out);
+  EXPECT_EQ(out.str().substr(0, 12), "execution_id");
+}
+
+TEST(DatasetIo, EmptyStreamThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(DatasetIo, WrongHeaderThrows) {
+  std::istringstream in("not,the,right,header\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(DatasetIo, BadFieldCountThrows) {
+  std::istringstream in(
+      "execution_id,application,input_size,node_id,metric,second,value\n"
+      "1,ft,X,0,m\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(DatasetIo, UnparsableNumberThrows) {
+  std::istringstream in(
+      "execution_id,application,input_size,node_id,metric,second,value\n"
+      "1,ft,X,0,m,abc,1.0\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/efd_dataset_io_test.csv";
+  const Dataset original = sample_dataset();
+  write_csv_file(original, path);
+  const Dataset loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/no/such/dir/x.csv"), std::runtime_error);
+  EXPECT_THROW(write_csv_file(sample_dataset(), "/no/such/dir/x.csv"),
+               std::runtime_error);
+}
+
+TEST(DatasetIo, OutOfOrderSecondsReassemble) {
+  // Rows may arrive in any order; the reader places samples by 'second'.
+  std::istringstream in(
+      "execution_id,application,input_size,node_id,metric,second,value\n"
+      "1,ft,X,0,m,2,30.0\n"
+      "1,ft,X,0,m,0,10.0\n"
+      "1,ft,X,0,m,1,20.0\n");
+  const Dataset dataset = read_csv(in);
+  ASSERT_EQ(dataset.size(), 1u);
+  const auto& series = dataset.record(0).series(0, 0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 10.0);
+  EXPECT_DOUBLE_EQ(series[1], 20.0);
+  EXPECT_DOUBLE_EQ(series[2], 30.0);
+}
+
+}  // namespace

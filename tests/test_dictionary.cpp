@@ -1,0 +1,233 @@
+/// \file test_dictionary.cpp
+/// \brief Tests for the EFD data structure: insertion semantics, tie
+/// ordering, pruning, merging, statistics, reverse lookup, and the
+/// serialization round-trip.
+
+#include "core/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace efd::core;
+
+FingerprintKey key_of(double mean, std::uint32_t node = 0,
+                      const std::string& metric = "nr_mapped_vmstat") {
+  FingerprintKey key;
+  key.metric = metric;
+  key.node_id = node;
+  key.interval = {60, 120};
+  key.rounded_means = {mean};
+  return key;
+}
+
+FingerprintConfig config_of(int depth = 2) {
+  FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  config.rounding_depth = depth;
+  return config;
+}
+
+TEST(DictionaryEntry, ObserveAccumulatesCounts) {
+  DictionaryEntry entry;
+  entry.observe("ft_X");
+  entry.observe("ft_Y");
+  entry.observe("ft_X");
+  ASSERT_EQ(entry.labels, (std::vector<std::string>{"ft_X", "ft_Y"}));
+  EXPECT_EQ(entry.counts, (std::vector<std::uint32_t>{2, 1}));
+  EXPECT_EQ(entry.total_count(), 3u);
+  EXPECT_TRUE(entry.contains("ft_Y"));
+  EXPECT_FALSE(entry.contains("mg_X"));
+}
+
+TEST(Dictionary, InsertAndLookup) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(6000.0), "ft_X");
+  EXPECT_EQ(dictionary.size(), 1u);
+
+  const DictionaryEntry* entry = dictionary.lookup(key_of(6000.0));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->labels.front(), "ft_X");
+  EXPECT_EQ(dictionary.lookup(key_of(6100.0)), nullptr);
+}
+
+TEST(Dictionary, KeysAreUnique) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(6000.0), "ft_X");
+  dictionary.insert(key_of(6000.0), "ft_Y");
+  dictionary.insert(key_of(6000.0), "ft_X");
+  EXPECT_EQ(dictionary.size(), 1u);
+  EXPECT_EQ(dictionary.lookup(key_of(6000.0))->total_count(), 3u);
+}
+
+TEST(Dictionary, ApplicationOrderFollowsFirstInsertion) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(7500.0), "sp_X");  // sp learned first
+  dictionary.insert(key_of(7500.0), "bt_X");  // then bt (Table 2 order)
+  dictionary.insert(key_of(6000.0), "ft_X");
+  EXPECT_LT(dictionary.application_order("sp"),
+            dictionary.application_order("bt"));
+  EXPECT_LT(dictionary.application_order("bt"),
+            dictionary.application_order("ft"));
+  // Unknown applications sort last.
+  EXPECT_GT(dictionary.application_order("nope"),
+            dictionary.application_order("ft"));
+}
+
+TEST(Dictionary, PruneRareRemovesLowCountKeys) {
+  Dictionary dictionary(config_of());
+  for (int i = 0; i < 5; ++i) dictionary.insert(key_of(6000.0), "ft_X");
+  dictionary.insert(key_of(9999.0), "ft_X");  // a one-off noise key
+  EXPECT_EQ(dictionary.prune_rare(2), 1u);
+  EXPECT_EQ(dictionary.size(), 1u);
+  EXPECT_NE(dictionary.lookup(key_of(6000.0)), nullptr);
+}
+
+TEST(Dictionary, MergeCombinesObservations) {
+  Dictionary a(config_of());
+  a.insert(key_of(6000.0), "ft_X");
+  Dictionary b(config_of());
+  b.insert(key_of(6000.0), "ft_X");
+  b.insert(key_of(6100.0), "mg_X");
+
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.lookup(key_of(6000.0))->total_count(), 2u);
+  EXPECT_NE(a.lookup(key_of(6100.0)), nullptr);
+}
+
+TEST(Dictionary, MergeRejectsDifferentConfigs) {
+  Dictionary a(config_of(2));
+  Dictionary b(config_of(3));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Dictionary, StatsCountExclusiveAndColliding) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(6000.0), "ft_X");    // exclusive (ft only)
+  dictionary.insert(key_of(6000.0), "ft_Y");    // still exclusive
+  dictionary.insert(key_of(7500.0), "sp_X");
+  dictionary.insert(key_of(7500.0), "bt_X");    // colliding (sp + bt)
+
+  const DictionaryStats stats = dictionary.stats();
+  EXPECT_EQ(stats.key_count, 2u);
+  EXPECT_EQ(stats.exclusive_keys, 1u);
+  EXPECT_EQ(stats.colliding_keys, 1u);
+  EXPECT_EQ(stats.total_observations, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_labels_per_key, 2.0);
+}
+
+TEST(Dictionary, SortedEntriesDeterministicOrder) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(8000.0, 1), "a_X");
+  dictionary.insert(key_of(6000.0, 0), "b_X");
+  dictionary.insert(key_of(6000.0, 1), "b_X");
+
+  const auto sorted = dictionary.sorted_entries();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].first.rounded_means[0], 6000.0);
+  EXPECT_EQ(sorted[0].first.node_id, 0u);
+  EXPECT_EQ(sorted[1].first.node_id, 1u);
+  EXPECT_DOUBLE_EQ(sorted[2].first.rounded_means[0], 8000.0);
+}
+
+TEST(Dictionary, KeysForLabelReverseLookup) {
+  Dictionary dictionary(config_of());
+  dictionary.insert(key_of(6000.0, 0), "ft_X");
+  dictionary.insert(key_of(6000.0, 1), "ft_X");
+  dictionary.insert(key_of(7500.0, 0), "sp_X");
+
+  const auto ft_keys = dictionary.keys_for_label("ft_X");
+  ASSERT_EQ(ft_keys.size(), 2u);
+  EXPECT_DOUBLE_EQ(ft_keys[0].rounded_means[0], 6000.0);
+  EXPECT_TRUE(dictionary.keys_for_label("zz_X").empty());
+}
+
+TEST(Dictionary, SaveLoadRoundTrip) {
+  Dictionary original(config_of(3));
+  original.insert(key_of(6000.0, 0), "ft_X");
+  original.insert(key_of(6000.0, 0), "ft_X");
+  original.insert(key_of(7500.0, 2), "sp_X");
+  original.insert(key_of(7500.0, 2), "bt_X");
+
+  std::stringstream stream;
+  original.save(stream);
+  const Dictionary loaded = Dictionary::load(stream);
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.config().rounding_depth, 3);
+  EXPECT_EQ(loaded.config().metrics, original.config().metrics);
+
+  const auto* entry = loaded.lookup(key_of(6000.0, 0));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->total_count(), 2u);
+
+  const auto* shared = loaded.lookup(key_of(7500.0, 2));
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->labels, (std::vector<std::string>{"sp_X", "bt_X"}));
+}
+
+TEST(Dictionary, SaveLoadPreservesMultiInterval) {
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  config.intervals = {{60, 120}, {120, 180}};
+  config.rounding_depth = 2;
+  config.combine_metrics = true;
+  Dictionary original(config);
+
+  FingerprintKey key;
+  key.metric = "a+b";
+  key.node_id = 3;
+  key.interval = {120, 180};
+  key.rounded_means = {1.5, 2.5};
+  original.insert(key, "kripke_L");
+
+  std::stringstream stream;
+  original.save(stream);
+  const Dictionary loaded = Dictionary::load(stream);
+  EXPECT_EQ(loaded.config().intervals.size(), 2u);
+  EXPECT_TRUE(loaded.config().combine_metrics);
+  ASSERT_NE(loaded.lookup(key), nullptr);
+}
+
+TEST(Dictionary, LoadRejectsMalformedInputs) {
+  auto expect_throws = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(Dictionary::load(in), std::runtime_error) << text;
+  };
+  expect_throws("");                                    // no header
+  expect_throws("WRONG-TAG\n");                         // bad header
+  expect_throws("EFD-DICT-V1\nmetrics m\n");            // truncated
+  expect_throws(
+      "EFD-DICT-V1\nmetrics m\nintervals 60:120\ndepth 2\ncombine 0\n"
+      "keys 1\n");                                      // missing key row
+  expect_throws(
+      "EFD-DICT-V1\nmetrics m\nintervals 60:120\ndepth 2\ncombine 0\n"
+      "keys 1\nm|0|60:120|abc|ft_X=1\n");               // bad mean
+}
+
+TEST(Dictionary, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/efd_dict_test.txt";
+  Dictionary original(config_of());
+  original.insert(key_of(6000.0), "ft_X");
+  original.save_file(path);
+  const Dictionary loaded = Dictionary::load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(Dictionary::load_file("/no/such/file"), std::runtime_error);
+}
+
+TEST(Dictionary, EmptyDictionaryBehaviour) {
+  Dictionary dictionary(config_of());
+  EXPECT_TRUE(dictionary.empty());
+  EXPECT_EQ(dictionary.lookup(key_of(1.0)), nullptr);
+  EXPECT_EQ(dictionary.stats().key_count, 0u);
+  EXPECT_DOUBLE_EQ(dictionary.stats().mean_labels_per_key, 0.0);
+  std::stringstream stream;
+  dictionary.save(stream);
+  EXPECT_EQ(Dictionary::load(stream).size(), 0u);
+}
+
+}  // namespace

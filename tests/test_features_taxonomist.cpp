@@ -1,0 +1,190 @@
+/// \file test_features_taxonomist.cpp
+/// \brief Tests for Taxonomist-style feature extraction and the baseline
+/// pipeline end to end on a small simulated dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/features.hpp"
+#include "ml/taxonomist.hpp"
+#include "sim/dataset_generator.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::ml;
+
+TEST(Features, ElevenPerMetricInDocumentedOrder) {
+  EXPECT_EQ(kFeaturesPerMetric, 11u);
+  EXPECT_EQ(feature_names().size(), kFeaturesPerMetric);
+  EXPECT_EQ(feature_names().front(), "min");
+  EXPECT_EQ(feature_names().back(), "p95");
+}
+
+TEST(Features, KnownSeriesValues) {
+  telemetry::TimeSeries series(std::vector<double>{1, 2, 3, 4, 5}, 1.0);
+  const auto features = extract_series_features(series);
+  ASSERT_EQ(features.size(), 11u);
+  EXPECT_DOUBLE_EQ(features[0], 1.0);   // min
+  EXPECT_DOUBLE_EQ(features[1], 5.0);   // max
+  EXPECT_DOUBLE_EQ(features[2], 3.0);   // mean
+  EXPECT_NEAR(features[3], std::sqrt(2.0), 1e-12);  // population std
+  EXPECT_NEAR(features[4], 0.0, 1e-12); // skew of symmetric data
+  EXPECT_DOUBLE_EQ(features[8], 3.0);   // p50
+}
+
+TEST(Features, EmptySeriesYieldsZeros) {
+  telemetry::TimeSeries series(1.0);
+  const auto features = extract_series_features(series);
+  for (double f : features) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(Features, WindowRestrictsExtraction) {
+  std::vector<double> values(200, 1.0);
+  for (int t = 60; t < 120; ++t) values[static_cast<std::size_t>(t)] = 9.0;
+  telemetry::TimeSeries series(values, 1.0);
+
+  const auto whole = extract_series_features(series);
+  const auto windowed = extract_series_features(series, {60, 120});
+  EXPECT_DOUBLE_EQ(windowed[2], 9.0);  // window mean
+  EXPECT_LT(whole[2], 9.0);            // whole-series mean is diluted
+  EXPECT_DOUBLE_EQ(windowed[3], 0.0);  // window is constant
+}
+
+TEST(Features, NodeSamplesShape) {
+  sim::GeneratorConfig config;
+  config.seed = 42;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat", "MemFree_meminfo"};
+  const telemetry::Dataset dataset = sim::generate_paper_dataset(config);
+
+  const NodeSamples samples =
+      extract_node_samples(dataset, dataset.metric_names());
+  EXPECT_EQ(samples.features.rows(), dataset.size() * 4);  // 4 nodes each
+  EXPECT_EQ(samples.features.cols(), 2 * kFeaturesPerMetric);
+  EXPECT_EQ(samples.labels.size(), samples.features.rows());
+  EXPECT_EQ(samples.feature_labels.size(), samples.features.cols());
+  EXPECT_EQ(samples.feature_labels.front(), "nr_mapped_vmstat:min");
+
+  // Row labels align with their source executions.
+  for (std::size_t row = 0; row < samples.labels.size(); ++row) {
+    const auto& record = dataset.record(samples.execution_index[row]);
+    EXPECT_EQ(samples.labels[row], record.label().application);
+    EXPECT_EQ(samples.full_labels[row], record.label().full());
+  }
+}
+
+TEST(Features, SubsetIndicesExtractOnlyThose) {
+  sim::GeneratorConfig config;
+  config.seed = 42;
+  config.small_repetitions = 1;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  const telemetry::Dataset dataset = sim::generate_paper_dataset(config);
+
+  const NodeSamples samples =
+      extract_node_samples(dataset, dataset.metric_names(), {0, 2});
+  EXPECT_EQ(samples.features.rows(), 8u);  // two records x 4 nodes
+}
+
+class TaxonomistFixture : public ::testing::Test {
+ protected:
+  TaxonomistFixture() {
+    sim::GeneratorConfig config;
+    config.seed = 42;
+    config.small_repetitions = 4;
+    config.include_large_input = false;
+    config.metrics = {"nr_mapped_vmstat", "Committed_AS_meminfo",
+                      "AMO_PKTS_metric_set_nic", "user_procstat"};
+    dataset_ = sim::generate_paper_dataset(config);
+  }
+  telemetry::Dataset dataset_;
+};
+
+TEST_F(TaxonomistFixture, FitsAndRecognizesTrainingData) {
+  TaxonomistConfig config;
+  config.forest.n_trees = 20;
+  TaxonomistPipeline pipeline(config);
+  pipeline.fit(dataset_);
+  ASSERT_TRUE(pipeline.fitted());
+
+  std::size_t correct = 0;
+  for (const auto& record : dataset_.records()) {
+    correct +=
+        pipeline.predict(dataset_, record) == record.label().application ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / dataset_.size(), 0.95);
+}
+
+TEST_F(TaxonomistFixture, NodePredictionsCarryConfidence) {
+  TaxonomistConfig config;
+  config.forest.n_trees = 15;
+  TaxonomistPipeline pipeline(config);
+  pipeline.fit(dataset_);
+
+  const auto nodes = pipeline.predict_nodes(dataset_, dataset_.record(0));
+  ASSERT_EQ(nodes.size(), 4u);
+  for (const auto& node : nodes) {
+    EXPECT_GE(node.confidence, 0.0);
+    EXPECT_LE(node.confidence, 1.0);
+    EXPECT_FALSE(node.label.empty());
+  }
+}
+
+TEST(TaxonomistUnknown, ThresholdFlagsNovelApps) {
+  // Unknown detection needs the baseline's *rich* monitoring: with only a
+  // handful of metrics, pure forest leaves are overconfident on novel
+  // points. Use the full modeled metric set, as the real Taxonomist uses
+  // hundreds of metrics.
+  sim::GeneratorConfig generator;
+  generator.seed = 42;
+  generator.small_repetitions = 3;
+  generator.include_large_input = false;
+  const telemetry::Dataset dataset = sim::generate_paper_dataset(generator);
+
+  std::vector<std::size_t> without_kripke, kripke;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    (dataset.record(i).label().application == "kripke" ? kripke
+                                                       : without_kripke)
+        .push_back(i);
+  }
+
+  TaxonomistConfig config;
+  config.forest.n_trees = 30;
+  config.unknown_threshold = 0.6;
+  TaxonomistPipeline pipeline(config);
+  pipeline.fit(dataset, without_kripke);
+
+  std::size_t unknown = 0;
+  for (std::size_t i : kripke) {
+    if (pipeline.predict(dataset, dataset.record(i)) == "unknown") ++unknown;
+  }
+  // Most (not necessarily all) held-out executions are flagged.
+  EXPECT_GT(unknown, kripke.size() / 2);
+
+  // Known applications must NOT be flagged at the same threshold.
+  std::size_t known_unknown = 0;
+  for (std::size_t k = 0; k < 20 && k < without_kripke.size(); ++k) {
+    if (pipeline.predict(dataset, dataset.record(without_kripke[k])) ==
+        "unknown") {
+      ++known_unknown;
+    }
+  }
+  EXPECT_LE(known_unknown, 2u);
+}
+
+TEST_F(TaxonomistFixture, PredictBeforeFitThrows) {
+  TaxonomistPipeline pipeline;
+  EXPECT_THROW(pipeline.predict(dataset_, dataset_.record(0)),
+               std::logic_error);
+}
+
+TEST_F(TaxonomistFixture, EmptyTrainingSetThrows) {
+  TaxonomistPipeline pipeline;
+  telemetry::Dataset empty(dataset_.metric_names());
+  EXPECT_THROW(pipeline.fit(empty), std::invalid_argument);
+}
+
+}  // namespace

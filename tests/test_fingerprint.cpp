@@ -1,0 +1,196 @@
+/// \file test_fingerprint.cpp
+/// \brief Tests for fingerprint keys and construction: the paper's
+/// example rendering, hashing, window coverage rules, and combinatorial
+/// multi-metric keys.
+
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+telemetry::ExecutionRecord flat_record(std::uint64_t id, const std::string& app,
+                                       double level0, double level1,
+                                       std::size_t nodes = 2,
+                                       std::size_t samples = 150) {
+  telemetry::ExecutionRecord record(id, {app, "X"}, nodes, 2);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t t = 0; t < samples; ++t) {
+      record.series(n, 0).push_back(level0);
+      record.series(n, 1).push_back(level1);
+    }
+  }
+  return record;
+}
+
+FingerprintConfig single_metric_config(int depth = 2) {
+  FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  config.rounding_depth = depth;
+  return config;
+}
+
+TEST(FingerprintKey, ToStringMatchesPaperNotation) {
+  FingerprintKey key;
+  key.metric = "nr_mapped_vmstat";
+  key.node_id = 0;
+  key.interval = {60, 120};
+  key.rounded_means = {6000.0};
+  // Paper: "[nr_mapped_vmstat, 0, [60:120], 6000.0]"
+  EXPECT_EQ(key.to_string(), "[nr_mapped_vmstat, 0, [60:120], 6000.0]");
+}
+
+TEST(FingerprintKey, EqualityIsExact) {
+  FingerprintKey a, b;
+  a.metric = b.metric = "m";
+  a.node_id = b.node_id = 1;
+  a.interval = b.interval = {60, 120};
+  a.rounded_means = {7500.0};
+  b.rounded_means = {7500.0};
+  EXPECT_EQ(a, b);
+  b.rounded_means = {7510.0};
+  EXPECT_NE(a, b);
+  b.rounded_means = {7500.0};
+  b.node_id = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(FingerprintKey, HashDistinguishesComponents) {
+  const FingerprintKeyHash hash;
+  FingerprintKey base;
+  base.metric = "m";
+  base.node_id = 0;
+  base.interval = {60, 120};
+  base.rounded_means = {100.0};
+
+  auto variant = base;
+  variant.node_id = 1;
+  EXPECT_NE(hash(base), hash(variant));
+
+  variant = base;
+  variant.interval = {0, 60};
+  EXPECT_NE(hash(base), hash(variant));
+
+  variant = base;
+  variant.rounded_means = {200.0};
+  EXPECT_NE(hash(base), hash(variant));
+
+  variant = base;
+  variant.metric = "n";
+  EXPECT_NE(hash(base), hash(variant));
+}
+
+TEST(FingerprintKey, UsableInUnorderedSet) {
+  std::unordered_set<FingerprintKey> keys;
+  for (int node = 0; node < 100; ++node) {
+    FingerprintKey key;
+    key.metric = "m";
+    key.node_id = static_cast<std::uint32_t>(node);
+    key.rounded_means = {1.0};
+    keys.insert(key);
+    keys.insert(key);  // duplicate must not grow the set
+  }
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(BuildFingerprints, OnePerNodePerMetricPerInterval) {
+  const auto record = flat_record(1, "ft", 6013.0, 123456.0, 3);
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  config.intervals = {{60, 120}, {0, 60}};
+  config.rounding_depth = 2;
+  const auto keys = build_fingerprints(record, config, {0, 1});
+  EXPECT_EQ(keys.size(), 3u * 2 * 2);
+}
+
+TEST(BuildFingerprints, RoundsTheWindowMean) {
+  const auto record = flat_record(1, "ft", 6013.0, 0.0, 1);
+  const auto keys = build_fingerprints(record, single_metric_config(2), {0});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[0], 6000.0);  // depth 2 of 6013
+  EXPECT_EQ(keys[0].interval, telemetry::kPaperInterval);
+}
+
+TEST(BuildFingerprints, DepthChangesKeys) {
+  const auto record = flat_record(1, "ft", 7554.0, 0.0, 1);
+  const auto depth2 = build_fingerprints(record, single_metric_config(2), {0});
+  const auto depth3 = build_fingerprints(record, single_metric_config(3), {0});
+  EXPECT_DOUBLE_EQ(depth2[0].rounded_means[0], 7600.0);
+  EXPECT_DOUBLE_EQ(depth3[0].rounded_means[0], 7550.0);
+}
+
+TEST(BuildFingerprints, SkipsUncoveredWindows) {
+  // 90-sample series covers [0,90) only; the paper window [60,120) is
+  // not fully covered, so no fingerprint is built for it.
+  const auto record = flat_record(1, "ft", 5000.0, 0.0, 2, 90);
+  const auto keys = build_fingerprints(record, single_metric_config(), {0});
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(BuildFingerprints, InvalidIntervalThrows) {
+  const auto record = flat_record(1, "ft", 5000.0, 0.0, 1);
+  FingerprintConfig config = single_metric_config();
+  config.intervals = {{120, 60}};
+  EXPECT_THROW(build_fingerprints(record, config, {0}), std::invalid_argument);
+}
+
+TEST(BuildFingerprints, SlotMismatchThrows) {
+  const auto record = flat_record(1, "ft", 5000.0, 0.0, 1);
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  EXPECT_THROW(build_fingerprints(record, config, {0}), std::invalid_argument);
+}
+
+TEST(BuildFingerprints, CombinedKeysJoinMetrics) {
+  const auto record = flat_record(1, "ft", 6013.0, 123456.0, 2);
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  config.rounding_depth = 2;
+  config.combine_metrics = true;
+  const auto keys = build_fingerprints(record, config, {0, 1});
+  ASSERT_EQ(keys.size(), 2u);  // one per node
+  EXPECT_EQ(keys[0].metric, "a+b");
+  ASSERT_EQ(keys[0].rounded_means.size(), 2u);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[0], 6000.0);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[1], 120000.0);
+}
+
+TEST(BuildFingerprints, CombinedSkipsIfAnyMetricUncovered) {
+  telemetry::ExecutionRecord record(1, {"ft", "X"}, 1, 2);
+  for (int t = 0; t < 150; ++t) record.series(0, 0).push_back(1000.0);
+  for (int t = 0; t < 90; ++t) record.series(0, 1).push_back(2000.0);
+
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  config.combine_metrics = true;
+  EXPECT_TRUE(build_fingerprints(record, config, {0, 1}).empty());
+}
+
+TEST(BuildFingerprints, DatasetOverloadResolvesSlots) {
+  telemetry::Dataset dataset({"x", "nr_mapped_vmstat"});
+  telemetry::ExecutionRecord record(1, {"ft", "X"}, 1, 2);
+  for (int t = 0; t < 150; ++t) {
+    record.series(0, 0).push_back(1.0);
+    record.series(0, 1).push_back(6013.0);
+  }
+  dataset.add(record);
+
+  const auto keys =
+      build_fingerprints(dataset.record(0), single_metric_config(2), dataset);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[0], 6000.0);
+}
+
+TEST(BuildFingerprints, NodeIdsComeFromRecord) {
+  const auto record = flat_record(1, "ft", 5000.0, 0.0, 4);
+  const auto keys = build_fingerprints(record, single_metric_config(), {0});
+  ASSERT_EQ(keys.size(), 4u);
+  for (std::uint32_t n = 0; n < 4; ++n) EXPECT_EQ(keys[n].node_id, n);
+}
+
+}  // namespace

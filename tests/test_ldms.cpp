@@ -1,0 +1,246 @@
+/// \file test_ldms.cpp
+/// \brief Tests for the LDMS-style monitoring substrate: samplers,
+/// collectors, the ring buffer, the metric store, and — critically — the
+/// guarantee that the sampling path reproduces the bulk generator's
+/// telemetry bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ldms/collector.hpp"
+#include "ldms/metric_store.hpp"
+#include "ldms/ring_buffer.hpp"
+#include "ldms/sampler.hpp"
+#include "ldms/sim_adapter.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::ldms;
+
+const telemetry::MetricRegistry& registry() {
+  static const telemetry::MetricRegistry instance =
+      telemetry::MetricRegistry::standard_catalog();
+  return instance;
+}
+
+/// Trivial source for sampler unit tests.
+class FakeSource final : public MetricSource {
+ public:
+  double read(std::string_view metric_name, double t) override {
+    return static_cast<double>(metric_name.size()) * 100.0 + t;
+  }
+};
+
+TEST(Sampler, ReadsItsMetricSetInOrder) {
+  Sampler sampler("test", {"ab", "cdef"});
+  FakeSource source;
+  const auto values = sampler.sample(source, 3.0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 203.0);
+  EXPECT_DOUBLE_EQ(values[1], 403.0);
+}
+
+TEST(Sampler, GroupSamplerPullsGroupMetrics) {
+  const auto vmstat =
+      make_group_sampler(registry(), telemetry::MetricGroup::kVmstat);
+  EXPECT_EQ(vmstat->set_name(), "vmstat");
+  EXPECT_FALSE(vmstat->metric_names().empty());
+  for (const auto& name : vmstat->metric_names()) {
+    EXPECT_NE(name.find("vmstat"), std::string::npos);
+  }
+}
+
+TEST(Sampler, StandardSetCoversFourGroups) {
+  const auto samplers = make_standard_samplers(registry());
+  ASSERT_EQ(samplers.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& sampler : samplers) total += sampler->metric_names().size();
+  EXPECT_EQ(total, registry().modeled_metrics().size());
+}
+
+TEST(NodeCollector, AccumulatesTicks) {
+  const auto samplers = make_standard_samplers(registry());
+  NodeCollector collector(3, samplers);
+  FakeSource source;
+  for (int t = 0; t < 10; ++t) collector.tick(source, t);
+
+  EXPECT_EQ(collector.node_id(), 3u);
+  EXPECT_EQ(collector.tick_count(), 10u);
+  for (const auto& series : collector.series()) {
+    EXPECT_EQ(series.size(), 10u);
+  }
+}
+
+TEST(NodeCollector, TakeSeriesResets) {
+  const auto samplers = make_standard_samplers(registry());
+  NodeCollector collector(0, samplers);
+  FakeSource source;
+  collector.tick(source, 0.0);
+  const auto series = collector.take_series();
+  EXPECT_EQ(series.size(), collector.metric_names().size());
+  EXPECT_EQ(collector.tick_count(), 0u);
+  EXPECT_EQ(collector.series().front().size(), 0u);
+}
+
+TEST(SamplingLoop, ProducesCompleteRecord) {
+  const auto samplers = make_standard_samplers(registry());
+  SamplingLoop loop(samplers);
+
+  const auto app = sim::make_application("mg");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "Y";
+  plan.node_count = 3;
+  plan.execution_id = 5;
+
+  auto sources = make_node_sources(registry(), plan, 42);
+  const auto record = loop.run(5, {"mg", "Y"}, sources, 140.0);
+
+  EXPECT_EQ(record.node_count(), 3u);
+  EXPECT_EQ(record.metric_count(), loop.metric_names().size());
+  EXPECT_DOUBLE_EQ(record.min_duration_seconds(), 140.0);
+  EXPECT_TRUE(record.covers(telemetry::kPaperInterval));
+}
+
+TEST(SamplingLoop, EmptySourcesThrow) {
+  const auto samplers = make_standard_samplers(registry());
+  SamplingLoop loop(samplers);
+  std::vector<std::unique_ptr<MetricSource>> none;
+  EXPECT_THROW(loop.run(1, {"x", "X"}, none, 10.0), std::invalid_argument);
+}
+
+TEST(SimAdapter, BitIdenticalToBulkGeneration) {
+  // The central integration guarantee: collecting through samplers yields
+  // exactly the telemetry ClusterSimulator::run() generates, so offline
+  // results transfer to the online path unchanged.
+  const std::vector<std::string> metrics = {"nr_mapped_vmstat",
+                                            "Committed_AS_meminfo"};
+  const auto app = sim::make_application("sp");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "Z";
+  plan.node_count = 4;
+  plan.execution_id = 31;
+
+  sim::ClusterSimulator simulator(registry(), metrics, 42);
+  const auto bulk = simulator.run(plan);
+
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  samplers.push_back(std::make_unique<Sampler>("custom", metrics));
+  SamplingLoop loop(samplers);
+  auto sources = make_node_sources(registry(), plan, 42);
+  const auto sampled = loop.run(plan.execution_id, {"sp", "Z"}, sources,
+                                bulk.min_duration_seconds());
+
+  ASSERT_EQ(sampled.node_count(), bulk.node_count());
+  for (std::size_t n = 0; n < bulk.node_count(); ++n) {
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      ASSERT_EQ(sampled.series(n, m).size(), bulk.series(n, m).size());
+      for (std::size_t t = 0; t < bulk.series(n, m).size(); ++t) {
+        ASSERT_DOUBLE_EQ(sampled.series(n, m)[t], bulk.series(n, m)[t])
+            << "node " << n << " metric " << m << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(SimAdapter, RereadWithinTickIsStable) {
+  const auto app = sim::make_application("ft");
+  sim::ExecutionPlan plan;
+  plan.app = app.get();
+  plan.input_size = "X";
+  plan.node_count = 1;
+  plan.execution_id = 1;
+  SimulatedNodeSource source(registry(), plan, 0, 42);
+  const double first = source.read("nr_mapped_vmstat", 5.0);
+  EXPECT_DOUBLE_EQ(source.read("nr_mapped_vmstat", 5.0), first);
+  EXPECT_DOUBLE_EQ(source.read("nr_mapped_vmstat", 4.0), first);  // past tick
+}
+
+TEST(RingBuffer, PushAndEvict) {
+  RingBuffer<int> buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  buffer.push(1);
+  buffer.push(2);
+  buffer.push(3);
+  EXPECT_TRUE(buffer.full());
+  buffer.push(4);  // evicts 1
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer[0], 2);
+  EXPECT_EQ(buffer[2], 4);
+  EXPECT_EQ(buffer.pushed(), 4u);
+}
+
+TEST(RingBuffer, SnapshotOldestFirst) {
+  RingBuffer<int> buffer(4);
+  for (int i = 1; i <= 6; ++i) buffer.push(i);
+  EXPECT_EQ(buffer.snapshot(), (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buffer(2);
+  buffer.push(1);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.pushed(), 0u);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(MetricStore, CommitAndSnapshot) {
+  MetricStore store(std::vector<std::string>{"m"});
+  telemetry::ExecutionRecord record(1, {"ft", "X"}, 1, 1);
+  record.series(0, 0).push_back(5.0);
+  store.commit(record);
+  EXPECT_EQ(store.size(), 1u);
+  const auto snapshot = store.snapshot();
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.record(0).series(0, 0)[0], 5.0);
+}
+
+TEST(MetricStore, RejectsMismatchedRecord) {
+  MetricStore store(std::vector<std::string>{"m1", "m2"});
+  telemetry::ExecutionRecord record(1, {"ft", "X"}, 1, 1);
+  EXPECT_THROW(store.commit(record), std::invalid_argument);
+}
+
+TEST(MetricStore, ConcurrentCommits) {
+  MetricStore store(std::vector<std::string>{"m"});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        telemetry::ExecutionRecord record(
+            static_cast<std::uint64_t>(t * 100 + i), {"ft", "X"}, 1, 1);
+        record.series(0, 0).push_back(1.0);
+        store.commit(std::move(record));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.size(), 400u);
+}
+
+TEST(MetricStore, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/efd_store_test.csv";
+  MetricStore store(std::vector<std::string>{"m"});
+  telemetry::ExecutionRecord record(1, {"kripke", "L"}, 2, 1);
+  for (int t = 0; t < 4; ++t) {
+    record.series(0, 0).push_back(t);
+    record.series(1, 0).push_back(t * 2);
+  }
+  store.commit(record);
+  store.save(path);
+
+  const MetricStore loaded = MetricStore::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.snapshot().record(0).series(1, 0)[3], 6.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace

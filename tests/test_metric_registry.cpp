@@ -1,0 +1,111 @@
+/// \file test_metric_registry.cpp
+/// \brief Tests for the metric catalog that mirrors the LDMS metric sets
+/// of the Taxonomist dataset.
+
+#include "telemetry/metric_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace efd::telemetry;
+
+TEST(MetricRegistry, StandardCatalogHas562Metrics) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  EXPECT_EQ(registry.size(), 562u);  // the published artifact's count
+}
+
+TEST(MetricRegistry, CustomCatalogSize) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog(100);
+  EXPECT_EQ(registry.size(), 100u);
+}
+
+TEST(MetricRegistry, AllPaperMetricsExist) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  for (const std::string& name : paper_table3_metrics()) {
+    const auto id = registry.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_TRUE(registry.info(*id).modeled) << name;
+  }
+}
+
+TEST(MetricRegistry, HeadlineMetricIsFirst) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  EXPECT_EQ(registry.name(0), kHeadlineMetric);
+}
+
+TEST(MetricRegistry, NamesAreUnique) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  std::set<std::string> names;
+  for (MetricId id = 0; id < registry.size(); ++id) {
+    EXPECT_TRUE(names.insert(registry.name(id)).second)
+        << "duplicate: " << registry.name(id);
+  }
+}
+
+TEST(MetricRegistry, DuplicateAddThrows) {
+  MetricRegistry registry;
+  registry.add({"m", MetricGroup::kVmstat, 1.0, true});
+  EXPECT_THROW(registry.add({"m", MetricGroup::kNic, 2.0, false}),
+               std::invalid_argument);
+}
+
+TEST(MetricRegistry, FindAndRequire) {
+  MetricRegistry registry;
+  const MetricId id = registry.add({"abc_vmstat", MetricGroup::kVmstat, 1.0, true});
+  EXPECT_EQ(registry.find("abc_vmstat"), id);
+  EXPECT_EQ(registry.require("abc_vmstat"), id);
+  EXPECT_FALSE(registry.find("missing"));
+  EXPECT_THROW(registry.require("missing"), std::out_of_range);
+}
+
+TEST(MetricRegistry, GroupSuffixesMatchDatasetNaming) {
+  EXPECT_EQ(group_suffix(MetricGroup::kVmstat), "vmstat");
+  EXPECT_EQ(group_suffix(MetricGroup::kMeminfo), "meminfo");
+  EXPECT_EQ(group_suffix(MetricGroup::kNic), "metric_set_nic");
+  EXPECT_EQ(group_suffix(MetricGroup::kCpu), "procstat");
+}
+
+TEST(MetricRegistry, ModeledMetricsAreBehaviourModeled) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  const auto modeled = registry.modeled_metrics();
+  EXPECT_GE(modeled.size(), 30u);
+  EXPECT_LT(modeled.size(), 60u);  // the rest is filler
+  for (MetricId id : modeled) EXPECT_TRUE(registry.info(id).modeled);
+}
+
+TEST(MetricRegistry, GroupsPartitionTheCatalog) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  std::size_t total = 0;
+  for (MetricGroup group :
+       {MetricGroup::kVmstat, MetricGroup::kMeminfo, MetricGroup::kNic,
+        MetricGroup::kCpu, MetricGroup::kOther}) {
+    total += registry.metrics_in_group(group).size();
+  }
+  EXPECT_EQ(total, registry.size());
+}
+
+TEST(MetricRegistry, AllMetricsInRegistrationOrder) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog(50);
+  const auto all = registry.all_metrics();
+  ASSERT_EQ(all.size(), 50u);
+  for (MetricId id = 0; id < all.size(); ++id) EXPECT_EQ(all[id], id);
+}
+
+TEST(MetricRegistry, FillerMetricsHaveGroupSuffixedNames) {
+  const MetricRegistry registry = MetricRegistry::standard_catalog();
+  // Every filler metric name must end in its group's suffix so the
+  // samplers can claim it.
+  for (MetricId id = 0; id < registry.size(); ++id) {
+    const MetricInfo& info = registry.info(id);
+    if (info.modeled) continue;
+    const std::string suffix = "_" + std::string(group_suffix(info.group));
+    ASSERT_GE(info.name.size(), suffix.size());
+    EXPECT_EQ(info.name.substr(info.name.size() - suffix.size()), suffix)
+        << info.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+/// \file test_ml_metrics.cpp
+/// \brief Tests for classification metrics against hand-computed values —
+/// every reported F-score in the repo flows through this code.
+
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace efd::ml;
+
+TEST(Metrics, PerfectPredictions) {
+  const std::vector<std::string> truth = {"a", "b", "a", "c"};
+  const ClassificationReport report(truth, truth);
+  EXPECT_DOUBLE_EQ(report.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(report.weighted_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(report.macro_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(report.macro_recall(), 1.0);
+}
+
+TEST(Metrics, AllWrongIsZero) {
+  const std::vector<std::string> truth = {"a", "a"};
+  const std::vector<std::string> predicted = {"b", "b"};
+  const ClassificationReport report(truth, predicted);
+  EXPECT_DOUBLE_EQ(report.macro_f1(), 0.0);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.0);
+}
+
+TEST(Metrics, HandComputedBinaryCase) {
+  // truth:     a a a b b
+  // predicted: a a b b a
+  // class a: tp=2 fp=1 fn=1 -> P=2/3, R=2/3, F=2/3
+  // class b: tp=1 fp=1 fn=1 -> P=1/2, R=1/2, F=1/2
+  const std::vector<std::string> truth = {"a", "a", "a", "b", "b"};
+  const std::vector<std::string> predicted = {"a", "a", "b", "b", "a"};
+  const ClassificationReport report(truth, predicted);
+
+  const ClassScores& a = report.per_class().at("a");
+  EXPECT_NEAR(a.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(a.support, 3u);
+
+  const ClassScores& b = report.per_class().at("b");
+  EXPECT_NEAR(b.f1, 0.5, 1e-12);
+
+  EXPECT_NEAR(report.macro_f1(), (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+  // weighted: (3 * 2/3 + 2 * 1/2) / 5 = 0.6
+  EXPECT_NEAR(report.weighted_f1(), 0.6, 1e-12);
+  EXPECT_NEAR(report.accuracy(), 0.6, 1e-12);
+}
+
+TEST(Metrics, PredictedOnlyClassDragsMacro) {
+  // A class that only appears in predictions (e.g. a false "unknown")
+  // scores F=0 and lowers the macro average — the behaviour the hard
+  // experiments rely on.
+  const std::vector<std::string> truth = {"a", "a", "a", "a"};
+  const std::vector<std::string> predicted = {"a", "a", "a", "unknown"};
+  const ClassificationReport report(truth, predicted);
+  // class a: P=1, R=3/4 -> F=6/7; class unknown: support 0, F=0.
+  EXPECT_NEAR(report.macro_f1(), (6.0 / 7.0) / 2.0, 1e-12);
+  EXPECT_EQ(report.per_class().at("unknown").support, 0u);
+}
+
+TEST(Metrics, ConfusionMatrixCounts) {
+  const std::vector<std::string> truth = {"sp", "sp", "bt"};
+  const std::vector<std::string> predicted = {"sp", "bt", "sp"};
+  const ClassificationReport report(truth, predicted);
+  EXPECT_EQ(report.confusion().at("sp").at("sp"), 1u);
+  EXPECT_EQ(report.confusion().at("sp").at("bt"), 1u);
+  EXPECT_EQ(report.confusion().at("bt").at("sp"), 1u);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(ClassificationReport({"a"}, {"a", "b"}), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyInputsAreDegenerate) {
+  const ClassificationReport report({}, {});
+  EXPECT_DOUBLE_EQ(report.macro_f1(), 0.0);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.0);
+  EXPECT_EQ(report.sample_count(), 0u);
+}
+
+TEST(Metrics, SingleClassPerfect) {
+  const std::vector<std::string> truth = {"x", "x", "x"};
+  const ClassificationReport report(truth, truth);
+  EXPECT_DOUBLE_EQ(report.macro_f1(), 1.0);
+}
+
+TEST(Metrics, ShorthandsMatchReport) {
+  const std::vector<std::string> truth = {"a", "b", "a"};
+  const std::vector<std::string> predicted = {"a", "b", "b"};
+  const ClassificationReport report(truth, predicted);
+  EXPECT_DOUBLE_EQ(macro_f1(truth, predicted), report.macro_f1());
+  EXPECT_DOUBLE_EQ(accuracy(truth, predicted), report.accuracy());
+}
+
+TEST(Metrics, ReportStringContainsClassesAndAverages) {
+  const std::vector<std::string> truth = {"ft", "mg"};
+  const std::vector<std::string> predicted = {"ft", "ft"};
+  const std::string text = ClassificationReport(truth, predicted).to_string();
+  EXPECT_NE(text.find("ft"), std::string::npos);
+  EXPECT_NE(text.find("mg"), std::string::npos);
+  EXPECT_NE(text.find("macro F1"), std::string::npos);
+}
+
+/// Property: macro F1 is invariant under class-label renaming and sample
+/// order permutation.
+TEST(Metrics, InvariantUnderPermutation) {
+  const std::vector<std::string> truth = {"a", "b", "c", "a", "b", "c", "a"};
+  const std::vector<std::string> predicted = {"a", "b", "b", "a", "c", "c", "b"};
+  const double base = macro_f1(truth, predicted);
+
+  std::vector<std::string> truth_permuted, predicted_permuted;
+  for (std::size_t i : {6u, 3u, 0u, 5u, 2u, 4u, 1u}) {
+    truth_permuted.push_back(truth[i]);
+    predicted_permuted.push_back(predicted[i]);
+  }
+  EXPECT_DOUBLE_EQ(macro_f1(truth_permuted, predicted_permuted), base);
+}
+
+}  // namespace

@@ -1,0 +1,353 @@
+/// \file test_ml_models.cpp
+/// \brief Tests for the ML substrate: matrix, scaler, label encoder,
+/// k-fold splitters, and the classifiers (tree, forest, kNN, logistic) on
+/// data with known structure.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/decision_tree.hpp"
+#include "ml/kfold.hpp"
+#include "ml/knn.hpp"
+#include "ml/label_encoder.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/matrix.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd::ml;
+using efd::util::Rng;
+
+/// Three well-separated Gaussian blobs in 4D.
+struct Blobs {
+  Matrix X;
+  std::vector<std::uint32_t> y;
+};
+
+Blobs make_blobs(std::size_t per_class, std::uint64_t seed,
+                 double separation = 8.0, double spread = 1.0) {
+  Blobs blobs;
+  Rng rng(seed);
+  for (std::uint32_t cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<double> row(4);
+      for (std::size_t d = 0; d < 4; ++d) {
+        row[d] = separation * cls * (d % 2 == 0 ? 1.0 : -1.0) +
+                 rng.normal(0.0, spread);
+      }
+      blobs.X.append_row(row);
+      blobs.y.push_back(cls);
+    }
+  }
+  return blobs;
+}
+
+double training_accuracy(const auto& model, const Blobs& blobs) {
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < blobs.X.rows(); ++r) {
+    correct += model.predict(blobs.X.row(r)) == blobs.y[r] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(blobs.X.rows());
+}
+
+// --- Matrix ---
+
+TEST(Matrix, AppendRowFixesWidth) {
+  Matrix m;
+  m.append_row(std::vector<double>{1.0, 2.0});
+  m.append_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.append_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) m(r, 0) = static_cast<double>(r);
+  const Matrix gathered = m.gather_rows({2, 0});
+  EXPECT_EQ(gathered.rows(), 2u);
+  EXPECT_DOUBLE_EQ(gathered(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(gathered(1, 0), 0.0);
+}
+
+// --- Scaler ---
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix m(4, 2);
+  const double values[4] = {1.0, 2.0, 3.0, 4.0};
+  for (std::size_t r = 0; r < 4; ++r) {
+    m(r, 0) = values[r];
+    m(r, 1) = 100.0;  // constant column
+  }
+  StandardScaler scaler;
+  const Matrix scaled = scaler.fit_transform(m);
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    sum += scaled(r, 0);
+    sum_sq += scaled(r, 0) * scaled(r, 0);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / 4.0, 1.0, 1e-12);
+  // Constant column passes through centered (no divide-by-zero blowup).
+  EXPECT_NEAR(scaled(0, 1), 0.0, 1e-12);
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(Scaler, ColumnMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit(Matrix(2, 3));
+  EXPECT_THROW(scaler.transform(Matrix(2, 4)), std::invalid_argument);
+}
+
+// --- LabelEncoder ---
+
+TEST(LabelEncoder, StableIds) {
+  LabelEncoder encoder;
+  EXPECT_EQ(encoder.fit_encode("ft"), 0u);
+  EXPECT_EQ(encoder.fit_encode("mg"), 1u);
+  EXPECT_EQ(encoder.fit_encode("ft"), 0u);
+  EXPECT_EQ(encoder.size(), 2u);
+  EXPECT_EQ(encoder.decode(1), "mg");
+  EXPECT_TRUE(encoder.contains("ft"));
+  EXPECT_FALSE(encoder.contains("sp"));
+  EXPECT_THROW(encoder.encode("sp"), std::out_of_range);
+  EXPECT_THROW(encoder.decode(9), std::out_of_range);
+}
+
+// --- KFold ---
+
+TEST(KFold, PartitionsAllSamples) {
+  const auto folds = kfold(103, 5, 42);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> all_test;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 103u);
+    for (std::size_t i : fold.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "test sets overlap";
+    }
+    // train and test are disjoint
+    std::set<std::size_t> train(fold.train.begin(), fold.train.end());
+    for (std::size_t i : fold.test) EXPECT_EQ(train.count(i), 0u);
+  }
+  EXPECT_EQ(all_test.size(), 103u);
+}
+
+TEST(KFold, InvalidArgumentsThrow) {
+  EXPECT_THROW(kfold(10, 1, 0), std::invalid_argument);
+  EXPECT_THROW(kfold(3, 5, 0), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, KeepsClassBalance) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < 50; ++i) labels.push_back("a");
+  for (int i = 0; i < 25; ++i) labels.push_back("b");
+
+  const auto folds = stratified_kfold(labels, 5, 7);
+  for (const auto& fold : folds) {
+    std::size_t a = 0, b = 0;
+    for (std::size_t i : fold.test) (labels[i] == "a" ? a : b)++;
+    EXPECT_EQ(a, 10u);
+    EXPECT_EQ(b, 5u);
+  }
+}
+
+TEST(StratifiedKFold, EveryIndexTestedOnce) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(i % 3 == 0 ? "x" : "y");
+  const auto folds = stratified_kfold(labels, 3, 9);
+  std::set<std::size_t> tested;
+  for (const auto& fold : folds) {
+    for (std::size_t i : fold.test) EXPECT_TRUE(tested.insert(i).second);
+  }
+  EXPECT_EQ(tested.size(), 30u);
+}
+
+TEST(StratifiedKFold, DeterministicGivenSeed) {
+  std::vector<std::string> labels(40, "a");
+  for (int i = 0; i < 20; ++i) labels.push_back("b");
+  const auto f1 = stratified_kfold(labels, 4, 11);
+  const auto f2 = stratified_kfold(labels, 4, 11);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(f1[f].test, f2[f].test);
+  }
+}
+
+// --- DecisionTree ---
+
+TEST(DecisionTree, FitsSeparableBlobs) {
+  const Blobs blobs = make_blobs(50, 1);
+  DecisionTree tree;
+  tree.fit(blobs.X, blobs.y, 3);
+  EXPECT_DOUBLE_EQ(training_accuracy(tree, blobs), 1.0);
+  EXPECT_GT(tree.node_count(), 0u);
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  const Blobs blobs = make_blobs(50, 2, 2.0, 2.0);  // overlapping blobs
+  TreeConfig config;
+  config.max_depth = 1;
+  DecisionTree stump(config);
+  stump.fit(blobs.X, blobs.y, 3);
+  EXPECT_LE(stump.depth(), 1u);
+  EXPECT_LE(stump.node_count(), 3u);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  const Blobs blobs = make_blobs(30, 3);
+  DecisionTree tree;
+  tree.fit(blobs.X, blobs.y, 3);
+  const auto proba = tree.predict_proba(blobs.X.row(5));
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DecisionTree, SingleClassIsLeafOnly) {
+  Matrix X(5, 2);
+  std::vector<std::uint32_t> y(5, 0);
+  DecisionTree tree;
+  tree.fit(X, y, 1);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(X.row(0)), 0u);
+}
+
+TEST(DecisionTree, InvalidInputsThrow) {
+  DecisionTree tree;
+  Matrix X(2, 1);
+  EXPECT_THROW(tree.fit(X, {0}, 1), std::invalid_argument);       // size mismatch
+  EXPECT_THROW(tree.fit(X, {0, 1}, 0), std::invalid_argument);    // no classes
+  EXPECT_THROW(tree.predict(X.row(0)), std::logic_error);         // unfitted
+}
+
+TEST(DecisionTree, BaggedSubsetRestrictsTraining) {
+  const Blobs blobs = make_blobs(30, 4);
+  DecisionTree tree;
+  // Train only on class-0 rows: every prediction must be class 0.
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < 30; ++i) subset.push_back(i);
+  tree.fit(blobs.X, blobs.y, 3, subset);
+  for (std::size_t r = 0; r < blobs.X.rows(); ++r) {
+    EXPECT_EQ(tree.predict(blobs.X.row(r)), 0u);
+  }
+}
+
+// --- RandomForest ---
+
+TEST(RandomForest, FitsBlobsAndIsConfident) {
+  const Blobs blobs = make_blobs(40, 5);
+  ForestConfig config;
+  config.n_trees = 25;
+  RandomForest forest(config);
+  forest.fit(blobs.X, blobs.y, 3);
+  EXPECT_EQ(forest.tree_count(), 25u);
+  EXPECT_GT(training_accuracy(forest, blobs), 0.98);
+  EXPECT_GT(forest.confidence(blobs.X.row(0)), 0.8);
+}
+
+TEST(RandomForest, LowConfidenceFarFromData) {
+  const Blobs blobs = make_blobs(40, 6, 3.0, 1.5);
+  ForestConfig config;
+  config.n_trees = 30;
+  RandomForest forest(config);
+  forest.fit(blobs.X, blobs.y, 3);
+  // A point between blobs draws mixed votes.
+  const std::vector<double> between = {4.0, -4.0, 4.0, -4.0};
+  EXPECT_LT(forest.confidence(between), 0.95);
+}
+
+TEST(RandomForest, ParallelAndSerialAgree) {
+  const Blobs blobs = make_blobs(30, 7);
+  ForestConfig serial;
+  serial.n_trees = 10;
+  serial.parallel = false;
+  ForestConfig parallel = serial;
+  parallel.parallel = true;
+
+  RandomForest a(serial), b(parallel);
+  a.fit(blobs.X, blobs.y, 3);
+  b.fit(blobs.X, blobs.y, 3);
+  for (std::size_t r = 0; r < blobs.X.rows(); ++r) {
+    EXPECT_EQ(a.predict(blobs.X.row(r)), b.predict(blobs.X.row(r)));
+  }
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  const Blobs blobs = make_blobs(20, 8);
+  RandomForest forest(ForestConfig{.n_trees = 5});
+  forest.fit(blobs.X, blobs.y, 3);
+  const auto proba = forest.predict_proba(blobs.X.row(1));
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --- KNN ---
+
+TEST(Knn, NearestNeighborWins) {
+  const Blobs blobs = make_blobs(25, 9);
+  KNearestNeighbors knn(3);
+  knn.fit(blobs.X, blobs.y, 3);
+  EXPECT_GT(training_accuracy(knn, blobs), 0.98);
+}
+
+TEST(Knn, NearestDistanceIsZeroOnTrainingPoint) {
+  const Blobs blobs = make_blobs(10, 10);
+  KNearestNeighbors knn(1);
+  knn.fit(blobs.X, blobs.y, 3);
+  EXPECT_DOUBLE_EQ(knn.nearest_distance(blobs.X.row(3)), 0.0);
+}
+
+TEST(Knn, KLargerThanDatasetClamps) {
+  Matrix X(2, 1);
+  X(0, 0) = 0.0;
+  X(1, 0) = 1.0;
+  KNearestNeighbors knn(10);
+  knn.fit(X, {0, 1}, 2);
+  EXPECT_NO_THROW(knn.predict(X.row(0)));
+}
+
+// --- LogisticRegression ---
+
+TEST(Logistic, ConvergesOnBlobs) {
+  const Blobs blobs = make_blobs(40, 11);
+  // Standardize first, as documented.
+  StandardScaler scaler;
+  Blobs scaled = blobs;
+  scaled.X = scaler.fit_transform(blobs.X);
+
+  LogisticRegression model;
+  model.fit(scaled.X, scaled.y, 3);
+  EXPECT_GT(training_accuracy(model, scaled), 0.98);
+  EXPECT_LT(model.final_loss(), 0.2);
+}
+
+TEST(Logistic, ProbaIsSoftmax) {
+  const Blobs blobs = make_blobs(20, 12);
+  LogisticRegression model;
+  model.fit(blobs.X, blobs.y, 3);
+  const auto proba = model.predict_proba(blobs.X.row(0));
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Logistic, UnfittedThrows) {
+  LogisticRegression model;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW(model.predict(x), std::logic_error);
+}
+
+}  // namespace

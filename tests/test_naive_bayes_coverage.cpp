@@ -1,0 +1,199 @@
+/// \file test_naive_bayes_coverage.cpp
+/// \brief Tests for the Gaussian naive Bayes baseline and the dictionary
+/// coverage diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.hpp"
+#include "core/trainer.hpp"
+#include "ml/naive_bayes.hpp"
+#include "sim/anomaly_models.hpp"
+#include "sim/dataset_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd;
+
+// --- GaussianNaiveBayes ---
+
+ml::Matrix gaussian_classes(std::vector<std::uint32_t>& y, std::uint64_t seed,
+                            double separation = 6.0) {
+  ml::Matrix X;
+  util::Rng rng(seed);
+  for (std::uint32_t cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < 60; ++i) {
+      std::vector<double> row = {separation * cls + rng.normal(),
+                                 -1.0 * separation * cls + rng.normal()};
+      X.append_row(row);
+      y.push_back(cls);
+    }
+  }
+  return X;
+}
+
+TEST(NaiveBayes, SeparatesGaussianClasses) {
+  std::vector<std::uint32_t> y;
+  const ml::Matrix X = gaussian_classes(y, 1);
+  ml::GaussianNaiveBayes model;
+  model.fit(X, y, 3);
+
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    correct += model.predict(X.row(r)) == y[r] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / X.rows(), 0.98);
+}
+
+TEST(NaiveBayes, ProbaIsNormalizedPosterior) {
+  std::vector<std::uint32_t> y;
+  const ml::Matrix X = gaussian_classes(y, 2);
+  ml::GaussianNaiveBayes model;
+  model.fit(X, y, 3);
+
+  const auto proba = model.predict_proba(X.row(0));
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Class 0's own sample: posterior mass concentrated there.
+  EXPECT_GT(proba[0], 0.9);
+}
+
+TEST(NaiveBayes, ConstantFeatureDoesNotBlowUp) {
+  // Zero-variance feature must be floored, not divide by zero.
+  ml::Matrix X(6, 2);
+  std::vector<std::uint32_t> y = {0, 0, 0, 1, 1, 1};
+  for (std::size_t r = 0; r < 6; ++r) {
+    X(r, 0) = r < 3 ? 0.0 : 10.0;
+    X(r, 1) = 5.0;  // constant everywhere
+  }
+  ml::GaussianNaiveBayes model;
+  model.fit(X, y, 2);
+  EXPECT_EQ(model.predict(X.row(0)), 0u);
+  EXPECT_EQ(model.predict(X.row(5)), 1u);
+}
+
+TEST(NaiveBayes, InvalidInputsThrow) {
+  ml::GaussianNaiveBayes model;
+  ml::Matrix X(2, 1);
+  EXPECT_THROW(model.fit(X, {0}, 1), std::invalid_argument);
+  EXPECT_THROW(model.fit(X, {0, 5}, 2), std::invalid_argument);  // label range
+  const std::vector<double> x = {0.0};
+  EXPECT_THROW(model.predict(x), std::logic_error);
+}
+
+TEST(NaiveBayes, PriorsReflectClassFrequencies) {
+  // 90/10 imbalance: an ambiguous point goes to the majority class.
+  ml::Matrix X;
+  std::vector<std::uint32_t> y;
+  util::Rng rng(3);
+  for (int i = 0; i < 90; ++i) {
+    X.append_row(std::vector<double>{rng.normal(0.0, 2.0)});
+    y.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    X.append_row(std::vector<double>{rng.normal(1.0, 2.0)});
+    y.push_back(1);
+  }
+  ml::GaussianNaiveBayes model;
+  model.fit(X, y, 2);
+  const std::vector<double> midpoint = {0.5};
+  EXPECT_EQ(model.predict(midpoint), 0u);
+}
+
+// --- Coverage analysis ---
+
+class CoverageFixture : public ::testing::Test {
+ protected:
+  CoverageFixture() {
+    sim::GeneratorConfig config;
+    config.seed = 42;
+    config.small_repetitions = 4;
+    config.include_large_input = false;
+    config.metrics = {"nr_mapped_vmstat"};
+    dataset_ = sim::generate_paper_dataset(config);
+
+    core::FingerprintConfig fp;
+    fp.metrics = {"nr_mapped_vmstat"};
+    fp.rounding_depth = 3;
+    dictionary_ = core::train_dictionary(dataset_, fp);
+  }
+  telemetry::Dataset dataset_;
+  core::Dictionary dictionary_;
+};
+
+TEST_F(CoverageFixture, TrainingCorpusIsFullyCovered) {
+  const auto report = core::analyze_coverage(dictionary_, dataset_);
+  EXPECT_EQ(report.executions, dataset_.size());
+  EXPECT_EQ(report.fully_matched, dataset_.size());
+  EXPECT_EQ(report.unmatched, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_match_fraction, 1.0);
+  for (const auto& [application, fraction] :
+       report.match_fraction_by_application) {
+    EXPECT_DOUBLE_EQ(fraction, 1.0) << application;
+  }
+}
+
+TEST_F(CoverageFixture, KeysPerApplicationAreCounted) {
+  const auto report = core::analyze_coverage(dictionary_, dataset_);
+  ASSERT_EQ(report.keys_by_application.size(), 11u);
+  for (const auto& [application, keys] : report.keys_by_application) {
+    EXPECT_GE(keys, 1u) << application;
+  }
+  // miniAMR spreads across more buckets than the rock-steady miniGhost.
+  EXPECT_GT(report.keys_by_application.at("miniAMR"),
+            report.keys_by_application.at("miniGhost"));
+}
+
+TEST_F(CoverageFixture, ForeignCorpusIsUnmatched) {
+  sim::CryptoMinerModel miner;
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  sim::DatasetGenerator generator(registry);
+  sim::GeneratorConfig config;
+  config.seed = 77;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  const telemetry::Dataset miners = generator.generate(config, {&miner});
+
+  const auto report = core::analyze_coverage(dictionary_, miners);
+  EXPECT_EQ(report.unmatched, miners.size());
+  EXPECT_DOUBLE_EQ(report.mean_match_fraction, 0.0);
+}
+
+TEST_F(CoverageFixture, SubsetIndicesRestrictAnalysis) {
+  const auto report = core::analyze_coverage(dictionary_, dataset_, {0, 1, 2});
+  EXPECT_EQ(report.executions, 3u);
+}
+
+TEST_F(CoverageFixture, ReportRendersAllApplications) {
+  const auto text = core::analyze_coverage(dictionary_, dataset_).to_string();
+  for (const auto& application : dataset_.applications()) {
+    EXPECT_NE(text.find(application), std::string::npos) << application;
+  }
+  EXPECT_NE(text.find("mean match fraction"), std::string::npos);
+}
+
+TEST_F(CoverageFixture, DegradedRunShowsPartialCoverage) {
+  // The anomaly-detection signal: a drifted app matches fewer keys.
+  const auto healthy = sim::make_application("miniGhost");
+  sim::DegradedAppModel degraded(*healthy, 0.15);
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  sim::DatasetGenerator generator(registry);
+  sim::GeneratorConfig config;
+  config.seed = 99;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  const telemetry::Dataset degraded_runs = generator.generate(config, {&degraded});
+
+  const auto report = core::analyze_coverage(dictionary_, degraded_runs);
+  EXPECT_LT(report.mean_match_fraction, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+/// \file test_online_recognizer.cpp
+/// \brief Tests for streaming recognition: window accumulation, readiness,
+/// and exact agreement with the offline matcher on identical data.
+
+#include "core/online_recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+TEST(WindowAccumulator, MeanOverWindowOnly) {
+  WindowAccumulator acc({60, 120});
+  for (int t = 0; t < 130; ++t) {
+    acc.push(t, t < 60 ? 1000.0 : 50.0);  // init garbage, then steady 50
+  }
+  EXPECT_TRUE(acc.complete());
+  EXPECT_EQ(acc.count(), 60u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 50.0);
+}
+
+TEST(WindowAccumulator, NotCompleteBeforeWindowEnd) {
+  WindowAccumulator acc({60, 120});
+  for (int t = 0; t < 100; ++t) acc.push(t, 1.0);
+  EXPECT_FALSE(acc.complete());
+  for (int t = 100; t < 120; ++t) acc.push(t, 1.0);
+  EXPECT_TRUE(acc.complete());
+}
+
+TEST(WindowAccumulator, DuplicateAndOutOfOrderTicksDropped) {
+  WindowAccumulator acc({0, 4});
+  acc.push(0, 10.0);
+  acc.push(0, 99.0);   // duplicate second: ignored
+  acc.push(2, 20.0);
+  acc.push(1, 99.0);   // out of order: ignored
+  acc.push(3, 30.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 20.0);
+}
+
+/// Fixture with a trained two-app dictionary.
+class OnlineFixture : public ::testing::Test {
+ protected:
+  OnlineFixture() : dataset_({"nr_mapped_vmstat"}) {
+    add(1, "ft", 6000.0);
+    add(2, "mg", 6100.0);
+    FingerprintConfig config;
+    config.metrics = {"nr_mapped_vmstat"};
+    config.rounding_depth = 2;
+    dictionary_ = train_dictionary(dataset_, config);
+  }
+
+  void add(std::uint64_t id, const std::string& app, double level) {
+    telemetry::ExecutionRecord record(id, {app, "X"}, 2, 1);
+    for (std::size_t n = 0; n < 2; ++n) {
+      for (int t = 0; t < 150; ++t) record.series(n, 0).push_back(level);
+    }
+    dataset_.add(std::move(record));
+  }
+
+  telemetry::Dataset dataset_;
+  Dictionary dictionary_;
+};
+
+TEST_F(OnlineFixture, VerdictFiresWhenWindowCloses) {
+  OnlineRecognizer online(dictionary_, 2);
+  for (int t = 0; t < 119; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      online.push(node, "nr_mapped_vmstat", t, 6030.0);
+    }
+    EXPECT_FALSE(online.ready()) << "t=" << t;
+    EXPECT_FALSE(online.result().has_value());
+  }
+  for (std::uint32_t node = 0; node < 2; ++node) {
+    online.push(node, "nr_mapped_vmstat", 119, 6030.0);
+  }
+  EXPECT_TRUE(online.ready());
+  ASSERT_TRUE(online.result().has_value());
+  EXPECT_EQ(online.result()->prediction(), "ft");  // 6030 -> 6000 at depth 2
+}
+
+TEST_F(OnlineFixture, AgreesWithOfflineMatcher) {
+  // Stream one of the training executions; the verdict must match the
+  // offline recognition of the same record exactly.
+  const auto& record = dataset_.record(1);  // mg
+  OnlineRecognizer online(dictionary_, 2);
+  for (int t = 0; t < 150; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      online.push(node, "nr_mapped_vmstat", t,
+                  record.series(node, 0)[static_cast<std::size_t>(t)]);
+    }
+  }
+  const auto offline = Matcher(dictionary_).recognize(record, dataset_);
+  ASSERT_TRUE(online.result().has_value());
+  const auto streamed = *online.result();  // result() returns by value
+  EXPECT_EQ(streamed.prediction(), offline.prediction());
+  EXPECT_EQ(streamed.votes, offline.votes);
+  EXPECT_EQ(streamed.matched_count, offline.matched_count);
+}
+
+TEST_F(OnlineFixture, IgnoresUnrelatedMetricsAndNodes) {
+  OnlineRecognizer online(dictionary_, 2);
+  for (int t = 0; t < 150; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      online.push(node, "nr_mapped_vmstat", t, 6100.0);
+      online.push(node, "some_other_metric", t, 1.0);  // ignored
+    }
+    online.push(7, "nr_mapped_vmstat", t, 9999.0);  // node out of range
+  }
+  ASSERT_TRUE(online.result().has_value());
+  EXPECT_EQ(online.result()->prediction(), "mg");
+}
+
+TEST_F(OnlineFixture, SecondsUntilReadyCountsDown) {
+  OnlineRecognizer online(dictionary_, 2);
+  EXPECT_EQ(online.seconds_until_ready(0), 120);
+  EXPECT_EQ(online.seconds_until_ready(90), 30);
+  EXPECT_EQ(online.seconds_until_ready(500), 0);
+}
+
+TEST_F(OnlineFixture, UnknownStreamSaysUnknown) {
+  OnlineRecognizer online(dictionary_, 2);
+  for (int t = 0; t < 130; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      online.push(node, "nr_mapped_vmstat", t, 424242.0);
+    }
+  }
+  ASSERT_TRUE(online.result().has_value());
+  EXPECT_EQ(online.result()->prediction(), kUnknownApplication);
+}
+
+TEST(OnlineRecognizer, MultiIntervalWaitsForLastWindow) {
+  telemetry::Dataset dataset({"m"});
+  telemetry::ExecutionRecord record(1, {"app", "X"}, 1, 1);
+  for (int t = 0; t < 200; ++t) record.series(0, 0).push_back(500.0);
+  dataset.add(record);
+
+  FingerprintConfig config;
+  config.metrics = {"m"};
+  config.intervals = {{60, 120}, {120, 180}};
+  config.rounding_depth = 2;
+  const Dictionary dictionary = train_dictionary(dataset, config);
+
+  OnlineRecognizer online(dictionary, 1);
+  for (int t = 0; t < 150; ++t) online.push(0, "m", t, 500.0);
+  EXPECT_FALSE(online.ready());  // second window still open
+  for (int t = 150; t < 180; ++t) online.push(0, "m", t, 500.0);
+  ASSERT_TRUE(online.result().has_value());
+  EXPECT_EQ(online.result()->prediction(), "app");
+  EXPECT_EQ(online.result()->fingerprint_count, 2u);  // two interval keys
+}
+
+TEST(OnlineRecognizer, CombinedMetricKeysMatchOffline) {
+  telemetry::Dataset dataset({"a", "b"});
+  telemetry::ExecutionRecord record(1, {"app", "X"}, 1, 2);
+  for (int t = 0; t < 150; ++t) {
+    record.series(0, 0).push_back(100.0);
+    record.series(0, 1).push_back(777.0);
+  }
+  dataset.add(record);
+
+  FingerprintConfig config;
+  config.metrics = {"a", "b"};
+  config.rounding_depth = 2;
+  config.combine_metrics = true;
+  const Dictionary dictionary = train_dictionary(dataset, config);
+
+  OnlineRecognizer online(dictionary, 1);
+  for (int t = 0; t < 130; ++t) {
+    online.push(0, "a", t, 100.0);
+    online.push(0, "b", t, 777.0);
+  }
+  ASSERT_TRUE(online.result().has_value());
+  EXPECT_EQ(online.result()->prediction(), "app");
+}
+
+}  // namespace

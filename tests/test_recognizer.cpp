@@ -1,0 +1,180 @@
+/// \file test_recognizer.cpp
+/// \brief Tests for depth selection (inner CV) and the Recognizer facade:
+/// auto-depth behaviour, incremental learning, and persistence.
+
+#include "core/recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/dataset_generator.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+telemetry::Dataset small_dataset(std::uint64_t seed = 42,
+                                 std::size_t repetitions = 6) {
+  sim::GeneratorConfig config;
+  config.seed = seed;
+  config.small_repetitions = repetitions;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  return sim::generate_paper_dataset(config);
+}
+
+TEST(DepthSelector, PicksTheSeparatingDepth) {
+  const telemetry::Dataset dataset = small_dataset();
+  FingerprintConfig base;
+  base.metrics = {"nr_mapped_vmstat"};
+  const DepthSelectionResult result = select_rounding_depth(dataset, base);
+
+  // Depth 2 merges SP/BT; depth 3 separates every application; deeper
+  // fragments under noise. The inner CV must find 3.
+  EXPECT_EQ(result.best_depth, 3);
+  EXPECT_GT(result.f_score_by_depth.at(3), result.f_score_by_depth.at(2));
+  EXPECT_GT(result.f_score_by_depth.at(3), result.f_score_by_depth.at(5));
+}
+
+TEST(DepthSelector, ScoresCoverConfiguredRange) {
+  const telemetry::Dataset dataset = small_dataset();
+  FingerprintConfig base;
+  base.metrics = {"nr_mapped_vmstat"};
+  DepthSelectionConfig selection;
+  selection.min_depth = 2;
+  selection.max_depth = 4;
+  const auto result = select_rounding_depth(dataset, base, {}, selection);
+  EXPECT_EQ(result.f_score_by_depth.size(), 3u);
+  EXPECT_EQ(result.f_score_by_depth.count(1), 0u);
+  EXPECT_GE(result.best_depth, 2);
+  EXPECT_LE(result.best_depth, 4);
+}
+
+TEST(DepthSelector, SerialAndParallelAgree) {
+  const telemetry::Dataset dataset = small_dataset();
+  FingerprintConfig base;
+  base.metrics = {"nr_mapped_vmstat"};
+  DepthSelectionConfig serial;
+  serial.parallel = false;
+  DepthSelectionConfig parallel;
+  parallel.parallel = true;
+  const auto a = select_rounding_depth(dataset, base, {}, serial);
+  const auto b = select_rounding_depth(dataset, base, {}, parallel);
+  EXPECT_EQ(a.best_depth, b.best_depth);
+  EXPECT_EQ(a.f_score_by_depth, b.f_score_by_depth);
+}
+
+TEST(Recognizer, UntrainedThrows) {
+  Recognizer recognizer;
+  const telemetry::Dataset dataset = small_dataset();
+  EXPECT_THROW(recognizer.recognize(dataset, dataset.record(0)),
+               std::logic_error);
+  EXPECT_THROW(recognizer.dictionary(), std::logic_error);
+  EXPECT_THROW(recognizer.save("/tmp/x"), std::logic_error);
+}
+
+TEST(Recognizer, AutoDepthTrainsAndRecognizes) {
+  const telemetry::Dataset dataset = small_dataset();
+  Recognizer recognizer;
+  recognizer.train(dataset);
+
+  EXPECT_TRUE(recognizer.trained());
+  EXPECT_EQ(recognizer.rounding_depth(), 3);
+  EXPECT_FALSE(recognizer.depth_scores().empty());
+
+  // Every training execution recognizes as itself (resubstitution).
+  std::size_t correct = 0;
+  for (const auto& record : dataset.records()) {
+    const auto result = recognizer.recognize(dataset, record);
+    correct += result.prediction() == record.label().application ? 1 : 0;
+  }
+  EXPECT_EQ(correct, dataset.size());
+}
+
+TEST(Recognizer, FixedDepthSkipsSelection) {
+  const telemetry::Dataset dataset = small_dataset();
+  RecognizerConfig config;
+  config.auto_depth = false;
+  config.rounding_depth = 2;
+  Recognizer recognizer(config);
+  recognizer.train(dataset);
+  EXPECT_EQ(recognizer.rounding_depth(), 2);
+  EXPECT_TRUE(recognizer.depth_scores().empty());
+}
+
+TEST(Recognizer, AutoDepthFallsBackOnTinyTrainingSets) {
+  const telemetry::Dataset dataset = small_dataset();
+  RecognizerConfig config;
+  config.rounding_depth = 4;
+  Recognizer recognizer(config);
+  recognizer.train(dataset, {0, 1, 2});  // far below folds*2 executions
+  EXPECT_EQ(recognizer.rounding_depth(), 4);
+}
+
+TEST(Recognizer, LearnExecutionAddsNewApplication) {
+  const telemetry::Dataset dataset = small_dataset();
+  Recognizer recognizer;
+
+  // Train without kripke, then learn one kripke execution online.
+  std::vector<std::size_t> without_kripke, kripke_indices;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.record(i).label().application == "kripke") {
+      kripke_indices.push_back(i);
+    } else {
+      without_kripke.push_back(i);
+    }
+  }
+  recognizer.train(dataset, without_kripke);
+  const auto before =
+      recognizer.recognize(dataset, dataset.record(kripke_indices[0]));
+  EXPECT_EQ(before.prediction(), kUnknownApplication);
+
+  // "Learning new applications is as simple as adding new keys."
+  recognizer.learn_execution(dataset, dataset.record(kripke_indices[0]));
+  const auto after =
+      recognizer.recognize(dataset, dataset.record(kripke_indices[1]));
+  EXPECT_EQ(after.prediction(), "kripke");
+}
+
+TEST(Recognizer, SaveLoadPreservesPredictions) {
+  const std::string path = ::testing::TempDir() + "/efd_recognizer_test.dict";
+  const telemetry::Dataset dataset = small_dataset();
+
+  Recognizer original;
+  original.train(dataset);
+  original.save(path);
+
+  const Recognizer loaded = Recognizer::load(path);
+  EXPECT_EQ(loaded.rounding_depth(), original.rounding_depth());
+  for (std::size_t i = 0; i < dataset.size(); i += 7) {
+    EXPECT_EQ(loaded.recognize(dataset, dataset.record(i)).prediction(),
+              original.recognize(dataset, dataset.record(i)).prediction());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Recognizer, MultiMetricConfiguration) {
+  sim::GeneratorConfig generator;
+  generator.seed = 42;
+  generator.small_repetitions = 5;
+  generator.include_large_input = false;
+  generator.metrics = {"nr_mapped_vmstat", "Committed_AS_meminfo"};
+  const telemetry::Dataset dataset = sim::generate_paper_dataset(generator);
+
+  RecognizerConfig config;
+  config.metrics = generator.metrics;
+  config.combine_metrics = true;
+  config.auto_depth = false;
+  config.rounding_depth = 3;
+  Recognizer recognizer(config);
+  recognizer.train(dataset);
+
+  const auto result = recognizer.recognize(dataset, dataset.record(0));
+  EXPECT_EQ(result.prediction(), dataset.record(0).label().application);
+  // Combined mode: one fingerprint per node, not per metric.
+  EXPECT_EQ(result.fingerprint_count, dataset.record(0).node_count());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+/// \file test_report.cpp
+/// \brief Tests for experiment result export (CSV + markdown).
+
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace efd::eval;
+
+std::vector<ResultSeries> sample_series() {
+  ExperimentScore normal;
+  normal.mean_f1 = 0.975;
+  normal.per_round_f1 = {0.95, 1.0};
+  normal.round_descriptions = {"fold 1", "fold 2"};
+
+  ExperimentScore hard;
+  hard.mean_f1 = 0.7;
+  hard.per_round_f1 = {0.7};
+  hard.round_descriptions = {"held-out input L"};
+
+  ResultSeries efd{"EFD",
+                   {{ExperimentKind::kNormalFold, normal},
+                    {ExperimentKind::kHardInput, hard}}};
+  ResultSeries tax{"Taxonomist", {{ExperimentKind::kNormalFold, normal}}};
+  return {efd, tax};
+}
+
+TEST(ReportCsv, OneRowPerRoundPlusMean) {
+  std::ostringstream out;
+  write_results_csv(sample_series(), out);
+
+  std::istringstream in(out.str());
+  const auto rows = efd::util::CsvReader::read_all(in, true);
+  // header + EFD(2 rounds + mean + 1 round + mean) + Tax(2 rounds + mean)
+  ASSERT_EQ(rows.size(), 1u + 5 + 3);
+  EXPECT_EQ(rows[0][0], "series");
+  EXPECT_EQ(rows[1], (efd::util::CsvRow{"EFD", "normal fold", "1", "fold 1",
+                                        "0.950000"}));
+  EXPECT_EQ(rows[3][2], "mean");
+  EXPECT_EQ(rows[3][4], "0.975000");
+}
+
+TEST(ReportCsv, RoundDescriptionsPreserved) {
+  std::ostringstream out;
+  write_results_csv(sample_series(), out);
+  EXPECT_NE(out.str().find("held-out input L"), std::string::npos);
+}
+
+TEST(ReportMarkdown, TableShapeAndGaps) {
+  std::ostringstream out;
+  write_results_markdown(sample_series(), out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("| experiment | EFD | Taxonomist |"), std::string::npos);
+  // EFD has hard-input, Taxonomist doesn't: gap rendered as dash.
+  EXPECT_NE(text.find("| hard input | 0.700 | – |"), std::string::npos);
+  // Multi-round scores include min–max range.
+  EXPECT_NE(text.find("0.975 (0.950–1.000)"), std::string::npos);
+  // Experiments appear in canonical Figure 2 order.
+  EXPECT_LT(text.find("normal fold"), text.find("hard input"));
+}
+
+TEST(ReportMarkdown, SingleRoundOmitsRange) {
+  ExperimentScore one;
+  one.mean_f1 = 0.5;
+  one.per_round_f1 = {0.5};
+  std::ostringstream out;
+  write_results_markdown({{"X", {{ExperimentKind::kSoftInput, one}}}}, out);
+  EXPECT_NE(out.str().find("| soft input | 0.500 |"), std::string::npos);
+  EXPECT_EQ(out.str().find("(0.500"), std::string::npos);
+}
+
+TEST(ReportFiles, WriteFailuresThrow) {
+  EXPECT_THROW(write_results_csv_file(sample_series(), "/no/such/dir/x.csv"),
+               std::runtime_error);
+  EXPECT_THROW(
+      write_results_markdown_file(sample_series(), "/no/such/dir/x.md"),
+      std::runtime_error);
+}
+
+TEST(ReportFiles, RoundTripToDisk) {
+  const std::string path = ::testing::TempDir() + "/efd_report_test.csv";
+  write_results_csv_file(sample_series(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "series,experiment,round,description,f1");
+  std::remove(path.c_str());
+}
+
+}  // namespace

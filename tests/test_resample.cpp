@@ -1,0 +1,101 @@
+/// \file test_resample.cpp
+/// \brief Tests for sampling-cadence transforms and the invariant the
+/// cadence ablation relies on: mean-downsampling preserves interval means
+/// up to group-boundary effects.
+
+#include "telemetry/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace efd::telemetry;
+
+TimeSeries ramp(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return TimeSeries(std::move(v), 1.0);
+}
+
+TEST(Downsample, FactorOneIsIdentity) {
+  const TimeSeries series = ramp(10);
+  const TimeSeries out = downsample(series, 1);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_DOUBLE_EQ(out.period_seconds(), 1.0);
+}
+
+TEST(Downsample, FactorZeroThrows) {
+  EXPECT_THROW(downsample(ramp(4), 0), std::invalid_argument);
+}
+
+TEST(Downsample, MeanCollapsesGroups) {
+  const TimeSeries out = downsample(ramp(6), 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 2.5);
+  EXPECT_DOUBLE_EQ(out[2], 4.5);
+  EXPECT_DOUBLE_EQ(out.period_seconds(), 2.0);
+}
+
+TEST(Downsample, PartialTailGroupKept) {
+  const TimeSeries out = downsample(ramp(5), 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);  // lone tail sample
+}
+
+TEST(Downsample, FirstMethodDecimates) {
+  const TimeSeries out = downsample(ramp(6), 3, DownsampleMethod::kFirst);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(Downsample, MaxMethodKeepsPeaks) {
+  TimeSeries series(std::vector<double>{1.0, 9.0, 2.0, 3.0}, 1.0);
+  const TimeSeries out = downsample(series, 2, DownsampleMethod::kMax);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 9.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(Downsample, MeanPreservesAlignedWindowMeans) {
+  // When group boundaries align with the window, the windowed mean is
+  // exactly preserved — the property the cadence ablation leans on.
+  const TimeSeries original = ramp(180);
+  const TimeSeries coarse = downsample(original, 5);
+  EXPECT_DOUBLE_EQ(coarse.mean_over({60, 120}), original.mean_over({60, 120}));
+}
+
+TEST(Downsample, RecordAndDatasetApplyToEverySeries) {
+  Dataset dataset({"m1", "m2"});
+  ExecutionRecord record(1, {"ft", "X"}, 2, 2);
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t m = 0; m < 2; ++m) {
+      for (int t = 0; t < 10; ++t) {
+        record.series(n, m).push_back(static_cast<double>(t));
+      }
+    }
+  }
+  dataset.add(record);
+
+  const Dataset coarse = downsample(dataset, 2);
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_EQ(coarse.record(0).label(), record.label());
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_EQ(coarse.record(0).series(n, m).size(), 5u);
+      EXPECT_DOUBLE_EQ(coarse.record(0).series(n, m).period_seconds(), 2.0);
+    }
+  }
+}
+
+TEST(Downsample, CoversWindowAfterDownsampling) {
+  const TimeSeries original = ramp(150);          // covers [0, 150)
+  const TimeSeries coarse = downsample(original, 5);  // 30 samples @ 5 s
+  EXPECT_TRUE(coarse.covers({60, 120}));
+  EXPECT_EQ(coarse.window({60, 120}).size(), 12u);  // 60 s / 5 s
+}
+
+}  // namespace

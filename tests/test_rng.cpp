@@ -1,0 +1,237 @@
+/// \file test_rng.cpp
+/// \brief Unit and statistical tests for the deterministic RNG — the
+/// reproducibility of every table in the repo rests on it.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using efd::util::mix_seed;
+using efd::util::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 9.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexStaysBelowBound) {
+  Rng rng(4);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 7ull, 100ull, 12345ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(n), n);
+  }
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(8);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // inverted clamps to lo
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(9);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(10);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(42.0, 3.0);
+  EXPECT_NEAR(sum / kN, 42.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng(13);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(14);
+  constexpr int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 2.0), 0.0);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(17);
+  const auto perm = rng.permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(18);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  // Forking must not correlate the child with the parent's future draws.
+  Rng parent(19);
+  Rng child = parent.fork(1);
+  std::uint64_t parent_next = parent();
+  std::uint64_t child_next = child();
+  EXPECT_NE(parent_next, child_next);
+}
+
+TEST(Rng, ForkDifferentTokensDiffer) {
+  Rng a(20);
+  Rng b(20);
+  Rng fork1 = a.fork(1);
+  Rng fork2 = b.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += fork1() == fork2() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed({1, 2}), mix_seed({2, 1}));
+}
+
+TEST(MixSeed, Deterministic) {
+  EXPECT_EQ(mix_seed({42, 7, 9}), mix_seed({42, 7, 9}));
+}
+
+TEST(MixSeed, TokenCountMatters) {
+  EXPECT_NE(mix_seed({1}), mix_seed({1, 0}));
+}
+
+/// Property sweep: uniform_index over many n has acceptable bucket balance.
+class RngBalance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBalance, UniformIndexBucketsBalanced) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 31 + 5);
+  std::vector<int> counts(n, 0);
+  const int draws_per_bucket = 2000;
+  const int total = static_cast<int>(n) * draws_per_bucket;
+  for (int i = 0; i < total; ++i) ++counts[rng.uniform_index(n)];
+  for (std::uint64_t b = 0; b < n; ++b) {
+    EXPECT_NEAR(counts[b], draws_per_bucket, draws_per_bucket * 0.15)
+        << "bucket " << b << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngBalance,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+}  // namespace

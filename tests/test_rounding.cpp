@@ -1,0 +1,163 @@
+/// \file test_rounding.cpp
+/// \brief Tests for the paper's pruning mechanism (Table 1 semantics) —
+/// the consistency property "the same measurement gets rounded in the
+/// same way during training and testing" is what makes dictionary
+/// matching sound, so this file leans on parameterized property sweeps.
+
+#include "core/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using efd::core::bucket_width;
+using efd::core::round_to_depth;
+
+// --- Table 1, verbatim ---
+
+TEST(RoundToDepth, Table1Row1358) {
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, 2), 1400.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, 3), 1360.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, 4), 1358.0);
+}
+
+TEST(RoundToDepth, Table1Row528) {
+  EXPECT_DOUBLE_EQ(round_to_depth(5.28, 1), 5.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(5.28, 2), 5.3);
+  EXPECT_DOUBLE_EQ(round_to_depth(5.28, 3), 5.28);
+}
+
+TEST(RoundToDepth, Table1Row0038) {
+  EXPECT_DOUBLE_EQ(round_to_depth(0.038, 1), 0.04);
+  EXPECT_DOUBLE_EQ(round_to_depth(0.038, 2), 0.038);
+}
+
+TEST(RoundToDepth, Table4StyleValues) {
+  // The kinds of values the example EFD contains.
+  EXPECT_DOUBLE_EQ(round_to_depth(6013.7, 2), 6000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(7554.2, 2), 7600.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(7554.2, 3), 7550.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(10504.0, 2), 11000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(10499.0, 2), 10000.0);
+}
+
+// --- Edge cases ---
+
+TEST(RoundToDepth, ZeroPassesThrough) {
+  EXPECT_DOUBLE_EQ(round_to_depth(0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(0.0, 5), 0.0);
+}
+
+TEST(RoundToDepth, NonFinitePassThrough) {
+  EXPECT_TRUE(std::isnan(round_to_depth(std::nan(""), 2)));
+  EXPECT_TRUE(std::isinf(
+      round_to_depth(std::numeric_limits<double>::infinity(), 2)));
+}
+
+TEST(RoundToDepth, NegativeValuesRoundByMagnitude) {
+  EXPECT_DOUBLE_EQ(round_to_depth(-1358.0, 2), -1400.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(-5.28, 2), -5.3);
+}
+
+TEST(RoundToDepth, DepthBelowOneClamped) {
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(1358.0, -3), 1000.0);
+}
+
+TEST(RoundToDepth, HalfRoundsAwayFromZero) {
+  EXPECT_DOUBLE_EQ(round_to_depth(1500.0, 1), 2000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(-1500.0, 1), -2000.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(0.35, 1), 0.4);
+}
+
+TEST(RoundToDepth, MagnitudePromotion) {
+  // 9.96 at depth 2 rounds *up* a magnitude to 10.0 — must not crash or
+  // mis-scale.
+  EXPECT_DOUBLE_EQ(round_to_depth(9.96, 2), 10.0);
+  EXPECT_DOUBLE_EQ(round_to_depth(999.9, 3), 1000.0);
+}
+
+TEST(RoundToDepth, TinyAndHugeMagnitudes) {
+  EXPECT_DOUBLE_EQ(round_to_depth(3.7e-9, 1), 4e-9);
+  EXPECT_DOUBLE_EQ(round_to_depth(8.44e12, 2), 8.4e12);
+}
+
+TEST(BucketWidth, MatchesDigitPosition) {
+  EXPECT_DOUBLE_EQ(bucket_width(1358.0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(bucket_width(1358.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(bucket_width(5.28, 3), 0.01);
+  EXPECT_DOUBLE_EQ(bucket_width(0.038, 1), 0.01);
+  EXPECT_DOUBLE_EQ(bucket_width(0.0, 2), 0.0);
+}
+
+// --- Properties, swept over magnitudes and depths ---
+
+struct SweepParam {
+  double magnitude_exponent;
+  int depth;
+};
+
+class RoundingProperties
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoundingProperties, IdempotentAndConsistent) {
+  const auto [exponent, depth] = GetParam();
+  efd::util::Rng rng(static_cast<std::uint64_t>(exponent * 31 + depth));
+  for (int i = 0; i < 500; ++i) {
+    const double value =
+        rng.uniform(1.0, 10.0) * std::pow(10.0, exponent);
+
+    const double once = round_to_depth(value, depth);
+    // Idempotence: rounding a rounded value changes nothing.
+    EXPECT_DOUBLE_EQ(round_to_depth(once, depth), once)
+        << "value=" << value << " depth=" << depth;
+
+    // The rounded value is within half a bucket of the original.
+    EXPECT_LE(std::abs(once - value), bucket_width(value, depth) * 0.5 + 1e-12)
+        << "value=" << value << " depth=" << depth;
+
+    // Train/test consistency: equal inputs round equally (trivially true
+    // for a pure function, but guards against hidden state creeping in).
+    EXPECT_DOUBLE_EQ(round_to_depth(value, depth), once);
+  }
+}
+
+TEST_P(RoundingProperties, MonotoneNonDecreasing) {
+  const auto [exponent, depth] = GetParam();
+  efd::util::Rng rng(static_cast<std::uint64_t>(exponent * 17 + depth));
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(1.0, 10.0) * std::pow(10.0, exponent);
+    const double b = a * (1.0 + rng.uniform(0.0, 0.5));
+    EXPECT_LE(round_to_depth(a, depth), round_to_depth(b, depth))
+        << "a=" << a << " b=" << b << " depth=" << depth;
+  }
+}
+
+TEST_P(RoundingProperties, DeeperDepthsRefine) {
+  // A deeper rounding never moves the value further away than a coarser
+  // one: |round_d+1(x) - x| <= |round_d(x) - x| + half the finer bucket.
+  const auto [exponent, depth] = GetParam();
+  if (depth >= 6) return;
+  efd::util::Rng rng(static_cast<std::uint64_t>(exponent * 13 + depth));
+  for (int i = 0; i < 300; ++i) {
+    const double value = rng.uniform(1.0, 10.0) * std::pow(10.0, exponent);
+    // Tolerance is relative: pow()-based scaling carries ~1 ulp of error,
+    // which is macroscopic in absolute terms at 1e12 magnitudes.
+    EXPECT_LE(std::abs(round_to_depth(value, depth + 1) - value),
+              std::abs(round_to_depth(value, depth) - value) +
+                  1e-9 * std::abs(value));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MagnitudesAndDepths, RoundingProperties,
+    ::testing::Combine(::testing::Values(-6, -2, 0, 3, 7, 12),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace

@@ -1,0 +1,194 @@
+/// \file test_signal_noise.cpp
+/// \brief Statistical tests for the noise processes and signal generator:
+/// stationarity, init-phase semantics, determinism, and the noise-scale
+/// knob the ablation bench relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/noise.hpp"
+#include "sim/signal.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace efd::sim;
+using efd::util::Rng;
+using efd::util::RunningMoments;
+
+TEST(NoiseProcess, ZeroSpecIsSilent) {
+  NoiseSpec spec;
+  spec.white_sigma = 0.0;
+  spec.ou_sigma = 0.0;
+  spec.spike_probability = 0.0;
+  spec.drift_per_second = 0.0;
+  NoiseProcess noise(spec, Rng(1));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(noise.next(), 0.0);
+}
+
+TEST(NoiseProcess, StationaryVarianceMatchesSpec) {
+  NoiseSpec spec;
+  spec.white_sigma = 0.003;
+  spec.ou_sigma = 0.005;
+  spec.spike_probability = 0.0;
+  NoiseProcess noise(spec, Rng(2));
+
+  RunningMoments moments;
+  // Skip burn-in so the OU component reaches stationarity.
+  for (int i = 0; i < 200; ++i) noise.next();
+  for (int i = 0; i < 200000; ++i) moments.add(noise.next());
+
+  const double expected_var =
+      spec.white_sigma * spec.white_sigma + spec.ou_sigma * spec.ou_sigma;
+  EXPECT_NEAR(moments.mean(), 0.0, 5e-4);
+  EXPECT_NEAR(moments.variance(), expected_var, expected_var * 0.1);
+}
+
+TEST(NoiseProcess, OuIsTemporallyCorrelated) {
+  NoiseSpec spec;
+  spec.white_sigma = 0.0;
+  spec.ou_sigma = 0.01;
+  spec.ou_theta = 0.05;  // ~20 s correlation time
+  NoiseProcess noise(spec, Rng(3));
+
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = noise.next();
+  // Lag-1 autocorrelation of the OU discretization is e^{-theta}.
+  EXPECT_NEAR(efd::util::autocorrelation(samples, 1), std::exp(-0.05), 0.03);
+}
+
+TEST(NoiseProcess, SpikesRaiseTheMean) {
+  NoiseSpec quiet;
+  quiet.spike_probability = 0.0;
+  NoiseSpec spiky = quiet;
+  spiky.spike_probability = 0.05;
+  spiky.spike_magnitude = 0.5;
+
+  auto mean_of = [](NoiseSpec spec, std::uint64_t seed) {
+    NoiseProcess noise(spec, Rng(seed));
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i) sum += noise.next();
+    return sum / 50000.0;
+  };
+  // Spikes are one-sided positive bursts, so the spiky mean sits above.
+  EXPECT_GT(mean_of(spiky, 4), mean_of(quiet, 4) + 0.01);
+}
+
+TEST(NoiseProcess, DriftAccumulates) {
+  NoiseSpec spec;
+  spec.white_sigma = 0.0;
+  spec.ou_sigma = 0.0;
+  spec.drift_per_second = 0.001;
+  NoiseProcess noise(spec, Rng(5));
+  noise.next();                     // t=0 contributes 0 drift
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) last = noise.next();
+  EXPECT_NEAR(last, 0.1, 1e-9);     // 100 s * 0.001/s
+}
+
+TEST(NoiseProcess, ResetClearsState) {
+  NoiseSpec spec;
+  spec.drift_per_second = 0.01;
+  NoiseProcess noise(spec, Rng(6));
+  for (int i = 0; i < 50; ++i) noise.next();
+  noise.reset();
+  // After reset the drift term restarts from zero.
+  EXPECT_NEAR(noise.next(), 0.0, 0.05);
+}
+
+TEST(SignalGenerator, SteadyStateLevelIsBase) {
+  SignalSpec spec;
+  spec.base = 7500.0;
+  spec.noise.white_sigma = 0.001;
+  spec.noise.ou_sigma = 0.001;
+  SignalGenerator generator(spec, Rng(7));
+
+  RunningMoments moments;
+  for (int t = 100; t < 1100; ++t) {
+    moments.add(generator.sample(static_cast<double>(t)));
+  }
+  EXPECT_NEAR(moments.mean(), 7500.0, 7500.0 * 0.01);
+}
+
+TEST(SignalGenerator, InitPhaseBelowSteadyState) {
+  SignalSpec spec;
+  spec.base = 10000.0;
+  spec.init_level_factor = 0.4;
+  spec.init_duration_mean = 35.0;
+  spec.init_duration_jitter = 0.0;
+  spec.noise.white_sigma = 0.0;
+  spec.noise.ou_sigma = 0.0;
+  spec.init_extra_noise = 0.0;
+  SignalGenerator generator(spec, Rng(8));
+
+  const double early = generator.sample(0.0);
+  const double late = generator.sample(100.0);
+  EXPECT_LT(early, 0.6 * late);  // starts near init_level_factor * base
+  EXPECT_NEAR(late, 10000.0, 1.0);
+}
+
+TEST(SignalGenerator, InitDurationWithinJitterBounds) {
+  SignalSpec spec;
+  spec.base = 100.0;
+  spec.init_duration_mean = 35.0;
+  spec.init_duration_jitter = 6.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SignalGenerator generator(spec, Rng(seed));
+    EXPECT_GE(generator.init_duration(), 29.0);
+    EXPECT_LE(generator.init_duration(), 41.0);
+  }
+}
+
+TEST(SignalGenerator, IntegerValuedRoundsSamples) {
+  SignalSpec spec;
+  spec.base = 1234.5;
+  spec.integer_valued = true;
+  SignalGenerator generator(spec, Rng(9));
+  for (int t = 0; t < 200; ++t) {
+    const double v = generator.sample(static_cast<double>(t));
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+}
+
+TEST(SignalGenerator, NonNegativeEvenWithHugeNoise) {
+  SignalSpec spec;
+  spec.base = 10.0;
+  spec.noise.white_sigma = 5.0;  // 50x the base as stddev
+  SignalGenerator generator(spec, Rng(10));
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_GE(generator.sample(static_cast<double>(t)), 0.0);
+  }
+}
+
+TEST(SignalGenerator, PeriodicComponentOscillates) {
+  SignalSpec spec;
+  spec.base = 1000.0;
+  spec.periodic_amplitude = 0.10;
+  spec.period_seconds = 10.0;
+  spec.noise.white_sigma = 0.0;
+  spec.noise.ou_sigma = 0.0;
+  spec.integer_valued = false;
+  SignalGenerator generator(spec, Rng(11));
+
+  double lo = 1e18, hi = -1e18;
+  for (int t = 100; t < 200; ++t) {
+    const double v = generator.sample(static_cast<double>(t));
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 150.0);  // ~2 * amplitude * base
+  EXPECT_LT(hi - lo, 250.0);
+}
+
+TEST(SignalGenerator, SameRngSameStream) {
+  SignalSpec spec;
+  spec.base = 5000.0;
+  SignalGenerator a(spec, Rng(12)), b(spec, Rng(12));
+  for (int t = 0; t < 300; ++t) {
+    EXPECT_DOUBLE_EQ(a.sample(static_cast<double>(t)),
+                     b.sample(static_cast<double>(t)));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+/// \file test_stats.cpp
+/// \brief Tests for the statistics kernels: closed-form cases, agreement
+/// between streaming and batch paths, and merge associativity — the
+/// fingerprint means and Taxonomist features both sit on these.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd::util;
+
+TEST(Mean, EmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Mean, SingleValue) {
+  const std::vector<double> v = {3.25};
+  EXPECT_DOUBLE_EQ(mean(v), 3.25);
+}
+
+TEST(Mean, KnownValue) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(KahanSum, CompensatesCancellation) {
+  // 1 + 1e-16 * 10^16 should be ~2; naive summation loses the small terms.
+  std::vector<double> v = {1.0};
+  for (int i = 0; i < 10000000; ++i) v.push_back(1e-7);
+  EXPECT_NEAR(kahan_sum(v), 2.0, 1e-9);
+}
+
+TEST(Variance, ConstantSeriesIsZero) {
+  const std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Variance, KnownValue) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(MinMax, KnownValues) {
+  const std::vector<double> v = {3.0, -1.0, 7.5, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.5);
+  EXPECT_EQ(min_value({}), 0.0);
+  EXPECT_EQ(max_value({}), 0.0);
+}
+
+TEST(Percentile, MatchesNumpyLinear) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 1.75);  // numpy.percentile linear
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 105), 2.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 33), 7.0);
+}
+
+TEST(RunningMoments, MatchesBatchOnRandomData) {
+  Rng rng(21);
+  std::vector<double> v(5000);
+  for (double& x : v) x = rng.lognormal(1.0, 0.7);
+
+  RunningMoments m;
+  for (double x : v) m.add(x);
+
+  EXPECT_NEAR(m.mean(), mean(v), 1e-9 * std::abs(mean(v)));
+  EXPECT_NEAR(m.variance(), variance(v), 1e-6 * variance(v));
+}
+
+TEST(RunningMoments, SampleVarianceUsesNMinusOne) {
+  RunningMoments m;
+  m.add(1.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 1.0);         // population
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 2.0);  // n-1
+}
+
+TEST(RunningMoments, SkewnessOfSymmetricDataIsZero) {
+  RunningMoments m;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) m.add(x);
+  EXPECT_NEAR(m.skewness(), 0.0, 1e-12);
+}
+
+TEST(RunningMoments, SkewnessSignOfSkewedData) {
+  RunningMoments right;
+  for (double x : {1.0, 1.0, 1.0, 1.0, 10.0}) right.add(x);
+  EXPECT_GT(right.skewness(), 0.0);
+
+  RunningMoments left;
+  for (double x : {10.0, 10.0, 10.0, 10.0, 1.0}) left.add(x);
+  EXPECT_LT(left.skewness(), 0.0);
+}
+
+TEST(RunningMoments, KurtosisOfNormalNearZero) {
+  Rng rng(22);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.kurtosis(), 0.0, 0.1);  // excess kurtosis
+}
+
+TEST(RunningMoments, DegenerateCountsReturnZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  m.add(1.0);
+  EXPECT_EQ(m.skewness(), 0.0);  // needs n >= 3
+  EXPECT_EQ(m.kurtosis(), 0.0);  // needs n >= 4
+}
+
+TEST(RunningMoments, MergeEqualsSequential) {
+  Rng rng(23);
+  std::vector<double> v(3000);
+  for (double& x : v) x = rng.uniform(-10, 10);
+
+  RunningMoments all;
+  for (double x : v) all.add(x);
+
+  RunningMoments a, b;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    (i < 1000 ? a : b).add(v[i]);
+  }
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-6);
+  EXPECT_NEAR(a.kurtosis(), all.kurtosis(), 1e-6);
+}
+
+TEST(RunningMoments, MergeWithEmptyIsIdentity) {
+  RunningMoments a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningMoments empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningMoments target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(pearson(x, y), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(HarmonicMean, MatchesFScoreFormula) {
+  // F = 2PR/(P+R): the paper's F-score combination.
+  EXPECT_DOUBLE_EQ(harmonic_mean(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(0.5, 1.0), 2.0 / 3.0);
+  EXPECT_EQ(harmonic_mean(0.0, 1.0), 0.0);
+  EXPECT_EQ(harmonic_mean(0.0, 0.0), 0.0);
+}
+
+TEST(Slope, KnownLinearTrend) {
+  const std::vector<double> v = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_NEAR(slope(v), 2.0, 1e-12);
+}
+
+TEST(Slope, FlatSeriesIsZero) {
+  const std::vector<double> v = {4.0, 4.0, 4.0};
+  EXPECT_EQ(slope(v), 0.0);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  Rng rng(24);
+  std::vector<double> v(500);
+  for (double& x : v) x = rng.normal();
+  EXPECT_NEAR(autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZeroAtLag) {
+  Rng rng(25);
+  std::vector<double> v(20000);
+  for (double& x : v) x = rng.normal();
+  EXPECT_NEAR(autocorrelation(v, 5), 0.0, 0.03);
+}
+
+TEST(Autocorrelation, DegenerateCases) {
+  EXPECT_EQ(autocorrelation({}, 1), 0.0);
+  const std::vector<double> constant = {2.0, 2.0, 2.0};
+  EXPECT_EQ(autocorrelation(constant, 1), 0.0);
+}
+
+/// Parameterized agreement sweep: percentile_sorted equals percentile for
+/// every q on random data.
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, SortedAndUnsortedAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 100) + 3);
+  std::vector<double> v(257);
+  for (double& x : v) x = rng.uniform(-1000, 1000);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(percentile(v, GetParam()),
+                   percentile_sorted(sorted, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 5.0, 25.0, 50.0, 75.0, 95.0,
+                                           99.9, 100.0));
+
+}  // namespace

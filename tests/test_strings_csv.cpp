@@ -1,0 +1,148 @@
+/// \file test_strings_csv.cpp
+/// \brief Tests for string helpers and the CSV layer used by dataset and
+/// dictionary persistence.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace {
+
+using namespace efd::util;
+
+// --- string_utils ---
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"ft", "X", "", "tail"};
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello "), "hello");
+  EXPECT_EQ(trim("\t\n x \r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiniAMR_Vmstat"), "miniamr_vmstat");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("nr_mapped_vmstat", "nr_"));
+  EXPECT_FALSE(starts_with("nr", "nr_"));
+  EXPECT_TRUE(ends_with("nr_mapped_vmstat", "_vmstat"));
+  EXPECT_FALSE(ends_with("vmstat", "_vmstat"));
+}
+
+TEST(ParseDouble, StrictParsing) {
+  EXPECT_EQ(parse_double("6000.0"), 6000.0);
+  EXPECT_EQ(parse_double("  -3.5 "), -3.5);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double("12abc"));
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("nanx"));
+}
+
+TEST(ParseInt, StrictParsing) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4.2"));
+  EXPECT_FALSE(parse_int("x"));
+  EXPECT_FALSE(parse_int(""));
+}
+
+TEST(FormatMean, PaperStyleRendering) {
+  // Fingerprints print like the paper's: trailing ".0" on integers.
+  EXPECT_EQ(format_mean(6000.0), "6000.0");
+  EXPECT_EQ(format_mean(5.3), "5.3");
+  EXPECT_EQ(format_mean(0.04), "0.04");
+  EXPECT_EQ(format_mean(-2.0), "-2.0");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(0.956789, 3), "0.957");
+  EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+}
+
+TEST(ReplaceAll, MultipleOccurrences) {
+  EXPECT_EQ(replace_all("a_b_c", "_", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(replace_all("x", "", "y"), "x");       // empty needle is no-op
+}
+
+// --- CSV ---
+
+TEST(CsvParse, SimpleRow) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  EXPECT_EQ(parse_csv_line("a,\"b,c\",d"), (CsvRow{"a", "b,c", "d"}));
+}
+
+TEST(CsvParse, EscapedQuote) {
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\""), (CsvRow{"say \"hi\""}));
+}
+
+TEST(CsvParse, CarriageReturnSwallowed) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  EXPECT_EQ(parse_csv_line(",,"), (CsvRow{"", "", ""}));
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(escape_csv_field("with\"quote"), "\"with\"\"quote\"");
+}
+
+TEST(CsvWriter, RoundTripThroughReader) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"metric", "value, weird", "x\"y"});
+  writer.write_row({"nr_mapped", "6000.0", "ok"});
+
+  std::istringstream in(out.str());
+  const auto rows = CsvReader::read_all(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"metric", "value, weird", "x\"y"}));
+  EXPECT_EQ(rows[1], (CsvRow{"nr_mapped", "6000.0", "ok"}));
+}
+
+TEST(CsvReader, SkipsEmptyLines) {
+  std::istringstream in("a,b\n\nc,d\n");
+  const auto rows = CsvReader::read_all(in);
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(CsvReader, RaggedRowsThrowWhenRequired) {
+  std::istringstream in("a,b\nc\n");
+  EXPECT_THROW(CsvReader::read_all(in, /*require_rectangular=*/true),
+               std::runtime_error);
+}
+
+TEST(CsvReader, RaggedRowsAllowedByDefault) {
+  std::istringstream in("a,b\nc\n");
+  EXPECT_NO_THROW(CsvReader::read_all(in));
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(CsvReader::read_file("/nonexistent/path.csv"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+/// \file test_temporal.cpp
+/// \brief Tests for temporally aligned fingerprints (the Section 6
+/// extension): key structure, relative encoding semantics, and the
+/// exclusiveness gain against unknown applications.
+
+#include "core/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "sim/dataset_generator.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+telemetry::ExecutionRecord stepped_record(std::uint64_t id, double base,
+                                          double step, std::size_t nodes = 2) {
+  // Mean over [60,80) = base, [80,100) = base+step, [100,120) = base+2*step.
+  telemetry::ExecutionRecord record(id, {"app", "X"}, nodes, 1);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (int t = 0; t < 130; ++t) {
+      double level = base;
+      if (t >= 80) level += step;
+      if (t >= 100) level += step;
+      record.series(n, 0).push_back(level);
+    }
+  }
+  return record;
+}
+
+TemporalConfig config_of(bool relative = false) {
+  TemporalConfig config;
+  config.metric = "m";
+  config.window_begin = 60;
+  config.window_length = 20;
+  config.window_count = 3;
+  config.rounding_depth = 3;
+  config.ratio_depth = 2;
+  config.relative = relative;
+  return config;
+}
+
+TEST(Temporal, EnvelopeCoversAllWindows) {
+  EXPECT_EQ(config_of().envelope(), (telemetry::Interval{60, 120}));
+  TemporalConfig wide = config_of();
+  wide.window_count = 5;
+  EXPECT_EQ(wide.envelope(), (telemetry::Interval{60, 160}));
+}
+
+TEST(Temporal, AbsoluteKeysCarryPerWindowMeans) {
+  const auto record = stepped_record(1, 1000.0, 100.0);
+  const auto keys = build_temporal_fingerprints(record, config_of(), 0);
+  ASSERT_EQ(keys.size(), 2u);  // one per node
+  EXPECT_EQ(keys[0].metric, "m@T20x3");
+  EXPECT_EQ(keys[0].interval, (telemetry::Interval{60, 120}));
+  ASSERT_EQ(keys[0].rounded_means.size(), 3u);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[0], 1000.0);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[1], 1100.0);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[2], 1200.0);
+}
+
+TEST(Temporal, RelativeKeysEncodeShape) {
+  const auto record = stepped_record(1, 1000.0, 100.0);
+  const auto keys = build_temporal_fingerprints(record, config_of(true), 0);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].metric, "m@T20x3r");
+  ASSERT_EQ(keys[0].rounded_means.size(), 3u);
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[0], 1000.0);  // anchor level
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[1], 1.1);     // ratio, depth 2
+  EXPECT_DOUBLE_EQ(keys[0].rounded_means[2], 1.2);
+}
+
+TEST(Temporal, RelativeShapeMatchesAcrossAnchorJitter) {
+  // Two runs whose levels differ by less than an anchor bucket but share
+  // the shape produce identical relative keys.
+  const auto a = build_temporal_fingerprints(stepped_record(1, 1000.0, 100.0),
+                                             config_of(true), 0);
+  const auto b = build_temporal_fingerprints(stepped_record(2, 1002.0, 100.0),
+                                             config_of(true), 0);
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(Temporal, AbsoluteDistinguishesShapes) {
+  // Same anchor level, different slopes: absolute keys differ.
+  const auto flat = build_temporal_fingerprints(stepped_record(1, 1000.0, 0.0),
+                                                config_of(), 0);
+  const auto rising = build_temporal_fingerprints(
+      stepped_record(2, 1000.0, 100.0), config_of(), 0);
+  EXPECT_NE(flat[0], rising[0]);
+}
+
+TEST(Temporal, ShortSeriesSkipped) {
+  telemetry::ExecutionRecord record(1, {"app", "X"}, 1, 1);
+  for (int t = 0; t < 100; ++t) record.series(0, 0).push_back(1.0);  // < 120 s
+  EXPECT_TRUE(build_temporal_fingerprints(record, config_of(), 0).empty());
+}
+
+TEST(Temporal, InvalidWindowsThrow) {
+  TemporalConfig bad = config_of();
+  bad.window_length = 0;
+  const auto record = stepped_record(1, 1000.0, 0.0);
+  EXPECT_THROW(build_temporal_fingerprints(record, bad, 0),
+               std::invalid_argument);
+}
+
+TEST(Temporal, TemporalKeysNeverAliasPlainKeys) {
+  // A plain dictionary and a temporal dictionary built from the same data
+  // must not share keys (the metric tag prevents aliasing).
+  const auto record = stepped_record(1, 1000.0, 0.0);
+  FingerprintConfig plain;
+  plain.metrics = {"m"};
+  plain.rounding_depth = 3;
+  const auto plain_keys = build_fingerprints(record, plain, {0});
+  const auto temporal_keys = build_temporal_fingerprints(record, config_of(), 0);
+  for (const auto& tk : temporal_keys) {
+    for (const auto& pk : plain_keys) EXPECT_NE(tk, pk);
+  }
+}
+
+class TemporalRecognitionFixture : public ::testing::Test {
+ protected:
+  TemporalRecognitionFixture() {
+    sim::GeneratorConfig config;
+    config.seed = 42;
+    config.small_repetitions = 5;
+    config.include_large_input = false;
+    config.metrics = {std::string(telemetry::kHeadlineMetric)};
+    dataset_ = sim::generate_paper_dataset(config);
+  }
+  telemetry::Dataset dataset_;
+};
+
+TEST_F(TemporalRecognitionFixture, RecognizesAllApplications) {
+  TemporalConfig config = config_of();
+  config.metric = std::string(telemetry::kHeadlineMetric);
+  const Dictionary dictionary = train_temporal_dictionary(dataset_, config);
+  const Matcher matcher(dictionary);
+  const std::size_t slot = dataset_.metric_slot(config.metric);
+
+  std::size_t correct = 0;
+  for (const auto& record : dataset_.records()) {
+    const auto keys = build_temporal_fingerprints(record, config, slot);
+    correct += matcher.recognize_keys(keys).prediction() ==
+                       record.label().application
+                   ? 1
+                   : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / dataset_.size(), 0.97);
+}
+
+TEST_F(TemporalRecognitionFixture, AtLeastAsExclusiveAsSingleMean) {
+  // Every temporal key carries strictly more information than the plain
+  // [60:120) mean, so its dictionary has at least as many distinct keys.
+  TemporalConfig temporal = config_of();
+  temporal.metric = std::string(telemetry::kHeadlineMetric);
+  FingerprintConfig plain;
+  plain.metrics = {temporal.metric};
+  plain.rounding_depth = 3;
+
+  const std::size_t temporal_keys =
+      train_temporal_dictionary(dataset_, temporal).size();
+  const std::size_t plain_keys =
+      train_dictionary(dataset_, plain).size();
+  EXPECT_GE(temporal_keys, plain_keys / 2);  // comparable scale
+  const auto stats = train_temporal_dictionary(dataset_, temporal).stats();
+  EXPECT_EQ(stats.colliding_keys, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+/// \file test_time_series.cpp
+/// \brief Tests for TimeSeries windowing and the Interval type — window
+/// boundary semantics decide which samples enter a fingerprint, so the
+/// edge cases here are load-bearing for the whole method.
+
+#include "telemetry/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using efd::telemetry::Interval;
+using efd::telemetry::kPaperInterval;
+using efd::telemetry::TimeSeries;
+
+TimeSeries ramp(std::size_t n, double period = 1.0) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);  // sample at t=i has value i
+  return TimeSeries(std::move(v), period);
+}
+
+TEST(Interval, Validity) {
+  EXPECT_TRUE((Interval{60, 120}).valid());
+  EXPECT_FALSE((Interval{120, 60}).valid());
+  EXPECT_FALSE((Interval{60, 60}).valid());
+  EXPECT_FALSE((Interval{-1, 10}).valid());
+  EXPECT_EQ((Interval{60, 120}).length(), 60);
+}
+
+TEST(Interval, PaperIntervalIs60To120) {
+  EXPECT_EQ(kPaperInterval.begin_seconds, 60);
+  EXPECT_EQ(kPaperInterval.end_seconds, 120);
+}
+
+TEST(TimeSeries, EmptyBasics) {
+  TimeSeries series(1.0);
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(series.duration_seconds(), 0.0);
+  EXPECT_TRUE(series.window({0, 10}).empty());
+  EXPECT_EQ(series.mean_over({0, 10}), 0.0);
+  EXPECT_FALSE(series.covers({0, 1}));
+}
+
+TEST(TimeSeries, WindowIsHalfOpen) {
+  const TimeSeries series = ramp(200);
+  const auto window = series.window({60, 120});
+  ASSERT_EQ(window.size(), 60u);       // samples at t=60..119
+  EXPECT_DOUBLE_EQ(window.front(), 60.0);
+  EXPECT_DOUBLE_EQ(window.back(), 119.0);
+}
+
+TEST(TimeSeries, MeanOverPaperWindow) {
+  const TimeSeries series = ramp(200);
+  // mean of 60..119 = 89.5
+  EXPECT_DOUBLE_EQ(series.mean_over(kPaperInterval), 89.5);
+}
+
+TEST(TimeSeries, WindowClampedToSeriesEnd) {
+  const TimeSeries series = ramp(100);  // covers [0, 100)
+  const auto window = series.window({60, 120});
+  ASSERT_EQ(window.size(), 40u);  // t=60..99 only
+  EXPECT_DOUBLE_EQ(window.back(), 99.0);
+}
+
+TEST(TimeSeries, WindowBeyondSeriesIsEmpty) {
+  const TimeSeries series = ramp(50);
+  EXPECT_TRUE(series.window({60, 120}).empty());
+  EXPECT_EQ(series.mean_over({60, 120}), 0.0);
+}
+
+TEST(TimeSeries, WindowAtExactSeriesStart) {
+  const TimeSeries series = ramp(10);
+  const auto window = series.window({0, 3});
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window[0], 0.0);
+}
+
+TEST(TimeSeries, InvalidIntervalYieldsEmptyWindow) {
+  const TimeSeries series = ramp(100);
+  EXPECT_TRUE(series.window({50, 50}).empty());
+  EXPECT_TRUE(series.window({80, 20}).empty());
+}
+
+TEST(TimeSeries, CoversSemantics) {
+  const TimeSeries series = ramp(120);  // t = 0..119, covers [0,120)
+  EXPECT_TRUE(series.covers({60, 120}));
+  EXPECT_FALSE(series.covers({60, 121}));
+  EXPECT_TRUE(series.covers({0, 1}));
+  EXPECT_FALSE(series.covers({119, 119}));  // invalid interval
+}
+
+TEST(TimeSeries, NonUnitPeriod) {
+  // Period 2 s: sample i is at t = 2i. Window [60, 120) catches i=30..59.
+  const TimeSeries series = ramp(100, 2.0);
+  const auto window = series.window({60, 120});
+  ASSERT_EQ(window.size(), 30u);
+  EXPECT_DOUBLE_EQ(window.front(), 30.0);
+  EXPECT_DOUBLE_EQ(window.back(), 59.0);
+  EXPECT_TRUE(series.covers({60, 120}));
+  EXPECT_DOUBLE_EQ(series.duration_seconds(), 200.0);
+}
+
+TEST(TimeSeries, SubSecondPeriod) {
+  // 2 Hz sampling: window [1, 2) catches samples at t=1.0 and t=1.5.
+  const TimeSeries series = ramp(10, 0.5);
+  const auto window = series.window({1, 2});
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window.front(), 2.0);  // sample index 2 is at t=1.0
+}
+
+TEST(TimeSeries, PushBackAndIndex) {
+  TimeSeries series(1.0);
+  series.push_back(5.0);
+  series.push_back(7.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1], 7.0);
+  series[1] = 9.0;
+  EXPECT_DOUBLE_EQ(series[1], 9.0);
+  series.clear();
+  EXPECT_TRUE(series.empty());
+}
+
+/// Property sweep: for every window inside the series, the windowed mean
+/// of a linear ramp equals the midpoint of the window's sample values.
+class WindowSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WindowSweep, RampMeanIsMidpoint) {
+  const auto [begin, end] = GetParam();
+  const TimeSeries series = ramp(500);
+  const double expected =
+      (static_cast<double>(begin) + static_cast<double>(end) - 1.0) / 2.0;
+  EXPECT_DOUBLE_EQ(series.mean_over({begin, end}), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, WindowSweep,
+    ::testing::Values(std::pair{0, 60}, std::pair{60, 120}, std::pair{1, 2},
+                      std::pair{100, 250}, std::pair{499, 500}));
+
+}  // namespace

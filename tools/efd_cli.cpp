@@ -1,0 +1,282 @@
+/// \file efd_cli.cpp
+/// \brief Command-line front end for the EFD library — the tool an HPC
+/// operator would actually run against exported monitoring data.
+///
+/// Subcommands:
+///   generate   synthesize a labeled telemetry dataset (Table 2 replica)
+///   train      build a dictionary from a labeled dataset CSV
+///   recognize  look up executions of a dataset against a dictionary
+///   dump       print a dictionary in Table 4's layout
+///   stats      dictionary statistics (exclusiveness, collisions)
+///   evaluate   run one of the paper's five experiments
+///
+/// Examples:
+///   efd_cli generate --out history.csv --repetitions 10
+///   efd_cli train --data history.csv --out apps.efd
+///   efd_cli recognize --data new_jobs.csv --dict apps.efd
+///   efd_cli evaluate --data history.csv --experiment hard-input
+
+#include <iostream>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/recognizer.hpp"
+#include "core/trainer.hpp"
+#include "eval/efd_experiment.hpp"
+#include "sim/dataset_generator.hpp"
+#include "telemetry/dataset_io.hpp"
+#include "telemetry/metric_registry.hpp"
+#include "util/arg_parser.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace efd;
+
+int usage() {
+  std::cerr <<
+      "usage: efd_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate   --out FILE [--repetitions N] [--seed S] [--metrics a,b]\n"
+      "             [--no-large] [--noise-scale F]\n"
+      "  train      --data FILE --out FILE [--metrics a,b] [--depth N|auto]\n"
+      "             [--intervals 60:120[,120:180]] [--combine]\n"
+      "  recognize  --data FILE --dict FILE [--verbose]\n"
+      "  dump       --dict FILE\n"
+      "  stats      --dict FILE\n"
+      "  coverage   --data FILE --dict FILE\n"
+      "  evaluate   --data FILE --experiment normal-fold|soft-input|\n"
+      "             soft-unknown|hard-input|hard-unknown [--metrics a,b]\n"
+      "             [--depth N|auto] [--folds K] [--seed S]\n";
+  return 2;
+}
+
+std::vector<std::string> metric_list(const util::ArgParser& args) {
+  const std::string csv =
+      args.get("metrics", std::string(telemetry::kHeadlineMetric));
+  std::vector<std::string> metrics;
+  for (auto& name : util::split(csv, ',')) {
+    if (!name.empty()) metrics.push_back(name);
+  }
+  return metrics;
+}
+
+std::vector<telemetry::Interval> interval_list(const util::ArgParser& args) {
+  std::vector<telemetry::Interval> intervals;
+  for (const auto& token : util::split(args.get("intervals", "60:120"), ',')) {
+    const auto parts = util::split(token, ':');
+    if (parts.size() != 2) continue;
+    const auto begin = util::parse_int(parts[0]);
+    const auto end = util::parse_int(parts[1]);
+    if (begin && end) {
+      intervals.push_back({static_cast<int>(*begin), static_cast<int>(*end)});
+    }
+  }
+  if (intervals.empty()) intervals.push_back(telemetry::kPaperInterval);
+  return intervals;
+}
+
+int cmd_generate(const util::ArgParser& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) return usage();
+
+  sim::GeneratorConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.small_repetitions =
+      static_cast<std::size_t>(args.get_int("repetitions", 10));
+  config.include_large_input = !args.has("no-large");
+  config.noise_scale = args.get_double("noise-scale", 1.0);
+  config.metrics = metric_list(args);
+
+  const telemetry::Dataset dataset = sim::generate_paper_dataset(config);
+  telemetry::write_csv_file(dataset, out);
+  const auto summary = telemetry::summarize(dataset);
+  std::cout << "wrote " << out << ": " << summary.executions << " executions, "
+            << summary.metrics << " metrics, " << summary.samples
+            << " samples\n";
+  return 0;
+}
+
+int cmd_train(const util::ArgParser& args) {
+  const std::string data = args.get("data");
+  const std::string out = args.get("out");
+  if (data.empty() || out.empty()) return usage();
+
+  const telemetry::Dataset dataset = telemetry::read_csv_file(data);
+
+  core::RecognizerConfig config;
+  config.metrics = metric_list(args);
+  config.intervals = interval_list(args);
+  config.combine_metrics = args.has("combine");
+  const std::string depth = args.get("depth", "auto");
+  if (depth != "auto") {
+    config.auto_depth = false;
+    config.rounding_depth =
+        static_cast<int>(util::parse_int(depth).value_or(2));
+  }
+
+  core::Recognizer recognizer(config);
+  recognizer.train(dataset);
+  recognizer.save(out);
+
+  const auto stats = recognizer.dictionary().stats();
+  std::cout << "trained on " << dataset.size() << " executions; depth "
+            << recognizer.rounding_depth() << " ("
+            << (depth == "auto" ? "selected by inner CV" : "fixed") << ")\n"
+            << "dictionary: " << stats.key_count << " keys ("
+            << stats.exclusive_keys << " exclusive, " << stats.colliding_keys
+            << " colliding) -> " << out << "\n";
+  return 0;
+}
+
+int cmd_recognize(const util::ArgParser& args) {
+  const std::string data = args.get("data");
+  const std::string dict = args.get("dict");
+  if (data.empty() || dict.empty()) return usage();
+
+  const telemetry::Dataset dataset = telemetry::read_csv_file(data);
+  const core::Recognizer recognizer = core::Recognizer::load(dict);
+
+  util::TablePrinter table({"execution", "truth", "prediction", "input guess",
+                            "matched", "tie"});
+  std::size_t correct = 0, known = 0;
+  for (const auto& record : dataset.records()) {
+    const auto result = recognizer.recognize(dataset, record);
+    if (result.recognized) ++known;
+    if (result.prediction() == record.label().application) ++correct;
+    table.add_row({std::to_string(record.id()), record.label().full(),
+                   result.prediction(), result.label_prediction(),
+                   std::to_string(result.matched_count) + "/" +
+                       std::to_string(result.fingerprint_count),
+                   result.applications.size() > 1 ? "yes" : ""});
+  }
+  table.print(std::cout);
+  std::cout << correct << "/" << dataset.size() << " correct, " << known
+            << " recognized as known applications\n";
+  return 0;
+}
+
+int cmd_dump(const util::ArgParser& args) {
+  const std::string dict = args.get("dict");
+  if (dict.empty()) return usage();
+  const core::Dictionary dictionary = core::Dictionary::load_file(dict);
+
+  util::TablePrinter table(
+      {"Metric Name", "Node", "Interval", "Mean", "Application + Input Size"});
+  for (const auto& [key, entry] : dictionary.sorted_entries()) {
+    std::string labels;
+    for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+      if (i != 0) labels += ", ";
+      labels += entry.labels[i] + " (x" + std::to_string(entry.counts[i]) + ")";
+    }
+    std::string means;
+    for (std::size_t i = 0; i < key.rounded_means.size(); ++i) {
+      if (i != 0) means += " + ";
+      means += util::format_mean(key.rounded_means[i]);
+    }
+    table.add_row({key.metric, std::to_string(key.node_id),
+                   "[" + std::to_string(key.interval.begin_seconds) + ":" +
+                       std::to_string(key.interval.end_seconds) + "]",
+                   means, labels});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_stats(const util::ArgParser& args) {
+  const std::string dict = args.get("dict");
+  if (dict.empty()) return usage();
+  const core::Dictionary dictionary = core::Dictionary::load_file(dict);
+  const auto stats = dictionary.stats();
+
+  std::cout << "metrics:        "
+            << util::join(dictionary.config().metrics, ", ") << "\n"
+            << "rounding depth: " << dictionary.config().rounding_depth << "\n"
+            << "intervals:      ";
+  for (const auto& interval : dictionary.config().intervals) {
+    std::cout << "[" << interval.begin_seconds << ":" << interval.end_seconds
+              << ") ";
+  }
+  std::cout << "\nkeys:           " << stats.key_count << "\n"
+            << "exclusive:      " << stats.exclusive_keys << "\n"
+            << "colliding:      " << stats.colliding_keys << "\n"
+            << "observations:   " << stats.total_observations << "\n"
+            << "labels/key:     " << util::format_fixed(stats.mean_labels_per_key, 2)
+            << "\n";
+  return 0;
+}
+
+int cmd_coverage(const util::ArgParser& args) {
+  const std::string data = args.get("data");
+  const std::string dict = args.get("dict");
+  if (data.empty() || dict.empty()) return usage();
+
+  const telemetry::Dataset dataset = telemetry::read_csv_file(data);
+  const core::Dictionary dictionary = core::Dictionary::load_file(dict);
+  std::cout << core::analyze_coverage(dictionary, dataset).to_string();
+  return 0;
+}
+
+int cmd_evaluate(const util::ArgParser& args) {
+  const std::string data = args.get("data");
+  if (data.empty()) return usage();
+  const telemetry::Dataset dataset = telemetry::read_csv_file(data);
+
+  const std::string name = args.get("experiment", "normal-fold");
+  eval::ExperimentKind kind;
+  if (name == "normal-fold") kind = eval::ExperimentKind::kNormalFold;
+  else if (name == "soft-input") kind = eval::ExperimentKind::kSoftInput;
+  else if (name == "soft-unknown") kind = eval::ExperimentKind::kSoftUnknown;
+  else if (name == "hard-input") kind = eval::ExperimentKind::kHardInput;
+  else if (name == "hard-unknown") kind = eval::ExperimentKind::kHardUnknown;
+  else {
+    std::cerr << "unknown experiment: " << name << "\n";
+    return usage();
+  }
+
+  eval::EfdExperimentConfig config;
+  config.metrics = metric_list(args);
+  config.split.folds = static_cast<std::size_t>(args.get_int("folds", 5));
+  config.split.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+  const std::string depth = args.get("depth", "auto");
+  if (depth != "auto") {
+    config.auto_depth = false;
+    config.fixed_depth = static_cast<int>(util::parse_int(depth).value_or(3));
+  }
+
+  const auto score = eval::run_efd_experiment(dataset, kind, config);
+  std::cout << eval::experiment_name(kind)
+            << ": mean macro F = " << util::format_fixed(score.mean_f1, 4)
+            << " over " << score.per_round_f1.size() << " rounds\n";
+  if (args.has("verbose")) {
+    for (std::size_t r = 0; r < score.per_round_f1.size(); ++r) {
+      std::cout << "  " << score.round_descriptions[r] << ": "
+                << util::format_fixed(score.per_round_f1[r], 4) << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::ArgParser args(argc - 1, argv + 1);
+
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "recognize") return cmd_recognize(args);
+    if (command == "dump") return cmd_dump(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "coverage") return cmd_coverage(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
