@@ -1,0 +1,163 @@
+/// \file micro_sharded_dictionary.cpp
+/// \brief Microbenchmark of the concurrent EFD: insert and lookup
+/// throughput of ShardedDictionary vs the single-threaded Dictionary, at
+/// several shard counts and thread counts, including the mixed
+/// readers+writer workload the RecognitionService runs in production.
+///
+/// Flags: --keys N (default 20000), --ops N (default 200000),
+///        --threads-list 1,2,4,8   --shards-list 1,4,16
+///        --json PATH (JSONL output for trend tracking)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dictionary.hpp"
+#include "core/sharded_dictionary.hpp"
+#include "util/arg_parser.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace efd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::FingerprintKey make_key(std::uint64_t i) {
+  core::FingerprintKey key;
+  key.metric = "nr_mapped_vmstat";
+  key.node_id = static_cast<std::uint32_t>(i % 4);
+  key.interval = {60, 120};
+  key.rounded_means = {6000.0 + 100.0 * static_cast<double>(i / 4)};
+  return key;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const auto key_count = static_cast<std::size_t>(args.get_int("keys", 20000));
+  const auto op_count = static_cast<std::size_t>(args.get_int("ops", 200000));
+  const auto thread_counts =
+      bench::parse_size_list(args, "threads-list", {1, 2, 4, 8});
+  const auto shard_counts = bench::parse_size_list(args, "shards-list", {1, 4, 16});
+
+  // Pre-generate the op stream so the measured loops only touch the
+  // dictionary: op i observes key (i % key_count) with one of 8 labels.
+  static const std::vector<std::string> labels = {"ft_X", "mg_X", "sp_X",
+                                                  "bt_X", "lu_X", "cg_X",
+                                                  "kripke_X", "sw4lite_X"};
+  std::vector<core::FingerprintKey> keys;
+  keys.reserve(op_count);
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < op_count; ++i) {
+    keys.push_back(make_key(rng.uniform_index(key_count)));
+  }
+
+  bench::print_header("micro: sharded dictionary concurrency");
+  util::TablePrinter table({"engine", "shards", "threads", "insert M ops/s",
+                            "lookup M ops/s"});
+
+  const auto run_threads = [&](std::size_t threads, auto&& body) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * op_count / threads;
+        const std::size_t end = (t + 1) * op_count / threads;
+        body(begin, end);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    return seconds_since(start);
+  };
+
+  // Baseline: the seed's single-threaded Dictionary.
+  {
+    core::Dictionary dictionary;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < op_count; ++i) {
+      dictionary.insert(keys[i], labels[i % labels.size()]);
+    }
+    const double insert_seconds = seconds_since(start);
+
+    const auto lookup_start = Clock::now();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < op_count; ++i) {
+      if (dictionary.lookup(keys[i]) != nullptr) ++hits;
+    }
+    const double lookup_seconds = seconds_since(lookup_start);
+
+    const double insert_rate =
+        static_cast<double>(op_count) / insert_seconds / 1e6;
+    const double lookup_rate =
+        static_cast<double>(op_count) / lookup_seconds / 1e6;
+    table.add_row({"Dictionary", "-", "1", util::format_fixed(insert_rate, 2),
+                   util::format_fixed(lookup_rate, 2)});
+    bench::emit_json(args, bench::JsonRecord()
+                               .field("bench", "micro_sharded_dictionary")
+                               .field("engine", "dictionary")
+                               .field("threads", 1LL)
+                               .field("insert_mops", insert_rate)
+                               .field("lookup_mops", lookup_rate)
+                               .field("hits", hits));
+  }
+
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t threads : thread_counts) {
+      core::ShardedDictionary dictionary({}, shards);
+      const double insert_seconds =
+          run_threads(threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              dictionary.insert(keys[i], labels[i % labels.size()]);
+            }
+          });
+
+      std::atomic<std::size_t> hits{0};
+      const double lookup_seconds =
+          run_threads(threads, [&](std::size_t begin, std::size_t end) {
+            core::DictionaryEntry entry;
+            std::size_t local_hits = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              if (dictionary.lookup_entry(keys[i], entry)) ++local_hits;
+            }
+            hits.fetch_add(local_hits, std::memory_order_relaxed);
+          });
+
+      const double insert_rate =
+          static_cast<double>(op_count) / insert_seconds / 1e6;
+      const double lookup_rate =
+          static_cast<double>(op_count) / lookup_seconds / 1e6;
+      table.add_row({"ShardedDictionary", std::to_string(shards),
+                     std::to_string(threads),
+                     util::format_fixed(insert_rate, 2),
+                     util::format_fixed(lookup_rate, 2)});
+      bench::emit_json(args,
+                       bench::JsonRecord()
+                           .field("bench", "micro_sharded_dictionary")
+                           .field("engine", "sharded")
+                           .field("shards", shards)
+                           .field("threads", threads)
+                           .field("insert_mops", insert_rate)
+                           .field("lookup_mops", lookup_rate)
+                           .field("hits", hits.load()));
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "(ops = " << op_count << " over " << key_count
+            << " distinct keys; hardware threads = "
+            << std::thread::hardware_concurrency() << ")\n";
+  return 0;
+}

@@ -13,15 +13,16 @@
 
 namespace efd::core {
 
-void DictionaryEntry::observe(const std::string& label) {
+void DictionaryEntry::observe(const std::string& label, std::uint32_t count) {
+  if (count == 0) return;
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (labels[i] == label) {
-      ++counts[i];
+      counts[i] += count;
       return;
     }
   }
   labels.push_back(label);
-  counts.push_back(1);
+  counts.push_back(count);
 }
 
 bool DictionaryEntry::contains(const std::string& label) const {
@@ -32,8 +33,10 @@ std::uint64_t DictionaryEntry::total_count() const noexcept {
   return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
 }
 
-void Dictionary::insert(const FingerprintKey& key, const std::string& label) {
-  entries_[key].observe(label);
+void Dictionary::insert(const FingerprintKey& key, const std::string& label,
+                        std::uint32_t count) {
+  if (count == 0) return;
+  entries_[key].observe(label, count);
   const std::string application = telemetry::parse_label(label).application;
   application_first_seen_.emplace(application, application_first_seen_.size());
 }
@@ -43,11 +46,33 @@ const DictionaryEntry* Dictionary::lookup(const FingerprintKey& key) const {
   return it != entries_.end() ? &it->second : nullptr;
 }
 
+bool Dictionary::lookup_entry(const FingerprintKey& key,
+                              DictionaryEntry& out) const {
+  out.labels.clear();
+  out.counts.clear();
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  out = it->second;
+  return true;
+}
+
 std::size_t Dictionary::application_order(const std::string& application) const {
   const auto it = application_first_seen_.find(application);
   return it != application_first_seen_.end()
              ? it->second
              : application_first_seen_.size();  // unknowns sort last
+}
+
+void Dictionary::register_application(const std::string& application) {
+  application_first_seen_.emplace(application, application_first_seen_.size());
+}
+
+std::vector<std::string> Dictionary::applications_in_order() const {
+  std::vector<std::string> ordered(application_first_seen_.size());
+  for (const auto& [application, rank] : application_first_seen_) {
+    ordered[rank] = application;
+  }
+  return ordered;
 }
 
 std::size_t Dictionary::prune_rare(std::uint32_t min_observations) {
@@ -74,11 +99,14 @@ void Dictionary::merge(const Dictionary& other) {
   if (!same_config()) {
     throw std::invalid_argument("cannot merge dictionaries with different configs");
   }
+  // Adopt the source's application epoch order first so tie-breaking
+  // stays deterministic regardless of entry iteration order below.
+  for (const std::string& application : other.applications_in_order()) {
+    register_application(application);
+  }
   for (const auto& [key, entry] : other.entries_) {
     for (std::size_t i = 0; i < entry.labels.size(); ++i) {
-      for (std::uint32_t c = 0; c < entry.counts[i]; ++c) {
-        insert(key, entry.labels[i]);
-      }
+      insert(key, entry.labels[i], entry.counts[i]);
     }
   }
 }
@@ -104,19 +132,27 @@ DictionaryStats Dictionary::stats() const {
   return stats;
 }
 
+namespace detail {
+
+bool fingerprint_key_before(const FingerprintKey& a, const FingerprintKey& b) {
+  if (a.metric != b.metric) return a.metric < b.metric;
+  if (a.interval.begin_seconds != b.interval.begin_seconds) {
+    return a.interval.begin_seconds < b.interval.begin_seconds;
+  }
+  if (a.rounded_means != b.rounded_means) {
+    return a.rounded_means < b.rounded_means;
+  }
+  return a.node_id < b.node_id;
+}
+
+}  // namespace detail
+
 std::vector<std::pair<FingerprintKey, DictionaryEntry>>
 Dictionary::sorted_entries() const {
   std::vector<std::pair<FingerprintKey, DictionaryEntry>> sorted(
       entries_.begin(), entries_.end());
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    if (a.first.metric != b.first.metric) return a.first.metric < b.first.metric;
-    if (a.first.interval.begin_seconds != b.first.interval.begin_seconds) {
-      return a.first.interval.begin_seconds < b.first.interval.begin_seconds;
-    }
-    if (a.first.rounded_means != b.first.rounded_means) {
-      return a.first.rounded_means < b.first.rounded_means;
-    }
-    return a.first.node_id < b.first.node_id;
+    return detail::fingerprint_key_before(a.first, b.first);
   });
   return sorted;
 }
@@ -134,18 +170,23 @@ namespace {
 constexpr char kFormatTag[] = "EFD-DICT-V1";
 }
 
-void Dictionary::save(std::ostream& out) const {
+namespace detail {
+
+void save_dictionary_text(
+    std::ostream& out, const FingerprintConfig& config,
+    const std::vector<std::pair<FingerprintKey, DictionaryEntry>>&
+        sorted_entries) {
   out << kFormatTag << '\n';
-  out << "metrics " << util::join(config_.metrics, ",") << '\n';
+  out << "metrics " << util::join(config.metrics, ",") << '\n';
   out << "intervals";
-  for (const auto& interval : config_.intervals) {
+  for (const auto& interval : config.intervals) {
     out << ' ' << interval.begin_seconds << ':' << interval.end_seconds;
   }
   out << '\n';
-  out << "depth " << config_.rounding_depth << '\n';
-  out << "combine " << (config_.combine_metrics ? 1 : 0) << '\n';
-  out << "keys " << entries_.size() << '\n';
-  for (const auto& [key, entry] : sorted_entries()) {
+  out << "depth " << config.rounding_depth << '\n';
+  out << "combine " << (config.combine_metrics ? 1 : 0) << '\n';
+  out << "keys " << sorted_entries.size() << '\n';
+  for (const auto& [key, entry] : sorted_entries) {
     out << key.metric << '|' << key.node_id << '|' << key.interval.begin_seconds
         << ':' << key.interval.end_seconds << '|';
     for (std::size_t i = 0; i < key.rounded_means.size(); ++i) {
@@ -159,6 +200,12 @@ void Dictionary::save(std::ostream& out) const {
     }
     out << '\n';
   }
+}
+
+}  // namespace detail
+
+void Dictionary::save(std::ostream& out) const {
+  detail::save_dictionary_text(out, config_, sorted_entries());
 }
 
 void Dictionary::save_file(const std::string& path) const {
@@ -239,7 +286,7 @@ Dictionary Dictionary::load(std::istream& in) {
       const auto count = util::parse_int(label_token.substr(eq + 1));
       if (!count || *count < 1) return fail("bad label count");
       const std::string label = label_token.substr(0, eq);
-      for (long long c = 0; c < *count; ++c) dictionary.insert(key, label);
+      dictionary.insert(key, label, static_cast<std::uint32_t>(*count));
     }
   }
   return dictionary;

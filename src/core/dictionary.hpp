@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/dictionary_view.hpp"
 #include "core/fingerprint.hpp"
 
 namespace efd::core {
@@ -30,7 +31,10 @@ struct DictionaryEntry {
   std::vector<std::uint32_t> counts;
 
   /// Adds one observation of a label.
-  void observe(const std::string& label);
+  void observe(const std::string& label) { observe(label, 1); }
+
+  /// Adds \p count observations at once (bulk merge/load path).
+  void observe(const std::string& label, std::uint32_t count);
 
   /// True if the entry contains the label.
   bool contains(const std::string& label) const;
@@ -48,8 +52,10 @@ struct DictionaryStats {
   std::uint64_t total_observations = 0;
 };
 
-/// The dictionary proper.
-class Dictionary {
+/// The dictionary proper. Single-threaded: for concurrent training and
+/// lookup use ShardedDictionary (sharded_dictionary.hpp), which exposes
+/// the same interface behind per-shard locks.
+class Dictionary : public DictionaryView {
  public:
   Dictionary() = default;
 
@@ -58,21 +64,40 @@ class Dictionary {
   /// depth as in the learning phase").
   explicit Dictionary(FingerprintConfig config) : config_(std::move(config)) {}
 
-  const FingerprintConfig& config() const noexcept { return config_; }
+  const FingerprintConfig& config() const noexcept override { return config_; }
 
   /// Number of unique keys.
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
 
   /// Adds one (key, label) observation. Creates the key if absent.
-  void insert(const FingerprintKey& key, const std::string& label);
+  void insert(const FingerprintKey& key, const std::string& label) {
+    insert(key, label, 1);
+  }
+
+  /// Adds \p count observations of (key, label) at once.
+  void insert(const FingerprintKey& key, const std::string& label,
+              std::uint32_t count);
 
   /// Entry for a key, or nullptr if absent. O(1) expected.
   const DictionaryEntry* lookup(const FingerprintKey& key) const;
 
+  /// DictionaryView copy-out lookup (see dictionary_view.hpp).
+  bool lookup_entry(const FingerprintKey& key,
+                    DictionaryEntry& out) const override;
+
   /// Application-name first-seen order (for deterministic tie arrays).
   /// Applications are indexed in the order their first key was inserted.
-  std::size_t application_order(const std::string& application) const;
+  std::size_t application_order(const std::string& application) const override;
+
+  /// Application names in first-seen order (the global tie-break epoch
+  /// order). Used to transplant the order into a ShardedDictionary.
+  std::vector<std::string> applications_in_order() const;
+
+  /// Pre-registers an application in the first-seen order without
+  /// inserting a key (idempotent). Lets conversions from sharded
+  /// dictionaries reproduce the tie-break epoch exactly.
+  void register_application(const std::string& application);
 
   /// Removes all keys whose total observation count is below
   /// \p min_observations; returns the number of keys removed. Models
@@ -113,5 +138,19 @@ class Dictionary {
   std::unordered_map<FingerprintKey, DictionaryEntry, FingerprintKeyHash> entries_;
   std::unordered_map<std::string, std::size_t> application_first_seen_;
 };
+
+namespace detail {
+
+/// Table-4 key ordering shared by Dictionary and ShardedDictionary
+/// sorted_entries/serialization (metric, interval begin, means, node).
+bool fingerprint_key_before(const FingerprintKey& a, const FingerprintKey& b);
+
+/// Writes the EFD-DICT-V1 text rendering of (config, sorted entries) —
+/// the single source of truth for the on-disk format.
+void save_dictionary_text(
+    std::ostream& out, const FingerprintConfig& config,
+    const std::vector<std::pair<FingerprintKey, DictionaryEntry>>& sorted_entries);
+
+}  // namespace detail
 
 }  // namespace efd::core

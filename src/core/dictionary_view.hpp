@@ -1,0 +1,47 @@
+#pragma once
+/// \file dictionary_view.hpp
+/// \brief Read-side abstraction over a trained Execution Fingerprint
+/// Dictionary.
+///
+/// The recognition path (Matcher, OnlineRecognizer, RecognitionService)
+/// only ever needs three things from a dictionary: its fingerprint
+/// config, entry lookup, and the application first-seen order used for
+/// paper-identical tie-breaking. DictionaryView captures exactly that,
+/// so the same recognition code runs against the single-threaded
+/// Dictionary and the concurrent ShardedDictionary.
+///
+/// lookup_entry copies the entry out instead of returning a pointer:
+/// concurrent implementations hold their shard lock only for the
+/// duration of the copy, so readers never observe a half-written entry
+/// while training keeps inserting.
+
+#include <string>
+
+#include "core/fingerprint.hpp"
+
+namespace efd::core {
+
+struct DictionaryEntry;
+
+/// Read-only view of a trained dictionary. Implementations state their
+/// own thread-safety: Dictionary is single-threaded, ShardedDictionary
+/// supports concurrent lookup_entry/application_order against inserts.
+class DictionaryView {
+ public:
+  virtual ~DictionaryView() = default;
+
+  /// Fingerprinting settings the dictionary was trained with. Stable for
+  /// the lifetime of the dictionary (never mutated after construction).
+  virtual const FingerprintConfig& config() const noexcept = 0;
+
+  /// Copies the entry for \p key into \p out (clearing previous
+  /// contents); returns false and leaves \p out empty if absent.
+  virtual bool lookup_entry(const FingerprintKey& key,
+                            DictionaryEntry& out) const = 0;
+
+  /// Application-name first-seen rank (for deterministic tie arrays);
+  /// unknown applications rank last.
+  virtual std::size_t application_order(const std::string& application) const = 0;
+};
+
+}  // namespace efd::core

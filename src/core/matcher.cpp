@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <set>
 
+#include "util/thread_pool.hpp"
+
 namespace efd::core {
 
 std::string RecognitionResult::label_prediction() const {
-  if (!recognized) return kUnknownApplication;
+  if (!recognized || applications.empty()) return kUnknownApplication;
   const std::string& winner = applications.front();
   int best_votes = 0;
   std::string best_label;
@@ -29,16 +31,16 @@ RecognitionResult Matcher::recognize_keys(
   result.fingerprint_count = keys.size();
 
   std::set<std::string> seen_labels;  // dedup while preserving first-seen order
+  DictionaryEntry entry;              // reused copy-out buffer
   for (const FingerprintKey& key : keys) {
-    const DictionaryEntry* entry = dictionary_->lookup(key);
-    if (entry == nullptr) continue;
+    if (!dictionary_->lookup_entry(key, entry)) continue;
     ++result.matched_count;
 
     // One vote per matched fingerprint per distinct application name in
     // the entry (an entry listing sp_X, sp_Y, bt_X yields one sp vote and
     // one bt vote for this fingerprint).
     std::set<std::string> applications_in_entry;
-    for (const std::string& label : entry->labels) {
+    for (const std::string& label : entry.labels) {
       applications_in_entry.insert(telemetry::parse_label(label).application);
       ++result.label_votes[label];
       if (seen_labels.insert(label).second) {
@@ -85,6 +87,27 @@ RecognitionResult Matcher::recognize(const telemetry::ExecutionRecord& record,
     slots.push_back(dataset.metric_slot(name));
   }
   return recognize(record, slots);
+}
+
+std::vector<RecognitionResult> Matcher::recognize_batch(
+    std::span<const telemetry::ExecutionRecord> records,
+    const std::vector<std::size_t>& metric_slots, util::ThreadPool* pool) const {
+  std::vector<RecognitionResult> results(records.size());
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
+  util::parallel_for(workers, 0, records.size(), [&](std::size_t i) {
+    results[i] = recognize(records[i], metric_slots);
+  });
+  return results;
+}
+
+std::vector<RecognitionResult> Matcher::recognize_batch(
+    const telemetry::Dataset& dataset, util::ThreadPool* pool) const {
+  std::vector<std::size_t> slots;
+  slots.reserve(dictionary_->config().metrics.size());
+  for (const std::string& name : dictionary_->config().metrics) {
+    slots.push_back(dataset.metric_slot(name));
+  }
+  return recognize_batch(std::span(dataset.records()), slots, pool);
 }
 
 }  // namespace efd::core

@@ -4,11 +4,17 @@
 /// and votes — the paper's Figure 1 steps (2) and (3).
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/dictionary.hpp"
+#include "core/dictionary_view.hpp"
 #include "telemetry/dataset.hpp"
+
+namespace efd::util {
+class ThreadPool;
+}
 
 namespace efd::core {
 
@@ -43,9 +49,12 @@ struct RecognitionResult {
   std::size_t matched_count = 0;      ///< fingerprints found in the dictionary
 
   /// The label the evaluation scores: first tied application, or
-  /// kUnknownApplication when nothing matched.
+  /// kUnknownApplication when nothing matched. Defensive: a recognized
+  /// result with an (invalid) empty tie array also reports unknown
+  /// instead of dereferencing an empty vector.
   const std::string& prediction() const {
-    return recognized ? applications.front() : kUnknownApplication;
+    return recognized && !applications.empty() ? applications.front()
+                                               : kUnknownApplication;
   }
 
   /// Most-voted full label ("sp_X") among labels of the winning
@@ -54,11 +63,13 @@ struct RecognitionResult {
   std::string label_prediction() const;
 };
 
-/// Recognizes executions against a dictionary. Stateless; cheap to copy.
+/// Recognizes executions against a dictionary view (single-threaded
+/// Dictionary or concurrent ShardedDictionary). Stateless; cheap to copy.
 class Matcher {
  public:
   /// \param dictionary borrowed; must outlive the matcher.
-  explicit Matcher(const Dictionary& dictionary) : dictionary_(&dictionary) {}
+  explicit Matcher(const DictionaryView& dictionary)
+      : dictionary_(&dictionary) {}
 
   /// Builds the execution's fingerprints with the dictionary's own config
   /// (guaranteeing identical rounding) and tallies votes.
@@ -72,8 +83,21 @@ class Matcher {
   /// Tallies votes over already-built fingerprints (online path).
   RecognitionResult recognize_keys(const std::vector<FingerprintKey>& keys) const;
 
+  /// Recognizes a batch of executions, fanning the records out across a
+  /// thread pool (the global pool when \p pool is null). Results align
+  /// with \p records and are identical to calling recognize() per record.
+  /// Must be called from outside the pool's own workers.
+  std::vector<RecognitionResult> recognize_batch(
+      std::span<const telemetry::ExecutionRecord> records,
+      const std::vector<std::size_t>& metric_slots,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Convenience batch over every record of a dataset.
+  std::vector<RecognitionResult> recognize_batch(
+      const telemetry::Dataset& dataset, util::ThreadPool* pool = nullptr) const;
+
  private:
-  const Dictionary* dictionary_;
+  const DictionaryView* dictionary_;
 };
 
 }  // namespace efd::core

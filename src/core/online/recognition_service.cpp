@@ -1,0 +1,143 @@
+#include "core/online/recognition_service.hpp"
+
+#include <utility>
+
+namespace efd::core {
+
+RecognitionService::RecognitionService(ShardedDictionary dictionary)
+    : dictionary_(std::move(dictionary)) {}
+
+void RecognitionService::learn(const FingerprintKey& key,
+                               const std::string& label) {
+  dictionary_.insert(key, label);
+}
+
+bool RecognitionService::open_job(std::uint64_t job_id,
+                                  std::uint32_t node_count) {
+  auto stream = std::make_shared<JobStream>(dictionary_, node_count);
+  {
+    std::unique_lock lock(jobs_mutex_);
+    if (!jobs_.emplace(job_id, std::move(stream)).second) return false;
+  }
+  jobs_opened_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool RecognitionService::has_job(std::uint64_t job_id) const {
+  std::shared_lock lock(jobs_mutex_);
+  const auto it = jobs_.find(job_id);
+  return it != jobs_.end() && !it->second->done.load(std::memory_order_acquire);
+}
+
+bool RecognitionService::push(std::uint64_t job_id, std::uint32_t node_id,
+                              std::string_view metric_name, int t,
+                              double value) {
+  std::shared_ptr<JobStream> stream;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) stream = it->second;
+  }
+  if (stream == nullptr) {
+    samples_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  {
+    std::lock_guard lock(stream->mutex);
+    if (stream->done.load(std::memory_order_relaxed)) {
+      // The verdict already fired; the stream lingers until the next
+      // drain. Counted separately from drops — a job streaming past its
+      // window end is healthy, not a routing failure.
+      samples_late_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stream->recognizer.push(node_id, metric_name, t, value);
+    samples_pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (stream->recognizer.ready()) {
+      // The verdict must be queued before done is published: the drain
+      // reap takes done==true as proof the verdict is already in the
+      // queue (otherwise a reaped-then-reused job id could receive this
+      // stale verdict). verdicts_mutex_ is a leaf lock, so taking it
+      // under the stream mutex cannot cycle.
+      queue_verdict(job_id, *stream->recognizer.result());
+      stream->done.store(true, std::memory_order_release);
+    }
+  }
+  return true;
+}
+
+bool RecognitionService::close_job(std::uint64_t job_id) {
+  std::shared_ptr<JobStream> stream;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) stream = it->second;
+  }
+  if (stream == nullptr) return false;
+
+  bool completed = false;
+  {
+    std::lock_guard lock(stream->mutex);
+    if (!stream->done.load(std::memory_order_relaxed)) {
+      // An unready stream yields a default (unrecognized) verdict — the
+      // paper's unknown-application safeguard for truncated executions.
+      // Queued before done is published, as in push().
+      RecognitionResult verdict;
+      if (auto result = stream->recognizer.result()) verdict = *result;
+      queue_verdict(job_id, std::move(verdict));
+      stream->done.store(true, std::memory_order_release);
+      completed = true;
+    }
+  }
+  return completed;
+}
+
+std::vector<JobVerdict> RecognitionService::drain_verdicts() {
+  {
+    // Reap finished streams; their ids become reusable from here on.
+    std::unique_lock lock(jobs_mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second->done.load(std::memory_order_acquire)) {
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::vector<JobVerdict> drained;
+  std::lock_guard lock(verdicts_mutex_);
+  drained.swap(verdicts_);
+  return drained;
+}
+
+RecognitionServiceStats RecognitionService::stats() const {
+  RecognitionServiceStats stats;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    for (const auto& [job_id, stream] : jobs_) {
+      if (!stream->done.load(std::memory_order_acquire)) ++stats.active_jobs;
+    }
+  }
+  {
+    std::lock_guard lock(verdicts_mutex_);
+    stats.pending_verdicts = verdicts_.size();
+  }
+  stats.jobs_opened = jobs_opened_.load(std::memory_order_relaxed);
+  stats.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  stats.samples_pushed = samples_pushed_.load(std::memory_order_relaxed);
+  stats.samples_dropped = samples_dropped_.load(std::memory_order_relaxed);
+  stats.samples_late = samples_late_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RecognitionService::queue_verdict(std::uint64_t job_id,
+                                       RecognitionResult result) {
+  {
+    std::lock_guard lock(verdicts_mutex_);
+    verdicts_.push_back({job_id, std::move(result)});
+  }
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace efd::core

@@ -1,0 +1,139 @@
+#pragma once
+/// \file recognition_service.hpp
+/// \brief Multi-job streaming recognition service.
+///
+/// A production cluster runs many jobs at once; each node's monitoring
+/// daemon pushes samples as they are taken. RecognitionService owns the
+/// trained concurrent dictionary (ShardedDictionary) and multiplexes one
+/// OnlineRecognizer stream per job id behind per-job locks, so pushes
+/// for different jobs proceed in parallel and a verdict fires the moment
+/// a job's last fingerprint window closes (t = 120 s in the paper's
+/// configuration).
+///
+/// Thread-safety / locking discipline:
+///  - jobs map:      std::shared_mutex; push/has_job/stats take it
+///    shared, open_job and the drain-time reap take it exclusive.
+///  - per-job state: its own std::mutex, only ever taken while holding
+///    no other lock (push/close copy the stream's shared_ptr out under
+///    the shared map lock, release it, then lock the stream); exclusive
+///    map holders read only the stream's atomic done flag. No lock-order
+///    cycles are possible.
+///  - verdict queue: its own std::mutex, leaf lock (acquired under a
+///    stream mutex when a verdict fires, never the other way round;
+///    nothing is acquired while holding it). Verdicts are queued BEFORE
+///    a stream's done flag is published, so the drain-time reap can
+///    treat done==true as "verdict already queued".
+///  - dictionary:    ShardedDictionary is internally synchronized; learn()
+///    may run concurrently with every recognition path.
+///
+/// A completed job's verdict moves to an internal queue; callers harvest
+/// with drain_verdicts(). Jobs whose streams never complete (short or
+/// killed executions) can be force-closed; a stream that is not ready
+/// (any window still open) yields an unrecognized verdict — the paper's
+/// unknown-application safeguard. There is no partial-window evaluation.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online_recognizer.hpp"
+#include "core/sharded_dictionary.hpp"
+
+namespace efd::core {
+
+/// A finished job's recognition outcome.
+struct JobVerdict {
+  std::uint64_t job_id = 0;
+  RecognitionResult result;
+};
+
+/// Aggregate service counters (monitoring endpoint material).
+struct RecognitionServiceStats {
+  std::size_t active_jobs = 0;      ///< streams currently open
+  std::size_t pending_verdicts = 0; ///< completed but not yet drained
+  std::uint64_t jobs_opened = 0;    ///< lifetime total
+  std::uint64_t jobs_completed = 0; ///< lifetime total (incl. force-closed)
+  std::uint64_t samples_pushed = 0; ///< lifetime accepted samples
+  std::uint64_t samples_dropped = 0;///< pushes for unknown job ids
+  std::uint64_t samples_late = 0;   ///< pushes after a job's verdict fired
+};                                  ///< (healthy: jobs outlive their window)
+
+/// Concurrent multi-job streaming recognizer. Non-copyable, non-movable
+/// (open streams hold pointers into the owned dictionary).
+class RecognitionService {
+ public:
+  /// Takes ownership of a trained concurrent dictionary.
+  explicit RecognitionService(ShardedDictionary dictionary);
+
+  RecognitionService(const RecognitionService&) = delete;
+  RecognitionService& operator=(const RecognitionService&) = delete;
+
+  const ShardedDictionary& dictionary() const noexcept { return dictionary_; }
+
+  /// Online learning passthrough: thread-safe against all recognition
+  /// paths ("learning new applications is as simple as adding new keys").
+  void learn(const FingerprintKey& key, const std::string& label);
+
+  /// Opens a stream for a job. Returns false (and changes nothing) if the
+  /// job id is already present (open, or completed but not yet drained —
+  /// ids become reusable after drain_verdicts()).
+  bool open_job(std::uint64_t job_id, std::uint32_t node_count);
+
+  /// True while the job's stream is open (completed streams awaiting
+  /// reaping do not count).
+  bool has_job(std::uint64_t job_id) const;
+
+  /// Feeds one monitoring sample. Returns false if no such job is open
+  /// (the sample is counted as dropped). When the sample completes the
+  /// job's last window, the verdict is computed here and queued, and the
+  /// stream closes.
+  bool push(std::uint64_t job_id, std::uint32_t node_id,
+            std::string_view metric_name, int t, double value);
+
+  /// Force-closes a job, producing a verdict from whatever windows have
+  /// closed (unrecognized if the stream never became ready). Returns
+  /// false if no such job is open.
+  bool close_job(std::uint64_t job_id);
+
+  /// Moves out all queued verdicts (order: completion order) and reaps
+  /// completed streams from the jobs map (their ids become reusable).
+  std::vector<JobVerdict> drain_verdicts();
+
+  RecognitionServiceStats stats() const;
+
+ private:
+  struct JobStream {
+    explicit JobStream(const DictionaryView& dictionary,
+                       std::uint32_t node_count)
+        : recognizer(dictionary, node_count) {}
+    std::mutex mutex;
+    OnlineRecognizer recognizer;
+    /// Set (under mutex) when the verdict is queued; readable without
+    /// the mutex. Done streams linger until drain_verdicts reaps them,
+    /// so post-verdict pushes classify as "late" rather than "dropped".
+    std::atomic<bool> done{false};
+  };
+
+  void queue_verdict(std::uint64_t job_id, RecognitionResult result);
+
+  ShardedDictionary dictionary_;
+
+  mutable std::shared_mutex jobs_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobStream>> jobs_;
+
+  mutable std::mutex verdicts_mutex_;
+  std::vector<JobVerdict> verdicts_;
+
+  std::atomic<std::uint64_t> jobs_opened_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> samples_pushed_{0};
+  std::atomic<std::uint64_t> samples_dropped_{0};
+  std::atomic<std::uint64_t> samples_late_{0};
+};
+
+}  // namespace efd::core

@@ -23,7 +23,7 @@ double WindowAccumulator::mean() const noexcept {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
-OnlineRecognizer::OnlineRecognizer(const Dictionary& dictionary,
+OnlineRecognizer::OnlineRecognizer(const DictionaryView& dictionary,
                                    std::uint32_t node_count)
     : dictionary_(&dictionary), node_count_(node_count) {
   const FingerprintConfig& config = dictionary_->config();

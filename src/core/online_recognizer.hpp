@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/dictionary.hpp"
+#include "core/dictionary_view.hpp"
 #include "core/matcher.hpp"
 
 namespace efd::core {
@@ -40,12 +40,15 @@ class WindowAccumulator {
   int last_t_ = -1;
 };
 
-/// Streaming recognizer over a trained dictionary.
+/// Streaming recognizer over a trained dictionary view (single-threaded
+/// Dictionary or concurrent ShardedDictionary). One instance watches one
+/// job; it is not internally synchronized — RecognitionService wraps
+/// each stream in its own lock to multiplex jobs across threads.
 class OnlineRecognizer {
  public:
   /// \param dictionary trained dictionary (borrowed; must outlive).
   /// \param node_count nodes of the job being watched.
-  OnlineRecognizer(const Dictionary& dictionary, std::uint32_t node_count);
+  OnlineRecognizer(const DictionaryView& dictionary, std::uint32_t node_count);
 
   /// Feeds one sample. Ignores metrics the dictionary does not fingerprint.
   void push(std::uint32_t node_id, std::string_view metric_name, int t,
@@ -62,7 +65,7 @@ class OnlineRecognizer {
   int seconds_until_ready(int current_t) const noexcept;
 
  private:
-  const Dictionary* dictionary_;
+  const DictionaryView* dictionary_;
   std::uint32_t node_count_;
   /// accumulators_[node][metric index][interval index]
   std::vector<std::vector<std::vector<WindowAccumulator>>> accumulators_;

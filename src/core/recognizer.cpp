@@ -20,6 +20,22 @@ FingerprintConfig Recognizer::fingerprint_config() const {
 
 void Recognizer::train(const telemetry::Dataset& dataset,
                        const std::vector<std::size_t>& train_indices) {
+  select_depth(dataset, train_indices);
+  dictionary_ = train_dictionary(dataset, fingerprint_config(), train_indices);
+}
+
+void Recognizer::train_parallel(const telemetry::Dataset& dataset,
+                                const std::vector<std::size_t>& train_indices,
+                                std::size_t shard_count,
+                                util::ThreadPool* pool) {
+  select_depth(dataset, train_indices);
+  dictionary_ = train_dictionary_sharded(dataset, fingerprint_config(),
+                                         train_indices, shard_count, pool)
+                    .to_dictionary();
+}
+
+void Recognizer::select_depth(const telemetry::Dataset& dataset,
+                              const std::vector<std::size_t>& train_indices) {
   selected_depth_ = config_.rounding_depth;
   depth_scores_.clear();
 
@@ -38,8 +54,6 @@ void Recognizer::train(const telemetry::Dataset& dataset,
           << selected_depth_;
     }
   }
-
-  dictionary_ = train_dictionary(dataset, fingerprint_config(), train_indices);
 }
 
 RecognitionResult Recognizer::recognize(
@@ -57,6 +71,17 @@ void Recognizer::learn_execution(const telemetry::Dataset& dataset,
        build_fingerprints(record, dictionary_->config(), dataset)) {
     dictionary_->insert(key, label);
   }
+}
+
+std::vector<RecognitionResult> Recognizer::recognize_batch(
+    const telemetry::Dataset& dataset, util::ThreadPool* pool) const {
+  if (!dictionary_) throw std::logic_error("Recognizer not trained");
+  return Matcher(*dictionary_).recognize_batch(dataset, pool);
+}
+
+ShardedDictionary Recognizer::make_sharded(std::size_t shard_count) const {
+  if (!dictionary_) throw std::logic_error("Recognizer not trained");
+  return ShardedDictionary::from_dictionary(*dictionary_, shard_count);
 }
 
 const Dictionary& Recognizer::dictionary() const {

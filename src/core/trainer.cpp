@@ -36,6 +36,72 @@ Dictionary train_dictionary(const telemetry::Dataset& dataset,
   return dictionary;
 }
 
+ShardedDictionary train_dictionary_sharded(const telemetry::Dataset& dataset,
+                                           const FingerprintConfig& config,
+                                           const std::vector<std::size_t>& indices,
+                                           std::size_t shard_count,
+                                           util::ThreadPool* pool) {
+  std::vector<std::size_t> slots;
+  slots.reserve(config.metrics.size());
+  for (const std::string& name : config.metrics) {
+    slots.push_back(dataset.metric_slot(name));
+  }
+
+  std::vector<std::size_t> all = indices;
+  if (all.empty()) {
+    all.resize(dataset.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+  }
+
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
+
+  // Phase 1: fingerprint construction (the hot part) in parallel.
+  std::vector<std::vector<FingerprintKey>> keys(all.size());
+  std::vector<std::string> labels(all.size());
+  util::parallel_for(workers, 0, all.size(), [&](std::size_t i) {
+    const telemetry::ExecutionRecord& record = dataset.record(all[i]);
+    keys[i] = build_fingerprints(record, config, slots);
+    labels[i] = record.label().full();
+  });
+
+  ShardedDictionary dictionary(config, shard_count);
+
+  // Phase 2: fix the application epoch in record order. Records that
+  // produced no fingerprints register nothing — exactly like sequential
+  // insertion, which only learns an application at its first real key.
+  // The same scan buckets each key by shard (hashing it once), in record
+  // order, so shard workers replay only their own keys below.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> buckets(
+      dictionary.shard_count());  // (record index, key index) per shard
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!keys[i].empty()) {
+      dictionary.register_application(
+          telemetry::parse_label(labels[i]).application);
+    }
+    for (std::size_t k = 0; k < keys[i].size(); ++k) {
+      buckets[dictionary.shard_of(keys[i][k])].emplace_back(
+          static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(k));
+    }
+  }
+
+  // Phase 3: one worker per shard replays its bucket, which preserves
+  // record order, so per-entry label order matches sequential training
+  // regardless of scheduling.
+  util::parallel_for(
+      workers, 0, dictionary.shard_count(),
+      [&](std::size_t s) {
+        for (const auto& [i, k] : buckets[s]) {
+          dictionary.insert(keys[i][k], labels[i]);
+        }
+      },
+      /*min_chunk=*/1);
+
+  EFD_LOG(kDebug, "trainer") << "concurrent dictionary built: "
+                             << dictionary.size() << " keys across "
+                             << dictionary.shard_count() << " shards";
+  return dictionary;
+}
+
 Dictionary train_dictionary_parallel(const telemetry::Dataset& dataset,
                                      const FingerprintConfig& config,
                                      const std::vector<std::size_t>& indices,

@@ -3,7 +3,12 @@
 /// \brief The learning phase: builds a Dictionary from labeled executions.
 
 #include "core/dictionary.hpp"
+#include "core/sharded_dictionary.hpp"
 #include "telemetry/dataset.hpp"
+
+namespace efd::util {
+class ThreadPool;
+}
 
 namespace efd::core {
 
@@ -29,5 +34,25 @@ Dictionary train_dictionary_parallel(const telemetry::Dataset& dataset,
                                      const FingerprintConfig& config,
                                      const std::vector<std::size_t>& indices = {},
                                      std::size_t shards = 0);
+
+/// Deterministic parallel batch training of the concurrent engine.
+///
+/// Three phases: (1) fingerprints of every training record are built in
+/// parallel across the pool (the expensive part); (2) the application
+/// tie-break epoch is fixed by a sequential scan in record order, exactly
+/// matching what sequential insertion would have produced; (3) one worker
+/// per shard replays the records in order, inserting only the keys that
+/// hash to its shard. Because each key lives in exactly one shard and
+/// each shard is filled by one worker in record order, the result is
+/// byte-identical to train_dictionary() — same entries, same per-entry
+/// label first-seen order, same serialization — for any shard/thread
+/// count.
+///
+/// Must be called from outside the pool's own workers (it blocks on the
+/// pool). \p pool null means the global pool.
+ShardedDictionary train_dictionary_sharded(
+    const telemetry::Dataset& dataset, const FingerprintConfig& config,
+    const std::vector<std::size_t>& indices = {}, std::size_t shard_count = 0,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace efd::core

@@ -16,11 +16,15 @@ NodeCollector::NodeCollector(std::uint32_t node_id,
   series_.assign(metric_names_.size(), telemetry::TimeSeries(1.0));
 }
 
-void NodeCollector::tick(MetricSource& source, double t) {
+void NodeCollector::tick(MetricSource& source, double t, SampleSink* sink) {
   std::size_t slot = 0;
   for (const auto& sampler : samplers_) {
     const std::vector<double> values = sampler->sample(source, t);
     for (double value : values) {
+      if (sink != nullptr) {
+        sink->publish(node_id_, metric_names_[slot], static_cast<int>(t),
+                      value);
+      }
       series_.at(slot++).push_back(value);
     }
   }
@@ -48,7 +52,7 @@ std::vector<std::string> SamplingLoop::metric_names() const {
 telemetry::ExecutionRecord SamplingLoop::run(
     std::uint64_t execution_id, const telemetry::ExecutionLabel& label,
     std::vector<std::unique_ptr<MetricSource>>& sources,
-    double duration_seconds) {
+    double duration_seconds, SampleSink* sink) {
   if (sources.empty()) throw std::invalid_argument("SamplingLoop needs >= 1 node");
 
   std::vector<NodeCollector> collectors;
@@ -60,7 +64,7 @@ telemetry::ExecutionRecord SamplingLoop::run(
   const auto ticks = static_cast<std::size_t>(std::floor(duration_seconds));
   for (std::size_t t = 0; t < ticks; ++t) {
     for (std::size_t node = 0; node < sources.size(); ++node) {
-      collectors[node].tick(*sources[node], static_cast<double>(t));
+      collectors[node].tick(*sources[node], static_cast<double>(t), sink);
     }
   }
 

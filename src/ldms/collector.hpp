@@ -12,6 +12,21 @@
 
 namespace efd::ldms {
 
+/// Receives every sample as it is collected — the hook the online
+/// recognition path uses to observe the monitoring stream in real time
+/// (RecognitionService binds one sink per job; see ldms/streaming.hpp).
+/// Implementations must tolerate being called from whichever thread
+/// drives the sampling loop.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  /// One sample: node \p node_id read \p metric_name = \p value at
+  /// integer second \p t since job start.
+  virtual void publish(std::uint32_t node_id, std::string_view metric_name,
+                       int t, double value) = 0;
+};
+
 /// Aggregates one node's sampler readings into dense 1 Hz series.
 class NodeCollector {
  public:
@@ -28,7 +43,8 @@ class NodeCollector {
   }
 
   /// Reads every sampler once at time \p t and appends to the series.
-  void tick(MetricSource& source, double t);
+  /// When \p sink is non-null every sample is also published to it.
+  void tick(MetricSource& source, double t, SampleSink* sink = nullptr);
 
   /// Number of completed ticks.
   std::size_t tick_count() const noexcept { return tick_count_; }
@@ -59,11 +75,13 @@ class SamplingLoop {
   explicit SamplingLoop(const std::vector<std::unique_ptr<Sampler>>& samplers);
 
   /// Runs \p duration_seconds of 1 Hz ticks over all nodes. \p sources
-  /// supplies one MetricSource per node.
+  /// supplies one MetricSource per node. When \p sink is non-null every
+  /// collected sample is streamed to it as it is taken — the path that
+  /// feeds RecognitionService while the job runs.
   telemetry::ExecutionRecord run(
       std::uint64_t execution_id, const telemetry::ExecutionLabel& label,
       std::vector<std::unique_ptr<MetricSource>>& sources,
-      double duration_seconds);
+      double duration_seconds, SampleSink* sink = nullptr);
 
   /// Metric order produced by the plugin set.
   std::vector<std::string> metric_names() const;

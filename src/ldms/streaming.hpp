@@ -1,0 +1,71 @@
+#pragma once
+/// \file streaming.hpp
+/// \brief End-to-end concurrent monitoring of a simulated cluster.
+///
+/// Glues the layers together: for every execution plan, simulated node
+/// sources (sim_adapter) are driven by the LDMS sampling loop
+/// (collector), every sample is published into the RecognitionService
+/// as it is taken, and the service fires a verdict the moment the job's
+/// last fingerprint window closes — many jobs in flight at once across
+/// a thread pool, the deployment mode the paper motivates but never
+/// builds.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/online/recognition_service.hpp"
+#include "ldms/collector.hpp"
+#include "ldms/sampler.hpp"
+#include "sim/cluster_sim.hpp"
+#include "telemetry/metric_registry.hpp"
+
+namespace efd::util {
+class ThreadPool;
+}
+
+namespace efd::ldms {
+
+/// SampleSink that forwards every collected sample into a service under
+/// a fixed job id (one instance per concurrently monitored job).
+class ServiceFeed final : public SampleSink {
+ public:
+  ServiceFeed(core::RecognitionService& service, std::uint64_t job_id)
+      : service_(&service), job_id_(job_id) {}
+
+  void publish(std::uint32_t node_id, std::string_view metric_name, int t,
+               double value) override {
+    service_->push(job_id_, node_id, metric_name, t, value);
+  }
+
+ private:
+  core::RecognitionService* service_;
+  std::uint64_t job_id_;
+};
+
+/// Outcome summary of a concurrent monitoring run.
+struct StreamingRunReport {
+  std::size_t jobs_run = 0;       ///< plans executed
+  std::size_t verdicts = 0;       ///< verdicts produced (fired + flushed)
+  std::size_t recognized = 0;     ///< verdicts with a matched application
+  std::vector<core::JobVerdict> job_verdicts;  ///< ordered by completion
+};
+
+/// Monitors every plan as a concurrent job: opens a stream per plan
+/// (job id = plan.execution_id), drives the full LDMS sampling loop with
+/// simulated node sources, and publishes each sample into \p service.
+/// Jobs fan out across \p pool (global pool when null); each job's own
+/// sampling loop is sequential, exactly like a real per-job daemon.
+/// Jobs still open at the end (too short to fill every window) are
+/// force-closed so every plan yields a verdict.
+///
+/// \param duration_seconds 0 means each plan's app-typical duration.
+/// Must be called from outside the pool's own workers.
+StreamingRunReport run_concurrent_jobs(
+    core::RecognitionService& service,
+    const telemetry::MetricRegistry& registry,
+    const std::vector<sim::ExecutionPlan>& plans,
+    const std::vector<std::unique_ptr<Sampler>>& samplers, std::uint64_t seed,
+    double duration_seconds = 0.0, util::ThreadPool* pool = nullptr);
+
+}  // namespace efd::ldms

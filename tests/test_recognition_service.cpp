@@ -1,0 +1,231 @@
+/// \file test_recognition_service.cpp
+/// \brief Tests for the multi-job streaming service: per-job verdict
+/// correctness against the offline matcher, lifecycle edge cases, online
+/// learning, and a 64-job concurrent end-to-end run over the simulated
+/// LDMS path (exercised under ThreadSanitizer in CI).
+
+#include "core/online/recognition_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "ldms/sampler.hpp"
+#include "ldms/streaming.hpp"
+#include "sim/app_model.hpp"
+#include "sim/cluster_sim.hpp"
+#include "telemetry/metric_registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+FingerprintConfig config_of() {
+  FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  config.rounding_depth = 2;
+  return config;
+}
+
+/// Fixture with a two-app trained service (constant-signal dataset like
+/// the online recognizer tests).
+class ServiceFixture : public ::testing::Test {
+ protected:
+  ServiceFixture() : dataset_({"nr_mapped_vmstat"}) {
+    add(1, "ft", 6000.0);
+    add(2, "mg", 6100.0);
+    dictionary_ = train_dictionary(dataset_, config_of());
+  }
+
+  void add(std::uint64_t id, const std::string& app, double level) {
+    telemetry::ExecutionRecord record(id, {app, "X"}, 2, 1);
+    for (std::size_t n = 0; n < 2; ++n) {
+      for (int t = 0; t < 150; ++t) record.series(n, 0).push_back(level);
+    }
+    dataset_.add(std::move(record));
+  }
+
+  RecognitionService make_service() {
+    return RecognitionService(ShardedDictionary::from_dictionary(dictionary_, 8));
+  }
+
+  void stream_job(RecognitionService& service, std::uint64_t job,
+                  double level, int ticks = 130) {
+    for (int t = 0; t < ticks; ++t) {
+      for (std::uint32_t node = 0; node < 2; ++node) {
+        service.push(job, node, "nr_mapped_vmstat", t, level);
+      }
+    }
+  }
+
+  telemetry::Dataset dataset_;
+  Dictionary dictionary_;
+};
+
+TEST_F(ServiceFixture, VerdictFiresWhenWindowCloses) {
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(42, 2));
+  EXPECT_TRUE(service.has_job(42));
+
+  stream_job(service, 42, 6030.0);  // rounds to 6000 -> ft at depth 2
+
+  EXPECT_FALSE(service.has_job(42));  // auto-closed at window end
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].job_id, 42u);
+  EXPECT_EQ(verdicts[0].result.prediction(), "ft");
+  EXPECT_TRUE(service.drain_verdicts().empty());  // drained exactly once
+}
+
+TEST_F(ServiceFixture, VerdictMatchesOfflineMatcher) {
+  RecognitionService service = make_service();
+  const auto& record = dataset_.record(1);  // mg
+  ASSERT_TRUE(service.open_job(7, 2));
+  for (int t = 0; t < 150; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      service.push(7, node, "nr_mapped_vmstat", t,
+                   record.series(node, 0)[static_cast<std::size_t>(t)]);
+    }
+  }
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+
+  const RecognitionResult offline =
+      Matcher(dictionary_).recognize(record, dataset_);
+  EXPECT_EQ(verdicts[0].result.prediction(), offline.prediction());
+  EXPECT_EQ(verdicts[0].result.votes, offline.votes);
+  EXPECT_EQ(verdicts[0].result.matched_count, offline.matched_count);
+}
+
+TEST_F(ServiceFixture, LifecycleEdgeCases) {
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  EXPECT_FALSE(service.open_job(1, 2));  // duplicate id rejected
+
+  EXPECT_FALSE(service.push(999, 0, "nr_mapped_vmstat", 0, 1.0));  // no job
+  EXPECT_FALSE(service.close_job(999));
+
+  // Force-closing an unready stream yields an unrecognized verdict.
+  service.push(1, 0, "nr_mapped_vmstat", 0, 6000.0);
+  EXPECT_TRUE(service.close_job(1));
+  EXPECT_FALSE(service.has_job(1));
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].result.recognized);
+  EXPECT_EQ(verdicts[0].result.prediction(), kUnknownApplication);
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.active_jobs, 0u);
+  EXPECT_EQ(stats.jobs_opened, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.samples_dropped, 1u);
+  EXPECT_EQ(stats.samples_pushed, 1u);
+}
+
+TEST_F(ServiceFixture, OnlineLearningAddsRecognizableApplication) {
+  RecognitionService service = make_service();
+  // "learning new applications is as simple as adding new keys".
+  for (std::uint32_t node = 0; node < 2; ++node) {
+    FingerprintKey key;
+    key.metric = "nr_mapped_vmstat";
+    key.node_id = node;
+    key.interval = {60, 120};
+    key.rounded_means = {9900.0};
+    service.learn(key, "lu_X");
+  }
+  ASSERT_TRUE(service.open_job(5, 2));
+  stream_job(service, 5, 9870.0);  // rounds to 9900 at depth 2
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].result.prediction(), "lu");
+}
+
+TEST_F(ServiceFixture, ManyConcurrentJobsFromManyThreads) {
+  // 64 jobs pushed from competing threads; every verdict must match the
+  // level each job streamed. TSan-validates service + dictionary locks.
+  RecognitionService service = make_service();
+  constexpr std::uint64_t kJobs = 64;
+  for (std::uint64_t job = 1; job <= kJobs; ++job) {
+    ASSERT_TRUE(service.open_job(job, 2));
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t job = 1 + static_cast<std::uint64_t>(t);
+           job <= kJobs; job += 8) {
+        stream_job(service, job, job % 2 == 0 ? 6030.0 : 6080.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), kJobs);
+  for (const JobVerdict& verdict : verdicts) {
+    EXPECT_EQ(verdict.result.prediction(),
+              verdict.job_id % 2 == 0 ? "ft" : "mg")
+        << "job " << verdict.job_id;
+  }
+  EXPECT_EQ(service.stats().active_jobs, 0u);
+}
+
+TEST(RecognitionServiceStreaming, ConcurrentSimulatedClusterEndToEnd) {
+  // Full-stack run: 64 simulated jobs through samplers -> collector ->
+  // service across a pool, verdicts identical to offline recognition of
+  // the bulk-generated records (the sim adapter guarantees bit-identical
+  // telemetry between the two paths).
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  const auto apps = sim::make_paper_applications();
+  constexpr std::uint64_t kSeed = 2021;
+  constexpr std::size_t kJobs = 64;
+  constexpr double kDuration = 125.0;
+
+  std::vector<sim::ExecutionPlan> plans;
+  plans.reserve(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    sim::ExecutionPlan plan;
+    plan.app = apps[j % apps.size()].get();
+    plan.input_size = "X";
+    plan.node_count = 2;
+    plan.duration_seconds = kDuration;
+    plan.execution_id = j + 1;
+    plans.push_back(plan);
+  }
+
+  // Bulk-generate the same executions and train on them.
+  sim::ClusterSimulator simulator(registry, {"nr_mapped_vmstat"}, kSeed);
+  telemetry::Dataset dataset({"nr_mapped_vmstat"});
+  for (const sim::ExecutionPlan& plan : plans) dataset.add(simulator.run(plan));
+
+  const FingerprintConfig config = config_of();
+  RecognitionService service(train_dictionary_sharded(dataset, config));
+
+  const auto samplers = ldms::make_standard_samplers(registry);
+  util::ThreadPool pool(8);
+  const ldms::StreamingRunReport report = ldms::run_concurrent_jobs(
+      service, registry, plans, samplers, kSeed, kDuration, &pool);
+
+  EXPECT_EQ(report.jobs_run, kJobs);
+  ASSERT_EQ(report.verdicts, kJobs);
+
+  const Matcher offline_matcher(service.dictionary());
+  for (const JobVerdict& verdict : report.job_verdicts) {
+    const auto& record = dataset.record(verdict.job_id - 1);
+    ASSERT_EQ(record.id(), verdict.job_id);
+    const RecognitionResult offline =
+        offline_matcher.recognize(record, dataset);
+    EXPECT_EQ(verdict.result.prediction(), offline.prediction())
+        << "job " << verdict.job_id;
+    EXPECT_EQ(verdict.result.votes, offline.votes) << "job " << verdict.job_id;
+  }
+  EXPECT_EQ(service.stats().active_jobs, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,329 @@
+/// \file test_sharded_dictionary.cpp
+/// \brief Tests for the concurrent EFD engine: semantic parity with the
+/// sequential Dictionary (entries, tie order, serialization bytes),
+/// deterministic parallel training, save/load round-trips, and
+/// thread-safety of concurrent insert/lookup.
+
+#include "core/sharded_dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/matcher.hpp"
+#include "core/trainer.hpp"
+#include "sim/dataset_generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+FingerprintKey key_of(double mean, std::uint32_t node = 0,
+                      const std::string& metric = "nr_mapped_vmstat") {
+  FingerprintKey key;
+  key.metric = metric;
+  key.node_id = node;
+  key.interval = {60, 120};
+  key.rounded_means = {mean};
+  return key;
+}
+
+FingerprintConfig config_of(int depth = 2) {
+  FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  config.rounding_depth = depth;
+  return config;
+}
+
+/// Small labeled dataset shared by the training parity tests.
+telemetry::Dataset small_dataset() {
+  sim::GeneratorConfig config;
+  config.seed = 7;
+  config.small_repetitions = 2;
+  config.include_large_input = false;
+  config.metrics = {"nr_mapped_vmstat"};
+  return sim::generate_paper_dataset(config);
+}
+
+TEST(ShardedDictionary, InsertAndLookupEntry) {
+  ShardedDictionary dictionary(config_of(), 4);
+  dictionary.insert(key_of(6000.0), "ft_X");
+  dictionary.insert(key_of(6000.0), "ft_X");
+  EXPECT_EQ(dictionary.size(), 1u);
+  EXPECT_EQ(dictionary.shard_count(), 4u);
+
+  DictionaryEntry entry;
+  ASSERT_TRUE(dictionary.lookup_entry(key_of(6000.0), entry));
+  EXPECT_EQ(entry.labels, (std::vector<std::string>{"ft_X"}));
+  EXPECT_EQ(entry.total_count(), 2u);
+  EXPECT_FALSE(dictionary.lookup_entry(key_of(9999.0), entry));
+  EXPECT_TRUE(entry.labels.empty());  // buffer cleared on miss
+}
+
+TEST(ShardedDictionary, ApplicationEpochMatchesInsertionOrder) {
+  ShardedDictionary dictionary(config_of(), 8);
+  dictionary.insert(key_of(7500.0), "sp_X");
+  dictionary.insert(key_of(7500.0), "bt_X");
+  dictionary.insert(key_of(6000.0), "ft_X");
+  EXPECT_LT(dictionary.application_order("sp"), dictionary.application_order("bt"));
+  EXPECT_LT(dictionary.application_order("bt"), dictionary.application_order("ft"));
+  EXPECT_GT(dictionary.application_order("nope"), dictionary.application_order("ft"));
+  EXPECT_EQ(dictionary.applications_in_order(),
+            (std::vector<std::string>{"sp", "bt", "ft"}));
+}
+
+TEST(ShardedDictionary, ShardOfIsStableAndInRange) {
+  ShardedDictionary dictionary(config_of(), 7);  // non-power-of-two works too
+  for (int i = 0; i < 100; ++i) {
+    const FingerprintKey key = key_of(1000.0 * i);
+    const std::size_t shard = dictionary.shard_of(key);
+    EXPECT_LT(shard, dictionary.shard_count());
+    EXPECT_EQ(shard, dictionary.shard_of(key));  // stable
+  }
+}
+
+TEST(ShardedDictionary, SerializationBytesMatchSequentialDictionary) {
+  Dictionary sequential(config_of(3));
+  ShardedDictionary sharded(config_of(3), 16);
+  const std::vector<std::pair<double, std::string>> observations = {
+      {6000.0, "ft_X"}, {7500.0, "sp_X"}, {7500.0, "bt_X"},
+      {6000.0, "ft_X"}, {8100.0, "mg_Y"}, {7500.0, "sp_X"},
+  };
+  for (const auto& [mean, label] : observations) {
+    sequential.insert(key_of(mean), label);
+    sharded.insert(key_of(mean), label);
+  }
+
+  std::stringstream a, b;
+  sequential.save(a);
+  sharded.save(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical on-disk format
+}
+
+TEST(ShardedDictionary, SaveLoadRoundTripPreservesLabelOrderAndCounts) {
+  // Satellite regression: ties must still resolve to the first-seen
+  // application after a save -> load cycle (paper Section 3 / Table 4).
+  ShardedDictionary original(config_of(), 8);
+  original.insert(key_of(7500.0), "sp_X");  // sp first
+  original.insert(key_of(7500.0), "bt_X");
+  original.insert(key_of(7500.0), "sp_X");
+  original.insert(key_of(6000.0), "ft_X");
+
+  std::stringstream stream;
+  original.save(stream);
+  const ShardedDictionary loaded = ShardedDictionary::load(stream, 4);
+
+  EXPECT_EQ(loaded.size(), original.size());
+  DictionaryEntry entry;
+  ASSERT_TRUE(loaded.lookup_entry(key_of(7500.0), entry));
+  EXPECT_EQ(entry.labels, (std::vector<std::string>{"sp_X", "bt_X"}));
+  EXPECT_EQ(entry.counts, (std::vector<std::uint32_t>{2, 1}));
+  EXPECT_LT(loaded.application_order("sp"), loaded.application_order("bt"));
+
+  // The tie must keep resolving to sp after the round trip.
+  const RecognitionResult result =
+      Matcher(loaded).recognize_keys({key_of(7500.0)});
+  ASSERT_TRUE(result.recognized);
+  EXPECT_EQ(result.applications,
+            (std::vector<std::string>{"sp", "bt"}));
+  EXPECT_EQ(result.prediction(), "sp");
+}
+
+TEST(Dictionary, SaveLoadRoundTripPreservesLabelOrderAndCounts) {
+  // Same satellite regression for the sequential engine.
+  Dictionary original(config_of());
+  original.insert(key_of(7500.0), "sp_X");
+  original.insert(key_of(7500.0), "bt_X");
+  original.insert(key_of(7500.0), "bt_X");
+
+  std::stringstream stream;
+  original.save(stream);
+  const Dictionary loaded = Dictionary::load(stream);
+  const DictionaryEntry* entry = loaded.lookup(key_of(7500.0));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->labels, (std::vector<std::string>{"sp_X", "bt_X"}));
+  EXPECT_EQ(entry->counts, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_LT(loaded.application_order("sp"), loaded.application_order("bt"));
+}
+
+TEST(ShardedDictionary, PruneRareAndStatsMatchSequential) {
+  Dictionary sequential(config_of());
+  ShardedDictionary sharded(config_of(), 8);
+  for (int i = 0; i < 5; ++i) {
+    sequential.insert(key_of(6000.0), "ft_X");
+    sharded.insert(key_of(6000.0), "ft_X");
+  }
+  sequential.insert(key_of(9999.0), "ft_X");
+  sharded.insert(key_of(9999.0), "ft_X");
+  sequential.insert(key_of(7500.0), "sp_X");
+  sharded.insert(key_of(7500.0), "sp_X");
+  sequential.insert(key_of(7500.0), "bt_X");
+  sharded.insert(key_of(7500.0), "bt_X");
+
+  const DictionaryStats a = sequential.stats();
+  const DictionaryStats b = sharded.stats();
+  EXPECT_EQ(a.key_count, b.key_count);
+  EXPECT_EQ(a.exclusive_keys, b.exclusive_keys);
+  EXPECT_EQ(a.colliding_keys, b.colliding_keys);
+  EXPECT_EQ(a.total_observations, b.total_observations);
+  EXPECT_DOUBLE_EQ(a.mean_labels_per_key, b.mean_labels_per_key);
+
+  EXPECT_EQ(sequential.prune_rare(2), sharded.prune_rare(2));
+  EXPECT_EQ(sequential.size(), sharded.size());
+}
+
+TEST(ShardedDictionary, KeysForLabelMatchesSequential) {
+  Dictionary sequential(config_of());
+  ShardedDictionary sharded(config_of(), 8);
+  for (double mean : {6000.0, 6100.0, 7500.0}) {
+    sequential.insert(key_of(mean), "ft_X");
+    sharded.insert(key_of(mean), "ft_X");
+  }
+  const auto a = sequential.keys_for_label("ft_X");
+  const auto b = sharded.keys_for_label("ft_X");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedDictionary, FromToDictionaryRoundTrip) {
+  Dictionary original(config_of());
+  original.insert(key_of(7500.0), "sp_X");
+  original.insert(key_of(7500.0), "bt_X");
+  original.insert(key_of(6000.0), "ft_X");
+  original.insert(key_of(6000.0), "ft_X");
+
+  const ShardedDictionary sharded =
+      ShardedDictionary::from_dictionary(original, 8);
+  const Dictionary back = sharded.to_dictionary();
+
+  std::stringstream a, b;
+  original.save(a);
+  back.save(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(back.applications_in_order(), original.applications_in_order());
+}
+
+TEST(TrainDictionarySharded, ByteIdenticalToSequentialTraining) {
+  const telemetry::Dataset dataset = small_dataset();
+  const FingerprintConfig config = config_of(2);
+  const Dictionary sequential = train_dictionary(dataset, config);
+
+  for (std::size_t shards : {1u, 3u, 16u}) {
+    const ShardedDictionary sharded =
+        train_dictionary_sharded(dataset, config, {}, shards);
+    std::stringstream a, b;
+    sequential.save(a);
+    sharded.save(b);
+    EXPECT_EQ(a.str(), b.str()) << "shards=" << shards;
+    EXPECT_EQ(sharded.applications_in_order(),
+              sequential.applications_in_order())
+        << "shards=" << shards;
+  }
+}
+
+TEST(TrainDictionarySharded, RecognitionPredictionsIdenticalToSequential) {
+  // Acceptance gate: byte-identical recognition predictions (tie arrays
+  // included) between the sharded engine and the seed dictionary.
+  const telemetry::Dataset dataset = small_dataset();
+  const FingerprintConfig config = config_of(2);
+  const Dictionary sequential = train_dictionary(dataset, config);
+  const ShardedDictionary sharded =
+      train_dictionary_sharded(dataset, config, {}, 8);
+
+  const Matcher a(sequential);
+  const Matcher b(sharded);
+  for (const auto& record : dataset.records()) {
+    const RecognitionResult lhs = a.recognize(record, dataset);
+    const RecognitionResult rhs = b.recognize(record, dataset);
+    EXPECT_EQ(lhs.prediction(), rhs.prediction());
+    EXPECT_EQ(lhs.applications, rhs.applications);
+    EXPECT_EQ(lhs.votes, rhs.votes);
+    EXPECT_EQ(lhs.label_votes, rhs.label_votes);
+    EXPECT_EQ(lhs.matched_labels, rhs.matched_labels);
+    EXPECT_EQ(lhs.matched_count, rhs.matched_count);
+  }
+}
+
+TEST(TrainDictionarySharded, RespectsTrainingIndices) {
+  const telemetry::Dataset dataset = small_dataset();
+  std::vector<std::size_t> half;
+  for (std::size_t i = 0; i < dataset.size(); i += 2) half.push_back(i);
+
+  const FingerprintConfig config = config_of(2);
+  const Dictionary sequential = train_dictionary(dataset, config, half);
+  const ShardedDictionary sharded =
+      train_dictionary_sharded(dataset, config, half, 4);
+  std::stringstream a, b;
+  sequential.save(a);
+  sharded.save(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ShardedDictionary, ConcurrentInsertAndLookupIsSafe) {
+  // Writers insert disjoint-ish key streams while readers hammer
+  // lookup_entry; run under ThreadSanitizer to validate the locking.
+  ShardedDictionary dictionary(config_of(), 16);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kOps = 2000;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&dictionary, w] {
+      const std::string label =
+          (w % 2 == 0 ? "ft" : "sp") + std::string("_X");
+      for (int i = 0; i < kOps; ++i) {
+        dictionary.insert(key_of(100.0 * (i % 257), w % 3), label);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&dictionary] {
+      DictionaryEntry entry;
+      std::size_t hits = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (dictionary.lookup_entry(key_of(100.0 * (i % 257), i % 3), entry)) {
+          ++hits;
+        }
+        (void)dictionary.application_order("ft");
+      }
+      (void)hits;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const DictionaryStats stats = dictionary.stats();
+  EXPECT_EQ(stats.total_observations,
+            static_cast<std::uint64_t>(kWriters) * kOps);
+}
+
+TEST(Matcher, RecognizeBatchMatchesPerRecordRecognition) {
+  const telemetry::Dataset dataset = small_dataset();
+  const Dictionary dictionary = train_dictionary(dataset, config_of(2));
+  const Matcher matcher(dictionary);
+
+  util::ThreadPool pool(4);
+  const std::vector<RecognitionResult> batch =
+      matcher.recognize_batch(dataset, &pool);
+  ASSERT_EQ(batch.size(), dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const RecognitionResult single =
+        matcher.recognize(dataset.record(i), dataset);
+    EXPECT_EQ(batch[i].prediction(), single.prediction());
+    EXPECT_EQ(batch[i].applications, single.applications);
+    EXPECT_EQ(batch[i].votes, single.votes);
+  }
+}
+
+TEST(RecognitionResult, PredictionSafeWhenApplicationsEmpty) {
+  // Satellite regression: a (mis)constructed result flagged recognized
+  // with an empty tie array must not dereference an empty vector.
+  RecognitionResult result;
+  result.recognized = true;
+  EXPECT_EQ(result.prediction(), kUnknownApplication);
+  EXPECT_EQ(result.label_prediction(), kUnknownApplication);
+}
+
+}  // namespace

@@ -9,26 +9,41 @@
 ///   dump       print a dictionary in Table 4's layout
 ///   stats      dictionary statistics (exclusiveness, collisions)
 ///   evaluate   run one of the paper's five experiments
+///   serve-sim  run the concurrent RecognitionService over many
+///              simultaneously monitored simulated jobs
+///
+/// Concurrency knobs: --shards selects the sharded concurrent dictionary
+/// engine (0 = heuristic), --threads sizes a dedicated worker pool, and
+/// --jobs (serve-sim) sets how many jobs are monitored concurrently.
 ///
 /// Examples:
 ///   efd_cli generate --out history.csv --repetitions 10
-///   efd_cli train --data history.csv --out apps.efd
-///   efd_cli recognize --data new_jobs.csv --dict apps.efd
+///   efd_cli train --data history.csv --out apps.efd --shards 16 --threads 8
+///   efd_cli recognize --data new_jobs.csv --dict apps.efd --threads 8
 ///   efd_cli evaluate --data history.csv --experiment hard-input
+///   efd_cli serve-sim --dict apps.efd --jobs 64 --threads 8
 
+#include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/coverage.hpp"
+#include "core/online/recognition_service.hpp"
 #include "core/recognizer.hpp"
+#include "core/sharded_dictionary.hpp"
 #include "core/trainer.hpp"
 #include "eval/efd_experiment.hpp"
+#include "ldms/sampler.hpp"
+#include "ldms/streaming.hpp"
+#include "sim/app_model.hpp"
 #include "sim/dataset_generator.hpp"
 #include "telemetry/dataset_io.hpp"
 #include "telemetry/metric_registry.hpp"
 #include "util/arg_parser.hpp"
 #include "util/string_utils.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -43,13 +58,16 @@ int usage() {
       "             [--no-large] [--noise-scale F]\n"
       "  train      --data FILE --out FILE [--metrics a,b] [--depth N|auto]\n"
       "             [--intervals 60:120[,120:180]] [--combine]\n"
-      "  recognize  --data FILE --dict FILE [--verbose]\n"
+      "             [--shards N] [--threads N]\n"
+      "  recognize  --data FILE --dict FILE [--verbose] [--threads N]\n"
       "  dump       --dict FILE\n"
       "  stats      --dict FILE\n"
       "  coverage   --data FILE --dict FILE\n"
       "  evaluate   --data FILE --experiment normal-fold|soft-input|\n"
       "             soft-unknown|hard-input|hard-unknown [--metrics a,b]\n"
-      "             [--depth N|auto] [--folds K] [--seed S]\n";
+      "             [--depth N|auto] [--folds K] [--seed S]\n"
+      "  serve-sim  --dict FILE [--jobs N] [--shards N] [--threads N]\n"
+      "             [--seed S] [--duration SECONDS]\n";
   return 2;
 }
 
@@ -99,6 +117,14 @@ int cmd_generate(const util::ArgParser& args) {
   return 0;
 }
 
+/// Builds the worker pool a command was asked for (--threads N); null
+/// means "use the global pool" downstream.
+std::unique_ptr<util::ThreadPool> make_pool(const util::ArgParser& args) {
+  const long long threads = args.get_int("threads", 0);
+  if (threads <= 0) return nullptr;
+  return std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
+}
+
 int cmd_train(const util::ArgParser& args) {
   const std::string data = args.get("data");
   const std::string out = args.get("out");
@@ -117,14 +143,24 @@ int cmd_train(const util::ArgParser& args) {
         static_cast<int>(util::parse_int(depth).value_or(2));
   }
 
+  const bool sharded = args.has("shards") || args.has("threads");
+  const auto shard_count =
+      static_cast<std::size_t>(args.get_int("shards", 0));
+  const auto pool = make_pool(args);
+
   core::Recognizer recognizer(config);
-  recognizer.train(dataset);
+  if (sharded) {
+    recognizer.train_parallel(dataset, {}, shard_count, pool.get());
+  } else {
+    recognizer.train(dataset);
+  }
   recognizer.save(out);
 
   const auto stats = recognizer.dictionary().stats();
   std::cout << "trained on " << dataset.size() << " executions; depth "
             << recognizer.rounding_depth() << " ("
-            << (depth == "auto" ? "selected by inner CV" : "fixed") << ")\n"
+            << (depth == "auto" ? "selected by inner CV" : "fixed") << ")"
+            << (sharded ? " [sharded parallel build]" : "") << "\n"
             << "dictionary: " << stats.key_count << " keys ("
             << stats.exclusive_keys << " exclusive, " << stats.colliding_keys
             << " colliding) -> " << out << "\n";
@@ -139,11 +175,18 @@ int cmd_recognize(const util::ArgParser& args) {
   const telemetry::Dataset dataset = telemetry::read_csv_file(data);
   const core::Recognizer recognizer = core::Recognizer::load(dict);
 
+  // Batch path: fan the lookups out across the worker pool (identical
+  // results to per-record recognize, in dataset order).
+  const auto pool = make_pool(args);
+  const std::vector<core::RecognitionResult> results =
+      recognizer.recognize_batch(dataset, pool.get());
+
   util::TablePrinter table({"execution", "truth", "prediction", "input guess",
                             "matched", "tie"});
   std::size_t correct = 0, known = 0;
-  for (const auto& record : dataset.records()) {
-    const auto result = recognizer.recognize(dataset, record);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& record = dataset.record(i);
+    const auto& result = results[i];
     if (result.recognized) ++known;
     if (result.prediction() == record.label().application) ++correct;
     table.add_row({std::to_string(record.id()), record.label().full(),
@@ -259,6 +302,68 @@ int cmd_evaluate(const util::ArgParser& args) {
   return 0;
 }
 
+int cmd_serve_sim(const util::ArgParser& args) {
+  const std::string dict = args.get("dict");
+  if (dict.empty()) return usage();
+
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 64));
+  const auto shard_count = static_cast<std::size_t>(args.get_int("shards", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double duration = args.get_double("duration", 0.0);
+  auto pool = make_pool(args);
+
+  core::ShardedDictionary dictionary =
+      core::ShardedDictionary::load_file(dict, shard_count);
+  std::cout << "serving dictionary: " << dictionary.size() << " keys across "
+            << dictionary.shard_count() << " shards\n";
+  core::RecognitionService service(std::move(dictionary));
+
+  // Round-robin the paper's applications into a concurrent job mix.
+  const telemetry::MetricRegistry registry =
+      telemetry::MetricRegistry::standard_catalog();
+  const auto apps = sim::make_paper_applications();
+  std::vector<sim::ExecutionPlan> plans;
+  plans.reserve(jobs);
+  static const std::vector<std::string> inputs = {"X", "Y", "Z"};
+  for (std::size_t j = 0; j < jobs; ++j) {
+    sim::ExecutionPlan plan;
+    plan.app = apps[j % apps.size()].get();
+    plan.input_size = inputs[(j / apps.size()) % inputs.size()];
+    plan.node_count = 4;
+    plan.execution_id = j + 1;
+    plans.push_back(plan);
+  }
+
+  const auto samplers = ldms::make_standard_samplers(registry);
+  const auto start = std::chrono::steady_clock::now();
+  const ldms::StreamingRunReport report = ldms::run_concurrent_jobs(
+      service, registry, plans, samplers, seed, duration, pool.get());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t correct = 0;
+  for (const core::JobVerdict& verdict : report.job_verdicts) {
+    const auto& plan = plans[verdict.job_id - 1];
+    if (verdict.result.prediction() == plan.app->name()) ++correct;
+  }
+
+  const core::RecognitionServiceStats stats = service.stats();
+  std::cout << "monitored " << report.jobs_run << " concurrent jobs in "
+            << util::format_fixed(elapsed, 2) << " s ("
+            << util::format_fixed(
+                   elapsed > 0.0 ? static_cast<double>(report.jobs_run) / elapsed
+                                 : 0.0,
+                   1)
+            << " jobs/s)\n"
+            << "verdicts: " << report.verdicts << " (" << report.recognized
+            << " recognized, " << correct << " correct)\n"
+            << "samples:  " << stats.samples_pushed << " accepted, "
+            << stats.samples_late << " after verdict, "
+            << stats.samples_dropped << " dropped\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,6 +379,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "coverage") return cmd_coverage(args);
     if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "serve-sim") return cmd_serve_sim(args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
