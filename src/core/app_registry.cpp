@@ -1,0 +1,83 @@
+#include "core/app_registry.hpp"
+
+#include <utility>
+
+namespace efd::core {
+
+const ApplicationRegistry::Snapshot* ApplicationRegistry::empty_snapshot() {
+  // Shared immutable empty state: lets construction and the noexcept
+  // moves avoid allocating (an allocating noexcept move would terminate
+  // on bad_alloc). Never owned by any registry's snapshot list.
+  static const Snapshot empty;
+  return &empty;
+}
+
+ApplicationRegistry::ApplicationRegistry() {
+  current_.store(empty_snapshot(), std::memory_order_release);
+}
+
+ApplicationRegistry::~ApplicationRegistry() = default;
+
+ApplicationRegistry::ApplicationRegistry(ApplicationRegistry&& other) noexcept {
+  std::lock_guard lock(other.writer_mutex_);
+  snapshots_ = std::move(other.snapshots_);
+  current_.store(other.current_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  // Leave the source valid and empty without allocating: it must not
+  // dangle into the snapshots we now own.
+  other.current_.store(empty_snapshot(), std::memory_order_release);
+  other.snapshots_.clear();
+}
+
+ApplicationRegistry& ApplicationRegistry::operator=(
+    ApplicationRegistry&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(writer_mutex_, other.writer_mutex_);
+    snapshots_ = std::move(other.snapshots_);
+    current_.store(other.current_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    other.current_.store(empty_snapshot(), std::memory_order_release);
+    other.snapshots_.clear();
+  }
+  return *this;
+}
+
+bool ApplicationRegistry::contains(
+    const std::string& application) const noexcept {
+  const Snapshot* snap = snapshot();
+  return snap->rank.find(application) != snap->rank.end();
+}
+
+std::size_t ApplicationRegistry::order_of(
+    const std::string& application) const noexcept {
+  const Snapshot* snap = snapshot();
+  const auto it = snap->rank.find(application);
+  return it != snap->rank.end() ? it->second : snap->names.size();
+}
+
+std::size_t ApplicationRegistry::size() const noexcept {
+  return snapshot()->names.size();
+}
+
+std::vector<std::string> ApplicationRegistry::in_order() const {
+  return snapshot()->names;
+}
+
+void ApplicationRegistry::register_application(const std::string& application) {
+  // Hot path: already registered — one acquire load + hash probe.
+  if (contains(application)) return;
+
+  std::lock_guard lock(writer_mutex_);
+  const Snapshot* head = current_.load(std::memory_order_relaxed);
+  if (head->rank.find(application) != head->rank.end()) return;  // lost race
+
+  auto next = std::make_unique<Snapshot>();
+  next->rank = head->rank;
+  next->names = head->names;
+  next->rank.emplace(application, next->names.size());
+  next->names.push_back(application);
+  current_.store(next.get(), std::memory_order_release);
+  snapshots_.push_back(std::move(next));
+}
+
+}  // namespace efd::core

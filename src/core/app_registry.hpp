@@ -1,0 +1,90 @@
+#pragma once
+/// \file app_registry.hpp
+/// \brief Lock-free-read registry of application first-seen (epoch) order.
+///
+/// Every ShardedDictionary::insert must know whether a label's application
+/// has been seen before (tie-break order is global first-seen order, paper
+/// §3 / Table 4), and every recognition tie-break queries that order. With
+/// a shared_mutex both paths funnel through one global lock — the last
+/// global contention point on the write path. This registry removes it:
+///
+///  - Readers (contains / order_of / size / in_order) do a single
+///    acquire-load of an immutable snapshot pointer and a hash lookup —
+///    no lock, no reference counting, no retries.
+///  - Writers (register_application) are rare: an application is
+///    registered once per dictionary lifetime. They serialize on a plain
+///    mutex, copy the current snapshot, add the new name, and publish the
+///    successor with a release store (RCU-style copy-on-write).
+///
+/// Reclamation: superseded snapshots are retired into a list owned by the
+/// registry and freed on destruction. One snapshot is retired per distinct
+/// application ever registered, so retained memory is O(applications²)
+/// strings — the paper's deployments see dozens of applications, making
+/// this bound a few kilobytes. In exchange, readers never synchronize
+/// with reclamation at all.
+///
+/// Thread-safety: all methods are safe to call concurrently. Moving a
+/// registry while other threads use it is not (same contract as
+/// ShardedDictionary).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace efd::core {
+
+/// Application names in global first-seen order, lock-free to read.
+class ApplicationRegistry {
+ public:
+  ApplicationRegistry();
+  ~ApplicationRegistry();
+
+  ApplicationRegistry(ApplicationRegistry&& other) noexcept;
+  ApplicationRegistry& operator=(ApplicationRegistry&& other) noexcept;
+  ApplicationRegistry(const ApplicationRegistry&) = delete;
+  ApplicationRegistry& operator=(const ApplicationRegistry&) = delete;
+
+  /// True if the application has been registered. Lock-free.
+  bool contains(const std::string& application) const noexcept;
+
+  /// Epoch rank of an application; unknown applications rank last
+  /// (== size() at the time of the call). Lock-free.
+  std::size_t order_of(const std::string& application) const noexcept;
+
+  /// Number of registered applications. Lock-free.
+  std::size_t size() const noexcept;
+
+  /// All applications in epoch order. Lock-free read (copies the names).
+  std::vector<std::string> in_order() const;
+
+  /// Registers an application; the first call wins (idempotent). Fast
+  /// lock-free exit when already registered — the insert hot path.
+  void register_application(const std::string& application);
+
+ private:
+  struct Snapshot {
+    std::unordered_map<std::string, std::size_t> rank;
+    std::vector<std::string> names;  ///< index == epoch rank
+  };
+
+  /// The shared immutable empty snapshot (fresh and moved-from
+  /// registries point here; never owned, never freed).
+  static const Snapshot* empty_snapshot();
+
+  const Snapshot* snapshot() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<const Snapshot*> current_;
+  std::mutex writer_mutex_;
+  /// Owns every snapshot ever published (current one included); guarded
+  /// by writer_mutex_. Freed only on destruction/move so readers need no
+  /// synchronized reclamation.
+  std::vector<std::unique_ptr<const Snapshot>> snapshots_;
+};
+
+}  // namespace efd::core

@@ -1,11 +1,40 @@
 #include "core/online/recognition_service.hpp"
 
+#include <iterator>
 #include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace efd::core {
 
-RecognitionService::RecognitionService(ShardedDictionary dictionary)
-    : dictionary_(std::move(dictionary)) {}
+const char* backpressure_policy_name(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kReject: return "reject";
+  }
+  return "unknown";
+}
+
+std::optional<BackpressurePolicy> parse_backpressure_policy(
+    std::string_view name) {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "drop-oldest") return BackpressurePolicy::kDropOldest;
+  if (name == "reject") return BackpressurePolicy::kReject;
+  return std::nullopt;
+}
+
+RecognitionService::RecognitionService(ShardedDictionary dictionary,
+                                       RecognitionServiceConfig config)
+    : dictionary_(std::move(dictionary)), config_(config) {
+  if (config_.job_queue_capacity == 0) config_.job_queue_capacity = 1;
+}
+
+std::int64_t RecognitionService::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 void RecognitionService::learn(const FingerprintKey& key,
                                const std::string& label) {
@@ -14,7 +43,8 @@ void RecognitionService::learn(const FingerprintKey& key,
 
 bool RecognitionService::open_job(std::uint64_t job_id,
                                   std::uint32_t node_count) {
-  auto stream = std::make_shared<JobStream>(dictionary_, node_count);
+  auto stream = std::make_shared<JobStream>(dictionary_, job_id, node_count);
+  stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
   {
     std::unique_lock lock(jobs_mutex_);
     if (!jobs_.emplace(job_id, std::move(stream)).second) return false;
@@ -29,68 +59,268 @@ bool RecognitionService::has_job(std::uint64_t job_id) const {
   return it != jobs_.end() && !it->second->done.load(std::memory_order_acquire);
 }
 
-bool RecognitionService::push(std::uint64_t job_id, std::uint32_t node_id,
-                              std::string_view metric_name, int t,
-                              double value) {
-  std::shared_ptr<JobStream> stream;
-  {
-    std::shared_lock lock(jobs_mutex_);
-    const auto it = jobs_.find(job_id);
-    if (it != jobs_.end()) stream = it->second;
-  }
-  if (stream == nullptr) {
-    samples_dropped_.fetch_add(1, std::memory_order_relaxed);
+std::shared_ptr<RecognitionService::JobStream> RecognitionService::find_stream(
+    std::uint64_t job_id) const {
+  std::shared_lock lock(jobs_mutex_);
+  const auto it = jobs_.find(job_id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+bool RecognitionService::enqueue_locked(JobStream& stream,
+                                        std::unique_lock<std::mutex>& lock,
+                                        const SamplePush& sample) {
+  if (stream.done.load(std::memory_order_relaxed)) {
+    // The verdict already fired; the stream lingers until the next
+    // drain. Counted separately from drops — a job streaming past its
+    // window end is healthy, not a routing failure.
+    samples_late_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
-  {
-    std::lock_guard lock(stream->mutex);
-    if (stream->done.load(std::memory_order_relaxed)) {
-      // The verdict already fired; the stream lingers until the next
-      // drain. Counted separately from drops — a job streaming past its
-      // window end is healthy, not a routing failure.
-      samples_late_.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    stream->recognizer.push(node_id, metric_name, t, value);
-    samples_pushed_.fetch_add(1, std::memory_order_relaxed);
-    if (stream->recognizer.ready()) {
-      // The verdict must be queued before done is published: the drain
-      // reap takes done==true as proof the verdict is already in the
-      // queue (otherwise a reaped-then-reused job id could receive this
-      // stale verdict). verdicts_mutex_ is a leaf lock, so taking it
-      // under the stream mutex cannot cycle.
-      queue_verdict(job_id, *stream->recognizer.result());
-      stream->done.store(true, std::memory_order_release);
+  if (stream.queue.size() >= config_.job_queue_capacity) {
+    if (!config_.deferred && !stream.draining) {
+      // Inline mode with no competing drainer: the pushing thread IS
+      // the consumer, so recognize the backlog instead of shedding it —
+      // a push_batch larger than the queue must stay lossless exactly
+      // like PR 1's per-sample inline path.
+      drain_stream(stream, lock);
+      if (stream.done.load(std::memory_order_relaxed)) {
+        samples_late_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    } else {
+      switch (config_.policy) {
+      case BackpressurePolicy::kReject:
+        samples_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case BackpressurePolicy::kDropOldest:
+        stream.queue.pop_front();
+        stream.queued.fetch_sub(1, std::memory_order_relaxed);
+        samples_overflowed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case BackpressurePolicy::kBlock:
+        if (!stream.draining) {
+          // No active drainer to wait on: make progress ourselves (even
+          // in deferred mode). Waiting here would deadlock a pipeline
+          // that is both the sole producer and the process_pending
+          // caller; draining inline keeps kBlock lossless AND bounded.
+          drain_stream(stream, lock);
+          if (stream.done.load(std::memory_order_relaxed)) {
+            samples_late_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          }
+        } else {
+          // Real back-pressure: an active drainer exists, so waiting
+          // terminates. The stalled producer (a network reader,
+          // typically) leaves TCP bytes unread and pushes the stall
+          // back to the remote sender.
+          pushes_blocked_.fetch_add(1, std::memory_order_relaxed);
+          stream.space.wait(lock, [&] {
+            return stream.queue.size() < config_.job_queue_capacity ||
+                   stream.done.load(std::memory_order_relaxed);
+          });
+          if (stream.done.load(std::memory_order_relaxed)) {
+            samples_late_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          }
+        }
+        break;
+      }
     }
   }
+
+  stream.queue.push_back(Sample{sample.node_id, sample.t, sample.value,
+                                std::string(sample.metric)});
+  stream.queued.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-bool RecognitionService::close_job(std::uint64_t job_id) {
-  std::shared_ptr<JobStream> stream;
-  {
-    std::shared_lock lock(jobs_mutex_);
-    const auto it = jobs_.find(job_id);
-    if (it != jobs_.end()) stream = it->second;
-  }
-  if (stream == nullptr) return false;
+bool RecognitionService::push(std::uint64_t job_id, std::uint32_t node_id,
+                              std::string_view metric_name, int t,
+                              double value) {
+  const SamplePush sample{node_id, t, value, metric_name};
+  return push_batch(job_id, std::span(&sample, 1)) == 1;
+}
 
-  bool completed = false;
-  {
-    std::lock_guard lock(stream->mutex);
-    if (!stream->done.load(std::memory_order_relaxed)) {
-      // An unready stream yields a default (unrecognized) verdict — the
-      // paper's unknown-application safeguard for truncated executions.
-      // Queued before done is published, as in push().
-      RecognitionResult verdict;
-      if (auto result = stream->recognizer.result()) verdict = *result;
-      queue_verdict(job_id, std::move(verdict));
-      stream->done.store(true, std::memory_order_release);
-      completed = true;
+std::size_t RecognitionService::push_batch(
+    std::uint64_t job_id, std::span<const SamplePush> samples) {
+  if (samples.empty()) return 0;
+  const std::shared_ptr<JobStream> stream = find_stream(job_id);
+  if (stream == nullptr) {
+    samples_dropped_.fetch_add(samples.size(), std::memory_order_relaxed);
+    return 0;
+  }
+
+  std::size_t accepted = 0;
+  std::unique_lock lock(stream->mutex);
+  for (const SamplePush& sample : samples) {
+    if (enqueue_locked(*stream, lock, sample)) ++accepted;
+  }
+  if (accepted > 0) {
+    stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+    if (!config_.deferred) drain_stream(*stream, lock);
+  }
+  return accepted;
+}
+
+std::size_t RecognitionService::drain_stream(
+    JobStream& stream, std::unique_lock<std::mutex>& lock) {
+  if (stream.draining) return 0;  // the token holder will consume our samples
+  stream.draining = true;
+
+  std::size_t fed_total = 0;
+  std::vector<Sample> batch;
+  while (!stream.queue.empty() &&
+         !stream.done.load(std::memory_order_relaxed)) {
+    batch.clear();
+    batch.insert(batch.end(),
+                 std::make_move_iterator(stream.queue.begin()),
+                 std::make_move_iterator(stream.queue.end()));
+    stream.queue.clear();
+    stream.queued.store(0, std::memory_order_relaxed);
+    lock.unlock();
+    stream.space.notify_all();  // freed a full batch of capacity
+
+    // The drain token makes the recognizer ours outside the mutex, so
+    // producers keep enqueueing while this batch is recognized.
+    std::size_t fed = 0;
+    bool fired = false;
+    RecognitionResult verdict;
+    for (Sample& sample : batch) {
+      stream.recognizer.push(sample.node_id, sample.metric, sample.t,
+                             sample.value);
+      ++fed;
+      if (stream.recognizer.ready()) {
+        if (auto result = stream.recognizer.result()) verdict = *result;
+        fired = true;
+        break;
+      }
+    }
+    fed_total += fed;
+    samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+    if (fed < batch.size()) {
+      // Samples behind the one that closed the last window: late.
+      samples_late_.fetch_add(batch.size() - fed, std::memory_order_relaxed);
+    }
+
+    lock.lock();
+    if (fired) {
+      // done cannot have been set meanwhile: close/evict wait for the
+      // drain token before finishing a stream. Queue the verdict before
+      // publishing done (the reap treats done==true as "verdict queued").
+      queue_verdict(stream.job_id, std::move(verdict));
+      stream.done.store(true, std::memory_order_release);
     }
   }
-  return completed;
+  if (stream.done.load(std::memory_order_relaxed) && !stream.queue.empty()) {
+    // Arrived while the verdict fired; free the memory now, not at reap.
+    samples_late_.fetch_add(stream.queue.size(), std::memory_order_relaxed);
+    stream.queue.clear();
+    stream.queued.store(0, std::memory_order_relaxed);
+  }
+  stream.draining = false;
+  stream.drained.notify_all();
+  stream.space.notify_all();
+  return fed_total;
+}
+
+std::size_t RecognitionService::process_pending(util::ThreadPool* pool) {
+  std::vector<std::shared_ptr<JobStream>> streams;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    streams.reserve(jobs_.size());
+    for (const auto& [job_id, stream] : jobs_) {
+      if (!stream->done.load(std::memory_order_acquire) &&
+          stream->queued.load(std::memory_order_relaxed) > 0) {
+        streams.push_back(stream);
+      }
+    }
+  }
+  if (streams.empty()) return 0;
+
+  std::atomic<std::size_t> fed{0};
+  const auto drain_one = [&](std::size_t i) {
+    JobStream& stream = *streams[i];
+    std::unique_lock lock(stream.mutex);
+    fed.fetch_add(drain_stream(stream, lock), std::memory_order_relaxed);
+  };
+  if (pool != nullptr && streams.size() > 1) {
+    util::parallel_for(*pool, 0, streams.size(), drain_one);
+  } else {
+    for (std::size_t i = 0; i < streams.size(); ++i) drain_one(i);
+  }
+  return fed.load(std::memory_order_relaxed);
+}
+
+void RecognitionService::finish_stream(JobStream& stream) {
+  // Caller holds the stream mutex with the drain token free, so the
+  // recognizer is exclusively ours. Flush accepted-but-unprocessed
+  // samples first — they arrived before the close decision.
+  std::size_t fed = 0;
+  while (!stream.queue.empty() && !stream.recognizer.ready()) {
+    const Sample& sample = stream.queue.front();
+    stream.recognizer.push(sample.node_id, sample.metric, sample.t,
+                           sample.value);
+    stream.queue.pop_front();
+    ++fed;
+  }
+  if (fed > 0) samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+  if (!stream.queue.empty()) {
+    samples_late_.fetch_add(stream.queue.size(), std::memory_order_relaxed);
+    stream.queue.clear();
+  }
+  stream.queued.store(0, std::memory_order_relaxed);
+
+  // An unready stream yields a default (unrecognized) verdict — the
+  // paper's unknown-application safeguard for truncated executions.
+  // Queued before done is published, as in drain_stream().
+  RecognitionResult verdict;
+  if (auto result = stream.recognizer.result()) verdict = *result;
+  queue_verdict(stream.job_id, std::move(verdict));
+  stream.done.store(true, std::memory_order_release);
+  stream.space.notify_all();  // blocked producers observe done -> late
+}
+
+bool RecognitionService::close_job(std::uint64_t job_id) {
+  const std::shared_ptr<JobStream> stream = find_stream(job_id);
+  if (stream == nullptr) return false;
+
+  std::unique_lock lock(stream->mutex);
+  stream->drained.wait(lock, [&] { return !stream->draining; });
+  if (stream->done.load(std::memory_order_relaxed)) return false;
+  finish_stream(*stream);
+  return true;
+}
+
+std::size_t RecognitionService::sweep_stale_jobs(
+    std::chrono::steady_clock::duration ttl) {
+  const std::int64_t cutoff =
+      now_ns() -
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ttl).count();
+  std::vector<std::shared_ptr<JobStream>> stale;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    for (const auto& [job_id, stream] : jobs_) {
+      if (!stream->done.load(std::memory_order_acquire) &&
+          stream->last_activity_ns.load(std::memory_order_relaxed) <= cutoff) {
+        stale.push_back(stream);
+      }
+    }
+  }
+
+  std::size_t evicted = 0;
+  for (const auto& stream : stale) {
+    std::unique_lock lock(stream->mutex);
+    stream->drained.wait(lock, [&] { return !stream->draining; });
+    if (stream->done.load(std::memory_order_relaxed)) continue;
+    if (stream->last_activity_ns.load(std::memory_order_relaxed) > cutoff) {
+      continue;  // revived between the scan and the lock
+    }
+    finish_stream(*stream);
+    ++evicted;
+  }
+  if (evicted > 0) jobs_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
 }
 
 std::vector<JobVerdict> RecognitionService::drain_verdicts() {
@@ -117,6 +347,8 @@ RecognitionServiceStats RecognitionService::stats() const {
     std::shared_lock lock(jobs_mutex_);
     for (const auto& [job_id, stream] : jobs_) {
       if (!stream->done.load(std::memory_order_acquire)) ++stats.active_jobs;
+      stats.queued_samples +=
+          stream->queued.load(std::memory_order_relaxed);
     }
   }
   {
@@ -125,9 +357,14 @@ RecognitionServiceStats RecognitionService::stats() const {
   }
   stats.jobs_opened = jobs_opened_.load(std::memory_order_relaxed);
   stats.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  stats.jobs_evicted = jobs_evicted_.load(std::memory_order_relaxed);
   stats.samples_pushed = samples_pushed_.load(std::memory_order_relaxed);
   stats.samples_dropped = samples_dropped_.load(std::memory_order_relaxed);
   stats.samples_late = samples_late_.load(std::memory_order_relaxed);
+  stats.samples_overflowed =
+      samples_overflowed_.load(std::memory_order_relaxed);
+  stats.samples_rejected = samples_rejected_.load(std::memory_order_relaxed);
+  stats.pushes_blocked = pushes_blocked_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -1,48 +1,70 @@
 #pragma once
 /// \file recognition_service.hpp
-/// \brief Multi-job streaming recognition service.
+/// \brief Multi-job streaming recognition service with bounded per-job
+/// queues, back-pressure, and stale-stream eviction.
 ///
 /// A production cluster runs many jobs at once; each node's monitoring
 /// daemon pushes samples as they are taken. RecognitionService owns the
 /// trained concurrent dictionary (ShardedDictionary) and multiplexes one
-/// OnlineRecognizer stream per job id behind per-job locks, so pushes
-/// for different jobs proceed in parallel and a verdict fires the moment
-/// a job's last fingerprint window closes (t = 120 s in the paper's
-/// configuration).
+/// OnlineRecognizer stream per job id, so pushes for different jobs
+/// proceed in parallel and a verdict fires the moment a job's last
+/// fingerprint window closes (t = 120 s in the paper's configuration).
+///
+/// Production ingestion concerns (the scaling items PR 1 left open):
+///  - Every job stream buffers samples in a *bounded* queue. When the
+///    queue is full a BackpressurePolicy decides: block the producer
+///    until the drainer catches up, drop the oldest queued sample, or
+///    reject the new one. All three outcomes are observable in
+///    RecognitionServiceStats.
+///  - In the default (inline) mode the pushing thread drains the queue
+///    itself, so verdicts still fire inside push() — the simulator path.
+///    With config.deferred = true, push() only enqueues (cheap enough
+///    for a network reader thread) and process_pending() — typically
+///    called by the ingest pipeline, fanned across a thread pool —
+///    consumes the queues and fires verdicts.
+///  - Jobs that never complete (crashed daemons, killed executions)
+///    stop consuming memory: sweep_stale_jobs() force-closes every
+///    stream idle past the configured TTL, producing the paper's
+///    unknown-application safeguard verdict.
 ///
 /// Thread-safety / locking discipline:
-///  - jobs map:      std::shared_mutex; push/has_job/stats take it
-///    shared, open_job and the drain-time reap take it exclusive.
-///  - per-job state: its own std::mutex, only ever taken while holding
-///    no other lock (push/close copy the stream's shared_ptr out under
-///    the shared map lock, release it, then lock the stream); exclusive
-///    map holders read only the stream's atomic done flag. No lock-order
-///    cycles are possible.
+///  - jobs map:      std::shared_mutex; push/has_job/stats/process/sweep
+///    take it shared, open_job and the drain-time reap take it exclusive.
+///  - per-job state: its own std::mutex guarding the sample queue and the
+///    drain token (`draining`), only ever taken while holding no other
+///    lock. The recognizer itself is owned by whichever thread holds the
+///    drain token and is fed *outside* the stream mutex, so producers
+///    keep enqueueing while a batch is recognized. close/evict wait on
+///    `drained` for the token holder to finish before computing their
+///    verdict under the mutex.
 ///  - verdict queue: its own std::mutex, leaf lock (acquired under a
-///    stream mutex when a verdict fires, never the other way round;
-///    nothing is acquired while holding it). Verdicts are queued BEFORE
-///    a stream's done flag is published, so the drain-time reap can
-///    treat done==true as "verdict already queued".
+///    stream mutex when a verdict fires, never the other way round).
+///    Verdicts are queued BEFORE a stream's done flag is published, so
+///    the drain-time reap can treat done==true as "verdict queued".
 ///  - dictionary:    ShardedDictionary is internally synchronized; learn()
 ///    may run concurrently with every recognition path.
-///
-/// A completed job's verdict moves to an internal queue; callers harvest
-/// with drain_verdicts(). Jobs whose streams never complete (short or
-/// killed executions) can be force-closed; a stream that is not ready
-/// (any window still open) yields an unrecognized verdict — the paper's
-/// unknown-application safeguard. There is no partial-window evaluation.
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <span>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/online_recognizer.hpp"
 #include "core/sharded_dictionary.hpp"
+
+namespace efd::util {
+class ThreadPool;
+}
 
 namespace efd::core {
 
@@ -52,15 +74,51 @@ struct JobVerdict {
   RecognitionResult result;
 };
 
+/// What happens to a push when a job's sample queue is full.
+enum class BackpressurePolicy : std::uint8_t {
+  /// Lossless: if another thread is draining, wait for space (true
+  /// back-pressure); with no active drainer, the pusher drains inline
+  /// itself — so kBlock can never deadlock a lone producer, even in
+  /// deferred mode.
+  kBlock,
+  kDropOldest, ///< evict the oldest queued sample (bounded, freshest-wins)
+  kReject,     ///< refuse the new sample (bounded, caller sees false)
+};
+
+const char* backpressure_policy_name(BackpressurePolicy policy);
+
+/// Inverse of backpressure_policy_name ("block" / "drop-oldest" /
+/// "reject"); nullopt for anything else. Shared by every flag parser so
+/// a typo is rejected instead of silently running kBlock.
+std::optional<BackpressurePolicy> parse_backpressure_policy(
+    std::string_view name);
+
+/// Service tuning knobs; the defaults reproduce PR 1's inline behavior.
+struct RecognitionServiceConfig {
+  /// Maximum samples buffered per job before the policy applies.
+  std::size_t job_queue_capacity = 4096;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Idle time after which sweep_stale_jobs() force-closes a stream.
+  std::chrono::steady_clock::duration stale_ttl = std::chrono::minutes(10);
+  /// When true, push() only enqueues; process_pending() consumes. When
+  /// false, the pushing thread drains inline (verdicts fire in push()).
+  bool deferred = false;
+};
+
 /// Aggregate service counters (monitoring endpoint material).
 struct RecognitionServiceStats {
   std::size_t active_jobs = 0;      ///< streams currently open
   std::size_t pending_verdicts = 0; ///< completed but not yet drained
+  std::size_t queued_samples = 0;   ///< buffered, not yet recognized
   std::uint64_t jobs_opened = 0;    ///< lifetime total
   std::uint64_t jobs_completed = 0; ///< lifetime total (incl. force-closed)
-  std::uint64_t samples_pushed = 0; ///< lifetime accepted samples
+  std::uint64_t jobs_evicted = 0;   ///< force-closed by the stale sweep
+  std::uint64_t samples_pushed = 0; ///< accepted and recognized
   std::uint64_t samples_dropped = 0;///< pushes for unknown job ids
   std::uint64_t samples_late = 0;   ///< pushes after a job's verdict fired
+  std::uint64_t samples_overflowed = 0; ///< evicted by kDropOldest
+  std::uint64_t samples_rejected = 0;   ///< refused by kReject
+  std::uint64_t pushes_blocked = 0;     ///< kBlock waits (back-pressure)
 };                                  ///< (healthy: jobs outlive their window)
 
 /// Concurrent multi-job streaming recognizer. Non-copyable, non-movable
@@ -68,12 +126,14 @@ struct RecognitionServiceStats {
 class RecognitionService {
  public:
   /// Takes ownership of a trained concurrent dictionary.
-  explicit RecognitionService(ShardedDictionary dictionary);
+  explicit RecognitionService(ShardedDictionary dictionary,
+                              RecognitionServiceConfig config = {});
 
   RecognitionService(const RecognitionService&) = delete;
   RecognitionService& operator=(const RecognitionService&) = delete;
 
   const ShardedDictionary& dictionary() const noexcept { return dictionary_; }
+  const RecognitionServiceConfig& config() const noexcept { return config_; }
 
   /// Online learning passthrough: thread-safe against all recognition
   /// paths ("learning new applications is as simple as adding new keys").
@@ -89,16 +149,50 @@ class RecognitionService {
   bool has_job(std::uint64_t job_id) const;
 
   /// Feeds one monitoring sample. Returns false if no such job is open
-  /// (the sample is counted as dropped). When the sample completes the
-  /// job's last window, the verdict is computed here and queued, and the
-  /// stream closes.
+  /// (counted as dropped), if the verdict already fired (late), or if
+  /// the queue was full under kReject (rejected). In inline mode the
+  /// sample is recognized here and the verdict may fire before this
+  /// returns; in deferred mode it waits for process_pending().
   bool push(std::uint64_t job_id, std::uint32_t node_id,
             std::string_view metric_name, int t, double value);
 
+  /// One sample of a push_batch call (views borrow the caller's memory
+  /// for the duration of the call only).
+  struct SamplePush {
+    std::uint32_t node_id = 0;
+    int t = 0;
+    double value = 0.0;
+    std::string_view metric;
+  };
+
+  /// Batched push for samples sharing one job (the ingest pipeline's
+  /// hot path): resolves the stream and takes its lock once for the
+  /// whole batch instead of per sample. Per-sample semantics (policy,
+  /// counters, verdict firing) are identical to push(). Returns the
+  /// number of samples accepted.
+  std::size_t push_batch(std::uint64_t job_id,
+                         std::span<const SamplePush> samples);
+
+  /// Drains every job's queued samples (deferred mode's consumer); fans
+  /// the jobs out across \p pool when non-null. Safe to call from any
+  /// thread and in any mode. Must be called from outside the pool's own
+  /// workers. Returns the number of samples recognized.
+  std::size_t process_pending(util::ThreadPool* pool = nullptr);
+
   /// Force-closes a job, producing a verdict from whatever windows have
-  /// closed (unrecognized if the stream never became ready). Returns
-  /// false if no such job is open.
+  /// closed (unrecognized if the stream never became ready). Queued
+  /// samples are recognized first — they were accepted. Returns false
+  /// if no such job is open.
   bool close_job(std::uint64_t job_id);
+
+  /// Force-closes every stream idle (no accepted push) for at least
+  /// \p ttl, bounding service memory when jobs die without closing.
+  /// Evicted jobs yield a verdict like close_job(). Returns the number
+  /// of evicted streams.
+  std::size_t sweep_stale_jobs(std::chrono::steady_clock::duration ttl);
+
+  /// sweep_stale_jobs with the configured TTL.
+  std::size_t sweep_stale_jobs() { return sweep_stale_jobs(config_.stale_ttl); }
 
   /// Moves out all queued verdicts (order: completion order) and reaps
   /// completed streams from the jobs map (their ids become reusable).
@@ -107,21 +201,54 @@ class RecognitionService {
   RecognitionServiceStats stats() const;
 
  private:
+  /// One queued monitoring sample (metric name owned: the push caller's
+  /// string_view does not outlive the call).
+  struct Sample {
+    std::uint32_t node_id = 0;
+    int t = 0;
+    double value = 0.0;
+    std::string metric;
+  };
+
   struct JobStream {
-    explicit JobStream(const DictionaryView& dictionary,
-                       std::uint32_t node_count)
-        : recognizer(dictionary, node_count) {}
-    std::mutex mutex;
+    JobStream(const DictionaryView& dictionary, std::uint64_t job_id,
+              std::uint32_t node_count)
+        : job_id(job_id), recognizer(dictionary, node_count) {}
+
+    const std::uint64_t job_id;
+    std::mutex mutex;              ///< guards queue + draining (+ recognizer
+                                   ///< when draining == false)
+    std::condition_variable space; ///< kBlock producers wait here
+    std::condition_variable drained; ///< close/evict wait for the drainer
+    std::deque<Sample> queue;
+    bool draining = false;         ///< drain token: holder owns recognizer
     OnlineRecognizer recognizer;
     /// Set (under mutex) when the verdict is queued; readable without
     /// the mutex. Done streams linger until drain_verdicts reaps them,
     /// so post-verdict pushes classify as "late" rather than "dropped".
     std::atomic<bool> done{false};
+    std::atomic<std::size_t> queued{0}; ///< == queue.size(), for stats
+    std::atomic<std::int64_t> last_activity_ns{0}; ///< steady_clock epoch
   };
 
+  std::shared_ptr<JobStream> find_stream(std::uint64_t job_id) const;
+  /// Applies the back-pressure policy and enqueues one sample; \p lock
+  /// holds stream->mutex (may be dropped and re-taken by a kBlock
+  /// self-drain). Returns false when the sample was not enqueued.
+  bool enqueue_locked(JobStream& stream, std::unique_lock<std::mutex>& lock,
+                      const SamplePush& sample);
+  /// Drains the stream's queue with the drain token held; \p lock must
+  /// hold stream->mutex on entry and holds it again on return. Returns
+  /// samples recognized.
+  std::size_t drain_stream(JobStream& stream, std::unique_lock<std::mutex>& lock);
+  /// Computes and queues a force-close verdict; caller holds the mutex
+  /// and has waited out any drainer. Flushes queued samples first.
+  void finish_stream(JobStream& stream);
   void queue_verdict(std::uint64_t job_id, RecognitionResult result);
+  static std::int64_t now_ns();
 
   ShardedDictionary dictionary_;
+  RecognitionServiceConfig config_;
 
   mutable std::shared_mutex jobs_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<JobStream>> jobs_;
@@ -131,9 +258,13 @@ class RecognitionService {
 
   std::atomic<std::uint64_t> jobs_opened_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_evicted_{0};
   std::atomic<std::uint64_t> samples_pushed_{0};
   std::atomic<std::uint64_t> samples_dropped_{0};
   std::atomic<std::uint64_t> samples_late_{0};
+  std::atomic<std::uint64_t> samples_overflowed_{0};
+  std::atomic<std::uint64_t> samples_rejected_{0};
+  std::atomic<std::uint64_t> pushes_blocked_{0};
 };
 
 }  // namespace efd::core

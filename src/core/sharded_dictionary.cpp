@@ -32,14 +32,14 @@ ShardedDictionary::ShardedDictionary(FingerprintConfig config,
 ShardedDictionary::ShardedDictionary(ShardedDictionary&& other) noexcept
     : config_(std::move(other.config_)),
       shards_(std::move(other.shards_)),
-      application_first_seen_(std::move(other.application_first_seen_)) {}
+      applications_(std::move(other.applications_)) {}
 
 ShardedDictionary& ShardedDictionary::operator=(
     ShardedDictionary&& other) noexcept {
   if (this != &other) {
     config_ = std::move(other.config_);
     shards_ = std::move(other.shards_);
-    application_first_seen_ = std::move(other.application_first_seen_);
+    applications_ = std::move(other.applications_);
   }
   return *this;
 }
@@ -59,21 +59,16 @@ std::size_t ShardedDictionary::size() const {
 }
 
 void ShardedDictionary::register_application(const std::string& application) {
-  {
-    std::shared_lock lock(application_mutex_);
-    if (application_first_seen_.count(application) != 0) return;
-  }
-  std::unique_lock lock(application_mutex_);
-  application_first_seen_.emplace(application, application_first_seen_.size());
+  applications_.register_application(application);
 }
 
 void ShardedDictionary::insert(const FingerprintKey& key,
                                const std::string& label,
                                std::uint32_t count) {
   if (count == 0) return;
-  // Register outside the shard lock; see the locking discipline note in
-  // the header (application mutex and shard mutexes never nest).
-  register_application(telemetry::parse_label(label).application);
+  // Lock-free when the application is already registered (every insert
+  // but an application's first); no lock is ever held with a shard mutex.
+  applications_.register_application(telemetry::parse_label(label).application);
   Shard& shard = *shards_[shard_of(key)];
   std::unique_lock lock(shard.mutex);
   shard.entries[key].observe(label, count);
@@ -93,20 +88,11 @@ bool ShardedDictionary::lookup_entry(const FingerprintKey& key,
 
 std::size_t ShardedDictionary::application_order(
     const std::string& application) const {
-  std::shared_lock lock(application_mutex_);
-  const auto it = application_first_seen_.find(application);
-  return it != application_first_seen_.end()
-             ? it->second
-             : application_first_seen_.size();  // unknowns sort last
+  return applications_.order_of(application);  // unknowns sort last
 }
 
 std::vector<std::string> ShardedDictionary::applications_in_order() const {
-  std::shared_lock lock(application_mutex_);
-  std::vector<std::string> ordered(application_first_seen_.size());
-  for (const auto& [application, rank] : application_first_seen_) {
-    ordered[rank] = application;
-  }
-  return ordered;
+  return applications_.in_order();
 }
 
 std::size_t ShardedDictionary::prune_rare(std::uint32_t min_observations) {

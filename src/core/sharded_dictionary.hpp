@@ -11,20 +11,21 @@
 /// concurrently, with contention limited to 1/N of the key space.
 ///
 /// Tie-break semantics stay paper-identical: application first-seen
-/// order is a *global* epoch counter behind its own lock (taken shared
-/// for the already-registered check on every insert, exclusively only
-/// when a label's application is first observed), and because every key maps to
-/// exactly one shard, per-entry label first-seen order is exactly the
-/// insertion order within that shard. The deterministic parallel builder
-/// in trainer.hpp exploits this: one worker per shard, each consuming
-/// records in dataset order, reproduces the sequential Dictionary
-/// byte-for-byte (same entries, same label order, same serialization).
+/// order is a *global* epoch counter held in an ApplicationRegistry
+/// (lock-free reads; a writer mutex only on first registration of an
+/// application), and because every key maps to exactly one shard,
+/// per-entry label first-seen order is exactly the insertion order
+/// within that shard. The deterministic parallel builder in trainer.hpp
+/// exploits this: one worker per shard, each consuming records in
+/// dataset order, reproduces the sequential Dictionary byte-for-byte
+/// (same entries, same label order, same serialization).
 ///
 /// Locking discipline:
-///  - shard mutex:        guards that shard's hash map and its entries.
-///  - application mutex:  guards the first-seen epoch map. Never held
-///    together with a shard mutex (insert registers the application
-///    first, then touches the shard), so lock order cannot cycle.
+///  - shard mutex:  guards that shard's hash map and its entries.
+///  - application registry: lock-free to read (see app_registry.hpp);
+///    insert's already-registered check and every tie-break order query
+///    take no lock at all, so there is no global contention point on
+///    either the write or the read path.
 ///  - Bulk operations (prune_rare, merge, stats, sorted_entries, save)
 ///    lock one shard at a time; they are safe against concurrent
 ///    inserts/lookups but see a point-in-time view per shard.
@@ -37,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/app_registry.hpp"
 #include "core/dictionary.hpp"
 #include "core/dictionary_view.hpp"
 #include "core/fingerprint.hpp"
@@ -87,7 +89,7 @@ class ShardedDictionary final : public DictionaryView {
   bool lookup_entry(const FingerprintKey& key,
                     DictionaryEntry& out) const override;
 
-  /// Thread-safe epoch lookup; unknown applications rank last.
+  /// Lock-free epoch lookup; unknown applications rank last.
   std::size_t application_order(const std::string& application) const override;
 
   /// Pre-registers an application in the global epoch order without
@@ -139,8 +141,7 @@ class ShardedDictionary final : public DictionaryView {
 
   FingerprintConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::shared_mutex application_mutex_;
-  std::unordered_map<std::string, std::size_t> application_first_seen_;
+  ApplicationRegistry applications_;
 };
 
 }  // namespace efd::core

@@ -1,0 +1,170 @@
+#include "ingest/pipeline.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace efd::ingest {
+
+Message make_verdict_message(const core::JobVerdict& verdict) {
+  Message message;
+  message.type = MessageType::kVerdict;
+  message.job_id = verdict.job_id;
+  message.verdict.recognized = verdict.result.recognized;
+  message.verdict.matched =
+      static_cast<std::uint32_t>(verdict.result.matched_count);
+  message.verdict.fingerprints =
+      static_cast<std::uint32_t>(verdict.result.fingerprint_count);
+  message.verdict.application = verdict.result.prediction();
+  message.verdict.label = verdict.result.label_prediction();
+  return message;
+}
+
+IngestPipeline::IngestPipeline(core::RecognitionService& service,
+                               SampleSource& source,
+                               IngestPipelineConfig config,
+                               util::ThreadPool* pool)
+    : service_(service), source_(source), config_(config), pool_(pool) {}
+
+IngestPipeline::~IngestPipeline() {
+  stop();
+  join();
+}
+
+void IngestPipeline::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void IngestPipeline::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void IngestPipeline::dispatch(Envelope& envelope) {
+  Message& message = envelope.message;
+  switch (message.type) {
+    case MessageType::kOpenJob:
+      if (service_.open_job(message.job_id, message.node_count)) {
+        jobs_opened_.fetch_add(1, std::memory_order_relaxed);
+        replies_[message.job_id] = envelope.reply;
+      } else {
+        open_rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case MessageType::kSampleBatch: {
+      // One stream resolution + lock cycle per wire batch, not per
+      // sample (the dispatch thread's hot path).
+      scratch_.clear();
+      scratch_.reserve(message.samples.size());
+      for (const WireSample& sample : message.samples) {
+        scratch_.push_back({sample.node_id, sample.t, sample.value,
+                            std::string_view(sample.metric)});
+      }
+      service_.push_batch(message.job_id, scratch_);
+      samples_.fetch_add(message.samples.size(), std::memory_order_relaxed);
+      break;
+    }
+    case MessageType::kCloseJob:
+      if (service_.close_job(message.job_id)) {
+        jobs_closed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case MessageType::kShutdown:
+      if (config_.stop_on_shutdown_message) stop();
+      break;
+    case MessageType::kVerdict:
+    default:
+      // Verdicts flow outbound only; anything else is a peer bug.
+      unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+std::uint64_t IngestPipeline::flush_verdicts() {
+  std::uint64_t delivered = 0;
+  for (const core::JobVerdict& verdict : service_.drain_verdicts()) {
+    if (config_.on_verdict) config_.on_verdict(verdict);
+    const auto it = replies_.find(verdict.job_id);
+    if (it != replies_.end()) {
+      if (it->second != nullptr) it->second->deliver(make_verdict_message(verdict));
+      replies_.erase(it);
+    }
+    ++delivered;
+  }
+  if (delivered > 0) {
+    verdicts_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+std::uint64_t IngestPipeline::run() {
+  std::uint64_t total_delivered = 0;
+  auto last_sweep = std::chrono::steady_clock::now();
+  std::vector<Envelope> batch;
+  bool more = true;
+
+  while (more && !stop_.load(std::memory_order_acquire)) {
+    batch.clear();
+    more = source_.poll(batch, config_.poll_timeout);
+    if (!batch.empty()) {
+      envelopes_.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (Envelope& envelope : batch) dispatch(envelope);
+    }
+
+    // Recognize everything the batch enqueued (deferred services; a
+    // no-op for inline ones), then ship finished verdicts back.
+    service_.process_pending(pool_);
+    total_delivered += flush_verdicts();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep >= config_.sweep_interval) {
+      const std::size_t evicted = service_.sweep_stale_jobs();
+      sweeps_.fetch_add(1, std::memory_order_relaxed);
+      if (evicted > 0) {
+        evicted_.fetch_add(evicted, std::memory_order_relaxed);
+        total_delivered += flush_verdicts();
+      }
+      last_sweep = now;
+    }
+
+    if (config_.max_verdicts != 0 &&
+        verdicts_delivered_.load(std::memory_order_relaxed) >=
+            config_.max_verdicts) {
+      break;
+    }
+  }
+
+  if (config_.close_jobs_on_end) {
+    // The source is gone (or we are stopping): every job this pipeline
+    // opened still deserves a verdict — the unknown-application
+    // safeguard for emitters that died mid-stream.
+    std::vector<std::uint64_t> open_jobs;
+    open_jobs.reserve(replies_.size());
+    for (const auto& [job_id, reply] : replies_) open_jobs.push_back(job_id);
+    for (const std::uint64_t job_id : open_jobs) {
+      if (service_.close_job(job_id)) {
+        jobs_closed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    total_delivered += flush_verdicts();
+  }
+  return total_delivered;
+}
+
+IngestPipelineStats IngestPipeline::stats() const {
+  IngestPipelineStats stats;
+  stats.envelopes = envelopes_.load(std::memory_order_relaxed);
+  stats.samples = samples_.load(std::memory_order_relaxed);
+  stats.jobs_opened = jobs_opened_.load(std::memory_order_relaxed);
+  stats.open_rejected = open_rejected_.load(std::memory_order_relaxed);
+  stats.jobs_closed = jobs_closed_.load(std::memory_order_relaxed);
+  stats.verdicts_delivered =
+      verdicts_delivered_.load(std::memory_order_relaxed);
+  stats.unexpected_messages =
+      unexpected_messages_.load(std::memory_order_relaxed);
+  stats.sweeps = sweeps_.load(std::memory_order_relaxed);
+  stats.evicted = evicted_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace efd::ingest

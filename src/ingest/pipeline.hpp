@@ -1,0 +1,132 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief The bounded ingestion pipeline: transport → service → verdicts.
+///
+/// IngestPipeline is the single consumer of a SampleSource. It polls
+/// decoded message envelopes, dispatches them into a RecognitionService
+/// (open/push/close), drives deferred recognition across a thread pool,
+/// periodically sweeps stale streams, and routes finished verdicts back
+/// to the reply channel each job arrived on — the complete vertical
+/// slice from socket bytes to recognition verdict.
+///
+/// Every stage is bounded: the transport's queue (its capacity), the
+/// service's per-job queues (RecognitionServiceConfig), and the sweep
+/// (stale TTL) together guarantee that a misbehaving emitter — too fast,
+/// or one that vanishes mid-job — cannot grow service memory without
+/// limit. Back-pressure propagates producer-ward at each boundary.
+///
+/// Threading: run() occupies the calling thread until the source is
+/// exhausted, a Shutdown message arrives (when configured), the verdict
+/// quota is reached, or stop() is called. start()/join() wrap run() in
+/// an internal thread. stats() is safe from any thread.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online/recognition_service.hpp"
+#include "ingest/transport.hpp"
+
+namespace efd::util {
+class ThreadPool;
+}
+
+namespace efd::ingest {
+
+struct IngestPipelineConfig {
+  /// Max wait per poll; bounds stop() latency and sweep cadence jitter.
+  std::chrono::milliseconds poll_timeout{50};
+  /// Cadence of RecognitionService::sweep_stale_jobs().
+  std::chrono::milliseconds sweep_interval{1000};
+  /// Stop after delivering this many verdicts (0 = unlimited) — lets
+  /// `efd_cli serve` exit deterministically under test harnesses.
+  std::uint64_t max_verdicts = 0;
+  /// Treat an inbound kShutdown message as a stop request.
+  bool stop_on_shutdown_message = true;
+  /// Force-close still-open jobs when the source is exhausted, so every
+  /// opened job yields a verdict even if its emitter died.
+  bool close_jobs_on_end = true;
+  /// Observer invoked (on the run() thread) for every verdict, before it
+  /// ships to the reply channel — operator logging, metrics export.
+  std::function<void(const core::JobVerdict&)> on_verdict;
+};
+
+struct IngestPipelineStats {
+  std::uint64_t envelopes = 0;
+  std::uint64_t samples = 0;          ///< samples dispatched into the service
+  std::uint64_t jobs_opened = 0;
+  std::uint64_t open_rejected = 0;    ///< duplicate job ids
+  std::uint64_t jobs_closed = 0;
+  std::uint64_t verdicts_delivered = 0;
+  std::uint64_t unexpected_messages = 0;  ///< e.g. inbound verdicts
+  std::uint64_t sweeps = 0;
+  std::uint64_t evicted = 0;          ///< jobs closed by the stale sweep
+};
+
+class IngestPipeline {
+ public:
+  /// \param service recognition service (borrowed; typically configured
+  ///        with deferred = true so push() never blocks the poll loop on
+  ///        recognition work).
+  /// \param source transport to consume (borrowed; must outlive run()).
+  /// \param pool workers for deferred recognition (null = inline).
+  IngestPipeline(core::RecognitionService& service, SampleSource& source,
+                 IngestPipelineConfig config = {},
+                 util::ThreadPool* pool = nullptr);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Consumes the source on the calling thread until exhaustion or a
+  /// stop condition. Returns the number of verdicts delivered.
+  std::uint64_t run();
+
+  /// run() on an internal thread.
+  void start();
+  /// Requests run() to wind down at the next poll boundary.
+  void stop() { stop_.store(true, std::memory_order_release); }
+  /// Joins the start() thread (no-op without start()).
+  void join();
+
+  IngestPipelineStats stats() const;
+
+ private:
+  void dispatch(Envelope& envelope);
+  /// Drains service verdicts to their reply sinks; returns count.
+  std::uint64_t flush_verdicts();
+
+  core::RecognitionService& service_;
+  SampleSource& source_;
+  IngestPipelineConfig config_;
+  util::ThreadPool* pool_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  /// Reply channel per open job (single-consumer state: only touched by
+  /// the run() thread).
+  std::unordered_map<std::uint64_t, std::shared_ptr<VerdictSink>> replies_;
+  /// Reused per-batch view buffer for push_batch (run() thread only).
+  std::vector<core::RecognitionService::SamplePush> scratch_;
+
+  std::atomic<std::uint64_t> envelopes_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> jobs_opened_{0};
+  std::atomic<std::uint64_t> open_rejected_{0};
+  std::atomic<std::uint64_t> jobs_closed_{0};
+  std::atomic<std::uint64_t> verdicts_delivered_{0};
+  std::atomic<std::uint64_t> unexpected_messages_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+/// Builds a kVerdict message from a finished job's result.
+Message make_verdict_message(const core::JobVerdict& verdict);
+
+}  // namespace efd::ingest

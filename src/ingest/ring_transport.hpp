@@ -1,0 +1,138 @@
+#pragma once
+/// \file ring_transport.hpp
+/// \brief Bounded in-process transport over the LDMS ring buffer.
+///
+/// The zero-copy path for daemons co-located with the service (and the
+/// unit-test/bench harness for the pipeline): producers send() decoded
+/// Messages into a fixed-capacity ldms::RingBuffer, the pipeline polls
+/// them out. The ring is consumed via pop_front — push-time eviction
+/// never fires — so a full ring *blocks* the producer: back-pressure,
+/// not sample loss. Designed for one consumer (the pipeline); any number
+/// of producers may send (a mutex serializes them — at monitoring rates
+/// the lock is uncontended; the bound, not the lock, is the point).
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+#include "ingest/transport.hpp"
+#include "ldms/ring_buffer.hpp"
+
+namespace efd::ingest {
+
+class RingTransport final : public SampleSource, public MessageSender {
+ public:
+  /// \param capacity maximum buffered messages; must be > 0.
+  /// \param sample_capacity additional bound on the *samples* buffered
+  ///        across all queued batches (0 = the default of 64 x capacity).
+  ///        A message bound alone under-constrains memory — `capacity`
+  ///        max-size batches would hold capacity x 4096 samples — so the
+  ///        producer also blocks once this many samples are retained.
+  explicit RingTransport(std::size_t capacity,
+                         std::size_t sample_capacity = 0)
+      : ring_(capacity),
+        sample_capacity_(sample_capacity == 0 ? capacity * 64
+                                              : sample_capacity) {}
+
+  /// Verdicts for jobs ingested via send() go here (optional; senders
+  /// with their own reply channel use send_with_reply instead).
+  void set_verdict_sink(std::shared_ptr<VerdictSink> sink) {
+    std::lock_guard lock(mutex_);
+    verdict_sink_ = std::move(sink);
+  }
+
+  /// Blocks while the ring is full (back-pressure). Throws
+  /// std::runtime_error if the transport was closed.
+  void send(Message message) override {
+    std::unique_lock lock(mutex_);
+    send_locked(lock, std::move(message), verdict_sink_);
+  }
+
+  /// send() with an explicit reply channel for this message's job (the
+  /// TCP server tags each message with its connection).
+  void send_with_reply(Message message, std::shared_ptr<VerdictSink> reply) {
+    std::unique_lock lock(mutex_);
+    send_locked(lock, std::move(message), std::move(reply));
+  }
+
+  /// Non-blocking send; false when full (by either bound) or closed.
+  bool try_send(Message message) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || ring_.full() || buffered_samples_ >= sample_capacity_) {
+        return false;
+      }
+      buffered_samples_ += message.samples.size();
+      ring_.push(Envelope{std::move(message), verdict_sink_});
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Marks the producer side finished; poll() drains what remains and
+  /// then reports exhaustion. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool poll(std::vector<Envelope>& out,
+            std::chrono::milliseconds timeout) override {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return !ring_.empty() || closed_; });
+    Envelope envelope;
+    bool popped = false;
+    while (ring_.pop_front(envelope)) {
+      buffered_samples_ -= envelope.message.samples.size();
+      out.push_back(std::move(envelope));
+      popped = true;
+    }
+    const bool exhausted = closed_ && ring_.empty();
+    lock.unlock();
+    if (popped) not_full_.notify_all();
+    return !exhausted;
+  }
+
+  /// Times a producer hit a full ring — the transport-level
+  /// back-pressure signal (stats/monitoring).
+  std::uint64_t blocked_sends() const {
+    std::lock_guard lock(mutex_);
+    return blocked_sends_;
+  }
+
+ private:
+  bool at_capacity() const {
+    return ring_.full() || buffered_samples_ >= sample_capacity_;
+  }
+
+  void send_locked(std::unique_lock<std::mutex>& lock, Message message,
+                   std::shared_ptr<VerdictSink> reply) {
+    if (at_capacity() && !closed_) {
+      ++blocked_sends_;
+      not_full_.wait(lock, [this] { return !at_capacity() || closed_; });
+    }
+    if (closed_) throw std::runtime_error("send on closed RingTransport");
+    buffered_samples_ += message.samples.size();
+    ring_.push(Envelope{std::move(message), std::move(reply)});
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  ldms::RingBuffer<Envelope> ring_;
+  std::size_t sample_capacity_;
+  std::size_t buffered_samples_ = 0;
+  std::shared_ptr<VerdictSink> verdict_sink_;
+  bool closed_ = false;
+  std::uint64_t blocked_sends_ = 0;
+};
+
+}  // namespace efd::ingest

@@ -1,0 +1,310 @@
+#include "ingest/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace efd::ingest {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer; returns false on a broken connection.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One accepted connection. The shared_ptr doubles as the Envelope reply
+/// channel, so a Connection outlives its reader thread for as long as
+/// undelivered verdicts reference it.
+struct TcpServer::Connection final : VerdictSink {
+  Connection(int fd,
+             std::shared_ptr<std::atomic<std::uint64_t>> write_failures)
+      : fd(fd), write_failures(std::move(write_failures)) {}
+  ~Connection() override {
+    std::lock_guard lock(write_mutex);
+    close_fd(fd);
+  }
+
+  void deliver(const Message& verdict) override {
+    std::vector<std::uint8_t> frame;
+    encode_frame(verdict, frame);
+    std::lock_guard lock(write_mutex);
+    if (fd < 0) {  // connection already gone: best-effort drop
+      write_failures->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!write_all(fd, frame.data(), frame.size())) {
+      // Peer vanished, or it stopped reading verdicts and the send
+      // timed out (SO_SNDTIMEO, set at accept). deliver() runs on the
+      // pipeline's only thread, so a peer that never drains its socket
+      // must cost at most one timeout — kill the connection rather
+      // than let one slow consumer stall every other connection. A
+      // timed-out partial write has corrupted the peer's framing
+      // anyway.
+      write_failures->fetch_add(1, std::memory_order_relaxed);
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+
+  void shutdown_socket() {
+    std::lock_guard lock(write_mutex);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  std::mutex write_mutex;
+  int fd;
+  std::shared_ptr<std::atomic<std::uint64_t>> write_failures;
+  std::thread reader;
+  std::atomic<bool> finished{false};
+};
+
+TcpServer::TcpServer(const Config& config)
+    : config_(config),
+      queue_(config.queue_capacity, config.queue_sample_capacity) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(config.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    close_fd(listen_fd_);
+    throw_errno("bind");
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    &length) < 0) {
+    close_fd(listen_fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(address.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    close_fd(listen_fd_);
+    throw_errno("listen");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    // Bound verdict writes: a peer that stops reading stalls deliver()
+    // for at most this long before the connection is dropped.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    auto connection =
+        std::make_shared<Connection>(fd, verdict_write_failures_);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(connections_mutex_);
+      reap_finished_connections();
+      connections_.push_back(connection);
+    }
+    connection->reader =
+        std::thread([this, connection] { reader_loop(connection); });
+  }
+}
+
+void TcpServer::reader_loop(const std::shared_ptr<Connection>& connection) {
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> chunk(config_.read_chunk);
+  bool dropped = false;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ssize_t received =
+        ::recv(connection->fd, chunk.data(), chunk.size(), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) break;  // EOF or error: emitter finished
+    decoder.feed(chunk.data(), static_cast<std::size_t>(received));
+
+    Message message;
+    DecodeStatus status;
+    while ((status = decoder.next(message)) == DecodeStatus::kMessage) {
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      // Blocking send = end-to-end back-pressure: stop reading the
+      // socket until the pipeline catches up.
+      try {
+        queue_.send_with_reply(std::move(message), connection);
+      } catch (const std::runtime_error&) {
+        dropped = true;  // server stopping underneath us
+        break;
+      }
+    }
+    if (status == DecodeStatus::kError) {
+      // Corrupted framing is unrecoverable; drop the connection.
+      connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped = true;
+    }
+    if (dropped) break;
+  }
+  if (dropped) connection->shutdown_socket();
+  connection->finished.store(true, std::memory_order_release);
+}
+
+void TcpServer::reap_finished_connections() {
+  // Caller holds connections_mutex_. Joins readers that already exited
+  // so long-lived servers don't accumulate dead threads.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool TcpServer::poll(std::vector<Envelope>& out,
+                     std::chrono::milliseconds timeout) {
+  return queue_.poll(out, timeout);
+}
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake accept() with shutdown(); the fd value itself is only mutated
+  // after the accept thread is gone (it reads listen_fd_ every loop).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(listen_fd_);
+
+  // Close the queue BEFORE joining readers: a reader blocked on a full
+  // queue (back-pressure) must wake and exit or the join deadlocks.
+  queue_.close();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) connection->shutdown_socket();
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  Stats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_dropped =
+      connections_dropped_.load(std::memory_order_relaxed);
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.verdict_write_failures =
+      verdict_write_failures_->load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (!connection->finished.load(std::memory_order_acquire)) {
+        ++stats.active_connections;
+      }
+    }
+  }
+  return stats;
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    close_fd(fd_);
+    throw TransportError("invalid host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    close_fd(fd_);
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+}
+
+TcpClient::~TcpClient() { close_fd(fd_); }
+
+void TcpClient::send(Message message) {
+  std::lock_guard lock(write_mutex_);
+  encode_buffer_.clear();
+  encode_frame(message, encode_buffer_);
+  if (!write_all(fd_, encode_buffer_.data(), encode_buffer_.size())) {
+    throw TransportError("connection lost while sending");
+  }
+}
+
+bool TcpClient::receive(Message& out, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    switch (decoder_.next(out)) {
+      case DecodeStatus::kMessage:
+        return true;
+      case DecodeStatus::kError:
+        return false;
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;  // timeout or poll failure
+    const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) return false;  // EOF
+    decoder_.feed(chunk, static_cast<std::size_t>(received));
+  }
+}
+
+void TcpClient::finish_sending() {
+  std::lock_guard lock(write_mutex_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace efd::ingest

@@ -1,0 +1,61 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Transport abstractions of the ingestion pipeline.
+///
+/// A transport moves wire-format Messages (see wire_format.hpp) from
+/// emitters (node daemons, replayers, the in-process sampling loop) to
+/// the recognition service, and verdicts back. Two implementations ship:
+/// a TCP socket server (tcp_transport.hpp) and a bounded in-process ring
+/// (ring_transport.hpp). The pipeline (pipeline.hpp) only ever sees the
+/// interfaces here, so new transports (UDP, shared memory, RDMA) slot in
+/// without touching recognition code.
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "ingest/wire_format.hpp"
+
+namespace efd::ingest {
+
+/// Where a job's verdict is sent back. Implementations must tolerate
+/// delivery from the pipeline's thread and a destroyed peer (best
+/// effort: a verdict for a vanished connection is dropped silently).
+class VerdictSink {
+ public:
+  virtual ~VerdictSink() = default;
+  virtual void deliver(const Message& verdict) = 0;
+};
+
+/// One inbound message plus the reply channel it arrived on (null for
+/// fire-and-forget emitters).
+struct Envelope {
+  Message message;
+  std::shared_ptr<VerdictSink> reply;
+};
+
+/// Consumer side of a transport: the pipeline polls this.
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Waits up to \p timeout for inbound messages and appends them to
+  /// \p out (bounded by the transport's internal batch size). Returns
+  /// false once the source is exhausted — closed AND fully drained —
+  /// after which no more messages will ever appear. A true return with
+  /// an empty \p out is a normal timeout.
+  virtual bool poll(std::vector<Envelope>& out,
+                    std::chrono::milliseconds timeout) = 0;
+};
+
+/// Producer side of a transport: samplers/replayers send through this.
+class MessageSender {
+ public:
+  virtual ~MessageSender() = default;
+
+  /// Delivers one message. Blocking is the back-pressure mechanism: a
+  /// full transport stalls the producer, never drops silently.
+  virtual void send(Message message) = 0;
+};
+
+}  // namespace efd::ingest

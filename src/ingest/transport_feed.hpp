@@ -1,0 +1,90 @@
+#pragma once
+/// \file transport_feed.hpp
+/// \brief SampleSink adapter: LDMS sampling loops emit to a transport.
+///
+/// TransportFeed batches the samples a SamplingLoop publishes into
+/// kSampleBatch wire messages toward a MessageSender (TCP client,
+/// in-process ring, ...), and maps the job lifecycle onto kOpenJob /
+/// kCloseJob frames. With this, the same sampling loop that used to feed
+/// RecognitionService directly (ServiceFeed) streams to a *remote*
+/// service without the loop knowing — the transport swap the ISSUE's
+/// "samplers can now emit to a transport instead of a sink".
+///
+/// Not internally synchronized: one feed belongs to one job's sampling
+/// loop thread, exactly like ServiceFeed.
+
+#include <cstdint>
+
+#include "ingest/transport.hpp"
+#include "ldms/streaming.hpp"
+
+namespace efd::ingest {
+
+class TransportFeed final : public ldms::JobSink {
+ public:
+  /// \param sender transport producer (borrowed; must outlive).
+  /// \param batch_samples samples buffered per kSampleBatch frame.
+  explicit TransportFeed(MessageSender& sender,
+                         std::size_t batch_samples = 512)
+      : sender_(&sender),
+        batch_samples_(batch_samples > 0 ? batch_samples : 1) {
+    if (batch_samples_ > kMaxSamplesPerBatch) {
+      batch_samples_ = kMaxSamplesPerBatch;
+    }
+  }
+
+  /// Flushes buffered samples; never throws out of the destructor.
+  ~TransportFeed() override {
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+
+  void job_opened(std::uint64_t job_id, std::uint32_t node_count) override {
+    job_id_ = job_id;
+    pending_.job_id = job_id;
+    sender_->send(make_open_job(job_id, node_count));
+  }
+
+  void publish(std::uint32_t node_id, std::string_view metric_name, int t,
+               double value) override {
+    // Flush on either bound: sample count, or encoded bytes (so long
+    // metric names can never push a frame past kMaxFrameBytes).
+    const std::size_t sample_bytes = 18 + metric_name.size();
+    if (pending_bytes_ + sample_bytes > kBatchFlushBytes) flush();
+    WireSample sample;
+    sample.node_id = node_id;
+    sample.t = t;
+    sample.value = value;
+    sample.metric.assign(metric_name);
+    pending_.samples.push_back(std::move(sample));
+    pending_bytes_ += sample_bytes;
+    if (pending_.samples.size() >= batch_samples_) flush();
+  }
+
+  void job_closed(std::uint64_t job_id) override {
+    flush();
+    sender_->send(make_close_job(job_id));
+  }
+
+  /// Sends the buffered batch now (empty buffers send nothing).
+  void flush() {
+    if (pending_.samples.empty()) return;
+    pending_.type = MessageType::kSampleBatch;
+    pending_.job_id = job_id_;
+    sender_->send(std::move(pending_));
+    pending_ = Message();
+    pending_.job_id = job_id_;
+    pending_bytes_ = 0;
+  }
+
+ private:
+  MessageSender* sender_;
+  std::size_t batch_samples_;
+  std::uint64_t job_id_ = 0;
+  Message pending_;
+  std::size_t pending_bytes_ = 0;
+};
+
+}  // namespace efd::ingest

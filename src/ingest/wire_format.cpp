@@ -1,0 +1,326 @@
+#include "ingest/wire_format.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace efd::ingest {
+
+namespace {
+
+/// Body sizes that don't depend on string payloads.
+constexpr std::size_t kHeaderBytes = 2;  // version + type
+constexpr std::size_t kOpenJobBody = 8 + 4;
+constexpr std::size_t kCloseJobBody = 8;
+constexpr std::size_t kBatchPrefix = 8 + 4;              // job_id + count
+constexpr std::size_t kSampleFixed = 4 + 4 + 8 + 2;      // + metric bytes
+constexpr std::size_t kVerdictFixed = 8 + 1 + 4 + 4 + 2 + 2;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  if (text.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("wire string exceeds u16 length");
+  }
+  put_u16(out, static_cast<std::uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
+                       std::size_t frame_start);
+
+/// Bounds-checked little-endian reader over one frame's payload.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  bool read_u8(std::uint8_t& out) noexcept {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& out) noexcept {
+    if (remaining() < 2) return false;
+    out = static_cast<std::uint16_t>(data_[pos_]) |
+          static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_f64(double& out) noexcept {
+    std::uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool read_string(std::string& out) {
+    std::uint16_t length = 0;
+    if (!read_u16(length)) return false;
+    if (remaining() < length) return false;  // checked BEFORE allocating
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Message make_open_job(std::uint64_t job_id, std::uint32_t node_count) {
+  Message message;
+  message.type = MessageType::kOpenJob;
+  message.job_id = job_id;
+  message.node_count = node_count;
+  return message;
+}
+
+Message make_close_job(std::uint64_t job_id) {
+  Message message;
+  message.type = MessageType::kCloseJob;
+  message.job_id = job_id;
+  return message;
+}
+
+Message make_shutdown() {
+  Message message;
+  message.type = MessageType::kShutdown;
+  return message;
+}
+
+void encode_frame(const Message& message, std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  try {
+    encode_frame_impl(message, out, frame_start);
+  } catch (...) {
+    out.resize(frame_start);  // never leave a half-written frame behind
+    throw;
+  }
+}
+
+namespace {
+
+void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
+                       std::size_t frame_start) {
+  put_u32(out, 0);  // payload length backpatched below
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(message.type));
+
+  switch (message.type) {
+    case MessageType::kOpenJob:
+      put_u64(out, message.job_id);
+      put_u32(out, message.node_count);
+      break;
+    case MessageType::kCloseJob:
+      put_u64(out, message.job_id);
+      break;
+    case MessageType::kShutdown:
+      break;
+    case MessageType::kSampleBatch: {
+      if (message.samples.size() > kMaxSamplesPerBatch) {
+        throw std::invalid_argument("sample batch exceeds wire limit");
+      }
+      put_u64(out, message.job_id);
+      put_u32(out, static_cast<std::uint32_t>(message.samples.size()));
+      for (const WireSample& sample : message.samples) {
+        put_u32(out, sample.node_id);
+        put_u32(out, static_cast<std::uint32_t>(sample.t));
+        put_f64(out, sample.value);
+        put_string(out, sample.metric);
+      }
+      break;
+    }
+    case MessageType::kVerdict:
+      put_u64(out, message.job_id);
+      out.push_back(message.verdict.recognized ? 1 : 0);
+      put_u32(out, message.verdict.matched);
+      put_u32(out, message.verdict.fingerprints);
+      put_string(out, message.verdict.application);
+      put_string(out, message.verdict.label);
+      break;
+  }
+
+  const std::size_t payload = out.size() - frame_start - 4;
+  if (payload > kMaxFrameBytes) {
+    out.resize(frame_start);
+    throw std::invalid_argument("frame exceeds kMaxFrameBytes");
+  }
+  // Backpatch the length prefix.
+  for (int i = 0; i < 4; ++i) {
+    out[frame_start + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  encode_frame(message, out);
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_ || size == 0) return;
+  // Compact the consumed prefix before growing (keeps the buffer bounded
+  // by one frame plus one read's worth of bytes).
+  if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+DecodeStatus FrameDecoder::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+  offset_ = 0;
+  return DecodeStatus::kError;
+}
+
+DecodeStatus FrameDecoder::next(Message& out) {
+  if (failed_) return DecodeStatus::kError;
+
+  const std::size_t available = buffer_.size() - offset_;
+  if (available < 4) return DecodeStatus::kNeedMore;
+  const std::uint8_t* head = buffer_.data() + offset_;
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+  }
+  if (payload_len < kHeaderBytes) return fail("frame shorter than header");
+  if (payload_len > kMaxFrameBytes) return fail("frame exceeds size limit");
+  if (available - 4 < payload_len) return DecodeStatus::kNeedMore;
+
+  Reader reader(head + 4, payload_len);
+  std::uint8_t version = 0, type = 0;
+  reader.read_u8(version);
+  reader.read_u8(type);
+  if (version != kWireVersion) return fail("unsupported wire version");
+
+  Message message;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpenJob:
+      message.type = MessageType::kOpenJob;
+      if (reader.remaining() != kOpenJobBody ||
+          !reader.read_u64(message.job_id) ||
+          !reader.read_u32(message.node_count)) {
+        return fail("malformed open-job body");
+      }
+      break;
+    case MessageType::kCloseJob:
+      message.type = MessageType::kCloseJob;
+      if (reader.remaining() != kCloseJobBody ||
+          !reader.read_u64(message.job_id)) {
+        return fail("malformed close-job body");
+      }
+      break;
+    case MessageType::kShutdown:
+      message.type = MessageType::kShutdown;
+      if (reader.remaining() != 0) return fail("malformed shutdown body");
+      break;
+    case MessageType::kSampleBatch: {
+      message.type = MessageType::kSampleBatch;
+      std::uint32_t count = 0;
+      if (reader.remaining() < kBatchPrefix ||
+          !reader.read_u64(message.job_id) || !reader.read_u32(count)) {
+        return fail("malformed sample-batch prefix");
+      }
+      // Never trust the count field for allocation: the body that
+      // actually arrived bounds how many samples can exist.
+      if (static_cast<std::size_t>(count) * kSampleFixed >
+          reader.remaining()) {
+        return fail("sample count inconsistent with frame length");
+      }
+      message.samples.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        WireSample sample;
+        std::uint32_t t_bits = 0;
+        if (!reader.read_u32(sample.node_id) || !reader.read_u32(t_bits) ||
+            !reader.read_f64(sample.value) ||
+            !reader.read_string(sample.metric)) {
+          return fail("truncated sample in batch");
+        }
+        sample.t = static_cast<std::int32_t>(t_bits);
+        message.samples.push_back(std::move(sample));
+      }
+      if (reader.remaining() != 0) return fail("trailing bytes in batch");
+      break;
+    }
+    case MessageType::kVerdict: {
+      message.type = MessageType::kVerdict;
+      std::uint8_t recognized = 0;
+      if (reader.remaining() < kVerdictFixed ||
+          !reader.read_u64(message.job_id) || !reader.read_u8(recognized) ||
+          !reader.read_u32(message.verdict.matched) ||
+          !reader.read_u32(message.verdict.fingerprints) ||
+          !reader.read_string(message.verdict.application) ||
+          !reader.read_string(message.verdict.label)) {
+        return fail("malformed verdict body");
+      }
+      message.verdict.recognized = recognized != 0;
+      if (reader.remaining() != 0) return fail("trailing bytes in verdict");
+      break;
+    }
+    default:
+      return fail("unknown message type");
+  }
+
+  offset_ += 4 + payload_len;
+  ++frames_decoded_;
+  out = std::move(message);
+  return DecodeStatus::kMessage;
+}
+
+}  // namespace efd::ingest

@@ -1,0 +1,155 @@
+#pragma once
+/// \file wire_format.hpp
+/// \brief EFD-WIRE-V1: versioned, length-prefixed binary codec for
+/// monitoring samples and recognition verdicts.
+///
+/// This is the on-the-wire contract between node-side emitters (LDMS
+/// sampling loops, replayers) and the recognition service's ingest
+/// pipeline — transport-agnostic: the same frames flow over a TCP
+/// socket, an in-process ring, or any future transport.
+///
+/// Frame layout (all integers little-endian):
+///
+///   frame    := u32 payload_len | payload          (payload_len bytes)
+///   payload  := u8 version (=1) | u8 type | body
+///
+///   OpenJob     body := u64 job_id | u32 node_count
+///   SampleBatch body := u64 job_id | u32 count | count * sample
+///     sample         := u32 node_id | i32 t | f64 value
+///                       | u16 metric_len | metric bytes
+///   CloseJob    body := u64 job_id
+///   Verdict     body := u64 job_id | u8 recognized
+///                       | u32 matched | u32 fingerprints
+///                       | u16 app_len | app | u16 label_len | label
+///   Shutdown    body := (empty)
+///
+/// Decoding is defensive by construction: the decoder is fed arbitrary
+/// byte streams (network input) and must never crash, read out of
+/// bounds, or over-allocate. Frames longer than kMaxFrameBytes, batch
+/// counts inconsistent with the frame length, string lengths overrunning
+/// the body, unknown versions/types, and trailing garbage inside a body
+/// all produce DecodeStatus::kError; after an error the decoder stays
+/// failed (a corrupted stream has lost framing — the transport must drop
+/// the connection). Allocation is bounded by what actually arrived:
+/// sample vectors reserve at most payload-implied counts, never the raw
+/// count field.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efd::ingest {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Decode guard: frames above this fail the stream. Note a batch of
+/// kMaxSamplesPerBatch samples only fits when metric names stay short
+/// (~18 bytes + name per sample); emitters bound *bytes*, not just
+/// sample count — TransportFeed flushes at kBatchFlushBytes, which
+/// keeps every frame it emits far below this limit.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Encode-side cap per kSampleBatch message (emitters flush at this).
+inline constexpr std::size_t kMaxSamplesPerBatch = 4096;
+
+/// Encode-side byte threshold at which TransportFeed flushes a pending
+/// batch. A single sample's wire size is bounded by 18 + 65535 (u16
+/// metric length), so threshold + one sample always fits kMaxFrameBytes.
+inline constexpr std::size_t kBatchFlushBytes = 256u << 10;
+
+enum class MessageType : std::uint8_t {
+  kOpenJob = 1,
+  kSampleBatch = 2,
+  kCloseJob = 3,
+  kVerdict = 4,
+  kShutdown = 5,
+};
+
+/// One monitoring sample as it travels the wire.
+struct WireSample {
+  std::uint32_t node_id = 0;
+  std::int32_t t = 0;
+  double value = 0.0;
+  std::string metric;
+
+  bool operator==(const WireSample&) const = default;
+};
+
+/// A finished job's verdict as it travels back to the emitter.
+struct WireVerdict {
+  bool recognized = false;
+  std::uint32_t matched = 0;
+  std::uint32_t fingerprints = 0;
+  std::string application;  ///< RecognitionResult::prediction()
+  std::string label;        ///< RecognitionResult::label_prediction()
+
+  bool operator==(const WireVerdict&) const = default;
+};
+
+/// One decoded (or to-encode) message. Only the fields of the active
+/// type are meaningful.
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  std::uint64_t job_id = 0;
+  std::uint32_t node_count = 0;        ///< kOpenJob
+  std::vector<WireSample> samples;     ///< kSampleBatch
+  WireVerdict verdict;                 ///< kVerdict
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Convenience constructors.
+Message make_open_job(std::uint64_t job_id, std::uint32_t node_count);
+Message make_close_job(std::uint64_t job_id);
+Message make_shutdown();
+
+/// Appends one encoded frame to \p out. Throws std::invalid_argument if
+/// the message would exceed the wire limits (batch too large, string too
+/// long) — emitter bugs, not data-dependent conditions.
+void encode_frame(const Message& message, std::vector<std::uint8_t>& out);
+
+/// Encodes into a fresh buffer.
+std::vector<std::uint8_t> encode(const Message& message);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< no complete frame buffered yet
+  kMessage,   ///< one message produced
+  kError,     ///< stream corrupt; decoder is dead (see error())
+};
+
+/// Incremental frame decoder over an arbitrary byte stream (partial
+/// frames across feeds are the normal case for TCP reads).
+class FrameDecoder {
+ public:
+  /// Appends raw bytes. Accepts anything; errors surface in next().
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const std::vector<std::uint8_t>& data) {
+    feed(data.data(), data.size());
+  }
+
+  /// Tries to decode the next buffered frame into \p out.
+  DecodeStatus next(Message& out);
+
+  /// True after the first kError; all further next() calls return kError.
+  bool failed() const noexcept { return failed_; }
+
+  /// Description of the first error (empty while healthy).
+  const std::string& error() const noexcept { return error_; }
+
+  std::uint64_t frames_decoded() const noexcept { return frames_decoded_; }
+  std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  DecodeStatus fail(std::string reason);
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+  bool failed_ = false;
+  std::string error_;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace efd::ingest

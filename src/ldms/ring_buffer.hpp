@@ -5,10 +5,16 @@
 /// The online recognizer only ever needs the most recent two minutes of a
 /// stream, so per-stream storage is bounded regardless of job length —
 /// one of the paper's key operational advantages over whole-execution
-/// monitoring approaches.
+/// monitoring approaches. The ingest layer reuses the same buffer as the
+/// bounded storage of its in-process transport (ingest/ring_transport.hpp),
+/// consuming via pop_front instead of letting push evict.
+///
+/// Not internally synchronized; wrap in external locking for concurrent
+/// use.
 
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace efd::ldms {
@@ -30,12 +36,24 @@ class RingBuffer {
   /// Total elements ever pushed (indexes the stream's absolute position).
   std::size_t pushed() const noexcept { return pushed_; }
 
-  /// Appends, evicting the oldest element when full.
-  void push(const T& value) {
-    storage_[head_] = value;
+  /// Appends, evicting the oldest element when full. By-value so one
+  /// body serves both copy and move callers.
+  void push(T value) {
+    storage_[head_] = std::move(value);
     head_ = (head_ + 1) % capacity_;
     if (size_ < capacity_) ++size_;
     ++pushed_;
+  }
+
+  /// Moves the oldest retained element into \p out. Returns false (and
+  /// leaves \p out untouched) when empty — the queue-style consumption
+  /// the ingest transport uses instead of push-time eviction.
+  bool pop_front(T& out) {
+    if (size_ == 0) return false;
+    const std::size_t oldest = (head_ + capacity_ - size_) % capacity_;
+    out = std::move(storage_[oldest]);
+    --size_;
+    return true;
   }
 
   /// Element \p i positions from the oldest retained element (0 = oldest).

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -121,6 +122,71 @@ TEST_F(CliWorkflow, Step6EvaluateRunsAnExperiment) {
           " --experiment normal-fold --folds 4");
   ASSERT_EQ(status, 0) << output;
   EXPECT_NE(output.find("normal fold: mean macro F"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, Step7ServeAndReplayOverLocalhostTcp) {
+  // The network ingestion acceptance path: `serve` the trained
+  // dictionary on an ephemeral port, `replay` the training corpus over
+  // localhost TCP, and require exactly the verdicts the in-process
+  // paths produce (Step3's recognize reports the same 132/132; the
+  // byte-level run_concurrent_jobs parity is asserted in test_ingest).
+  const std::string serve_out = temp_path("cli_serve_out.txt");
+  const std::string pid_file = temp_path("cli_serve_pid.txt");
+  const std::string command = cli() + " serve --dict " + *dict_path_ +
+                              " --max-jobs 132 --quiet > " + serve_out +
+                              " 2>&1 & echo $! > " + pid_file;
+  ASSERT_EQ(std::system(command.c_str()), 0);
+
+  // Whatever happens below (including ASSERT aborts), the background
+  // server must not outlive the test.
+  struct ServeGuard {
+    std::string pid_file;
+    ~ServeGuard() {
+      std::ifstream in(pid_file);
+      long pid = 0;
+      if (in >> pid; pid > 1) ::kill(static_cast<pid_t>(pid), SIGTERM);
+      std::remove(pid_file.c_str());
+    }
+  } guard{pid_file};
+
+  // Wait for the server to announce its port.
+  int port = 0;
+  for (int attempt = 0; attempt < 100 && port == 0; ++attempt) {
+    ::usleep(100 * 1000);
+    std::ifstream in(serve_out);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto at = line.find("listening on port ");
+      if (at != std::string::npos) {
+        port = std::atoi(line.c_str() + at + 18);
+        break;
+      }
+    }
+  }
+  ASSERT_GT(port, 0) << "serve never announced a port";
+
+  const auto [status, output] =
+      run(cli() + " replay --data " + *data_path_ + " --port " +
+          std::to_string(port));
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("132/132 correct"), std::string::npos) << output;
+  EXPECT_NE(output.find("132 recognized as known applications"),
+            std::string::npos)
+      << output;
+
+  // serve exits after --max-jobs verdicts; its summary must agree.
+  std::string serve_log;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(serve_out);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    serve_log = buffer.str();
+    if (serve_log.find("served 132 verdicts") != std::string::npos) break;
+    ::usleep(100 * 1000);
+  }
+  EXPECT_NE(serve_log.find("served 132 verdicts"), std::string::npos)
+      << serve_log;
+  std::remove(serve_out.c_str());
 }
 
 TEST_F(CliWorkflow, UnknownCommandFails) {

@@ -50,8 +50,9 @@ class ServiceFixture : public ::testing::Test {
     dataset_.add(std::move(record));
   }
 
-  RecognitionService make_service() {
-    return RecognitionService(ShardedDictionary::from_dictionary(dictionary_, 8));
+  RecognitionService make_service(RecognitionServiceConfig config = {}) {
+    return RecognitionService(ShardedDictionary::from_dictionary(dictionary_, 8),
+                              config);
   }
 
   void stream_job(RecognitionService& service, std::uint64_t job,
@@ -173,6 +174,246 @@ TEST_F(ServiceFixture, ManyConcurrentJobsFromManyThreads) {
         << "job " << verdict.job_id;
   }
   EXPECT_EQ(service.stats().active_jobs, 0u);
+}
+
+TEST_F(ServiceFixture, DeferredModeBuffersUntilProcessPending) {
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  RecognitionService service = make_service(config);
+  ASSERT_TRUE(service.open_job(3, 2));
+
+  stream_job(service, 3, 6030.0);  // enqueued, not recognized yet
+  EXPECT_EQ(service.stats().samples_pushed, 0u);
+  EXPECT_EQ(service.stats().queued_samples, 2u * 130u);
+  EXPECT_TRUE(service.drain_verdicts().empty());
+  EXPECT_TRUE(service.has_job(3));
+
+  const std::size_t fed = service.process_pending();
+  EXPECT_GT(fed, 0u);
+  EXPECT_EQ(service.stats().queued_samples, 0u);
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].result.prediction(), "ft");
+
+  // The deferred verdict must be identical to the inline-mode one.
+  RecognitionService inline_service = make_service();
+  ASSERT_TRUE(inline_service.open_job(3, 2));
+  stream_job(inline_service, 3, 6030.0);
+  const auto inline_verdicts = inline_service.drain_verdicts();
+  ASSERT_EQ(inline_verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].result.prediction(),
+            inline_verdicts[0].result.prediction());
+  EXPECT_EQ(verdicts[0].result.votes, inline_verdicts[0].result.votes);
+}
+
+TEST_F(ServiceFixture, DropOldestPolicyBoundsQueueAndCountsOverflow) {
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  config.job_queue_capacity = 8;
+  config.policy = BackpressurePolicy::kDropOldest;
+  RecognitionService service = make_service(config);
+  ASSERT_TRUE(service.open_job(1, 2));
+
+  // A job that never completes must not grow service memory unboundedly:
+  // 10000 pushes against a capacity-8 queue retain exactly 8 samples.
+  constexpr int kPushes = 10000;
+  for (int i = 0; i < kPushes; ++i) {
+    EXPECT_TRUE(service.push(1, 0, "nr_mapped_vmstat", i, 6030.0));
+  }
+  RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queued_samples, 8u);
+  EXPECT_EQ(stats.samples_overflowed, static_cast<std::uint64_t>(kPushes - 8));
+  EXPECT_EQ(stats.samples_rejected, 0u);
+  EXPECT_EQ(stats.samples_pushed, 0u);  // nothing recognized yet
+
+  service.process_pending();
+  stats = service.stats();
+  EXPECT_EQ(stats.queued_samples, 0u);
+  EXPECT_EQ(stats.samples_pushed, 8u);  // only the retained window fed
+}
+
+TEST_F(ServiceFixture, RejectPolicyRefusesWhenFull) {
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  config.job_queue_capacity = 4;
+  config.policy = BackpressurePolicy::kReject;
+  RecognitionService service = make_service(config);
+  ASSERT_TRUE(service.open_job(1, 2));
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(service.push(1, 0, "nr_mapped_vmstat", i, 6030.0));
+  }
+  EXPECT_FALSE(service.push(1, 0, "nr_mapped_vmstat", 4, 6030.0));
+  EXPECT_FALSE(service.push(1, 0, "nr_mapped_vmstat", 5, 6030.0));
+
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queued_samples, 4u);
+  EXPECT_EQ(stats.samples_rejected, 2u);
+  EXPECT_EQ(stats.samples_overflowed, 0u);
+}
+
+TEST_F(ServiceFixture, BlockPolicyIsLosslessAndDeadlockFree) {
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  config.job_queue_capacity = 4;
+  config.policy = BackpressurePolicy::kBlock;
+  RecognitionService service = make_service(config);
+  ASSERT_TRUE(service.open_job(1, 2));
+
+  // A lone producer against a full queue must NOT deadlock waiting for
+  // a consumer that does not exist: with no active drainer the pusher
+  // drains inline. Every sample survives — kBlock never loses data.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.push(1, 0, "nr_mapped_vmstat", i, 6030.0));
+  }
+  EXPECT_EQ(service.stats().queued_samples, 4u);
+  ASSERT_TRUE(service.push(1, 0, "nr_mapped_vmstat", 4, 6030.0));
+
+  RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.samples_rejected, 0u);
+  EXPECT_EQ(stats.samples_overflowed, 0u);
+  EXPECT_EQ(stats.samples_pushed + stats.queued_samples, 5u);  // lossless
+
+  // Concurrent producers hammering one tiny queue stay lossless too
+  // (some wait on the active drainer, some drain themselves).
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerThread; ++i) {
+        service.push(1, 1, "nr_mapped_vmstat", p * kPerThread + i, 6030.0);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  service.process_pending();
+
+  stats = service.stats();
+  EXPECT_EQ(stats.samples_rejected, 0u);
+  EXPECT_EQ(stats.samples_overflowed, 0u);
+  EXPECT_EQ(stats.samples_pushed + stats.queued_samples + stats.samples_late,
+            5u + 4u * kPerThread);
+}
+
+TEST_F(ServiceFixture, InlinePushBatchLargerThanQueueStaysLossless) {
+  // Inline mode: the pushing thread is the consumer, so a batch larger
+  // than the queue capacity must drain mid-batch, never shed — even
+  // under the lossy policies.
+  for (const auto policy : {BackpressurePolicy::kDropOldest,
+                            BackpressurePolicy::kReject,
+                            BackpressurePolicy::kBlock}) {
+    RecognitionServiceConfig config;
+    config.deferred = false;
+    config.job_queue_capacity = 16;
+    config.policy = policy;
+    RecognitionService service = make_service(config);
+    ASSERT_TRUE(service.open_job(1, 2));
+
+    std::vector<RecognitionService::SamplePush> batch;
+    for (int t = 0; t < 130; ++t) {
+      for (std::uint32_t node = 0; node < 2; ++node) {
+        batch.push_back({node, t, 6030.0, "nr_mapped_vmstat"});
+      }
+    }
+    const std::size_t accepted = service.push_batch(1, batch);
+    const RecognitionServiceStats stats = service.stats();
+    // Nothing shed by the policy: every sample either reached the
+    // recognizer or arrived after the verdict fired at t=120 (late),
+    // exactly like the per-sample inline path.
+    EXPECT_EQ(stats.samples_overflowed, 0u) << backpressure_policy_name(policy);
+    EXPECT_EQ(stats.samples_rejected, 0u) << backpressure_policy_name(policy);
+    EXPECT_EQ(stats.samples_pushed, accepted);
+    EXPECT_EQ(stats.samples_late, batch.size() - accepted);
+    // The verdict fires on the sample completing [60,120) — node 1's
+    // t=119 — so exactly 2 x 120 samples reach the recognizer.
+    EXPECT_EQ(accepted, 2u * 120u) << backpressure_policy_name(policy);
+
+    const auto verdicts = service.drain_verdicts();
+    ASSERT_EQ(verdicts.size(), 1u) << backpressure_policy_name(policy);
+    EXPECT_EQ(verdicts[0].result.prediction(), "ft")
+        << backpressure_policy_name(policy);
+  }
+}
+
+TEST_F(ServiceFixture, StaleSweepEvictsIdleStreamsAndBoundsMemory) {
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  config.job_queue_capacity = 16;
+  config.policy = BackpressurePolicy::kDropOldest;
+  RecognitionService service = make_service(config);
+
+  ASSERT_TRUE(service.open_job(1, 2));
+  ASSERT_TRUE(service.open_job(2, 2));
+  service.push(1, 0, "nr_mapped_vmstat", 0, 6030.0);  // never completes
+
+  // Nothing is stale within a generous TTL.
+  EXPECT_EQ(service.sweep_stale_jobs(std::chrono::hours(1)), 0u);
+  EXPECT_EQ(service.stats().active_jobs, 2u);
+
+  // With TTL zero every idle stream is stale: both evicted, each yields
+  // the unknown-application safeguard verdict, and the jobs map reaps.
+  EXPECT_EQ(service.sweep_stale_jobs(std::chrono::seconds(0)), 2u);
+  RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.active_jobs, 0u);
+  EXPECT_EQ(stats.jobs_evicted, 2u);
+  EXPECT_EQ(stats.queued_samples, 0u);
+
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), 2u);
+  for (const JobVerdict& verdict : verdicts) {
+    EXPECT_FALSE(verdict.result.recognized);
+    EXPECT_EQ(verdict.result.prediction(), kUnknownApplication);
+  }
+  EXPECT_EQ(service.stats().pending_verdicts, 0u);
+
+  // Evicted ids are reusable, and a re-run sweep finds nothing.
+  EXPECT_TRUE(service.open_job(1, 2));
+  EXPECT_EQ(service.sweep_stale_jobs(std::chrono::hours(1)), 0u);
+}
+
+TEST_F(ServiceFixture, DeferredConcurrentProducersWithPooledProcessing) {
+  // Producers hammer deferred queues from competing threads while a
+  // consumer drives process_pending across a pool — the ingest
+  // pipeline's exact shape. TSan-validates queue + drain-token locking.
+  RecognitionServiceConfig config;
+  config.deferred = true;
+  config.job_queue_capacity = 64;
+  config.policy = BackpressurePolicy::kBlock;
+  RecognitionService service = make_service(config);
+  constexpr std::uint64_t kJobs = 16;
+  for (std::uint64_t job = 1; job <= kJobs; ++job) {
+    ASSERT_TRUE(service.open_job(job, 2));
+  }
+
+  util::ThreadPool pool(4);
+  std::atomic<bool> done_producing{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t job = 1 + static_cast<std::uint64_t>(p);
+           job <= kJobs; job += 4) {
+        stream_job(service, job, job % 2 == 0 ? 6030.0 : 6080.0);
+      }
+    });
+  }
+  std::thread consumer([&] {
+    while (!done_producing.load()) {
+      service.process_pending(&pool);
+      std::this_thread::yield();
+    }
+    service.process_pending(&pool);
+  });
+  for (auto& producer : producers) producer.join();
+  done_producing.store(true);
+  consumer.join();
+
+  const auto verdicts = service.drain_verdicts();
+  ASSERT_EQ(verdicts.size(), kJobs);
+  for (const JobVerdict& verdict : verdicts) {
+    EXPECT_EQ(verdict.result.prediction(),
+              verdict.job_id % 2 == 0 ? "ft" : "mg")
+        << "job " << verdict.job_id;
+  }
 }
 
 TEST(RecognitionServiceStreaming, ConcurrentSimulatedClusterEndToEnd) {

@@ -299,6 +299,68 @@ TEST(ShardedDictionary, ConcurrentInsertAndLookupIsSafe) {
             static_cast<std::uint64_t>(kWriters) * kOps);
 }
 
+TEST(ApplicationRegistry, FirstSeenOrderAndIdempotence) {
+  ApplicationRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.contains("ft"));
+  EXPECT_EQ(registry.order_of("ft"), 0u);  // unknown ranks last (== size)
+
+  registry.register_application("ft");
+  registry.register_application("sp");
+  registry.register_application("ft");  // idempotent: first call wins
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.order_of("ft"), 0u);
+  EXPECT_EQ(registry.order_of("sp"), 1u);
+  EXPECT_EQ(registry.order_of("bt"), 2u);  // unknown == size
+  EXPECT_EQ(registry.in_order(), (std::vector<std::string>{"ft", "sp"}));
+}
+
+TEST(ApplicationRegistry, MoveTransfersSnapshotsAndLeavesSourceEmpty) {
+  ApplicationRegistry registry;
+  registry.register_application("ft");
+  registry.register_application("sp");
+
+  ApplicationRegistry moved(std::move(registry));
+  EXPECT_EQ(moved.in_order(), (std::vector<std::string>{"ft", "sp"}));
+  EXPECT_EQ(registry.size(), 0u);  // NOLINT: moved-from stays usable
+  registry.register_application("bt");
+  EXPECT_EQ(registry.order_of("bt"), 0u);
+
+  ApplicationRegistry assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.order_of("sp"), 1u);
+}
+
+TEST(ApplicationRegistry, ConcurrentRegistrationConvergesToOneOrder) {
+  // Many threads register overlapping application sets while readers
+  // query order lock-free; run under TSan. Whatever interleaving wins,
+  // the final snapshot must rank every application uniquely and
+  // consistently with contains()/in_order().
+  ApplicationRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kApps = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string app = "app" + std::to_string((i + t) % kApps);
+        registry.register_application(app);
+        (void)registry.order_of(app);
+        (void)registry.size();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.size(), static_cast<std::size_t>(kApps));
+  const std::vector<std::string> order = registry.in_order();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kApps));
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    EXPECT_TRUE(registry.contains(order[rank]));
+    EXPECT_EQ(registry.order_of(order[rank]), rank);
+  }
+}
+
 TEST(Matcher, RecognizeBatchMatchesPerRecordRecognition) {
   const telemetry::Dataset dataset = small_dataset();
   const Dictionary dictionary = train_dictionary(dataset, config_of(2));

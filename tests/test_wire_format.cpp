@@ -1,0 +1,295 @@
+/// \file test_wire_format.cpp
+/// \brief EFD-WIRE-V1 codec tests: round-trips for every message type,
+/// incremental decoding across arbitrary feed boundaries, and fuzz-style
+/// hostile-input tests — truncated, corrupted, and adversarial
+/// length-prefixed frames must never crash, over-read, or over-allocate.
+
+#include "ingest/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace {
+
+using namespace efd::ingest;
+
+Message sample_batch(std::uint64_t job_id, std::size_t count) {
+  Message message;
+  message.type = MessageType::kSampleBatch;
+  message.job_id = job_id;
+  for (std::size_t i = 0; i < count; ++i) {
+    WireSample sample;
+    sample.node_id = static_cast<std::uint32_t>(i % 4);
+    sample.t = static_cast<std::int32_t>(i);
+    sample.value = 6000.0 + 0.25 * static_cast<double>(i);
+    sample.metric = i % 2 == 0 ? "nr_mapped_vmstat" : "MemFree_meminfo";
+    message.samples.push_back(std::move(sample));
+  }
+  return message;
+}
+
+Message verdict_message() {
+  Message message;
+  message.type = MessageType::kVerdict;
+  message.job_id = 99;
+  message.verdict.recognized = true;
+  message.verdict.matched = 3;
+  message.verdict.fingerprints = 4;
+  message.verdict.application = "ft";
+  message.verdict.label = "ft_X";
+  return message;
+}
+
+std::vector<Message> decode_all(FrameDecoder& decoder) {
+  std::vector<Message> messages;
+  Message message;
+  while (decoder.next(message) == DecodeStatus::kMessage) {
+    messages.push_back(message);
+  }
+  return messages;
+}
+
+TEST(WireFormat, RoundTripsEveryMessageType) {
+  const std::vector<Message> originals = {
+      make_open_job(42, 4),
+      sample_batch(42, 7),
+      make_close_job(42),
+      verdict_message(),
+      make_shutdown(),
+  };
+
+  std::vector<std::uint8_t> bytes;
+  for (const Message& message : originals) encode_frame(message, bytes);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const std::vector<Message> decoded = decode_all(decoder);
+  ASSERT_EQ(decoded.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(decoded[i], originals[i]) << "message " << i;
+  }
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.frames_decoded(), originals.size());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFormat, RoundTripsSpecialDoubleValues) {
+  Message message = sample_batch(1, 0);
+  const double values[] = {0.0, -0.0, 1e-308, 1.7976931348623157e308,
+                           -123456.789};
+  for (double value : values) {
+    WireSample sample;
+    sample.metric = "m";
+    sample.value = value;
+    message.samples.push_back(sample);
+  }
+  FrameDecoder decoder;
+  decoder.feed(encode(message));
+  Message out;
+  ASSERT_EQ(decoder.next(out), DecodeStatus::kMessage);
+  EXPECT_EQ(out, message);
+}
+
+TEST(WireFormat, DecodesAcrossArbitraryFeedBoundaries) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(make_open_job(7, 2), bytes);
+  encode_frame(sample_batch(7, 25), bytes);
+  encode_frame(make_close_job(7), bytes);
+
+  // Feed one byte at a time — the worst TCP fragmentation case.
+  FrameDecoder decoder;
+  std::vector<Message> decoded;
+  Message message;
+  for (const std::uint8_t byte : bytes) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(message) == DecodeStatus::kMessage) {
+      decoded.push_back(message);
+    }
+  }
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].type, MessageType::kOpenJob);
+  ASSERT_EQ(decoded[1].samples.size(), 25u);
+  EXPECT_EQ(decoded[1].samples[24].t, 24);
+  EXPECT_EQ(decoded[2].type, MessageType::kCloseJob);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WireFormat, EmptyAndPartialInputNeedsMore) {
+  FrameDecoder decoder;
+  Message message;
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kNeedMore);
+
+  const std::vector<std::uint8_t> frame = encode(make_open_job(1, 1));
+  decoder.feed(frame.data(), frame.size() - 1);  // one byte short
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kNeedMore);
+  decoder.feed(frame.data() + frame.size() - 1, 1);
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kMessage);
+  EXPECT_EQ(message.job_id, 1u);
+}
+
+TEST(WireFormat, RejectsOversizedLengthPrefixWithoutAllocating) {
+  // A hostile 0xFFFFFFFF length prefix must be rejected from the 4-byte
+  // prefix alone — not buffered, not allocated.
+  FrameDecoder decoder;
+  const std::vector<std::uint8_t> hostile = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2};
+  decoder.feed(hostile);
+  Message message;
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("size limit"), std::string::npos);
+  // Dead decoders stay dead.
+  decoder.feed(encode(make_shutdown()));
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+}
+
+TEST(WireFormat, RejectsHostileSampleCount) {
+  // count = 2^31 with a tiny body: must error before any reserve.
+  Message batch = sample_batch(5, 1);
+  std::vector<std::uint8_t> bytes = encode(batch);
+  // Patch the count field (offset: 4 len + 2 header + 8 job_id).
+  bytes[14] = 0x00;
+  bytes[15] = 0x00;
+  bytes[16] = 0x00;
+  bytes[17] = 0x80;
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Message message;
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  EXPECT_NE(decoder.error().find("inconsistent"), std::string::npos);
+}
+
+TEST(WireFormat, RejectsMetricLengthOverrunningBody) {
+  Message batch = sample_batch(5, 1);
+  std::vector<std::uint8_t> bytes = encode(batch);
+  // Patch the metric length field (offset: 4 + 2 + 8 + 4 + 4 + 4 + 8).
+  bytes[34] = 0xFF;
+  bytes[35] = 0xFF;
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Message message;
+  EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+}
+
+TEST(WireFormat, RejectsBadVersionTypeAndShortFrames) {
+  {
+    std::vector<std::uint8_t> bytes = encode(make_open_job(1, 1));
+    bytes[4] = 9;  // version
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+    EXPECT_NE(decoder.error().find("version"), std::string::npos);
+  }
+  {
+    std::vector<std::uint8_t> bytes = encode(make_open_job(1, 1));
+    bytes[5] = 200;  // type
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+    EXPECT_NE(decoder.error().find("type"), std::string::npos);
+  }
+  {
+    // payload_len = 1: shorter than the version+type header.
+    const std::vector<std::uint8_t> bytes = {1, 0, 0, 0, 1};
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Truncated body: open-job frame claiming only 6 body bytes.
+    std::vector<std::uint8_t> bytes = encode(make_open_job(1, 1));
+    bytes[0] = 8;  // was 14 (2 header + 12 body)
+    bytes.resize(4 + 8);
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+}
+
+TEST(WireFormat, EncodeRejectsOversizedBatch) {
+  Message batch = sample_batch(1, 1);
+  batch.samples.resize(kMaxSamplesPerBatch + 1, batch.samples[0]);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(encode_frame(batch, out), std::invalid_argument);
+  EXPECT_TRUE(out.empty());  // nothing half-written
+}
+
+TEST(WireFormat, FuzzTruncationNeverCrashesOrOverAllocates) {
+  // Every strict prefix of a valid multi-frame stream either decodes a
+  // frame prefix cleanly or reports kNeedMore — never an error, never a
+  // crash, and buffered bytes never exceed what was fed.
+  std::vector<std::uint8_t> bytes;
+  encode_frame(make_open_job(3, 8), bytes);
+  encode_frame(sample_batch(3, 10), bytes);
+  encode_frame(verdict_message(), bytes);
+  encode_frame(make_close_job(3), bytes);
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), cut);
+    Message message;
+    DecodeStatus status;
+    std::size_t decoded = 0;
+    while ((status = decoder.next(message)) == DecodeStatus::kMessage) {
+      ++decoded;
+    }
+    EXPECT_EQ(status, DecodeStatus::kNeedMore) << "cut=" << cut;
+    EXPECT_LE(decoder.buffered_bytes(), cut);
+    EXPECT_LE(decoded, 4u);
+  }
+}
+
+TEST(WireFormat, FuzzRandomCorruptionNeverCrashes) {
+  // Deterministic corruption fuzzing: flip bytes of a valid stream and
+  // random garbage streams; the decoder must always terminate with
+  // kNeedMore or kError, and decoded sample vectors must stay bounded by
+  // the bytes that actually arrived.
+  std::vector<std::uint8_t> valid;
+  encode_frame(make_open_job(11, 2), valid);
+  encode_frame(sample_batch(11, 30), valid);
+  encode_frame(make_close_job(11), valid);
+
+  std::mt19937 rng(2021);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> corrupted = valid;
+    const int flips = 1 + round % 8;
+    for (int f = 0; f < flips; ++f) {
+      corrupted[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    FrameDecoder decoder;
+    decoder.feed(corrupted);
+    Message message;
+    int guard = 0;
+    DecodeStatus status;
+    while ((status = decoder.next(message)) == DecodeStatus::kMessage) {
+      EXPECT_LE(message.samples.size(), corrupted.size() / 18)
+          << "decoded more samples than the stream could encode";
+      ASSERT_LT(++guard, 1000) << "decoder failed to terminate";
+    }
+    EXPECT_TRUE(status == DecodeStatus::kNeedMore ||
+                status == DecodeStatus::kError);
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(1 + round % 256);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(byte(rng));
+    FrameDecoder decoder;
+    decoder.feed(garbage);
+    Message message;
+    int guard = 0;
+    while (decoder.next(message) == DecodeStatus::kMessage) {
+      ASSERT_LT(++guard, 1000);
+    }
+  }
+}
+
+}  // namespace

@@ -11,6 +11,11 @@
 ///   evaluate   run one of the paper's five experiments
 ///   serve-sim  run the concurrent RecognitionService over many
 ///              simultaneously monitored simulated jobs
+///   serve      serve a trained dictionary over TCP: node daemons (or
+///              `replay`) stream EFD-WIRE-V1 frames in, verdicts flow
+///              back over the same connection
+///   replay     stream a dataset CSV against a running `serve` endpoint
+///              and print the verdicts
 ///
 /// Concurrency knobs: --shards selects the sharded concurrent dictionary
 /// engine (0 = heuristic), --threads sizes a dedicated worker pool, and
@@ -22,9 +27,13 @@
 ///   efd_cli recognize --data new_jobs.csv --dict apps.efd --threads 8
 ///   efd_cli evaluate --data history.csv --experiment hard-input
 ///   efd_cli serve-sim --dict apps.efd --jobs 64 --threads 8
+///   efd_cli serve --dict apps.efd --port 7411 --policy drop-oldest
+///   efd_cli replay --data new_jobs.csv --port 7411
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -34,6 +43,9 @@
 #include "core/sharded_dictionary.hpp"
 #include "core/trainer.hpp"
 #include "eval/efd_experiment.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/tcp_transport.hpp"
+#include "ingest/transport_feed.hpp"
 #include "ldms/sampler.hpp"
 #include "ldms/streaming.hpp"
 #include "sim/app_model.hpp"
@@ -67,7 +79,12 @@ int usage() {
       "             soft-unknown|hard-input|hard-unknown [--metrics a,b]\n"
       "             [--depth N|auto] [--folds K] [--seed S]\n"
       "  serve-sim  --dict FILE [--jobs N] [--shards N] [--threads N]\n"
-      "             [--seed S] [--duration SECONDS]\n";
+      "             [--seed S] [--duration SECONDS]\n"
+      "  serve      --dict FILE [--port P] [--shards N] [--threads N]\n"
+      "             [--policy block|drop-oldest|reject] [--queue-capacity N]\n"
+      "             [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
+      "             [--allow-shutdown]\n"
+      "  replay     --data FILE --port P [--host H] [--batch N]\n";
   return 2;
 }
 
@@ -364,6 +381,177 @@ int cmd_serve_sim(const util::ArgParser& args) {
   return 0;
 }
 
+/// serve: the production front door. Node daemons (or `replay`) connect
+/// over TCP, stream wire frames, and get verdicts back on the same
+/// connection. Exits after --max-jobs verdicts (for harnesses) or runs
+/// until killed.
+int cmd_serve(const util::ArgParser& args) {
+  const std::string dict = args.get("dict");
+  if (dict.empty()) return usage();
+
+  core::RecognitionServiceConfig service_config;
+  service_config.deferred = true;
+  const std::string policy = args.get("policy", "block");
+  if (const auto parsed = core::parse_backpressure_policy(policy)) {
+    service_config.policy = *parsed;
+  } else {
+    std::cerr << "unknown policy: " << policy << "\n";
+    return usage();
+  }
+  service_config.job_queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 4096));
+  service_config.stale_ttl =
+      std::chrono::seconds(args.get_int("ttl-seconds", 600));
+
+  const auto shard_count = static_cast<std::size_t>(args.get_int("shards", 0));
+  core::ShardedDictionary dictionary =
+      core::ShardedDictionary::load_file(dict, shard_count);
+  std::cout << "serving dictionary: " << dictionary.size() << " keys across "
+            << dictionary.shard_count() << " shards (policy "
+            << core::backpressure_policy_name(service_config.policy)
+            << ", queue " << service_config.job_queue_capacity << ", ttl "
+            << args.get_int("ttl-seconds", 600) << " s)\n";
+  core::RecognitionService service(std::move(dictionary), service_config);
+
+  ingest::TcpServer::Config server_config;
+  server_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  ingest::TcpServer server(server_config);
+  std::cout << "listening on port " << server.port() << std::endl;
+
+  ingest::IngestPipelineConfig pipeline_config;
+  pipeline_config.max_verdicts =
+      static_cast<std::uint64_t>(args.get_int("max-jobs", 0));
+  // A kShutdown frame is unauthenticated wire input: any connected peer
+  // could stop the whole endpoint. Only honor it when the operator
+  // opted in; otherwise exit via --max-jobs or a signal.
+  pipeline_config.stop_on_shutdown_message = args.has("allow-shutdown");
+  if (!args.has("quiet")) {
+    pipeline_config.on_verdict = [](const core::JobVerdict& verdict) {
+      std::cout << "verdict job=" << verdict.job_id << " app="
+                << verdict.result.prediction() << " label="
+                << verdict.result.label_prediction() << " matched="
+                << verdict.result.matched_count << "/"
+                << verdict.result.fingerprint_count << std::endl;
+    };
+  }
+
+  auto pool = make_pool(args);
+  ingest::IngestPipeline pipeline(service, server, pipeline_config,
+                                  pool.get());
+  const std::uint64_t delivered = pipeline.run();
+  server.stop();
+
+  const core::RecognitionServiceStats stats = service.stats();
+  const ingest::IngestPipelineStats pstats = pipeline.stats();
+  const ingest::TcpServer::Stats sstats = server.stats();
+  std::cout << "served " << delivered << " verdicts over "
+            << sstats.connections_accepted << " connections ("
+            << sstats.verdict_write_failures << " verdict writes failed, "
+            << sstats.connections_dropped << " connections dropped)\n"
+            << "samples:  " << pstats.samples << " ingested, "
+            << stats.samples_pushed << " recognized, "
+            << stats.samples_overflowed << " overflowed, "
+            << stats.samples_rejected << " rejected, " << stats.samples_late
+            << " late\n"
+            << "jobs:     " << pstats.jobs_opened << " opened, "
+            << stats.jobs_evicted << " evicted by the stale sweep\n";
+  return 0;
+}
+
+/// replay: stream a dataset CSV against a running serve endpoint, one
+/// job per execution, and print the verdicts that come back.
+int cmd_replay(const util::ArgParser& args) {
+  const std::string data = args.get("data");
+  const auto port = args.get_int("port", 0);
+  if (data.empty() || port <= 0 || port > 65535) return usage();
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 256));
+
+  const telemetry::Dataset dataset = telemetry::read_csv_file(data);
+  ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+
+  std::map<std::uint64_t, ingest::WireVerdict> verdicts;
+  const auto collect = [&](std::chrono::milliseconds timeout) {
+    ingest::Message message;
+    while (client.receive(message, timeout)) {
+      if (message.type == ingest::MessageType::kVerdict) {
+        verdicts[message.job_id] = message.verdict;
+      }
+      timeout = std::chrono::milliseconds(1);  // drain whatever is ready
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t samples_sent = 0;
+  for (const auto& record : dataset.records()) {
+    ingest::TransportFeed feed(client, batch);
+    feed.job_opened(record.id(),
+                    static_cast<std::uint32_t>(record.node_count()));
+    std::size_t longest = 0;
+    for (std::size_t node = 0; node < record.node_count(); ++node) {
+      for (std::size_t slot = 0; slot < dataset.metric_names().size();
+           ++slot) {
+        longest = std::max(longest, record.series(node, slot).size());
+      }
+    }
+    for (std::size_t t = 0; t < longest; ++t) {
+      for (std::size_t node = 0; node < record.node_count(); ++node) {
+        for (std::size_t slot = 0; slot < dataset.metric_names().size();
+             ++slot) {
+          const telemetry::TimeSeries& series = record.series(node, slot);
+          if (t < series.size()) {
+            feed.publish(static_cast<std::uint32_t>(node),
+                         dataset.metric_names()[slot], static_cast<int>(t),
+                         series[t]);
+            ++samples_sent;
+          }
+        }
+      }
+    }
+    feed.job_closed(record.id());
+    collect(std::chrono::milliseconds(1));  // keep the reply pipe drained
+  }
+  client.finish_sending();
+  while (verdicts.size() < dataset.size()) {
+    const std::size_t before = verdicts.size();
+    collect(std::chrono::seconds(10));
+    if (verdicts.size() == before) break;  // server went away
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  util::TablePrinter table(
+      {"execution", "truth", "prediction", "input guess", "matched"});
+  std::size_t correct = 0, known = 0;
+  for (const auto& record : dataset.records()) {
+    const auto it = verdicts.find(record.id());
+    if (it == verdicts.end()) {
+      table.add_row({std::to_string(record.id()), record.label().full(),
+                     "(no verdict)", "", ""});
+      continue;
+    }
+    const ingest::WireVerdict& verdict = it->second;
+    if (verdict.recognized) ++known;
+    if (verdict.application == record.label().application) ++correct;
+    table.add_row({std::to_string(record.id()), record.label().full(),
+                   verdict.application, verdict.label,
+                   std::to_string(verdict.matched) + "/" +
+                       std::to_string(verdict.fingerprints)});
+  }
+  table.print(std::cout);
+  std::cout << correct << "/" << dataset.size() << " correct, " << known
+            << " recognized as known applications\n"
+            << "streamed " << samples_sent << " samples in "
+            << util::format_fixed(elapsed, 2) << " s ("
+            << util::format_fixed(
+                   elapsed > 0.0 ? static_cast<double>(samples_sent) / elapsed
+                                 : 0.0,
+                   0)
+            << " samples/s)\n";
+  return verdicts.size() == dataset.size() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,6 +568,8 @@ int main(int argc, char** argv) {
     if (command == "coverage") return cmd_coverage(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "serve-sim") return cmd_serve_sim(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "replay") return cmd_replay(args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
