@@ -26,8 +26,19 @@ std::optional<BackpressurePolicy> parse_backpressure_policy(
 
 RecognitionService::RecognitionService(ShardedDictionary dictionary,
                                        RecognitionServiceConfig config)
-    : dictionary_(std::move(dictionary)), config_(config) {
+    : handle_(std::move(dictionary)), config_(config) {
   if (config_.job_queue_capacity == 0) config_.job_queue_capacity = 1;
+}
+
+const ShardedDictionary& RecognitionService::dictionary() const {
+  // The handle's current_ reference keeps this epoch alive after the
+  // acquire() temporary drops, so the borrow is valid until the next
+  // swap publishes a successor.
+  return handle_.acquire()->dictionary;
+}
+
+std::uint64_t RecognitionService::swap_dictionary(ShardedDictionary next) {
+  return handle_.swap(std::move(next));
 }
 
 std::int64_t RecognitionService::now_ns() {
@@ -38,12 +49,13 @@ std::int64_t RecognitionService::now_ns() {
 
 void RecognitionService::learn(const FingerprintKey& key,
                                const std::string& label) {
-  dictionary_.insert(key, label);
+  handle_.acquire()->dictionary.insert(key, label);
 }
 
 bool RecognitionService::open_job(std::uint64_t job_id,
                                   std::uint32_t node_count) {
-  auto stream = std::make_shared<JobStream>(dictionary_, job_id, node_count);
+  auto stream =
+      std::make_shared<JobStream>(handle_.acquire(), job_id, node_count);
   stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
   {
     std::unique_lock lock(jobs_mutex_);
@@ -343,10 +355,17 @@ std::vector<JobVerdict> RecognitionService::drain_verdicts() {
 
 RecognitionServiceStats RecognitionService::stats() const {
   RecognitionServiceStats stats;
+  stats.dictionary_epoch = handle_.version();
+  stats.dictionary_swaps = handle_.swap_count();
   {
     std::shared_lock lock(jobs_mutex_);
     for (const auto& [job_id, stream] : jobs_) {
-      if (!stream->done.load(std::memory_order_acquire)) ++stats.active_jobs;
+      if (!stream->done.load(std::memory_order_acquire)) {
+        ++stats.active_jobs;
+        if (stream->epoch->version != stats.dictionary_epoch) {
+          ++stats.jobs_on_stale_epoch;
+        }
+      }
       stats.queued_samples +=
           stream->queued.load(std::memory_order_relaxed);
     }

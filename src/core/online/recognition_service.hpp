@@ -41,14 +41,26 @@
 ///    stream mutex when a verdict fires, never the other way round).
 ///    Verdicts are queued BEFORE a stream's done flag is published, so
 ///    the drain-time reap can treat done==true as "verdict queued".
-///  - dictionary:    ShardedDictionary is internally synchronized; learn()
-///    may run concurrently with every recognition path.
+///  - dictionary:    the active dictionary lives behind a versioned
+///    DictionaryHandle (RCU snapshot). Each stream pins the epoch that
+///    was active when it opened and recognizes against it for its whole
+///    life; swap_dictionary() atomically publishes a retrained successor
+///    for new streams without touching in-flight ones. learn() inserts
+///    into the active epoch (ShardedDictionary is internally
+///    synchronized) and may run concurrently with every recognition path.
+///
+/// Durability: snapshot() serializes the whole service — active
+/// dictionary epoch, every open stream's accumulators and queue, pending
+/// verdicts, lifetime counters — into the EFD-SNAP-V1 format, and
+/// restore() rebuilds a fresh service from it, so a serve restart does
+/// not lose in-flight jobs (see core/online/service_snapshot.hpp).
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +71,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/dictionary_handle.hpp"
 #include "core/online_recognizer.hpp"
 #include "core/sharded_dictionary.hpp"
 
@@ -119,7 +132,24 @@ struct RecognitionServiceStats {
   std::uint64_t samples_overflowed = 0; ///< evicted by kDropOldest
   std::uint64_t samples_rejected = 0;   ///< refused by kReject
   std::uint64_t pushes_blocked = 0;     ///< kBlock waits (back-pressure)
+  std::uint64_t dictionary_epoch = 0;   ///< active dictionary version
+  std::uint64_t dictionary_swaps = 0;   ///< lifetime swap_dictionary calls
+  /// Open streams still pinned to a superseded dictionary epoch (they
+  /// finish against it; drops to 0 once pre-swap streams drain).
+  std::size_t jobs_on_stale_epoch = 0;
 };                                  ///< (healthy: jobs outlive their window)
+
+/// What RecognitionService::restore() rebuilt from a snapshot.
+struct ServiceRestoreInfo {
+  std::uint64_t replay_cursor = 0;    ///< caller-defined resume point
+  std::uint64_t dictionary_epoch = 0; ///< restored active epoch version
+  std::size_t jobs_restored = 0;      ///< open streams rebuilt
+  std::size_t verdicts_restored = 0;  ///< pending (undrained) verdicts
+  /// Streams restored OPEN but with fresh windows: they were pinned to
+  /// an epoch whose accumulator layout (metrics/intervals) differs from
+  /// the snapshot's active dictionary, so their sums could not transfer.
+  std::size_t streams_reset = 0;
+};
 
 /// Concurrent multi-job streaming recognizer. Non-copyable, non-movable
 /// (open streams hold pointers into the owned dictionary).
@@ -132,12 +162,44 @@ class RecognitionService {
   RecognitionService(const RecognitionService&) = delete;
   RecognitionService& operator=(const RecognitionService&) = delete;
 
-  const ShardedDictionary& dictionary() const noexcept { return dictionary_; }
+  /// The ACTIVE dictionary. Borrowed reference: valid until the next
+  /// swap_dictionary()/restore() publishes a successor epoch — callers
+  /// that must survive swaps should pin via dictionary_handle().acquire().
+  const ShardedDictionary& dictionary() const;
+  const DictionaryHandle& dictionary_handle() const noexcept { return handle_; }
   const RecognitionServiceConfig& config() const noexcept { return config_; }
 
   /// Online learning passthrough: thread-safe against all recognition
   /// paths ("learning new applications is as simple as adding new keys").
+  /// Inserts into the ACTIVE epoch; streams pinned to older epochs do
+  /// not see the new key.
   void learn(const FingerprintKey& key, const std::string& label);
+
+  /// Atomically publishes a retrained dictionary as the new active
+  /// epoch, mid-traffic. In-flight streams finish against the epoch they
+  /// opened under; streams opened after this call recognize against
+  /// \p next. Returns the new epoch version. Thread-safe against every
+  /// other method (including concurrent swaps, which serialize).
+  std::uint64_t swap_dictionary(ShardedDictionary next);
+
+  /// Serializes the complete service state (active dictionary epoch,
+  /// open streams, pending verdicts, lifetime counters) as EFD-SNAP-V1.
+  /// Safe against live traffic: each stream is captured at a consistent
+  /// point (waiting out an active drainer), and a job completing
+  /// mid-snapshot is captured at-least-once (as a stream, a pending
+  /// verdict, or both) — never lost. \p replay_cursor is an opaque
+  /// caller-defined resume point stored verbatim (e.g. "messages
+  /// applied"); restore() hands it back.
+  void snapshot(std::ostream& out, std::uint64_t replay_cursor = 0) const;
+
+  /// Rebuilds service state from an EFD-SNAP-V1 stream produced by
+  /// snapshot(). Only valid on a service with no open jobs and no
+  /// pending verdicts (a fresh restart); throws SnapshotError (see
+  /// service_snapshot.hpp) on format/CRC violations — all-or-nothing:
+  /// a failed restore leaves the service untouched. The restored
+  /// dictionary replaces the constructor's (keeping its shard count);
+  /// restored streams' TTL clocks restart at "now".
+  ServiceRestoreInfo restore(std::istream& in);
 
   /// Opens a stream for a job. Returns false (and changes nothing) if the
   /// job id is already present (open, or completed but not yet drained —
@@ -211,11 +273,17 @@ class RecognitionService {
   };
 
   struct JobStream {
-    JobStream(const DictionaryView& dictionary, std::uint64_t job_id,
-              std::uint32_t node_count)
-        : job_id(job_id), recognizer(dictionary, node_count) {}
+    JobStream(std::shared_ptr<DictionaryHandle::Epoch> epoch,
+              std::uint64_t job_id, std::uint32_t node_count)
+        : job_id(job_id),
+          epoch(std::move(epoch)),
+          recognizer(this->epoch->dictionary, node_count) {}
 
     const std::uint64_t job_id;
+    /// The dictionary epoch pinned at open: the recognizer reads this
+    /// epoch's dictionary for the stream's whole life, across any number
+    /// of swaps. Immutable after construction (safe to read lock-free).
+    const std::shared_ptr<DictionaryHandle::Epoch> epoch;
     std::mutex mutex;              ///< guards queue + draining (+ recognizer
                                    ///< when draining == false)
     std::condition_variable space; ///< kBlock producers wait here
@@ -247,7 +315,7 @@ class RecognitionService {
   void queue_verdict(std::uint64_t job_id, RecognitionResult result);
   static std::int64_t now_ns();
 
-  ShardedDictionary dictionary_;
+  DictionaryHandle handle_;
   RecognitionServiceConfig config_;
 
   mutable std::shared_mutex jobs_mutex_;

@@ -1,0 +1,512 @@
+/// \file service_snapshot.cpp
+/// \brief RecognitionService::snapshot() / restore() — the EFD-SNAP-V1
+/// encoder and its defensive decoder (format: service_snapshot.hpp).
+
+#include "core/online/service_snapshot.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <shared_mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/online/recognition_service.hpp"
+#include "util/binary_io.hpp"
+
+namespace efd::core {
+
+namespace {
+
+using util::ByteReader;
+using util::put_f64;
+using util::put_string;
+using util::put_u32;
+using util::put_u64;
+using util::put_u8;
+
+/// Minimum encoded sizes, used to validate element counts against the
+/// bytes that actually arrived BEFORE any allocation.
+constexpr std::size_t kAccumulatorBytes = 8 + 8 + 4;
+constexpr std::size_t kMinSampleBytes = 4 + 4 + 8 + 2;
+constexpr std::size_t kMinStringBytes = 2;
+constexpr std::size_t kMinVoteBytes = 2 + 4;
+constexpr std::size_t kMinVerdictBytes = 8 + 1 + 8 + 8 + 4 * 4;
+constexpr std::size_t kStatsBytes = 9 * 8;
+
+void write_section(std::ostream& out, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> header;
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header, util::crc32(payload));
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+void put_result(std::vector<std::uint8_t>& out, std::uint64_t job_id,
+                const RecognitionResult& result) {
+  put_u64(out, job_id);
+  put_u8(out, result.recognized ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(result.fingerprint_count));
+  put_u64(out, static_cast<std::uint64_t>(result.matched_count));
+  put_u32(out, static_cast<std::uint32_t>(result.applications.size()));
+  for (const std::string& application : result.applications) {
+    put_string(out, application);
+  }
+  put_u32(out, static_cast<std::uint32_t>(result.votes.size()));
+  for (const auto& [name, votes] : result.votes) {
+    put_string(out, name);
+    put_u32(out, static_cast<std::uint32_t>(votes));
+  }
+  put_u32(out, static_cast<std::uint32_t>(result.label_votes.size()));
+  for (const auto& [name, votes] : result.label_votes) {
+    put_string(out, name);
+    put_u32(out, static_cast<std::uint32_t>(votes));
+  }
+  put_u32(out, static_cast<std::uint32_t>(result.matched_labels.size()));
+  for (const std::string& label : result.matched_labels) {
+    put_string(out, label);
+  }
+}
+
+/// Throws SnapshotError(reason) — the decoder's single failure path.
+[[noreturn]] void fail(const std::string& reason) {
+  throw SnapshotError("EFD-SNAP-V1: " + reason);
+}
+
+/// Identity of the accumulator layout a stream's window state was
+/// exported under: the fingerprinted metrics (names and order) and the
+/// intervals. A stream pinned to an epoch whose layout differs from the
+/// snapshot's active dictionary (a crash inside a hot-swap window)
+/// cannot transfer its sums — restore() gives such streams fresh
+/// windows instead of misattributing state or refusing to boot.
+/// Rounding depth and metric combination are deliberately excluded:
+/// they shape keys, not accumulators, so state transfers across them.
+std::string config_signature(const FingerprintConfig& config) {
+  std::string signature;
+  for (const std::string& metric : config.metrics) {
+    signature += metric;
+    signature += '\x1F';
+  }
+  signature += '|';
+  for (const telemetry::Interval& interval : config.intervals) {
+    signature += std::to_string(interval.begin_seconds);
+    signature += ':';
+    signature += std::to_string(interval.end_seconds);
+    signature += ',';
+  }
+  return signature;
+}
+
+bool read_count(ByteReader& reader, std::size_t min_item_bytes,
+                std::uint32_t& out) {
+  if (!reader.read_u32(out)) return false;
+  // Never trust a count for allocation: the body that actually arrived
+  // bounds how many items can exist.
+  return static_cast<std::size_t>(out) * min_item_bytes <= reader.remaining();
+}
+
+bool read_result(ByteReader& reader, std::uint64_t& job_id,
+                 RecognitionResult& result) {
+  std::uint8_t recognized = 0;
+  std::uint64_t fingerprints = 0, matched = 0;
+  if (reader.remaining() < kMinVerdictBytes || !reader.read_u64(job_id) ||
+      !reader.read_u8(recognized) || !reader.read_u64(fingerprints) ||
+      !reader.read_u64(matched)) {
+    return false;
+  }
+  result.recognized = recognized != 0;
+  result.fingerprint_count = static_cast<std::size_t>(fingerprints);
+  result.matched_count = static_cast<std::size_t>(matched);
+
+  std::uint32_t count = 0;
+  if (!read_count(reader, kMinStringBytes, count)) return false;
+  result.applications.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.read_string(name)) return false;
+    result.applications.push_back(std::move(name));
+  }
+  for (auto* votes : {&result.votes, &result.label_votes}) {
+    if (!read_count(reader, kMinVoteBytes, count)) return false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string name;
+      std::uint32_t value = 0;
+      if (!reader.read_string(name) || !reader.read_u32(value)) return false;
+      (*votes)[std::move(name)] = static_cast<int>(value);
+    }
+  }
+  if (!read_count(reader, kMinStringBytes, count)) return false;
+  result.matched_labels.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string label;
+    if (!reader.read_string(label)) return false;
+    result.matched_labels.push_back(std::move(label));
+  }
+  return true;
+}
+
+}  // namespace
+
+void RecognitionService::snapshot(std::ostream& out,
+                                  std::uint64_t replay_cursor) const {
+  out.write(kSnapshotMagic, kSnapshotMagicBytes);
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64);
+
+  // Meta.
+  put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kMeta));
+  put_u64(payload, replay_cursor);
+  write_section(out, payload);
+
+  // Dictionary: the ACTIVE epoch. Streams pinned to older epochs are
+  // re-pinned to this one on restore (documented at-least-once shift: a
+  // crash inside a swap window may re-evaluate those windows against the
+  // newer dictionary).
+  const auto epoch = handle_.acquire();
+  payload.clear();
+  put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kDictionary));
+  put_u64(payload, epoch->version);
+  put_u64(payload, handle_.swap_count());
+  {
+    std::ostringstream dictionary_bytes;
+    epoch->dictionary.save(dictionary_bytes);
+    const std::string text = std::move(dictionary_bytes).str();
+    payload.insert(payload.end(), text.begin(), text.end());
+  }
+  write_section(out, payload);
+
+  // Open streams. Collect first (shared lock), then capture each at a
+  // consistent point: the stream mutex with any active drainer waited
+  // out, so the recognizer is exclusively ours for the export. Streams
+  // whose verdict already fired are skipped — their verdict travels in
+  // the Verdicts section (which is written AFTER the streams, so a job
+  // completing mid-snapshot appears at least once, never zero times).
+  std::vector<std::shared_ptr<JobStream>> streams;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    streams.reserve(jobs_.size());
+    for (const auto& [job_id, stream] : jobs_) streams.push_back(stream);
+  }
+  for (const auto& stream : streams) {
+    std::unique_lock lock(stream->mutex);
+    stream->drained.wait(lock, [&] { return !stream->draining; });
+    if (stream->done.load(std::memory_order_acquire)) continue;
+
+    payload.clear();
+    put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kStream));
+    put_u64(payload, stream->job_id);
+    put_u32(payload, stream->recognizer.node_count());
+    put_string(payload, config_signature(stream->epoch->dictionary.config()));
+    const auto states = stream->recognizer.export_state();
+    put_u32(payload, static_cast<std::uint32_t>(states.size()));
+    for (const auto& state : states) {
+      put_f64(payload, state.sum);
+      put_u64(payload, state.count);
+      put_u32(payload, static_cast<std::uint32_t>(state.last_t));
+    }
+    put_u32(payload, static_cast<std::uint32_t>(stream->queue.size()));
+    for (const Sample& sample : stream->queue) {
+      put_u32(payload, sample.node_id);
+      put_u32(payload, static_cast<std::uint32_t>(sample.t));
+      put_f64(payload, sample.value);
+      put_string(payload, sample.metric);
+    }
+    lock.unlock();
+    write_section(out, payload);
+  }
+
+  // Pending (undrained) verdicts — non-destructive copy.
+  payload.clear();
+  put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kVerdicts));
+  {
+    std::lock_guard lock(verdicts_mutex_);
+    put_u32(payload, static_cast<std::uint32_t>(verdicts_.size()));
+    for (const JobVerdict& verdict : verdicts_) {
+      put_result(payload, verdict.job_id, verdict.result);
+    }
+  }
+  write_section(out, payload);
+
+  // Lifetime counters (monitoring continuity across the restart).
+  payload.clear();
+  put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kStats));
+  put_u64(payload, jobs_opened_.load(std::memory_order_relaxed));
+  put_u64(payload, jobs_completed_.load(std::memory_order_relaxed));
+  put_u64(payload, jobs_evicted_.load(std::memory_order_relaxed));
+  put_u64(payload, samples_pushed_.load(std::memory_order_relaxed));
+  put_u64(payload, samples_dropped_.load(std::memory_order_relaxed));
+  put_u64(payload, samples_late_.load(std::memory_order_relaxed));
+  put_u64(payload, samples_overflowed_.load(std::memory_order_relaxed));
+  put_u64(payload, samples_rejected_.load(std::memory_order_relaxed));
+  put_u64(payload, pushes_blocked_.load(std::memory_order_relaxed));
+  write_section(out, payload);
+
+  // Terminator: its presence is how restore() distinguishes a complete
+  // snapshot from one truncated at a section boundary.
+  payload.clear();
+  put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kEnd));
+  write_section(out, payload);
+
+  if (!out) fail("snapshot write failed");
+}
+
+ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
+  // restore() is a startup operation: refuse on a service that has
+  // already seen traffic (open streams or undrained verdicts).
+  {
+    std::shared_lock lock(jobs_mutex_);
+    if (!jobs_.empty()) {
+      fail("restore requires a service with no open jobs");
+    }
+  }
+  {
+    std::lock_guard lock(verdicts_mutex_);
+    if (!verdicts_.empty()) {
+      fail("restore requires a service with no pending verdicts");
+    }
+  }
+
+  const auto read_exact = [&in](std::size_t size, const char* what) {
+    std::vector<std::uint8_t> bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(in.gcount()) != size) {
+      fail(std::string("truncated ") + what);
+    }
+    return bytes;
+  };
+
+  {
+    const auto magic = read_exact(kSnapshotMagicBytes, "magic");
+    if (!std::equal(magic.begin(), magic.end(), kSnapshotMagic)) {
+      fail("bad magic");
+    }
+  }
+
+  // Stage everything; the service is mutated only after the final
+  // section validated (all-or-nothing).
+  std::uint64_t replay_cursor = 0;
+  std::uint64_t epoch_version = 0;
+  std::uint64_t swap_count = 0;
+  std::shared_ptr<DictionaryHandle::Epoch> staged_epoch;
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobStream>> staged_jobs;
+  std::vector<JobVerdict> staged_verdicts;
+  std::size_t streams_reset = 0;
+  std::uint64_t counters[9] = {};
+  bool saw_verdicts = false;
+  bool saw_stats = false;
+  bool saw_end = false;
+
+  // Strict section order: Meta, Dictionary, Stream*, Verdicts, Stats, End.
+  SnapshotSection expected = SnapshotSection::kMeta;
+  while (!saw_end) {
+    const auto header = read_exact(8, "section header");
+    ByteReader header_reader(header.data(), header.size());
+    std::uint32_t payload_len = 0, stored_crc = 0;
+    header_reader.read_u32(payload_len);
+    header_reader.read_u32(stored_crc);
+    if (payload_len < 1) fail("section shorter than its type byte");
+    if (payload_len > kMaxSnapshotSectionBytes) {
+      fail("section exceeds size limit");
+    }
+    const auto payload = read_exact(payload_len, "section payload");
+    if (util::crc32(payload) != stored_crc) fail("section CRC mismatch");
+
+    ByteReader reader(payload.data(), payload.size());
+    std::uint8_t type_byte = 0;
+    reader.read_u8(type_byte);
+    const auto type = static_cast<SnapshotSection>(type_byte);
+
+    switch (type) {
+      case SnapshotSection::kMeta:
+        if (expected != SnapshotSection::kMeta) fail("unexpected meta section");
+        if (reader.remaining() != 8 || !reader.read_u64(replay_cursor)) {
+          fail("malformed meta section");
+        }
+        expected = SnapshotSection::kDictionary;
+        break;
+
+      case SnapshotSection::kDictionary: {
+        if (expected != SnapshotSection::kDictionary) {
+          fail("unexpected dictionary section");
+        }
+        if (!reader.read_u64(epoch_version) || !reader.read_u64(swap_count)) {
+          fail("malformed dictionary section");
+        }
+        const std::string text(
+            reinterpret_cast<const char*>(payload.data() +
+                                          (payload.size() - reader.remaining())),
+            reader.remaining());
+        try {
+          std::istringstream dictionary_bytes(text);
+          staged_epoch = std::make_shared<DictionaryHandle::Epoch>(
+              epoch_version,
+              ShardedDictionary::load(dictionary_bytes,
+                                      dictionary().shard_count()));
+        } catch (const std::exception& error) {
+          fail(std::string("embedded dictionary rejected: ") + error.what());
+        }
+        expected = SnapshotSection::kStream;
+        break;
+      }
+
+      case SnapshotSection::kStream: {
+        if (expected != SnapshotSection::kStream) {
+          fail("unexpected stream section");
+        }
+        std::uint64_t job_id = 0;
+        std::uint32_t node_count = 0;
+        std::string signature;
+        if (!reader.read_u64(job_id) || !reader.read_u32(node_count) ||
+            !reader.read_string(signature)) {
+          fail("malformed stream header");
+        }
+        std::uint32_t acc_count = 0;
+        if (!read_count(reader, kAccumulatorBytes, acc_count)) {
+          fail("accumulator count inconsistent with section length");
+        }
+        std::vector<OnlineRecognizer::AccumulatorState> states;
+        states.reserve(acc_count);
+        for (std::uint32_t i = 0; i < acc_count; ++i) {
+          OnlineRecognizer::AccumulatorState state;
+          std::uint32_t last_t = 0;
+          if (!reader.read_f64(state.sum) || !reader.read_u64(state.count) ||
+              !reader.read_u32(last_t)) {
+            fail("truncated accumulator state");
+          }
+          state.last_t = static_cast<std::int32_t>(last_t);
+          states.push_back(state);
+        }
+        auto stream =
+            std::make_shared<JobStream>(staged_epoch, job_id, node_count);
+        if (signature ==
+            config_signature(staged_epoch->dictionary.config())) {
+          try {
+            stream->recognizer.import_state(states);
+          } catch (const std::invalid_argument& error) {
+            fail(std::string("stream state rejected: ") + error.what());
+          }
+        } else {
+          // Pinned to an epoch whose accumulator layout differs from the
+          // snapshot's active dictionary: window sums cannot transfer.
+          // The stream restores OPEN with fresh windows (its queue still
+          // replays) rather than misattributing state or failing the
+          // whole boot — an unfinishable stream ends in the stale sweep's
+          // unknown-application safeguard, the paper's semantics.
+          ++streams_reset;
+        }
+        std::uint32_t queue_len = 0;
+        if (!read_count(reader, kMinSampleBytes, queue_len)) {
+          fail("queued-sample count inconsistent with section length");
+        }
+        for (std::uint32_t i = 0; i < queue_len; ++i) {
+          Sample sample;
+          std::uint32_t t_bits = 0;
+          if (!reader.read_u32(sample.node_id) || !reader.read_u32(t_bits) ||
+              !reader.read_f64(sample.value) ||
+              !reader.read_string(sample.metric)) {
+            fail("truncated queued sample");
+          }
+          sample.t = static_cast<int>(static_cast<std::int32_t>(t_bits));
+          stream->queue.push_back(std::move(sample));
+        }
+        stream->queued.store(stream->queue.size(), std::memory_order_relaxed);
+        stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+        if (!staged_jobs.emplace(job_id, std::move(stream)).second) {
+          fail("duplicate stream job id");
+        }
+        break;
+      }
+
+      case SnapshotSection::kVerdicts: {
+        // Streams are optional, so Verdicts is accepted from the
+        // post-dictionary state directly.
+        if (expected != SnapshotSection::kStream) {
+          fail("unexpected verdicts section");
+        }
+        std::uint32_t count = 0;
+        if (!read_count(reader, kMinVerdictBytes, count)) {
+          fail("verdict count inconsistent with section length");
+        }
+        staged_verdicts.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          JobVerdict verdict;
+          if (!read_result(reader, verdict.job_id, verdict.result)) {
+            fail("truncated verdict");
+          }
+          staged_verdicts.push_back(std::move(verdict));
+        }
+        saw_verdicts = true;
+        expected = SnapshotSection::kStats;
+        break;
+      }
+
+      case SnapshotSection::kStats:
+        if (expected != SnapshotSection::kStats) {
+          fail("unexpected stats section");
+        }
+        if (reader.remaining() != kStatsBytes) fail("malformed stats section");
+        for (std::uint64_t& counter : counters) reader.read_u64(counter);
+        saw_stats = true;
+        expected = SnapshotSection::kEnd;
+        break;
+
+      case SnapshotSection::kEnd:
+        if (expected != SnapshotSection::kEnd) fail("unexpected end section");
+        saw_end = true;
+        break;
+
+      default:
+        fail("unknown section type");
+    }
+    // The dictionary body legitimately runs to the section end (its text
+    // is consumed wholesale above); every other section must account for
+    // every byte it carried.
+    if (type != SnapshotSection::kEnd && type != SnapshotSection::kDictionary &&
+        reader.remaining() != 0) {
+      fail("trailing bytes in section");
+    }
+  }
+  if (!saw_verdicts || !saw_stats || staged_epoch == nullptr) {
+    fail("incomplete snapshot");  // unreachable via order machine; belt
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    fail("trailing bytes after end section");
+  }
+
+  // Commit.
+  const std::size_t jobs_restored = staged_jobs.size();
+  const std::size_t verdicts_restored = staged_verdicts.size();
+  handle_.reset(staged_epoch, swap_count);
+  {
+    std::unique_lock lock(jobs_mutex_);
+    jobs_ = std::move(staged_jobs);
+  }
+  {
+    std::lock_guard lock(verdicts_mutex_);
+    verdicts_ = std::move(staged_verdicts);
+  }
+  jobs_opened_.store(counters[0], std::memory_order_relaxed);
+  jobs_completed_.store(counters[1], std::memory_order_relaxed);
+  jobs_evicted_.store(counters[2], std::memory_order_relaxed);
+  samples_pushed_.store(counters[3], std::memory_order_relaxed);
+  samples_dropped_.store(counters[4], std::memory_order_relaxed);
+  samples_late_.store(counters[5], std::memory_order_relaxed);
+  samples_overflowed_.store(counters[6], std::memory_order_relaxed);
+  samples_rejected_.store(counters[7], std::memory_order_relaxed);
+  pushes_blocked_.store(counters[8], std::memory_order_relaxed);
+
+  ServiceRestoreInfo info;
+  info.replay_cursor = replay_cursor;
+  info.dictionary_epoch = epoch_version;
+  info.jobs_restored = jobs_restored;
+  info.verdicts_restored = verdicts_restored;
+  info.streams_reset = streams_reset;
+  return info;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,89 @@
+#pragma once
+/// \file service_snapshot.hpp
+/// \brief EFD-SNAP-V1: the durable service-state format behind
+/// RecognitionService::snapshot() / restore().
+///
+/// A `serve` restart must not lose in-flight jobs: the snapshot captures
+/// everything a fresh process needs to carry on — the active dictionary
+/// epoch, every open stream's window accumulators and queued samples,
+/// verdicts that completed but were not yet drained, and the lifetime
+/// counters (so monitoring stays continuous across the restart).
+///
+/// File layout (all integers little-endian, same primitive vocabulary as
+/// EFD-WIRE-V1 via util/binary_io.hpp):
+///
+///   file     := magic "EFDSNAP1" | section*
+///   section  := u32 payload_len | u32 crc32(payload) | payload
+///   payload  := u8 section_type | body
+///
+///   Meta       body := u64 replay_cursor
+///   Dictionary body := u64 epoch_version | u64 swap_count
+///                      | dictionary bytes (EFD-DICT-V1, to body end)
+///   Stream     body := u64 job_id | u32 node_count
+///                      | u16 sig_len | sig (the pinned epoch's
+///                        metric/interval layout signature; a mismatch
+///                        with the embedded dictionary restores the
+///                        stream with fresh windows instead of failing)
+///                      | u32 acc_count   | acc_count * accumulator
+///                      | u32 queue_len   | queue_len * sample
+///     accumulator    := f64 sum | u64 count | i32 last_t
+///     sample         := u32 node_id | i32 t | f64 value
+///                       | u16 metric_len | metric bytes
+///   Verdicts   body := u32 count | count * verdict
+///     verdict        := u64 job_id | u8 recognized
+///                       | u64 fingerprints | u64 matched
+///                       | u32 n_apps        | n_apps * string
+///                       | u32 n_votes       | n_votes * (string | i32)
+///                       | u32 n_label_votes | n_label_votes * (string | i32)
+///                       | u32 n_labels      | n_labels * string
+///   Stats      body := 9 * u64 (jobs_opened, jobs_completed,
+///                      jobs_evicted, samples_pushed, samples_dropped,
+///                      samples_late, samples_overflowed,
+///                      samples_rejected, pushes_blocked)
+///   End        body := (empty; REQUIRED terminator)
+///
+/// Sections appear in exactly this order: Meta, Dictionary, Stream*,
+/// Verdicts, Stats, End. The decoder is defensive by construction — it
+/// is fed files that may have been truncated by a crashing writer or
+/// corrupted at rest, and must never crash, read out of bounds, or
+/// over-allocate: every section is CRC-checked before parsing, hostile
+/// length fields are rejected from the 8-byte section header alone,
+/// element counts are validated against the bytes that actually arrived
+/// before any allocation, a missing End section (truncation at a section
+/// boundary) is an error, and everything fails by throwing SnapshotError
+/// with the service untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace efd::core {
+
+inline constexpr std::size_t kSnapshotMagicBytes = 8;
+inline constexpr char kSnapshotMagic[kSnapshotMagicBytes + 1] = "EFDSNAP1";
+
+/// Decode guard: a section whose length prefix exceeds this fails the
+/// restore before anything is allocated. The dictionary section is the
+/// only one that grows with deployment size; 256 MB of EFD-DICT-V1 text
+/// is orders of magnitude past the paper's largest dictionaries.
+inline constexpr std::size_t kMaxSnapshotSectionBytes = 1u << 28;
+
+enum class SnapshotSection : std::uint8_t {
+  kMeta = 1,
+  kDictionary = 2,
+  kStream = 3,
+  kVerdicts = 4,
+  kStats = 5,
+  kEnd = 6,
+};
+
+/// Any EFD-SNAP-V1 violation: bad magic, truncation, CRC mismatch,
+/// hostile lengths, out-of-order or unknown sections, or stream state
+/// inconsistent with the embedded dictionary. restore() guarantees the
+/// service is untouched when this is thrown.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace efd::core

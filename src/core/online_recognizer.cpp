@@ -1,6 +1,7 @@
 #include "core/online_recognizer.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/rounding.hpp"
 
@@ -61,6 +62,43 @@ bool OnlineRecognizer::ready() const noexcept {
     }
   }
   return !accumulators_.empty();
+}
+
+std::vector<OnlineRecognizer::AccumulatorState> OnlineRecognizer::export_state()
+    const {
+  std::vector<AccumulatorState> states;
+  for (const auto& per_metric : accumulators_) {
+    for (const auto& per_interval : per_metric) {
+      for (const WindowAccumulator& acc : per_interval) {
+        states.push_back({acc.sum(), static_cast<std::uint64_t>(acc.count()),
+                          static_cast<std::int32_t>(acc.last_t())});
+      }
+    }
+  }
+  return states;
+}
+
+void OnlineRecognizer::import_state(
+    const std::vector<AccumulatorState>& states) {
+  std::size_t total = 0;
+  for (const auto& per_metric : accumulators_) {
+    for (const auto& per_interval : per_metric) total += per_interval.size();
+  }
+  if (states.size() != total) {
+    throw std::invalid_argument(
+        "accumulator state count does not match recognizer layout");
+  }
+  std::size_t i = 0;
+  for (auto& per_metric : accumulators_) {
+    for (auto& per_interval : per_metric) {
+      for (WindowAccumulator& acc : per_interval) {
+        const AccumulatorState& state = states[i++];
+        acc.restore_state(state.sum, static_cast<std::size_t>(state.count),
+                          static_cast<int>(state.last_t));
+      }
+    }
+  }
+  cached_.reset();
 }
 
 int OnlineRecognizer::seconds_until_ready(int current_t) const noexcept {

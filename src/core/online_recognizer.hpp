@@ -29,9 +29,19 @@ class WindowAccumulator {
   telemetry::Interval interval() const noexcept { return interval_; }
   bool complete() const noexcept;
   std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  int last_t() const noexcept { return last_t_; }
 
   /// Mean over the samples received inside the window so far.
   double mean() const noexcept;
+
+  /// Snapshot restore: overwrites the incremental state wholesale. The
+  /// caller (OnlineRecognizer::import_state) owns consistency.
+  void restore_state(double sum, std::size_t count, int last_t) noexcept {
+    sum_ = sum;
+    count_ = count;
+    last_t_ = last_t;
+  }
 
  private:
   telemetry::Interval interval_;
@@ -63,6 +73,25 @@ class OnlineRecognizer {
 
   /// Seconds still missing until the last window closes (0 when ready).
   int seconds_until_ready(int current_t) const noexcept;
+
+  std::uint32_t node_count() const noexcept { return node_count_; }
+
+  /// One accumulator's incremental state, as it travels through an
+  /// EFD-SNAP-V1 service snapshot (see service_snapshot.hpp).
+  struct AccumulatorState {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    std::int32_t last_t = -1;
+  };
+
+  /// Flattens every accumulator's state in deterministic (node, metric,
+  /// interval) order — the snapshot serialization order.
+  std::vector<AccumulatorState> export_state() const;
+
+  /// Inverse of export_state on a freshly constructed recognizer over
+  /// the same config/node count. Throws std::invalid_argument when the
+  /// state count does not match this recognizer's accumulator layout.
+  void import_state(const std::vector<AccumulatorState>& states);
 
  private:
   const DictionaryView* dictionary_;

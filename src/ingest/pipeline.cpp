@@ -1,8 +1,14 @@
 #include "ingest/pipeline.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
+#include "core/online/service_snapshot.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efd::ingest {
@@ -40,18 +46,46 @@ void IngestPipeline::join() {
   if (thread_.joinable()) thread_.join();
 }
 
+void IngestPipeline::maybe_rebind_reply(
+    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply) {
+  // A job restored from a snapshot is open in the service but has no
+  // reply channel (its emitter's connection died with the old process).
+  // Bind it to the first connection that streams it, so a reconnecting
+  // emitter receives the verdict it is still owed.
+  if (reply == nullptr || replies_.contains(job_id)) return;
+  if (!service_.has_job(job_id)) return;
+  replies_[job_id] = reply;
+  jobs_rebound_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestPipeline::deliver_parked(
+    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply) {
+  if (reply == nullptr || parked_verdicts_.empty()) return;
+  const auto it = parked_verdicts_.find(job_id);
+  if (it == parked_verdicts_.end()) return;
+  reply->deliver(it->second);
+  parked_verdicts_.erase(it);
+  verdicts_delivered_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void IngestPipeline::dispatch(Envelope& envelope) {
   Message& message = envelope.message;
   switch (message.type) {
     case MessageType::kOpenJob:
+      deliver_parked(message.job_id, envelope.reply);
       if (service_.open_job(message.job_id, message.node_count)) {
         jobs_opened_.fetch_add(1, std::memory_order_relaxed);
         replies_[message.job_id] = envelope.reply;
       } else {
         open_rejected_.fetch_add(1, std::memory_order_relaxed);
+        // Open for a job restored from a snapshot: the stream already
+        // exists, but the new connection is its emitter now.
+        maybe_rebind_reply(message.job_id, envelope.reply);
       }
       break;
     case MessageType::kSampleBatch: {
+      deliver_parked(message.job_id, envelope.reply);
+      maybe_rebind_reply(message.job_id, envelope.reply);
       // One stream resolution + lock cycle per wire batch, not per
       // sample (the dispatch thread's hot path).
       scratch_.clear();
@@ -65,6 +99,8 @@ void IngestPipeline::dispatch(Envelope& envelope) {
       break;
     }
     case MessageType::kCloseJob:
+      deliver_parked(message.job_id, envelope.reply);
+      maybe_rebind_reply(message.job_id, envelope.reply);
       if (service_.close_job(message.job_id)) {
         jobs_closed_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -72,12 +108,72 @@ void IngestPipeline::dispatch(Envelope& envelope) {
     case MessageType::kShutdown:
       if (config_.stop_on_shutdown_message) stop();
       break;
+    case MessageType::kSwapDictionary: {
+      if (!config_.allow_dictionary_swap) {
+        swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (envelope.reply != nullptr) {
+          envelope.reply->deliver(make_swap_ack(
+              false, service_.dictionary_handle().version(),
+              "dictionary swap disabled on this endpoint"));
+        }
+        break;
+      }
+      try {
+        std::istringstream blob(
+            std::string(message.dictionary_blob.begin(),
+                        message.dictionary_blob.end()));
+        core::ShardedDictionary next = core::ShardedDictionary::load(
+            blob, service_.dictionary().shard_count());
+        const std::uint64_t epoch = service_.swap_dictionary(std::move(next));
+        dictionary_swaps_.fetch_add(1, std::memory_order_relaxed);
+        if (envelope.reply != nullptr) {
+          envelope.reply->deliver(make_swap_ack(true, epoch));
+        }
+      } catch (const std::exception& error) {
+        swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (envelope.reply != nullptr) {
+          envelope.reply->deliver(
+              make_swap_ack(false, service_.dictionary_handle().version(),
+                            error.what()));
+        }
+      }
+      break;
+    }
     case MessageType::kVerdict:
+    case MessageType::kSwapAck:
     default:
-      // Verdicts flow outbound only; anything else is a peer bug.
+      // Verdicts and acks flow outbound only; anything else is a peer bug.
       unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+void IngestPipeline::write_snapshot() {
+  const std::string temp_path = config_.snapshot_path + ".tmp";
+  try {
+    {
+      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw core::SnapshotError("cannot open " + temp_path);
+      service_.snapshot(out, envelopes_.load(std::memory_order_relaxed));
+      if (!out.flush()) throw core::SnapshotError("flush failed");
+    }
+    if (std::rename(temp_path.c_str(), config_.snapshot_path.c_str()) != 0) {
+      throw core::SnapshotError("rename to " + config_.snapshot_path +
+                                " failed");
+    }
+  } catch (const std::exception&) {
+    // Durability is best-effort while serving: count it, keep going
+    // (the previous snapshot, if any, is still intact thanks to the
+    // tmp+rename discipline).
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::remove(temp_path.c_str());
+    return;
+  }
+  const std::uint64_t count =
+      snapshots_written_.fetch_add(1, std::memory_order_relaxed) + 1;
+  verdicts_at_last_snapshot_ =
+      verdicts_delivered_.load(std::memory_order_relaxed);
+  if (config_.on_snapshot) config_.on_snapshot(count, config_.snapshot_path);
 }
 
 std::uint64_t IngestPipeline::flush_verdicts() {
@@ -98,8 +194,35 @@ std::uint64_t IngestPipeline::flush_verdicts() {
 }
 
 std::uint64_t IngestPipeline::run() {
+  if (config_.restore_on_start && !config_.snapshot_path.empty()) {
+    // Only a genuinely ABSENT file is a normal first boot. A snapshot
+    // that exists but cannot be opened (permissions, I/O error) — like a
+    // corrupt one — throws SnapshotError out of run(): crash recovery
+    // with bad state is the operator's call (delete the file to boot
+    // fresh), never something to guess past silently.
+    std::error_code probe;
+    if (std::filesystem::exists(config_.snapshot_path, probe)) {
+      std::ifstream in(config_.snapshot_path, std::ios::binary);
+      if (!in.good()) {
+        throw core::SnapshotError("cannot open snapshot " +
+                                  config_.snapshot_path);
+      }
+      const core::ServiceRestoreInfo info = service_.restore(in);
+      jobs_restored_.store(info.jobs_restored, std::memory_order_relaxed);
+      // Verdicts that completed pre-crash but were never shipped: park
+      // them for the emitter's reconnect (see deliver_parked) instead of
+      // flushing them at nobody on the first loop iteration.
+      for (core::JobVerdict& verdict : service_.drain_verdicts()) {
+        if (config_.on_verdict) config_.on_verdict(verdict);
+        parked_verdicts_[verdict.job_id] = make_verdict_message(verdict);
+      }
+    }
+  }
+
   std::uint64_t total_delivered = 0;
-  auto last_sweep = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();
+  auto last_sweep = start;
+  auto last_snapshot = start;
   std::vector<Envelope> batch;
   bool more = true;
 
@@ -127,6 +250,21 @@ std::uint64_t IngestPipeline::run() {
       last_sweep = now;
     }
 
+    if (!config_.snapshot_path.empty()) {
+      const bool interval_due =
+          config_.snapshot_interval.count() > 0 &&
+          now - last_snapshot >= config_.snapshot_interval;
+      const bool verdicts_due =
+          config_.snapshot_every_verdicts > 0 &&
+          verdicts_delivered_.load(std::memory_order_relaxed) -
+                  verdicts_at_last_snapshot_ >=
+              config_.snapshot_every_verdicts;
+      if (interval_due || verdicts_due) {
+        write_snapshot();
+        last_snapshot = now;
+      }
+    }
+
     if (config_.max_verdicts != 0 &&
         verdicts_delivered_.load(std::memory_order_relaxed) >=
             config_.max_verdicts) {
@@ -148,6 +286,13 @@ std::uint64_t IngestPipeline::run() {
     }
     total_delivered += flush_verdicts();
   }
+  if (!config_.snapshot_path.empty() &&
+      (config_.snapshot_interval.count() > 0 ||
+       config_.snapshot_every_verdicts > 0)) {
+    // Final snapshot on a clean exit: the successor process restarts
+    // with continuous lifetime counters (and whatever streams remain).
+    write_snapshot();
+  }
   return total_delivered;
 }
 
@@ -164,6 +309,12 @@ IngestPipelineStats IngestPipeline::stats() const {
       unexpected_messages_.load(std::memory_order_relaxed);
   stats.sweeps = sweeps_.load(std::memory_order_relaxed);
   stats.evicted = evicted_.load(std::memory_order_relaxed);
+  stats.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+  stats.snapshot_failures = snapshot_failures_.load(std::memory_order_relaxed);
+  stats.jobs_restored = jobs_restored_.load(std::memory_order_relaxed);
+  stats.jobs_rebound = jobs_rebound_.load(std::memory_order_relaxed);
+  stats.dictionary_swaps = dictionary_swaps_.load(std::memory_order_relaxed);
+  stats.swaps_rejected = swaps_rejected_.load(std::memory_order_relaxed);
   return stats;
 }
 

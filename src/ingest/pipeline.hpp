@@ -15,6 +15,26 @@
 /// or one that vanishes mid-job — cannot grow service memory without
 /// limit. Back-pressure propagates producer-ward at each boundary.
 ///
+/// Durability hooks: with snapshot_path configured, run() periodically
+/// serializes the whole service (EFD-SNAP-V1, see service_snapshot.hpp)
+/// to that path — written to a temp file and atomically renamed, so a
+/// crash mid-write can never corrupt the previous snapshot — and
+/// restore_on_start rebuilds the service from it before the first poll,
+/// so a serve restart does not lose in-flight jobs. Restored jobs have
+/// no reply connection (their emitter's socket died with the old
+/// process); the pipeline re-binds a job's reply channel to the first
+/// connection that streams samples (or a close) for it, so a
+/// reconnecting emitter gets its verdict on the new connection.
+/// Verdicts that completed pre-crash but were never shipped are parked
+/// at restore (after passing through on_verdict) and delivered to the
+/// first connection that mentions their job — an emitter that re-runs
+/// the job may therefore see the verdict twice (at-least-once).
+///
+/// Live reconfiguration: a kSwapDictionary control frame hot-swaps a
+/// retrained dictionary behind the service (when the operator enabled
+/// allow_dictionary_swap — it is unauthenticated wire input, like
+/// kShutdown) and acks with the new dictionary epoch.
+///
 /// Threading: run() occupies the calling thread until the source is
 /// exhausted, a Shutdown message arrives (when configured), the verdict
 /// quota is reached, or stop() is called. start()/join() wrap run() in
@@ -54,6 +74,27 @@ struct IngestPipelineConfig {
   /// Observer invoked (on the run() thread) for every verdict, before it
   /// ships to the reply channel — operator logging, metrics export.
   std::function<void(const core::JobVerdict&)> on_verdict;
+
+  /// EFD-SNAP-V1 snapshot file (empty = durability disabled). Writes go
+  /// to "<path>.tmp" then rename, so the file is always a complete
+  /// snapshot or absent.
+  std::string snapshot_path;
+  /// Wall-clock snapshot cadence (0 = none; checked at poll boundaries).
+  std::chrono::milliseconds snapshot_interval{0};
+  /// Snapshot after this many verdicts since the last snapshot (0 =
+  /// none). Deterministic under test harnesses, unlike the wall clock.
+  std::uint64_t snapshot_every_verdicts = 0;
+  /// Restore from snapshot_path before the first poll when the file
+  /// exists (a missing file is a normal first boot, not an error; a
+  /// corrupt file throws SnapshotError out of run()).
+  bool restore_on_start = false;
+  /// Honor inbound kSwapDictionary control frames. Off by default for
+  /// the same reason stop_on_shutdown_message is operator-gated.
+  bool allow_dictionary_swap = false;
+  /// Observer invoked (on the run() thread) after each snapshot is
+  /// durably in place, with the lifetime snapshot count — fault
+  /// harnesses script crash points on it.
+  std::function<void(std::uint64_t count, const std::string& path)> on_snapshot;
 };
 
 struct IngestPipelineStats {
@@ -66,6 +107,12 @@ struct IngestPipelineStats {
   std::uint64_t unexpected_messages = 0;  ///< e.g. inbound verdicts
   std::uint64_t sweeps = 0;
   std::uint64_t evicted = 0;          ///< jobs closed by the stale sweep
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_failures = 0;    ///< write errors (serving continues)
+  std::uint64_t jobs_restored = 0;    ///< open streams rebuilt on start
+  std::uint64_t jobs_rebound = 0;     ///< restored jobs re-bound to a new peer
+  std::uint64_t dictionary_swaps = 0; ///< accepted kSwapDictionary frames
+  std::uint64_t swaps_rejected = 0;   ///< disabled by config, or bad blob
 };
 
 class IngestPipeline {
@@ -100,6 +147,16 @@ class IngestPipeline {
   void dispatch(Envelope& envelope);
   /// Drains service verdicts to their reply sinks; returns count.
   std::uint64_t flush_verdicts();
+  /// Points a restored (reply-less) job's verdict at the connection now
+  /// streaming it.
+  void maybe_rebind_reply(std::uint64_t job_id,
+                          const std::shared_ptr<VerdictSink>& reply);
+  /// Ships a parked (restored, completed-pre-crash) verdict to the first
+  /// connection that mentions its job.
+  void deliver_parked(std::uint64_t job_id,
+                      const std::shared_ptr<VerdictSink>& reply);
+  /// Snapshots the service to config_.snapshot_path (tmp + rename).
+  void write_snapshot();
 
   core::RecognitionService& service_;
   SampleSource& source_;
@@ -112,6 +169,9 @@ class IngestPipeline {
   /// Reply channel per open job (single-consumer state: only touched by
   /// the run() thread).
   std::unordered_map<std::uint64_t, std::shared_ptr<VerdictSink>> replies_;
+  /// Restored pending verdicts awaiting their emitter's reconnect
+  /// (run() thread only).
+  std::unordered_map<std::uint64_t, Message> parked_verdicts_;
   /// Reused per-batch view buffer for push_batch (run() thread only).
   std::vector<core::RecognitionService::SamplePush> scratch_;
 
@@ -124,6 +184,14 @@ class IngestPipeline {
   std::atomic<std::uint64_t> unexpected_messages_{0};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> snapshots_written_{0};
+  std::atomic<std::uint64_t> snapshot_failures_{0};
+  std::atomic<std::uint64_t> jobs_restored_{0};
+  std::atomic<std::uint64_t> jobs_rebound_{0};
+  std::atomic<std::uint64_t> dictionary_swaps_{0};
+  std::atomic<std::uint64_t> swaps_rejected_{0};
+  /// Verdicts delivered when the last snapshot was taken (run() thread).
+  std::uint64_t verdicts_at_last_snapshot_ = 0;
 };
 
 /// Builds a kVerdict message from a finished job's result.

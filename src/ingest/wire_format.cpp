@@ -1,14 +1,19 @@
 #include "ingest/wire_format.hpp"
 
-#include <bit>
-#include <cstring>
-#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "util/binary_io.hpp"
 
 namespace efd::ingest {
 
 namespace {
+
+using util::ByteReader;
+using util::put_f64;
+using util::put_string;
+using util::put_u32;
+using util::put_u64;
 
 /// Body sizes that don't depend on string payloads.
 constexpr std::size_t kHeaderBytes = 2;  // version + type
@@ -17,102 +22,10 @@ constexpr std::size_t kCloseJobBody = 8;
 constexpr std::size_t kBatchPrefix = 8 + 4;              // job_id + count
 constexpr std::size_t kSampleFixed = 4 + 4 + 8 + 2;      // + metric bytes
 constexpr std::size_t kVerdictFixed = 8 + 1 + 4 + 4 + 2 + 2;
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
-  out.push_back(static_cast<std::uint8_t>(value));
-  out.push_back(static_cast<std::uint8_t>(value >> 8));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<std::uint8_t>(value >> shift));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<std::uint8_t>(value >> shift));
-  }
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double value) {
-  put_u64(out, std::bit_cast<std::uint64_t>(value));
-}
-
-void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
-  if (text.size() > std::numeric_limits<std::uint16_t>::max()) {
-    throw std::invalid_argument("wire string exceeds u16 length");
-  }
-  put_u16(out, static_cast<std::uint16_t>(text.size()));
-  out.insert(out.end(), text.begin(), text.end());
-}
+constexpr std::size_t kSwapAckFixed = 1 + 8 + 2;
 
 void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
                        std::size_t frame_start);
-
-/// Bounds-checked little-endian reader over one frame's payload.
-class Reader {
- public:
-  Reader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  std::size_t remaining() const noexcept { return size_ - pos_; }
-
-  bool read_u8(std::uint8_t& out) noexcept {
-    if (remaining() < 1) return false;
-    out = data_[pos_++];
-    return true;
-  }
-
-  bool read_u16(std::uint16_t& out) noexcept {
-    if (remaining() < 2) return false;
-    out = static_cast<std::uint16_t>(data_[pos_]) |
-          static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
-    pos_ += 2;
-    return true;
-  }
-
-  bool read_u32(std::uint32_t& out) noexcept {
-    if (remaining() < 4) return false;
-    out = 0;
-    for (int i = 0; i < 4; ++i) {
-      out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    return true;
-  }
-
-  bool read_u64(std::uint64_t& out) noexcept {
-    if (remaining() < 8) return false;
-    out = 0;
-    for (int i = 0; i < 8; ++i) {
-      out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    return true;
-  }
-
-  bool read_f64(double& out) noexcept {
-    std::uint64_t bits = 0;
-    if (!read_u64(bits)) return false;
-    out = std::bit_cast<double>(bits);
-    return true;
-  }
-
-  bool read_string(std::string& out) {
-    std::uint16_t length = 0;
-    if (!read_u16(length)) return false;
-    if (remaining() < length) return false;  // checked BEFORE allocating
-    out.assign(reinterpret_cast<const char*>(data_ + pos_), length);
-    pos_ += length;
-    return true;
-  }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -134,6 +47,22 @@ Message make_close_job(std::uint64_t job_id) {
 Message make_shutdown() {
   Message message;
   message.type = MessageType::kShutdown;
+  return message;
+}
+
+Message make_swap_dictionary(std::vector<std::uint8_t> dictionary_bytes) {
+  Message message;
+  message.type = MessageType::kSwapDictionary;
+  message.dictionary_blob = std::move(dictionary_bytes);
+  return message;
+}
+
+Message make_swap_ack(bool ok, std::uint64_t epoch, std::string error) {
+  Message message;
+  message.type = MessageType::kSwapAck;
+  message.swap_ack.ok = ok;
+  message.swap_ack.epoch = epoch;
+  message.swap_ack.error = std::move(error);
   return message;
 }
 
@@ -186,6 +115,17 @@ void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
       put_u32(out, message.verdict.fingerprints);
       put_string(out, message.verdict.application);
       put_string(out, message.verdict.label);
+      break;
+    case MessageType::kSwapDictionary:
+      // The blob runs to the end of the body; the frame's length prefix
+      // bounds it (and the kMaxFrameBytes check below enforces the cap).
+      out.insert(out.end(), message.dictionary_blob.begin(),
+                 message.dictionary_blob.end());
+      break;
+    case MessageType::kSwapAck:
+      out.push_back(message.swap_ack.ok ? 1 : 0);
+      put_u64(out, message.swap_ack.epoch);
+      put_string(out, message.swap_ack.error);
       break;
   }
 
@@ -243,7 +183,7 @@ DecodeStatus FrameDecoder::next(Message& out) {
   if (payload_len > kMaxFrameBytes) return fail("frame exceeds size limit");
   if (available - 4 < payload_len) return DecodeStatus::kNeedMore;
 
-  Reader reader(head + 4, payload_len);
+  ByteReader reader(head + 4, payload_len);
   std::uint8_t version = 0, type = 0;
   reader.read_u8(version);
   reader.read_u8(type);
@@ -311,6 +251,24 @@ DecodeStatus FrameDecoder::next(Message& out) {
       }
       message.verdict.recognized = recognized != 0;
       if (reader.remaining() != 0) return fail("trailing bytes in verdict");
+      break;
+    }
+    case MessageType::kSwapDictionary:
+      message.type = MessageType::kSwapDictionary;
+      // Whatever the body holds IS the dictionary blob: allocation is
+      // bounded by the bytes that actually arrived (<= kMaxFrameBytes).
+      reader.read_bytes(message.dictionary_blob, reader.remaining());
+      break;
+    case MessageType::kSwapAck: {
+      message.type = MessageType::kSwapAck;
+      std::uint8_t ok = 0;
+      if (reader.remaining() < kSwapAckFixed || !reader.read_u8(ok) ||
+          !reader.read_u64(message.swap_ack.epoch) ||
+          !reader.read_string(message.swap_ack.error)) {
+        return fail("malformed swap-ack body");
+      }
+      message.swap_ack.ok = ok != 0;
+      if (reader.remaining() != 0) return fail("trailing bytes in swap-ack");
       break;
     }
     default:

@@ -22,6 +22,16 @@
 ///                       | u32 matched | u32 fingerprints
 ///                       | u16 app_len | app | u16 label_len | label
 ///   Shutdown    body := (empty)
+///   SwapDictionary body := dictionary bytes (EFD-DICT-V1, to body end)
+///   SwapAck     body := u8 ok | u64 epoch | u16 err_len | err
+///
+/// SwapDictionary is the live-reconfiguration control frame: it carries a
+/// full retrained dictionary and asks the service to hot-swap it behind
+/// every open stream (see core/dictionary_handle.hpp). Like kShutdown it
+/// is unauthenticated wire input, so the pipeline only honors it when the
+/// operator opted in; the SwapAck reply reports the new dictionary epoch
+/// (or ok=0 and a reason). Dictionaries above kMaxFrameBytes cannot
+/// travel this path — restart with the snapshot/restore flow instead.
 ///
 /// Decoding is defensive by construction: the decoder is fed arbitrary
 /// byte streams (network input) and must never crash, read out of
@@ -64,6 +74,8 @@ enum class MessageType : std::uint8_t {
   kCloseJob = 3,
   kVerdict = 4,
   kShutdown = 5,
+  kSwapDictionary = 6,
+  kSwapAck = 7,
 };
 
 /// One monitoring sample as it travels the wire.
@@ -87,6 +99,15 @@ struct WireVerdict {
   bool operator==(const WireVerdict&) const = default;
 };
 
+/// Outcome of a kSwapDictionary request, shipped back to the requester.
+struct WireSwapAck {
+  bool ok = false;
+  std::uint64_t epoch = 0;  ///< active dictionary epoch after the request
+  std::string error;        ///< reason when ok is false
+
+  bool operator==(const WireSwapAck&) const = default;
+};
+
 /// One decoded (or to-encode) message. Only the fields of the active
 /// type are meaningful.
 struct Message {
@@ -95,6 +116,8 @@ struct Message {
   std::uint32_t node_count = 0;        ///< kOpenJob
   std::vector<WireSample> samples;     ///< kSampleBatch
   WireVerdict verdict;                 ///< kVerdict
+  std::vector<std::uint8_t> dictionary_blob;  ///< kSwapDictionary
+  WireSwapAck swap_ack;                ///< kSwapAck
 
   bool operator==(const Message&) const = default;
 };
@@ -103,6 +126,8 @@ struct Message {
 Message make_open_job(std::uint64_t job_id, std::uint32_t node_count);
 Message make_close_job(std::uint64_t job_id);
 Message make_shutdown();
+Message make_swap_dictionary(std::vector<std::uint8_t> dictionary_bytes);
+Message make_swap_ack(bool ok, std::uint64_t epoch, std::string error = {});
 
 /// Appends one encoded frame to \p out. Throws std::invalid_argument if
 /// the message would exceed the wire limits (batch too large, string too

@@ -1,0 +1,127 @@
+#include "util/binary_io.hpp"
+
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace efd::util {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  if (text.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("encoded string exceeds u16 length");
+  }
+  put_u16(out, static_cast<std::uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+bool ByteReader::read_u8(std::uint8_t& out) noexcept {
+  if (remaining() < 1) return false;
+  out = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::read_u16(std::uint16_t& out) noexcept {
+  if (remaining() < 2) return false;
+  out = static_cast<std::uint16_t>(data_[pos_]) |
+        static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return true;
+}
+
+bool ByteReader::read_u32(std::uint32_t& out) noexcept {
+  if (remaining() < 4) return false;
+  out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::read_u64(std::uint64_t& out) noexcept {
+  if (remaining() < 8) return false;
+  out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::read_f64(double& out) noexcept {
+  std::uint64_t bits = 0;
+  if (!read_u64(bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ByteReader::read_string(std::string& out) {
+  std::uint16_t length = 0;
+  if (!read_u16(length)) return false;
+  if (remaining() < length) return false;  // checked BEFORE allocating
+  out.assign(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return true;
+}
+
+bool ByteReader::read_bytes(std::vector<std::uint8_t>& out, std::size_t count) {
+  if (remaining() < count) return false;  // checked BEFORE allocating
+  out.assign(data_ + pos_, data_ + pos_ + count);
+  pos_ += count;
+  return true;
+}
+
+namespace {
+
+/// Table for the reflected IEEE 802.3 polynomial 0xEDB88320.
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace efd::util

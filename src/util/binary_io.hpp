@@ -1,0 +1,76 @@
+#pragma once
+/// \file binary_io.hpp
+/// \brief Shared little-endian byte codec primitives.
+///
+/// Every durable byte format in the project — the EFD-WIRE-V1 network
+/// codec (ingest/wire_format.hpp) and the EFD-SNAP-V1 service snapshot
+/// (core/online/service_snapshot.hpp) — speaks the same primitive
+/// vocabulary: little-endian fixed-width integers, bit-cast doubles,
+/// u16-length-prefixed strings, and a bounds-checked reader that never
+/// trusts a length field further than the bytes that actually arrived.
+/// This header is that vocabulary, factored out so a new format cannot
+/// re-implement (and subtly diverge from) the decoding discipline the
+/// wire codec's fuzz tests established.
+///
+/// ByteReader is defensive by construction: every read_* checks
+/// remaining() before touching memory and returns false on underrun;
+/// read_string checks the decoded length BEFORE allocating. Callers turn
+/// a false return into their own format-level error.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efd::util {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value);
+void put_f64(std::vector<std::uint8_t>& out, double value);
+
+/// u16 length prefix + raw bytes. Throws std::invalid_argument when the
+/// string exceeds the u16 range — an emitter bug, not a data condition.
+void put_string(std::vector<std::uint8_t>& out, const std::string& text);
+
+/// Bounds-checked little-endian reader over one contiguous buffer.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  bool read_u8(std::uint8_t& out) noexcept;
+  bool read_u16(std::uint16_t& out) noexcept;
+  bool read_u32(std::uint32_t& out) noexcept;
+  bool read_u64(std::uint64_t& out) noexcept;
+  bool read_f64(double& out) noexcept;
+
+  /// u16 length prefix + bytes; the length is validated against
+  /// remaining() BEFORE the string allocates.
+  bool read_string(std::string& out);
+
+  /// Bulk copy of exactly \p count raw bytes (no length prefix); the
+  /// count is validated BEFORE the vector allocates.
+  bool read_bytes(std::vector<std::uint8_t>& out, std::size_t count);
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the snapshot
+/// format's per-section integrity check. Chainable: pass a previous
+/// result as \p seed to extend it over discontiguous buffers.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& data,
+                           std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace efd::util

@@ -1,0 +1,317 @@
+/// \file test_fault_e2e.cpp
+/// \brief End-to-end crash/recovery through the real efd_cli binary:
+/// serve with periodic snapshots, hard-kill the process mid-traffic
+/// (--die-after-snapshots simulates a crash AFTER at least one snapshot
+/// landed), restart with --restore, re-run the replay, and require the
+/// verdict set to match an uninterrupted baseline exactly. Also covers
+/// the live dictionary hot-swap control path (swap-dict) and its
+/// operator gating.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+#ifndef EFD_CLI_PATH
+#error "EFD_CLI_PATH must be defined by the build"
+#endif
+
+std::string cli() { return EFD_CLI_PATH; }
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::pair<int, std::string> run(const std::string& command_line) {
+  const std::string out_file = temp_path("e2e_stdout.txt");
+  const int status = std::system(
+      (command_line + " > " + out_file + " 2>&1").c_str());
+  const std::string output = slurp(out_file);
+  std::remove(out_file.c_str());
+  return {status, output};
+}
+
+/// Launches a command in the background; pid lands in \p pid_file.
+void spawn(const std::string& command_line, const std::string& out_file,
+           const std::string& pid_file) {
+  const std::string full = command_line + " > " + out_file + " 2>&1 & echo $! > " +
+                           pid_file;
+  ASSERT_EQ(std::system(full.c_str()), 0) << full;
+}
+
+long read_pid(const std::string& pid_file) {
+  std::ifstream in(pid_file);
+  long pid = 0;
+  in >> pid;
+  return pid;
+}
+
+bool process_alive(long pid) { return pid > 1 && ::kill(pid, 0) == 0; }
+
+/// Waits (up to ~30 s) for the pid to exit; SIGKILLs it on timeout.
+void await_exit(long pid) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (!process_alive(pid)) return;
+    ::usleep(100 * 1000);
+  }
+  if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+/// Scrapes "listening on port N" out of a growing server log.
+int await_port(const std::string& out_file) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(out_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto at = line.find("listening on port ");
+      if (at != std::string::npos) return std::atoi(line.c_str() + at + 18);
+    }
+    ::usleep(100 * 1000);
+  }
+  return 0;
+}
+
+/// The verdict rows of a replay table: "| <execution id> | truth |
+/// prediction | ..." lines. Sorted, so two replays compare independent
+/// of arrival order.
+std::vector<std::string> verdict_rows(const std::string& output) {
+  std::vector<std::string> rows;
+  std::stringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() < 3 || line[0] != '|') continue;
+    const auto first = line.find_first_not_of(" |");
+    if (first == std::string::npos || !std::isdigit(line[first])) continue;
+    rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct ServeGuard {
+  std::string pid_file;
+  ~ServeGuard() {
+    const long pid = read_pid(pid_file);
+    if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGTERM);
+    std::remove(pid_file.c_str());
+  }
+};
+
+class FaultE2e : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(temp_path("fault_history.csv"));
+    dict_path_ = new std::string(temp_path("fault_apps.efd"));
+    const auto [gen_status, gen_output] =
+        run(cli() + " generate --out " + *data_path_ +
+            " --repetitions 2 --no-large --seed 42");
+    ASSERT_EQ(gen_status, 0) << gen_output;
+    const auto [train_status, train_output] =
+        run(cli() + " train --data " + *data_path_ + " --out " + *dict_path_);
+    ASSERT_EQ(train_status, 0) << train_output;
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(data_path_->c_str());
+    std::remove(dict_path_->c_str());
+    delete data_path_;
+    delete dict_path_;
+  }
+
+  static std::string* data_path_;
+  static std::string* dict_path_;
+};
+
+std::string* FaultE2e::data_path_ = nullptr;
+std::string* FaultE2e::dict_path_ = nullptr;
+
+// 11 applications x 3 inputs x 2 repetitions.
+constexpr int kJobs = 66;
+
+TEST_F(FaultE2e, CrashAfterSnapshotRestoresToExactVerdictParity) {
+  // ---- Baseline: one uninterrupted serve + replay. ----
+  const std::string base_out = temp_path("fault_base_serve.txt");
+  const std::string base_pid = temp_path("fault_base_pid.txt");
+  std::string baseline_replay;
+  {
+    spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+              std::to_string(kJobs) + " --quiet",
+          base_out, base_pid);
+    ServeGuard guard{base_pid};
+    const int port = await_port(base_out);
+    ASSERT_GT(port, 0) << slurp(base_out);
+    const auto [status, output] = run(cli() + " replay --data " + *data_path_ +
+                                      " --port " + std::to_string(port));
+    ASSERT_EQ(status, 0) << output;
+    baseline_replay = output;
+    await_exit(read_pid(base_pid));
+  }
+  EXPECT_NE(baseline_replay.find(std::to_string(kJobs) + "/" +
+                                 std::to_string(kJobs) + " correct"),
+            std::string::npos)
+      << baseline_replay;
+
+  // ---- Crash run: serve snapshots every 2 verdicts and hard-dies
+  // (_Exit, no cleanup) right after the 2nd snapshot lands. ----
+  const std::string snapshot_path = temp_path("fault_snapshot.efds");
+  const std::string crash_out = temp_path("fault_crash_serve.txt");
+  const std::string crash_pid = temp_path("fault_crash_pid.txt");
+  const std::string crash_replay_out = temp_path("fault_crash_replay.txt");
+  const std::string crash_replay_pid = temp_path("fault_crash_replay_pid.txt");
+  {
+    spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+              std::to_string(kJobs) + " --snapshot-path " + snapshot_path +
+              " --snapshot-every 2 --die-after-snapshots 2 --quiet",
+          crash_out, crash_pid);
+    ServeGuard guard{crash_pid};
+    const int port = await_port(crash_out);
+    ASSERT_GT(port, 0) << slurp(crash_out);
+
+    spawn(cli() + " replay --data " + *data_path_ + " --port " +
+              std::to_string(port),
+          crash_replay_out, crash_replay_pid);
+    ServeGuard replay_guard{crash_replay_pid};
+
+    // The server must crash itself (exit long before the 66 verdicts a
+    // clean run would serve); the orphaned replay client is reaped.
+    await_exit(read_pid(crash_pid));
+    await_exit(read_pid(crash_replay_pid));
+  }
+  const std::string crash_log = slurp(crash_out);
+  EXPECT_NE(crash_log.find("fault-injection: simulated crash after snapshot"),
+            std::string::npos)
+      << crash_log;
+  {
+    std::ifstream snapshot(snapshot_path, std::ios::binary);
+    ASSERT_TRUE(snapshot.good()) << "no snapshot survived the crash";
+  }
+
+  // Preserve the crash-time snapshot for CI artifact upload (and because
+  // the restore below replaces it with newer generations).
+  if (const char* artifact_dir = std::getenv("EFD_SNAPSHOT_ARTIFACT_DIR")) {
+    std::ifstream src(snapshot_path, std::ios::binary);
+    std::ofstream dst(std::string(artifact_dir) + "/crash-snapshot.efds",
+                      std::ios::binary);
+    dst << src.rdbuf();
+  }
+
+  // ---- Recovery: restart from the snapshot, re-run the full replay.
+  // Jobs that finished pre-crash re-run from scratch; the job that was
+  // in flight at snapshot time resumes its restored accumulators (its
+  // already-seen ticks dedupe); verdicts land on the new connection. ----
+  const std::string restore_out = temp_path("fault_restore_serve.txt");
+  const std::string restore_pid = temp_path("fault_restore_pid.txt");
+  std::string recovery_replay;
+  {
+    spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+              std::to_string(kJobs) + " --snapshot-path " + snapshot_path +
+              " --snapshot-every 16 --restore --quiet",
+          restore_out, restore_pid);
+    ServeGuard guard{restore_pid};
+    const int port = await_port(restore_out);
+    ASSERT_GT(port, 0) << slurp(restore_out);
+    const auto [status, output] = run(cli() + " replay --data " + *data_path_ +
+                                      " --port " + std::to_string(port));
+    ASSERT_EQ(status, 0) << output;
+    recovery_replay = output;
+    await_exit(read_pid(restore_pid));
+  }
+
+  // Exact verdict parity with the uninterrupted run: same count, same
+  // per-execution rows (truth, prediction, input guess, match counts).
+  EXPECT_NE(recovery_replay.find(std::to_string(kJobs) + "/" +
+                                 std::to_string(kJobs) + " correct"),
+            std::string::npos)
+      << recovery_replay;
+  ASSERT_EQ(verdict_rows(baseline_replay).size(),
+            static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(verdict_rows(recovery_replay), verdict_rows(baseline_replay));
+
+  const std::string restore_log = slurp(restore_out);
+  EXPECT_NE(restore_log.find("served " + std::to_string(kJobs) + " verdicts"),
+            std::string::npos)
+      << restore_log;
+
+  std::remove(snapshot_path.c_str());
+  std::remove(base_out.c_str());
+  std::remove(crash_out.c_str());
+  std::remove(crash_replay_out.c_str());
+  std::remove(restore_out.c_str());
+}
+
+TEST_F(FaultE2e, SwapDictControlFrameIsGatedAndPublishesEpochs) {
+  const std::string serve_out = temp_path("swap_serve.txt");
+  const std::string serve_pid = temp_path("swap_serve_pid.txt");
+  // --max-jobs 66 keeps the endpoint alive for the whole test and makes
+  // it exit deterministically after the final replay.
+  spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+            std::to_string(kJobs) + " --allow-swap --quiet",
+        serve_out, serve_pid);
+  ServeGuard guard{serve_pid};
+  const int port = await_port(serve_out);
+  ASSERT_GT(port, 0) << slurp(serve_out);
+
+  // Hot-swap a retrained dictionary (same corpus, fresh file): epoch 2.
+  const std::string retrained = temp_path("swap_retrained.efd");
+  const auto [train_status, train_output] =
+      run(cli() + " train --data " + *data_path_ + " --out " + retrained);
+  ASSERT_EQ(train_status, 0) << train_output;
+  const auto [swap_status, swap_output] = run(
+      cli() + " swap-dict --dict " + retrained + " --port " +
+      std::to_string(port));
+  EXPECT_EQ(swap_status, 0) << swap_output;
+  EXPECT_NE(swap_output.find("dictionary epoch 2 is live"), std::string::npos)
+      << swap_output;
+
+  // Traffic after the swap recognizes against the swapped dictionary.
+  const auto [replay_status, replay_output] = run(
+      cli() + " replay --data " + *data_path_ + " --port " +
+      std::to_string(port));
+  ASSERT_EQ(replay_status, 0) << replay_output;
+  EXPECT_NE(replay_output.find(std::to_string(kJobs) + "/" +
+                               std::to_string(kJobs) + " correct"),
+            std::string::npos)
+      << replay_output;
+
+  await_exit(read_pid(serve_pid));
+  std::remove(retrained.c_str());
+  std::remove(serve_out.c_str());
+}
+
+TEST_F(FaultE2e, SwapDictRejectedWhenNotAllowed) {
+  const std::string serve_out = temp_path("noswap_serve.txt");
+  const std::string serve_pid = temp_path("noswap_serve_pid.txt");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs 1 --quiet",
+        serve_out, serve_pid);
+  ServeGuard guard{serve_pid};
+  const int port = await_port(serve_out);
+  ASSERT_GT(port, 0) << slurp(serve_out);
+
+  const auto [status, output] = run(cli() + " swap-dict --dict " +
+                                    *dict_path_ + " --port " +
+                                    std::to_string(port));
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("swap rejected"), std::string::npos) << output;
+  EXPECT_NE(output.find("disabled"), std::string::npos) << output;
+  std::remove(serve_out.c_str());
+}
+
+}  // namespace

@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -189,6 +191,70 @@ TEST_F(IngestFixture, PipelineRunsJobsFromTransportToVerdict) {
   EXPECT_EQ(stats.samples, 2u * (130 + 130 + 5));
   EXPECT_EQ(stats.unexpected_messages, 0u);
   EXPECT_EQ(service.stats().active_jobs, 0u);
+}
+
+TEST_F(IngestFixture, PipelineRestoreParksRebindsAndSnapshots) {
+  // The crash-recovery vertical slice at pipeline level: a snapshot
+  // holding one pending verdict (job 1 completed, never shipped) and one
+  // in-flight stream (job 2 mid-window); a restarted pipeline restores
+  // it, parks job 1's verdict until a connection mentions the job,
+  // re-binds job 2 to the reconnecting emitter (whose re-open is
+  // rejected but whose replayed ticks dedupe into the restored
+  // accumulators), and writes snapshots on the verdict cadence.
+  const std::string snap_path =
+      ::testing::TempDir() + "/pipeline_restore_snap.efds";
+  {
+    RecognitionService before = make_service();
+    ASSERT_TRUE(before.open_job(1, 2));
+    ASSERT_TRUE(before.open_job(2, 2));
+    for (int t = 0; t < 130; ++t) {
+      for (std::uint32_t node = 0; node < 2; ++node) {
+        before.push(1, node, "nr_mapped_vmstat", t, 6030.0);
+        if (t < 80) before.push(2, node, "nr_mapped_vmstat", t, 6080.0);
+      }
+    }
+    ASSERT_EQ(before.stats().pending_verdicts, 1u);  // job 1, undrained
+    std::ofstream out(snap_path, std::ios::binary);
+    before.snapshot(out);
+  }
+
+  RecognitionService service = make_service();
+  auto collector = std::make_shared<VerdictCollector>();
+  RingTransport ring(256);
+  ring.set_verdict_sink(collector);
+
+  IngestPipelineConfig config;
+  config.snapshot_path = snap_path;
+  config.restore_on_start = true;
+  config.snapshot_every_verdicts = 1;
+  std::uint64_t observed = 0;
+  config.on_verdict = [&observed](const core::JobVerdict&) { ++observed; };
+  IngestPipeline pipeline(service, ring, config);
+  pipeline.start();
+
+  // The reconnecting emitter probes job 1 with a bare close -> parked
+  // verdict; then re-runs job 2 from t=0 (restored ticks dedupe).
+  ring.send(make_close_job(1));
+  send_job(ring, 2, 6080.0);
+  ring.close();
+  pipeline.join();
+
+  const auto verdicts = collector->verdicts();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts.at(1).recognized);
+  EXPECT_EQ(verdicts.at(1).application, "ft");
+  EXPECT_TRUE(verdicts.at(2).recognized);
+  EXPECT_EQ(verdicts.at(2).application, "mg");
+  EXPECT_EQ(observed, 2u);  // the parked verdict passed through on_verdict
+
+  const IngestPipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.jobs_restored, 1u);   // job 2's stream
+  EXPECT_EQ(stats.jobs_rebound, 1u);    // bound to the new connection
+  EXPECT_EQ(stats.open_rejected, 1u);   // its re-open was refused
+  EXPECT_EQ(stats.verdicts_delivered, 2u);
+  EXPECT_GE(stats.snapshots_written, 1u);
+  EXPECT_EQ(stats.snapshot_failures, 0u);
+  std::remove(snap_path.c_str());
 }
 
 TEST_F(IngestFixture, PipelineClosesAbandonedJobsOnSourceEnd) {

@@ -59,6 +59,9 @@ TEST(WireFormat, RoundTripsEveryMessageType) {
       make_close_job(42),
       verdict_message(),
       make_shutdown(),
+      make_swap_dictionary({0x45, 0x46, 0x44, 0x0A, 0x00, 0xFF}),
+      make_swap_ack(true, 7),
+      make_swap_ack(false, 3, "dictionary swap disabled"),
   };
 
   std::vector<std::uint8_t> bytes;
@@ -74,6 +77,39 @@ TEST(WireFormat, RoundTripsEveryMessageType) {
   EXPECT_FALSE(decoder.failed());
   EXPECT_EQ(decoder.frames_decoded(), originals.size());
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFormat, SwapFramesDecodeDefensively) {
+  {
+    // An empty swap blob is a valid frame (the pipeline rejects it at
+    // the dictionary-parse layer, not the codec).
+    FrameDecoder decoder;
+    decoder.feed(encode(make_swap_dictionary({})));
+    Message message;
+    ASSERT_EQ(decoder.next(message), DecodeStatus::kMessage);
+    EXPECT_EQ(message.type, MessageType::kSwapDictionary);
+    EXPECT_TRUE(message.dictionary_blob.empty());
+  }
+  {
+    // A swap-ack whose error length overruns the body must fail cleanly.
+    std::vector<std::uint8_t> bytes = encode(make_swap_ack(false, 1, "x"));
+    // error length field offset: 4 len + 2 header + 1 ok + 8 epoch.
+    bytes[15] = 0xFF;
+    bytes[16] = 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Truncated swap-ack body (shorter than the fixed fields).
+    std::vector<std::uint8_t> bytes = {6, 0, 0, 0, 1,
+                                       static_cast<std::uint8_t>(7), 1, 0, 0, 0};
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
 }
 
 TEST(WireFormat, RoundTripsSpecialDoubleValues) {

@@ -13,9 +13,15 @@
 ///              simultaneously monitored simulated jobs
 ///   serve      serve a trained dictionary over TCP: node daemons (or
 ///              `replay`) stream EFD-WIRE-V1 frames in, verdicts flow
-///              back over the same connection
+///              back over the same connection. --snapshot-path makes the
+///              endpoint durable (periodic EFD-SNAP-V1 snapshots;
+///              --restore resumes in-flight jobs after a crash), and
+///              --allow-swap accepts live dictionary hot-swaps
 ///   replay     stream a dataset CSV against a running `serve` endpoint
 ///              and print the verdicts
+///   swap-dict  hot-swap a retrained dictionary into a running `serve`
+///              endpoint (kSwapDictionary control frame) and report the
+///              new dictionary epoch
 ///
 /// Concurrency knobs: --shards selects the sharded concurrent dictionary
 /// engine (0 = heuristic), --threads sizes a dedicated worker pool, and
@@ -32,7 +38,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -83,8 +93,12 @@ int usage() {
       "  serve      --dict FILE [--port P] [--shards N] [--threads N]\n"
       "             [--policy block|drop-oldest|reject] [--queue-capacity N]\n"
       "             [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
-      "             [--allow-shutdown]\n"
-      "  replay     --data FILE --port P [--host H] [--batch N]\n";
+      "             [--allow-shutdown] [--allow-swap]\n"
+      "             [--snapshot-path FILE] [--snapshot-interval-ms MS]\n"
+      "             [--snapshot-every VERDICTS] [--restore]\n"
+      "             [--die-after-snapshots N]\n"
+      "  replay     --data FILE --port P [--host H] [--batch N]\n"
+      "  swap-dict  --dict FILE --port P [--host H]\n";
   return 2;
 }
 
@@ -421,10 +435,17 @@ int cmd_serve(const util::ArgParser& args) {
   ingest::IngestPipelineConfig pipeline_config;
   pipeline_config.max_verdicts =
       static_cast<std::uint64_t>(args.get_int("max-jobs", 0));
-  // A kShutdown frame is unauthenticated wire input: any connected peer
-  // could stop the whole endpoint. Only honor it when the operator
-  // opted in; otherwise exit via --max-jobs or a signal.
+  // kShutdown and kSwapDictionary are unauthenticated wire input: any
+  // connected peer could stop or reconfigure the whole endpoint. Only
+  // honor them when the operator opted in.
   pipeline_config.stop_on_shutdown_message = args.has("allow-shutdown");
+  pipeline_config.allow_dictionary_swap = args.has("allow-swap");
+  pipeline_config.snapshot_path = args.get("snapshot-path");
+  pipeline_config.snapshot_interval =
+      std::chrono::milliseconds(args.get_int("snapshot-interval-ms", 0));
+  pipeline_config.snapshot_every_verdicts =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every", 0));
+  pipeline_config.restore_on_start = args.has("restore");
   if (!args.has("quiet")) {
     pipeline_config.on_verdict = [](const core::JobVerdict& verdict) {
       std::cout << "verdict job=" << verdict.job_id << " app="
@@ -432,6 +453,25 @@ int cmd_serve(const util::ArgParser& args) {
                 << verdict.result.label_prediction() << " matched="
                 << verdict.result.matched_count << "/"
                 << verdict.result.fingerprint_count << std::endl;
+    };
+  }
+  // Fault-injection knob for the crash-recovery harness: simulate a hard
+  // crash (_Exit: no destructors, no final snapshot, sockets dropped by
+  // the kernel) right after the Nth snapshot lands — so the snapshot on
+  // disk is guaranteed to predate the "lost" tail of the traffic.
+  const long long die_after = args.get_int("die-after-snapshots", 0);
+  const bool quiet = args.has("quiet");
+  if (!pipeline_config.snapshot_path.empty()) {
+    pipeline_config.on_snapshot = [die_after, quiet](std::uint64_t count,
+                                                     const std::string& path) {
+      if (!quiet) std::cout << "snapshot " << count << " -> " << path
+                            << std::endl;
+      if (die_after > 0 && count >= static_cast<std::uint64_t>(die_after)) {
+        std::cout << "fault-injection: simulated crash after snapshot "
+                  << count << std::endl;
+        std::cout.flush();
+        std::_Exit(137);
+      }
     };
   }
 
@@ -454,8 +494,59 @@ int cmd_serve(const util::ArgParser& args) {
             << stats.samples_rejected << " rejected, " << stats.samples_late
             << " late\n"
             << "jobs:     " << pstats.jobs_opened << " opened, "
-            << stats.jobs_evicted << " evicted by the stale sweep\n";
+            << pstats.jobs_restored << " restored, " << pstats.jobs_rebound
+            << " rebound, " << stats.jobs_evicted
+            << " evicted by the stale sweep\n"
+            << "durability: " << pstats.snapshots_written << " snapshots ("
+            << pstats.snapshot_failures << " failed), dictionary epoch "
+            << stats.dictionary_epoch << " after " << pstats.dictionary_swaps
+            << " swaps (" << pstats.swaps_rejected << " rejected)\n";
   return 0;
+}
+
+/// swap-dict: push a retrained dictionary into a running serve endpoint.
+/// The dictionary file is read locally and shipped as bytes (the server
+/// does not need to share a filesystem with the operator).
+int cmd_swap_dict(const util::ArgParser& args) {
+  const std::string dict = args.get("dict");
+  const auto port = args.get_int("port", 0);
+  if (dict.empty() || port <= 0 || port > 65535) return usage();
+  const std::string host = args.get("host", "127.0.0.1");
+
+  std::ifstream in(dict, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << dict << "\n";
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() > ingest::kMaxFrameBytes) {
+    std::cerr << "error: dictionary exceeds the " << ingest::kMaxFrameBytes
+              << "-byte wire limit; restart the server with the snapshot "
+                 "flow instead\n";
+    return 1;
+  }
+
+  ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+  client.send(ingest::make_swap_dictionary(std::move(bytes)));
+
+  ingest::Message reply;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!client.receive(reply, std::chrono::milliseconds(250))) continue;
+    if (reply.type != ingest::MessageType::kSwapAck) continue;
+    if (reply.swap_ack.ok) {
+      std::cout << "swapped: dictionary epoch " << reply.swap_ack.epoch
+                << " is live\n";
+      return 0;
+    }
+    std::cerr << "swap rejected (epoch " << reply.swap_ack.epoch
+              << " still live): " << reply.swap_ack.error << "\n";
+    return 1;
+  }
+  std::cerr << "error: no swap ack from " << host << ":" << port << "\n";
+  return 1;
 }
 
 /// replay: stream a dataset CSV against a running serve endpoint, one
@@ -570,6 +661,7 @@ int main(int argc, char** argv) {
     if (command == "serve-sim") return cmd_serve_sim(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "swap-dict") return cmd_swap_dict(args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
