@@ -1,6 +1,7 @@
 #include "core/online/recognition_service.hpp"
 
 #include <iterator>
+#include <sstream>
 #include <utility>
 
 #include "util/thread_pool.hpp"
@@ -37,8 +38,25 @@ const ShardedDictionary& RecognitionService::dictionary() const {
   return handle_.acquire()->dictionary;
 }
 
-std::uint64_t RecognitionService::swap_dictionary(ShardedDictionary next) {
-  return handle_.swap(std::move(next));
+RecognitionService::SwapOutcome RecognitionService::swap_dictionary(
+    ShardedDictionary next) {
+  // Already-active guard: EFD-DICT-V1 serialization is deterministic
+  // (sorted entries, config included), so byte equality is content AND
+  // layout identity. Swaps are a retrain cadence, not a hot path — two
+  // serializations per attempt is fine, and comparing fresh bytes (not a
+  // publication-time hash) stays correct after learn() inserted into the
+  // active epoch.
+  {
+    const auto active = handle_.acquire();
+    std::ostringstream active_bytes, candidate_bytes;
+    active->dictionary.save(active_bytes);
+    next.save(candidate_bytes);
+    if (std::move(active_bytes).str() == std::move(candidate_bytes).str()) {
+      swaps_noop_.fetch_add(1, std::memory_order_relaxed);
+      return {active->version, true};
+    }
+  }
+  return {handle_.swap(std::move(next)), false};
 }
 
 std::int64_t RecognitionService::now_ns() {
@@ -384,6 +402,7 @@ RecognitionServiceStats RecognitionService::stats() const {
       samples_overflowed_.load(std::memory_order_relaxed);
   stats.samples_rejected = samples_rejected_.load(std::memory_order_relaxed);
   stats.pushes_blocked = pushes_blocked_.load(std::memory_order_relaxed);
+  stats.dictionary_swaps_noop = swaps_noop_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -58,6 +58,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -133,7 +134,13 @@ struct RecognitionServiceStats {
   std::uint64_t samples_rejected = 0;   ///< refused by kReject
   std::uint64_t pushes_blocked = 0;     ///< kBlock waits (back-pressure)
   std::uint64_t dictionary_epoch = 0;   ///< active dictionary version
-  std::uint64_t dictionary_swaps = 0;   ///< lifetime swap_dictionary calls
+  std::uint64_t dictionary_swaps = 0;   ///< swaps that published a new epoch
+  /// swap_dictionary calls rejected because the candidate was
+  /// byte-identical to the active dictionary (already-active): a no-op
+  /// swap must not burn an epoch — it would reset nothing yet make every
+  /// in-flight stream look stale and defeat retrain double-promotion
+  /// protection.
+  std::uint64_t dictionary_swaps_noop = 0;
   /// Open streams still pinned to a superseded dictionary epoch (they
   /// finish against it; drops to 0 once pre-swap streams drain).
   std::size_t jobs_on_stale_epoch = 0;
@@ -149,6 +156,10 @@ struct ServiceRestoreInfo {
   /// an epoch whose accumulator layout (metrics/intervals) differs from
   /// the snapshot's active dictionary, so their sums could not transfer.
   std::size_t streams_reset = 0;
+  /// Opaque Retrain-section bytes carried by the snapshot (empty when the
+  /// snapshot had none). The retrain subsystem decodes these; the service
+  /// only transports them.
+  std::vector<std::uint8_t> retrain_state;
 };
 
 /// Concurrent multi-job streaming recognizer. Non-copyable, non-movable
@@ -175,12 +186,29 @@ class RecognitionService {
   /// not see the new key.
   void learn(const FingerprintKey& key, const std::string& label);
 
+  /// What swap_dictionary did with a candidate.
+  struct SwapOutcome {
+    std::uint64_t epoch = 0;    ///< active epoch after the call
+    bool already_active = false;///< candidate identical to the active dict
+
+    /// Legacy call sites compare the outcome against an epoch number.
+    bool operator==(std::uint64_t version) const { return epoch == version; }
+  };
+
   /// Atomically publishes a retrained dictionary as the new active
   /// epoch, mid-traffic. In-flight streams finish against the epoch they
   /// opened under; streams opened after this call recognize against
-  /// \p next. Returns the new epoch version. Thread-safe against every
-  /// other method (including concurrent swaps, which serialize).
-  std::uint64_t swap_dictionary(ShardedDictionary next);
+  /// \p next. A candidate whose serialized form is byte-identical to the
+  /// active dictionary (config AND content) is rejected as
+  /// already-active: the epoch does not advance, the outcome reports the
+  /// current version, and the attempt is counted in
+  /// ServiceStats::dictionary_swaps_noop. The identity check is advisory
+  /// under races (a concurrent learn() or competing swap between the
+  /// comparison and the publication can let a now-identical candidate
+  /// through); every committed swap is still a fully consistent epoch.
+  /// Thread-safe against every other method (including concurrent swaps,
+  /// which serialize).
+  SwapOutcome swap_dictionary(ShardedDictionary next);
 
   /// Serializes the complete service state (active dictionary epoch,
   /// open streams, pending verdicts, lifetime counters) as EFD-SNAP-V1.
@@ -189,8 +217,11 @@ class RecognitionService {
   /// mid-snapshot is captured at-least-once (as a stream, a pending
   /// verdict, or both) — never lost. \p replay_cursor is an opaque
   /// caller-defined resume point stored verbatim (e.g. "messages
-  /// applied"); restore() hands it back.
-  void snapshot(std::ostream& out, std::uint64_t replay_cursor = 0) const;
+  /// applied"); restore() hands it back. \p retrain_state, when
+  /// non-empty, travels as the optional Retrain section (opaque to the
+  /// service) and comes back in ServiceRestoreInfo::retrain_state.
+  void snapshot(std::ostream& out, std::uint64_t replay_cursor = 0,
+                std::span<const std::uint8_t> retrain_state = {}) const;
 
   /// Rebuilds service state from an EFD-SNAP-V1 stream produced by
   /// snapshot(). Only valid on a service with no open jobs and no
@@ -333,6 +364,7 @@ class RecognitionService {
   std::atomic<std::uint64_t> samples_overflowed_{0};
   std::atomic<std::uint64_t> samples_rejected_{0};
   std::atomic<std::uint64_t> pushes_blocked_{0};
+  std::atomic<std::uint64_t> swaps_noop_{0};
 };
 
 }  // namespace efd::core

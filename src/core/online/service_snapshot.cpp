@@ -33,7 +33,11 @@ constexpr std::size_t kMinSampleBytes = 4 + 4 + 8 + 2;
 constexpr std::size_t kMinStringBytes = 2;
 constexpr std::size_t kMinVoteBytes = 2 + 4;
 constexpr std::size_t kMinVerdictBytes = 8 + 1 + 8 + 8 + 4 * 4;
-constexpr std::size_t kStatsBytes = 9 * 8;
+/// Stats body sizes: current (10 counters) and the legacy 9-counter body
+/// written before dictionary_swaps_noop existed — both restore.
+constexpr std::size_t kStatsCounters = 10;
+constexpr std::size_t kStatsBytes = kStatsCounters * 8;
+constexpr std::size_t kLegacyStatsBytes = 9 * 8;
 
 void write_section(std::ostream& out, const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> header;
@@ -150,8 +154,9 @@ bool read_result(ByteReader& reader, std::uint64_t& job_id,
 
 }  // namespace
 
-void RecognitionService::snapshot(std::ostream& out,
-                                  std::uint64_t replay_cursor) const {
+void RecognitionService::snapshot(
+    std::ostream& out, std::uint64_t replay_cursor,
+    std::span<const std::uint8_t> retrain_state) const {
   out.write(kSnapshotMagic, kSnapshotMagicBytes);
 
   std::vector<std::uint8_t> payload;
@@ -243,7 +248,17 @@ void RecognitionService::snapshot(std::ostream& out,
   put_u64(payload, samples_overflowed_.load(std::memory_order_relaxed));
   put_u64(payload, samples_rejected_.load(std::memory_order_relaxed));
   put_u64(payload, pushes_blocked_.load(std::memory_order_relaxed));
+  put_u64(payload, swaps_noop_.load(std::memory_order_relaxed));
   write_section(out, payload);
+
+  // Optional opaque retrain-subsystem state (trigger/train/gate/promote
+  // lineage) — the service transports it, the retrain layer decodes it.
+  if (!retrain_state.empty()) {
+    payload.clear();
+    put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kRetrain));
+    payload.insert(payload.end(), retrain_state.begin(), retrain_state.end());
+    write_section(out, payload);
+  }
 
   // Terminator: its presence is how restore() distinguishes a complete
   // snapshot from one truncated at a section boundary.
@@ -296,9 +311,11 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   std::unordered_map<std::uint64_t, std::shared_ptr<JobStream>> staged_jobs;
   std::vector<JobVerdict> staged_verdicts;
   std::size_t streams_reset = 0;
-  std::uint64_t counters[9] = {};
+  std::uint64_t counters[kStatsCounters] = {};
+  std::vector<std::uint8_t> staged_retrain;
   bool saw_verdicts = false;
   bool saw_stats = false;
+  bool saw_retrain = false;
   bool saw_end = false;
 
   // Strict section order: Meta, Dictionary, Stream*, Verdicts, Stats, End.
@@ -445,14 +462,29 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
         break;
       }
 
-      case SnapshotSection::kStats:
+      case SnapshotSection::kStats: {
         if (expected != SnapshotSection::kStats) {
           fail("unexpected stats section");
         }
-        if (reader.remaining() != kStatsBytes) fail("malformed stats section");
-        for (std::uint64_t& counter : counters) reader.read_u64(counter);
+        if (reader.remaining() != kStatsBytes &&
+            reader.remaining() != kLegacyStatsBytes) {
+          fail("malformed stats section");
+        }
+        const std::size_t present = reader.remaining() / 8;
+        for (std::size_t i = 0; i < present; ++i) reader.read_u64(counters[i]);
         saw_stats = true;
         expected = SnapshotSection::kEnd;
+        break;
+      }
+
+      case SnapshotSection::kRetrain:
+        // Optional, at most once, only between Stats and End. Opaque:
+        // validated (CRC, bounds) but not interpreted here.
+        if (expected != SnapshotSection::kEnd || saw_retrain) {
+          fail("unexpected retrain section");
+        }
+        staged_retrain.assign(payload.begin() + 1, payload.end());
+        saw_retrain = true;
         break;
 
       case SnapshotSection::kEnd:
@@ -463,11 +495,11 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
       default:
         fail("unknown section type");
     }
-    // The dictionary body legitimately runs to the section end (its text
-    // is consumed wholesale above); every other section must account for
-    // every byte it carried.
+    // The dictionary and retrain bodies legitimately run to the section
+    // end (their bytes are consumed wholesale above); every other section
+    // must account for every byte it carried.
     if (type != SnapshotSection::kEnd && type != SnapshotSection::kDictionary &&
-        reader.remaining() != 0) {
+        type != SnapshotSection::kRetrain && reader.remaining() != 0) {
       fail("trailing bytes in section");
     }
   }
@@ -499,6 +531,7 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   samples_overflowed_.store(counters[6], std::memory_order_relaxed);
   samples_rejected_.store(counters[7], std::memory_order_relaxed);
   pushes_blocked_.store(counters[8], std::memory_order_relaxed);
+  swaps_noop_.store(counters[9], std::memory_order_relaxed);
 
   ServiceRestoreInfo info;
   info.replay_cursor = replay_cursor;
@@ -506,6 +539,7 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   info.jobs_restored = jobs_restored;
   info.verdicts_restored = verdicts_restored;
   info.streams_reset = streams_reset;
+  info.retrain_state = std::move(staged_retrain);
   return info;
 }
 

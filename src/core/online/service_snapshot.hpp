@@ -36,14 +36,28 @@
 ///                       | u32 n_votes       | n_votes * (string | i32)
 ///                       | u32 n_label_votes | n_label_votes * (string | i32)
 ///                       | u32 n_labels      | n_labels * string
-///   Stats      body := 9 * u64 (jobs_opened, jobs_completed,
+///   Stats      body := 10 * u64 (jobs_opened, jobs_completed,
 ///                      jobs_evicted, samples_pushed, samples_dropped,
 ///                      samples_late, samples_overflowed,
-///                      samples_rejected, pushes_blocked)
+///                      samples_rejected, pushes_blocked,
+///                      dictionary_swaps_noop)
+///                      (decoders accept the legacy 9-counter body:
+///                      snapshots written before the no-op-swap counter
+///                      restore with dictionary_swaps_noop = 0)
+///   Retrain    body := opaque bytes (OPTIONAL; at most one). The
+///                      closed-loop retraining subsystem's durable state
+///                      (EFD-RETRAIN-V1, see retrain/retrain_controller
+///                      .hpp). The service treats it as an uninterpreted
+///                      blob: snapshot() writes whatever extension bytes
+///                      the caller hands it, restore() hands them back in
+///                      ServiceRestoreInfo::retrain_state — so a crash
+///                      mid-retrain-cycle restores the attempt lineage
+///                      without core depending on the retrain layer.
 ///   End        body := (empty; REQUIRED terminator)
 ///
 /// Sections appear in exactly this order: Meta, Dictionary, Stream*,
-/// Verdicts, Stats, End. The decoder is defensive by construction — it
+/// Verdicts, Stats, [Retrain,] End. The decoder is defensive by
+/// construction — it
 /// is fed files that may have been truncated by a crashing writer or
 /// corrupted at rest, and must never crash, read out of bounds, or
 /// over-allocate: every section is CRC-checked before parsing, hostile
@@ -75,6 +89,7 @@ enum class SnapshotSection : std::uint8_t {
   kVerdicts = 4,
   kStats = 5,
   kEnd = 6,
+  kRetrain = 7,  ///< optional opaque retrain-subsystem state
 };
 
 /// Any EFD-SNAP-V1 violation: bad magic, truncation, CRC mismatch,

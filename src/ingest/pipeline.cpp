@@ -1,14 +1,17 @@
 #include "ingest/pipeline.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <system_error>
 #include <utility>
 #include <vector>
 
 #include "core/online/service_snapshot.hpp"
+#include "retrain/retrain_controller.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efd::ingest {
@@ -68,14 +71,38 @@ void IngestPipeline::deliver_parked(
   verdicts_delivered_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void IngestPipeline::observe_sink(const std::shared_ptr<VerdictSink>& reply) {
+  if (config_.retrain == nullptr || reply == nullptr) return;
+  // Assign, never try_emplace: a new connection's sink can be allocated
+  // at a freed sink's address, and the stale expired entry would
+  // otherwise shadow it forever.
+  observers_[reply.get()] = reply;
+  // Bound the map across connection churn even when no retrain cycle
+  // ever publishes (the other pruning point). Sweep only when the map
+  // has grown past twice its post-sweep size: genuinely amortized — a
+  // steady population of live connections never re-pays the scan on
+  // every message.
+  if (observers_.size() >= observers_sweep_at_) {
+    for (auto it = observers_.begin(); it != observers_.end();) {
+      it = it->second.expired() ? observers_.erase(it) : std::next(it);
+    }
+    observers_sweep_at_ = std::max<std::size_t>(64, observers_.size() * 2);
+  }
+}
+
 void IngestPipeline::dispatch(Envelope& envelope) {
   Message& message = envelope.message;
+  observe_sink(envelope.reply);
   switch (message.type) {
     case MessageType::kOpenJob:
       deliver_parked(message.job_id, envelope.reply);
       if (service_.open_job(message.job_id, message.node_count)) {
         jobs_opened_.fetch_add(1, std::memory_order_relaxed);
         replies_[message.job_id] = envelope.reply;
+        if (config_.retrain != nullptr) {
+          config_.retrain->recorder().job_opened(message.job_id,
+                                                 message.node_count);
+        }
       } else {
         open_rejected_.fetch_add(1, std::memory_order_relaxed);
         // Open for a job restored from a snapshot: the stream already
@@ -96,6 +123,12 @@ void IngestPipeline::dispatch(Envelope& envelope) {
       }
       service_.push_batch(message.job_id, scratch_);
       samples_.fetch_add(message.samples.size(), std::memory_order_relaxed);
+      if (config_.retrain != nullptr) {
+        // Zero-copy capture tap: this batch is fully dispatched; hand
+        // its backing memory to the traffic recorder instead of freeing.
+        config_.retrain->recorder().record_batch(message.job_id,
+                                                 std::move(message.samples));
+      }
       break;
     }
     case MessageType::kCloseJob:
@@ -124,10 +157,23 @@ void IngestPipeline::dispatch(Envelope& envelope) {
                         message.dictionary_blob.end()));
         core::ShardedDictionary next = core::ShardedDictionary::load(
             blob, service_.dictionary().shard_count());
-        const std::uint64_t epoch = service_.swap_dictionary(std::move(next));
+        const auto outcome = service_.swap_dictionary(std::move(next));
+        if (outcome.already_active) {
+          // A byte-identical candidate must not burn an epoch; tell the
+          // operator their push was a no-op instead of acking a "new"
+          // epoch that never existed.
+          swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
+          if (envelope.reply != nullptr) {
+            envelope.reply->deliver(make_swap_ack(
+                false, outcome.epoch,
+                "already-active: candidate is identical to the live "
+                "dictionary"));
+          }
+          break;
+        }
         dictionary_swaps_.fetch_add(1, std::memory_order_relaxed);
         if (envelope.reply != nullptr) {
-          envelope.reply->deliver(make_swap_ack(true, epoch));
+          envelope.reply->deliver(make_swap_ack(true, outcome.epoch));
         }
       } catch (const std::exception& error) {
         swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -139,12 +185,129 @@ void IngestPipeline::dispatch(Envelope& envelope) {
       }
       break;
     }
+    case MessageType::kStatsRequest:
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (envelope.reply != nullptr) {
+        envelope.reply->deliver(make_stats_reply(render_stats_text()));
+      }
+      break;
     case MessageType::kVerdict:
     case MessageType::kSwapAck:
+    case MessageType::kStatsReply:
+    case MessageType::kRetrainReport:
     default:
-      // Verdicts and acks flow outbound only; anything else is a peer bug.
+      // Verdicts, acks, stats replies, and retrain reports flow outbound
+      // only; anything else is a peer bug.
       unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
       break;
+  }
+}
+
+std::string IngestPipeline::render_stats_text() const {
+  // One "name value" line per counter — the grep/awk-able precursor of a
+  // Prometheus-style endpoint. Names are stable: downstream tooling
+  // diffs them across scrapes.
+  std::ostringstream out;
+  const core::RecognitionServiceStats service = service_.stats();
+  out << "service.active_jobs " << service.active_jobs << "\n"
+      << "service.pending_verdicts " << service.pending_verdicts << "\n"
+      << "service.queued_samples " << service.queued_samples << "\n"
+      << "service.jobs_opened " << service.jobs_opened << "\n"
+      << "service.jobs_completed " << service.jobs_completed << "\n"
+      << "service.jobs_evicted " << service.jobs_evicted << "\n"
+      << "service.samples_pushed " << service.samples_pushed << "\n"
+      << "service.samples_dropped " << service.samples_dropped << "\n"
+      << "service.samples_late " << service.samples_late << "\n"
+      << "service.samples_overflowed " << service.samples_overflowed << "\n"
+      << "service.samples_rejected " << service.samples_rejected << "\n"
+      << "service.pushes_blocked " << service.pushes_blocked << "\n"
+      << "service.dictionary_epoch " << service.dictionary_epoch << "\n"
+      << "service.dictionary_swaps " << service.dictionary_swaps << "\n"
+      << "service.dictionary_swaps_noop " << service.dictionary_swaps_noop
+      << "\n"
+      << "service.jobs_on_stale_epoch " << service.jobs_on_stale_epoch
+      << "\n";
+
+  const IngestPipelineStats pipeline = stats();
+  out << "ingest.envelopes " << pipeline.envelopes << "\n"
+      << "ingest.samples " << pipeline.samples << "\n"
+      << "ingest.jobs_opened " << pipeline.jobs_opened << "\n"
+      << "ingest.open_rejected " << pipeline.open_rejected << "\n"
+      << "ingest.jobs_closed " << pipeline.jobs_closed << "\n"
+      << "ingest.verdicts_delivered " << pipeline.verdicts_delivered << "\n"
+      << "ingest.unexpected_messages " << pipeline.unexpected_messages << "\n"
+      << "ingest.sweeps " << pipeline.sweeps << "\n"
+      << "ingest.evicted " << pipeline.evicted << "\n"
+      << "ingest.snapshots_written " << pipeline.snapshots_written << "\n"
+      << "ingest.snapshot_failures " << pipeline.snapshot_failures << "\n"
+      << "ingest.jobs_restored " << pipeline.jobs_restored << "\n"
+      << "ingest.jobs_rebound " << pipeline.jobs_rebound << "\n"
+      << "ingest.dictionary_swaps " << pipeline.dictionary_swaps << "\n"
+      << "ingest.swaps_rejected " << pipeline.swaps_rejected << "\n"
+      << "ingest.stats_requests " << pipeline.stats_requests << "\n"
+      << "ingest.retrain_reports " << pipeline.retrain_reports << "\n";
+
+  if (config_.retrain != nullptr) {
+    const retrain::RetrainStats retrain = config_.retrain->stats();
+    out << "retrain.cycles_triggered " << retrain.cycles_triggered << "\n"
+        << "retrain.cycles_trained " << retrain.cycles_trained << "\n"
+        << "retrain.cycles_promoted " << retrain.cycles_promoted << "\n"
+        << "retrain.cycles_gated_out " << retrain.cycles_gated_out << "\n"
+        << "retrain.cycles_already_active " << retrain.cycles_already_active
+        << "\n"
+        << "retrain.cycles_skipped_no_data "
+        << retrain.cycles_skipped_no_data << "\n"
+        << "retrain.cycles_failed " << retrain.cycles_failed << "\n"
+        << "retrain.cycles_dry_run " << retrain.cycles_dry_run << "\n"
+        << "retrain.last_cycle " << retrain.last_cycle << "\n"
+        << "retrain.last_promoted_epoch " << retrain.last_promoted_epoch
+        << "\n"
+        << "retrain.last_candidate_score " << retrain.last_candidate_score
+        << "\n"
+        << "retrain.last_incumbent_score " << retrain.last_incumbent_score
+        << "\n";
+    const retrain::TrafficRecorderStats recorder =
+        config_.retrain->recorder().stats();
+    out << "retrain.window_jobs " << recorder.window_jobs << "\n"
+        << "retrain.window_samples " << recorder.window_samples << "\n"
+        << "retrain.window_applications " << recorder.applications << "\n"
+        << "retrain.jobs_captured " << recorder.jobs_captured << "\n"
+        << "retrain.jobs_admitted " << recorder.jobs_admitted << "\n"
+        << "retrain.jobs_replaced " << recorder.jobs_replaced << "\n"
+        << "retrain.jobs_sampled_out " << recorder.jobs_sampled_out << "\n"
+        << "retrain.jobs_unrecognized " << recorder.jobs_unrecognized << "\n"
+        << "retrain.jobs_untracked " << recorder.jobs_untracked << "\n"
+        << "retrain.samples_recorded " << recorder.samples_recorded << "\n"
+        << "retrain.samples_filtered " << recorder.samples_filtered << "\n"
+        << "retrain.window_resets " << recorder.window_resets << "\n";
+  }
+  return std::move(out).str();
+}
+
+void IngestPipeline::publish_retrain_reports() {
+  if (config_.retrain == nullptr) return;
+  const std::vector<retrain::RetrainReport> reports =
+      config_.retrain->drain_reports();
+  if (reports.empty()) return;
+  for (const retrain::RetrainReport& report : reports) {
+    WireRetrainReport wire;
+    wire.cycle = report.cycle;
+    wire.outcome = static_cast<std::uint8_t>(report.outcome);
+    wire.epoch = report.epoch;
+    wire.candidate_score = report.candidate_score;
+    wire.incumbent_score = report.incumbent_score;
+    wire.window_jobs = report.window_jobs;
+    wire.holdout_jobs = report.holdout_jobs;
+    const Message message = make_retrain_report(wire);
+    for (auto it = observers_.begin(); it != observers_.end();) {
+      if (const auto sink = it->second.lock()) {
+        sink->deliver(message);
+        retrain_reports_.fetch_add(1, std::memory_order_relaxed);
+        ++it;
+      } else {
+        it = observers_.erase(it);  // connection is gone
+      }
+    }
   }
 }
 
@@ -154,7 +317,12 @@ void IngestPipeline::write_snapshot() {
     {
       std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
       if (!out) throw core::SnapshotError("cannot open " + temp_path);
-      service_.snapshot(out, envelopes_.load(std::memory_order_relaxed));
+      std::vector<std::uint8_t> retrain_state;
+      if (config_.retrain != nullptr) {
+        retrain_state = config_.retrain->encode_state();
+      }
+      service_.snapshot(out, envelopes_.load(std::memory_order_relaxed),
+                        retrain_state);
       if (!out.flush()) throw core::SnapshotError("flush failed");
     }
     if (std::rename(temp_path.c_str(), config_.snapshot_path.c_str()) != 0) {
@@ -180,6 +348,13 @@ std::uint64_t IngestPipeline::flush_verdicts() {
   std::uint64_t delivered = 0;
   for (const core::JobVerdict& verdict : service_.drain_verdicts()) {
     if (config_.on_verdict) config_.on_verdict(verdict);
+    if (config_.retrain != nullptr) {
+      // Capture tap: the verdict's label is what the captured samples
+      // train under (self-training from served traffic).
+      config_.retrain->recorder().job_finished(
+          verdict.job_id, verdict.result.recognized,
+          verdict.result.label_prediction());
+    }
     const auto it = replies_.find(verdict.job_id);
     if (it != replies_.end()) {
       if (it->second != nullptr) it->second->deliver(make_verdict_message(verdict));
@@ -209,9 +384,18 @@ std::uint64_t IngestPipeline::run() {
       }
       const core::ServiceRestoreInfo info = service_.restore(in);
       jobs_restored_.store(info.jobs_restored, std::memory_order_relaxed);
+      if (config_.retrain != nullptr &&
+          !config_.retrain->restore_state(info.retrain_state)) {
+        // The section passed its CRC, so a decode failure is version
+        // skew, not bit rot — fail as loudly as any other corrupt
+        // snapshot rather than silently zeroing the retrain lineage.
+        throw core::SnapshotError("retrain state rejected by controller");
+      }
       // Verdicts that completed pre-crash but were never shipped: park
       // them for the emitter's reconnect (see deliver_parked) instead of
-      // flushing them at nobody on the first loop iteration.
+      // flushing them at nobody on the first loop iteration. They are
+      // NOT offered to the traffic recorder: their samples died with the
+      // old process.
       for (core::JobVerdict& verdict : service_.drain_verdicts()) {
         if (config_.on_verdict) config_.on_verdict(verdict);
         parked_verdicts_[verdict.job_id] = make_verdict_message(verdict);
@@ -250,6 +434,15 @@ std::uint64_t IngestPipeline::run() {
       last_sweep = now;
     }
 
+    if (config_.retrain != nullptr) {
+      // Closed loop: check the retrain triggers at the poll boundary
+      // (the cycle itself runs on the controller's background thread —
+      // recognition keeps flowing) and fan finished cycles out to every
+      // connection as kRetrainReport frames.
+      config_.retrain->maybe_trigger(now);
+      publish_retrain_reports();
+    }
+
     if (!config_.snapshot_path.empty()) {
       const bool interval_due =
           config_.snapshot_interval.count() > 0 &&
@@ -286,6 +479,13 @@ std::uint64_t IngestPipeline::run() {
     }
     total_delivered += flush_verdicts();
   }
+  if (config_.retrain != nullptr) {
+    // Wind the loop down cleanly: wait out an in-flight cycle so the
+    // final snapshot (below) carries its outcome, and ship the last
+    // reports to whoever is still connected.
+    config_.retrain->join();
+    publish_retrain_reports();
+  }
   if (!config_.snapshot_path.empty() &&
       (config_.snapshot_interval.count() > 0 ||
        config_.snapshot_every_verdicts > 0)) {
@@ -315,6 +515,8 @@ IngestPipelineStats IngestPipeline::stats() const {
   stats.jobs_rebound = jobs_rebound_.load(std::memory_order_relaxed);
   stats.dictionary_swaps = dictionary_swaps_.load(std::memory_order_relaxed);
   stats.swaps_rejected = swaps_rejected_.load(std::memory_order_relaxed);
+  stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  stats.retrain_reports = retrain_reports_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -33,7 +33,23 @@
 /// Live reconfiguration: a kSwapDictionary control frame hot-swaps a
 /// retrained dictionary behind the service (when the operator enabled
 /// allow_dictionary_swap — it is unauthenticated wire input, like
-/// kShutdown) and acks with the new dictionary epoch.
+/// kShutdown) and acks with the new dictionary epoch. A candidate
+/// byte-identical to the active dictionary is refused as already-active
+/// instead of burning an epoch.
+///
+/// Closed-loop retraining: with a retrain::RetrainController attached
+/// (config.retrain), the pipeline taps its TrafficRecorder on every
+/// dispatched open/batch/verdict (sample batches are MOVED in — zero
+/// copy on the hot path), checks the retrain triggers at each poll
+/// boundary, broadcasts a kRetrainReport frame for every finished cycle
+/// to all connections it has seen, and carries the controller's durable
+/// state (EFD-RETRAIN-V1) inside the service snapshot's Retrain section
+/// so a crash mid-cycle restores the attempt lineage.
+///
+/// Monitoring scrape: any connection can send kStatsRequest and gets a
+/// kStatsReply whose body is a flat "name value" text block covering
+/// RecognitionServiceStats, IngestPipelineStats, and (when retraining is
+/// attached) RetrainStats + TrafficRecorderStats.
 ///
 /// Threading: run() occupies the calling thread until the source is
 /// exhausted, a Shutdown message arrives (when configured), the verdict
@@ -54,6 +70,9 @@
 
 namespace efd::util {
 class ThreadPool;
+}
+namespace efd::retrain {
+class RetrainController;
 }
 
 namespace efd::ingest {
@@ -95,6 +114,11 @@ struct IngestPipelineConfig {
   /// durably in place, with the lifetime snapshot count — fault
   /// harnesses script crash points on it.
   std::function<void(std::uint64_t count, const std::string& path)> on_snapshot;
+
+  /// Closed-loop retraining controller (borrowed; must outlive run()).
+  /// Null disables capture, triggering, retrain reports, and the
+  /// Retrain snapshot section.
+  retrain::RetrainController* retrain = nullptr;
 };
 
 struct IngestPipelineStats {
@@ -112,7 +136,9 @@ struct IngestPipelineStats {
   std::uint64_t jobs_restored = 0;    ///< open streams rebuilt on start
   std::uint64_t jobs_rebound = 0;     ///< restored jobs re-bound to a new peer
   std::uint64_t dictionary_swaps = 0; ///< accepted kSwapDictionary frames
-  std::uint64_t swaps_rejected = 0;   ///< disabled by config, or bad blob
+  std::uint64_t swaps_rejected = 0;   ///< disabled, bad blob, or already-active
+  std::uint64_t stats_requests = 0;   ///< kStatsRequest frames answered
+  std::uint64_t retrain_reports = 0;  ///< kRetrainReport deliveries (fan-out)
 };
 
 class IngestPipeline {
@@ -157,6 +183,12 @@ class IngestPipeline {
                       const std::shared_ptr<VerdictSink>& reply);
   /// Snapshots the service to config_.snapshot_path (tmp + rename).
   void write_snapshot();
+  /// Remembers a connection for retrain-report fan-out (run() thread).
+  void observe_sink(const std::shared_ptr<VerdictSink>& reply);
+  /// Ships finished retrain cycles to every live observed connection.
+  void publish_retrain_reports();
+  /// Flat "name value" text block for kStatsReply.
+  std::string render_stats_text() const;
 
   core::RecognitionService& service_;
   SampleSource& source_;
@@ -172,6 +204,11 @@ class IngestPipeline {
   /// Restored pending verdicts awaiting their emitter's reconnect
   /// (run() thread only).
   std::unordered_map<std::uint64_t, Message> parked_verdicts_;
+  /// Every distinct reply channel seen, for retrain-report broadcast
+  /// (run() thread only; expired entries pruned on publish and by an
+  /// amortized sweep when the map doubles past its post-sweep size).
+  std::unordered_map<VerdictSink*, std::weak_ptr<VerdictSink>> observers_;
+  std::size_t observers_sweep_at_ = 64;
   /// Reused per-batch view buffer for push_batch (run() thread only).
   std::vector<core::RecognitionService::SamplePush> scratch_;
 
@@ -190,6 +227,8 @@ class IngestPipeline {
   std::atomic<std::uint64_t> jobs_rebound_{0};
   std::atomic<std::uint64_t> dictionary_swaps_{0};
   std::atomic<std::uint64_t> swaps_rejected_{0};
+  std::atomic<std::uint64_t> stats_requests_{0};
+  std::atomic<std::uint64_t> retrain_reports_{0};
   /// Verdicts delivered when the last snapshot was taken (run() thread).
   std::uint64_t verdicts_at_last_snapshot_ = 0;
 };

@@ -23,6 +23,8 @@ constexpr std::size_t kBatchPrefix = 8 + 4;              // job_id + count
 constexpr std::size_t kSampleFixed = 4 + 4 + 8 + 2;      // + metric bytes
 constexpr std::size_t kVerdictFixed = 8 + 1 + 4 + 4 + 2 + 2;
 constexpr std::size_t kSwapAckFixed = 1 + 8 + 2;
+constexpr std::size_t kStatsReplyPrefix = 4;  // u32 text length
+constexpr std::size_t kRetrainReportBody = 8 + 1 + 8 + 8 + 8 + 8 + 8;
 
 void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
                        std::size_t frame_start);
@@ -63,6 +65,26 @@ Message make_swap_ack(bool ok, std::uint64_t epoch, std::string error) {
   message.swap_ack.ok = ok;
   message.swap_ack.epoch = epoch;
   message.swap_ack.error = std::move(error);
+  return message;
+}
+
+Message make_stats_request() {
+  Message message;
+  message.type = MessageType::kStatsRequest;
+  return message;
+}
+
+Message make_stats_reply(std::string text) {
+  Message message;
+  message.type = MessageType::kStatsReply;
+  message.stats_text = std::move(text);
+  return message;
+}
+
+Message make_retrain_report(WireRetrainReport report) {
+  Message message;
+  message.type = MessageType::kRetrainReport;
+  message.retrain_report = report;
   return message;
 }
 
@@ -126,6 +148,24 @@ void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
       out.push_back(message.swap_ack.ok ? 1 : 0);
       put_u64(out, message.swap_ack.epoch);
       put_string(out, message.swap_ack.error);
+      break;
+    case MessageType::kStatsRequest:
+      break;
+    case MessageType::kStatsReply:
+      // u32 length (stats text can outgrow the u16 string prefix on a
+      // busy endpoint); the frame cap below still bounds it.
+      put_u32(out, static_cast<std::uint32_t>(message.stats_text.size()));
+      out.insert(out.end(), message.stats_text.begin(),
+                 message.stats_text.end());
+      break;
+    case MessageType::kRetrainReport:
+      put_u64(out, message.retrain_report.cycle);
+      out.push_back(message.retrain_report.outcome);
+      put_u64(out, message.retrain_report.epoch);
+      put_f64(out, message.retrain_report.candidate_score);
+      put_f64(out, message.retrain_report.incumbent_score);
+      put_u64(out, message.retrain_report.window_jobs);
+      put_u64(out, message.retrain_report.holdout_jobs);
       break;
   }
 
@@ -269,6 +309,41 @@ DecodeStatus FrameDecoder::next(Message& out) {
       }
       message.swap_ack.ok = ok != 0;
       if (reader.remaining() != 0) return fail("trailing bytes in swap-ack");
+      break;
+    }
+    case MessageType::kStatsRequest:
+      message.type = MessageType::kStatsRequest;
+      if (reader.remaining() != 0) return fail("malformed stats-request body");
+      break;
+    case MessageType::kStatsReply: {
+      message.type = MessageType::kStatsReply;
+      std::uint32_t text_len = 0;
+      if (reader.remaining() < kStatsReplyPrefix ||
+          !reader.read_u32(text_len)) {
+        return fail("malformed stats-reply prefix");
+      }
+      // The declared length must match the bytes that actually arrived —
+      // never an allocation source beyond them.
+      if (text_len != reader.remaining()) {
+        return fail("stats text length inconsistent with frame length");
+      }
+      std::vector<std::uint8_t> text;
+      reader.read_bytes(text, text_len);
+      message.stats_text.assign(text.begin(), text.end());
+      break;
+    }
+    case MessageType::kRetrainReport: {
+      message.type = MessageType::kRetrainReport;
+      if (reader.remaining() != kRetrainReportBody ||
+          !reader.read_u64(message.retrain_report.cycle) ||
+          !reader.read_u8(message.retrain_report.outcome) ||
+          !reader.read_u64(message.retrain_report.epoch) ||
+          !reader.read_f64(message.retrain_report.candidate_score) ||
+          !reader.read_f64(message.retrain_report.incumbent_score) ||
+          !reader.read_u64(message.retrain_report.window_jobs) ||
+          !reader.read_u64(message.retrain_report.holdout_jobs)) {
+        return fail("malformed retrain-report body");
+      }
       break;
     }
     default:

@@ -24,6 +24,20 @@
 ///   Shutdown    body := (empty)
 ///   SwapDictionary body := dictionary bytes (EFD-DICT-V1, to body end)
 ///   SwapAck     body := u8 ok | u64 epoch | u16 err_len | err
+///   StatsRequest body := (empty)
+///   StatsReply  body := u32 text_len | text  (flat "name value" lines)
+///   RetrainReport body := u64 cycle | u8 outcome | u64 epoch
+///                       | f64 candidate_score | f64 incumbent_score
+///                       | u64 window_jobs | u64 holdout_jobs
+///
+/// StatsRequest/StatsReply are the monitoring scrape path: any connected
+/// peer can ask the serving endpoint for its aggregate counters
+/// (RecognitionServiceStats + IngestPipelineStats + RetrainStats) as a
+/// flat `name value` text block — the precursor of a Prometheus-style
+/// endpoint. RetrainReport is pushed (never requested) to every
+/// connection the pipeline has seen whenever a closed-loop retrain cycle
+/// finishes, so clients observe promotions/gate rejections as they
+/// happen; the outcome byte matches retrain::RetrainOutcome.
 ///
 /// SwapDictionary is the live-reconfiguration control frame: it carries a
 /// full retrained dictionary and asks the service to hot-swap it behind
@@ -76,6 +90,9 @@ enum class MessageType : std::uint8_t {
   kShutdown = 5,
   kSwapDictionary = 6,
   kSwapAck = 7,
+  kStatsRequest = 8,
+  kStatsReply = 9,
+  kRetrainReport = 10,
 };
 
 /// One monitoring sample as it travels the wire.
@@ -108,6 +125,22 @@ struct WireSwapAck {
   bool operator==(const WireSwapAck&) const = default;
 };
 
+/// One finished closed-loop retrain cycle, broadcast to observers. The
+/// outcome byte is retrain::RetrainOutcome (promoted / gated-out /
+/// already-active / skipped-no-data / failed / dry-run), transported raw
+/// so the wire layer does not depend on the retrain layer.
+struct WireRetrainReport {
+  std::uint64_t cycle = 0;        ///< lifetime trigger number
+  std::uint8_t outcome = 0;
+  std::uint64_t epoch = 0;        ///< active dictionary epoch after the cycle
+  double candidate_score = 0.0;   ///< validation-gate scores
+  double incumbent_score = 0.0;
+  std::uint64_t window_jobs = 0;  ///< captured jobs the cycle trained on
+  std::uint64_t holdout_jobs = 0; ///< held-out jobs the gate replayed
+
+  bool operator==(const WireRetrainReport&) const = default;
+};
+
 /// One decoded (or to-encode) message. Only the fields of the active
 /// type are meaningful.
 struct Message {
@@ -118,6 +151,8 @@ struct Message {
   WireVerdict verdict;                 ///< kVerdict
   std::vector<std::uint8_t> dictionary_blob;  ///< kSwapDictionary
   WireSwapAck swap_ack;                ///< kSwapAck
+  std::string stats_text;              ///< kStatsReply
+  WireRetrainReport retrain_report;    ///< kRetrainReport
 
   bool operator==(const Message&) const = default;
 };
@@ -128,6 +163,9 @@ Message make_close_job(std::uint64_t job_id);
 Message make_shutdown();
 Message make_swap_dictionary(std::vector<std::uint8_t> dictionary_bytes);
 Message make_swap_ack(bool ok, std::uint64_t epoch, std::string error = {});
+Message make_stats_request();
+Message make_stats_reply(std::string text);
+Message make_retrain_report(WireRetrainReport report);
 
 /// Appends one encoded frame to \p out. Throws std::invalid_argument if
 /// the message would exceed the wire limits (batch too large, string too

@@ -269,10 +269,19 @@ TEST_F(FaultE2e, SwapDictControlFrameIsGatedAndPublishesEpochs) {
   const int port = await_port(serve_out);
   ASSERT_GT(port, 0) << slurp(serve_out);
 
-  // Hot-swap a retrained dictionary (same corpus, fresh file): epoch 2.
+  // Hot-swap a genuinely retrained dictionary (a longer history of the
+  // same workload: more repetitions -> more keys and observation counts,
+  // so different content with identical verdicts): epoch 2. A
+  // byte-identical retrain would be refused as already-active (covered
+  // in test_retrain_e2e) — an epoch must never be burned by a no-op.
+  const std::string retrain_data = temp_path("swap_retrain_history.csv");
   const std::string retrained = temp_path("swap_retrained.efd");
+  const auto [gen_status, gen_output] =
+      run(cli() + " generate --out " + retrain_data +
+          " --repetitions 3 --no-large --seed 42");
+  ASSERT_EQ(gen_status, 0) << gen_output;
   const auto [train_status, train_output] =
-      run(cli() + " train --data " + *data_path_ + " --out " + retrained);
+      run(cli() + " train --data " + retrain_data + " --out " + retrained);
   ASSERT_EQ(train_status, 0) << train_output;
   const auto [swap_status, swap_output] = run(
       cli() + " swap-dict --dict " + retrained + " --port " +
@@ -292,6 +301,7 @@ TEST_F(FaultE2e, SwapDictControlFrameIsGatedAndPublishesEpochs) {
       << replay_output;
 
   await_exit(read_pid(serve_pid));
+  std::remove(retrain_data.c_str());
   std::remove(retrained.c_str());
   std::remove(serve_out.c_str());
 }

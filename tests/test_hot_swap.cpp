@@ -2,13 +2,15 @@
 /// \brief Live dictionary hot-swap tests: epoch pinning semantics (an
 /// in-flight stream finishes against the dictionary it opened under; new
 /// streams see the successor), swap/epoch observability in ServiceStats,
-/// and a TSan stress run — 32 jobs streaming from competing threads
-/// while a writer hot-swaps dictionaries in a loop, asserting no torn
-/// reads and monotonically increasing epochs.
+/// the already-active no-op-swap guard, epoch reclamation under
+/// pin/release churn, and TSan stress runs — 32 jobs streaming from
+/// competing threads while a writer hot-swaps dictionaries in a loop,
+/// asserting no torn reads and monotonically increasing epochs.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -85,9 +87,10 @@ TEST(HotSwap, InFlightStreamsFinishAgainstTheirEpoch) {
   ASSERT_TRUE(service.open_job(1, 2));
   stream_range(service, 1, 6030.0, 0, 80);  // in flight across the swap
 
-  EXPECT_EQ(service.swap_dictionary(ShardedDictionary::from_dictionary(
-                train_levels({{"cg", 6000.0}}), 8)),
-            2u);
+  const auto outcome = service.swap_dictionary(
+      ShardedDictionary::from_dictionary(train_levels({{"cg", 6000.0}}), 8));
+  EXPECT_EQ(outcome.epoch, 2u);
+  EXPECT_FALSE(outcome.already_active);
 
   RecognitionServiceStats stats = service.stats();
   EXPECT_EQ(stats.dictionary_epoch, 2u);
@@ -132,15 +135,134 @@ TEST(HotSwap, LearnInsertsIntoTheActiveEpoch) {
   EXPECT_EQ(verdicts[0].result.prediction(), "lu");
 }
 
+TEST(HotSwap, IdenticalCandidateIsRejectedAsAlreadyActive) {
+  // A no-op swap must not burn an epoch: nothing would change for
+  // recognition, yet every in-flight stream would look stale and the
+  // epoch/swap counters would lie. It is also the retrain loop's
+  // double-promotion guard (an at-least-once replay retrains the same
+  // window into a byte-identical candidate).
+  const Dictionary base = train_levels({{"ft", 6000.0}});
+  RecognitionService service(ShardedDictionary::from_dictionary(base, 8));
+
+  const auto noop =
+      service.swap_dictionary(ShardedDictionary::from_dictionary(base, 8));
+  EXPECT_TRUE(noop.already_active);
+  EXPECT_EQ(noop.epoch, 1u);
+  RecognitionServiceStats stats = service.stats();
+  EXPECT_EQ(stats.dictionary_epoch, 1u);
+  EXPECT_EQ(stats.dictionary_swaps, 0u);
+  EXPECT_EQ(stats.dictionary_swaps_noop, 1u);
+
+  // A different shard count does not change identity (same EFD-DICT-V1
+  // bytes): still already-active.
+  const auto resharded =
+      service.swap_dictionary(ShardedDictionary::from_dictionary(base, 2));
+  EXPECT_TRUE(resharded.already_active);
+  EXPECT_EQ(service.stats().dictionary_swaps_noop, 2u);
+
+  // Real content change: the epoch advances, and swapping the ORIGINAL
+  // back is a content change again (not a no-op).
+  const auto changed = service.swap_dictionary(ShardedDictionary::from_dictionary(
+      train_levels({{"ft", 6000.0}, {"mg", 6100.0}}), 8));
+  EXPECT_FALSE(changed.already_active);
+  EXPECT_EQ(changed.epoch, 2u);
+  const auto back =
+      service.swap_dictionary(ShardedDictionary::from_dictionary(base, 8));
+  EXPECT_FALSE(back.already_active);
+  EXPECT_EQ(back.epoch, 3u);
+  stats = service.stats();
+  EXPECT_EQ(stats.dictionary_swaps, 2u);
+  EXPECT_EQ(stats.dictionary_swaps_noop, 2u);
+}
+
+TEST(DictionaryHandle, SupersededEpochsAreReclaimedUnderChurn) {
+  // N reader threads pin/release epochs in a loop while M writer threads
+  // race swaps. Every superseded epoch must be freed exactly once (the
+  // shared_ptr contract — observed via weak_ptr expiry), never while a
+  // reader still pins it (the pinned dictionary stays readable), and the
+  // final active epoch must survive. Run under TSan in CI.
+  const Dictionary even = train_levels({{"ft", 6000.0}});
+  const Dictionary odd = train_levels({{"ft", 6000.0}, {"mg", 6100.0}});
+  DictionaryHandle handle(ShardedDictionary::from_dictionary(even, 4));
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kSwapsPerWriter = 25;
+  constexpr int kPinsPerReader = 400;
+
+  std::vector<std::vector<std::weak_ptr<DictionaryHandle::Epoch>>> observed(
+      kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kSwapsPerWriter; ++i) {
+        // Record the epoch being superseded, then swap in alternating
+        // content (identical content would be rejected as a no-op).
+        observed[w].push_back(handle.acquire());
+        handle.swap(ShardedDictionary::from_dictionary(
+            (w + i) % 2 == 0 ? odd : even, 4));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> reads{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kPinsPerReader; ++i) {
+        const auto pinned = handle.acquire();
+        // While pinned, the epoch's dictionary must be fully readable —
+        // a premature free would crash or TSan-trip here.
+        reads.fetch_add(pinned->dictionary.size(), std::memory_order_relaxed);
+        ASSERT_GE(pinned->version, 1u);
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  for (auto& reader : readers) reader.join();
+
+  // All pins are released. Exactly one epoch (the active one) may be
+  // alive; every superseded epoch observed by the writers must be gone.
+  auto active = handle.acquire();
+  std::size_t alive = 0;
+  for (const auto& row : observed) {
+    for (const auto& weak : row) {
+      if (const auto epoch = weak.lock()) {
+        ++alive;
+        EXPECT_EQ(epoch.get(), active.get())
+            << "superseded epoch " << epoch->version << " still alive";
+      }
+    }
+  }
+  EXPECT_LE(alive, 1u);  // the last writer-observed epoch may be active
+  EXPECT_EQ(handle.swap_count(),
+            static_cast<std::uint64_t>(kWriters * kSwapsPerWriter));
+  EXPECT_EQ(active->version, 1u + handle.swap_count());
+  EXPECT_GT(reads.load(), 0u);
+
+  // Releasing the last pin frees the active epoch too once superseded.
+  std::weak_ptr<DictionaryHandle::Epoch> last = active;
+  handle.swap(ShardedDictionary::from_dictionary(
+      active->dictionary.size() == even.size() ? odd : even, 4));
+  EXPECT_FALSE(last.expired());  // still pinned by `active`
+  active.reset();
+  EXPECT_TRUE(last.expired()) << "epoch leaked after its last pin dropped";
+}
+
 TEST(HotSwap, StressManyJobsStreamingAcrossContinuousSwaps) {
   // 32 jobs streaming from 4 producer threads while a writer hot-swaps
   // dictionaries in a loop. Both dictionaries map the streamed levels to
   // the same applications, so any torn read (a stream observing a
   // half-swapped dictionary) would surface as a wrong or missing
-  // verdict; epoch counters must climb monotonically. Run under TSan in
-  // CI (the `tsan` CTest label).
+  // verdict; epoch counters must climb monotonically. The writer
+  // alternates two content-different dictionaries (identical content
+  // would be rejected as already-active). Run under TSan in CI (the
+  // `tsan` CTest label).
   const Dictionary base =
       train_levels({{"ft", 6000.0}, {"mg", 6100.0}});
+  // Same mapping for the streamed levels, plus one key no job streams:
+  // content-different, verdict-identical.
+  const Dictionary base_plus =
+      train_levels({{"ft", 6000.0}, {"mg", 6100.0}, {"lu", 9900.0}});
   RecognitionService service(ShardedDictionary::from_dictionary(base, 8));
 
   constexpr std::uint64_t kJobs = 32;
@@ -155,10 +277,13 @@ TEST(HotSwap, StressManyJobsStreamingAcrossContinuousSwaps) {
     int swaps = 0;
     while (swaps < kSwaps || !done_producing.load(std::memory_order_acquire)) {
       if (swaps < kSwaps) {
-        const std::uint64_t epoch = service.swap_dictionary(
-            ShardedDictionary::from_dictionary(base, 8));
-        EXPECT_GT(epoch, last_epoch) << "epochs must increase monotonically";
-        last_epoch = epoch;
+        const auto outcome = service.swap_dictionary(
+            ShardedDictionary::from_dictionary(
+                swaps % 2 == 0 ? base_plus : base, 8));
+        EXPECT_FALSE(outcome.already_active);
+        EXPECT_GT(outcome.epoch, last_epoch)
+            << "epochs must increase monotonically";
+        last_epoch = outcome.epoch;
         ++swaps;
       } else {
         std::this_thread::yield();

@@ -1,0 +1,320 @@
+/// \file test_retrain_e2e.cpp
+/// \brief End-to-end closed-loop retraining through the real efd_cli
+/// binary: serve --auto-retrain against a drifting workload (node 0 of
+/// every execution migrates to a metric level the trained dictionary
+/// has never seen), require at least one gated promotion to happen on
+/// its own, require verdict parity across the self-swap (same
+/// predictions before and after the epoch advance), and scrape the
+/// kStatsRequest/kStatsReply endpoint while the server is live. Also
+/// covers the already-active swap-dict rejection (a no-op swap must not
+/// burn an epoch) through the real wire path.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.hpp"
+#include "telemetry/dataset_io.hpp"
+
+namespace {
+
+#ifndef EFD_CLI_PATH
+#error "EFD_CLI_PATH must be defined by the build"
+#endif
+
+std::string cli() { return EFD_CLI_PATH; }
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::pair<int, std::string> run(const std::string& command_line) {
+  const std::string out_file = temp_path("retrain_e2e_stdout.txt");
+  const int status =
+      std::system((command_line + " > " + out_file + " 2>&1").c_str());
+  const std::string output = slurp(out_file);
+  std::remove(out_file.c_str());
+  return {status, output};
+}
+
+void spawn(const std::string& command_line, const std::string& out_file,
+           const std::string& pid_file) {
+  const std::string full = command_line + " > " + out_file +
+                           " 2>&1 & echo $! > " + pid_file;
+  ASSERT_EQ(std::system(full.c_str()), 0) << full;
+}
+
+long read_pid(const std::string& pid_file) {
+  std::ifstream in(pid_file);
+  long pid = 0;
+  in >> pid;
+  return pid;
+}
+
+bool process_alive(long pid) { return pid > 1 && ::kill(pid, 0) == 0; }
+
+void await_exit(long pid) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (!process_alive(pid)) return;
+    ::usleep(100 * 1000);
+  }
+  if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+int await_port(const std::string& out_file) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(out_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto at = line.find("listening on port ");
+      if (at != std::string::npos) return std::atoi(line.c_str() + at + 18);
+    }
+    ::usleep(100 * 1000);
+  }
+  return 0;
+}
+
+struct ServeGuard {
+  std::string pid_file;
+  ~ServeGuard() {
+    const long pid = read_pid(pid_file);
+    if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGTERM);
+    std::remove(pid_file.c_str());
+  }
+};
+
+/// The identifying replay-table columns (execution, truth, prediction,
+/// input guess) — deliberately excluding the matched counts, which
+/// legitimately improve once the retrained epoch covers the drift.
+std::vector<std::string> prediction_rows(const std::string& output) {
+  std::vector<std::string> rows;
+  std::stringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() < 3 || line[0] != '|') continue;
+    const auto first = line.find_first_not_of(" |");
+    if (first == std::string::npos || !std::isdigit(line[first])) continue;
+    // Keep the first four cells: "| id | truth | prediction | guess |".
+    std::size_t bars = 0, end = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '|' && ++bars == 5) {
+        end = i;
+        break;
+      }
+    }
+    rows.push_back(end != 0 ? line.substr(0, end) : line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Value of a "name value" line in a stats scrape; -1 when absent.
+long long stat_value(const std::string& text, const std::string& name) {
+  std::stringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::atoll(line.c_str() + name.size() + 1);
+    }
+  }
+  return -1;
+}
+
+constexpr int kAppsCount = 3;
+constexpr int kRepetitions = 6;
+constexpr int kJobs = kAppsCount * kRepetitions;  // 18 per replay
+
+/// Constant-level workload: 3 applications, 2 nodes, 1 metric. The
+/// drifted variant moves node 0 one rounding bucket up (x1.1) — node 1
+/// keeps the incumbent recognizing (and self-labeling) every job while
+/// its fingerprint coverage visibly decays: the drift signature the
+/// closed loop must react to.
+efd::telemetry::Dataset make_workload(bool drifted) {
+  efd::telemetry::Dataset dataset({"nr_mapped_vmstat"});
+  const std::pair<const char*, double> apps[kAppsCount] = {
+      {"ft", 6000.0}, {"mg", 7000.0}, {"lu", 8000.0}};
+  std::uint64_t id = 1;
+  for (const auto& [app, level] : apps) {
+    for (int repetition = 0; repetition < kRepetitions; ++repetition) {
+      efd::telemetry::ExecutionRecord record(id++, {app, "X"}, 2, 1);
+      for (std::size_t node = 0; node < 2; ++node) {
+        const double value =
+            (drifted && node == 0) ? level * 1.1 : level;
+        for (int t = 0; t < 130; ++t) record.series(node, 0).push_back(value);
+      }
+      dataset.add(std::move(record));
+    }
+  }
+  return dataset;
+}
+
+class RetrainE2e : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_csv_ = new std::string(temp_path("retrain_base.csv"));
+    drifted_csv_ = new std::string(temp_path("retrain_drifted.csv"));
+    dict_path_ = new std::string(temp_path("retrain_apps.efd"));
+    efd::telemetry::write_csv_file(make_workload(false), *base_csv_);
+    efd::telemetry::write_csv_file(make_workload(true), *drifted_csv_);
+    const auto [train_status, train_output] =
+        run(cli() + " train --data " + *base_csv_ + " --out " + *dict_path_ +
+            " --depth 2");
+    ASSERT_EQ(train_status, 0) << train_output;
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(base_csv_->c_str());
+    std::remove(drifted_csv_->c_str());
+    std::remove(dict_path_->c_str());
+    delete base_csv_;
+    delete drifted_csv_;
+    delete dict_path_;
+  }
+
+  static std::string* base_csv_;
+  static std::string* drifted_csv_;
+  static std::string* dict_path_;
+};
+
+std::string* RetrainE2e::base_csv_ = nullptr;
+std::string* RetrainE2e::drifted_csv_ = nullptr;
+std::string* RetrainE2e::dict_path_ = nullptr;
+
+TEST_F(RetrainE2e, DriftingWorkloadTriggersOneGatedPromotionWithParity) {
+  const std::string serve_out = temp_path("retrain_serve.txt");
+  const std::string serve_pid = temp_path("retrain_serve_pid.txt");
+  // Two replays of 18 jobs; the count trigger fires mid-first-replay.
+  // The 0.02 margin rejects no-better candidates; the snapshot path
+  // exercises the Retrain section through the real binary.
+  const std::string snapshot_path = temp_path("retrain_snapshot.efds");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+            std::to_string(2 * kJobs) + " --auto-retrain" +
+            " --retrain-min-jobs 12 --retrain-margin 0.02" +
+            " --retrain-holdout 0.25 --snapshot-path " + snapshot_path +
+            " --snapshot-every 16 --quiet",
+        serve_out, serve_pid);
+  ServeGuard guard{serve_pid};
+  const int port = await_port(serve_out);
+  ASSERT_GT(port, 0) << slurp(serve_out);
+
+  // ---- Replay 1: drifted traffic against the stale incumbent. ----
+  const auto [first_status, first_output] =
+      run(cli() + " replay --data " + *drifted_csv_ + " --port " +
+          std::to_string(port));
+  ASSERT_EQ(first_status, 0) << first_output;
+  EXPECT_NE(first_output.find(std::to_string(kJobs) + "/" +
+                              std::to_string(kJobs) + " correct, " +
+                              std::to_string(kJobs) + " recognized"),
+            std::string::npos)
+      << first_output;
+
+  // ---- The loop must close on its own: poll the live stats endpoint
+  // until the background cycle lands a promotion. ----
+  long long promoted = 0;
+  std::string scrape;
+  for (int attempt = 0; attempt < 100 && promoted < 1; ++attempt) {
+    const auto [stats_status, stats_output] =
+        run(cli() + " stats --port " + std::to_string(port));
+    if (stats_status == 0) {
+      scrape = stats_output;
+      promoted = stat_value(scrape, "retrain.cycles_promoted");
+    }
+    if (promoted < 1) ::usleep(200 * 1000);
+  }
+  ASSERT_GE(promoted, 1) << scrape << slurp(serve_out);
+  EXPECT_EQ(stat_value(scrape, "service.dictionary_epoch"), 2)
+      << scrape;
+  EXPECT_EQ(stat_value(scrape, "retrain.cycles_already_active"), 0)
+      << scrape;
+  // The scrape spans all three stat families.
+  EXPECT_GE(stat_value(scrape, "service.jobs_opened"), kJobs) << scrape;
+  EXPECT_GE(stat_value(scrape, "ingest.envelopes"), kJobs) << scrape;
+  EXPECT_GE(stat_value(scrape, "retrain.window_jobs"), 12) << scrape;
+
+  // ---- Replay 2: the same drifted traffic against the promoted epoch.
+  // Verdict parity across the swap: identical predictions (coverage may
+  // only improve). ----
+  const auto [second_status, second_output] =
+      run(cli() + " replay --data " + *drifted_csv_ + " --port " +
+          std::to_string(port));
+  ASSERT_EQ(second_status, 0) << second_output;
+  EXPECT_NE(second_output.find(std::to_string(kJobs) + "/" +
+                               std::to_string(kJobs) + " correct, " +
+                               std::to_string(kJobs) + " recognized"),
+            std::string::npos)
+      << second_output;
+  ASSERT_EQ(prediction_rows(first_output).size(),
+            static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(prediction_rows(second_output), prediction_rows(first_output));
+
+  await_exit(read_pid(serve_pid));
+  const std::string serve_log = slurp(serve_out);
+  EXPECT_NE(serve_log.find("retrain cycle"), std::string::npos) << serve_log;
+  EXPECT_NE(serve_log.find("promoted (epoch 2"), std::string::npos)
+      << serve_log;
+  std::remove(snapshot_path.c_str());
+  std::remove(serve_out.c_str());
+}
+
+TEST_F(RetrainE2e, IdenticalSwapDictIsRejectedAsAlreadyActive) {
+  const std::string serve_out = temp_path("retrain_noop_serve.txt");
+  const std::string serve_pid = temp_path("retrain_noop_serve_pid.txt");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+            std::to_string(kJobs) + " --allow-swap --quiet",
+        serve_out, serve_pid);
+  ServeGuard guard{serve_pid};
+  const int port = await_port(serve_out);
+  ASSERT_GT(port, 0) << slurp(serve_out);
+
+  // Pushing the byte-identical dictionary must NOT burn an epoch.
+  const auto [noop_status, noop_output] = run(
+      cli() + " swap-dict --dict " + *dict_path_ + " --port " +
+      std::to_string(port));
+  EXPECT_NE(noop_status, 0);
+  EXPECT_NE(noop_output.find("already-active"), std::string::npos)
+      << noop_output;
+  EXPECT_NE(noop_output.find("epoch 1 still live"), std::string::npos)
+      << noop_output;
+
+  // A genuinely retrained dictionary (different depth -> different
+  // content) still swaps and advances the epoch.
+  const std::string retrained = temp_path("retrain_noop_retrained.efd");
+  const auto [train_status, train_output] =
+      run(cli() + " train --data " + *base_csv_ + " --out " + retrained +
+          " --depth 3");
+  ASSERT_EQ(train_status, 0) << train_output;
+  const auto [swap_status, swap_output] = run(
+      cli() + " swap-dict --dict " + retrained + " --port " +
+      std::to_string(port));
+  EXPECT_EQ(swap_status, 0) << swap_output;
+  EXPECT_NE(swap_output.find("dictionary epoch 2 is live"), std::string::npos)
+      << swap_output;
+
+  // Keep the endpoint's exit deterministic: serve the jobs it waits for.
+  const auto [replay_status, replay_output] = run(
+      cli() + " replay --data " + *base_csv_ + " --port " +
+      std::to_string(port));
+  ASSERT_EQ(replay_status, 0) << replay_output;
+  await_exit(read_pid(serve_pid));
+  std::remove(retrained.c_str());
+  std::remove(serve_out.c_str());
+}
+
+}  // namespace

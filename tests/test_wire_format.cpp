@@ -62,6 +62,10 @@ TEST(WireFormat, RoundTripsEveryMessageType) {
       make_swap_dictionary({0x45, 0x46, 0x44, 0x0A, 0x00, 0xFF}),
       make_swap_ack(true, 7),
       make_swap_ack(false, 3, "dictionary swap disabled"),
+      make_stats_request(),
+      make_stats_reply("service.active_jobs 3\nretrain.cycles_promoted 1\n"),
+      make_stats_reply(""),
+      make_retrain_report({12, 1, 4, 0.97, 0.85, 64, 16}),
   };
 
   std::vector<std::uint8_t> bytes;
@@ -77,6 +81,47 @@ TEST(WireFormat, RoundTripsEveryMessageType) {
   EXPECT_FALSE(decoder.failed());
   EXPECT_EQ(decoder.frames_decoded(), originals.size());
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFormat, StatsAndRetrainFramesDecodeDefensively) {
+  {
+    // A stats reply whose declared text length disagrees with the bytes
+    // that actually arrived must fail, never allocate past them.
+    std::vector<std::uint8_t> bytes = encode(make_stats_reply("abc"));
+    // text length field offset: 4 frame len + 2 header.
+    bytes[6] = 0xFF;
+    bytes[7] = 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // A truncated retrain report (body shorter than the fixed layout).
+    std::vector<std::uint8_t> bytes =
+        encode(make_retrain_report({1, 2, 3, 0.5, 0.25, 8, 2}));
+    bytes.resize(bytes.size() - 8);
+    // Fix the frame length prefix to match the truncated body.
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(bytes.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
+    }
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // A stats request with trailing bytes is a malformed body.
+    std::vector<std::uint8_t> bytes = {3, 0, 0, 0, 1,
+                                       static_cast<std::uint8_t>(8), 0};
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
 }
 
 TEST(WireFormat, SwapFramesDecodeDefensively) {

@@ -15,8 +15,11 @@
 ///              `replay`) stream EFD-WIRE-V1 frames in, verdicts flow
 ///              back over the same connection. --snapshot-path makes the
 ///              endpoint durable (periodic EFD-SNAP-V1 snapshots;
-///              --restore resumes in-flight jobs after a crash), and
-///              --allow-swap accepts live dictionary hot-swaps
+///              --restore resumes in-flight jobs after a crash),
+///              --allow-swap accepts live dictionary hot-swaps, and
+///              --auto-retrain closes the loop: captured traffic
+///              retrains the dictionary in the background and the
+///              result self-swaps once it clears the validation gate
 ///   replay     stream a dataset CSV against a running `serve` endpoint
 ///              and print the verdicts
 ///   swap-dict  hot-swap a retrained dictionary into a running `serve`
@@ -56,6 +59,7 @@
 #include "ingest/pipeline.hpp"
 #include "ingest/tcp_transport.hpp"
 #include "ingest/transport_feed.hpp"
+#include "retrain/retrain_controller.hpp"
 #include "ldms/sampler.hpp"
 #include "ldms/streaming.hpp"
 #include "sim/app_model.hpp"
@@ -83,7 +87,8 @@ int usage() {
       "             [--shards N] [--threads N]\n"
       "  recognize  --data FILE --dict FILE [--verbose] [--threads N]\n"
       "  dump       --dict FILE\n"
-      "  stats      --dict FILE\n"
+      "  stats      --dict FILE | --port P [--host H]   (remote: scrape a\n"
+      "             running serve endpoint's counters as `name value` lines)\n"
       "  coverage   --data FILE --dict FILE\n"
       "  evaluate   --data FILE --experiment normal-fold|soft-input|\n"
       "             soft-unknown|hard-input|hard-unknown [--metrics a,b]\n"
@@ -97,6 +102,10 @@ int usage() {
       "             [--snapshot-path FILE] [--snapshot-interval-ms MS]\n"
       "             [--snapshot-every VERDICTS] [--restore]\n"
       "             [--die-after-snapshots N]\n"
+      "             [--auto-retrain] [--retrain-interval-ms MS]\n"
+      "             [--retrain-min-jobs N] [--retrain-window JOBS]\n"
+      "             [--retrain-holdout F] [--retrain-margin F]\n"
+      "             [--retrain-dry-run]\n"
       "  replay     --data FILE --port P [--host H] [--batch N]\n"
       "  swap-dict  --dict FILE --port P [--host H]\n";
   return 2;
@@ -260,6 +269,28 @@ int cmd_dump(const util::ArgParser& args) {
 }
 
 int cmd_stats(const util::ArgParser& args) {
+  // Remote mode: scrape a running serve endpoint (kStatsRequest →
+  // kStatsReply) and print its flat `name value` block verbatim — the
+  // first step toward a Prometheus-style stats endpoint.
+  if (args.has("port")) {
+    const auto port = args.get_int("port", 0);
+    if (port <= 0 || port > 65535) return usage();
+    const std::string host = args.get("host", "127.0.0.1");
+    ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+    client.send(ingest::make_stats_request());
+    ingest::Message reply;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!client.receive(reply, std::chrono::milliseconds(250))) continue;
+      if (reply.type != ingest::MessageType::kStatsReply) continue;
+      std::cout << reply.stats_text;
+      return 0;
+    }
+    std::cerr << "error: no stats reply from " << host << ":" << port << "\n";
+    return 1;
+  }
+
   const std::string dict = args.get("dict");
   if (dict.empty()) return usage();
   const core::Dictionary dictionary = core::Dictionary::load_file(dict);
@@ -476,6 +507,54 @@ int cmd_serve(const util::ArgParser& args) {
   }
 
   auto pool = make_pool(args);
+
+  // Closed-loop retraining: capture served traffic, retrain in the
+  // background, gate, self-swap. All knobs operator-gated like the other
+  // live-reconfiguration paths.
+  std::unique_ptr<retrain::RetrainController> retrain_controller;
+  if (args.has("auto-retrain")) {
+    retrain::RetrainConfig retrain_config;
+    retrain_config.interval = std::chrono::milliseconds(
+        args.get_int("retrain-interval-ms", 0));
+    retrain_config.min_new_jobs =
+        static_cast<std::uint64_t>(args.get_int("retrain-min-jobs", 0));
+    if (retrain_config.interval.count() <= 0 &&
+        retrain_config.min_new_jobs == 0) {
+      // No trigger would mean "capture forever, retrain never".
+      retrain_config.min_new_jobs = 64;
+    }
+    retrain_config.recorder.window_jobs_per_app =
+        static_cast<std::size_t>(args.get_int("retrain-window", 32));
+    retrain_config.holdout_fraction = args.get_double("retrain-holdout", 0.25);
+    retrain_config.gate.margin = args.get_double("retrain-margin", 0.0);
+    retrain_config.dry_run = args.has("retrain-dry-run");
+    retrain_config.pool = pool.get();
+    retrain_config.on_report = [](const retrain::RetrainReport& report) {
+      std::cout << "retrain cycle " << report.cycle << ": "
+                << retrain::retrain_outcome_name(report.outcome) << " (epoch "
+                << report.epoch << ", candidate "
+                << util::format_fixed(report.candidate_score, 4)
+                << " vs incumbent "
+                << util::format_fixed(report.incumbent_score, 4) << ", "
+                << report.window_jobs << " window jobs, "
+                << report.holdout_jobs << " holdout) " << report.detail
+                << std::endl;
+    };
+    retrain_controller =
+        std::make_unique<retrain::RetrainController>(service, retrain_config);
+    pipeline_config.retrain = retrain_controller.get();
+    std::cout << "auto-retrain: window "
+              << retrain_config.recorder.window_jobs_per_app
+              << " jobs/app, trigger "
+              << (retrain_config.interval.count() > 0
+                      ? std::to_string(retrain_config.interval.count()) +
+                            " ms"
+                      : std::string("off"))
+              << " / " << retrain_config.min_new_jobs
+              << " new jobs, gate margin "
+              << util::format_fixed(retrain_config.gate.margin, 4)
+              << (retrain_config.dry_run ? ", DRY RUN" : "") << std::endl;
+  }
   ingest::IngestPipeline pipeline(service, server, pipeline_config,
                                   pool.get());
   const std::uint64_t delivered = pipeline.run();
@@ -501,6 +580,19 @@ int cmd_serve(const util::ArgParser& args) {
             << pstats.snapshot_failures << " failed), dictionary epoch "
             << stats.dictionary_epoch << " after " << pstats.dictionary_swaps
             << " swaps (" << pstats.swaps_rejected << " rejected)\n";
+  if (retrain_controller != nullptr) {
+    const retrain::RetrainStats rstats = retrain_controller->stats();
+    const retrain::TrafficRecorderStats wstats =
+        retrain_controller->recorder().stats();
+    std::cout << "retrain:  " << rstats.cycles_triggered << " cycles ("
+              << rstats.cycles_promoted << " promoted, "
+              << rstats.cycles_gated_out << " gated out, "
+              << rstats.cycles_already_active << " already-active, "
+              << rstats.cycles_dry_run << " dry-run), window "
+              << wstats.window_jobs << " jobs / " << wstats.window_samples
+              << " samples across " << wstats.applications
+              << " applications\n";
+  }
   return 0;
 }
 
