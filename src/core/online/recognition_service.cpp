@@ -70,16 +70,31 @@ void RecognitionService::learn(const FingerprintKey& key,
   handle_.acquire()->dictionary.insert(key, label);
 }
 
+RecognitionService::SourceIngress* RecognitionService::ingress_for(
+    std::uint32_t source_tag) {
+  std::lock_guard lock(sources_mutex_);
+  auto& slot = source_ingress_[source_tag];
+  if (slot == nullptr) {
+    slot = std::make_unique<SourceIngress>();
+    slot->source = source_tag;
+  }
+  return slot.get();
+}
+
 bool RecognitionService::open_job(std::uint64_t job_id,
-                                  std::uint32_t node_count) {
+                                  std::uint32_t node_count,
+                                  std::uint32_t source_tag) {
   auto stream =
       std::make_shared<JobStream>(handle_.acquire(), job_id, node_count);
   stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+  SourceIngress* ingress = ingress_for(source_tag);
+  stream->ingress = ingress;
   {
     std::unique_lock lock(jobs_mutex_);
     if (!jobs_.emplace(job_id, std::move(stream)).second) return false;
   }
   jobs_opened_.fetch_add(1, std::memory_order_relaxed);
+  ingress->jobs_opened.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -228,6 +243,10 @@ std::size_t RecognitionService::drain_stream(
     }
     fed_total += fed;
     samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+    if (stream.ingress != nullptr) {
+      stream.ingress->samples_pushed.fetch_add(fed,
+                                               std::memory_order_relaxed);
+    }
     if (fed < batch.size()) {
       // Samples behind the one that closed the last window: late.
       samples_late_.fetch_add(batch.size() - fed, std::memory_order_relaxed);
@@ -239,6 +258,10 @@ std::size_t RecognitionService::drain_stream(
       // drain token before finishing a stream. Queue the verdict before
       // publishing done (the reap treats done==true as "verdict queued").
       queue_verdict(stream.job_id, std::move(verdict));
+      if (stream.ingress != nullptr) {
+        stream.ingress->jobs_completed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
       stream.done.store(true, std::memory_order_release);
     }
   }
@@ -294,7 +317,13 @@ void RecognitionService::finish_stream(JobStream& stream) {
     stream.queue.pop_front();
     ++fed;
   }
-  if (fed > 0) samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+  if (fed > 0) {
+    samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+    if (stream.ingress != nullptr) {
+      stream.ingress->samples_pushed.fetch_add(fed,
+                                               std::memory_order_relaxed);
+    }
+  }
   if (!stream.queue.empty()) {
     samples_late_.fetch_add(stream.queue.size(), std::memory_order_relaxed);
     stream.queue.clear();
@@ -307,6 +336,9 @@ void RecognitionService::finish_stream(JobStream& stream) {
   RecognitionResult verdict;
   if (auto result = stream.recognizer.result()) verdict = *result;
   queue_verdict(stream.job_id, std::move(verdict));
+  if (stream.ingress != nullptr) {
+    stream.ingress->jobs_completed.fetch_add(1, std::memory_order_relaxed);
+  }
   stream.done.store(true, std::memory_order_release);
   stream.space.notify_all();  // blocked producers observe done -> late
 }
@@ -403,6 +435,27 @@ RecognitionServiceStats RecognitionService::stats() const {
   stats.samples_rejected = samples_rejected_.load(std::memory_order_relaxed);
   stats.pushes_blocked = pushes_blocked_.load(std::memory_order_relaxed);
   stats.dictionary_swaps_noop = swaps_noop_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(sources_mutex_);
+    // A lone untagged source (the legacy single-transport mode) keeps
+    // by_source empty — the aggregate counters already ARE its view.
+    const bool tagged = source_ingress_.size() > 1 ||
+                        (!source_ingress_.empty() &&
+                         source_ingress_.begin()->first != 0);
+    if (tagged) {
+      stats.by_source.reserve(source_ingress_.size());
+      for (const auto& [tag, ingress] : source_ingress_) {
+        SourceIngressStats row;
+        row.source = tag;
+        row.jobs_opened = ingress->jobs_opened.load(std::memory_order_relaxed);
+        row.jobs_completed =
+            ingress->jobs_completed.load(std::memory_order_relaxed);
+        row.samples_pushed =
+            ingress->samples_pushed.load(std::memory_order_relaxed);
+        stats.by_source.push_back(row);
+      }
+    }
+  }
   return stats;
 }
 

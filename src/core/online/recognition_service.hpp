@@ -62,6 +62,7 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -119,6 +120,18 @@ struct RecognitionServiceConfig {
   bool deferred = false;
 };
 
+/// Ingress counters of one source tag — the service-side view of a
+/// multi-source ingest topology (tags are the mux's SourceIds; 0 is the
+/// untagged/legacy default). Not persisted by snapshots: tags are a
+/// property of the serving process's transport wiring, so they restart
+/// at zero while the mux's own per-source cursors stay continuous.
+struct SourceIngressStats {
+  std::uint32_t source = 0;
+  std::uint64_t jobs_opened = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t samples_pushed = 0;
+};
+
 /// Aggregate service counters (monitoring endpoint material).
 struct RecognitionServiceStats {
   std::size_t active_jobs = 0;      ///< streams currently open
@@ -144,7 +157,21 @@ struct RecognitionServiceStats {
   /// Open streams still pinned to a superseded dictionary epoch (they
   /// finish against it; drops to 0 once pre-swap streams drain).
   std::size_t jobs_on_stale_epoch = 0;
+  /// Per-source ingress, ordered by tag. Populated only once a tagged
+  /// open_job arrived (a single untagged source keeps this empty, so the
+  /// legacy scrape is unchanged).
+  std::vector<SourceIngressStats> by_source;
 };                                  ///< (healthy: jobs outlive their window)
+
+/// One ingest source's resume point inside EFD-SNAP-V1 (opaque to the
+/// service, like replay_cursor): keyed by the mux registration name so
+/// it survives restarts where transport ids could be re-assigned.
+struct SourceCursor {
+  std::string name;
+  std::uint64_t cursor = 0;
+
+  bool operator==(const SourceCursor&) const = default;
+};
 
 /// What RecognitionService::restore() rebuilt from a snapshot.
 struct ServiceRestoreInfo {
@@ -160,6 +187,10 @@ struct ServiceRestoreInfo {
   /// snapshot had none). The retrain subsystem decodes these; the service
   /// only transports them.
   std::vector<std::uint8_t> retrain_state;
+  /// Per-source resume points (empty for legacy single-cursor
+  /// snapshots). Like replay_cursor, opaque: the ingest layer seeds its
+  /// mux counters from them.
+  std::vector<SourceCursor> source_cursors;
 };
 
 /// Concurrent multi-job streaming recognizer. Non-copyable, non-movable
@@ -220,8 +251,12 @@ class RecognitionService {
   /// applied"); restore() hands it back. \p retrain_state, when
   /// non-empty, travels as the optional Retrain section (opaque to the
   /// service) and comes back in ServiceRestoreInfo::retrain_state.
+  /// \p source_cursors, when non-empty, extends the Meta section with
+  /// one named resume point per ingest source (multi-source pipelines);
+  /// decoders accept both the legacy single-cursor and extended bodies.
   void snapshot(std::ostream& out, std::uint64_t replay_cursor = 0,
-                std::span<const std::uint8_t> retrain_state = {}) const;
+                std::span<const std::uint8_t> retrain_state = {},
+                std::span<const SourceCursor> source_cursors = {}) const;
 
   /// Rebuilds service state from an EFD-SNAP-V1 stream produced by
   /// snapshot(). Only valid on a service with no open jobs and no
@@ -232,10 +267,24 @@ class RecognitionService {
   /// restored streams' TTL clocks restart at "now".
   ServiceRestoreInfo restore(std::istream& in);
 
+  /// Declares an ingest source tag up front so its (possibly all-zero)
+  /// counters appear in stats().by_source immediately. A multi-source
+  /// pipeline registers every source at start; without this, a
+  /// deployment whose traffic happened to arrive only on tag 0 would be
+  /// indistinguishable from the legacy single-source mode and its
+  /// per-source rows would be suppressed.
+  void register_source_tag(std::uint32_t source_tag) {
+    ingress_for(source_tag);
+  }
+
   /// Opens a stream for a job. Returns false (and changes nothing) if the
   /// job id is already present (open, or completed but not yet drained —
-  /// ids become reusable after drain_verdicts()).
-  bool open_job(std::uint64_t job_id, std::uint32_t node_count);
+  /// ids become reusable after drain_verdicts()). \p source_tag labels
+  /// the ingest source the job arrived on (the mux's SourceId; 0 =
+  /// untagged): the stream's opens/pushes/completions accumulate into
+  /// RecognitionServiceStats::by_source under that tag.
+  bool open_job(std::uint64_t job_id, std::uint32_t node_count,
+                std::uint32_t source_tag = 0);
 
   /// True while the job's stream is open (completed streams awaiting
   /// reaping do not count).
@@ -294,6 +343,8 @@ class RecognitionService {
   RecognitionServiceStats stats() const;
 
  private:
+  struct SourceIngress;
+
   /// One queued monitoring sample (metric name owned: the push caller's
   /// string_view does not outlive the call).
   struct Sample {
@@ -322,6 +373,10 @@ class RecognitionService {
     std::deque<Sample> queue;
     bool draining = false;         ///< drain token: holder owns recognizer
     OnlineRecognizer recognizer;
+    /// The source tag's ingress counters (shared with the service's
+    /// registry; never null once open_job assigns it). The pointer is
+    /// immutable after open, so hot-path increments are lock-free.
+    SourceIngress* ingress = nullptr;
     /// Set (under mutex) when the verdict is queued; readable without
     /// the mutex. Done streams linger until drain_verdicts reaps them,
     /// so post-verdict pushes classify as "late" rather than "dropped".
@@ -329,6 +384,18 @@ class RecognitionService {
     std::atomic<std::size_t> queued{0}; ///< == queue.size(), for stats
     std::atomic<std::int64_t> last_activity_ns{0}; ///< steady_clock epoch
   };
+
+  /// Lock-free-increment ingress counters of one source tag (by_source
+  /// material). Entries live for the service's lifetime.
+  struct SourceIngress {
+    std::uint32_t source = 0;
+    std::atomic<std::uint64_t> jobs_opened{0};
+    std::atomic<std::uint64_t> jobs_completed{0};
+    std::atomic<std::uint64_t> samples_pushed{0};
+  };
+
+  /// Get-or-create the counters of \p source_tag (any thread).
+  SourceIngress* ingress_for(std::uint32_t source_tag);
 
   std::shared_ptr<JobStream> find_stream(std::uint64_t job_id) const;
   /// Applies the back-pressure policy and enqueues one sample; \p lock
@@ -354,6 +421,11 @@ class RecognitionService {
 
   mutable std::mutex verdicts_mutex_;
   std::vector<JobVerdict> verdicts_;
+
+  /// Source-tag → ingress counters. Touched once per open_job (and by
+  /// stats()); the hot push path goes through JobStream::ingress.
+  mutable std::mutex sources_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<SourceIngress>> source_ingress_;
 
   std::atomic<std::uint64_t> jobs_opened_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};

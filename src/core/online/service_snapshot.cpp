@@ -33,6 +33,7 @@ constexpr std::size_t kMinSampleBytes = 4 + 4 + 8 + 2;
 constexpr std::size_t kMinStringBytes = 2;
 constexpr std::size_t kMinVoteBytes = 2 + 4;
 constexpr std::size_t kMinVerdictBytes = 8 + 1 + 8 + 8 + 4 * 4;
+constexpr std::size_t kMinSourceCursorBytes = 2 + 8;  // name prefix + u64
 /// Stats body sizes: current (10 counters) and the legacy 9-counter body
 /// written before dictionary_swaps_noop existed — both restore.
 constexpr std::size_t kStatsCounters = 10;
@@ -156,15 +157,25 @@ bool read_result(ByteReader& reader, std::uint64_t& job_id,
 
 void RecognitionService::snapshot(
     std::ostream& out, std::uint64_t replay_cursor,
-    std::span<const std::uint8_t> retrain_state) const {
+    std::span<const std::uint8_t> retrain_state,
+    std::span<const SourceCursor> source_cursors) const {
   out.write(kSnapshotMagic, kSnapshotMagicBytes);
 
   std::vector<std::uint8_t> payload;
   payload.reserve(64);
 
-  // Meta.
+  // Meta. The per-source cursor list is an optional tail: a snapshot
+  // without one is byte-identical to the pre-multi-source format, and
+  // both bodies restore.
   put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kMeta));
   put_u64(payload, replay_cursor);
+  if (!source_cursors.empty()) {
+    put_u32(payload, static_cast<std::uint32_t>(source_cursors.size()));
+    for (const SourceCursor& source : source_cursors) {
+      put_string(payload, source.name);
+      put_u64(payload, source.cursor);
+    }
+  }
   write_section(out, payload);
 
   // Dictionary: the ACTIVE epoch. Streams pinned to older epochs are
@@ -313,6 +324,7 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   std::size_t streams_reset = 0;
   std::uint64_t counters[kStatsCounters] = {};
   std::vector<std::uint8_t> staged_retrain;
+  std::vector<SourceCursor> staged_source_cursors;
   bool saw_verdicts = false;
   bool saw_stats = false;
   bool saw_retrain = false;
@@ -339,13 +351,31 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
     const auto type = static_cast<SnapshotSection>(type_byte);
 
     switch (type) {
-      case SnapshotSection::kMeta:
+      case SnapshotSection::kMeta: {
         if (expected != SnapshotSection::kMeta) fail("unexpected meta section");
-        if (reader.remaining() != 8 || !reader.read_u64(replay_cursor)) {
+        if (reader.remaining() < 8 || !reader.read_u64(replay_cursor)) {
           fail("malformed meta section");
+        }
+        if (reader.remaining() > 0) {
+          // Extended body: named per-source cursors (multi-source
+          // pipelines). A legacy 8-byte body skips this block.
+          std::uint32_t count = 0;
+          if (!read_count(reader, kMinSourceCursorBytes, count)) {
+            fail("source cursor count inconsistent with section length");
+          }
+          staged_source_cursors.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            SourceCursor cursor;
+            if (!reader.read_string(cursor.name) ||
+                !reader.read_u64(cursor.cursor)) {
+              fail("truncated source cursor");
+            }
+            staged_source_cursors.push_back(std::move(cursor));
+          }
         }
         expected = SnapshotSection::kDictionary;
         break;
+      }
 
       case SnapshotSection::kDictionary: {
         if (expected != SnapshotSection::kDictionary) {
@@ -540,6 +570,7 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   info.verdicts_restored = verdicts_restored;
   info.streams_reset = streams_reset;
   info.retrain_state = std::move(staged_retrain);
+  info.source_cursors = std::move(staged_source_cursors);
   return info;
 }
 

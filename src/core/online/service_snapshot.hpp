@@ -17,6 +17,12 @@
 ///   payload  := u8 section_type | body
 ///
 ///   Meta       body := u64 replay_cursor
+///                      [ | u32 n_sources | n_sources *
+///                          (u16 name_len | name | u64 cursor) ]
+///                      (OPTIONAL tail: one named resume cursor per
+///                      registered ingest source — multi-source
+///                      pipelines. Legacy 8-byte bodies still restore,
+///                      with an empty source list.)
 ///   Dictionary body := u64 epoch_version | u64 swap_count
 ///                      | dictionary bytes (EFD-DICT-V1, to body end)
 ///   Stream     body := u64 job_id | u32 node_count

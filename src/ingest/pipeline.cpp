@@ -31,10 +31,22 @@ Message make_verdict_message(const core::JobVerdict& verdict) {
 }
 
 IngestPipeline::IngestPipeline(core::RecognitionService& service,
+                               SourceMux& sources,
+                               IngestPipelineConfig config,
+                               util::ThreadPool* pool)
+    : service_(service), sources_(&sources), config_(config), pool_(pool) {}
+
+IngestPipeline::IngestPipeline(core::RecognitionService& service,
                                SampleSource& source,
                                IngestPipelineConfig config,
                                util::ThreadPool* pool)
-    : service_(service), source_(source), config_(config), pool_(pool) {}
+    : service_(service),
+      owned_mux_(std::make_unique<SourceMux>()),
+      sources_(owned_mux_.get()),
+      config_(config),
+      pool_(pool) {
+  owned_mux_->add_source("source", source);
+}
 
 IngestPipeline::~IngestPipeline() {
   stop();
@@ -50,24 +62,28 @@ void IngestPipeline::join() {
 }
 
 void IngestPipeline::maybe_rebind_reply(
-    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply) {
+    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply,
+    SourceId source) {
   // A job restored from a snapshot is open in the service but has no
-  // reply channel (its emitter's connection died with the old process).
-  // Bind it to the first connection that streams it, so a reconnecting
-  // emitter receives the verdict it is still owed.
+  // reply route (its emitter's connection died with the old process).
+  // Bind it to the first (source, connection) that streams it, so a
+  // reconnecting emitter — on whichever transport it comes back over —
+  // receives the verdict it is still owed.
   if (reply == nullptr || replies_.contains(job_id)) return;
   if (!service_.has_job(job_id)) return;
-  replies_[job_id] = reply;
+  replies_[job_id] = ReplyRoute{reply, source};
   jobs_rebound_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IngestPipeline::deliver_parked(
-    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply) {
+    std::uint64_t job_id, const std::shared_ptr<VerdictSink>& reply,
+    SourceId source) {
   if (reply == nullptr || parked_verdicts_.empty()) return;
   const auto it = parked_verdicts_.find(job_id);
   if (it == parked_verdicts_.end()) return;
   reply->deliver(it->second);
   parked_verdicts_.erase(it);
+  sources_->note_verdict(source);
   verdicts_delivered_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -95,24 +111,26 @@ void IngestPipeline::dispatch(Envelope& envelope) {
   observe_sink(envelope.reply);
   switch (message.type) {
     case MessageType::kOpenJob:
-      deliver_parked(message.job_id, envelope.reply);
-      if (service_.open_job(message.job_id, message.node_count)) {
+      deliver_parked(message.job_id, envelope.reply, envelope.source);
+      if (service_.open_job(message.job_id, message.node_count,
+                            envelope.source)) {
         jobs_opened_.fetch_add(1, std::memory_order_relaxed);
-        replies_[message.job_id] = envelope.reply;
+        replies_[message.job_id] =
+            ReplyRoute{envelope.reply, envelope.source};
         if (config_.retrain != nullptr) {
-          config_.retrain->recorder().job_opened(message.job_id,
-                                                 message.node_count);
+          config_.retrain->recorder().job_opened(
+              message.job_id, message.node_count, envelope.source);
         }
       } else {
         open_rejected_.fetch_add(1, std::memory_order_relaxed);
         // Open for a job restored from a snapshot: the stream already
         // exists, but the new connection is its emitter now.
-        maybe_rebind_reply(message.job_id, envelope.reply);
+        maybe_rebind_reply(message.job_id, envelope.reply, envelope.source);
       }
       break;
     case MessageType::kSampleBatch: {
-      deliver_parked(message.job_id, envelope.reply);
-      maybe_rebind_reply(message.job_id, envelope.reply);
+      deliver_parked(message.job_id, envelope.reply, envelope.source);
+      maybe_rebind_reply(message.job_id, envelope.reply, envelope.source);
       // One stream resolution + lock cycle per wire batch, not per
       // sample (the dispatch thread's hot path).
       scratch_.clear();
@@ -132,8 +150,8 @@ void IngestPipeline::dispatch(Envelope& envelope) {
       break;
     }
     case MessageType::kCloseJob:
-      deliver_parked(message.job_id, envelope.reply);
-      maybe_rebind_reply(message.job_id, envelope.reply);
+      deliver_parked(message.job_id, envelope.reply, envelope.source);
+      maybe_rebind_reply(message.job_id, envelope.reply, envelope.source);
       if (service_.close_job(message.job_id)) {
         jobs_closed_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -227,6 +245,13 @@ std::string IngestPipeline::render_stats_text() const {
       << "\n"
       << "service.jobs_on_stale_epoch " << service.jobs_on_stale_epoch
       << "\n";
+  for (const core::SourceIngressStats& ingress : service.by_source) {
+    const std::string prefix =
+        "service.source." + std::to_string(ingress.source) + ".";
+    out << prefix << "jobs_opened " << ingress.jobs_opened << "\n"
+        << prefix << "jobs_completed " << ingress.jobs_completed << "\n"
+        << prefix << "samples_pushed " << ingress.samples_pushed << "\n";
+  }
 
   const IngestPipelineStats pipeline = stats();
   out << "ingest.envelopes " << pipeline.envelopes << "\n"
@@ -246,6 +271,24 @@ std::string IngestPipeline::render_stats_text() const {
       << "ingest.swaps_rejected " << pipeline.swaps_rejected << "\n"
       << "ingest.stats_requests " << pipeline.stats_requests << "\n"
       << "ingest.retrain_reports " << pipeline.retrain_reports << "\n";
+
+  // One row block per registered source: the operator's view of WHERE
+  // traffic (and loss — drops/gaps on lossy transports) comes from.
+  for (const SourceMuxStats& source : sources_->stats()) {
+    const std::string prefix = "source." + std::to_string(source.id) + ".";
+    out << prefix << "name " << source.name << "\n"
+        << prefix << "envelopes " << source.envelopes << "\n"
+        << prefix << "samples " << source.samples << "\n"
+        << prefix << "verdicts " << source.verdicts << "\n"
+        << prefix << "frames " << source.transport.frames << "\n"
+        << prefix << "decode_errors " << source.transport.decode_errors
+        << "\n"
+        << prefix << "drops " << source.transport.drops << "\n"
+        << prefix << "gaps " << source.transport.gaps << "\n"
+        << prefix << "blocked " << source.transport.blocked << "\n"
+        << prefix << "restored_cursor " << source.restored_cursor << "\n"
+        << prefix << "exhausted " << (source.exhausted ? 1 : 0) << "\n";
+  }
 
   if (config_.retrain != nullptr) {
     const retrain::RetrainStats retrain = config_.retrain->stats();
@@ -321,8 +364,22 @@ void IngestPipeline::write_snapshot() {
       if (config_.retrain != nullptr) {
         retrain_state = config_.retrain->encode_state();
       }
+      // One named resume cursor per registered source (its lifetime
+      // envelope count), alongside the legacy aggregate cursor. Only
+      // genuinely multi-source pipelines write the extended Meta body:
+      // a single-source deployment's snapshots stay byte-compatible
+      // with the previous binary (its per-source cursor would be
+      // redundant with the aggregate anyway), so a rollback can still
+      // restore.
+      std::vector<core::SourceCursor> cursors;
+      const std::vector<SourceMuxStats> source_stats = sources_->stats();
+      if (source_stats.size() > 1) {
+        for (const SourceMuxStats& source : source_stats) {
+          cursors.push_back({source.name, source.envelopes});
+        }
+      }
       service_.snapshot(out, envelopes_.load(std::memory_order_relaxed),
-                        retrain_state);
+                        retrain_state, cursors);
       if (!out.flush()) throw core::SnapshotError("flush failed");
     }
     if (std::rename(temp_path.c_str(), config_.snapshot_path.c_str()) != 0) {
@@ -357,7 +414,13 @@ std::uint64_t IngestPipeline::flush_verdicts() {
     }
     const auto it = replies_.find(verdict.job_id);
     if (it != replies_.end()) {
-      if (it->second != nullptr) it->second->deliver(make_verdict_message(verdict));
+      if (it->second.sink != nullptr) {
+        it->second.sink->deliver(make_verdict_message(verdict));
+        // Only an actual delivery counts toward source.<id>.verdicts
+        // ("verdicts routed back") — fire-and-forget emitters have no
+        // reply channel.
+        sources_->note_verdict(it->second.source);
+      }
       replies_.erase(it);
     }
     ++delivered;
@@ -369,6 +432,13 @@ std::uint64_t IngestPipeline::flush_verdicts() {
 }
 
 std::uint64_t IngestPipeline::run() {
+  // Declare every registered source's tag to the service up front, so a
+  // multi-listener deployment shows its service.source.* rows (even
+  // all-zero ones) from the first scrape — not only once a job happens
+  // to arrive on a non-zero source.
+  for (const SourceMuxStats& source : sources_->stats()) {
+    service_.register_source_tag(source.id);
+  }
   if (config_.restore_on_start && !config_.snapshot_path.empty()) {
     // Only a genuinely ABSENT file is a normal first boot. A snapshot
     // that exists but cannot be opened (permissions, I/O error) — like a
@@ -384,6 +454,14 @@ std::uint64_t IngestPipeline::run() {
       }
       const core::ServiceRestoreInfo info = service_.restore(in);
       jobs_restored_.store(info.jobs_restored, std::memory_order_relaxed);
+      // Seed per-source envelope counters from the snapshot's named
+      // cursors, so lifetime source.<id>.* rows stay continuous across
+      // the restart. A cursor whose name no longer matches a registered
+      // source (the operator rewired the topology) is dropped — never
+      // misattributed to a different transport.
+      for (const core::SourceCursor& cursor : info.source_cursors) {
+        sources_->seed_cursor(cursor.name, cursor.cursor);
+      }
       if (config_.retrain != nullptr &&
           !config_.retrain->restore_state(info.retrain_state)) {
         // The section passed its CRC, so a decode failure is version
@@ -412,7 +490,7 @@ std::uint64_t IngestPipeline::run() {
 
   while (more && !stop_.load(std::memory_order_acquire)) {
     batch.clear();
-    more = source_.poll(batch, config_.poll_timeout);
+    more = sources_->poll(batch, config_.poll_timeout);
     if (!batch.empty()) {
       envelopes_.fetch_add(batch.size(), std::memory_order_relaxed);
       for (Envelope& envelope : batch) dispatch(envelope);
@@ -471,7 +549,7 @@ std::uint64_t IngestPipeline::run() {
     // safeguard for emitters that died mid-stream.
     std::vector<std::uint64_t> open_jobs;
     open_jobs.reserve(replies_.size());
-    for (const auto& [job_id, reply] : replies_) open_jobs.push_back(job_id);
+    for (const auto& [job_id, route] : replies_) open_jobs.push_back(job_id);
     for (const std::uint64_t job_id : open_jobs) {
       if (service_.close_job(job_id)) {
         jobs_closed_.fetch_add(1, std::memory_order_relaxed);

@@ -2,12 +2,17 @@
 /// \file pipeline.hpp
 /// \brief The bounded ingestion pipeline: transport → service → verdicts.
 ///
-/// IngestPipeline is the single consumer of a SampleSource. It polls
-/// decoded message envelopes, dispatches them into a RecognitionService
-/// (open/push/close), drives deferred recognition across a thread pool,
-/// periodically sweeps stale streams, and routes finished verdicts back
-/// to the reply channel each job arrived on — the complete vertical
-/// slice from socket bytes to recognition verdict.
+/// IngestPipeline is the single consumer of a SourceMux — the
+/// registered set of SampleSources (TCP, UDP, shared memory, in-process
+/// rings) fanned into one polled stream (source_mux.hpp; a single bare
+/// SampleSource is wrapped into a private mux for the legacy shape). It
+/// polls decoded message envelopes, each stamped with the source it
+/// arrived on, dispatches them into a RecognitionService (open/push/
+/// close, tagged with the source), drives deferred recognition across a
+/// thread pool, periodically sweeps stale streams, and routes finished
+/// verdicts back to the (source, connection) each job arrived on — the
+/// complete vertical slice from socket bytes to recognition verdict,
+/// with per-source loss/throughput accounting the whole way down.
 ///
 /// Every stage is bounded: the transport's queue (its capacity), the
 /// service's per-job queues (RecognitionServiceConfig), and the sweep
@@ -66,6 +71,7 @@
 #include <vector>
 
 #include "core/online/recognition_service.hpp"
+#include "ingest/source_mux.hpp"
 #include "ingest/transport.hpp"
 
 namespace efd::util {
@@ -146,8 +152,15 @@ class IngestPipeline {
   /// \param service recognition service (borrowed; typically configured
   ///        with deferred = true so push() never blocks the poll loop on
   ///        recognition work).
-  /// \param source transport to consume (borrowed; must outlive run()).
+  /// \param sources the registered source set to consume (borrowed;
+  ///        must outlive run()). Register >= 1 source before run().
   /// \param pool workers for deferred recognition (null = inline).
+  IngestPipeline(core::RecognitionService& service, SourceMux& sources,
+                 IngestPipelineConfig config = {},
+                 util::ThreadPool* pool = nullptr);
+
+  /// Legacy single-source shape: wraps \p source in a private mux
+  /// (registered as "source", id 0).
   IngestPipeline(core::RecognitionService& service, SampleSource& source,
                  IngestPipelineConfig config = {},
                  util::ThreadPool* pool = nullptr);
@@ -169,18 +182,30 @@ class IngestPipeline {
 
   IngestPipelineStats stats() const;
 
+  /// The registered source set (per-source counters live here).
+  const SourceMux& sources() const noexcept { return *sources_; }
+
  private:
+  /// Where a job's verdict goes back: the connection it arrived on plus
+  /// the source that connection belongs to (per-source accounting).
+  struct ReplyRoute {
+    std::shared_ptr<VerdictSink> sink;
+    SourceId source = 0;
+  };
+
   void dispatch(Envelope& envelope);
   /// Drains service verdicts to their reply sinks; returns count.
   std::uint64_t flush_verdicts();
-  /// Points a restored (reply-less) job's verdict at the connection now
-  /// streaming it.
+  /// Points a restored (reply-less) job's verdict at the (source,
+  /// connection) now streaming it.
   void maybe_rebind_reply(std::uint64_t job_id,
-                          const std::shared_ptr<VerdictSink>& reply);
+                          const std::shared_ptr<VerdictSink>& reply,
+                          SourceId source);
   /// Ships a parked (restored, completed-pre-crash) verdict to the first
   /// connection that mentions its job.
   void deliver_parked(std::uint64_t job_id,
-                      const std::shared_ptr<VerdictSink>& reply);
+                      const std::shared_ptr<VerdictSink>& reply,
+                      SourceId source);
   /// Snapshots the service to config_.snapshot_path (tmp + rename).
   void write_snapshot();
   /// Remembers a connection for retrain-report fan-out (run() thread).
@@ -191,16 +216,18 @@ class IngestPipeline {
   std::string render_stats_text() const;
 
   core::RecognitionService& service_;
-  SampleSource& source_;
+  /// Legacy single-source wrap (owned); sources_ points at it then.
+  std::unique_ptr<SourceMux> owned_mux_;
+  SourceMux* sources_;
   IngestPipelineConfig config_;
   util::ThreadPool* pool_;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
 
-  /// Reply channel per open job (single-consumer state: only touched by
+  /// Reply route per open job (single-consumer state: only touched by
   /// the run() thread).
-  std::unordered_map<std::uint64_t, std::shared_ptr<VerdictSink>> replies_;
+  std::unordered_map<std::uint64_t, ReplyRoute> replies_;
   /// Restored pending verdicts awaiting their emitter's reconnect
   /// (run() thread only).
   std::unordered_map<std::uint64_t, Message> parked_verdicts_;

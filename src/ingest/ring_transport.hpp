@@ -58,13 +58,26 @@ class RingTransport final : public SampleSource, public MessageSender {
 
   /// Non-blocking send; false when full (by either bound) or closed.
   bool try_send(Message message) {
+    std::shared_ptr<VerdictSink> sink;
+    {
+      std::lock_guard lock(mutex_);
+      sink = verdict_sink_;
+    }
+    return try_send_with_reply(std::move(message), std::move(sink));
+  }
+
+  /// try_send with an explicit reply channel (lossy transports shed on a
+  /// full queue instead of blocking their receiver — see udp_transport).
+  bool try_send_with_reply(Message message,
+                           std::shared_ptr<VerdictSink> reply) {
     {
       std::lock_guard lock(mutex_);
       if (closed_ || ring_.full() || buffered_samples_ >= sample_capacity_) {
         return false;
       }
       buffered_samples_ += message.samples.size();
-      ring_.push(Envelope{std::move(message), verdict_sink_});
+      ++accepted_;
+      ring_.push(Envelope{std::move(message), std::move(reply)});
     }
     not_empty_.notify_one();
     return true;
@@ -106,6 +119,14 @@ class RingTransport final : public SampleSource, public MessageSender {
     return blocked_sends_;
   }
 
+  TransportCounters transport_counters() const override {
+    std::lock_guard lock(mutex_);
+    TransportCounters counters;
+    counters.frames = accepted_;
+    counters.blocked = blocked_sends_;
+    return counters;
+  }
+
  private:
   bool at_capacity() const {
     return ring_.full() || buffered_samples_ >= sample_capacity_;
@@ -119,6 +140,7 @@ class RingTransport final : public SampleSource, public MessageSender {
     }
     if (closed_) throw std::runtime_error("send on closed RingTransport");
     buffered_samples_ += message.samples.size();
+    ++accepted_;
     ring_.push(Envelope{std::move(message), std::move(reply)});
     lock.unlock();
     not_empty_.notify_one();
@@ -133,6 +155,7 @@ class RingTransport final : public SampleSource, public MessageSender {
   std::shared_ptr<VerdictSink> verdict_sink_;
   bool closed_ = false;
   std::uint64_t blocked_sends_ = 0;
+  std::uint64_t accepted_ = 0;
 };
 
 }  // namespace efd::ingest

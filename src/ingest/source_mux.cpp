@@ -1,0 +1,171 @@
+#include "ingest/source_mux.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace efd::ingest {
+
+SourceId SourceMux::add_source(std::string name, SampleSource& source) {
+  std::lock_guard lock(mutex_);
+  auto entry = std::make_shared<Entry>();
+  entry->id = static_cast<SourceId>(entries_.size());
+  // Names key the snapshot cursors: a duplicate (e.g. `--listen tcp:0`
+  // twice) would make seed_cursor misattribute one source's restored
+  // count to the other. Disambiguate deterministically by id, so the
+  // same command line re-derives the same names on restart.
+  const auto taken = [this](const std::string& candidate) {
+    for (const auto& existing : entries_) {
+      if (existing->name == candidate) return true;
+    }
+    return false;
+  };
+  if (taken(name)) {
+    std::string candidate;
+    for (SourceId suffix = entry->id; ; ++suffix) {
+      candidate = name + "#" + std::to_string(suffix);
+      if (!taken(candidate)) break;
+    }
+    name = std::move(candidate);
+  }
+  entry->name = std::move(name);
+  entry->source = &source;
+  entries_.push_back(std::move(entry));
+  generation_.fetch_add(1, std::memory_order_release);
+  return entries_.back()->id;
+}
+
+std::size_t SourceMux::source_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SourceMux::poll_entry(Entry& entry, std::vector<Envelope>& out,
+                                  std::chrono::milliseconds timeout) {
+  const std::size_t before = out.size();
+  const bool live = entry.source->poll(out, timeout);
+  for (std::size_t i = before; i < out.size(); ++i) {
+    out[i].source = entry.id;
+    entry.envelopes.fetch_add(1, std::memory_order_relaxed);
+    entry.samples.fetch_add(out[i].message.samples.size(),
+                            std::memory_order_relaxed);
+  }
+  if (!live) {
+    // Retired: its final batch (if any) was delivered above; the source
+    // contract guarantees nothing more will ever appear.
+    entry.exhausted.store(true, std::memory_order_release);
+  }
+  return out.size() - before;
+}
+
+bool SourceMux::poll(std::vector<Envelope>& out,
+                     std::chrono::milliseconds timeout) {
+  // Refresh the consumer-thread entry cache only when a registration
+  // happened — the hot loop polls with zero allocation/refcounting.
+  if (cached_generation_ != generation_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(mutex_);
+    cached_entries_.clear();
+    for (const auto& entry : entries_) cached_entries_.push_back(entry.get());
+    cached_generation_ = generation_.load(std::memory_order_relaxed);
+  }
+  const std::vector<Entry*>& entries = cached_entries_;
+  if (entries.empty()) return false;  // nothing registered: exhausted
+
+  std::vector<Entry*>& live = live_scratch_;
+  live.clear();
+  // Rotate the sweep's starting index so a chatty low-id source cannot
+  // structurally starve the others of the "first look".
+  const std::size_t start = rotate_++;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Entry& entry = *entries[(start + i) % entries.size()];
+    if (!entry.exhausted.load(std::memory_order_acquire)) {
+      live.push_back(&entry);
+    }
+  }
+  if (live.empty()) return false;
+
+  // Pass 1: non-blocking sweep — drain whatever is already waiting on
+  // any source.
+  std::size_t appended = 0;
+  for (Entry* entry : live) {
+    appended += poll_entry(*entry, out, std::chrono::milliseconds(0));
+  }
+  if (appended > 0) return true;
+
+  // Pass 2: nothing ready anywhere — give each still-live source an
+  // equal slice of the timeout (>= 1 ms), returning as soon as one
+  // yields. Sources later in this round get the first look next call.
+  const auto slice = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds(1),
+      timeout / static_cast<long>(std::max<std::size_t>(live.size(), 1)));
+  bool any_live = false;
+  for (Entry* entry : live) {
+    if (entry->exhausted.load(std::memory_order_acquire)) continue;
+    appended += poll_entry(*entry, out, slice);
+    any_live |= !entry->exhausted.load(std::memory_order_acquire);
+    if (appended > 0) return true;
+  }
+  if (any_live) return true;
+  // Everything retired this round; report exhaustion only when no
+  // registered source can ever produce again.
+  for (const auto& entry : entries) {
+    if (!entry->exhausted.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+void SourceMux::note_verdict(SourceId id) {
+  std::lock_guard lock(mutex_);
+  if (id < entries_.size()) {
+    entries_[id]->verdicts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool SourceMux::seed_cursor(const std::string& name, std::uint64_t cursor) {
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      entry->restored_cursor.store(cursor, std::memory_order_relaxed);
+      entry->envelopes.fetch_add(cursor, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+TransportCounters SourceMux::transport_counters() const {
+  TransportCounters total;
+  for (const SourceMuxStats& source : stats()) {
+    total.frames += source.transport.frames;
+    total.decode_errors += source.transport.decode_errors;
+    total.drops += source.transport.drops;
+    total.gaps += source.transport.gaps;
+    total.blocked += source.transport.blocked;
+  }
+  return total;
+}
+
+std::vector<SourceMuxStats> SourceMux::stats() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard lock(mutex_);
+    entries = entries_;
+  }
+  std::vector<SourceMuxStats> out;
+  out.reserve(entries.size());
+  for (const auto& entry : entries) {
+    SourceMuxStats stats;
+    stats.id = entry->id;
+    stats.name = entry->name;
+    stats.envelopes = entry->envelopes.load(std::memory_order_relaxed);
+    stats.samples = entry->samples.load(std::memory_order_relaxed);
+    stats.verdicts = entry->verdicts.load(std::memory_order_relaxed);
+    stats.restored_cursor =
+        entry->restored_cursor.load(std::memory_order_relaxed);
+    stats.exhausted = entry->exhausted.load(std::memory_order_acquire);
+    stats.transport = entry->source->transport_counters();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace efd::ingest

@@ -244,6 +244,16 @@ TcpServer::Stats TcpServer::stats() const {
   return stats;
 }
 
+TransportCounters TcpServer::transport_counters() const {
+  const Stats stats = this->stats();
+  TransportCounters counters;
+  counters.frames = stats.frames;
+  counters.decode_errors = stats.connections_dropped;
+  counters.drops = stats.verdict_write_failures;
+  counters.blocked = queue_.blocked_sends();
+  return counters;
+}
+
 TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");

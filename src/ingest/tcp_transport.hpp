@@ -82,6 +82,10 @@ class TcpServer final : public SampleSource {
 
   Stats stats() const;
 
+  /// Mux view: frames decoded, corrupt connections as decode errors,
+  /// failed verdict writes as drops, reader back-pressure stalls.
+  TransportCounters transport_counters() const override;
+
  private:
   struct Connection;
 

@@ -4,19 +4,29 @@
 ///
 /// A transport moves wire-format Messages (see wire_format.hpp) from
 /// emitters (node daemons, replayers, the in-process sampling loop) to
-/// the recognition service, and verdicts back. Two implementations ship:
-/// a TCP socket server (tcp_transport.hpp) and a bounded in-process ring
+/// the recognition service, and verdicts back. Four implementations
+/// ship: a TCP socket server (tcp_transport.hpp), a lossy-tolerant UDP
+/// datagram server (udp_transport.hpp), a cross-process shared-memory
+/// ring (shm_transport.hpp), and a bounded in-process ring
 /// (ring_transport.hpp). The pipeline (pipeline.hpp) only ever sees the
-/// interfaces here, so new transports (UDP, shared memory, RDMA) slot in
-/// without touching recognition code.
+/// interfaces here — plus SourceMux (source_mux.hpp), which fans any
+/// number of registered sources into one polled stream with per-source
+/// accounting — so new transports (RDMA, ...) slot in without touching
+/// recognition code.
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "ingest/wire_format.hpp"
 
 namespace efd::ingest {
+
+/// Stable identity of a registered ingest source within a SourceMux
+/// (assigned at registration, dense from 0). 0 is also the implicit id
+/// of a pipeline's only source in the legacy single-source mode.
+using SourceId = std::uint32_t;
 
 /// Where a job's verdict is sent back. Implementations must tolerate
 /// delivery from the pipeline's thread and a destroyed peer (best
@@ -28,10 +38,23 @@ class VerdictSink {
 };
 
 /// One inbound message plus the reply channel it arrived on (null for
-/// fire-and-forget emitters).
+/// fire-and-forget emitters). The mux stamps `source` so verdict
+/// routing and per-source accounting survive the fan-in.
 struct Envelope {
   Message message;
   std::shared_ptr<VerdictSink> reply;
+  SourceId source = 0;
+};
+
+/// Transport-level health counters a source exposes to the mux/stats
+/// scrape. All monotonic. Transports without a concept (e.g. the
+/// in-process ring has no sequence numbers) leave the field at 0.
+struct TransportCounters {
+  std::uint64_t frames = 0;        ///< messages decoded and enqueued
+  std::uint64_t decode_errors = 0; ///< corrupt frames/datagrams/streams
+  std::uint64_t drops = 0;         ///< messages shed (lossy mode / full queue)
+  std::uint64_t gaps = 0;          ///< sequence holes observed (lossy links)
+  std::uint64_t blocked = 0;       ///< producer back-pressure events
 };
 
 /// Consumer side of a transport: the pipeline polls this.
@@ -46,6 +69,10 @@ class SampleSource {
   /// an empty \p out is a normal timeout.
   virtual bool poll(std::vector<Envelope>& out,
                     std::chrono::milliseconds timeout) = 0;
+
+  /// Transport-level loss/back-pressure counters (see TransportCounters).
+  /// Safe from any thread; default is all-zero.
+  virtual TransportCounters transport_counters() const { return {}; }
 };
 
 /// Producer side of a transport: samplers/replayers send through this.

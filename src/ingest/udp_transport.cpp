@@ -1,0 +1,352 @@
+#include "ingest/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/binary_io.hpp"
+
+namespace efd::ingest {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+void encode_datagram(std::uint64_t seq, const Message& message,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  util::put_u32(out, kUdpMagic);
+  util::put_u64(out, seq);
+  try {
+    encode_frame(message, out);
+  } catch (...) {
+    out.resize(start);
+    throw;
+  }
+  if (out.size() - start > kUdpHeaderBytes + kMaxUdpPayloadBytes) {
+    out.resize(start);
+    throw std::invalid_argument(
+        "frame too large for a UDP datagram; lower the batch size or use "
+        "tcp/shm");
+  }
+}
+
+bool decode_datagram(const std::uint8_t* data, std::size_t size,
+                     std::uint64_t& seq, Message& out) {
+  if (size < kUdpHeaderBytes) return false;
+  util::ByteReader reader(data, size);
+  std::uint32_t magic = 0;
+  if (!reader.read_u32(magic) || magic != kUdpMagic) return false;
+  if (!reader.read_u64(seq)) return false;
+  // One datagram = exactly one EFD-WIRE-V1 frame, decoded by the same
+  // fuzz-hardened decoder the stream transports use. A fresh decoder per
+  // datagram: datagrams are independent — corruption cannot poison a
+  // stream, only fail its own datagram.
+  FrameDecoder decoder;
+  decoder.feed(data + kUdpHeaderBytes, size - kUdpHeaderBytes);
+  Message message;
+  if (decoder.next(message) != DecodeStatus::kMessage) return false;
+  if (decoder.buffered_bytes() != 0) return false;  // trailing bytes
+  out = std::move(message);
+  return true;
+}
+
+struct UdpServer::SharedSocket {
+  std::mutex mutex;
+  int fd = -1;
+};
+
+/// Best-effort datagram reply channel to one peer address. The socket is
+/// the server's; the shared mutex-guarded holder keeps delivery safe
+/// against (and after) server shutdown.
+struct UdpServer::PeerSink final : VerdictSink {
+  PeerSink(std::shared_ptr<SharedSocket> socket, sockaddr_in peer,
+           std::shared_ptr<std::atomic<std::uint64_t>> failures)
+      : socket(std::move(socket)),
+        peer(peer),
+        failures(std::move(failures)) {}
+
+  void deliver(const Message& verdict) override {
+    std::vector<std::uint8_t> datagram;
+    try {
+      encode_datagram(next_seq.fetch_add(1, std::memory_order_relaxed) + 1,
+                      verdict, datagram);
+    } catch (const std::exception&) {
+      // Reply too large for a datagram (e.g. a huge stats text): lossy
+      // transport, lossy reply — counted, never fatal.
+      failures->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard lock(socket->mutex);
+    if (socket->fd < 0 ||
+        ::sendto(socket->fd, datagram.data(), datagram.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&peer),
+                 sizeof(peer)) < 0) {
+      failures->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::shared_ptr<SharedSocket> socket;
+  sockaddr_in peer;
+  std::atomic<std::uint64_t> next_seq{0};
+  std::shared_ptr<std::atomic<std::uint64_t>> failures;
+};
+
+UdpServer::UdpServer(const Config& config)
+    : config_(config),
+      queue_(config.queue_capacity, config.queue_sample_capacity) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(config.port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
+      0) {
+    close_fd(fd_);
+    throw_errno("bind");
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &length) <
+      0) {
+    close_fd(fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(address.sin_port);
+
+  if (config_.receive_buffer_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max. A bigger buffer only
+    // moves where a burst is shed, and our shed is the counted one.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &config_.receive_buffer_bytes,
+                 sizeof(config_.receive_buffer_bytes));
+  }
+  // Periodic recv timeout so the receiver observes stop() without
+  // needing to close the socket underneath it.
+  timeval recv_timeout{};
+  recv_timeout.tv_usec = 100 * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+               sizeof(recv_timeout));
+
+  socket_ = std::make_shared<SharedSocket>();
+  socket_->fd = fd_;
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+UdpServer::~UdpServer() { stop(); }
+
+void UdpServer::receive_loop() {
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t received =
+        ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (received < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // socket gone
+    }
+    datagrams_.fetch_add(1, std::memory_order_relaxed);
+
+    std::uint64_t seq = 0;
+    Message message;
+    if (!decode_datagram(buffer.data(), static_cast<std::size_t>(received),
+                         seq, message) ||
+        seq == 0) {
+      // One bad datagram fails alone: datagrams are independent, so the
+      // peer's later traffic still flows (unlike a corrupted TCP stream).
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(peer.sin_addr.s_addr) << 16) |
+        ntohs(peer.sin_port);
+    PeerState& state = peers_[key];
+    if (state.sink == nullptr) {
+      state.sink = std::make_shared<PeerSink>(socket_, peer,
+                                              verdict_send_failures_);
+      // Stamp activity BEFORE the sweep: the new entry must not look
+      // epoch-old and get erased out from under this reference.
+      state.last_activity = now;
+      peer_count_.fetch_add(1, std::memory_order_relaxed);
+      sweep_idle_peers(now);
+    } else if (config_.peer_ttl.count() > 0 &&
+               now - state.last_activity > config_.peer_ttl) {
+      // Session restart: an emitter that rebooted restarts its seq at 1.
+      // After a TTL of silence its old high-water mark must not shed the
+      // new session's traffic as "duplicates" for hours.
+      state.last_seq = 0;
+    }
+    state.last_activity = now;
+    if (state.last_seq == 0) {
+      // First datagram of a session (brand-new peer, TTL resume, or a
+      // peer the idle sweep evicted and that came back): accept at face
+      // value, count NO initial gap. A session's pre-contact history is
+      // indistinguishable from a late start, and booking it as loss
+      // would poison the very counter operators use to exclude lossy
+      // sources. Within-session holes below are the reliable signal.
+    } else if (seq <= state.last_seq) {
+      // Duplicate or reordered-behind-delivery: re-dispatching would
+      // double-count its samples, so it is shed — and counted.
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    } else if (seq > state.last_seq + 1) {
+      gaps_.fetch_add(seq - state.last_seq - 1, std::memory_order_relaxed);
+    }
+    state.last_seq = seq;
+
+    // Lossy discipline end-to-end: a full internal queue sheds the
+    // datagram visibly instead of stalling the receiver into opaque
+    // kernel-buffer drops.
+    if (queue_.try_send_with_reply(std::move(message), state.sink)) {
+      frames_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queue_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void UdpServer::sweep_idle_peers(std::chrono::steady_clock::time_point now) {
+  // Amortized (only when the map doubled past its post-sweep size):
+  // a steady peer population never re-pays the scan, but a server
+  // facing ephemeral-port replayers cannot accumulate state forever.
+  if (config_.peer_ttl.count() <= 0 || peers_.size() < peers_sweep_at_) {
+    return;
+  }
+  std::size_t evicted = 0;
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (now - it->second.last_activity > config_.peer_ttl) {
+      it = peers_.erase(it);  // the sink stays alive via live envelopes
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  peer_count_.fetch_sub(evicted, std::memory_order_relaxed);
+  peers_sweep_at_ = std::max<std::size_t>(64, peers_.size() * 2);
+}
+
+bool UdpServer::poll(std::vector<Envelope>& out,
+                     std::chrono::milliseconds timeout) {
+  return queue_.poll(out, timeout);
+}
+
+void UdpServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (receiver_.joinable()) receiver_.join();
+  {
+    // The receiver is gone; sinks held by undelivered envelopes observe
+    // fd < 0 under the shared mutex from here on.
+    std::lock_guard lock(socket_->mutex);
+    close_fd(socket_->fd);
+    fd_ = -1;
+  }
+  queue_.close();
+}
+
+UdpServer::Stats UdpServer::stats() const {
+  Stats stats;
+  stats.datagrams = datagrams_.load(std::memory_order_relaxed);
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.gaps = gaps_.load(std::memory_order_relaxed);
+  stats.duplicates = duplicates_.load(std::memory_order_relaxed);
+  stats.queue_drops = queue_drops_.load(std::memory_order_relaxed);
+  stats.verdict_send_failures =
+      verdict_send_failures_->load(std::memory_order_relaxed);
+  stats.peers = peer_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+TransportCounters UdpServer::transport_counters() const {
+  const Stats stats = this->stats();
+  TransportCounters counters;
+  counters.frames = stats.frames;
+  counters.decode_errors = stats.decode_errors;
+  counters.drops = stats.duplicates + stats.queue_drops;
+  counters.gaps = stats.gaps;
+  counters.blocked = 0;  // lossy mode never back-pressures
+  return counters;
+}
+
+UdpClient::UdpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    close_fd(fd_);
+    throw TransportError("invalid host address: " + host);
+  }
+  // Connected-UDP: send()/recv() without per-call addressing, and only
+  // the server's replies are accepted.
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    close_fd(fd_);
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+}
+
+UdpClient::~UdpClient() { close_fd(fd_); }
+
+void UdpClient::send(Message message) {
+  std::lock_guard lock(write_mutex_);
+  encode_buffer_.clear();
+  encode_datagram(++next_seq_, message, encode_buffer_);
+  if (::send(fd_, encode_buffer_.data(), encode_buffer_.size(),
+             MSG_NOSIGNAL) < 0) {
+    throw_errno("datagram send");
+  }
+}
+
+bool UdpClient::receive(Message& out, std::chrono::milliseconds timeout) {
+  std::uint8_t buffer[64 * 1024];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;
+    const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received < 0) return false;
+    std::uint64_t seq = 0;
+    if (decode_datagram(buffer, static_cast<std::size_t>(received), seq,
+                        out)) {
+      return true;
+    }
+    // Malformed reply datagram: skip it, keep waiting for a good one.
+  }
+}
+
+}  // namespace efd::ingest

@@ -1,0 +1,195 @@
+#pragma once
+/// \file udp_transport.hpp
+/// \brief UDP datagram transport: the lossy-tolerant LDMS ingestion mode.
+///
+/// Per-node samplers on a big cluster often ship over UDP: no connection
+/// state on either side, and a dropped datagram costs one batch of
+/// monitoring samples — never a stalled emitter. This transport embraces
+/// that: datagrams carry an explicit sequence number, the server COUNTS
+/// loss (gaps), duplication, and reordering per peer instead of treating
+/// them as errors, and a full internal queue sheds the newest datagram
+/// (counted) rather than back-pressuring the socket into invisible
+/// kernel drops. Loss degrades per-source counters — visible in the
+/// `source.<id>.*` stats rows — never correctness or liveness of the
+/// jobs that did arrive.
+///
+/// Datagram layout (EFD-DGRAM-V1; integers little-endian):
+///
+///   datagram := u32 magic ("EFDU") | u64 seq | frame
+///
+/// where `frame` is exactly one EFD-WIRE-V1 frame (wire_format.hpp) —
+/// the same fuzz-hardened decoder, fed one datagram at a time; trailing
+/// bytes after the frame, a truncated frame, or a bad magic fail that
+/// datagram alone (decode_errors), never a stream. seq starts at 1 and
+/// increments per datagram per emitter socket; the server tracks the
+/// highest seq seen per peer address:
+///   seq == last+1  → in order
+///   seq  > last+1  → delivered; gap of (seq-last-1) counted
+///   seq <= last    → duplicate/reordered; dropped and counted (a
+///                    re-delivered kSampleBatch would double-count)
+///
+/// Verdicts (and stats replies / swap acks) travel back as datagrams to
+/// the peer's source address, best-effort: a vanished peer's verdicts
+/// are counted as write failures and dropped, like the TCP path.
+///
+/// Frames must fit one datagram (kMaxUdpPayloadBytes); senders that
+/// need bigger batches use TCP or shared memory — see the README's
+/// "choosing a transport" table.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ingest/ring_transport.hpp"
+#include "ingest/tcp_transport.hpp"  // TransportError
+#include "ingest/transport.hpp"
+
+namespace efd::ingest {
+
+/// "EFDU", little-endian.
+inline constexpr std::uint32_t kUdpMagic = 0x55444645u;
+inline constexpr std::size_t kUdpHeaderBytes = 4 + 8;
+/// Encoded frame cap per datagram (headroom under the 65507-byte UDP
+/// maximum for the header and pathological stacks).
+inline constexpr std::size_t kMaxUdpPayloadBytes = 60 * 1024;
+
+/// Appends one EFD-DGRAM-V1 datagram (header + encoded frame) to \p out.
+/// Throws std::invalid_argument when the frame cannot fit a datagram.
+void encode_datagram(std::uint64_t seq, const Message& message,
+                     std::vector<std::uint8_t>& out);
+
+/// Decodes one datagram. Defensive against arbitrary bytes: returns
+/// false (out/seq untouched or partial) on bad magic, truncation, a
+/// frame that fails the wire decoder, or trailing bytes — never throws,
+/// crashes, or over-allocates beyond the bytes that arrived.
+bool decode_datagram(const std::uint8_t* data, std::size_t size,
+                     std::uint64_t& seq, Message& out);
+
+class UdpServer final : public SampleSource {
+ public:
+  struct Config {
+    std::uint16_t port = 0;            ///< 0 = ephemeral (see port())
+    std::size_t queue_capacity = 4096; ///< decoded-message bound
+    std::size_t queue_sample_capacity = 0;  ///< 0 = 64 x queue_capacity
+    /// SO_RCVBUF request (best-effort; the kernel may clamp it). Bigger
+    /// buffers absorb replay bursts before the kernel sheds datagrams.
+    int receive_buffer_bytes = 4 * 1024 * 1024;
+    /// Idle time after which a peer's sequencing state expires (0 =
+    /// never). An emitter that reboots and restarts its seq at 1 within
+    /// a live session would look like a flood of duplicates; once idle
+    /// past this TTL its next datagram starts a fresh session instead.
+    /// Long-idle peers are also evicted (amortized sweep), so a server
+    /// facing ephemeral-port emitters cannot grow peer state forever.
+    /// Tradeoff: gap/duplicate accounting only spans datagrams within
+    /// one session — an emitter whose bursts are spaced further apart
+    /// than this TTL gets no cross-burst loss accounting. Set it above
+    /// the emitters' largest legitimate quiet spell.
+    std::chrono::milliseconds peer_ttl{60 * 1000};
+  };
+
+  struct Stats {
+    std::uint64_t datagrams = 0;       ///< received from the socket
+    std::uint64_t frames = 0;          ///< decoded and enqueued
+    std::uint64_t decode_errors = 0;   ///< malformed datagrams
+    std::uint64_t gaps = 0;            ///< sequence holes (lost datagrams)
+    std::uint64_t duplicates = 0;      ///< seq <= last seen (dropped)
+    std::uint64_t queue_drops = 0;     ///< shed on a full internal queue
+    std::uint64_t verdict_send_failures = 0;
+    std::size_t peers = 0;             ///< source addresses currently tracked
+  };
+
+  /// Binds 127.0.0.1:<port>; throws TransportError.
+  explicit UdpServer(const Config& config);
+  ~UdpServer() override;
+
+  UdpServer(const UdpServer&) = delete;
+  UdpServer& operator=(const UdpServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  bool poll(std::vector<Envelope>& out,
+            std::chrono::milliseconds timeout) override;
+
+  /// Closes the socket and joins the receiver; poll() reports
+  /// exhaustion once the queue drains. Idempotent.
+  void stop();
+
+  Stats stats() const;
+  TransportCounters transport_counters() const override;
+
+ private:
+  struct SharedSocket;  ///< mutex-guarded fd holder (outlives stop())
+  struct PeerSink;
+  struct PeerState {
+    std::uint64_t last_seq = 0;
+    std::chrono::steady_clock::time_point last_activity{};
+    std::shared_ptr<PeerSink> sink;
+  };
+
+  void receive_loop();
+  /// Amortized eviction of peers idle past the TTL (receiver thread).
+  void sweep_idle_peers(std::chrono::steady_clock::time_point now);
+
+  Config config_;
+  int fd_ = -1;
+  std::shared_ptr<SharedSocket> socket_;
+  std::uint16_t port_ = 0;
+  RingTransport queue_;
+  std::thread receiver_;
+  std::atomic<bool> stopping_{false};
+
+  /// Per-peer sequencing state (receiver thread only).
+  std::unordered_map<std::uint64_t, PeerState> peers_;
+  std::size_t peers_sweep_at_ = 64;
+
+  std::atomic<std::uint64_t> datagrams_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> gaps_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> queue_drops_{0};
+  std::atomic<std::size_t> peer_count_{0};
+  /// Shared with every PeerSink (a sink held by undelivered envelopes
+  /// can outlive the server).
+  std::shared_ptr<std::atomic<std::uint64_t>> verdict_send_failures_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+};
+
+/// Datagram emitter toward a UdpServer: send() frames, receive()
+/// verdict datagrams. Mirrors TcpClient's shape so `efd_cli replay`
+/// treats the transports interchangeably.
+class UdpClient final : public MessageSender {
+ public:
+  /// Connects (in the UDP sense) to host:port; throws TransportError.
+  UdpClient(const std::string& host, std::uint16_t port);
+  ~UdpClient() override;
+
+  UdpClient(const UdpClient&) = delete;
+  UdpClient& operator=(const UdpClient&) = delete;
+
+  /// Encodes and sends one datagram. Throws TransportError on a socket
+  /// failure or a frame too large for a datagram (emitters bound their
+  /// batch size — see kMaxUdpPayloadBytes).
+  void send(Message message) override;
+
+  /// Waits up to \p timeout for the next inbound message (verdicts,
+  /// acks). Returns false on timeout or a malformed datagram.
+  bool receive(Message& out, std::chrono::milliseconds timeout);
+
+  /// UDP has no half-close; provided for interface parity with
+  /// TcpClient (the server ends jobs via kCloseJob frames or its sweep).
+  void finish_sending() {}
+
+ private:
+  int fd_ = -1;
+  std::mutex write_mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint8_t> encode_buffer_;
+};
+
+}  // namespace efd::ingest

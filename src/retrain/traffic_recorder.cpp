@@ -1,7 +1,9 @@
 #include "retrain/traffic_recorder.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -53,11 +55,42 @@ void TrafficRecorder::rebind_layout(core::FingerprintConfig layout) {
   ++stats_.window_resets;
 }
 
+std::int64_t TrafficRecorder::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TrafficRecorder::prune_expired_locked(std::int64_t now) {
+  if (config_.window_ttl.count() <= 0) return;
+  const std::int64_t horizon =
+      now - std::chrono::duration_cast<std::chrono::nanoseconds>(
+                config_.window_ttl)
+                .count();
+  for (auto& [app, window] : windows_) {
+    const std::size_t before = window.jobs.size();
+    std::erase_if(window.jobs, [horizon](const auto& job) {
+      return job->captured_ns < horizon;
+    });
+    const std::size_t expired = before - window.jobs.size();
+    if (expired > 0) {
+      stats_.jobs_expired += expired;
+      // Recency weighting: the reservoir's admission probability is
+      // capacity/seen — resetting `seen` to the surviving population
+      // lets fresh jobs re-enter at ring odds instead of fighting the
+      // full (now partly expired) history.
+      window.seen = window.jobs.size();
+    }
+  }
+}
+
 void TrafficRecorder::job_opened(std::uint64_t job_id,
-                                 std::uint32_t node_count) {
+                                 std::uint32_t node_count,
+                                 std::uint32_t source) {
   std::lock_guard lock(mutex_);
   PendingCapture& capture = pending_[job_id];
   capture.node_count = std::max<std::uint32_t>(node_count, 1);
+  capture.source = source;
   capture.samples.clear();
   capture.filtered = 0;
 }
@@ -108,7 +141,17 @@ void TrafficRecorder::job_finished(std::uint64_t job_id, bool recognized,
     ++stats_.jobs_unrecognized;
     return;
   }
+  if (std::find(config_.excluded_sources.begin(),
+                config_.excluded_sources.end(),
+                capture.source) != config_.excluded_sources.end()) {
+    // Operator-excluded ingest source (e.g. lossy UDP): its truncated
+    // traffic must not shape the next dictionary.
+    ++stats_.jobs_excluded_source;
+    return;
+  }
   ++stats_.jobs_captured;
+  const std::int64_t now = now_ns();
+  prune_expired_locked(now);
 
   const telemetry::ExecutionLabel label =
       telemetry::parse_label(label_prediction);
@@ -126,8 +169,10 @@ void TrafficRecorder::job_finished(std::uint64_t job_id, bool recognized,
   auto job = std::make_shared<CapturedJob>();
   job->job_id = job_id;
   job->node_count = capture.node_count;
+  job->source = capture.source;
   job->label = label;
   job->sequence = next_sequence_++;
+  job->captured_ns = now;
   job->samples = std::move(capture.samples);
 
   if (window.jobs.size() < config_.window_jobs_per_app) {
@@ -154,12 +199,24 @@ WindowSnapshot TrafficRecorder::snapshot_window() const {
   // Pointer copies only: the dispatch thread is never blocked behind a
   // data copy. Deterministic order: applications sorted by name, jobs
   // by capture sequence — identical histories snapshot identically.
+  // TTL-expired entries are excluded here even before an admission has
+  // pruned them, so a retrain during a quiet spell never trains on
+  // stale traffic.
+  std::int64_t ttl_horizon = std::numeric_limits<std::int64_t>::min();
+  if (config_.window_ttl.count() > 0) {
+    ttl_horizon = now_ns() -
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      config_.window_ttl)
+                      .count();
+  }
   std::map<std::string, const AppWindow*> ordered;
   for (const auto& [app, window] : windows_) ordered.emplace(app, &window);
   WindowSnapshot out;
   for (const auto& [app, window] : ordered) {
     const std::size_t first = out.size();
-    out.insert(out.end(), window->jobs.begin(), window->jobs.end());
+    for (const auto& job : window->jobs) {
+      if (job->captured_ns >= ttl_horizon) out.push_back(job);
+    }
     std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
               [](const auto& a, const auto& b) {
                 return a->sequence < b->sequence;

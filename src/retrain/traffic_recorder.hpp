@@ -66,6 +66,18 @@ struct TrafficRecorderConfig {
   int capture_horizon_seconds = 0;
   /// Seed for reservoir admission (deterministic runs).
   std::uint64_t seed = 42;
+  /// Recency-weighted reservoir eviction (0 = keep forever): captured
+  /// jobs older than this are expired — pruned at the next admission and
+  /// excluded from window snapshots — so a quiet application's window
+  /// cannot keep training on stale traffic. After a prune, the
+  /// reservoir's admission odds reset to the surviving population, so
+  /// fresh jobs re-enter readily (recency weighting).
+  std::chrono::milliseconds window_ttl{0};
+  /// Ingest source tags (the mux's SourceIds) whose jobs are never
+  /// admitted — the operator's knob to keep a high-loss source (e.g. a
+  /// congested UDP sampler) from training the dictionary on truncated
+  /// traffic. Counted in jobs_excluded_source.
+  std::vector<std::uint32_t> excluded_sources;
 };
 
 struct TrafficRecorderStats {
@@ -81,6 +93,8 @@ struct TrafficRecorderStats {
   std::uint64_t samples_recorded = 0; ///< accepted into a capture (lifetime)
   std::uint64_t samples_filtered = 0; ///< beyond horizon / foreign metric
   std::uint64_t window_resets = 0;    ///< layout rebinds dropping the window
+  std::uint64_t jobs_expired = 0;     ///< evicted by the window TTL
+  std::uint64_t jobs_excluded_source = 0; ///< from an excluded ingest source
 };
 
 /// One completed, labeled, captured job. Immutable once admitted to a
@@ -88,8 +102,10 @@ struct TrafficRecorderStats {
 struct CapturedJob {
   std::uint64_t job_id = 0;
   std::uint32_t node_count = 0;
+  std::uint32_t source = 0;         ///< ingest source the job arrived on
   telemetry::ExecutionLabel label;  ///< from the verdict (self-labeled)
   std::uint64_t sequence = 0;       ///< completion order within the recorder
+  std::int64_t captured_ns = 0;     ///< admission time (window TTL clock)
   std::vector<ingest::WireSample> samples;  ///< filtered, arrival order
 };
 
@@ -117,7 +133,10 @@ class TrafficRecorder {
   int capture_horizon() const noexcept { return horizon_; }
 
   /// Starts capturing a job (pipeline tap: successful kOpenJob).
-  void job_opened(std::uint64_t job_id, std::uint32_t node_count);
+  /// \p source tags the ingest source the job arrived on; jobs from
+  /// excluded sources are dropped at completion (never admitted).
+  void job_opened(std::uint64_t job_id, std::uint32_t node_count,
+                  std::uint32_t source = 0);
 
   /// Appends a dispatched sample batch to the job's pending capture,
   /// consuming the vector (zero-copy tap: the pipeline is done with it).
@@ -150,6 +169,7 @@ class TrafficRecorder {
  private:
   struct PendingCapture {
     std::uint32_t node_count = 0;
+    std::uint32_t source = 0;
     std::vector<ingest::WireSample> samples;
     std::uint64_t filtered = 0;
   };
@@ -162,6 +182,10 @@ class TrafficRecorder {
 
   /// Recomputes horizon/caps from layout_ (constructor + rebind_layout).
   void adopt_layout_locked();
+  /// Evicts window entries older than the TTL (no-op when disabled).
+  /// Resets each pruned window's reservoir odds to its survivors.
+  void prune_expired_locked(std::int64_t now_ns);
+  static std::int64_t now_ns();
 
   core::FingerprintConfig layout_;
   TrafficRecorderConfig config_;

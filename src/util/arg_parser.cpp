@@ -10,14 +10,19 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (starts_with(arg, "--")) {
       std::string body = arg.substr(2);
+      std::string key, value;
       const std::size_t eq = body.find('=');
       if (eq != std::string::npos) {
-        options_[body.substr(0, eq)] = body.substr(eq + 1);
+        key = body.substr(0, eq);
+        value = body.substr(eq + 1);
       } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-        options_[body] = argv[++i];
+        key = std::move(body);
+        value = argv[++i];
       } else {
-        options_[body] = "";
+        key = std::move(body);
       }
+      options_[key] = value;
+      ordered_.emplace_back(std::move(key), std::move(value));
     } else {
       positional_.push_back(std::move(arg));
     }
@@ -31,6 +36,14 @@ bool ArgParser::has(const std::string& name) const {
 std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
   const auto it = options_.find(name);
   return it != options_.end() ? it->second : fallback;
+}
+
+std::vector<std::string> ArgParser::get_all(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [key, value] : ordered_) {
+    if (key == name) values.push_back(value);
+  }
+  return values;
 }
 
 long long ArgParser::get_int(const std::string& name, long long fallback) const {

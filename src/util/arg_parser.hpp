@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace efd::util {
@@ -22,8 +23,12 @@ class ArgParser {
   /// True if --name was present (with or without a value).
   bool has(const std::string& name) const;
 
-  /// String value of --name, or fallback.
+  /// String value of --name, or fallback. With repeats, the LAST wins.
   std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Every value a repeated --name was given, in command-line order
+  /// (empty when absent) — e.g. `serve --listen tcp:0 --listen udp:0`.
+  std::vector<std::string> get_all(const std::string& name) const;
 
   /// Integer value of --name, or fallback on absence/parse failure.
   long long get_int(const std::string& name, long long fallback) const;
@@ -37,6 +42,8 @@ class ArgParser {
  private:
   std::string program_;
   std::map<std::string, std::string> options_;
+  /// (key, value) in command-line order, for get_all on repeated flags.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
 

@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/online/service_snapshot.hpp"
@@ -135,6 +137,66 @@ TEST(TrafficRecorder, CapturesFiltersAndSelfLabels) {
   EXPECT_EQ(window[0]->label.input_size, "X");
   ASSERT_EQ(window[0]->samples.size(), 1u);
   EXPECT_EQ(window[0]->samples[0].value, 6100.0);
+}
+
+TEST(TrafficRecorder, ExcludedSourcesNeverTrainAndSourcesAreRecorded) {
+  TrafficRecorderConfig config;
+  config.window_jobs_per_app = 8;
+  config.excluded_sources = {2};  // e.g. a congested UDP sampler
+  TrafficRecorder recorder(config_of(), config);
+
+  recorder.job_opened(1, 1, /*source=*/0);
+  recorder.record_batch(1, {{0, 5, 6000.0, "nr_mapped_vmstat"}});
+  recorder.job_finished(1, true, "ft_X");
+
+  recorder.job_opened(2, 1, /*source=*/2);
+  recorder.record_batch(2, {{0, 5, 6000.0, "nr_mapped_vmstat"}});
+  recorder.job_finished(2, true, "ft_X");
+
+  const TrafficRecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.jobs_captured, 1u);
+  EXPECT_EQ(stats.jobs_admitted, 1u);
+  EXPECT_EQ(stats.jobs_excluded_source, 1u);
+  const WindowSnapshot window = recorder.snapshot_window();
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0]->job_id, 1u);
+  EXPECT_EQ(window[0]->source, 0u);  // the originating source is kept
+}
+
+TEST(TrafficRecorder, WindowTtlExpiresStaleJobsAndResetsReservoirOdds) {
+  TrafficRecorderConfig config;
+  config.window_jobs_per_app = 8;
+  config.window_ttl = std::chrono::milliseconds(30);
+  TrafficRecorder recorder(config_of(), config);
+
+  const auto capture = [&recorder](std::uint64_t id) {
+    recorder.job_opened(id, 1);
+    recorder.record_batch(id, {{0, 1, 6000.0, "nr_mapped_vmstat"}});
+    recorder.job_finished(id, true, "ft_X");
+  };
+  capture(1);
+  capture(2);
+  EXPECT_EQ(recorder.stats().window_jobs, 2u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Even before any admission prunes, a snapshot during the quiet spell
+  // must not hand stale traffic to a retrain.
+  EXPECT_TRUE(recorder.snapshot_window().empty());
+
+  // The next admission prunes the expired entries (counted) and the
+  // fresh job stands alone in the window.
+  capture(3);
+  const TrafficRecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.jobs_expired, 2u);
+  EXPECT_EQ(stats.window_jobs, 1u);
+  const WindowSnapshot window = recorder.snapshot_window();
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0]->job_id, 3u);
+
+  // Recency weighting: after the prune the reservoir's `seen` restarts
+  // at the survivors, so subsequent jobs admit at ring odds again.
+  capture(4);
+  EXPECT_EQ(recorder.stats().window_jobs, 2u);
 }
 
 TEST(TrafficRecorder, WindowStaysBoundedUnderReservoirAdmission) {

@@ -18,6 +18,7 @@
 
 #include "core/online/recognition_service.hpp"
 #include "core/trainer.hpp"
+#include "util/binary_io.hpp"
 
 namespace {
 
@@ -141,6 +142,64 @@ TEST_F(SnapshotFixture, MidStreamRoundTripYieldsIdenticalVerdicts) {
   EXPECT_EQ(original_verdicts[0].result.prediction(), "ft");
   EXPECT_EQ(original_verdicts[1].result.prediction(), "mg");
   EXPECT_EQ(original.stats().jobs_completed, restored.stats().jobs_completed);
+}
+
+TEST_F(SnapshotFixture, PerSourceCursorsRoundTripAndLegacyBodyRestores) {
+  // Extended Meta body: named per-source cursors travel and come back.
+  {
+    RecognitionService original = make_service();
+    const std::vector<core::SourceCursor> cursors = {
+        {"tcp:7411", 120}, {"udp:7412", 77}, {"shm:node0", 3}};
+    std::ostringstream out;
+    original.snapshot(out, 200, {}, cursors);
+    RecognitionService restored = make_service();
+    std::istringstream in(std::move(out).str());
+    const ServiceRestoreInfo info = restored.restore(in);
+    EXPECT_EQ(info.replay_cursor, 200u);
+    EXPECT_EQ(info.source_cursors, cursors);
+  }
+  // Legacy 8-byte Meta body (no cursor list): restores with an empty
+  // source list — old snapshots stay readable.
+  {
+    RecognitionService original = make_service();
+    std::ostringstream out;
+    original.snapshot(out, 99);
+    RecognitionService restored = make_service();
+    std::istringstream in(std::move(out).str());
+    const ServiceRestoreInfo info = restored.restore(in);
+    EXPECT_EQ(info.replay_cursor, 99u);
+    EXPECT_TRUE(info.source_cursors.empty());
+  }
+  // A cursor count inconsistent with the section length must fail the
+  // restore, not allocate: flip the count field up. Layout after the
+  // 8-byte magic: u32 len | u32 crc | u8 type | u64 cursor | u32 count.
+  {
+    RecognitionService original = make_service();
+    std::ostringstream out;
+    const std::vector<core::SourceCursor> one = {{"a", 1}};
+    original.snapshot(out, 1, {}, one);
+    std::string bytes = std::move(out).str();
+    const std::size_t count_at = 8 + 4 + 4 + 1 + 8;
+    bytes[count_at] = '\x7F';
+    // Re-seal the CRC so ONLY the count lie is on trial.
+    const std::size_t payload_at = 8 + 8;
+    std::uint32_t payload_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      payload_len |= static_cast<std::uint32_t>(
+                         static_cast<std::uint8_t>(bytes[8 + i]))
+                     << (8 * i);
+    }
+    const std::uint32_t crc = efd::util::crc32(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()) + payload_at,
+        payload_len);
+    for (int i = 0; i < 4; ++i) {
+      bytes[8 + 4 + static_cast<std::size_t>(i)] =
+          static_cast<char>((crc >> (8 * i)) & 0xFF);
+    }
+    RecognitionService restored = make_service();
+    std::istringstream in(bytes);
+    EXPECT_THROW(restored.restore(in), SnapshotError);
+  }
 }
 
 TEST_F(SnapshotFixture, DeferredQueuesSurviveRestore) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ingest/udp_transport.hpp"
+
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -371,6 +373,106 @@ TEST(WireFormat, FuzzRandomCorruptionNeverCrashes) {
       ASSERT_LT(++guard, 1000);
     }
   }
+}
+
+// --- EFD-DGRAM-V1: the UDP datagram wrapper (udp_transport.hpp) --------
+
+TEST(UdpDatagram, RoundTripsHeaderAndFrame) {
+  const Message original = sample_batch(7, 12);
+  std::vector<std::uint8_t> datagram;
+  encode_datagram(41, original, datagram);
+
+  std::uint64_t seq = 0;
+  Message decoded;
+  ASSERT_TRUE(decode_datagram(datagram.data(), datagram.size(), seq,
+                              decoded));
+  EXPECT_EQ(seq, 41u);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(UdpDatagram, FuzzTruncationNeverDecodesAndNeverCrashes) {
+  // A datagram is all-or-nothing: EVERY strict prefix must fail cleanly
+  // (unlike the stream decoder, there is no "need more" — a truncated
+  // datagram is a lost tail, not a pending one).
+  std::vector<std::uint8_t> datagram;
+  encode_datagram(3, sample_batch(5, 20), datagram);
+  for (std::size_t cut = 0; cut < datagram.size(); ++cut) {
+    std::uint64_t seq = 0;
+    Message message;
+    EXPECT_FALSE(decode_datagram(datagram.data(), cut, seq, message))
+        << "cut=" << cut;
+  }
+}
+
+TEST(UdpDatagram, FuzzRandomCorruptionNeverCrashes) {
+  std::vector<std::uint8_t> valid;
+  encode_datagram(9, sample_batch(2, 16), valid);
+
+  std::mt19937 rng(1337);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> corrupted = valid;
+    const int flips = 1 + round % 8;
+    for (int f = 0; f < flips; ++f) {
+      corrupted[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    std::uint64_t seq = 0;
+    Message message;
+    if (decode_datagram(corrupted.data(), corrupted.size(), seq, message)) {
+      // A surviving decode (flips confined to payload values) stays
+      // bounded by the bytes that arrived.
+      EXPECT_LE(message.samples.size(), corrupted.size() / 18);
+    }
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(round % 128);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(byte(rng));
+    std::uint64_t seq = 0;
+    Message message;
+    decode_datagram(garbage.data(), garbage.size(), seq, message);
+  }
+}
+
+TEST(UdpDatagram, RejectsBadMagicTrailingBytesAndConcatenatedFrames) {
+  std::vector<std::uint8_t> datagram;
+  encode_datagram(1, make_open_job(1, 2), datagram);
+  {
+    std::vector<std::uint8_t> bad = datagram;
+    bad[0] ^= 0xFF;  // magic
+    std::uint64_t seq = 0;
+    Message message;
+    EXPECT_FALSE(decode_datagram(bad.data(), bad.size(), seq, message));
+  }
+  {
+    std::vector<std::uint8_t> trailing = datagram;
+    trailing.push_back(0x00);
+    std::uint64_t seq = 0;
+    Message message;
+    EXPECT_FALSE(
+        decode_datagram(trailing.data(), trailing.size(), seq, message));
+  }
+  {
+    // Exactly one frame per datagram: a second complete frame after the
+    // first is trailing garbage, not a bonus message (duplicated-frame
+    // smuggling would bypass the per-datagram sequence accounting).
+    std::vector<std::uint8_t> doubled = datagram;
+    encode_frame(make_close_job(1), doubled);
+    std::uint64_t seq = 0;
+    Message message;
+    EXPECT_FALSE(
+        decode_datagram(doubled.data(), doubled.size(), seq, message));
+  }
+}
+
+TEST(UdpDatagram, EncodeRejectsFramesTooLargeForADatagram) {
+  Message big = sample_batch(1, 1);
+  WireSample sample = big.samples[0];
+  sample.metric.assign(60000, 'm');  // one ~60 KB sample
+  big.samples.assign(2, sample);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(encode_datagram(1, big, out), std::invalid_argument);
+  EXPECT_TRUE(out.empty());  // nothing half-written
 }
 
 }  // namespace

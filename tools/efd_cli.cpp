@@ -48,7 +48,12 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/coverage.hpp"
 #include "core/online/recognition_service.hpp"
@@ -57,8 +62,11 @@
 #include "core/trainer.hpp"
 #include "eval/efd_experiment.hpp"
 #include "ingest/pipeline.hpp"
+#include "ingest/shm_transport.hpp"
+#include "ingest/source_mux.hpp"
 #include "ingest/tcp_transport.hpp"
 #include "ingest/transport_feed.hpp"
+#include "ingest/udp_transport.hpp"
 #include "retrain/retrain_controller.hpp"
 #include "ldms/sampler.hpp"
 #include "ldms/streaming.hpp"
@@ -87,8 +95,9 @@ int usage() {
       "             [--shards N] [--threads N]\n"
       "  recognize  --data FILE --dict FILE [--verbose] [--threads N]\n"
       "  dump       --dict FILE\n"
-      "  stats      --dict FILE | --port P [--host H]   (remote: scrape a\n"
-      "             running serve endpoint's counters as `name value` lines)\n"
+      "  stats      --dict FILE | --port P [--host H] [--prometheus]\n"
+      "             (remote: scrape a running serve endpoint's counters as\n"
+      "             `name value` lines, or Prometheus text exposition)\n"
       "  coverage   --data FILE --dict FILE\n"
       "  evaluate   --data FILE --experiment normal-fold|soft-input|\n"
       "             soft-unknown|hard-input|hard-unknown [--metrics a,b]\n"
@@ -96,6 +105,8 @@ int usage() {
       "  serve-sim  --dict FILE [--jobs N] [--shards N] [--threads N]\n"
       "             [--seed S] [--duration SECONDS]\n"
       "  serve      --dict FILE [--port P] [--shards N] [--threads N]\n"
+      "             [--listen tcp:PORT|udp:PORT|shm:NAME]...  (repeatable:\n"
+      "             every listener feeds the same service; default tcp)\n"
       "             [--policy block|drop-oldest|reject] [--queue-capacity N]\n"
       "             [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
       "             [--allow-shutdown] [--allow-swap]\n"
@@ -104,9 +115,11 @@ int usage() {
       "             [--die-after-snapshots N]\n"
       "             [--auto-retrain] [--retrain-interval-ms MS]\n"
       "             [--retrain-min-jobs N] [--retrain-window JOBS]\n"
-      "             [--retrain-holdout F] [--retrain-margin F]\n"
-      "             [--retrain-dry-run]\n"
-      "  replay     --data FILE --port P [--host H] [--batch N]\n"
+      "             [--retrain-window-ttl-ms MS] [--retrain-holdout F]\n"
+      "             [--retrain-margin F] [--retrain-dry-run]\n"
+      "             [--retrain-exclude-source ID]...\n"
+      "  replay     --data FILE (--port P [--udp] | --shm NAME) [--host H]\n"
+      "             [--batch N] [--stride N] [--offset K] [--pace-us US]\n"
       "  swap-dict  --dict FILE --port P [--host H]\n";
   return 2;
 }
@@ -268,10 +281,112 @@ int cmd_dump(const util::ArgParser& args) {
   return 0;
 }
 
+/// True for scrape rows that describe a current level rather than a
+/// lifetime total — they render as `gauge`, everything else as
+/// `counter` (both monotonic counters and epochs/scores, which are at
+/// least non-decreasing in practice are fine as counters for dashboards
+/// that only rate() the true totals).
+bool is_gauge_metric(const std::string& name) {
+  static const char* kGaugeSuffixes[] = {
+      "active_jobs", "pending_verdicts", "queued_samples",
+      "jobs_on_stale_epoch", "dictionary_epoch", "window_jobs",
+      "window_samples", "window_applications", "exhausted",
+      "restored_cursor", "last_cycle", "last_promoted_epoch",
+      "last_candidate_score", "last_incumbent_score"};
+  for (const char* suffix : kGaugeSuffixes) {
+    const std::string_view view(suffix);
+    if (name.size() >= view.size() &&
+        name.compare(name.size() - view.size(), view.size(), view) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Renders the flat `name value` scrape as Prometheus text exposition:
+/// dots become underscores under an `efd_` prefix, every metric gets a
+/// `# TYPE` line, and the per-source rows (`source.<id>.*`,
+/// `service.source.<tag>.*`) are folded into labeled series —
+/// `efd_source_gaps{source="1",name="udp:7412"} 3` — so one dashboard
+/// query covers any number of transports.
+std::string prometheus_exposition(const std::string& flat) {
+  // Pass 1: split rows, learn the source id -> registration-name labels.
+  std::map<std::string, std::string> source_names;
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::istringstream in(flat);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) continue;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    if (name.rfind("source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 7);
+      if (dot != std::string::npos && name.substr(dot + 1) == "name") {
+        source_names[name.substr(7, dot - 7)] = value;
+        continue;  // becomes a label, not a series
+      }
+    }
+    rows.emplace_back(std::move(name), std::move(value));
+  }
+
+  // Pass 2: emit, grouping every row of one metric family under a
+  // single # TYPE header (Prometheus rejects duplicate TYPE lines).
+  std::ostringstream out;
+  std::map<std::string, std::vector<std::string>> families;  // name -> lines
+  std::vector<std::string> family_order;
+  const auto add = [&](const std::string& family, std::string sample,
+                       const std::string& type_hint) {
+    auto it = families.find(family);
+    if (it == families.end()) {
+      family_order.push_back(family);
+      it = families.emplace(family, std::vector<std::string>{}).first;
+      it->second.push_back("# TYPE " + family + " " + type_hint);
+    }
+    it->second.push_back(std::move(sample));
+  };
+  for (const auto& [name, value] : rows) {
+    const std::string type_hint = is_gauge_metric(name) ? "gauge" : "counter";
+    if (name.rfind("source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 7);
+      if (dot != std::string::npos) {
+        const std::string id = name.substr(7, dot - 7);
+        const std::string family = "efd_source_" + name.substr(dot + 1);
+        std::string labels = "source=\"" + id + "\"";
+        const auto label = source_names.find(id);
+        if (label != source_names.end()) {
+          labels += ",name=\"" + label->second + "\"";
+        }
+        add(family, family + "{" + labels + "} " + value, type_hint);
+        continue;
+      }
+    }
+    if (name.rfind("service.source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 15);
+      if (dot != std::string::npos) {
+        const std::string family =
+            "efd_service_source_" + name.substr(dot + 1);
+        add(family,
+            family + "{source=\"" + name.substr(15, dot - 15) + "\"} " +
+                value,
+            type_hint);
+        continue;
+      }
+    }
+    std::string family = "efd_" + name;
+    std::replace(family.begin(), family.end(), '.', '_');
+    add(family, family + " " + value, type_hint);
+  }
+  for (const std::string& family : family_order) {
+    for (const std::string& emitted : families[family]) out << emitted << "\n";
+  }
+  return std::move(out).str();
+}
+
 int cmd_stats(const util::ArgParser& args) {
   // Remote mode: scrape a running serve endpoint (kStatsRequest →
-  // kStatsReply) and print its flat `name value` block verbatim — the
-  // first step toward a Prometheus-style stats endpoint.
+  // kStatsReply) and print its flat `name value` block verbatim, or —
+  // with --prometheus — as Prometheus text exposition.
   if (args.has("port")) {
     const auto port = args.get_int("port", 0);
     if (port <= 0 || port > 65535) return usage();
@@ -284,7 +399,11 @@ int cmd_stats(const util::ArgParser& args) {
     while (std::chrono::steady_clock::now() < deadline) {
       if (!client.receive(reply, std::chrono::milliseconds(250))) continue;
       if (reply.type != ingest::MessageType::kStatsReply) continue;
-      std::cout << reply.stats_text;
+      if (args.has("prometheus")) {
+        std::cout << prometheus_exposition(reply.stats_text);
+      } else {
+        std::cout << reply.stats_text;
+      }
       return 0;
     }
     std::cerr << "error: no stats reply from " << host << ":" << port << "\n";
@@ -426,10 +545,72 @@ int cmd_serve_sim(const util::ArgParser& args) {
   return 0;
 }
 
+/// One `--listen` listener: the transport behind it plus its mux
+/// registration. The spec string (e.g. "udp:7412") doubles as the
+/// source's stable name — keep specs identical across restarts so the
+/// per-source snapshot cursors re-attach.
+struct Listener {
+  std::string spec;
+  std::unique_ptr<ingest::TcpServer> tcp;
+  std::unique_ptr<ingest::UdpServer> udp;
+  std::unique_ptr<ingest::ShmRingServer> shm;
+
+  ingest::SampleSource& source() {
+    if (tcp != nullptr) return *tcp;
+    if (udp != nullptr) return *udp;
+    return *shm;
+  }
+  void stop() {
+    if (tcp != nullptr) tcp->stop();
+    if (udp != nullptr) udp->stop();
+    if (shm != nullptr) shm->stop();
+  }
+};
+
+/// Builds the listener a `--listen tcp:PORT|udp:PORT|shm:NAME` spec
+/// names; throws on an unparsable spec.
+Listener make_listener(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  Listener listener;
+  listener.spec = spec;
+  if (kind == "tcp" || kind == "udp") {
+    const auto port = util::parse_int(rest);
+    if (!port || *port < 0 || *port > 65535) {
+      throw std::invalid_argument("bad port in --listen spec: " + spec);
+    }
+    if (kind == "tcp") {
+      ingest::TcpServer::Config config;
+      config.port = static_cast<std::uint16_t>(*port);
+      listener.tcp = std::make_unique<ingest::TcpServer>(config);
+      std::cout << "listening on port " << listener.tcp->port() << std::endl;
+    } else {
+      ingest::UdpServer::Config config;
+      config.port = static_cast<std::uint16_t>(*port);
+      listener.udp = std::make_unique<ingest::UdpServer>(config);
+      std::cout << "listening on udp port " << listener.udp->port()
+                << std::endl;
+    }
+    return listener;
+  }
+  if (kind == "shm") {
+    if (rest.empty()) {
+      throw std::invalid_argument("shm --listen spec needs a name: " + spec);
+    }
+    listener.shm = std::make_unique<ingest::ShmRingServer>(rest);
+    std::cout << "listening on shm segment " << rest << std::endl;
+    return listener;
+  }
+  throw std::invalid_argument("unknown --listen transport: " + spec);
+}
+
 /// serve: the production front door. Node daemons (or `replay`) connect
-/// over TCP, stream wire frames, and get verdicts back on the same
-/// connection. Exits after --max-jobs verdicts (for harnesses) or runs
-/// until killed.
+/// over any mix of listeners — TCP, lossy UDP, shared memory — stream
+/// wire frames, and get verdicts back on the channel each job arrived
+/// on. Exits after --max-jobs verdicts (for harnesses) or runs until
+/// killed.
 int cmd_serve(const util::ArgParser& args) {
   const std::string dict = args.get("dict");
   if (dict.empty()) return usage();
@@ -458,10 +639,20 @@ int cmd_serve(const util::ArgParser& args) {
             << args.get_int("ttl-seconds", 600) << " s)\n";
   core::RecognitionService service(std::move(dictionary), service_config);
 
-  ingest::TcpServer::Config server_config;
-  server_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
-  ingest::TcpServer server(server_config);
-  std::cout << "listening on port " << server.port() << std::endl;
+  // N listeners → one service: every --listen spec becomes a registered
+  // mux source with its own identity, counters, and verdict routing.
+  // No --listen keeps the historical single-TCP shape (--port).
+  std::vector<std::string> listen_specs = args.get_all("listen");
+  if (listen_specs.empty()) {
+    listen_specs.push_back("tcp:" + std::to_string(args.get_int("port", 0)));
+  }
+  std::vector<Listener> listeners;
+  listeners.reserve(listen_specs.size());
+  ingest::SourceMux sources;
+  for (const std::string& spec : listen_specs) {
+    listeners.push_back(make_listener(spec));
+    sources.add_source(spec, listeners.back().source());
+  }
 
   ingest::IngestPipelineConfig pipeline_config;
   pipeline_config.max_verdicts =
@@ -525,6 +716,14 @@ int cmd_serve(const util::ArgParser& args) {
     }
     retrain_config.recorder.window_jobs_per_app =
         static_cast<std::size_t>(args.get_int("retrain-window", 32));
+    retrain_config.recorder.window_ttl = std::chrono::milliseconds(
+        args.get_int("retrain-window-ttl-ms", 0));
+    for (const std::string& spec : args.get_all("retrain-exclude-source")) {
+      if (const auto id = util::parse_int(spec)) {
+        retrain_config.recorder.excluded_sources.push_back(
+            static_cast<std::uint32_t>(*id));
+      }
+    }
     retrain_config.holdout_fraction = args.get_double("retrain-holdout", 0.25);
     retrain_config.gate.margin = args.get_double("retrain-margin", 0.0);
     retrain_config.dry_run = args.has("retrain-dry-run");
@@ -555,19 +754,29 @@ int cmd_serve(const util::ArgParser& args) {
               << util::format_fixed(retrain_config.gate.margin, 4)
               << (retrain_config.dry_run ? ", DRY RUN" : "") << std::endl;
   }
-  ingest::IngestPipeline pipeline(service, server, pipeline_config,
+  ingest::IngestPipeline pipeline(service, sources, pipeline_config,
                                   pool.get());
   const std::uint64_t delivered = pipeline.run();
-  server.stop();
+  for (Listener& listener : listeners) listener.stop();
 
   const core::RecognitionServiceStats stats = service.stats();
   const ingest::IngestPipelineStats pstats = pipeline.stats();
-  const ingest::TcpServer::Stats sstats = server.stats();
   std::cout << "served " << delivered << " verdicts over "
-            << sstats.connections_accepted << " connections ("
-            << sstats.verdict_write_failures << " verdict writes failed, "
-            << sstats.connections_dropped << " connections dropped)\n"
-            << "samples:  " << pstats.samples << " ingested, "
+            << listeners.size() << " listener"
+            << (listeners.size() == 1 ? "" : "s") << "\n";
+  // Per-source exit summary: where the traffic came from, and what each
+  // lossy link actually lost (drops/gaps are per source, so a congested
+  // UDP sampler cannot hide behind a healthy TCP replayer).
+  for (const ingest::SourceMuxStats& source : pipeline.sources().stats()) {
+    std::cout << "source " << source.id << " (" << source.name << "): "
+              << source.envelopes << " envelopes, " << source.samples
+              << " samples, " << source.verdicts << " verdicts, "
+              << source.transport.drops << " drops, "
+              << source.transport.gaps << " gaps, "
+              << source.transport.decode_errors << " decode errors, "
+              << source.transport.blocked << " blocked\n";
+  }
+  std::cout << "samples:  " << pstats.samples << " ingested, "
             << stats.samples_pushed << " recognized, "
             << stats.samples_overflowed << " overflowed, "
             << stats.samples_rejected << " rejected, " << stats.samples_late
@@ -641,22 +850,104 @@ int cmd_swap_dict(const util::ArgParser& args) {
   return 1;
 }
 
-/// replay: stream a dataset CSV against a running serve endpoint, one
-/// job per execution, and print the verdicts that come back.
+/// Inserts a fixed delay after every frame — the throttle `--pace-us`
+/// puts between datagrams so a lossless-by-intent UDP replay does not
+/// outrun the receiver's socket buffer (real samplers emit at
+/// monitoring cadence; replay is a firehose).
+class PacedSender final : public ingest::MessageSender {
+ public:
+  PacedSender(ingest::MessageSender& inner, std::chrono::microseconds pace)
+      : inner_(&inner), pace_(pace) {}
+  void send(ingest::Message message) override {
+    inner_->send(std::move(message));
+    if (pace_.count() > 0) std::this_thread::sleep_for(pace_);
+  }
+
+ private:
+  ingest::MessageSender* inner_;
+  std::chrono::microseconds pace_;
+};
+
+/// replay: stream a dataset CSV against a running serve endpoint — over
+/// TCP (default), lossy UDP (--udp), or a shared-memory segment
+/// (--shm NAME) — one job per execution, and print the verdicts that
+/// come back. --stride/--offset replay every Nth execution (split one
+/// workload across several transports of one endpoint).
 int cmd_replay(const util::ArgParser& args) {
   const std::string data = args.get("data");
+  const std::string shm_name = args.get("shm");
   const auto port = args.get_int("port", 0);
-  if (data.empty() || port <= 0 || port > 65535) return usage();
+  if (data.empty()) return usage();
+  if (shm_name.empty() && (port <= 0 || port > 65535)) return usage();
   const std::string host = args.get("host", "127.0.0.1");
-  const auto batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  auto batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  const auto stride =
+      static_cast<std::size_t>(std::max<long long>(1, args.get_int("stride", 1)));
+  const auto offset = static_cast<std::size_t>(
+      std::max<long long>(0, args.get_int("offset", 0)));
+  const std::chrono::microseconds pace(args.get_int("pace-us", 0));
 
   const telemetry::Dataset dataset = telemetry::read_csv_file(data);
-  ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+  // The replayed subset: every stride-th execution starting at offset.
+  std::vector<const telemetry::ExecutionRecord*> records;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (i % stride == offset % stride) records.push_back(&dataset.record(i));
+  }
+
+  std::unique_ptr<ingest::TcpClient> tcp;
+  std::unique_ptr<ingest::UdpClient> udp;
+  std::unique_ptr<ingest::ShmRingClient> shm;
+  ingest::MessageSender* sender = nullptr;
+  std::function<bool(ingest::Message&, std::chrono::milliseconds)> receive;
+  std::function<void()> finish;
+  if (!shm_name.empty()) {
+    shm = std::make_unique<ingest::ShmRingClient>(shm_name);
+    sender = shm.get();
+    receive = [&shm](ingest::Message& out, std::chrono::milliseconds timeout) {
+      return shm->receive(out, timeout);
+    };
+    finish = [&shm] { shm->finish_sending(); };
+  } else if (args.has("udp")) {
+    // Every batch must fit one datagram: clamp --batch against the
+    // worst-case encoded sample for THIS dataset's metric names, so a
+    // size that is legal on the stream transports cannot abort the
+    // replay mid-stream after jobs were already opened.
+    std::size_t longest_metric = 0;
+    for (const std::string& metric : dataset.metric_names()) {
+      longest_metric = std::max(longest_metric, metric.size());
+    }
+    // 18 = the kSampleBatch frame's own header (u32 len | version |
+    // type | u64 job_id | u32 count); each sample costs another 18 +
+    // metric bytes.
+    const std::size_t max_udp_batch =
+        (ingest::kMaxUdpPayloadBytes - 18) / (18 + longest_metric);
+    if (batch > max_udp_batch) {
+      std::cerr << "note: --batch " << batch << " clamped to "
+                << max_udp_batch << " (UDP datagram size cap)\n";
+      batch = max_udp_batch;
+    }
+    udp = std::make_unique<ingest::UdpClient>(
+        host, static_cast<std::uint16_t>(port));
+    sender = udp.get();
+    receive = [&udp](ingest::Message& out, std::chrono::milliseconds timeout) {
+      return udp->receive(out, timeout);
+    };
+    finish = [&udp] { udp->finish_sending(); };
+  } else {
+    tcp = std::make_unique<ingest::TcpClient>(
+        host, static_cast<std::uint16_t>(port));
+    sender = tcp.get();
+    receive = [&tcp](ingest::Message& out, std::chrono::milliseconds timeout) {
+      return tcp->receive(out, timeout);
+    };
+    finish = [&tcp] { tcp->finish_sending(); };
+  }
+  PacedSender paced(*sender, pace);
 
   std::map<std::uint64_t, ingest::WireVerdict> verdicts;
   const auto collect = [&](std::chrono::milliseconds timeout) {
     ingest::Message message;
-    while (client.receive(message, timeout)) {
+    while (receive(message, timeout)) {
       if (message.type == ingest::MessageType::kVerdict) {
         verdicts[message.job_id] = message.verdict;
       }
@@ -666,22 +957,22 @@ int cmd_replay(const util::ArgParser& args) {
 
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t samples_sent = 0;
-  for (const auto& record : dataset.records()) {
-    ingest::TransportFeed feed(client, batch);
-    feed.job_opened(record.id(),
-                    static_cast<std::uint32_t>(record.node_count()));
+  for (const telemetry::ExecutionRecord* record : records) {
+    ingest::TransportFeed feed(paced, batch);
+    feed.job_opened(record->id(),
+                    static_cast<std::uint32_t>(record->node_count()));
     std::size_t longest = 0;
-    for (std::size_t node = 0; node < record.node_count(); ++node) {
+    for (std::size_t node = 0; node < record->node_count(); ++node) {
       for (std::size_t slot = 0; slot < dataset.metric_names().size();
            ++slot) {
-        longest = std::max(longest, record.series(node, slot).size());
+        longest = std::max(longest, record->series(node, slot).size());
       }
     }
     for (std::size_t t = 0; t < longest; ++t) {
-      for (std::size_t node = 0; node < record.node_count(); ++node) {
+      for (std::size_t node = 0; node < record->node_count(); ++node) {
         for (std::size_t slot = 0; slot < dataset.metric_names().size();
              ++slot) {
-          const telemetry::TimeSeries& series = record.series(node, slot);
+          const telemetry::TimeSeries& series = record->series(node, slot);
           if (t < series.size()) {
             feed.publish(static_cast<std::uint32_t>(node),
                          dataset.metric_names()[slot], static_cast<int>(t),
@@ -691,11 +982,11 @@ int cmd_replay(const util::ArgParser& args) {
         }
       }
     }
-    feed.job_closed(record.id());
+    feed.job_closed(record->id());
     collect(std::chrono::milliseconds(1));  // keep the reply pipe drained
   }
-  client.finish_sending();
-  while (verdicts.size() < dataset.size()) {
+  finish();
+  while (verdicts.size() < records.size()) {
     const std::size_t before = verdicts.size();
     collect(std::chrono::seconds(10));
     if (verdicts.size() == before) break;  // server went away
@@ -707,23 +998,23 @@ int cmd_replay(const util::ArgParser& args) {
   util::TablePrinter table(
       {"execution", "truth", "prediction", "input guess", "matched"});
   std::size_t correct = 0, known = 0;
-  for (const auto& record : dataset.records()) {
-    const auto it = verdicts.find(record.id());
+  for (const telemetry::ExecutionRecord* record : records) {
+    const auto it = verdicts.find(record->id());
     if (it == verdicts.end()) {
-      table.add_row({std::to_string(record.id()), record.label().full(),
+      table.add_row({std::to_string(record->id()), record->label().full(),
                      "(no verdict)", "", ""});
       continue;
     }
     const ingest::WireVerdict& verdict = it->second;
     if (verdict.recognized) ++known;
-    if (verdict.application == record.label().application) ++correct;
-    table.add_row({std::to_string(record.id()), record.label().full(),
+    if (verdict.application == record->label().application) ++correct;
+    table.add_row({std::to_string(record->id()), record->label().full(),
                    verdict.application, verdict.label,
                    std::to_string(verdict.matched) + "/" +
                        std::to_string(verdict.fingerprints)});
   }
   table.print(std::cout);
-  std::cout << correct << "/" << dataset.size() << " correct, " << known
+  std::cout << correct << "/" << records.size() << " correct, " << known
             << " recognized as known applications\n"
             << "streamed " << samples_sent << " samples in "
             << util::format_fixed(elapsed, 2) << " s ("
@@ -732,7 +1023,7 @@ int cmd_replay(const util::ArgParser& args) {
                                  : 0.0,
                    0)
             << " samples/s)\n";
-  return verdicts.size() == dataset.size() ? 0 : 1;
+  return verdicts.size() == records.size() ? 0 : 1;
 }
 
 }  // namespace
