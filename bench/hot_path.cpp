@@ -1,0 +1,222 @@
+/// \file hot_path.cpp
+/// \brief Prices each stage of the recognition hot path and emits one
+/// JSONL record for regression tracking.
+///
+/// Three stages, each timed as best-of-R over a fixed work unit:
+///
+///  1. rounding kernel — legacy libm round_to_depth vs. the table-driven
+///     scalar kernel vs. the dispatched round_lanes() (AVX2 where the
+///     CPU has it), in ns/value;
+///  2. batch scoring — the allocating string-keyed path
+///     (build_fingerprints + recognize_keys) vs. the scratch/SoA path
+///     (recognize_into), in ns/record; the ratio is the PR's headline
+///     `batch_scoring_speedup`;
+///  3. frame decode — FrameDecoder with fresh sample vectors per frame
+///     (set_buffer_pool(nullptr), the pre-pool behavior) vs. the
+///     recycling pool, in ns/sample.
+///
+/// CI runs this via the hot-path-smoke job and feeds the JSONL line to
+/// tools/bench_check.py, which compares the ratio fields against the
+/// checked-in BENCH_hot_path.json thresholds. Absolute ns/* numbers are
+/// machine-dependent and informational; only the ratios gate.
+///
+/// Usage: bench_hot_path [--json PATH] [--repetitions N] [--seed N]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fingerprint.hpp"
+#include "core/matcher.hpp"
+#include "core/recognition_scratch.hpp"
+#include "core/rounding.hpp"
+#include "core/rounding_kernel.hpp"
+#include "core/trainer.hpp"
+#include "ingest/buffer_pool.hpp"
+#include "ingest/wire_format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace efd;
+
+/// Best-of-R wall time of fn() in nanoseconds. Best (not mean) because
+/// the quantity being priced is the code's cost, not the machine's
+/// scheduling noise.
+template <typename Fn>
+double best_of(int repetitions, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    best = std::min(
+        best, static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                      .count()));
+  }
+  return best;
+}
+
+/// Defeats dead-code elimination without the benchmark library.
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const int repetitions =
+      static_cast<int>(args.get_int("repetitions", 7));
+
+  bench::print_header("Hot path: per-stage cost");
+  std::cout << "dispatched kernel: " << core::kernel_name() << "\n\n";
+
+  // --- Stage 1: rounding kernel -------------------------------------
+  constexpr std::size_t kValues = 1 << 14;
+  constexpr int kDepth = 3;
+  constexpr int kPasses = 64;  // amortize timer granularity
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  std::vector<double> values(kValues);
+  for (double& value : values) value = rng.lognormal(8.0, 3.0);
+  std::vector<double> lane(kValues);
+
+  const double legacy_ns = best_of(repetitions, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      double acc = 0.0;
+      for (double value : values) acc += core::round_to_depth(value, kDepth);
+      g_sink = acc;
+    }
+  }) / (kValues * kPasses);
+  const double scalar_ns = best_of(repetitions, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      std::copy(values.begin(), values.end(), lane.begin());
+      core::round_lanes_scalar(lane, kDepth);
+      g_sink = lane.back();
+    }
+  }) / (kValues * kPasses);
+  const double simd_ns = best_of(repetitions, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      std::copy(values.begin(), values.end(), lane.begin());
+      core::round_lanes(lane, kDepth);
+      g_sink = lane.back();
+    }
+  }) / (kValues * kPasses);
+
+  util::TablePrinter rounding({"rounding", "ns/value"});
+  rounding.add_row({"legacy (libm)", util::format_mean(legacy_ns)});
+  rounding.add_row({"kernel scalar", util::format_mean(scalar_ns)});
+  rounding.add_row({std::string("kernel ") + core::kernel_name(),
+                    util::format_mean(simd_ns)});
+  rounding.print(std::cout);
+
+  // --- Stage 2: batch scoring ---------------------------------------
+  const bench::BenchDataset bench_data = bench::make_bench_dataset(
+      args, {"nr_mapped_vmstat", "MemFree_meminfo", "iowait_procstat"}, 6);
+  const telemetry::Dataset& dataset = bench_data.dataset;
+  core::FingerprintConfig config;
+  config.metrics = dataset.metric_names();
+  config.rounding_depth = 2;
+  const core::Dictionary dictionary = core::train_dictionary(dataset, config);
+  const core::Matcher matcher(dictionary);
+  std::vector<std::size_t> slots;
+  for (const std::string& metric : config.metrics) {
+    slots.push_back(dataset.metric_slot(metric));
+  }
+
+  const double legacy_record_ns = best_of(repetitions, [&] {
+    std::size_t matched = 0;
+    for (const telemetry::ExecutionRecord& record : dataset.records()) {
+      const std::vector<core::FingerprintKey> keys =
+          core::build_fingerprints(record, config, slots);
+      matched += matcher.recognize_keys(keys).matched_count;
+    }
+    g_sink = static_cast<double>(matched);
+  }) / dataset.size();
+  core::RecognitionScratch scratch;
+  const double hot_record_ns = best_of(repetitions, [&] {
+    std::size_t matched = 0;
+    for (const telemetry::ExecutionRecord& record : dataset.records()) {
+      matcher.recognize_into(record, slots, scratch);
+      matched += scratch.result().matched_count;
+    }
+    g_sink = static_cast<double>(matched);
+  }) / dataset.size();
+  const double scoring_speedup = legacy_record_ns / hot_record_ns;
+
+  std::cout << "\n";
+  util::TablePrinter scoring({"batch scoring", "ns/record"});
+  scoring.add_row({"legacy (alloc)", util::format_mean(legacy_record_ns)});
+  scoring.add_row({"scratch/SoA", util::format_mean(hot_record_ns)});
+  scoring.print(std::cout);
+  std::cout << "batch_scoring_speedup: " << util::format_mean(scoring_speedup)
+            << "x over " << dataset.size() << " records\n";
+
+  // --- Stage 3: frame decode ----------------------------------------
+  constexpr std::size_t kSamplesPerFrame = 512;
+  constexpr int kFrames = 256;
+  ingest::Message batch;
+  batch.type = ingest::MessageType::kSampleBatch;
+  batch.job_id = 1;
+  for (std::size_t i = 0; i < kSamplesPerFrame; ++i) {
+    ingest::WireSample sample;
+    sample.metric = "nr_mapped_vmstat";
+    sample.node_id = static_cast<std::uint32_t>(i % 8);
+    sample.t = static_cast<std::int64_t>(i);
+    sample.value = 6000.0 + static_cast<double>(i);
+    batch.samples.push_back(std::move(sample));
+  }
+  std::vector<std::uint8_t> frame;
+  ingest::encode_frame(batch, frame);
+
+  const auto decode_loop = [&](ingest::SampleBufferPool* pool) {
+    ingest::FrameDecoder decoder;
+    decoder.set_buffer_pool(pool);
+    ingest::Message out;
+    for (int i = 0; i < kFrames; ++i) {
+      decoder.feed(frame);
+      if (decoder.next(out) != ingest::DecodeStatus::kMessage) std::abort();
+      g_sink = out.samples.back().value;
+      // The pipeline's post-dispatch recycle; a no-op pointer-wise when
+      // decoding unpooled, but release() still banks the capacity, so
+      // the fresh-vector baseline must simply not call it.
+      if (pool != nullptr) pool->release(std::move(out.samples));
+    }
+  };
+  const double fresh_ns = best_of(repetitions, [&] { decode_loop(nullptr); }) /
+                          (kSamplesPerFrame * kFrames);
+  const double pooled_ns =
+      best_of(repetitions,
+              [&] { decode_loop(&ingest::sample_buffer_pool()); }) /
+      (kSamplesPerFrame * kFrames);
+  const double decode_speedup = fresh_ns / pooled_ns;
+
+  std::cout << "\n";
+  util::TablePrinter decode({"frame decode", "ns/sample"});
+  decode.add_row({"fresh vectors", util::format_mean(fresh_ns)});
+  decode.add_row({"pooled", util::format_mean(pooled_ns)});
+  decode.print(std::cout);
+  std::cout << "decode_pooled_speedup: " << util::format_mean(decode_speedup)
+            << "x\n";
+
+  bench::JsonRecord record;
+  record.field("bench", "hot_path")
+      .field("kernel", core::kernel_name())
+      .field("simd_active", static_cast<long long>(core::simd_active() ? 1 : 0))
+      .field("round_legacy_ns", legacy_ns)
+      .field("round_scalar_ns", scalar_ns)
+      .field("round_simd_ns", simd_ns)
+      .field("round_speedup", legacy_ns / simd_ns)
+      .field("score_legacy_ns_per_record", legacy_record_ns)
+      .field("score_hot_ns_per_record", hot_record_ns)
+      .field("batch_scoring_speedup", scoring_speedup)
+      .field("decode_fresh_ns_per_sample", fresh_ns)
+      .field("decode_pooled_ns_per_sample", pooled_ns)
+      .field("decode_pooled_speedup", decode_speedup)
+      .field("records", dataset.size());
+  bench::emit_json(args, record);
+  return 0;
+}

@@ -36,7 +36,14 @@ std::uint64_t DictionaryEntry::total_count() const noexcept {
 void Dictionary::insert(const FingerprintKey& key, const std::string& label,
                         std::uint32_t count) {
   if (count == 0) return;
-  entries_[key].observe(label, count);
+  const std::uint32_t label_id = labels_->intern(label);
+  DictionaryEntry& entry = entries_[key];
+  entry.observe(label, count);
+  // observe() appends at most this one label at the end, so the id lists
+  // stay aligned by appending exactly when labels grew.
+  if (entry.label_ids.size() < entry.labels.size()) {
+    entry.label_ids.push_back(label_id);
+  }
   const std::string application = telemetry::parse_label(label).application;
   application_first_seen_.emplace(application, application_first_seen_.size());
 }
@@ -50,6 +57,7 @@ bool Dictionary::lookup_entry(const FingerprintKey& key,
                               DictionaryEntry& out) const {
   out.labels.clear();
   out.counts.clear();
+  out.label_ids.clear();
   const auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   out = it->second;

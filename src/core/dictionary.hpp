@@ -13,12 +13,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/dictionary_view.hpp"
 #include "core/fingerprint.hpp"
+#include "core/label_table.hpp"
 
 namespace efd::core {
 
@@ -29,6 +31,12 @@ struct DictionaryEntry {
   /// How many training executions contributed each label (aligned with
   /// labels). Used for pruning statistics and the ablation benches.
   std::vector<std::uint32_t> counts;
+  /// Interned id per label (aligned with labels) in the owning
+  /// dictionary's LabelTable — the allocation-free scoring path votes on
+  /// these instead of re-parsing label strings. Not serialized; id values
+  /// depend on interning order, which sharded training makes
+  /// nondeterministic, but labels/counts (the durable content) do not.
+  std::vector<std::uint32_t> label_ids;
 
   /// Adds one observation of a label.
   void observe(const std::string& label) { observe(label, 1); }
@@ -65,6 +73,13 @@ class Dictionary : public DictionaryView {
   explicit Dictionary(FingerprintConfig config) : config_(std::move(config)) {}
 
   const FingerprintConfig& config() const noexcept override { return config_; }
+
+  /// The label interner entries' label_ids index into. Shared (not
+  /// deep-copied) between copies of a dictionary: the table is
+  /// append-only, so a copy's ids stay valid against the shared table.
+  const LabelTable* label_table() const noexcept override {
+    return labels_.get();
+  }
 
   /// Number of unique keys.
   std::size_t size() const noexcept { return entries_.size(); }
@@ -137,6 +152,7 @@ class Dictionary : public DictionaryView {
   FingerprintConfig config_;
   std::unordered_map<FingerprintKey, DictionaryEntry, FingerprintKeyHash> entries_;
   std::unordered_map<std::string, std::size_t> application_first_seen_;
+  std::shared_ptr<LabelTable> labels_ = std::make_shared<LabelTable>();
 };
 
 namespace detail {

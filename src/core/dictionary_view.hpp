@@ -22,6 +22,7 @@
 namespace efd::core {
 
 struct DictionaryEntry;
+class LabelTable;
 
 /// Read-only view of a trained dictionary. Implementations state their
 /// own thread-safety: Dictionary is single-threaded, ShardedDictionary
@@ -42,6 +43,12 @@ class DictionaryView {
   /// Application-name first-seen rank (for deterministic tie arrays);
   /// unknown applications rank last.
   virtual std::size_t application_order(const std::string& application) const = 0;
+
+  /// Label interner backing the allocation-free id-based scoring path, or
+  /// nullptr when the implementation does not provide one (callers fall
+  /// back to string-keyed scoring). The table is append-only and owned by
+  /// the dictionary; ids are stable for the dictionary's lifetime.
+  virtual const LabelTable* label_table() const noexcept { return nullptr; }
 };
 
 }  // namespace efd::core

@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/recognition_scratch.hpp"
 #include "core/rounding.hpp"
+#include "core/rounding_kernel.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
 
@@ -102,6 +104,87 @@ std::vector<FingerprintKey> build_fingerprints(
     slots.push_back(dataset.metric_slot(name));
   }
   return build_fingerprints(record, config, slots);
+}
+
+void build_fingerprints_into(const telemetry::ExecutionRecord& record,
+                             const FingerprintConfig& config,
+                             const std::vector<std::size_t>& metric_slots,
+                             RecognitionScratch& scratch) {
+  if (metric_slots.size() != config.metrics.size()) {
+    throw std::invalid_argument("metric_slots must align with config.metrics");
+  }
+  for (const telemetry::Interval& interval : config.intervals) {
+    if (!interval.valid()) {
+      throw std::invalid_argument("invalid fingerprint interval");
+    }
+  }
+
+  scratch.begin_keys();
+  std::vector<double>& means = scratch.means_lane();
+  std::vector<std::uint8_t>& covered = scratch.covered_lane();
+  means.clear();
+  covered.clear();
+
+  // Pass 1 — gather every (interval, node, metric) window mean into one
+  // contiguous lane (uncovered windows contribute a placeholder 0.0 so
+  // the lane layout stays rectangular)...
+  for (const telemetry::Interval& interval : config.intervals) {
+    for (std::size_t node = 0; node < record.node_count(); ++node) {
+      for (const std::size_t slot : metric_slots) {
+        const telemetry::TimeSeries& series = record.series(node, slot);
+        const bool covers = series.covers(interval);
+        covered.push_back(covers ? 1 : 0);
+        means.push_back(covers ? series.mean_over(interval) : 0.0);
+      }
+    }
+  }
+
+  // ...round the whole lane in one dispatched kernel pass...
+  round_lanes(means, config.rounding_depth);
+
+  // ...then emit keys in build_fingerprints' exact traversal order,
+  // consuming the lane at the same stride.
+  const std::size_t metric_count = metric_slots.size();
+  std::string& combined_name = scratch.name_buffer();
+  if (config.combine_metrics) {
+    combined_name.clear();
+    for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+      if (m != 0) combined_name += '+';
+      combined_name += config.metrics[m];
+    }
+  }
+
+  std::size_t lane = 0;
+  for (const telemetry::Interval& interval : config.intervals) {
+    for (std::size_t node = 0; node < record.node_count(); ++node, lane += metric_count) {
+      if (config.combine_metrics) {
+        bool all_covered = true;  // zero metrics: a key with no means, like build_fingerprints
+        for (std::size_t m = 0; m < metric_count; ++m) {
+          if (!covered[lane + m]) {
+            all_covered = false;
+            break;
+          }
+        }
+        if (!all_covered) continue;
+        FingerprintKey& key = scratch.next_key();
+        key.metric.assign(combined_name);
+        key.node_id = record.node(node).node_id;
+        key.interval = interval;
+        for (std::size_t m = 0; m < metric_count; ++m) {
+          key.rounded_means.push_back(means[lane + m]);
+        }
+      } else {
+        for (std::size_t m = 0; m < metric_count; ++m) {
+          if (!covered[lane + m]) continue;
+          FingerprintKey& key = scratch.next_key();
+          key.metric.assign(config.metrics[m]);
+          key.node_id = record.node(node).node_id;
+          key.interval = interval;
+          key.rounded_means.push_back(means[lane + m]);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace efd::core

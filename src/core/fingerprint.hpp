@@ -78,6 +78,19 @@ std::vector<FingerprintKey> build_fingerprints(
     const telemetry::ExecutionRecord& record, const FingerprintConfig& config,
     const telemetry::Dataset& dataset);
 
+class RecognitionScratch;
+
+/// Allocation-free variant of build_fingerprints: emits the same keys in
+/// the same order into \p scratch's reusable arena (recognition_scratch
+/// .hpp). Interval means are first gathered into contiguous lanes and
+/// rounded in one vectorized round_lanes() pass instead of per-key
+/// round_to_depth calls. After the scratch's buffers warm up, this
+/// performs zero heap allocations per record.
+void build_fingerprints_into(const telemetry::ExecutionRecord& record,
+                             const FingerprintConfig& config,
+                             const std::vector<std::size_t>& metric_slots,
+                             RecognitionScratch& scratch);
+
 }  // namespace efd::core
 
 namespace std {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/recognition_scratch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efd::core {
@@ -27,6 +28,11 @@ std::string RecognitionResult::label_prediction() const {
 
 RecognitionResult Matcher::recognize_keys(
     const std::vector<FingerprintKey>& keys) const {
+  return recognize_key_span(keys);
+}
+
+RecognitionResult Matcher::recognize_key_span(
+    std::span<const FingerprintKey> keys) const {
   RecognitionResult result;
   result.fingerprint_count = keys.size();
 
@@ -81,12 +87,35 @@ RecognitionResult Matcher::recognize(
 
 RecognitionResult Matcher::recognize(const telemetry::ExecutionRecord& record,
                                      const telemetry::Dataset& dataset) const {
-  std::vector<std::size_t> slots;
-  slots.reserve(dictionary_->config().metrics.size());
-  for (const std::string& name : dictionary_->config().metrics) {
-    slots.push_back(dataset.metric_slot(name));
+  return recognize(record, resolve_metric_slots(dataset));
+}
+
+void Matcher::recognize_keys_into(std::span<const FingerprintKey> keys,
+                                  RecognitionScratch& scratch) const {
+  const LabelTable* table = dictionary_->label_table();
+  if (table == nullptr) {
+    scratch.set_legacy(recognize_key_span(keys));
+    return;
   }
-  return recognize(record, slots);
+  scratch.begin(*table);
+  DictionaryEntry& entry = scratch.entry_buffer();
+  for (const FingerprintKey& key : keys) {
+    if (!dictionary_->lookup_entry(key, entry)) continue;
+    if (!scratch.score_entry(entry)) {
+      // Defensive: an entry without aligned ids means the dictionary was
+      // populated outside insert(); score the whole set string-keyed.
+      scratch.set_legacy(recognize_key_span(keys));
+      return;
+    }
+  }
+  scratch.finish(*dictionary_, keys.size());
+}
+
+void Matcher::recognize_into(const telemetry::ExecutionRecord& record,
+                             const std::vector<std::size_t>& metric_slots,
+                             RecognitionScratch& scratch) const {
+  build_fingerprints_into(record, dictionary_->config(), metric_slots, scratch);
+  recognize_keys_into(scratch.keys(), scratch);
 }
 
 std::vector<RecognitionResult> Matcher::recognize_batch(
@@ -95,19 +124,30 @@ std::vector<RecognitionResult> Matcher::recognize_batch(
   std::vector<RecognitionResult> results(records.size());
   util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
   util::parallel_for(workers, 0, records.size(), [&](std::size_t i) {
-    results[i] = recognize(records[i], metric_slots);
+    // One scratch per pool worker, kept warm across records and batches:
+    // after the first few records each iteration runs allocation-free up
+    // to the final per-record render.
+    thread_local RecognitionScratch scratch;
+    recognize_into(records[i], metric_slots, scratch);
+    scratch.render_result(results[i]);
   });
   return results;
 }
 
 std::vector<RecognitionResult> Matcher::recognize_batch(
     const telemetry::Dataset& dataset, util::ThreadPool* pool) const {
+  return recognize_batch(std::span(dataset.records()),
+                         resolve_metric_slots(dataset), pool);
+}
+
+std::vector<std::size_t> Matcher::resolve_metric_slots(
+    const telemetry::Dataset& dataset) const {
   std::vector<std::size_t> slots;
   slots.reserve(dictionary_->config().metrics.size());
   for (const std::string& name : dictionary_->config().metrics) {
     slots.push_back(dataset.metric_slot(name));
   }
-  return recognize_batch(std::span(dataset.records()), slots, pool);
+  return slots;
 }
 
 }  // namespace efd::core

@@ -18,6 +18,9 @@ class ThreadPool;
 
 namespace efd::core {
 
+class RecognitionScratch;
+struct IdRecognitionResult;
+
 /// Label returned for executions with no matching fingerprints — the
 /// paper's in-built safeguard against unknown applications.
 inline const std::string kUnknownApplication = "unknown";
@@ -83,6 +86,20 @@ class Matcher {
   /// Tallies votes over already-built fingerprints (online path).
   RecognitionResult recognize_keys(const std::vector<FingerprintKey>& keys) const;
 
+  /// Allocation-free scoring into a worker-local scratch: votes are
+  /// tallied in interned-id space (recognition_scratch.hpp) and read via
+  /// scratch.result(), or rendered to a RecognitionResult with
+  /// scratch.render_result(). Falls back to string-keyed scoring (same
+  /// answers, with allocations) when the dictionary has no label table.
+  void recognize_keys_into(std::span<const FingerprintKey> keys,
+                           RecognitionScratch& scratch) const;
+
+  /// Builds fingerprints into the scratch arena (SoA rounding lanes) and
+  /// scores them — the zero-allocation form of recognize().
+  void recognize_into(const telemetry::ExecutionRecord& record,
+                      const std::vector<std::size_t>& metric_slots,
+                      RecognitionScratch& scratch) const;
+
   /// Recognizes a batch of executions, fanning the records out across a
   /// thread pool (the global pool when \p pool is null). Results align
   /// with \p records and are identical to calling recognize() per record.
@@ -97,6 +114,15 @@ class Matcher {
       const telemetry::Dataset& dataset, util::ThreadPool* pool = nullptr) const;
 
  private:
+  /// Slot index per configured metric, resolved against a dataset.
+  std::vector<std::size_t> resolve_metric_slots(
+      const telemetry::Dataset& dataset) const;
+
+  /// String-keyed scoring shared by recognize_keys and the scratch
+  /// fallback path.
+  RecognitionResult recognize_key_span(
+      std::span<const FingerprintKey> keys) const;
+
   const DictionaryView* dictionary_;
 };
 

@@ -139,7 +139,9 @@ bool RecognitionService::enqueue_locked(JobStream& stream,
         samples_rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
       case BackpressurePolicy::kDropOldest:
-        stream.queue.pop_front();
+        // O(queue) memmove of PODs — acceptable on this degraded lossy
+        // path; the lossless policies never reach it.
+        stream.queue.erase(stream.queue.begin());
         stream.queued.fetch_sub(1, std::memory_order_relaxed);
         samples_overflowed_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -174,8 +176,11 @@ bool RecognitionService::enqueue_locked(JobStream& stream,
     }
   }
 
+  // Resolve the metric to its dictionary slot here, once: metric_slot only
+  // reads the pinned epoch's immutable config, so it is safe while a
+  // drainer owns the recognizer's mutable state.
   stream.queue.push_back(Sample{sample.node_id, sample.t, sample.value,
-                                std::string(sample.metric)});
+                                stream.recognizer.metric_slot(sample.metric)});
   stream.queued.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -214,14 +219,14 @@ std::size_t RecognitionService::drain_stream(
   stream.draining = true;
 
   std::size_t fed_total = 0;
-  std::vector<Sample> batch;
+  // Swap the whole queue out into the stream-owned drain buffer: both
+  // vectors reach the stream's high-water capacity and then recycle it,
+  // so steady-state draining allocates nothing.
+  std::vector<Sample>& batch = stream.drain_batch;
   while (!stream.queue.empty() &&
          !stream.done.load(std::memory_order_relaxed)) {
     batch.clear();
-    batch.insert(batch.end(),
-                 std::make_move_iterator(stream.queue.begin()),
-                 std::make_move_iterator(stream.queue.end()));
-    stream.queue.clear();
+    std::swap(batch, stream.queue);
     stream.queued.store(0, std::memory_order_relaxed);
     lock.unlock();
     stream.space.notify_all();  // freed a full batch of capacity
@@ -231,10 +236,12 @@ std::size_t RecognitionService::drain_stream(
     std::size_t fed = 0;
     bool fired = false;
     RecognitionResult verdict;
-    for (Sample& sample : batch) {
-      stream.recognizer.push(sample.node_id, sample.metric, sample.t,
-                             sample.value);
-      ++fed;
+    for (const Sample& sample : batch) {
+      if (sample.metric_slot != kNoMetricSlot) {
+        stream.recognizer.push_slot(sample.node_id, sample.metric_slot,
+                                    sample.t, sample.value);
+      }
+      ++fed;  // unknown-metric samples still count as fed, as before
       if (stream.recognizer.ready()) {
         if (auto result = stream.recognizer.result()) verdict = *result;
         fired = true;
@@ -309,25 +316,26 @@ void RecognitionService::finish_stream(JobStream& stream) {
   // Caller holds the stream mutex with the drain token free, so the
   // recognizer is exclusively ours. Flush accepted-but-unprocessed
   // samples first — they arrived before the close decision.
-  std::size_t fed = 0;
-  while (!stream.queue.empty() && !stream.recognizer.ready()) {
-    const Sample& sample = stream.queue.front();
-    stream.recognizer.push(sample.node_id, sample.metric, sample.t,
-                           sample.value);
-    stream.queue.pop_front();
-    ++fed;
+  std::size_t consumed = 0;
+  while (consumed < stream.queue.size() && !stream.recognizer.ready()) {
+    const Sample& sample = stream.queue[consumed++];
+    if (sample.metric_slot != kNoMetricSlot) {
+      stream.recognizer.push_slot(sample.node_id, sample.metric_slot,
+                                  sample.t, sample.value);
+    }
   }
-  if (fed > 0) {
-    samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
+  if (consumed > 0) {
+    samples_pushed_.fetch_add(consumed, std::memory_order_relaxed);
     if (stream.ingress != nullptr) {
-      stream.ingress->samples_pushed.fetch_add(fed,
+      stream.ingress->samples_pushed.fetch_add(consumed,
                                                std::memory_order_relaxed);
     }
   }
-  if (!stream.queue.empty()) {
-    samples_late_.fetch_add(stream.queue.size(), std::memory_order_relaxed);
-    stream.queue.clear();
+  if (consumed < stream.queue.size()) {
+    samples_late_.fetch_add(stream.queue.size() - consumed,
+                            std::memory_order_relaxed);
   }
+  stream.queue.clear();
   stream.queued.store(0, std::memory_order_relaxed);
 
   // An unready stream yields a default (unrecognized) verdict — the

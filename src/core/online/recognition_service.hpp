@@ -60,7 +60,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -345,13 +344,17 @@ class RecognitionService {
  private:
   struct SourceIngress;
 
-  /// One queued monitoring sample (metric name owned: the push caller's
-  /// string_view does not outlive the call).
+  /// One queued monitoring sample. POD: the metric travels as the
+  /// recognizer's slot index (resolved once at enqueue, since the push
+  /// caller's string_view does not outlive the call), so queue churn
+  /// copies 20 bytes instead of constructing strings. kNoMetricSlot
+  /// marks metrics the dictionary does not fingerprint — still queued,
+  /// because the legacy path counted them as fed.
   struct Sample {
     std::uint32_t node_id = 0;
     int t = 0;
     double value = 0.0;
-    std::string metric;
+    std::uint32_t metric_slot = kNoMetricSlot;
   };
 
   struct JobStream {
@@ -370,7 +373,13 @@ class RecognitionService {
                                    ///< when draining == false)
     std::condition_variable space; ///< kBlock producers wait here
     std::condition_variable drained; ///< close/evict wait for the drainer
-    std::deque<Sample> queue;
+    std::vector<Sample> queue;
+    /// Drain-side twin of queue: the drainer swaps the full queue out
+    /// under the mutex and consumes it unlocked. Both vectors reach the
+    /// queue-capacity high-water mark and then recycle their storage —
+    /// the deque this replaces allocated a block every ~hundred samples
+    /// forever. Owned by the drain-token holder.
+    std::vector<Sample> drain_batch;
     bool draining = false;         ///< drain token: holder owns recognizer
     OnlineRecognizer recognizer;
     /// The source tag's ingress counters (shared with the service's

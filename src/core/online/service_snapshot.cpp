@@ -229,7 +229,9 @@ void RecognitionService::snapshot(
       put_u32(payload, sample.node_id);
       put_u32(payload, static_cast<std::uint32_t>(sample.t));
       put_f64(payload, sample.value);
-      put_string(payload, sample.metric);
+      // The wire keeps the metric NAME (EFD-SNAP-V1 is slot-free); samples
+      // carrying kNoMetricSlot encode as "" and restore as unknown.
+      put_string(payload, stream->recognizer.metric_name(sample.metric_slot));
     }
     lock.unlock();
     write_section(out, payload);
@@ -450,16 +452,17 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
         if (!read_count(reader, kMinSampleBytes, queue_len)) {
           fail("queued-sample count inconsistent with section length");
         }
+        std::string metric;
         for (std::uint32_t i = 0; i < queue_len; ++i) {
           Sample sample;
           std::uint32_t t_bits = 0;
           if (!reader.read_u32(sample.node_id) || !reader.read_u32(t_bits) ||
-              !reader.read_f64(sample.value) ||
-              !reader.read_string(sample.metric)) {
+              !reader.read_f64(sample.value) || !reader.read_string(metric)) {
             fail("truncated queued sample");
           }
           sample.t = static_cast<int>(static_cast<std::int32_t>(t_bits));
-          stream->queue.push_back(std::move(sample));
+          sample.metric_slot = stream->recognizer.metric_slot(metric);
+          stream->queue.push_back(sample);
         }
         stream->queued.store(stream->queue.size(), std::memory_order_relaxed);
         stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);

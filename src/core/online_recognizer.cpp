@@ -4,8 +4,13 @@
 #include <stdexcept>
 
 #include "core/rounding.hpp"
+#include "core/rounding_kernel.hpp"
 
 namespace efd::core {
+
+namespace {
+const std::string kEmptyMetricName;
+}  // namespace
 
 void WindowAccumulator::push(int t, double value) noexcept {
   if (t <= last_t_) return;  // duplicate/out-of-order ticks are dropped
@@ -38,30 +43,52 @@ OnlineRecognizer::OnlineRecognizer(const DictionaryView& dictionary,
       }
     }
   }
+  windows_total_ = static_cast<std::size_t>(node_count_) *
+                   config.metrics.size() * config.intervals.size();
+}
+
+std::uint32_t OnlineRecognizer::metric_slot(
+    std::string_view metric_name) const noexcept {
+  const FingerprintConfig& config = dictionary_->config();
+  for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+    if (config.metrics[m] == metric_name) return static_cast<std::uint32_t>(m);
+  }
+  return kNoMetricSlot;
+}
+
+const std::string& OnlineRecognizer::metric_name(
+    std::uint32_t slot) const noexcept {
+  const FingerprintConfig& config = dictionary_->config();
+  if (slot >= config.metrics.size()) return kEmptyMetricName;
+  return config.metrics[slot];
+}
+
+void OnlineRecognizer::push_slot(std::uint32_t node_id, std::uint32_t slot,
+                                 int t, double value) noexcept {
+  if (node_id >= node_count_) return;
+  const auto& per_metric = accumulators_[node_id];
+  if (slot >= per_metric.size()) return;
+  for (WindowAccumulator& acc : accumulators_[node_id][slot]) {
+    const bool was_complete = acc.complete();
+    acc.push(t, value);
+    // complete() is monotone (last_t and count only grow), so counting
+    // transitions keeps windows_complete_ exact.
+    if (!was_complete && acc.complete()) ++windows_complete_;
+  }
+  cached_.reset();  // new data invalidates a cached verdict
 }
 
 void OnlineRecognizer::push(std::uint32_t node_id, std::string_view metric_name,
                             int t, double value) {
-  if (node_id >= node_count_) return;
-  const FingerprintConfig& config = dictionary_->config();
-  for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-    if (config.metrics[m] != metric_name) continue;
-    for (WindowAccumulator& acc : accumulators_[node_id][m]) {
-      acc.push(t, value);
-    }
-    cached_.reset();  // new data invalidates a cached verdict
-  }
+  const std::uint32_t slot = metric_slot(metric_name);
+  if (slot == kNoMetricSlot) return;
+  push_slot(node_id, slot, t, value);
 }
 
 bool OnlineRecognizer::ready() const noexcept {
-  for (const auto& per_metric : accumulators_) {
-    for (const auto& per_interval : per_metric) {
-      for (const WindowAccumulator& acc : per_interval) {
-        if (!acc.complete()) return false;
-      }
-    }
-  }
-  return !accumulators_.empty();
+  // Same truth table as walking every accumulator: zero-metric configs
+  // have windows_total_ == 0 and report ready whenever nodes exist.
+  return !accumulators_.empty() && windows_complete_ == windows_total_;
 }
 
 std::vector<OnlineRecognizer::AccumulatorState> OnlineRecognizer::export_state()
@@ -89,12 +116,14 @@ void OnlineRecognizer::import_state(
         "accumulator state count does not match recognizer layout");
   }
   std::size_t i = 0;
+  windows_complete_ = 0;
   for (auto& per_metric : accumulators_) {
     for (auto& per_interval : per_metric) {
       for (WindowAccumulator& acc : per_interval) {
         const AccumulatorState& state = states[i++];
         acc.restore_state(state.sum, static_cast<std::size_t>(state.count),
                           static_cast<int>(state.last_t));
+        if (acc.complete()) ++windows_complete_;
       }
     }
   }
@@ -114,40 +143,59 @@ std::optional<RecognitionResult> OnlineRecognizer::result() const {
   if (cached_) return cached_;
 
   const FingerprintConfig& config = dictionary_->config();
-  std::vector<FingerprintKey> keys;
+
+  // Gather every window mean into one contiguous lane (node, interval,
+  // metric order — this path's historical key order) and round it in a
+  // single vectorized pass.
+  std::vector<double>& means = scratch_.means_lane();
+  means.clear();
+  for (std::uint32_t node = 0; node < node_count_; ++node) {
+    for (std::size_t i = 0; i < config.intervals.size(); ++i) {
+      for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+        means.push_back(accumulators_[node][m][i].mean());
+      }
+    }
+  }
+  round_lanes(means, config.rounding_depth);
+
+  // Combined keys join all metric names, matching build_fingerprints.
+  std::string& joined = scratch_.name_buffer();
+  if (config.combine_metrics) {
+    joined.clear();
+    for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+      if (m != 0) joined += '+';
+      joined += config.metrics[m];
+    }
+  }
+
+  scratch_.begin_keys();
+  std::size_t lane = 0;
   for (std::uint32_t node = 0; node < node_count_; ++node) {
     for (std::size_t i = 0; i < config.intervals.size(); ++i) {
       if (config.combine_metrics) {
-        FingerprintKey key;
-        key.metric = config.metrics.empty() ? "" : config.metrics.front();
-        // Combined keys join all metric names, matching build_fingerprints.
-        std::string joined;
-        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-          if (m != 0) joined += "+";
-          joined += config.metrics[m];
-        }
-        key.metric = joined;
+        FingerprintKey& key = scratch_.next_key();
+        key.metric.assign(joined);
         key.node_id = node;
         key.interval = config.intervals[i];
         for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-          key.rounded_means.push_back(round_to_depth(
-              accumulators_[node][m][i].mean(), config.rounding_depth));
+          key.rounded_means.push_back(means[lane++]);
         }
-        keys.push_back(std::move(key));
       } else {
         for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-          FingerprintKey key;
-          key.metric = config.metrics[m];
+          FingerprintKey& key = scratch_.next_key();
+          key.metric.assign(config.metrics[m]);
           key.node_id = node;
           key.interval = config.intervals[i];
-          key.rounded_means.push_back(round_to_depth(
-              accumulators_[node][m][i].mean(), config.rounding_depth));
-          keys.push_back(std::move(key));
+          key.rounded_means.push_back(means[lane++]);
         }
       }
     }
   }
-  cached_ = Matcher(*dictionary_).recognize_keys(keys);
+
+  Matcher(*dictionary_).recognize_keys_into(scratch_.keys(), scratch_);
+  RecognitionResult rendered;
+  scratch_.render_result(rendered);
+  cached_ = std::move(rendered);
   return cached_;
 }
 

@@ -15,8 +15,12 @@
 
 #include "core/dictionary_view.hpp"
 #include "core/matcher.hpp"
+#include "core/recognition_scratch.hpp"
 
 namespace efd::core {
+
+/// Sentinel slot for metrics the dictionary does not fingerprint.
+inline constexpr std::uint32_t kNoMetricSlot = 0xFFFFFFFFu;
 
 /// Incremental interval-mean accumulator for one (node, metric) stream.
 class WindowAccumulator {
@@ -64,7 +68,23 @@ class OnlineRecognizer {
   void push(std::uint32_t node_id, std::string_view metric_name, int t,
             double value);
 
-  /// True once every (node, metric, interval) window has closed.
+  /// Resolves a metric name to its dictionary slot once, so steady-state
+  /// feeding can use push_slot() and skip the per-sample string compare.
+  /// Returns kNoMetricSlot for metrics the dictionary does not
+  /// fingerprint.
+  std::uint32_t metric_slot(std::string_view metric_name) const noexcept;
+
+  /// Name of a slot returned by metric_slot(); the empty string for
+  /// kNoMetricSlot or out-of-range slots.
+  const std::string& metric_name(std::uint32_t slot) const noexcept;
+
+  /// Slot-addressed push — the allocation- and comparison-free form of
+  /// push(). Out-of-range slots and nodes are ignored.
+  void push_slot(std::uint32_t node_id, std::uint32_t slot, int t,
+                 double value) noexcept;
+
+  /// True once every (node, metric, interval) window has closed. O(1):
+  /// maintained as a counter of completed windows.
   bool ready() const noexcept;
 
   /// Verdict; available (non-nullopt) once ready(). Computed lazily and
@@ -98,6 +118,13 @@ class OnlineRecognizer {
   std::uint32_t node_count_;
   /// accumulators_[node][metric index][interval index]
   std::vector<std::vector<std::vector<WindowAccumulator>>> accumulators_;
+  /// Windows completed so far out of windows_total_ — keeps ready() O(1)
+  /// on the per-sample path (it used to walk every accumulator).
+  std::size_t windows_complete_ = 0;
+  std::size_t windows_total_ = 0;
+  /// Reused fingerprint arena + vote arrays for result(); makes the
+  /// verdict computation allocation-free after the first call.
+  mutable RecognitionScratch scratch_;
   mutable std::optional<RecognitionResult> cached_;
 };
 

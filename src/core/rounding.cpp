@@ -2,25 +2,19 @@
 
 #include <cmath>
 
+#include "core/rounding_kernel.hpp"
 #include "util/string_utils.hpp"
 
 namespace efd::core {
 
 double round_to_depth(double value, int depth) noexcept {
-  if (value == 0.0 || !std::isfinite(value)) return value;
-  if (depth < 1) depth = 1;
-
-  const double magnitude = std::floor(std::log10(std::fabs(value)));
-  // Digit position being rounded to: the depth-th significant digit sits
-  // at 10^(magnitude - depth + 1).
-  const double position = magnitude - static_cast<double>(depth) + 1.0;
-  const double scale = std::pow(10.0, -position);
-
-  // Round half away from zero, like Python's round() for the magnitudes
-  // involved here and like the paper's examples (5.28 -> 5.3 at depth 2).
-  const double scaled = value * scale;
-  const double rounded = std::copysign(std::floor(std::fabs(scaled) + 0.5), scaled);
-  return rounded / scale;
+  // Delegates to the hot-path kernel (rounding_kernel.hpp) so the
+  // train-time keys and the vectorized serve-time keys come from ONE
+  // rounding implementation — any divergence would silently empty the
+  // dictionary. The kernel replicates the historical log10/pow formula
+  // operation-for-operation for normal inputs (round half away from
+  // zero, e.g. 5.28 -> 5.3 at depth 2).
+  return round_value(value, depth);
 }
 
 double bucket_width(double value, int depth) noexcept {

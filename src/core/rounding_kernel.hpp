@@ -1,0 +1,115 @@
+#pragma once
+/// \file rounding_kernel.hpp
+/// \brief Vectorizable significant-digit rounding: the hot-path form of
+/// core/rounding.hpp's round_to_depth.
+///
+/// The legacy scalar path spends its time in std::log10 and std::pow —
+/// libm calls that defeat auto-vectorization and cost ~50ns per value.
+/// This kernel replaces both with table lookups:
+///
+///  - magnitude: floor(log10(|v|)) is estimated from the IEEE-754 binary
+///    exponent (floor((e-1023)*log10(2)), a 2048-entry i16 table) and
+///    corrected by at most one branchless comparison against the next
+///    power of ten. For normal doubles the estimate is off by at most
+///    one decade, always downward, so one `|v| >= 10^(est+1)` test fixes
+///    it exactly.
+///  - scale: 10^k comes from a table of std::pow(10.0, k) values, so the
+///    bits match what the legacy path computed at runtime.
+///
+/// The remaining arithmetic (`scaled = v*scale; r = copysign(floor(|s| +
+/// 0.5), s); r/scale`) is replicated operation-for-operation, including
+/// the final *division* by scale — multiplying by 10^-k instead is NOT
+/// bit-equivalent in IEEE arithmetic. There are no a*b+c shapes, so FMA
+/// contraction cannot perturb results and the scalar and AVX2 builds of
+/// this exact sequence produce byte-identical doubles (test_hot_path
+/// sweeps this).
+///
+/// Behavioral deltas vs. the legacy formula, both unobservable in real
+/// data and covered by tests:
+///  - subnormal inputs pass through unchanged (the legacy path returned
+///    NaN via inf/inf);
+///  - depth is clamped to kKernelMaxDepth (doubles carry at most 17
+///    significant digits, so deeper settings already returned the input).
+///
+/// round_lanes() dispatches once (first call) to an AVX2 build of the
+/// loop when the CPU supports it; set EFD_SIMD=off to force scalar.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace efd::core {
+
+/// Depths beyond this are clamped (identity rounding for doubles anyway);
+/// keeps the power-of-ten table index in range for every normal input.
+inline constexpr int kKernelMaxDepth = 40;
+
+namespace detail {
+
+/// 10^k for k in [-kPow10Bias, kPow10Bias], bits identical to
+/// std::pow(10.0, k). Entries beyond the double range are inf/0 — exactly
+/// what the legacy runtime std::pow produced, so out-of-range depths
+/// degrade identically.
+inline constexpr int kPow10Bias = 352;
+extern const std::array<double, 2 * kPow10Bias + 1> kPow10;
+
+/// floor((e - 1023) * log10(2)) per biased binary exponent e: the decade
+/// estimate that is exact or one low for every normal double.
+extern const std::array<std::int16_t, 2048> kDecadeEstimate;
+
+/// Core of round_to_depth for pre-clamped depth and a pre-screened normal
+/// value. Kept header-inline so both the default-target and AVX2-target
+/// loop bodies inline the same code.
+inline double round_normal(double value, int depth) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  const int exponent = static_cast<int>((bits >> 52) & 0x7FFu);
+  int magnitude = kDecadeEstimate[exponent];
+  const double abs_value = std::fabs(value);
+  magnitude += abs_value >= kPow10[magnitude + 1 + kPow10Bias];
+
+  const double scale = kPow10[depth - 1 - magnitude + kPow10Bias];
+  const double scaled = value * scale;
+  const double rounded =
+      std::copysign(std::floor(std::fabs(scaled) + 0.5), scaled);
+  return rounded / scale;
+}
+
+}  // namespace detail
+
+/// Scalar kernel entry point: bit-identical to the vector lanes and (for
+/// normal inputs) to the legacy log10/pow formula. Zero, subnormals,
+/// infinities and NaN pass through unchanged; depth is clamped to
+/// [1, kKernelMaxDepth].
+inline double round_value(double value, int depth) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  const int exponent = static_cast<int>((bits >> 52) & 0x7FFu);
+  if (exponent == 0 || exponent == 0x7FF) return value;
+  if (depth < 1) depth = 1;
+  if (depth > kKernelMaxDepth) depth = kKernelMaxDepth;
+  return detail::round_normal(value, depth);
+}
+
+/// In-place rounding of a lane of values at one depth — always the scalar
+/// build, for dispatch tests and baselines.
+void round_lanes_scalar(std::span<double> values, int depth) noexcept;
+
+/// AVX2-target build of the same loop (x86-64 only; on other targets an
+/// alias of the scalar build). Callers must check simd_active() or CPU
+/// support before preferring it; exposed for bit-exactness tests.
+void round_lanes_avx2(std::span<double> values, int depth) noexcept;
+
+/// In-place rounding of a lane of values at one depth, dispatched once at
+/// first use to the best kernel for this CPU (EFD_SIMD=off forces scalar).
+void round_lanes(std::span<double> values, int depth) noexcept;
+
+/// True when round_lanes() dispatches to a vector build.
+bool simd_active() noexcept;
+
+/// Human-readable name of the dispatched kernel ("avx2" / "scalar").
+const char* kernel_name() noexcept;
+
+}  // namespace efd::core

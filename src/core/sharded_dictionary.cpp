@@ -32,7 +32,8 @@ ShardedDictionary::ShardedDictionary(FingerprintConfig config,
 ShardedDictionary::ShardedDictionary(ShardedDictionary&& other) noexcept
     : config_(std::move(other.config_)),
       shards_(std::move(other.shards_)),
-      applications_(std::move(other.applications_)) {}
+      applications_(std::move(other.applications_)),
+      labels_(std::move(other.labels_)) {}
 
 ShardedDictionary& ShardedDictionary::operator=(
     ShardedDictionary&& other) noexcept {
@@ -40,6 +41,7 @@ ShardedDictionary& ShardedDictionary::operator=(
     config_ = std::move(other.config_);
     shards_ = std::move(other.shards_);
     applications_ = std::move(other.applications_);
+    labels_ = std::move(other.labels_);
   }
   return *this;
 }
@@ -68,16 +70,27 @@ void ShardedDictionary::insert(const FingerprintKey& key,
   if (count == 0) return;
   // Lock-free when the application is already registered (every insert
   // but an application's first); no lock is ever held with a shard mutex.
+  // Interning likewise happens before the shard lock, so a reader that
+  // copies an entry out under the shard lock is guaranteed to find every
+  // id it sees already published in the label table.
   applications_.register_application(telemetry::parse_label(label).application);
+  const std::uint32_t label_id = labels_->intern(label);
   Shard& shard = *shards_[shard_of(key)];
   std::unique_lock lock(shard.mutex);
-  shard.entries[key].observe(label, count);
+  DictionaryEntry& entry = shard.entries[key];
+  entry.observe(label, count);
+  // observe() appends at most this one label at the end; append the id
+  // exactly when labels grew to keep the lists aligned.
+  if (entry.label_ids.size() < entry.labels.size()) {
+    entry.label_ids.push_back(label_id);
+  }
 }
 
 bool ShardedDictionary::lookup_entry(const FingerprintKey& key,
                                      DictionaryEntry& out) const {
   out.labels.clear();
   out.counts.clear();
+  out.label_ids.clear();
   const Shard& shard = *shards_[shard_of(key)];
   std::shared_lock lock(shard.mutex);
   const auto it = shard.entries.find(key);

@@ -42,6 +42,7 @@
 #include "core/dictionary.hpp"
 #include "core/dictionary_view.hpp"
 #include "core/fingerprint.hpp"
+#include "core/label_table.hpp"
 
 namespace efd::core {
 
@@ -68,6 +69,14 @@ class ShardedDictionary final : public DictionaryView {
 
   const FingerprintConfig& config() const noexcept override { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Label interner for the id-based scoring path. Interning order (and
+  /// therefore id values) depends on insert interleaving under parallel
+  /// training; ids are never serialized or compared across dictionaries,
+  /// so this nondeterminism is unobservable.
+  const LabelTable* label_table() const noexcept override {
+    return labels_.get();
+  }
 
   /// Shard index a key lives in (stable for the dictionary's lifetime).
   std::size_t shard_of(const FingerprintKey& key) const noexcept;
@@ -142,6 +151,7 @@ class ShardedDictionary final : public DictionaryView {
   FingerprintConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ApplicationRegistry applications_;
+  std::shared_ptr<LabelTable> labels_ = std::make_shared<LabelTable>();
 };
 
 }  // namespace efd::core

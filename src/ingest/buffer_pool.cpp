@@ -1,0 +1,43 @@
+#include "ingest/buffer_pool.hpp"
+
+#include <utility>
+
+namespace efd::ingest {
+
+std::vector<WireSample> SampleBufferPool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      std::vector<WireSample> buffer = std::move(free_.back());
+      free_.pop_back();
+      ++stats_.hits;
+      return buffer;
+    }
+    ++stats_.misses;
+  }
+  return {};
+}
+
+void SampleBufferPool::release(std::vector<WireSample>&& buffer) {
+  if (buffer.capacity() == 0) return;  // moved-from or never-used: nothing to keep
+  std::lock_guard lock(mutex_);
+  if (free_.size() >= kMaxPooledBuffers ||
+      buffer.capacity() > kMaxPooledCapacity) {
+    ++stats_.discards;
+    return;  // buffer frees on scope exit
+  }
+  ++stats_.returns;
+  free_.push_back(std::move(buffer));
+}
+
+SampleBufferPool::Stats SampleBufferPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+SampleBufferPool& sample_buffer_pool() {
+  static SampleBufferPool pool;
+  return pool;
+}
+
+}  // namespace efd::ingest

@@ -238,6 +238,12 @@ class IngestPipeline {
   std::size_t observers_sweep_at_ = 64;
   /// Reused per-batch view buffer for push_batch (run() thread only).
   std::vector<core::RecognitionService::SamplePush> scratch_;
+  /// Reused per-flush staging for batched verdict delivery (run()
+  /// thread only): messages and their routes, index-aligned, so runs of
+  /// verdicts bound for the same connection collapse into one
+  /// deliver_many() — one writev-style syscall instead of N.
+  std::vector<Message> outbound_verdicts_;
+  std::vector<ReplyRoute> outbound_routes_;
 
   std::atomic<std::uint64_t> envelopes_{0};
   std::atomic<std::uint64_t> samples_{0};

@@ -140,6 +140,7 @@ TransportCounters SourceMux::transport_counters() const {
     total.drops += source.transport.drops;
     total.gaps += source.transport.gaps;
     total.blocked += source.transport.blocked;
+    total.retransmits += source.transport.retransmits;
   }
   return total;
 }

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ingest/wire_format.hpp"
@@ -35,6 +36,13 @@ class VerdictSink {
  public:
   virtual ~VerdictSink() = default;
   virtual void deliver(const Message& verdict) = 0;
+
+  /// Delivers a run of messages bound for the same peer. The default
+  /// loops deliver(); transports with a cheaper bulk path override it
+  /// (the TCP connection flushes the whole run in one vectored write).
+  virtual void deliver_many(std::span<const Message> verdicts) {
+    for (const Message& verdict : verdicts) deliver(verdict);
+  }
 };
 
 /// One inbound message plus the reply channel it arrived on (null for
@@ -55,6 +63,10 @@ struct TransportCounters {
   std::uint64_t drops = 0;         ///< messages shed (lossy mode / full queue)
   std::uint64_t gaps = 0;          ///< sequence holes observed (lossy links)
   std::uint64_t blocked = 0;       ///< producer back-pressure events
+  /// Control-frame retransmissions observed: on an emitter, kOpenJob/
+  /// kCloseJob copies it re-sent while unacked; on a server, duplicate
+  /// control frames it absorbed from such an emitter.
+  std::uint64_t retransmits = 0;
 };
 
 /// Consumer side of a transport: the pipeline polls this.

@@ -5,6 +5,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -157,76 +158,123 @@ UdpServer::UdpServer(const Config& config)
 UdpServer::~UdpServer() { stop(); }
 
 void UdpServer::receive_loop() {
-  std::vector<std::uint8_t> buffer(64 * 1024);
+  // Batched receive: one recvmmsg() syscall drains up to kReceiveBatch
+  // datagrams that are already queued in the kernel — a replay burst
+  // costs 1/kReceiveBatch of the per-datagram syscall overhead.
+  // MSG_WAITFORONE blocks for the first datagram only (bounded by the
+  // socket's SO_RCVTIMEO, so stop() is still observed every 100 ms) and
+  // returns immediately with whatever else is waiting.
+  constexpr std::size_t kReceiveBatch = 16;
+  constexpr std::size_t kDatagramBytes = 64 * 1024;
+  std::vector<std::vector<std::uint8_t>> buffers(
+      kReceiveBatch, std::vector<std::uint8_t>(kDatagramBytes));
+  std::vector<sockaddr_in> peers(kReceiveBatch);
+  std::vector<iovec> iovs(kReceiveBatch);
+  std::vector<mmsghdr> headers(kReceiveBatch);
+
   while (!stopping_.load(std::memory_order_acquire)) {
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    const ssize_t received =
-        ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
-                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    // Re-arm every header: the kernel overwrites msg_namelen/msg_len.
+    for (std::size_t i = 0; i < kReceiveBatch; ++i) {
+      iovs[i] = iovec{buffers[i].data(), buffers[i].size()};
+      headers[i] = mmsghdr{};
+      headers[i].msg_hdr.msg_name = &peers[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(peers[i]);
+      headers[i].msg_hdr.msg_iov = &iovs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int received = ::recvmmsg(fd_, headers.data(), kReceiveBatch,
+                                    MSG_WAITFORONE, nullptr);
     if (received < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;  // socket gone
     }
-    datagrams_.fetch_add(1, std::memory_order_relaxed);
-
-    std::uint64_t seq = 0;
-    Message message;
-    if (!decode_datagram(buffer.data(), static_cast<std::size_t>(received),
-                         seq, message) ||
-        seq == 0) {
-      // One bad datagram fails alone: datagrams are independent, so the
-      // peer's later traffic still flows (unlike a corrupted TCP stream).
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+    for (int i = 0; i < received; ++i) {
+      handle_datagram(peers[static_cast<std::size_t>(i)],
+                      buffers[static_cast<std::size_t>(i)].data(),
+                      headers[static_cast<std::size_t>(i)].msg_len);
     }
+  }
+}
 
-    const auto now = std::chrono::steady_clock::now();
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(peer.sin_addr.s_addr) << 16) |
-        ntohs(peer.sin_port);
-    PeerState& state = peers_[key];
-    if (state.sink == nullptr) {
-      state.sink = std::make_shared<PeerSink>(socket_, peer,
-                                              verdict_send_failures_);
-      // Stamp activity BEFORE the sweep: the new entry must not look
-      // epoch-old and get erased out from under this reference.
-      state.last_activity = now;
-      peer_count_.fetch_add(1, std::memory_order_relaxed);
-      sweep_idle_peers(now);
-    } else if (config_.peer_ttl.count() > 0 &&
-               now - state.last_activity > config_.peer_ttl) {
-      // Session restart: an emitter that rebooted restarts its seq at 1.
-      // After a TTL of silence its old high-water mark must not shed the
-      // new session's traffic as "duplicates" for hours.
-      state.last_seq = 0;
-    }
+void UdpServer::handle_datagram(const sockaddr_in& peer,
+                                const std::uint8_t* data, std::size_t size) {
+  datagrams_.fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t seq = 0;
+  Message message;
+  if (!decode_datagram(data, size, seq, message) || seq == 0) {
+    // One bad datagram fails alone: datagrams are independent, so the
+    // peer's later traffic still flows (unlike a corrupted TCP stream).
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(peer.sin_addr.s_addr) << 16) |
+      ntohs(peer.sin_port);
+  PeerState& state = peers_[key];
+  if (state.sink == nullptr) {
+    state.sink = std::make_shared<PeerSink>(socket_, peer,
+                                            verdict_send_failures_);
+    // Stamp activity BEFORE the sweep: the new entry must not look
+    // epoch-old and get erased out from under this reference.
     state.last_activity = now;
-    if (state.last_seq == 0) {
-      // First datagram of a session (brand-new peer, TTL resume, or a
-      // peer the idle sweep evicted and that came back): accept at face
-      // value, count NO initial gap. A session's pre-contact history is
-      // indistinguishable from a late start, and booking it as loss
-      // would poison the very counter operators use to exclude lossy
-      // sources. Within-session holes below are the reliable signal.
-    } else if (seq <= state.last_seq) {
-      // Duplicate or reordered-behind-delivery: re-dispatching would
-      // double-count its samples, so it is shed — and counted.
-      duplicates_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    } else if (seq > state.last_seq + 1) {
-      gaps_.fetch_add(seq - state.last_seq - 1, std::memory_order_relaxed);
-    }
-    state.last_seq = seq;
+    peer_count_.fetch_add(1, std::memory_order_relaxed);
+    sweep_idle_peers(now);
+  } else if (config_.peer_ttl.count() > 0 &&
+             now - state.last_activity > config_.peer_ttl) {
+    // Session restart: an emitter that rebooted restarts its seq at 1.
+    // After a TTL of silence its old high-water mark must not shed the
+    // new session's traffic as "duplicates" for hours.
+    state.last_seq = 0;
+    state.control_seen.fill(ControlSeen{});
+    state.control_next = 0;
+  }
+  state.last_activity = now;
+  if (state.last_seq == 0) {
+    // First datagram of a session (brand-new peer, TTL resume, or a
+    // peer the idle sweep evicted and that came back): accept at face
+    // value, count NO initial gap. A session's pre-contact history is
+    // indistinguishable from a late start, and booking it as loss
+    // would poison the very counter operators use to exclude lossy
+    // sources. Within-session holes below are the reliable signal.
+  } else if (seq <= state.last_seq) {
+    // Duplicate or reordered-behind-delivery: re-dispatching would
+    // double-count its samples, so it is shed — and counted.
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  } else if (seq > state.last_seq + 1) {
+    gaps_.fetch_add(seq - state.last_seq - 1, std::memory_order_relaxed);
+  }
+  state.last_seq = seq;
 
-    // Lossy discipline end-to-end: a full internal queue sheds the
-    // datagram visibly instead of stalling the receiver into opaque
-    // kernel-buffer drops.
-    if (queue_.try_send_with_reply(std::move(message), state.sink)) {
-      frames_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      queue_drops_.fetch_add(1, std::memory_order_relaxed);
+  // Emitter control-frame retransmits arrive under FRESH sequence
+  // numbers (so the duplicate shed above cannot catch them); absorb a
+  // repeat of any recently dispatched open/close here instead of
+  // re-dispatching it into the pipeline (a re-delivered kOpenJob for a
+  // finished job would re-open it as a ghost). Linear scan of a small
+  // ring: control frames are two per job, never the sample hot path.
+  if (message.type == MessageType::kOpenJob ||
+      message.type == MessageType::kCloseJob) {
+    const bool close = message.type == MessageType::kCloseJob;
+    for (const ControlSeen& seen : state.control_seen) {
+      if (seen.job_id == message.job_id && seen.close == close) {
+        control_retransmits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
     }
+    state.control_seen[state.control_next] = ControlSeen{message.job_id, close};
+    state.control_next = (state.control_next + 1) % kControlHistorySize;
+  }
+
+  // Lossy discipline end-to-end: a full internal queue sheds the
+  // datagram visibly instead of stalling the receiver into opaque
+  // kernel-buffer drops.
+  if (queue_.try_send_with_reply(std::move(message), state.sink)) {
+    frames_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queue_drops_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -278,6 +326,8 @@ UdpServer::Stats UdpServer::stats() const {
   stats.queue_drops = queue_drops_.load(std::memory_order_relaxed);
   stats.verdict_send_failures =
       verdict_send_failures_->load(std::memory_order_relaxed);
+  stats.control_retransmits =
+      control_retransmits_.load(std::memory_order_relaxed);
   stats.peers = peer_count_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -290,6 +340,7 @@ TransportCounters UdpServer::transport_counters() const {
   counters.drops = stats.duplicates + stats.queue_drops;
   counters.gaps = stats.gaps;
   counters.blocked = 0;  // lossy mode never back-pressures
+  counters.retransmits = stats.control_retransmits;
   return counters;
 }
 
@@ -317,12 +368,67 @@ UdpClient::~UdpClient() { close_fd(fd_); }
 
 void UdpClient::send(Message message) {
   std::lock_guard lock(write_mutex_);
-  encode_buffer_.clear();
-  encode_datagram(++next_seq_, message, encode_buffer_);
-  if (::send(fd_, encode_buffer_.data(), encode_buffer_.size(),
-             MSG_NOSIGNAL) < 0) {
-    throw_errno("datagram send");
+
+  // Bundle every still-pending control frame ahead of this message —
+  // one sendmmsg() syscall ships the retransmits AND the new frame.
+  // Each copy gets a fresh sequence number: the server's duplicate shed
+  // is seq-based, so a stale seq would be discarded before its content
+  // could be absorbed (and would poison the gap accounting).
+  std::size_t count = 0;
+  const auto add_datagram = [&](const Message& m) {
+    if (count == datagram_buffers_.size()) datagram_buffers_.emplace_back();
+    std::vector<std::uint8_t>& buffer = datagram_buffers_[count];
+    buffer.clear();
+    encode_datagram(++next_seq_, m, buffer);
+    ++count;
+  };
+  for (auto it = pending_control_.begin(); it != pending_control_.end();) {
+    add_datagram(it->message);
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+    if (--it->remaining <= 0) {
+      it = pending_control_.erase(it);  // budget exhausted: give up
+    } else {
+      ++it;
+    }
   }
+  add_datagram(message);
+
+  std::vector<iovec> iovs(count);
+  std::vector<mmsghdr> headers(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    iovs[i] = iovec{datagram_buffers_[i].data(), datagram_buffers_[i].size()};
+    headers[i] = mmsghdr{};
+    headers[i].msg_hdr.msg_iov = &iovs[i];
+    headers[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t sent = 0;
+  while (sent < count) {
+    const int n = ::sendmmsg(fd_, headers.data() + sent,
+                             static_cast<unsigned int>(count - sent),
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("datagram send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Track the just-sent control frame AFTER shipping it, so its own
+  // send() doesn't count as a retransmit. Oldest pending is dropped
+  // beyond the bound — the budget caps memory, not correctness (a job
+  // whose open truly vanished ends in the server's stale sweep).
+  if (message.type == MessageType::kOpenJob ||
+      message.type == MessageType::kCloseJob) {
+    if (pending_control_.size() >= kMaxPendingControl) {
+      pending_control_.erase(pending_control_.begin());
+    }
+    pending_control_.push_back(PendingControl{std::move(message)});
+  }
+}
+
+std::size_t UdpClient::pending_control() const {
+  std::lock_guard lock(write_mutex_);
+  return pending_control_.size();
 }
 
 bool UdpClient::receive(Message& out, std::chrono::milliseconds timeout) {
@@ -343,6 +449,14 @@ bool UdpClient::receive(Message& out, std::chrono::milliseconds timeout) {
     std::uint64_t seq = 0;
     if (decode_datagram(buffer, static_cast<std::size_t>(received), seq,
                         out)) {
+      if (out.type == MessageType::kVerdict) {
+        // A verdict proves the server knows this job: its control
+        // frames arrived, so stop re-sending them.
+        std::lock_guard lock(write_mutex_);
+        std::erase_if(pending_control_, [&](const PendingControl& pending) {
+          return pending.message.job_id == out.job_id;
+        });
+      }
       return true;
     }
     // Malformed reply datagram: skip it, keep waiting for a good one.

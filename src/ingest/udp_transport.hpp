@@ -36,6 +36,9 @@
 /// need bigger batches use TCP or shared memory — see the README's
 /// "choosing a transport" table.
 
+#include <netinet/in.h>
+
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -100,6 +103,10 @@ class UdpServer final : public SampleSource {
     std::uint64_t duplicates = 0;      ///< seq <= last seen (dropped)
     std::uint64_t queue_drops = 0;     ///< shed on a full internal queue
     std::uint64_t verdict_send_failures = 0;
+    /// Duplicate kOpenJob/kCloseJob frames absorbed (an unacked emitter
+    /// retransmits its control frames — see UdpClient — and each copy
+    /// after the first is shed here instead of re-dispatching).
+    std::uint64_t control_retransmits = 0;
     std::size_t peers = 0;             ///< source addresses currently tracked
   };
 
@@ -125,13 +132,30 @@ class UdpServer final : public SampleSource {
  private:
   struct SharedSocket;  ///< mutex-guarded fd holder (outlives stop())
   struct PeerSink;
+  /// Control frames remembered per peer for retransmit absorption.
+  /// Must cover the emitter's whole unacked window even when jobs
+  /// interleave (the client re-sends up to kMaxPendingControl opens
+  /// AND closes with every datagram), so it is a ring, not a last-id.
+  static constexpr std::size_t kControlHistorySize = 32;
+  struct ControlSeen {
+    std::uint64_t job_id = ~0ull;  ///< ~0 = empty slot
+    bool close = false;
+  };
   struct PeerState {
     std::uint64_t last_seq = 0;
+    /// Ring of recently dispatched open/close frames; a repeat
+    /// anywhere in it is an emitter retransmit, shed before dispatch.
+    std::array<ControlSeen, kControlHistorySize> control_seen{};
+    std::size_t control_next = 0;
     std::chrono::steady_clock::time_point last_activity{};
     std::shared_ptr<PeerSink> sink;
   };
 
   void receive_loop();
+  /// Sequencing, dedup, and enqueue for one received datagram
+  /// (receiver thread).
+  void handle_datagram(const sockaddr_in& peer, const std::uint8_t* data,
+                       std::size_t size);
   /// Amortized eviction of peers idle past the TTL (receiver thread).
   void sweep_idle_peers(std::chrono::steady_clock::time_point now);
 
@@ -153,6 +177,7 @@ class UdpServer final : public SampleSource {
   std::atomic<std::uint64_t> gaps_{0};
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> queue_drops_{0};
+  std::atomic<std::uint64_t> control_retransmits_{0};
   std::atomic<std::size_t> peer_count_{0};
   /// Shared with every PeerSink (a sink held by undelivered envelopes
   /// can outlive the server).
@@ -163,8 +188,23 @@ class UdpServer final : public SampleSource {
 /// Datagram emitter toward a UdpServer: send() frames, receive()
 /// verdict datagrams. Mirrors TcpClient's shape so `efd_cli replay`
 /// treats the transports interchangeably.
+///
+/// Control frames get extra protection on this lossy link: a lost
+/// kSampleBatch costs one batch of samples, but a lost kOpenJob loses
+/// the WHOLE job (the server sheds samples for a job it never saw open)
+/// and a lost kCloseJob strands it until the stale sweep. So kOpenJob/
+/// kCloseJob are kept pending and re-sent — bundled with each subsequent
+/// send() in one sendmmsg() call, each copy under a fresh sequence
+/// number — until the first verdict for their job acks the path, or a
+/// bounded retransmit budget runs out. The server absorbs the duplicate
+/// copies (Stats::control_retransmits) so re-delivery never re-opens or
+/// re-closes anything.
 class UdpClient final : public MessageSender {
  public:
+  /// Pending control frames tracked at once (oldest dropped beyond).
+  static constexpr std::size_t kMaxPendingControl = 8;
+  /// Copies re-sent per control frame before giving up.
+  static constexpr int kMaxRetransmits = 16;
   /// Connects (in the UDP sense) to host:port; throws TransportError.
   UdpClient(const std::string& host, std::uint16_t port);
   ~UdpClient() override;
@@ -185,11 +225,30 @@ class UdpClient final : public MessageSender {
   /// TcpClient (the server ends jobs via kCloseJob frames or its sweep).
   void finish_sending() {}
 
+  /// Control-frame copies re-sent so far (monotonic).
+  std::uint64_t retransmits() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+
+  /// Unacked control frames currently pending (test/monitoring view).
+  std::size_t pending_control() const;
+
  private:
+  struct PendingControl {
+    Message message;
+    int remaining = kMaxRetransmits;
+  };
+
   int fd_ = -1;
-  std::mutex write_mutex_;
+  mutable std::mutex write_mutex_;
   std::uint64_t next_seq_ = 0;
   std::vector<std::uint8_t> encode_buffer_;
+  /// Unacked kOpenJob/kCloseJob frames awaiting a verdict ack (guarded
+  /// by write_mutex_; receive() takes it briefly to clear acks).
+  std::vector<PendingControl> pending_control_;
+  /// sendmmsg scratch: one datagram buffer per bundled message.
+  std::vector<std::vector<std::uint8_t>> datagram_buffers_;
+  std::atomic<std::uint64_t> retransmits_{0};
 };
 
 }  // namespace efd::ingest

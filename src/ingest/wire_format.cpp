@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ingest/buffer_pool.hpp"
 #include "util/binary_io.hpp"
 
 namespace efd::ingest {
@@ -189,6 +190,8 @@ std::vector<std::uint8_t> encode(const Message& message) {
   return out;
 }
 
+FrameDecoder::FrameDecoder() : pool_(&sample_buffer_pool()) {}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   if (failed_ || size == 0) return;
   // Compact the consumed prefix before growing (keeps the buffer bounded
@@ -263,9 +266,13 @@ DecodeStatus FrameDecoder::next(Message& out) {
           reader.remaining()) {
         return fail("sample count inconsistent with frame length");
       }
-      message.samples.reserve(count);
+      // Decode IN PLACE into a recycled buffer: every field of every
+      // element is overwritten below, and read_string assigns into the
+      // element's string, reusing its capacity from the previous batch.
+      if (pool_ != nullptr) message.samples = pool_->acquire();
+      message.samples.resize(count);
       for (std::uint32_t i = 0; i < count; ++i) {
-        WireSample sample;
+        WireSample& sample = message.samples[i];
         std::uint32_t t_bits = 0;
         if (!reader.read_u32(sample.node_id) || !reader.read_u32(t_bits) ||
             !reader.read_f64(sample.value) ||
@@ -273,7 +280,6 @@ DecodeStatus FrameDecoder::next(Message& out) {
           return fail("truncated sample in batch");
         }
         sample.t = static_cast<std::int32_t>(t_bits);
-        message.samples.push_back(std::move(sample));
       }
       if (reader.remaining() != 0) return fail("trailing bytes in batch");
       break;

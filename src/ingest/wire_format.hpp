@@ -181,10 +181,14 @@ enum class DecodeStatus {
   kError,     ///< stream corrupt; decoder is dead (see error())
 };
 
+class SampleBufferPool;
+
 /// Incremental frame decoder over an arbitrary byte stream (partial
 /// frames across feeds are the normal case for TCP reads).
 class FrameDecoder {
  public:
+  FrameDecoder();
+
   /// Appends raw bytes. Accepts anything; errors surface in next().
   void feed(const std::uint8_t* data, std::size_t size);
   void feed(const std::vector<std::uint8_t>& data) {
@@ -205,6 +209,11 @@ class FrameDecoder {
     return buffer_.size() - offset_;
   }
 
+  /// Overrides where kSampleBatch buffers come from: nullptr decodes
+  /// into fresh vectors (the pre-pool behavior — the bench baseline).
+  /// Default: the process-global sample_buffer_pool().
+  void set_buffer_pool(SampleBufferPool* pool) noexcept { pool_ = pool; }
+
  private:
   DecodeStatus fail(std::string reason);
 
@@ -213,6 +222,7 @@ class FrameDecoder {
   bool failed_ = false;
   std::string error_;
   std::uint64_t frames_decoded_ = 0;
+  SampleBufferPool* pool_;  ///< set in the constructor (wire_format.cpp)
 };
 
 }  // namespace efd::ingest

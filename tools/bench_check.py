@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a benchmark's JSONL output against checked-in thresholds.
+
+Usage: tools/bench_check.py BASELINE.json RESULTS.jsonl
+
+BASELINE.json carries a "thresholds" object whose keys name a field of
+the benchmark record plus a _min or _max suffix:
+
+    {"thresholds": {"batch_scoring_speedup_min": 1.5}}
+
+RESULTS.jsonl is the bench binary's --json output (one JSON object per
+line; the last record wins when a field repeats across lines, so a file
+accumulated over reruns checks the freshest run).
+
+Exit status 0 when every threshold passes, 1 with a per-threshold report
+on the first failure, 2 on malformed input. Ratios (speedups) are the
+intended gate: absolute ns/* numbers vary with hardware, but "the pooled
+path must stay faster than the fresh-vector path" holds on any machine.
+"""
+
+import json
+import sys
+
+
+def load_results(path):
+    merged = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"{path}:{line_number}: not JSON: {error}") from error
+            if not isinstance(record, dict):
+                raise SystemExit(f"{path}:{line_number}: not a JSON object")
+            merged.update(record)
+    if not merged:
+        raise SystemExit(f"{path}: no benchmark records")
+    return merged
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    thresholds = baseline.get("thresholds")
+    if not isinstance(thresholds, dict) or not thresholds:
+        print(f"{argv[1]}: no thresholds object", file=sys.stderr)
+        return 2
+    results = load_results(argv[2])
+
+    failures = 0
+    for name, bound in sorted(thresholds.items()):
+        if name.endswith("_min"):
+            field, ok = name[: -len("_min")], lambda v, b: v >= b
+            relation = ">="
+        elif name.endswith("_max"):
+            field, ok = name[: -len("_max")], lambda v, b: v <= b
+            relation = "<="
+        else:
+            print(f"{name}: threshold must end in _min or _max",
+                  file=sys.stderr)
+            return 2
+        if field not in results:
+            print(f"FAIL {name}: field '{field}' missing from results")
+            failures += 1
+            continue
+        value = results[field]
+        verdict = "ok  " if ok(value, bound) else "FAIL"
+        print(f"{verdict} {field} = {value:.4g} ({relation} {bound})")
+        failures += verdict == "FAIL"
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
