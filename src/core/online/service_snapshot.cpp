@@ -159,6 +159,11 @@ void RecognitionService::snapshot(
     std::ostream& out, std::uint64_t replay_cursor,
     std::span<const std::uint8_t> retrain_state,
     std::span<const SourceCursor> source_cursors) const {
+  // Park the worker pool (no-op when single-threaded) so every stream
+  // is between drains for the whole capture — the same consistency the
+  // per-stream drained-wait below provides against ad-hoc drainers.
+  WorkerQuiesceGuard quiesce(*this);
+
   out.write(kSnapshotMagic, kSnapshotMagicBytes);
 
   std::vector<std::uint8_t> payload;
@@ -237,14 +242,17 @@ void RecognitionService::snapshot(
     write_section(out, payload);
   }
 
-  // Pending (undrained) verdicts — non-destructive copy.
+  // Pending (undrained) verdicts — non-destructive copy, merged across
+  // the shared queue and every worker's staging area in completion
+  // order, so worker-mode and single-threaded snapshots serialize the
+  // same verdict stream.
   payload.clear();
   put_u8(payload, static_cast<std::uint8_t>(SnapshotSection::kVerdicts));
   {
-    std::lock_guard lock(verdicts_mutex_);
-    put_u32(payload, static_cast<std::uint32_t>(verdicts_.size()));
-    for (const JobVerdict& verdict : verdicts_) {
-      put_result(payload, verdict.job_id, verdict.result);
+    const std::vector<PendingVerdict> pending = collect_pending_verdicts();
+    put_u32(payload, static_cast<std::uint32_t>(pending.size()));
+    for (const PendingVerdict& entry : pending) {
+      put_result(payload, entry.verdict.job_id, entry.verdict.result);
     }
   }
   write_section(out, payload);
@@ -291,11 +299,8 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
       fail("restore requires a service with no open jobs");
     }
   }
-  {
-    std::lock_guard lock(verdicts_mutex_);
-    if (!verdicts_.empty()) {
-      fail("restore requires a service with no pending verdicts");
-    }
+  if (pending_verdict_count() != 0) {
+    fail("restore requires a service with no pending verdicts");
   }
 
   const auto read_exact = [&in](std::size_t size, const char* what) {
@@ -432,6 +437,10 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
         }
         auto stream =
             std::make_shared<JobStream>(staged_epoch, job_id, node_count);
+        // Shard assignment is a pure function of the job id and THIS
+        // process's worker count — never persisted, so a snapshot taken
+        // under --workers 4 restores cleanly under --workers 2 (or 0).
+        stream->worker_index = assign_worker(job_id);
         if (signature ==
             config_signature(staged_epoch->dictionary.config())) {
           try {
@@ -553,7 +562,14 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   }
   {
     std::lock_guard lock(verdicts_mutex_);
-    verdicts_ = std::move(staged_verdicts);
+    verdicts_.clear();
+    verdicts_.reserve(staged_verdicts.size());
+    for (JobVerdict& verdict : staged_verdicts) {
+      // Fresh seq stamps in serialized order: the snapshot's verdict
+      // section IS the completion order, so re-stamping preserves it.
+      verdicts_.push_back({verdict_seq_.fetch_add(1, std::memory_order_relaxed),
+                           std::move(verdict)});
+    }
   }
   jobs_opened_.store(counters[0], std::memory_order_relaxed);
   jobs_completed_.store(counters[1], std::memory_order_relaxed);
@@ -565,6 +581,17 @@ ServiceRestoreInfo RecognitionService::restore(std::istream& in) {
   samples_rejected_.store(counters[7], std::memory_order_relaxed);
   pushes_blocked_.store(counters[8], std::memory_order_relaxed);
   swaps_noop_.store(counters[9], std::memory_order_relaxed);
+
+  // Restored streams with queued samples would otherwise sit dirty
+  // until their next push: hand them to their owning workers now.
+  if (!workers_.empty()) {
+    std::shared_lock lock(jobs_mutex_);
+    for (const auto& [job_id, stream] : jobs_) {
+      if (stream->queued.load(std::memory_order_relaxed) > 0) {
+        schedule_stream(stream);
+      }
+    }
+  }
 
   ServiceRestoreInfo info;
   info.replay_cursor = replay_cursor;

@@ -33,18 +33,19 @@ OnlineRecognizer::OnlineRecognizer(const DictionaryView& dictionary,
                                    std::uint32_t node_count)
     : dictionary_(&dictionary), node_count_(node_count) {
   const FingerprintConfig& config = dictionary_->config();
-  accumulators_.resize(node_count_);
-  for (auto& per_metric : accumulators_) {
-    per_metric.resize(config.metrics.size());
-    for (auto& per_interval : per_metric) {
-      per_interval.reserve(config.intervals.size());
-      for (const telemetry::Interval& interval : config.intervals) {
-        per_interval.emplace_back(interval);
-      }
-    }
+  metric_count_ = config.metrics.size();
+  interval_count_ = config.intervals.size();
+  windows_total_ =
+      static_cast<std::size_t>(node_count_) * metric_count_ * interval_count_;
+  sums_.assign(windows_total_, 0.0);
+  counts_.assign(windows_total_, 0);
+  last_ts_.assign(windows_total_, -1);
+  interval_begins_.reserve(interval_count_);
+  interval_ends_.reserve(interval_count_);
+  for (const telemetry::Interval& interval : config.intervals) {
+    interval_begins_.push_back(interval.begin_seconds);
+    interval_ends_.push_back(interval.end_seconds);
   }
-  windows_total_ = static_cast<std::size_t>(node_count_) *
-                   config.metrics.size() * config.intervals.size();
 }
 
 std::uint32_t OnlineRecognizer::metric_slot(
@@ -66,15 +67,17 @@ const std::string& OnlineRecognizer::metric_name(
 void OnlineRecognizer::push_slot(std::uint32_t node_id, std::uint32_t slot,
                                  int t, double value) noexcept {
   if (node_id >= node_count_) return;
-  const auto& per_metric = accumulators_[node_id];
-  if (slot >= per_metric.size()) return;
-  for (WindowAccumulator& acc : accumulators_[node_id][slot]) {
-    const bool was_complete = acc.complete();
-    acc.push(t, value);
-    // complete() is monotone (last_t and count only grow), so counting
-    // transitions keeps windows_complete_ exact.
-    if (!was_complete && acc.complete()) ++windows_complete_;
-  }
+  if (slot >= metric_count_) return;
+  // One accumulate_lanes pass over the (node, slot) block's interval
+  // lanes: WindowAccumulator::push semantics per lane plus the
+  // complete-transition count (complete() is monotone — last_t and count
+  // only grow — so counting transitions keeps windows_complete_ exact).
+  const std::size_t base = lane_index(node_id, slot, 0);
+  windows_complete_ += accumulate_lanes(
+      AccumulatorLanes{sums_.data() + base, counts_.data() + base,
+                       last_ts_.data() + base, interval_begins_.data(),
+                       interval_ends_.data(), interval_count_},
+      t, value);
   cached_.reset();  // new data invalidates a cached verdict
 }
 
@@ -88,44 +91,35 @@ void OnlineRecognizer::push(std::uint32_t node_id, std::string_view metric_name,
 bool OnlineRecognizer::ready() const noexcept {
   // Same truth table as walking every accumulator: zero-metric configs
   // have windows_total_ == 0 and report ready whenever nodes exist.
-  return !accumulators_.empty() && windows_complete_ == windows_total_;
+  return node_count_ > 0 && windows_complete_ == windows_total_;
 }
 
 std::vector<OnlineRecognizer::AccumulatorState> OnlineRecognizer::export_state()
     const {
+  // The flat lane order IS the historical (node, metric, interval)
+  // snapshot serialization order, so EFD-SNAP-V1 streams stay
+  // byte-compatible across the AoS -> SoA restructure.
   std::vector<AccumulatorState> states;
-  for (const auto& per_metric : accumulators_) {
-    for (const auto& per_interval : per_metric) {
-      for (const WindowAccumulator& acc : per_interval) {
-        states.push_back({acc.sum(), static_cast<std::uint64_t>(acc.count()),
-                          static_cast<std::int32_t>(acc.last_t())});
-      }
-    }
+  states.reserve(windows_total_);
+  for (std::size_t w = 0; w < windows_total_; ++w) {
+    states.push_back({sums_[w], counts_[w], last_ts_[w]});
   }
   return states;
 }
 
 void OnlineRecognizer::import_state(
     const std::vector<AccumulatorState>& states) {
-  std::size_t total = 0;
-  for (const auto& per_metric : accumulators_) {
-    for (const auto& per_interval : per_metric) total += per_interval.size();
-  }
-  if (states.size() != total) {
+  if (states.size() != windows_total_) {
     throw std::invalid_argument(
         "accumulator state count does not match recognizer layout");
   }
-  std::size_t i = 0;
   windows_complete_ = 0;
-  for (auto& per_metric : accumulators_) {
-    for (auto& per_interval : per_metric) {
-      for (WindowAccumulator& acc : per_interval) {
-        const AccumulatorState& state = states[i++];
-        acc.restore_state(state.sum, static_cast<std::size_t>(state.count),
-                          static_cast<int>(state.last_t));
-        if (acc.complete()) ++windows_complete_;
-      }
-    }
+  for (std::size_t w = 0; w < windows_total_; ++w) {
+    sums_[w] = states[w].sum;
+    counts_[w] = states[w].count;
+    last_ts_[w] = states[w].last_t;
+    const std::int32_t end = interval_ends_[w % interval_count_];
+    if (last_ts_[w] >= end - 1 && counts_[w] > 0) ++windows_complete_;
   }
   cached_.reset();
 }
@@ -139,6 +133,16 @@ int OnlineRecognizer::seconds_until_ready(int current_t) const noexcept {
 }
 
 std::optional<RecognitionResult> OnlineRecognizer::result() const {
+  return result_with(scratch_);
+}
+
+std::optional<RecognitionResult> OnlineRecognizer::result(
+    RecognitionScratch& scratch) const {
+  return result_with(scratch);
+}
+
+std::optional<RecognitionResult> OnlineRecognizer::result_with(
+    RecognitionScratch& scratch) const {
   if (!ready()) return std::nullopt;
   if (cached_) return cached_;
 
@@ -147,19 +151,19 @@ std::optional<RecognitionResult> OnlineRecognizer::result() const {
   // Gather every window mean into one contiguous lane (node, interval,
   // metric order — this path's historical key order) and round it in a
   // single vectorized pass.
-  std::vector<double>& means = scratch_.means_lane();
+  std::vector<double>& means = scratch.means_lane();
   means.clear();
   for (std::uint32_t node = 0; node < node_count_; ++node) {
-    for (std::size_t i = 0; i < config.intervals.size(); ++i) {
-      for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-        means.push_back(accumulators_[node][m][i].mean());
+    for (std::size_t i = 0; i < interval_count_; ++i) {
+      for (std::size_t m = 0; m < metric_count_; ++m) {
+        means.push_back(lane_mean(lane_index(node, m, i)));
       }
     }
   }
   round_lanes(means, config.rounding_depth);
 
   // Combined keys join all metric names, matching build_fingerprints.
-  std::string& joined = scratch_.name_buffer();
+  std::string& joined = scratch.name_buffer();
   if (config.combine_metrics) {
     joined.clear();
     for (std::size_t m = 0; m < config.metrics.size(); ++m) {
@@ -168,21 +172,21 @@ std::optional<RecognitionResult> OnlineRecognizer::result() const {
     }
   }
 
-  scratch_.begin_keys();
+  scratch.begin_keys();
   std::size_t lane = 0;
   for (std::uint32_t node = 0; node < node_count_; ++node) {
-    for (std::size_t i = 0; i < config.intervals.size(); ++i) {
+    for (std::size_t i = 0; i < interval_count_; ++i) {
       if (config.combine_metrics) {
-        FingerprintKey& key = scratch_.next_key();
+        FingerprintKey& key = scratch.next_key();
         key.metric.assign(joined);
         key.node_id = node;
         key.interval = config.intervals[i];
-        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
+        for (std::size_t m = 0; m < metric_count_; ++m) {
           key.rounded_means.push_back(means[lane++]);
         }
       } else {
-        for (std::size_t m = 0; m < config.metrics.size(); ++m) {
-          FingerprintKey& key = scratch_.next_key();
+        for (std::size_t m = 0; m < metric_count_; ++m) {
+          FingerprintKey& key = scratch.next_key();
           key.metric.assign(config.metrics[m]);
           key.node_id = node;
           key.interval = config.intervals[i];
@@ -192,9 +196,9 @@ std::optional<RecognitionResult> OnlineRecognizer::result() const {
     }
   }
 
-  Matcher(*dictionary_).recognize_keys_into(scratch_.keys(), scratch_);
+  Matcher(*dictionary_).recognize_keys_into(scratch.keys(), scratch);
   RecognitionResult rendered;
-  scratch_.render_result(rendered);
+  scratch.render_result(rendered);
   cached_ = std::move(rendered);
   return cached_;
 }

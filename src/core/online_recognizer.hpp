@@ -23,6 +23,11 @@ namespace efd::core {
 inline constexpr std::uint32_t kNoMetricSlot = 0xFFFFFFFFu;
 
 /// Incremental interval-mean accumulator for one (node, metric) stream.
+/// This is the scalar reference form of the accumulation semantics; the
+/// recognizer itself stores every window as SoA lanes (contiguous
+/// sum/count/tick arrays fed through core/rounding_kernel's
+/// accumulate_lanes) and test_hot_path asserts the lane kernel matches
+/// this class bit for bit.
 class WindowAccumulator {
  public:
   explicit WindowAccumulator(telemetry::Interval interval) : interval_(interval) {}
@@ -91,6 +96,13 @@ class OnlineRecognizer {
   /// cached. Identical to the offline Matcher result for the same data.
   std::optional<RecognitionResult> result() const;
 
+  /// result() computed with a caller-owned scratch instead of the
+  /// recognizer's internal one — the worker-pool form, where one scratch
+  /// per worker thread serves every stream that worker drains. The
+  /// rendered verdict is identical either way (the scratch is working
+  /// memory, not state).
+  std::optional<RecognitionResult> result(RecognitionScratch& scratch) const;
+
   /// Seconds still missing until the last window closes (0 when ready).
   int seconds_until_ready(int current_t) const noexcept;
 
@@ -114,10 +126,34 @@ class OnlineRecognizer {
   void import_state(const std::vector<AccumulatorState>& states);
 
  private:
+  std::optional<RecognitionResult> result_with(RecognitionScratch& scratch) const;
+
+  /// Flat lane index of window (node, metric slot, interval).
+  std::size_t lane_index(std::uint32_t node, std::size_t slot,
+                         std::size_t interval) const noexcept {
+    return (static_cast<std::size_t>(node) * metric_count_ + slot) *
+               interval_count_ +
+           interval;
+  }
+  double lane_mean(std::size_t w) const noexcept {
+    return counts_[w] > 0 ? sums_[w] / static_cast<double>(counts_[w]) : 0.0;
+  }
+
   const DictionaryView* dictionary_;
   std::uint32_t node_count_;
-  /// accumulators_[node][metric index][interval index]
-  std::vector<std::vector<std::vector<WindowAccumulator>>> accumulators_;
+  std::size_t metric_count_ = 0;
+  std::size_t interval_count_ = 0;
+  /// Window state in SoA form: one lane per (node, metric, interval)
+  /// window at lane_index() — contiguous per (node, metric) block, so
+  /// push_slot feeds a whole block through accumulate_lanes in one
+  /// vectorizable pass instead of walking an AoS accumulator list.
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::int32_t> last_ts_;
+  /// Per-interval window bounds, shared by every (node, metric) block
+  /// (the dictionary config's interval list, in order).
+  std::vector<std::int32_t> interval_begins_;
+  std::vector<std::int32_t> interval_ends_;
   /// Windows completed so far out of windows_total_ — keeps ready() O(1)
   /// on the per-sample path (it used to walk every accumulator).
   std::size_t windows_complete_ = 0;

@@ -106,7 +106,54 @@ void round_lanes_avx2(std::span<double> values, int depth) noexcept;
 /// first use to the best kernel for this CPU (EFD_SIMD=off forces scalar).
 void round_lanes(std::span<double> values, int depth) noexcept;
 
-/// True when round_lanes() dispatches to a vector build.
+/// One contiguous block of interval-window accumulators in SoA form:
+/// parallel sum/count/last-tick lanes plus the (immutable) per-lane
+/// window bounds. This is OnlineRecognizer's storage for one
+/// (node, metric-slot) pair; accumulate_lanes() applies a single sample
+/// to every lane — the vector form of WindowAccumulator::push plus
+/// completion-transition counting.
+struct AccumulatorLanes {
+  double* sums = nullptr;
+  std::uint64_t* counts = nullptr;
+  std::int32_t* last_ts = nullptr;
+  const std::int32_t* begins = nullptr;  ///< interval begin (inclusive)
+  const std::int32_t* ends = nullptr;    ///< interval end (exclusive)
+  std::size_t size = 0;
+};
+
+/// Applies the sample (t, value) to every lane with WindowAccumulator
+/// semantics — ticks at or before a lane's last tick are dropped, an
+/// in-window fresh tick adds to sum/count, and last_t advances for every
+/// fresh tick whether or not it lands in the window. Returns the number
+/// of lanes that TRANSITIONED to complete (last_t >= end-1 && count > 0)
+/// on this sample, so callers can maintain an O(1) ready() counter.
+///
+/// Bit-identity across builds: the sum update is the blend form
+/// `sum = in_window ? sum + value : sum` — a plain IEEE add selected by
+/// a mask, never `sum += in_window ? value : 0.0` (adding a signed zero
+/// is not an identity: -0.0 + 0.0 flips the sign bit). There are no
+/// a*b+c shapes, so FMA contraction cannot perturb the AVX2 build and
+/// scalar/AVX2 results stay byte-identical (test_hot_path sweeps this).
+/// One carve-out: when BOTH addends are NaN, only NaN-ness is
+/// guaranteed, not the payload bits — IEEE lets an add return either
+/// operand's payload, addition is commutative to the compiler, and the
+/// scalar/vector instruction forms may pick opposite operands.
+///
+/// Always the scalar build, for dispatch tests and baselines.
+std::size_t accumulate_lanes_scalar(const AccumulatorLanes& lanes,
+                                    std::int32_t t, double value) noexcept;
+
+/// AVX2-target build of the same loop (x86-64 only; on other targets an
+/// alias of the scalar build). Exposed for bit-exactness tests.
+std::size_t accumulate_lanes_avx2(const AccumulatorLanes& lanes,
+                                  std::int32_t t, double value) noexcept;
+
+/// Dispatched form: picks the best kernel for this CPU at first use
+/// (shared dispatch with round_lanes; EFD_SIMD=off forces scalar).
+std::size_t accumulate_lanes(const AccumulatorLanes& lanes, std::int32_t t,
+                             double value) noexcept;
+
+/// True when round_lanes()/accumulate_lanes() dispatch to vector builds.
 bool simd_active() noexcept;
 
 /// Human-readable name of the dispatched kernel ("avx2" / "scalar").

@@ -151,8 +151,11 @@ void IngestPipeline::dispatch(Envelope& envelope) {
       }
       // The batch is consumed either way; recycle its backing buffer
       // (and the string capacity of any samples the tap left behind)
-      // for the decoder's next acquire.
-      sample_buffer_pool().release(std::move(message.samples));
+      // for the decoder's next acquire — back to the pool it came from
+      // (the owning server's, or the process-global default).
+      SampleBufferPool& pool =
+          envelope.pool != nullptr ? *envelope.pool : sample_buffer_pool();
+      pool.release(std::move(message.samples));
       break;
     }
     case MessageType::kCloseJob:
@@ -278,6 +281,16 @@ std::string IngestPipeline::render_stats_text() const {
       << "ingest.stats_requests " << pipeline.stats_requests << "\n"
       << "ingest.retrain_reports " << pipeline.retrain_reports << "\n";
 
+  // Process-global sample-buffer pool (sources without their own pool
+  // recycle here). hits/misses gauge whether the allocation-free decode
+  // loop is actually closed; discards climbing = pool budget too small
+  // for the live batch sizes.
+  const SampleBufferPool::Stats pool = sample_buffer_pool().stats();
+  out << "pool.hits " << pool.hits << "\n"
+      << "pool.misses " << pool.misses << "\n"
+      << "pool.returns " << pool.returns << "\n"
+      << "pool.discards " << pool.discards << "\n";
+
   // One row block per registered source: the operator's view of WHERE
   // traffic (and loss — drops/gaps on lossy transports) comes from.
   for (const SourceMuxStats& source : sources_->stats()) {
@@ -295,6 +308,13 @@ std::string IngestPipeline::render_stats_text() const {
         << prefix << "retransmits " << source.transport.retransmits << "\n"
         << prefix << "restored_cursor " << source.restored_cursor << "\n"
         << prefix << "exhausted " << (source.exhausted ? 1 : 0) << "\n";
+    if (source.has_pool) {
+      // The source's own buffer pool (servers that decode frames).
+      out << prefix << "pool_hits " << source.pool.hits << "\n"
+          << prefix << "pool_misses " << source.pool.misses << "\n"
+          << prefix << "pool_returns " << source.pool.returns << "\n"
+          << prefix << "pool_discards " << source.pool.discards << "\n";
+    }
   }
 
   if (config_.retrain != nullptr) {
@@ -524,8 +544,10 @@ std::uint64_t IngestPipeline::run() {
     }
 
     // Recognize everything the batch enqueued (deferred services; a
-    // no-op for inline ones), then ship finished verdicts back.
-    service_.process_pending(pool_);
+    // no-op for inline ones), then ship finished verdicts back. With
+    // the worker pool active the service's own workers score as pushes
+    // arrive — no poll-boundary scoring pass at all.
+    if (!service_.workers_active()) service_.process_pending(pool_);
     total_delivered += flush_verdicts();
 
     const auto now = std::chrono::steady_clock::now();

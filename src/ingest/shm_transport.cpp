@@ -246,6 +246,7 @@ ShmRingServer::ShmRingServer(const std::string& name, const Config& config)
                                           config.inbound_bytes,
                                           config.outbound_bytes)),
       reply_(std::make_shared<ReplySink>(region_)) {
+  decoder_.set_buffer_pool(&pool_);  // recycle within this server
   // Liveness is visible to producers from the first attach, not the
   // first poll.
   region_->header().consumer_heartbeat_ns.store(monotonic_ns(),
@@ -299,7 +300,8 @@ bool ShmRingServer::poll(std::vector<Envelope>& out,
     DecodeStatus status;
     while (appended < config_.max_messages_per_poll &&
            (status = decoder_.next(message)) == DecodeStatus::kMessage) {
-      out.push_back(Envelope{std::move(message), reply_});
+      out.push_back(Envelope{std::move(message), reply_, /*source=*/0,
+                             /*pool=*/&pool_});
       message = Message();
       ++appended;
       frames_.fetch_add(1, std::memory_order_relaxed);

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/buffer_pool.hpp"
 #include "ingest/tcp_transport.hpp"  // TransportError
 #include "ingest/transport.hpp"
 #include "ingest/wire_format.hpp"
@@ -150,6 +151,10 @@ class ShmRingServer final : public SampleSource {
   Stats stats() const;
   TransportCounters transport_counters() const override;
 
+  /// The server-owned sample buffer pool its decoder acquires from
+  /// (and the consumer releases back to).
+  const SampleBufferPool* buffer_pool() const override { return &pool_; }
+
  private:
   class ReplySink;
 
@@ -160,6 +165,8 @@ class ShmRingServer final : public SampleSource {
   Config config_;
   std::shared_ptr<ShmRegion> region_;
   std::shared_ptr<ReplySink> reply_;
+  /// Server-local sample buffer recycling (see TcpServer::pool_).
+  SampleBufferPool pool_;
   FrameDecoder decoder_;
   bool dead_ = false;  ///< corrupt stream: source retired
   std::vector<std::uint8_t> scratch_;

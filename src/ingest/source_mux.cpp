@@ -164,6 +164,10 @@ std::vector<SourceMuxStats> SourceMux::stats() const {
         entry->restored_cursor.load(std::memory_order_relaxed);
     stats.exhausted = entry->exhausted.load(std::memory_order_acquire);
     stats.transport = entry->source->transport_counters();
+    if (const SampleBufferPool* pool = entry->source->buffer_pool()) {
+      stats.pool = pool->stats();
+      stats.has_pool = true;
+    }
     out.push_back(std::move(stats));
   }
   return out;

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/buffer_pool.hpp"
 #include "ingest/transport.hpp"
 
 namespace efd::ingest {
@@ -60,6 +61,11 @@ struct SourceMuxStats {
   std::uint64_t restored_cursor = 0; ///< envelope count seeded from a snapshot
   bool exhausted = false;          ///< source retired (closed and drained)
   TransportCounters transport;     ///< the source's own loss/pressure view
+  /// Sample-buffer recycling effectiveness of the source's own pool
+  /// (hit/miss/discard); meaningful only when has_pool (servers that
+  /// decode frames own one; has_pool false = global-pool source).
+  SampleBufferPool::Stats pool{};
+  bool has_pool = false;
 };
 
 class SourceMux final : public SampleSource {

@@ -223,6 +223,7 @@ void TcpServer::accept_loop() {
 
 void TcpServer::reader_loop(const std::shared_ptr<Connection>& connection) {
   FrameDecoder decoder;
+  decoder.set_buffer_pool(&pool_);  // recycle within this server
   std::vector<std::uint8_t> chunk(config_.read_chunk);
   bool dropped = false;
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -271,7 +272,12 @@ void TcpServer::reap_finished_connections() {
 
 bool TcpServer::poll(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
-  return queue_.poll(out, timeout);
+  // Stamp pool provenance on the entries this call appended, so the
+  // consumer releases sample buffers back to THIS server's pool.
+  const std::size_t before = out.size();
+  const bool alive = queue_.poll(out, timeout);
+  for (std::size_t i = before; i < out.size(); ++i) out[i].pool = &pool_;
+  return alive;
 }
 
 void TcpServer::stop() {

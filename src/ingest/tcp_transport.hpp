@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "ingest/buffer_pool.hpp"
 #include "ingest/ring_transport.hpp"
 #include "ingest/transport.hpp"
 
@@ -86,6 +87,10 @@ class TcpServer final : public SampleSource {
   /// failed verdict writes as drops, reader back-pressure stalls.
   TransportCounters transport_counters() const override;
 
+  /// The server-owned sample buffer pool every reader thread's decoder
+  /// acquires from (and the consumer releases back to).
+  const SampleBufferPool* buffer_pool() const override { return &pool_; }
+
  private:
   struct Connection;
 
@@ -97,6 +102,11 @@ class TcpServer final : public SampleSource {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   RingTransport queue_;
+  /// Server-local sample buffer recycling: reader decoders acquire
+  /// here, poll() stamps each Envelope with the provenance, dispatch
+  /// releases back. Keeps the hot acquire/release cycle off the
+  /// process-global pool's shared free list.
+  SampleBufferPool pool_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 

@@ -45,13 +45,22 @@ class VerdictSink {
   }
 };
 
+class SampleBufferPool;
+
 /// One inbound message plus the reply channel it arrived on (null for
 /// fire-and-forget emitters). The mux stamps `source` so verdict
-/// routing and per-source accounting survive the fan-in.
+/// routing and per-source accounting survive the fan-in. `pool` is the
+/// buffer pool the message's sample vector was acquired from (null =
+/// the process-global pool): the consumer returns the vector there
+/// after dispatch, so each server's buffers recycle without crossing a
+/// shared global free list. Provenance rides the Envelope, NOT the
+/// Message — Message stays a pure wire value (its defaulted equality
+/// is load-bearing in round-trip tests).
 struct Envelope {
   Message message;
   std::shared_ptr<VerdictSink> reply;
   SourceId source = 0;
+  SampleBufferPool* pool = nullptr;
 };
 
 /// Transport-level health counters a source exposes to the mux/stats
@@ -85,6 +94,12 @@ class SampleSource {
   /// Transport-level loss/back-pressure counters (see TransportCounters).
   /// Safe from any thread; default is all-zero.
   virtual TransportCounters transport_counters() const { return {}; }
+
+  /// The source-owned sample buffer pool, when the transport has one
+  /// (servers that decode frames); nullptr for sources that borrow the
+  /// process-global pool. The mux scrapes hit/miss/discard stats off it
+  /// per source.
+  virtual const SampleBufferPool* buffer_pool() const { return nullptr; }
 };
 
 /// Producer side of a transport: samplers/replayers send through this.

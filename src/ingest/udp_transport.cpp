@@ -54,7 +54,8 @@ void encode_datagram(std::uint64_t seq, const Message& message,
 }
 
 bool decode_datagram(const std::uint8_t* data, std::size_t size,
-                     std::uint64_t& seq, Message& out) {
+                     std::uint64_t& seq, Message& out,
+                     SampleBufferPool* pool) {
   if (size < kUdpHeaderBytes) return false;
   util::ByteReader reader(data, size);
   std::uint32_t magic = 0;
@@ -65,6 +66,7 @@ bool decode_datagram(const std::uint8_t* data, std::size_t size,
   // datagram: datagrams are independent — corruption cannot poison a
   // stream, only fail its own datagram.
   FrameDecoder decoder;
+  if (pool != nullptr) decoder.set_buffer_pool(pool);
   decoder.feed(data + kUdpHeaderBytes, size - kUdpHeaderBytes);
   Message message;
   if (decoder.next(message) != DecodeStatus::kMessage) return false;
@@ -202,7 +204,7 @@ void UdpServer::handle_datagram(const sockaddr_in& peer,
 
   std::uint64_t seq = 0;
   Message message;
-  if (!decode_datagram(data, size, seq, message) || seq == 0) {
+  if (!decode_datagram(data, size, seq, message, &pool_) || seq == 0) {
     // One bad datagram fails alone: datagrams are independent, so the
     // peer's later traffic still flows (unlike a corrupted TCP stream).
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -300,7 +302,12 @@ void UdpServer::sweep_idle_peers(std::chrono::steady_clock::time_point now) {
 
 bool UdpServer::poll(std::vector<Envelope>& out,
                      std::chrono::milliseconds timeout) {
-  return queue_.poll(out, timeout);
+  // Stamp pool provenance on the entries this call appended, so the
+  // consumer releases sample buffers back to THIS server's pool.
+  const std::size_t before = out.size();
+  const bool alive = queue_.poll(out, timeout);
+  for (std::size_t i = before; i < out.size(); ++i) out[i].pool = &pool_;
+  return alive;
 }
 
 void UdpServer::stop() {

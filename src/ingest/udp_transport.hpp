@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ingest/buffer_pool.hpp"
 #include "ingest/ring_transport.hpp"
 #include "ingest/tcp_transport.hpp"  // TransportError
 #include "ingest/transport.hpp"
@@ -69,9 +70,12 @@ void encode_datagram(std::uint64_t seq, const Message& message,
 /// Decodes one datagram. Defensive against arbitrary bytes: returns
 /// false (out/seq untouched or partial) on bad magic, truncation, a
 /// frame that fails the wire decoder, or trailing bytes — never throws,
-/// crashes, or over-allocates beyond the bytes that arrived.
+/// crashes, or over-allocates beyond the bytes that arrived. \p pool,
+/// when non-null, supplies the decoder's sample buffers (the server
+/// passes its own pool; standalone callers default to the global one).
 bool decode_datagram(const std::uint8_t* data, std::size_t size,
-                     std::uint64_t& seq, Message& out);
+                     std::uint64_t& seq, Message& out,
+                     SampleBufferPool* pool = nullptr);
 
 class UdpServer final : public SampleSource {
  public:
@@ -129,6 +133,10 @@ class UdpServer final : public SampleSource {
   Stats stats() const;
   TransportCounters transport_counters() const override;
 
+  /// The server-owned sample buffer pool the receiver's decoders
+  /// acquire from (and the consumer releases back to).
+  const SampleBufferPool* buffer_pool() const override { return &pool_; }
+
  private:
   struct SharedSocket;  ///< mutex-guarded fd holder (outlives stop())
   struct PeerSink;
@@ -164,6 +172,8 @@ class UdpServer final : public SampleSource {
   std::shared_ptr<SharedSocket> socket_;
   std::uint16_t port_ = 0;
   RingTransport queue_;
+  /// Server-local sample buffer recycling (see TcpServer::pool_).
+  SampleBufferPool pool_;
   std::thread receiver_;
   std::atomic<bool> stopping_{false};
 

@@ -263,6 +263,89 @@ TEST(RoundingKernel, ScalarAndAvx2BuildsAreBitIdentical) {
   }
 }
 
+TEST(AccumulateLanes, ScalarAvx2AndDispatchAreBitIdentical) {
+  // Three identical lane blocks fed the same adversarial sample stream
+  // through the scalar build, the AVX2 build, and the runtime dispatch;
+  // full state (sums/counts/last_ts) and the completed-transition
+  // return must agree byte-for-byte after every sample. Odd lane count
+  // exercises the vector tail; -0.0 and NaN values probe the blend-form
+  // sum update (`sum = in ? sum + v : sum`) the bit-identity relies on.
+  // NaN sums compare as "both NaN" rather than byte-equal: when both
+  // addends are NaN (inf + -inf followed by a NaN sample), IEEE lets
+  // the add return either operand's payload and the builds may commute
+  // the operands — the kernel only promises NaN-ness there.
+  constexpr std::size_t kLanes = 37;
+  std::vector<std::int32_t> begins(kLanes), ends(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    begins[i] = static_cast<std::int32_t>(i % 7);
+    ends[i] = begins[i] + 1 + static_cast<std::int32_t>(i % 11);
+  }
+  struct LaneState {
+    std::vector<double> sums;
+    std::vector<std::uint64_t> counts;
+    std::vector<std::int32_t> last_ts;
+    core::AccumulatorLanes lanes(const std::vector<std::int32_t>& begins,
+                                 const std::vector<std::int32_t>& ends) {
+      return {sums.data(), counts.data(), last_ts.data(),
+              begins.data(), ends.data(), sums.size()};
+    }
+  };
+  const LaneState fresh{std::vector<double>(kLanes, 0.0),
+                        std::vector<std::uint64_t>(kLanes, 0),
+                        std::vector<std::int32_t>(kLanes, -1)};
+  LaneState scalar = fresh, avx2 = fresh, dispatched = fresh;
+
+  util::Rng rng(13);
+  const double specials[] = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max()};
+  // Forward progress with duplicates and regressions mixed in.
+  const std::int32_t ticks[] = {0, 0,  1,  3,  2,  3,  4,  6,  5,  7,
+                                8, 8, 10,  9, 11, 12, 13, 15, 14, 16};
+  int step = 0;
+  for (const std::int32_t t : ticks) {
+    const double value =
+        (step % 3 == 0)
+            ? specials[static_cast<std::size_t>(step / 3) %
+                       std::size(specials)]
+            : rng.lognormal(2.0, 6.0) * (step % 2 == 0 ? 1.0 : -1.0);
+    ++step;
+    const std::size_t scalar_done =
+        core::accumulate_lanes_scalar(scalar.lanes(begins, ends), t, value);
+    const std::size_t avx2_done =
+        core::accumulate_lanes_avx2(avx2.lanes(begins, ends), t, value);
+    const std::size_t dispatch_done =
+        core::accumulate_lanes(dispatched.lanes(begins, ends), t, value);
+    ASSERT_EQ(scalar_done, avx2_done) << "t=" << t;
+    ASSERT_EQ(scalar_done, dispatch_done) << "t=" << t;
+    const auto sums_equal = [&](const std::vector<double>& a,
+                                const std::vector<double>& b) {
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+        if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) return false;
+      }
+      return true;
+    };
+    ASSERT_TRUE(sums_equal(scalar.sums, avx2.sums))
+        << "scalar/AVX2 sums diverge at t=" << t;
+    ASSERT_TRUE(sums_equal(scalar.sums, dispatched.sums))
+        << "scalar/dispatch sums diverge at t=" << t;
+    ASSERT_EQ(scalar.counts, avx2.counts) << "t=" << t;
+    ASSERT_EQ(scalar.counts, dispatched.counts) << "t=" << t;
+    ASSERT_EQ(scalar.last_ts, avx2.last_ts) << "t=" << t;
+    ASSERT_EQ(scalar.last_ts, dispatched.last_ts) << "t=" << t;
+  }
+  // The stream made real progress: some lanes completed, some gathered
+  // samples — the agreement above was not vacuous.
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : scalar.counts) total += count;
+  EXPECT_GT(total, 0u);
+}
+
 TEST(RoundingKernel, MatchesLegacyFormulaOnNormalValues) {
   util::Rng rng(11);
   for (int depth = 1; depth <= 12; ++depth) {

@@ -170,9 +170,13 @@ TEST_F(MultiSourceE2e, SplitWorkloadAcrossThreeTransportsMatchesBaseline) {
   const std::string serve_log = temp_path("ms_serve.log");
   const std::string serve_pid = temp_path("ms_serve.pid");
   ServeGuard serve_guard{serve_pid};
+  // --workers 2 runs the sharded worker pool: the verdict-parity gate
+  // at the end of this test then also proves the pooled scorer
+  // reproduces the single-threaded baseline end to end.
   spawn(cli() + " serve --dict " + dict_path_ +
             " --listen tcp:0 --listen udp:0 --listen shm:" + shm_name +
-            " --max-jobs " + std::to_string(executions_) + " --quiet",
+            " --workers 2 --max-jobs " + std::to_string(executions_) +
+            " --quiet",
         serve_log, serve_pid);
   const int tcp_port = await_marker_int(serve_log, "listening on port ");
   const int udp_port = await_marker_int(serve_log, "listening on udp port ");
@@ -205,6 +209,17 @@ TEST_F(MultiSourceE2e, SplitWorkloadAcrossThreeTransportsMatchesBaseline) {
   EXPECT_NE(stats_output.find("service.source.1.jobs_opened"),
             std::string::npos)
       << stats_output;
+  // Sample-buffer recycling counters: the process-global pool rows and
+  // the per-source rows of each server-owned pool (every listener here
+  // decodes frames, so each one carries pool_* rows).
+  EXPECT_NE(stats_output.find("pool.hits "), std::string::npos)
+      << stats_output;
+  EXPECT_NE(stats_output.find("pool.discards "), std::string::npos)
+      << stats_output;
+  EXPECT_NE(stats_output.find("source.0.pool_hits "), std::string::npos)
+      << stats_output;
+  EXPECT_NE(stats_output.find("source.1.pool_misses "), std::string::npos)
+      << stats_output;
 
   // The same scrape as Prometheus text exposition.
   auto [prometheus_status, prometheus_output] =
@@ -220,6 +235,12 @@ TEST_F(MultiSourceE2e, SplitWorkloadAcrossThreeTransportsMatchesBaseline) {
   EXPECT_NE(
       prometheus_output.find("efd_source_gaps{source=\"1\",name=\"udp:0\"} 0"),
       std::string::npos)
+      << prometheus_output;
+  EXPECT_NE(prometheus_output.find("# TYPE efd_pool_hits counter"),
+            std::string::npos)
+      << prometheus_output;
+  EXPECT_NE(prometheus_output.find("efd_source_pool_hits{source=\"0\""),
+            std::string::npos)
       << prometheus_output;
 
   auto [shm_status, shm_output] =

@@ -134,6 +134,86 @@ TEST_F(OnlineFixture, UnknownStreamSaysUnknown) {
   EXPECT_EQ(online.result()->prediction(), kUnknownApplication);
 }
 
+TEST_F(OnlineFixture, PushSlotDuplicateAndOutOfOrderMatchesCleanStream) {
+  // The SoA lane path (push_slot -> accumulate_lanes) must keep the
+  // WindowAccumulator contract: a tick already seen, or older than the
+  // newest seen, is dropped — injecting garbage on such ticks leaves
+  // the verdict identical to a clean stream's.
+  OnlineRecognizer clean(dictionary_, 2);
+  OnlineRecognizer noisy(dictionary_, 2);
+  const std::uint32_t slot = noisy.metric_slot("nr_mapped_vmstat");
+  ASSERT_NE(slot, kNoMetricSlot);
+  for (int t = 0; t < 130; ++t) {
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      clean.push_slot(node, slot, t, 6030.0);
+      noisy.push_slot(node, slot, t, 6030.0);
+      noisy.push_slot(node, slot, t, 424242.0);  // duplicate tick: ignored
+      if (t > 0) {
+        noisy.push_slot(node, slot, t - 1, 424242.0);  // stale tick: ignored
+      }
+    }
+  }
+  ASSERT_TRUE(clean.result().has_value());
+  ASSERT_TRUE(noisy.result().has_value());
+  EXPECT_EQ(clean.result()->prediction(), "ft");
+  EXPECT_EQ(noisy.result()->prediction(), clean.result()->prediction());
+  EXPECT_EQ(noisy.result()->votes, clean.result()->votes);
+  EXPECT_EQ(noisy.result()->matched_count, clean.result()->matched_count);
+}
+
+TEST(OnlineRecognizer, PushSlotLaneStateMatchesWindowAccumulator) {
+  // Bit-for-bit agreement between the lane kernel and the scalar
+  // WindowAccumulator reference on an adversarial tick sequence:
+  // duplicates, regressions, pre-window and post-window ticks. The
+  // comparison is on the exported incremental state (sum/count/last_t
+  // per window), not just the final mean.
+  telemetry::Dataset dataset({"m"});
+  telemetry::ExecutionRecord record(1, {"app", "X"}, 1, 1);
+  for (int t = 0; t < 20; ++t) record.series(0, 0).push_back(5.0);
+  dataset.add(std::move(record));
+
+  FingerprintConfig config;
+  config.metrics = {"m"};
+  config.intervals = {{2, 6}, {8, 12}};
+  config.rounding_depth = 2;
+  const Dictionary dictionary = train_dictionary(dataset, config);
+
+  OnlineRecognizer online(dictionary, 1);
+  const std::uint32_t slot = online.metric_slot("m");
+  ASSERT_NE(slot, kNoMetricSlot);
+  WindowAccumulator first({2, 6});
+  WindowAccumulator second({8, 12});
+
+  const std::pair<int, double> feed[] = {
+      {0, 1.0},    // before both windows: advances last_t only
+      {3, 7.0},    // lands in the first window
+      {3, 99.0},   // duplicate tick: dropped
+      {5, 11.0},   // first window's final tick
+      {4, 99.0},   // regression: dropped
+      {9, 2.0},    // lands in the second window
+      {7, 99.0},   // regression across a gap: dropped
+      {10, 4.0},   // second window
+      {10, 4.0},   // duplicate (same value — still dropped, count once)
+      {12, 8.0},   // past the last window end
+  };
+  for (const auto& [t, value] : feed) {
+    online.push_slot(0, slot, t, value);
+    first.push(t, value);
+    second.push(t, value);
+  }
+
+  const auto states = online.export_state();
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0].sum, first.sum());
+  EXPECT_EQ(states[0].count, first.count());
+  EXPECT_EQ(states[0].last_t, first.last_t());
+  EXPECT_EQ(states[1].sum, second.sum());
+  EXPECT_EQ(states[1].count, second.count());
+  EXPECT_EQ(states[1].last_t, second.last_t());
+  EXPECT_DOUBLE_EQ(first.mean(), 9.0);   // (7 + 11) / 2
+  EXPECT_DOUBLE_EQ(second.mean(), 3.0);  // (2 + 4) / 2
+}
+
 TEST(OnlineRecognizer, MultiIntervalWaitsForLastWindow) {
   telemetry::Dataset dataset({"m"});
   telemetry::ExecutionRecord record(1, {"app", "X"}, 1, 1);

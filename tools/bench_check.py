@@ -71,9 +71,17 @@ def main(argv):
             failures += 1
             continue
         value = results[field]
-        verdict = "ok  " if ok(value, bound) else "FAIL"
-        print(f"{verdict} {field} = {value:.4g} ({relation} {bound})")
-        failures += verdict == "FAIL"
+        passed = ok(value, bound)
+        verdict = "ok  " if passed else "FAIL"
+        line = f"{verdict} {field} = {value:.4g} ({relation} {bound})"
+        if passed and bound:
+            # How much headroom the pass has, relative to the bound —
+            # a shrinking margin across PRs flags a regression before
+            # it trips the gate.
+            margin = value - bound if relation == ">=" else bound - value
+            line += f", margin {margin / abs(bound) * 100.0:+.1f}%"
+        print(line)
+        failures += not passed
     return 1 if failures else 0
 
 

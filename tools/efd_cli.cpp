@@ -108,7 +108,7 @@ int usage() {
       "             [--listen tcp:PORT|udp:PORT|shm:NAME]...  (repeatable:\n"
       "             every listener feeds the same service; default tcp)\n"
       "             [--policy block|drop-oldest|reject] [--queue-capacity N]\n"
-      "             [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
+      "             [--workers N] [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
       "             [--allow-shutdown] [--allow-swap]\n"
       "             [--snapshot-path FILE] [--snapshot-interval-ms MS]\n"
       "             [--snapshot-every VERDICTS] [--restore]\n"
@@ -626,6 +626,10 @@ int cmd_serve(const util::ArgParser& args) {
   }
   service_config.job_queue_capacity =
       static_cast<std::size_t>(args.get_int("queue-capacity", 4096));
+  // --workers N > 0 shards recognition across a persistent worker pool;
+  // 0 keeps the single-threaded poll-loop drain (process_pending).
+  service_config.worker_count =
+      static_cast<std::size_t>(args.get_int("workers", 0));
   service_config.stale_ttl =
       std::chrono::seconds(args.get_int("ttl-seconds", 600));
 
@@ -635,7 +639,8 @@ int cmd_serve(const util::ArgParser& args) {
   std::cout << "serving dictionary: " << dictionary.size() << " keys across "
             << dictionary.shard_count() << " shards (policy "
             << core::backpressure_policy_name(service_config.policy)
-            << ", queue " << service_config.job_queue_capacity << ", ttl "
+            << ", queue " << service_config.job_queue_capacity << ", workers "
+            << service_config.worker_count << ", ttl "
             << args.get_int("ttl-seconds", 600) << " s)\n";
   core::RecognitionService service(std::move(dictionary), service_config);
 
