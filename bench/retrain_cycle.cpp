@@ -17,19 +17,27 @@
 ///     p99 and throughput vs. steady state (the ISSUE's "within 20%"
 ///     health check, printed as a ratio and emitted as JSONL).
 ///
+/// Phase 2b sizes the durable-capture formats: one EFD-SNAP-V1 full
+/// snapshot vs an EFD-SNAP-V2 base + steady-state delta — the
+/// delta-to-base byte ratio is the serving pipeline's per-cadence
+/// durability bandwidth saving.
+///
 /// JSONL fields (stable names): jobs, window_jobs, window_samples,
-/// snapshot_ms, train_ms, gate_ms, swap_us, p99_steady_us,
-/// p99_retrain_us, throughput_steady, throughput_retrain,
+/// snapshot_ms, train_ms, gate_ms, swap_us, snapshot_full_bytes,
+/// snapshot_base_bytes, snapshot_delta_bytes, snapshot_chain_ratio,
+/// p99_steady_us, p99_retrain_us, throughput_steady, throughput_retrain,
 /// throughput_ratio.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/online/recognition_service.hpp"
+#include "core/online/service_snapshot.hpp"
 #include "core/trainer.hpp"
 #include "retrain/retrain_controller.hpp"
 
@@ -150,6 +158,34 @@ int main(int argc, char** argv) {
           .count() /
       kSnapshotRounds;
 
+  // ---- Phase 2b: durable capture sizes — EFD-SNAP-V1 full snapshot
+  // vs an EFD-SNAP-V2 steady-state delta. Between cadence ticks only a
+  // handful of streams move, so the delta (changed streams + counters,
+  // no Dictionary) must be a small fraction of the base; the serving
+  // pipeline writes these at --snapshot-every cadence, so this ratio IS
+  // the steady-state durability bandwidth saving. ----
+  std::ostringstream full_snap;
+  service.snapshot(full_snap);
+  const std::size_t snapshot_full_bytes = full_snap.str().size();
+  core::SnapshotChainState chain_state;
+  std::ostringstream base_capture;
+  const core::SnapshotCaptureInfo base_info =
+      service.snapshot_capture(base_capture, chain_state);
+  // One job's worth of traffic moves between the base and the delta.
+  std::vector<double> capture_us;
+  std::uint64_t capture_samples = 0;
+  stream_job(service, recorder, dataset.dataset.size() * 2 + 1,
+             dataset.dataset, dataset.dataset.record(0), capture_us,
+             capture_samples);
+  std::ostringstream delta_capture;
+  const core::SnapshotCaptureInfo delta_info =
+      service.snapshot_capture(delta_capture, chain_state);
+  const double chain_ratio =
+      delta_info.bytes > 0
+          ? static_cast<double>(base_info.bytes) /
+                static_cast<double>(delta_info.bytes)
+          : 0.0;
+
   // ---- Phase 3: one full train + gate cycle. ----
   const retrain::RetrainReport cycle = controller.run_cycle();
 
@@ -205,6 +241,16 @@ int main(int argc, char** argv) {
                  util::format_fixed(cycle.gate_seconds * 1e3, 3) + " ms"});
   table.add_row({"epoch swap", util::format_fixed(swap_us, 1) + " us" +
                                    (outcome.already_active ? " (noop)" : "")});
+  table.add_row({"full snapshot", std::to_string(snapshot_full_bytes) + " B"});
+  table.add_row({"chain base", std::to_string(base_info.bytes) + " B"});
+  table.add_row({"chain delta",
+                 std::to_string(delta_info.bytes) + " B (" +
+                     std::to_string(delta_info.streams_written) + " of " +
+                     std::to_string(delta_info.streams_written +
+                                    delta_info.streams_unchanged) +
+                     " streams changed)"});
+  table.add_row({"chain ratio", util::format_fixed(chain_ratio, 1) +
+                                    "x smaller per steady-state capture"});
   table.add_row({"p99 push, steady",
                  util::format_fixed(percentile(steady_us, 0.99), 1) + " us"});
   table.add_row({"p99 push, retraining",
@@ -237,6 +283,10 @@ int main(int argc, char** argv) {
       .field("train_ms", cycle.train_seconds * 1e3)
       .field("gate_ms", cycle.gate_seconds * 1e3)
       .field("swap_us", swap_us)
+      .field("snapshot_full_bytes", snapshot_full_bytes)
+      .field("snapshot_base_bytes", base_info.bytes)
+      .field("snapshot_delta_bytes", delta_info.bytes)
+      .field("snapshot_chain_ratio", chain_ratio)
       .field("p99_steady_us", percentile(steady_us, 0.99))
       .field("p99_retrain_us", percentile(retrain_us, 0.99))
       .field("throughput_steady", throughput_steady)

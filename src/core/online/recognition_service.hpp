@@ -82,6 +82,7 @@
 
 #include "core/dictionary_handle.hpp"
 #include "core/online_recognizer.hpp"
+#include "core/online/service_snapshot.hpp"
 #include "core/sharded_dictionary.hpp"
 
 namespace efd::util {
@@ -291,6 +292,32 @@ class RecognitionService {
   /// dictionary replaces the constructor's (keeping its shard count);
   /// restored streams' TTL clocks restart at "now".
   ServiceRestoreInfo restore(std::istream& in);
+
+  /// Writes one EFD-SNAP-V2 capture — a BASE (complete snapshot,
+  /// Dictionary included) or a DELTA (only streams whose serialized
+  /// state changed since \p chain's last capture, plus closed jobs and
+  /// fresh Meta/Verdicts/Stats[/Retrain]). A base is written when the
+  /// chain is empty, when the active dictionary epoch or swap count
+  /// differs from the chain's base, or when \p force_base is set
+  /// (callers cap chain length with it); otherwise a delta chained to
+  /// the previous capture by id. \p chain is caller-owned bookkeeping,
+  /// updated on success. Same live-traffic safety as snapshot().
+  SnapshotCaptureInfo snapshot_capture(
+      std::ostream& out, SnapshotChainState& chain, bool force_base = false,
+      std::uint64_t replay_cursor = 0,
+      std::span<const std::uint8_t> retrain_state = {},
+      std::span<const SourceCursor> source_cursors = {}) const;
+
+  /// Rebuilds service state from an EFD-SNAP-V2 capture chain: the
+  /// first stream must be a base, each subsequent one a delta whose
+  /// parent_id equals the previous capture_id. Replay is all-or-nothing
+  /// across the WHOLE chain — any broken link, CRC mismatch, or format
+  /// violation throws SnapshotError with the service untouched (the
+  /// caller decides whether to retry with a shorter chain). Latest
+  /// capture wins for Meta/Verdicts/Stats/Retrain; stream sections
+  /// add/replace by job id and ClosedJobs removes. Same preconditions
+  /// as restore().
+  ServiceRestoreInfo restore_chain(std::span<std::istream* const> parts);
 
   /// Declares an ingest source tag up front so its (possibly all-zero)
   /// counters appear in stats().by_source immediately. A multi-source
@@ -530,6 +557,23 @@ class RecognitionService {
   /// Total undrained verdicts across the shared queue and every
   /// worker's staging area.
   std::size_t pending_verdict_count() const;
+
+  /// Snapshot/restore internals (service_snapshot.cpp): the section
+  /// writer shared by the V1 full snapshot and the V2 base/delta
+  /// capture encoders, and the staged all-or-nothing decoder shared by
+  /// restore() and restore_chain().
+  struct RestoreStaging;
+  std::size_t write_snapshot_sections(
+      std::ostream& out,
+      const std::shared_ptr<DictionaryHandle::Epoch>& dict_epoch,
+      std::uint64_t dict_swap_count, SnapshotChainState* chain, bool delta,
+      SnapshotCaptureInfo* info, std::uint64_t replay_cursor,
+      std::span<const std::uint8_t> retrain_state,
+      std::span<const SourceCursor> source_cursors) const;
+  void decode_snapshot_sections(std::istream& in, RestoreStaging& staging,
+                                bool delta) const;
+  ServiceRestoreInfo commit_staging(RestoreStaging&& staging);
+  void require_fresh_for_restore() const;
 
   /// The worker this thread runs (nullptr on every non-worker thread).
   /// Scratch/staging are borrowed only after an owner check, so a

@@ -1,7 +1,9 @@
 #pragma once
 /// \file service_snapshot.hpp
-/// \brief EFD-SNAP-V1: the durable service-state format behind
-/// RecognitionService::snapshot() / restore().
+/// \brief EFD-SNAP-V1 (full snapshots) and EFD-SNAP-V2 (incremental
+/// base+delta capture chains) — the durable service-state formats behind
+/// RecognitionService::snapshot() / restore() / snapshot_capture() /
+/// restore_chain().
 ///
 /// A `serve` restart must not lose in-flight jobs: the snapshot captures
 /// everything a fresh process needs to carry on — the active dictionary
@@ -62,7 +64,33 @@
 ///   End        body := (empty; REQUIRED terminator)
 ///
 /// Sections appear in exactly this order: Meta, Dictionary, Stream*,
-/// Verdicts, Stats, [Retrain,] End. The decoder is defensive by
+/// Verdicts, Stats, [Retrain,] End.
+///
+/// EFD-SNAP-V2 — incremental capture chains. A V2 *capture* reuses the
+/// V1 section vocabulary behind a chain envelope:
+///
+///   capture  := magic "EFDSNAP2" | u8 kind | u64 capture_id
+///               | u64 parent_id | section*
+///   kind     := 1 (base) | 2 (delta)
+///
+/// A BASE capture (parent_id = 0) carries the exact V1 section stream —
+/// Dictionary included — and is a complete snapshot on its own. A DELTA
+/// carries only what changed since its parent capture: Meta (always —
+/// the cursor moved), Stream sections only for streams whose serialized
+/// state differs from the parent capture (tracked by CRC+length
+/// digests in SnapshotChainState), a ClosedJobs section naming streams
+/// that disappeared since the parent, then fresh Verdicts/Stats
+/// [/Retrain] (small; latest capture wins on replay):
+///
+///   delta sections := Meta, Stream*, ClosedJobs, Verdicts, Stats,
+///                     [Retrain,] End
+///   ClosedJobs body := u32 count | count * u64 job_id
+///
+/// restore_chain() replays base → deltas all-or-nothing: every link's
+/// parent_id must equal the previous capture_id, every section is
+/// CRC-checked, and any violation throws SnapshotError with the service
+/// untouched (callers fall back to the last complete base, loudly).
+/// The decoder is defensive by
 /// construction — it
 /// is fed files that may have been truncated by a crashing writer or
 /// corrupted at rest, and must never crash, read out of bounds, or
@@ -76,11 +104,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace efd::core {
 
 inline constexpr std::size_t kSnapshotMagicBytes = 8;
 inline constexpr char kSnapshotMagic[kSnapshotMagicBytes + 1] = "EFDSNAP1";
+inline constexpr char kSnapshotMagicV2[kSnapshotMagicBytes + 1] = "EFDSNAP2";
 
 /// Decode guard: a section whose length prefix exceeds this fails the
 /// restore before anything is allocated. The dictionary section is the
@@ -95,16 +125,62 @@ enum class SnapshotSection : std::uint8_t {
   kVerdicts = 4,
   kStats = 5,
   kEnd = 6,
-  kRetrain = 7,  ///< optional opaque retrain-subsystem state
+  kRetrain = 7,     ///< optional opaque retrain-subsystem state
+  kClosedJobs = 8,  ///< V2 deltas only: streams gone since the parent
 };
 
-/// Any EFD-SNAP-V1 violation: bad magic, truncation, CRC mismatch,
-/// hostile lengths, out-of-order or unknown sections, or stream state
-/// inconsistent with the embedded dictionary. restore() guarantees the
-/// service is untouched when this is thrown.
+/// V2 capture kinds (the envelope's `kind` byte).
+enum class CaptureKind : std::uint8_t {
+  kBase = 1,   ///< complete snapshot (Dictionary section included)
+  kDelta = 2,  ///< changes since the parent capture only
+};
+
+/// Any EFD-SNAP violation: bad magic, truncation, CRC mismatch,
+/// hostile lengths, out-of-order or unknown sections, a broken chain
+/// link, or stream state inconsistent with the embedded dictionary.
+/// restore() / restore_chain() guarantee the service is untouched when
+/// this is thrown.
 class SnapshotError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// CRC + length digest of one stream's serialized section payload — how
+/// the delta encoder decides a stream is unchanged without keeping the
+/// parent capture's bytes around.
+struct StreamDigest {
+  std::uint32_t crc = 0;
+  std::uint32_t bytes = 0;
+
+  bool operator==(const StreamDigest&) const = default;
+};
+
+/// Caller-owned chain bookkeeping across snapshot_capture() calls: the
+/// id counter, the chain head, the base's dictionary identity (an epoch
+/// or swap-count change forces the next capture to be a base), and the
+/// per-stream digests of the last capture. Start from a
+/// default-constructed state for a fresh chain; the first capture is
+/// always a base.
+struct SnapshotChainState {
+  std::uint64_t next_capture_id = 1;
+  std::uint64_t last_capture_id = 0;  ///< 0 = no capture yet
+  std::uint64_t base_capture_id = 0;
+  std::uint64_t base_epoch = 0;
+  std::uint64_t base_swap_count = 0;
+  std::size_t deltas_since_base = 0;
+  /// job id → digest of its stream payload as of the last capture.
+  std::unordered_map<std::uint64_t, StreamDigest> streams;
+};
+
+/// What one snapshot_capture() call wrote.
+struct SnapshotCaptureInfo {
+  std::uint64_t capture_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 for a base
+  bool base = false;
+  std::size_t bytes = 0;             ///< capture size on the wire/disk
+  std::size_t streams_written = 0;   ///< stream sections in this capture
+  std::size_t streams_unchanged = 0; ///< skipped by digest match (delta)
+  std::size_t jobs_closed = 0;       ///< ClosedJobs entries (delta)
 };
 
 }  // namespace efd::core

@@ -1,6 +1,7 @@
 #include "ingest/pipeline.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,7 @@
 
 #include "core/online/service_snapshot.hpp"
 #include "ingest/buffer_pool.hpp"
+#include "ingest/snapshot_chain.hpp"
 #include "retrain/retrain_controller.hpp"
 #include "util/thread_pool.hpp"
 
@@ -218,13 +220,35 @@ void IngestPipeline::dispatch(Envelope& envelope) {
         envelope.reply->deliver(make_stats_reply(render_stats_text()));
       }
       break;
+    case MessageType::kFollowRequest:
+      handle_follow_request(envelope);
+      break;
+    case MessageType::kSnapAck:
+      // A follower's receipt: the capture is durable on ITS disk (or
+      // was rejected — the follower re-handshakes on its own).
+      (envelope.message.snap_ack.ok ? snap_acks_ok_ : snap_acks_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MessageType::kPromote:
+      // Promotion is a follower-side operation; a leader politely
+      // declines so `efd_cli promote` pointed at the wrong endpoint
+      // fails loudly instead of hanging.
+      unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
+      if (envelope.reply != nullptr) {
+        envelope.reply->deliver(
+            make_promote_ack(false, 0, "this endpoint is not a follower"));
+      }
+      break;
     case MessageType::kVerdict:
     case MessageType::kSwapAck:
     case MessageType::kStatsReply:
     case MessageType::kRetrainReport:
+    case MessageType::kSnapBase:
+    case MessageType::kSnapDelta:
+    case MessageType::kPromoteAck:
     default:
-      // Verdicts, acks, stats replies, and retrain reports flow outbound
-      // only; anything else is a peer bug.
+      // Verdicts, acks, stats replies, retrain reports, and replicated
+      // captures flow outbound only; anything else is a peer bug.
       unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
@@ -274,12 +298,35 @@ std::string IngestPipeline::render_stats_text() const {
       << "ingest.evicted " << pipeline.evicted << "\n"
       << "ingest.snapshots_written " << pipeline.snapshots_written << "\n"
       << "ingest.snapshot_failures " << pipeline.snapshot_failures << "\n"
+      << "ingest.snapshot_bases " << pipeline.snapshot_bases << "\n"
+      << "ingest.snapshot_deltas " << pipeline.snapshot_deltas << "\n"
+      << "ingest.restore_deltas_discarded "
+      << pipeline.restore_deltas_discarded << "\n"
+      << "ingest.followers_accepted " << pipeline.followers_accepted << "\n"
+      << "ingest.follow_rejected " << pipeline.follow_rejected << "\n"
+      << "ingest.captures_replicated " << pipeline.captures_replicated << "\n"
+      << "ingest.captures_oversize " << pipeline.captures_oversize << "\n"
+      << "ingest.snap_acks_ok " << pipeline.snap_acks_ok << "\n"
+      << "ingest.snap_acks_failed " << pipeline.snap_acks_failed << "\n"
       << "ingest.jobs_restored " << pipeline.jobs_restored << "\n"
       << "ingest.jobs_rebound " << pipeline.jobs_rebound << "\n"
       << "ingest.dictionary_swaps " << pipeline.dictionary_swaps << "\n"
       << "ingest.swaps_rejected " << pipeline.swaps_rejected << "\n"
       << "ingest.stats_requests " << pipeline.stats_requests << "\n"
       << "ingest.retrain_reports " << pipeline.retrain_reports << "\n";
+
+  // The scrape format is one value token per line, so the reason text
+  // is whitespace-folded; "none" keeps the row present (and diffable)
+  // on healthy endpoints.
+  std::string snapshot_error = pipeline.snapshot_last_error;
+  if (snapshot_error.empty()) {
+    snapshot_error = "none";
+  } else {
+    std::replace_if(
+        snapshot_error.begin(), snapshot_error.end(),
+        [](unsigned char c) { return std::isspace(c) != 0; }, '_');
+  }
+  out << "ingest.snapshot_last_error " << snapshot_error << "\n";
 
   // Process-global sample-buffer pool (sources without their own pool
   // recycle here). hits/misses gauge whether the allocation-free decode
@@ -381,51 +428,160 @@ void IngestPipeline::publish_retrain_reports() {
   }
 }
 
+void IngestPipeline::set_snapshot_error(std::string reason) {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  snapshot_last_error_ = std::move(reason);
+}
+
 void IngestPipeline::write_snapshot() {
-  const std::string temp_path = config_.snapshot_path + ".tmp";
+  // Encode the capture in memory first: base (full, Dictionary
+  // included) when the dictionary epoch moved or the chain is at its
+  // length limit, an incremental delta otherwise.
+  std::ostringstream buffer(std::ios::binary);
+  core::SnapshotCaptureInfo info;
   try {
-    {
-      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-      if (!out) throw core::SnapshotError("cannot open " + temp_path);
-      std::vector<std::uint8_t> retrain_state;
-      if (config_.retrain != nullptr) {
-        retrain_state = config_.retrain->encode_state();
-      }
-      // One named resume cursor per registered source (its lifetime
-      // envelope count), alongside the legacy aggregate cursor. Only
-      // genuinely multi-source pipelines write the extended Meta body:
-      // a single-source deployment's snapshots stay byte-compatible
-      // with the previous binary (its per-source cursor would be
-      // redundant with the aggregate anyway), so a rollback can still
-      // restore.
-      std::vector<core::SourceCursor> cursors;
-      const std::vector<SourceMuxStats> source_stats = sources_->stats();
-      if (source_stats.size() > 1) {
-        for (const SourceMuxStats& source : source_stats) {
-          cursors.push_back({source.name, source.envelopes});
-        }
-      }
-      service_.snapshot(out, envelopes_.load(std::memory_order_relaxed),
-                        retrain_state, cursors);
-      if (!out.flush()) throw core::SnapshotError("flush failed");
+    std::vector<std::uint8_t> retrain_state;
+    if (config_.retrain != nullptr) {
+      retrain_state = config_.retrain->encode_state();
     }
-    if (std::rename(temp_path.c_str(), config_.snapshot_path.c_str()) != 0) {
-      throw core::SnapshotError("rename to " + config_.snapshot_path +
-                                " failed");
+    // One named resume cursor per registered source (its lifetime
+    // envelope count), alongside the legacy aggregate cursor. Only
+    // genuinely multi-source pipelines write the extended Meta body:
+    // a single-source deployment's per-source cursor would be
+    // redundant with the aggregate.
+    std::vector<core::SourceCursor> cursors;
+    const std::vector<SourceMuxStats> source_stats = sources_->stats();
+    if (source_stats.size() > 1) {
+      for (const SourceMuxStats& source : source_stats) {
+        cursors.push_back({source.name, source.envelopes});
+      }
     }
-  } catch (const std::exception&) {
-    // Durability is best-effort while serving: count it, keep going
-    // (the previous snapshot, if any, is still intact thanks to the
-    // tmp+rename discipline).
+    const bool force_base =
+        config_.snapshot_chain_limit == 0 ||
+        chain_.deltas_since_base >= config_.snapshot_chain_limit;
+    info = service_.snapshot_capture(
+        buffer, chain_, force_base,
+        envelopes_.load(std::memory_order_relaxed), retrain_state, cursors);
+  } catch (const std::exception& error) {
+    // Durability is best-effort while serving: count it, surface the
+    // reason in the scrape, keep going. The chain state is untouched
+    // (snapshot_capture commits only on success).
     snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
-    std::remove(temp_path.c_str());
+    set_snapshot_error(error.what());
     return;
   }
+
+  const std::string blob = std::move(buffer).str();
+  const std::string target =
+      info.base ? config_.snapshot_path
+                : delta_path(config_.snapshot_path, info.capture_id);
+  std::string error;
+  if (!write_file_durable(target, blob.data(), blob.size(), &error)) {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    set_snapshot_error(target + ": " + error);
+    // The capture id is burned but its bytes never became durable, so
+    // the on-disk chain no longer links to the in-memory one: force
+    // the next capture to start a fresh base.
+    chain_.last_capture_id = 0;
+    return;
+  }
+  if (info.base) {
+    // The new base supersedes every delta. Deleting AFTER the rename
+    // means a crash in between leaves stale deltas whose parent ids no
+    // longer chain — which restore detects and discards loudly in
+    // favor of this (correct) base.
+    remove_chain_deltas(config_.snapshot_path);
+    snapshot_bases_.fetch_add(1, std::memory_order_relaxed);
+    chain_records_.clear();
+  } else {
+    snapshot_deltas_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Remember the capture for follower catch-up and stream it to every
+  // live follower. 18 = the kSnapBase/kSnapDelta frame's own header
+  // (u32 len | version | type | u64 capture_id | u64 parent_id).
+  ChainRecord record;
+  record.base = info.base;
+  record.capture_id = info.capture_id;
+  record.parent_id = info.parent_id;
+  if (blob.size() + 18 <= kMaxFrameBytes) {
+    record.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        blob.begin(), blob.end());
+  }
+  if (!followers_.empty()) {
+    if (record.bytes == nullptr) {
+      captures_oversize_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const Message frame =
+          make_snap_capture(record.base, record.capture_id, record.parent_id,
+                            std::vector<std::uint8_t>(*record.bytes));
+      for (auto it = followers_.begin(); it != followers_.end();) {
+        if (const auto sink = it->lock()) {
+          sink->deliver(frame);
+          captures_replicated_.fetch_add(1, std::memory_order_relaxed);
+          ++it;
+        } else {
+          it = followers_.erase(it);  // follower is gone
+        }
+      }
+    }
+  }
+  chain_records_.push_back(std::move(record));
+
   const std::uint64_t count =
       snapshots_written_.fetch_add(1, std::memory_order_relaxed) + 1;
   verdicts_at_last_snapshot_ =
       verdicts_delivered_.load(std::memory_order_relaxed);
-  if (config_.on_snapshot) config_.on_snapshot(count, config_.snapshot_path);
+  if (config_.on_snapshot) config_.on_snapshot(count, target);
+}
+
+void IngestPipeline::handle_follow_request(Envelope& envelope) {
+  if (!config_.allow_followers || envelope.reply == nullptr) {
+    // Gated off, or a fire-and-forget transport with no channel to
+    // stream captures back on.
+    follow_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (envelope.reply != nullptr) {
+      envelope.reply->deliver(
+          make_snap_ack(false, 0, "followers disabled on this endpoint"));
+    }
+    return;
+  }
+
+  // Catch-up: everything after the follower's durable cursor. A cursor
+  // we do not hold (leader restarted, follower from another lineage)
+  // gets the full chain — the base resets the follower's local chain.
+  std::size_t start = 0;
+  if (const std::uint64_t cursor = envelope.message.capture_id; cursor != 0) {
+    for (std::size_t i = 0; i < chain_records_.size(); ++i) {
+      if (chain_records_[i].capture_id == cursor) {
+        start = i + 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = start; i < chain_records_.size(); ++i) {
+    const ChainRecord& record = chain_records_[i];
+    if (record.bytes == nullptr) {
+      // Too large for a wire frame (the kSwapDictionary limitation):
+      // nothing after it can apply either. The follower re-syncs at
+      // the next base small enough to travel.
+      captures_oversize_.fetch_add(1, std::memory_order_relaxed);
+      envelope.reply->deliver(make_snap_ack(
+          false, record.capture_id,
+          "capture exceeds the wire frame limit; awaiting a smaller base"));
+      break;
+    }
+    envelope.reply->deliver(
+        make_snap_capture(record.base, record.capture_id, record.parent_id,
+                          std::vector<std::uint8_t>(*record.bytes)));
+    captures_replicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  followers_accepted_.fetch_add(1, std::memory_order_relaxed);
+  for (const std::weak_ptr<VerdictSink>& existing : followers_) {
+    if (existing.lock() == envelope.reply) return;  // re-handshake, same link
+  }
+  followers_.push_back(envelope.reply);
 }
 
 std::uint64_t IngestPipeline::flush_verdicts() {
@@ -494,12 +650,28 @@ std::uint64_t IngestPipeline::run() {
     // fresh), never something to guess past silently.
     std::error_code probe;
     if (std::filesystem::exists(config_.snapshot_path, probe)) {
-      std::ifstream in(config_.snapshot_path, std::ios::binary);
-      if (!in.good()) {
-        throw core::SnapshotError("cannot open snapshot " +
-                                  config_.snapshot_path);
+      const ChainRestoreResult restored =
+          restore_service_from_chain(service_, config_.snapshot_path);
+      if (!restored.fallback_error.empty()) {
+        // The base restored but its delta chain did not: the discard
+        // is loud — stderr for the operator, the scrape for monitors —
+        // never a silent rewind to older state.
+        restore_deltas_discarded_.store(restored.deltas_discarded,
+                                        std::memory_order_relaxed);
+        set_snapshot_error("restore discarded " +
+                           std::to_string(restored.deltas_discarded) +
+                           " delta(s): " + restored.fallback_error);
+        std::fprintf(stderr,
+                     "warning: snapshot chain at %s: discarded %zu delta(s) "
+                     "and fell back to the base: %s\n",
+                     config_.snapshot_path.c_str(), restored.deltas_discarded,
+                     restored.fallback_error.c_str());
       }
-      const core::ServiceRestoreInfo info = service_.restore(in);
+      // Continue the restored capture lineage: the next capture is a
+      // fresh base whose id follows everything already on disk, so a
+      // follower that held the old chain sees a reset, never a rewind.
+      chain_.next_capture_id = restored.last_capture_id + 1;
+      const core::ServiceRestoreInfo& info = restored.info;
       jobs_restored_.store(info.jobs_restored, std::memory_order_relaxed);
       // Seed per-source envelope counters from the snapshot's named
       // cursors, so lifetime source.<id>.* rows stay continuous across
@@ -536,6 +708,13 @@ std::uint64_t IngestPipeline::run() {
   bool more = true;
 
   while (more && !stop_.load(std::memory_order_acquire)) {
+    if (config_.external_stop != nullptr &&
+        config_.external_stop->load(std::memory_order_relaxed)) {
+      // Signal-driven shutdown (SIGTERM/SIGINT in the CLI): break into
+      // the normal wind-down below — drain, close jobs, final snapshot
+      // — instead of dying with the last snapshot stale.
+      break;
+    }
     batch.clear();
     more = sources_->poll(batch, config_.poll_timeout);
     if (!batch.empty()) {
@@ -638,6 +817,22 @@ IngestPipelineStats IngestPipeline::stats() const {
   stats.evicted = evicted_.load(std::memory_order_relaxed);
   stats.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
   stats.snapshot_failures = snapshot_failures_.load(std::memory_order_relaxed);
+  stats.snapshot_bases = snapshot_bases_.load(std::memory_order_relaxed);
+  stats.snapshot_deltas = snapshot_deltas_.load(std::memory_order_relaxed);
+  stats.restore_deltas_discarded =
+      restore_deltas_discarded_.load(std::memory_order_relaxed);
+  stats.followers_accepted =
+      followers_accepted_.load(std::memory_order_relaxed);
+  stats.follow_rejected = follow_rejected_.load(std::memory_order_relaxed);
+  stats.captures_replicated =
+      captures_replicated_.load(std::memory_order_relaxed);
+  stats.captures_oversize = captures_oversize_.load(std::memory_order_relaxed);
+  stats.snap_acks_ok = snap_acks_ok_.load(std::memory_order_relaxed);
+  stats.snap_acks_failed = snap_acks_failed_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    stats.snapshot_last_error = snapshot_last_error_;
+  }
   stats.jobs_restored = jobs_restored_.load(std::memory_order_relaxed);
   stats.jobs_rebound = jobs_rebound_.load(std::memory_order_relaxed);
   stats.dictionary_swaps = dictionary_swaps_.load(std::memory_order_relaxed);

@@ -21,11 +21,19 @@
 /// limit. Back-pressure propagates producer-ward at each boundary.
 ///
 /// Durability hooks: with snapshot_path configured, run() periodically
-/// serializes the whole service (EFD-SNAP-V1, see service_snapshot.hpp)
-/// to that path — written to a temp file and atomically renamed, so a
-/// crash mid-write can never corrupt the previous snapshot — and
-/// restore_on_start rebuilds the service from it before the first poll,
-/// so a serve restart does not lose in-flight jobs. Restored jobs have
+/// captures the service as an EFD-SNAP-V2 base + delta chain (see
+/// service_snapshot.hpp and snapshot_chain.hpp): a full base — the
+/// Dictionary included — only when the dictionary epoch moved or the
+/// chain hit snapshot_chain_limit, an incremental delta otherwise.
+/// Every file lands via fsync + atomic rename + parent-directory fsync
+/// (write_file_durable), so the chain on disk survives power loss, not
+/// just process death. restore_on_start replays base → deltas
+/// all-or-nothing before the first poll (legacy V1 files restore too);
+/// a broken delta link falls back to the last complete base, loudly.
+/// With allow_followers set, kFollowRequest peers become warm standbys:
+/// every capture that fits a wire frame is streamed to them as
+/// kSnapBase/kSnapDelta and acked once durable on their disk
+/// (replication.hpp runs the other end). Restored jobs have
 /// no reply connection (their emitter's socket died with the old
 /// process); the pipeline re-binds a job's reply channel to the first
 /// connection that streams samples (or a close) for it, so a
@@ -66,6 +74,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -100,10 +109,15 @@ struct IngestPipelineConfig {
   /// ships to the reply channel — operator logging, metrics export.
   std::function<void(const core::JobVerdict&)> on_verdict;
 
-  /// EFD-SNAP-V1 snapshot file (empty = durability disabled). Writes go
-  /// to "<path>.tmp" then rename, so the file is always a complete
-  /// snapshot or absent.
+  /// Snapshot chain root (empty = durability disabled): the base
+  /// capture lives here, deltas next to it as "<path>.delta.<id>".
+  /// Every write is tmp + fsync + rename + dir fsync, so the file at
+  /// any path is always complete or absent — even across power loss.
   std::string snapshot_path;
+  /// Deltas per base before the writer forces a fresh full base
+  /// (bounds restore replay length and stale-delta disk). 0 = every
+  /// capture is a full base — the pre-chain behavior, V2 framing.
+  std::uint64_t snapshot_chain_limit = 16;
   /// Wall-clock snapshot cadence (0 = none; checked at poll boundaries).
   std::chrono::milliseconds snapshot_interval{0};
   /// Snapshot after this many verdicts since the last snapshot (0 =
@@ -120,6 +134,15 @@ struct IngestPipelineConfig {
   /// durably in place, with the lifetime snapshot count — fault
   /// harnesses script crash points on it.
   std::function<void(std::uint64_t count, const std::string& path)> on_snapshot;
+
+  /// Honor inbound kFollowRequest frames: stream the capture chain to
+  /// warm standbys. Unauthenticated wire input (any peer could siphon
+  /// the full service state), so operator-gated like allow_*.
+  bool allow_followers = false;
+  /// External stop flag (the CLI's signal handler). Polled every loop
+  /// iteration; when it flips, run() winds down exactly like stop() —
+  /// jobs close, the final snapshot lands, run() returns.
+  const std::atomic<bool>* external_stop = nullptr;
 
   /// Closed-loop retraining controller (borrowed; must outlive run()).
   /// Null disables capture, triggering, retrain reports, and the
@@ -139,6 +162,21 @@ struct IngestPipelineStats {
   std::uint64_t evicted = 0;          ///< jobs closed by the stale sweep
   std::uint64_t snapshots_written = 0;
   std::uint64_t snapshot_failures = 0;    ///< write errors (serving continues)
+  std::uint64_t snapshot_bases = 0;       ///< full base captures written
+  std::uint64_t snapshot_deltas = 0;      ///< incremental delta captures
+  /// Deltas found on disk at restore but discarded by the loud
+  /// base-only fallback (broken link / corrupt delta).
+  std::uint64_t restore_deltas_discarded = 0;
+  std::uint64_t followers_accepted = 0;   ///< kFollowRequest handshakes served
+  std::uint64_t follow_rejected = 0;      ///< gated off or reply-less peer
+  std::uint64_t captures_replicated = 0;  ///< capture frames shipped out
+  std::uint64_t captures_oversize = 0;    ///< too big for the wire path
+  std::uint64_t snap_acks_ok = 0;         ///< follower: capture durable
+  std::uint64_t snap_acks_failed = 0;     ///< follower rejected a capture
+  /// Why the most recent snapshot write or chain restore failed
+  /// (empty = never failed) — the `ingest.snapshot_last_error` scrape
+  /// row, so silent durability rot is visible from monitoring.
+  std::string snapshot_last_error;
   std::uint64_t jobs_restored = 0;    ///< open streams rebuilt on start
   std::uint64_t jobs_rebound = 0;     ///< restored jobs re-bound to a new peer
   std::uint64_t dictionary_swaps = 0; ///< accepted kSwapDictionary frames
@@ -206,8 +244,13 @@ class IngestPipeline {
   void deliver_parked(std::uint64_t job_id,
                       const std::shared_ptr<VerdictSink>& reply,
                       SourceId source);
-  /// Snapshots the service to config_.snapshot_path (tmp + rename).
+  /// Captures the service into the snapshot chain (base or delta,
+  /// written durably) and streams the capture to live followers.
   void write_snapshot();
+  /// Registers a follower and catches it up from its cursor.
+  void handle_follow_request(Envelope& envelope);
+  /// Records the most recent snapshot/restore failure for the scrape.
+  void set_snapshot_error(std::string reason);
   /// Remembers a connection for retrain-report fan-out (run() thread).
   void observe_sink(const std::shared_ptr<VerdictSink>& reply);
   /// Ships finished retrain cycles to every live observed connection.
@@ -245,6 +288,23 @@ class IngestPipeline {
   std::vector<Message> outbound_verdicts_;
   std::vector<ReplyRoute> outbound_routes_;
 
+  /// Snapshot-chain bookkeeping (run() thread only): capture ids and
+  /// per-stream digests the incremental writer diffs against.
+  core::SnapshotChainState chain_;
+  /// In-memory copy of the live chain (current base + its deltas) for
+  /// follower catch-up; bytes == nullptr marks a capture too large for
+  /// the wire path. Bounded by snapshot_chain_limit.
+  struct ChainRecord {
+    bool base = false;
+    std::uint64_t capture_id = 0;
+    std::uint64_t parent_id = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  };
+  std::vector<ChainRecord> chain_records_;
+  /// Live follower reply channels (run() thread only; expired entries
+  /// pruned on every capture broadcast).
+  std::vector<std::weak_ptr<VerdictSink>> followers_;
+
   std::atomic<std::uint64_t> envelopes_{0};
   std::atomic<std::uint64_t> samples_{0};
   std::atomic<std::uint64_t> jobs_opened_{0};
@@ -256,6 +316,19 @@ class IngestPipeline {
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> snapshots_written_{0};
   std::atomic<std::uint64_t> snapshot_failures_{0};
+  std::atomic<std::uint64_t> snapshot_bases_{0};
+  std::atomic<std::uint64_t> snapshot_deltas_{0};
+  std::atomic<std::uint64_t> restore_deltas_discarded_{0};
+  std::atomic<std::uint64_t> followers_accepted_{0};
+  std::atomic<std::uint64_t> follow_rejected_{0};
+  std::atomic<std::uint64_t> captures_replicated_{0};
+  std::atomic<std::uint64_t> captures_oversize_{0};
+  std::atomic<std::uint64_t> snap_acks_ok_{0};
+  std::atomic<std::uint64_t> snap_acks_failed_{0};
+  /// Guards snapshot_last_error_ (written on the run() thread, read by
+  /// stats() from anywhere).
+  mutable std::mutex error_mutex_;
+  std::string snapshot_last_error_;
   std::atomic<std::uint64_t> jobs_restored_{0};
   std::atomic<std::uint64_t> jobs_rebound_{0};
   std::atomic<std::uint64_t> dictionary_swaps_{0};

@@ -364,28 +364,36 @@ void TcpClient::send(Message message) {
 }
 
 bool TcpClient::receive(Message& out, std::chrono::milliseconds timeout) {
+  return receive_status(out, timeout) == ReceiveStatus::kMessage;
+}
+
+TcpClient::ReceiveStatus TcpClient::receive_status(
+    Message& out, std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::uint8_t chunk[16 * 1024];
   for (;;) {
     switch (decoder_.next(out)) {
       case DecodeStatus::kMessage:
-        return true;
+        return ReceiveStatus::kMessage;
       case DecodeStatus::kError:
-        return false;
+        // Corrupt framing is unrecoverable on a stream socket: the
+        // connection is as dead as an EOF.
+        return ReceiveStatus::kClosed;
       case DecodeStatus::kNeedMore:
         break;
     }
     const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
+    if (now >= deadline) return ReceiveStatus::kTimeout;
     pollfd pfd{fd_, POLLIN, 0};
     const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - now);
     const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()));
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) return false;  // timeout or poll failure
+    if (ready < 0) return ReceiveStatus::kClosed;
+    if (ready == 0) return ReceiveStatus::kTimeout;
     const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (received < 0 && errno == EINTR) continue;
-    if (received <= 0) return false;  // EOF
+    if (received <= 0) return ReceiveStatus::kClosed;  // EOF / socket error
     decoder_.feed(chunk, static_cast<std::size_t>(received));
   }
 }

@@ -141,6 +141,16 @@ class TcpClient final : public MessageSender {
   /// Returns false on timeout, EOF, or a decode error.
   bool receive(Message& out, std::chrono::milliseconds timeout);
 
+  /// receive(), but distinguishing a quiet link from a dead one — the
+  /// replication follower's liveness signal (its promote-grace clock
+  /// starts at kClosed, not at an idle leader).
+  enum class ReceiveStatus {
+    kMessage,  ///< one message decoded into \p out
+    kTimeout,  ///< no complete frame within \p timeout; link still up
+    kClosed,   ///< EOF, socket error, or corrupt framing — link is dead
+  };
+  ReceiveStatus receive_status(Message& out, std::chrono::milliseconds timeout);
+
   /// Half-closes the write side so the server sees EOF after the last
   /// frame; receive() keeps working.
   void finish_sending();

@@ -26,6 +26,9 @@ constexpr std::size_t kVerdictFixed = 8 + 1 + 4 + 4 + 2 + 2;
 constexpr std::size_t kSwapAckFixed = 1 + 8 + 2;
 constexpr std::size_t kStatsReplyPrefix = 4;  // u32 text length
 constexpr std::size_t kRetrainReportBody = 8 + 1 + 8 + 8 + 8 + 8 + 8;
+constexpr std::size_t kSnapCapturePrefix = 8 + 8;  // capture_id + parent_id
+constexpr std::size_t kSnapAckFixed = 1 + 8 + 2;
+constexpr std::size_t kFollowRequestBody = 8;
 
 void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
                        std::size_t frame_start);
@@ -86,6 +89,49 @@ Message make_retrain_report(WireRetrainReport report) {
   Message message;
   message.type = MessageType::kRetrainReport;
   message.retrain_report = report;
+  return message;
+}
+
+Message make_snap_capture(bool base, std::uint64_t capture_id,
+                          std::uint64_t parent_id,
+                          std::vector<std::uint8_t> capture_bytes) {
+  Message message;
+  message.type = base ? MessageType::kSnapBase : MessageType::kSnapDelta;
+  message.capture_id = capture_id;
+  message.parent_id = base ? 0 : parent_id;
+  message.snapshot_blob = std::move(capture_bytes);
+  return message;
+}
+
+Message make_snap_ack(bool ok, std::uint64_t capture_id, std::string error) {
+  Message message;
+  message.type = MessageType::kSnapAck;
+  message.snap_ack.ok = ok;
+  message.snap_ack.capture_id = capture_id;
+  message.snap_ack.error = std::move(error);
+  return message;
+}
+
+Message make_follow_request(std::uint64_t last_capture_id) {
+  Message message;
+  message.type = MessageType::kFollowRequest;
+  message.capture_id = last_capture_id;
+  return message;
+}
+
+Message make_promote() {
+  Message message;
+  message.type = MessageType::kPromote;
+  return message;
+}
+
+Message make_promote_ack(bool ok, std::uint64_t capture_id,
+                         std::string error) {
+  Message message;
+  message.type = MessageType::kPromoteAck;
+  message.snap_ack.ok = ok;
+  message.snap_ack.capture_id = capture_id;
+  message.snap_ack.error = std::move(error);
   return message;
 }
 
@@ -167,6 +213,27 @@ void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
       put_f64(out, message.retrain_report.incumbent_score);
       put_u64(out, message.retrain_report.window_jobs);
       put_u64(out, message.retrain_report.holdout_jobs);
+      break;
+    case MessageType::kSnapBase:
+    case MessageType::kSnapDelta:
+      // The capture blob runs to the end of the body; the frame's length
+      // prefix bounds it (and the kMaxFrameBytes check below enforces the
+      // cap — larger captures cannot travel this path).
+      put_u64(out, message.capture_id);
+      put_u64(out, message.parent_id);
+      out.insert(out.end(), message.snapshot_blob.begin(),
+                 message.snapshot_blob.end());
+      break;
+    case MessageType::kSnapAck:
+    case MessageType::kPromoteAck:
+      out.push_back(message.snap_ack.ok ? 1 : 0);
+      put_u64(out, message.snap_ack.capture_id);
+      put_string(out, message.snap_ack.error);
+      break;
+    case MessageType::kFollowRequest:
+      put_u64(out, message.capture_id);
+      break;
+    case MessageType::kPromote:
       break;
   }
 
@@ -352,6 +419,47 @@ DecodeStatus FrameDecoder::next(Message& out) {
       }
       break;
     }
+    case MessageType::kSnapBase:
+    case MessageType::kSnapDelta: {
+      message.type = static_cast<MessageType>(type);
+      if (reader.remaining() < kSnapCapturePrefix ||
+          !reader.read_u64(message.capture_id) ||
+          !reader.read_u64(message.parent_id)) {
+        return fail("malformed snap-capture prefix");
+      }
+      if (message.type == MessageType::kSnapBase && message.parent_id != 0) {
+        return fail("snap-base with nonzero parent");
+      }
+      // Whatever the body holds IS the capture blob: allocation is
+      // bounded by the bytes that actually arrived (<= kMaxFrameBytes).
+      // The blob's own EFD-SNAP-V2 CRCs are checked at restore time.
+      reader.read_bytes(message.snapshot_blob, reader.remaining());
+      break;
+    }
+    case MessageType::kSnapAck:
+    case MessageType::kPromoteAck: {
+      message.type = static_cast<MessageType>(type);
+      std::uint8_t ok = 0;
+      if (reader.remaining() < kSnapAckFixed || !reader.read_u8(ok) ||
+          !reader.read_u64(message.snap_ack.capture_id) ||
+          !reader.read_string(message.snap_ack.error)) {
+        return fail("malformed snap-ack body");
+      }
+      message.snap_ack.ok = ok != 0;
+      if (reader.remaining() != 0) return fail("trailing bytes in snap-ack");
+      break;
+    }
+    case MessageType::kFollowRequest:
+      message.type = MessageType::kFollowRequest;
+      if (reader.remaining() != kFollowRequestBody ||
+          !reader.read_u64(message.capture_id)) {
+        return fail("malformed follow-request body");
+      }
+      break;
+    case MessageType::kPromote:
+      message.type = MessageType::kPromote;
+      if (reader.remaining() != 0) return fail("malformed promote body");
+      break;
     default:
       return fail("unknown message type");
   }

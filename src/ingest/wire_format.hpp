@@ -29,6 +29,27 @@
 ///   RetrainReport body := u64 cycle | u8 outcome | u64 epoch
 ///                       | f64 candidate_score | f64 incumbent_score
 ///                       | u64 window_jobs | u64 holdout_jobs
+///   SnapBase    body := u64 capture_id | u64 parent_id (=0)
+///                       | capture bytes (EFD-SNAP-V2, to body end)
+///   SnapDelta   body := u64 capture_id | u64 parent_id
+///                       | capture bytes (EFD-SNAP-V2, to body end)
+///   SnapAck     body := u8 ok | u64 capture_id | u16 err_len | err
+///   FollowRequest body := u64 last_capture_id (0 = send the full chain)
+///   Promote     body := (empty)
+///   PromoteAck  body := u8 ok | u64 capture_id | u16 err_len | err
+///
+/// SnapBase/SnapDelta/SnapAck/FollowRequest are the warm-standby
+/// replication path: a follower (`serve --follow host:port`) connects
+/// like any peer and sends FollowRequest carrying the newest capture id
+/// already durable in its local chain; the leader (gated by
+/// `--allow-followers` — like kShutdown this is unauthenticated wire
+/// input) streams the missing EFD-SNAP-V2 captures and every subsequent
+/// one, each acked by the follower once it is durably on the follower's
+/// disk. Captures above kMaxFrameBytes cannot travel this path (the
+/// kSwapDictionary limitation); the leader counts and skips them.
+/// Promote/PromoteAck flip a follower into a serving leader (`efd_cli
+/// promote`); the ack reports the newest capture id the follower will
+/// restore from.
 ///
 /// StatsRequest/StatsReply are the monitoring scrape path: any connected
 /// peer can ask the serving endpoint for its aggregate counters
@@ -93,6 +114,12 @@ enum class MessageType : std::uint8_t {
   kStatsRequest = 8,
   kStatsReply = 9,
   kRetrainReport = 10,
+  kSnapBase = 11,       ///< one EFD-SNAP-V2 base capture (leader → follower)
+  kSnapDelta = 12,      ///< one EFD-SNAP-V2 delta capture (leader → follower)
+  kSnapAck = 13,        ///< follower: capture durably persisted (or not)
+  kFollowRequest = 14,  ///< follower's cursor handshake (last capture id)
+  kPromote = 15,        ///< operator: stop following, start serving
+  kPromoteAck = 16,     ///< follower's reply before it switches over
 };
 
 /// One monitoring sample as it travels the wire.
@@ -141,6 +168,16 @@ struct WireRetrainReport {
   bool operator==(const WireRetrainReport&) const = default;
 };
 
+/// Outcome of persisting one replicated capture (kSnapAck) or of a
+/// promotion request (kPromoteAck).
+struct WireSnapAck {
+  bool ok = false;
+  std::uint64_t capture_id = 0;  ///< the capture acked / restored from
+  std::string error;             ///< reason when ok is false
+
+  bool operator==(const WireSnapAck&) const = default;
+};
+
 /// One decoded (or to-encode) message. Only the fields of the active
 /// type are meaningful.
 struct Message {
@@ -153,6 +190,11 @@ struct Message {
   WireSwapAck swap_ack;                ///< kSwapAck
   std::string stats_text;              ///< kStatsReply
   WireRetrainReport retrain_report;    ///< kRetrainReport
+  std::uint64_t capture_id = 0;        ///< kSnapBase/kSnapDelta: chain id;
+                                       ///< kFollowRequest: newest durable id
+  std::uint64_t parent_id = 0;         ///< kSnapBase (0) / kSnapDelta
+  std::vector<std::uint8_t> snapshot_blob;  ///< kSnapBase/kSnapDelta capture
+  WireSnapAck snap_ack;                ///< kSnapAck / kPromoteAck
 
   bool operator==(const Message&) const = default;
 };
@@ -166,6 +208,16 @@ Message make_swap_ack(bool ok, std::uint64_t epoch, std::string error = {});
 Message make_stats_request();
 Message make_stats_reply(std::string text);
 Message make_retrain_report(WireRetrainReport report);
+/// \p base selects kSnapBase vs kSnapDelta (a base's parent_id is 0).
+Message make_snap_capture(bool base, std::uint64_t capture_id,
+                          std::uint64_t parent_id,
+                          std::vector<std::uint8_t> capture_bytes);
+Message make_snap_ack(bool ok, std::uint64_t capture_id,
+                      std::string error = {});
+Message make_follow_request(std::uint64_t last_capture_id);
+Message make_promote();
+Message make_promote_ack(bool ok, std::uint64_t capture_id,
+                         std::string error = {});
 
 /// Appends one encoded frame to \p out. Throws std::invalid_argument if
 /// the message would exceed the wire limits (batch too large, string too

@@ -5,14 +5,18 @@
 ///
 /// The harness drives a scripted workload (an ordered list of EFD-WIRE
 /// messages: opens, sample batches, closes) into a RecognitionService
-/// one message at a time, snapshotting every N messages (EFD-SNAP-V1,
-/// with the message index as the snapshot's replay cursor), and "kills"
+/// one message at a time, snapshotting every N messages (EFD-SNAP-V1
+/// full snapshots, or EFD-SNAP-V2 base+delta chains in chain_mode, with
+/// the message index as the snapshot's replay cursor), and "kills"
 /// the service at scripted points: the service object is destroyed —
 /// everything since the last snapshot is lost, exactly like a SIGKILL —
 /// a fresh service is built from the factory, restored from the last
 /// snapshot, and the workload resumes from the restored cursor
 /// (modelling an emitter that re-sends from its last acknowledged
-/// point, i.e. at-least-once delivery).
+/// point, i.e. at-least-once delivery). Plans can also TEAR a scripted
+/// snapshot write — persist a prefix, die on the spot — modelling power
+/// loss under the old no-fsync rename: recovery must reject the torn
+/// file with SnapshotError and fall back to an older restore point.
 ///
 /// Everything is single-threaded and index-driven: a plan's crash points
 /// produce byte-identical runs every time, which is what lets tests
@@ -50,6 +54,18 @@ struct FaultPlan {
   /// Must be increasing. A crash rewinds the cursor to the last
   /// snapshot, so later points fire after the rewound section replays.
   std::vector<std::size_t> crash_after_messages;
+  /// Persist EFD-SNAP-V2 base+delta chains (snapshot_capture /
+  /// restore_chain) instead of V1 full snapshots.
+  bool chain_mode = false;
+  /// Chain-mode rebase cadence: force a fresh base after this many
+  /// deltas (0 = only rebase on dictionary change / after recovery).
+  std::size_t chain_limit = 0;
+  /// Torn-write injection: the Nth snapshot write (1-based, counted
+  /// across the whole run) persists only a PREFIX of its bytes and the
+  /// process dies on the spot — the power-loss-without-fsync shape.
+  /// Recovery must detect the torn file and fall back loudly, never
+  /// crash or half-restore.
+  std::vector<std::size_t> torn_snapshot_writes;
 };
 
 struct HarnessRun {
@@ -61,6 +77,13 @@ struct HarnessRun {
   std::size_t snapshots = 0;
   std::size_t restores = 0;            ///< crashes recovered from a snapshot
   std::size_t restarts_from_scratch = 0;  ///< crashes with no snapshot yet
+  std::size_t chain_bases = 0;   ///< chain mode: base captures written
+  std::size_t chain_deltas = 0;  ///< chain mode: delta captures written
+  std::size_t torn_writes = 0;   ///< injected torn snapshot writes
+  /// Recoveries that had to DISCARD a persisted file (torn/corrupt) and
+  /// fall back to an older restore point — each one was a loud
+  /// SnapshotError, never a silent half-restore.
+  std::size_t fallbacks = 0;
   core::RecognitionServiceStats final_stats;
 };
 
@@ -116,9 +139,114 @@ class FaultHarness {
   HarnessRun run(const Workload& workload, const FaultPlan& plan) {
     HarnessRun out;
     std::unique_ptr<core::RecognitionService> service = factory_();
+    // The simulated durable store: one file in V1 mode, a base + delta
+    // file list in chain mode (a new base replaces the whole list, like
+    // the on-disk layout's rebase-then-prune).
     std::string last_snapshot;  // empty = none taken yet
+    std::vector<std::string> chain_files;
+    core::SnapshotChainState chain_state;
     auto next_crash = plan.crash_after_messages.begin();
     std::size_t cursor = 0;
+    std::size_t snapshot_ordinal = 0;
+
+    // Persists one snapshot/capture; returns false when the write was
+    // torn by the plan — the process died mid-write (power loss).
+    const auto persist = [&]() -> bool {
+      ++snapshot_ordinal;
+      ++out.snapshots;
+      const bool torn =
+          std::find(plan.torn_snapshot_writes.begin(),
+                    plan.torn_snapshot_writes.end(),
+                    snapshot_ordinal) != plan.torn_snapshot_writes.end();
+      if (!plan.chain_mode) {
+        std::ostringstream snap;
+        service->snapshot(snap, cursor);
+        std::string bytes = std::move(snap).str();
+        if (torn) {
+          ++out.torn_writes;
+          last_snapshot = bytes.substr(0, bytes.size() / 2);
+          return false;
+        }
+        last_snapshot = std::move(bytes);
+        return true;
+      }
+      const bool force_base = plan.chain_limit != 0 &&
+                              chain_state.deltas_since_base >= plan.chain_limit;
+      std::ostringstream snap;
+      const core::SnapshotCaptureInfo info =
+          service->snapshot_capture(snap, chain_state, force_base, cursor);
+      std::string bytes = std::move(snap).str();
+      if (info.base) {
+        ++out.chain_bases;
+      } else {
+        ++out.chain_deltas;
+      }
+      if (torn) {
+        ++out.torn_writes;
+        bytes = bytes.substr(0, bytes.size() / 2);
+      }
+      if (info.base) {
+        chain_files.assign(1, std::move(bytes));
+      } else {
+        chain_files.push_back(std::move(bytes));
+      }
+      return !torn;
+    };
+
+    // The kill + recovery: destroy the service — every sample, stream,
+    // and undrained verdict since the last durable point is gone — and
+    // rebuild from what the simulated store holds. Torn/corrupt files
+    // surface as SnapshotError and are discarded (counted), falling
+    // back to the next-older restore point, exactly like the serving
+    // pipeline's loud chain fallback.
+    const auto recover = [&]() {
+      service = factory_();
+      if (!plan.chain_mode) {
+        if (!last_snapshot.empty()) {
+          std::istringstream in(last_snapshot);
+          try {
+            const core::ServiceRestoreInfo info = service->restore(in);
+            cursor = static_cast<std::size_t>(info.replay_cursor);
+            ++out.restores;
+            collect(*service, out);  // verdicts the snapshot carried
+            return;
+          } catch (const core::SnapshotError&) {
+            ++out.fallbacks;
+            last_snapshot.clear();  // one file: nothing older to try
+            service = factory_();
+          }
+        }
+        cursor = 0;
+        ++out.restarts_from_scratch;
+        return;
+      }
+      while (!chain_files.empty()) {
+        std::vector<std::istringstream> streams;
+        streams.reserve(chain_files.size());
+        for (const std::string& file : chain_files) streams.emplace_back(file);
+        std::vector<std::istream*> pointers;
+        pointers.reserve(streams.size());
+        for (auto& stream : streams) pointers.push_back(&stream);
+        try {
+          const core::ServiceRestoreInfo info =
+              service->restore_chain(pointers);
+          cursor = static_cast<std::size_t>(info.replay_cursor);
+          ++out.restores;
+          collect(*service, out);
+          // A restarted writer has no digest memory: the next capture
+          // is a fresh base (mirrors the serving pipeline).
+          chain_state = core::SnapshotChainState{};
+          return;
+        } catch (const core::SnapshotError&) {
+          ++out.fallbacks;
+          chain_files.pop_back();
+          service = factory_();
+        }
+      }
+      chain_state = core::SnapshotChainState{};
+      cursor = 0;
+      ++out.restarts_from_scratch;
+    };
 
     while (cursor < workload.size()) {
       apply(*service, workload[cursor]);
@@ -127,29 +255,18 @@ class FaultHarness {
 
       if (plan.snapshot_every_messages != 0 &&
           cursor % plan.snapshot_every_messages == 0) {
-        std::ostringstream snap;
-        service->snapshot(snap, cursor);
-        last_snapshot = std::move(snap).str();
-        ++out.snapshots;
+        if (!persist()) {  // died mid-write
+          ++out.crashes;
+          recover();
+          continue;
+        }
       }
 
       if (next_crash != plan.crash_after_messages.end() &&
           cursor == *next_crash) {
         ++next_crash;
         ++out.crashes;
-        // The kill: destroy the service — every sample, stream, and
-        // undrained verdict since the last snapshot is gone.
-        service = factory_();
-        if (last_snapshot.empty()) {
-          cursor = 0;
-          ++out.restarts_from_scratch;
-        } else {
-          std::istringstream in(last_snapshot);
-          const core::ServiceRestoreInfo info = service->restore(in);
-          cursor = static_cast<std::size_t>(info.replay_cursor);
-          ++out.restores;
-          collect(*service, out);  // verdicts the snapshot carried
-        }
+        recover();
       }
     }
 

@@ -1,0 +1,391 @@
+/// \file test_failover_e2e.cpp
+/// \brief End-to-end durability and warm-standby failover through the
+/// real efd_cli binary. Two flows:
+///
+///  1. Clean signal shutdown: `kill -TERM` on a serving process must
+///     drain, write a final snapshot, and exit 0 — and a `--restore`
+///     restart from that snapshot must replay to full verdict parity.
+///  2. Leader/standby failover: a leader with --allow-followers streams
+///     its base+delta capture chain to a `--follow` standby; the leader
+///     is hard-killed mid-replay (--die-after-snapshots: _Exit, no
+///     cleanup), the standby is flipped live with `efd_cli promote`, and
+///     finishing the replay against the promoted standby must produce
+///     EXACTLY the verdict table of an uninterrupted baseline run.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ingest/snapshot_chain.hpp"
+
+namespace {
+
+#ifndef EFD_CLI_PATH
+#error "EFD_CLI_PATH must be defined by the build"
+#endif
+
+std::string cli() { return EFD_CLI_PATH; }
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::pair<int, std::string> run(const std::string& command_line) {
+  const std::string out_file = temp_path("failover_stdout.txt");
+  const int status =
+      std::system((command_line + " > " + out_file + " 2>&1").c_str());
+  const std::string output = slurp(out_file);
+  std::remove(out_file.c_str());
+  return {status, output};
+}
+
+/// Launches a command in the background; pid lands in \p pid_file.
+void spawn(const std::string& command_line, const std::string& out_file,
+           const std::string& pid_file) {
+  const std::string full = command_line + " > " + out_file +
+                           " 2>&1 & echo $! > " + pid_file;
+  ASSERT_EQ(std::system(full.c_str()), 0) << full;
+}
+
+/// spawn(), plus the command's EXIT CODE lands in \p exit_file once it
+/// finishes — the SIGTERM test must prove the server exited 0, not just
+/// that it died.
+void spawn_with_exit_code(const std::string& command_line,
+                          const std::string& out_file,
+                          const std::string& pid_file,
+                          const std::string& exit_file) {
+  const std::string full = "{ " + command_line + " > " + out_file +
+                           " 2>&1 & echo $! > " + pid_file + "; wait $(cat " +
+                           pid_file + "); echo $? > " + exit_file + "; } &";
+  ASSERT_EQ(std::system(full.c_str()), 0) << full;
+}
+
+long read_pid(const std::string& pid_file) {
+  std::ifstream in(pid_file);
+  long pid = 0;
+  in >> pid;
+  return pid;
+}
+
+bool process_alive(long pid) { return pid > 1 && ::kill(pid, 0) == 0; }
+
+/// Waits (up to ~30 s) for the pid to exit; SIGKILLs it on timeout.
+void await_exit(long pid) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (!process_alive(pid)) return;
+    ::usleep(100 * 1000);
+  }
+  if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+/// Scrapes "listening on port N" out of a growing server log.
+int await_port(const std::string& out_file) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(out_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto at = line.find("listening on port ");
+      if (at != std::string::npos) return std::atoi(line.c_str() + at + 18);
+    }
+    ::usleep(100 * 1000);
+  }
+  return 0;
+}
+
+/// Waits (up to ~30 s) for a file to exist and be non-empty.
+bool await_file(const std::string& path) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good() && in.peek() != std::ifstream::traits_type::eof()) {
+      return true;
+    }
+    ::usleep(100 * 1000);
+  }
+  return false;
+}
+
+/// Waits (up to ~30 s) for \p needle to appear in a growing log file.
+bool await_log_line(const std::string& out_file, const std::string& needle) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (slurp(out_file).find(needle) != std::string::npos) return true;
+    ::usleep(100 * 1000);
+  }
+  return false;
+}
+
+/// The verdict rows of a replay table: "| <execution id> | truth |
+/// prediction | ..." lines. Sorted, so two replays compare independent
+/// of arrival order.
+std::vector<std::string> verdict_rows(const std::string& output) {
+  std::vector<std::string> rows;
+  std::stringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() < 3 || line[0] != '|') continue;
+    const auto first = line.find_first_not_of(" |");
+    if (first == std::string::npos || !std::isdigit(line[first])) continue;
+    rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct ServeGuard {
+  std::string pid_file;
+  ~ServeGuard() {
+    const long pid = read_pid(pid_file);
+    if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGTERM);
+    std::remove(pid_file.c_str());
+  }
+};
+
+void copy_file(const std::string& from, const std::string& to) {
+  std::ifstream src(from, std::ios::binary);
+  std::ofstream dst(to, std::ios::binary);
+  dst << src.rdbuf();
+}
+
+class FailoverE2e : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(temp_path("failover_history.csv"));
+    dict_path_ = new std::string(temp_path("failover_apps.efd"));
+    const auto [gen_status, gen_output] =
+        run(cli() + " generate --out " + *data_path_ +
+            " --repetitions 2 --no-large --seed 42");
+    ASSERT_EQ(gen_status, 0) << gen_output;
+    const auto [train_status, train_output] =
+        run(cli() + " train --data " + *data_path_ + " --out " + *dict_path_);
+    ASSERT_EQ(train_status, 0) << train_output;
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(data_path_->c_str());
+    std::remove(dict_path_->c_str());
+    delete data_path_;
+    delete dict_path_;
+  }
+
+  /// One uninterrupted serve + full replay: the parity reference. The
+  /// server runs without --max-jobs (a server that exits the moment the
+  /// 66th verdict is WRITTEN can close the socket while the client is
+  /// still streaming its tail samples — "connection lost while
+  /// sending"); the replay exits on its own once it holds every
+  /// verdict, and the server is then drained with SIGTERM.
+  static std::string baseline_replay() {
+    const std::string base_out = temp_path("failover_base_serve.txt");
+    const std::string base_pid = temp_path("failover_base_pid.txt");
+    spawn(cli() + " serve --dict " + *dict_path_ + " --quiet", base_out,
+          base_pid);
+    ServeGuard guard{base_pid};
+    const int port = await_port(base_out);
+    EXPECT_GT(port, 0) << slurp(base_out);
+    const auto [status, output] = run(cli() + " replay --data " + *data_path_ +
+                                      " --port " + std::to_string(port));
+    EXPECT_EQ(status, 0) << output;
+    const long pid = read_pid(base_pid);
+    if (pid > 1) ::kill(static_cast<pid_t>(pid), SIGTERM);
+    await_exit(pid);
+    std::remove(base_out.c_str());
+    return output;
+  }
+
+  static constexpr int kJobs = 66;  // 11 applications x 3 inputs x 2 reps
+  static std::string* data_path_;
+  static std::string* dict_path_;
+};
+
+std::string* FailoverE2e::data_path_ = nullptr;
+std::string* FailoverE2e::dict_path_ = nullptr;
+
+TEST_F(FailoverE2e, SigtermDrainsWritesFinalSnapshotAndExitsZero) {
+  const std::string snapshot_path = temp_path("sigterm_snapshot.efds");
+  const std::string serve_out = temp_path("sigterm_serve.txt");
+  const std::string serve_pid = temp_path("sigterm_pid.txt");
+  const std::string serve_exit = temp_path("sigterm_exit.txt");
+  const std::string replay_out = temp_path("sigterm_replay.txt");
+  const std::string replay_pid = temp_path("sigterm_replay_pid.txt");
+
+  // No --max-jobs exit: SIGTERM is the ONLY way this server stops, so
+  // the 0 exit code below can't come from a normal wind-down.
+  spawn_with_exit_code(cli() + " serve --dict " + *dict_path_ +
+                           " --snapshot-path " + snapshot_path +
+                           " --snapshot-every 2 --quiet",
+                       serve_out, serve_pid, serve_exit);
+  ServeGuard guard{serve_pid};
+  const int port = await_port(serve_out);
+  ASSERT_GT(port, 0) << slurp(serve_out);
+
+  // Replay in the background — paced, so the TERM lands mid-stream —
+  // and interrupt the server once at least one snapshot landed (every
+  // 2 verdicts).
+  spawn(cli() + " replay --data " + *data_path_ + " --port " +
+            std::to_string(port) + " --pace-us 300",
+        replay_out, replay_pid);
+  ServeGuard replay_guard{replay_pid};
+  ASSERT_TRUE(await_file(snapshot_path)) << slurp(serve_out);
+
+  const long pid = read_pid(serve_pid);
+  ASSERT_GT(pid, 1);
+  ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGTERM), 0);
+  await_exit(pid);
+  await_exit(read_pid(replay_pid));  // its connection died with the server
+
+  // Exit code 0 — a drain, not a crash — and the summary was printed.
+  ASSERT_TRUE(await_file(serve_exit));
+  EXPECT_EQ(slurp(serve_exit).substr(0, 1), "0") << slurp(serve_out);
+  EXPECT_NE(slurp(serve_out).find("served "), std::string::npos)
+      << slurp(serve_out);
+
+  // The final snapshot is restorable: a --restore restart serves the
+  // full replay to completion.
+  const std::string restore_out = temp_path("sigterm_restore.txt");
+  const std::string restore_pid = temp_path("sigterm_restore_pid.txt");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --snapshot-path " +
+            snapshot_path + " --snapshot-every 16 --restore --quiet",
+        restore_out, restore_pid);
+  ServeGuard restore_guard{restore_pid};
+  const int restore_port = await_port(restore_out);
+  ASSERT_GT(restore_port, 0) << slurp(restore_out);
+  const auto [status, output] = run(cli() + " replay --data " + *data_path_ +
+                                    " --port " + std::to_string(restore_port));
+  ASSERT_EQ(status, 0) << output;
+  EXPECT_NE(output.find(std::to_string(kJobs) + "/" + std::to_string(kJobs) +
+                        " correct"),
+            std::string::npos)
+      << output;
+  const long restore_srv = read_pid(restore_pid);
+  if (restore_srv > 1) ::kill(static_cast<pid_t>(restore_srv), SIGTERM);
+  await_exit(restore_srv);
+
+  efd::ingest::remove_chain_deltas(snapshot_path);
+  std::remove(snapshot_path.c_str());
+  std::remove(serve_out.c_str());
+  std::remove(serve_exit.c_str());
+  std::remove(replay_out.c_str());
+  std::remove(restore_out.c_str());
+}
+
+TEST_F(FailoverE2e, PromotedStandbyFinishesReplayWithExactVerdictParity) {
+  const std::string baseline = baseline_replay();
+  ASSERT_EQ(verdict_rows(baseline).size(), static_cast<std::size_t>(kJobs))
+      << baseline;
+
+  // ---- Leader: replicates its chain, hard-dies after 4 captures. ----
+  const std::string leader_snap = temp_path("failover_leader.efds");
+  const std::string leader_out = temp_path("failover_leader.txt");
+  const std::string leader_pid = temp_path("failover_leader_pid.txt");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --max-jobs " +
+            std::to_string(kJobs) + " --snapshot-path " + leader_snap +
+            " --snapshot-every 2 --allow-followers --die-after-snapshots 4" +
+            " --quiet",
+        leader_out, leader_pid);
+  ServeGuard leader_guard{leader_pid};
+  const int leader_port = await_port(leader_out);
+  ASSERT_GT(leader_port, 0) << slurp(leader_out);
+
+  // ---- Standby: follows the leader, persists its own local chain. ----
+  const std::string standby_snap = temp_path("failover_standby.efds");
+  const std::string standby_out = temp_path("failover_standby.txt");
+  const std::string standby_pid = temp_path("failover_standby_pid.txt");
+  spawn(cli() + " serve --dict " + *dict_path_ + " --snapshot-path " +
+            standby_snap + " --snapshot-every 16 --follow 127.0.0.1:" +
+            std::to_string(leader_port),
+        standby_out, standby_pid);
+  ServeGuard standby_guard{standby_pid};
+  const int standby_port = await_port(standby_out);
+  ASSERT_GT(standby_port, 0) << slurp(standby_out);
+  ASSERT_TRUE(await_log_line(standby_out, "connected to leader"))
+      << slurp(standby_out);
+
+  // ---- Kill the leader mid-replay (it _Exits after 4 captures). ----
+  // Paced: an unpaced replay delivers its verdicts in a handful of
+  // poll-loop bursts, so the every-2-verdicts cadence fires fewer than
+  // 4 times before --max-jobs winds the leader down normally and the
+  // crash never happens.
+  const std::string replay_out = temp_path("failover_replay.txt");
+  const std::string replay_pid = temp_path("failover_replay_pid.txt");
+  spawn(cli() + " replay --data " + *data_path_ + " --port " +
+            std::to_string(leader_port) + " --pace-us 300",
+        replay_out, replay_pid);
+  ServeGuard replay_guard{replay_pid};
+  await_exit(read_pid(leader_pid));
+  await_exit(read_pid(replay_pid));
+  EXPECT_NE(slurp(leader_out).find("fault-injection: simulated crash"),
+            std::string::npos)
+      << slurp(leader_out);
+
+  // The standby must hold a replicated local base by now.
+  ASSERT_TRUE(await_file(standby_snap)) << slurp(standby_out);
+
+  // Preserve the replicated delta chain for CI artifact upload before
+  // the promotion below starts rebasing it.
+  if (const char* artifact_dir = std::getenv("EFD_SNAPSHOT_ARTIFACT_DIR")) {
+    copy_file(standby_snap, std::string(artifact_dir) + "/standby-base.efds");
+    for (const efd::ingest::ChainFile& delta :
+         efd::ingest::list_chain_deltas(standby_snap)) {
+      copy_file(delta.path, std::string(artifact_dir) + "/standby-delta." +
+                                std::to_string(delta.capture_id));
+    }
+  }
+
+  // ---- Promote the standby and finish the replay against it. ----
+  const auto [promote_status, promote_output] =
+      run(cli() + " promote --port " + std::to_string(standby_port));
+  ASSERT_EQ(promote_status, 0) << promote_output;
+  EXPECT_NE(promote_output.find("promoted: standby will serve from capture"),
+            std::string::npos)
+      << promote_output;
+  ASSERT_TRUE(await_log_line(standby_out, "promoted: serving"))
+      << slurp(standby_out);
+
+  const auto [status, output] = run(cli() + " replay --data " + *data_path_ +
+                                    " --port " + std::to_string(standby_port));
+  ASSERT_EQ(status, 0) << output;
+
+  // Exact verdict parity with the uninterrupted baseline: same count,
+  // same per-execution rows (truth, prediction, match counts).
+  EXPECT_NE(output.find(std::to_string(kJobs) + "/" + std::to_string(kJobs) +
+                        " correct"),
+            std::string::npos)
+      << output;
+  EXPECT_EQ(verdict_rows(output), verdict_rows(baseline));
+
+  // Drain the standby; its shutdown summary must account for the full
+  // replay it served after promotion.
+  const long standby_srv = read_pid(standby_pid);
+  if (standby_srv > 1) ::kill(static_cast<pid_t>(standby_srv), SIGTERM);
+  await_exit(standby_srv);
+  EXPECT_NE(slurp(standby_out).find("served " + std::to_string(kJobs) +
+                                    " verdicts"),
+            std::string::npos)
+      << slurp(standby_out);
+
+  for (const std::string& path : {leader_snap, standby_snap}) {
+    efd::ingest::remove_chain_deltas(path);
+    std::remove(path.c_str());
+  }
+  for (const std::string& path :
+       {leader_out, standby_out, replay_out}) {
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace

@@ -180,6 +180,125 @@ TEST_F(FaultHarnessTest, DeferredServiceRecoversQueuedSamples) {
   EXPECT_TRUE(verdict_parity(faulted, baseline));
 }
 
+TEST_F(FaultHarnessTest, ChainModeCrashSweepMatchesBaseline) {
+  // The V2 twin of CrashSweepAcrossTheWholeTrace: persistence is a
+  // base+delta chain (rebased every 3 deltas), recovery replays
+  // base -> deltas. Every crash position must land on exact parity.
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  for (std::size_t crash_at = 1; crash_at < workload_.size(); crash_at += 6) {
+    FaultPlan plan;
+    plan.chain_mode = true;
+    plan.chain_limit = 3;
+    plan.snapshot_every_messages = 8;
+    plan.crash_after_messages = {crash_at};
+    const HarnessRun faulted = harness.run(workload_, plan);
+    EXPECT_TRUE(verdict_parity(faulted, baseline)) << "crash_at=" << crash_at;
+    EXPECT_EQ(faulted.fallbacks, 0u) << "crash_at=" << crash_at;
+    EXPECT_GE(faulted.chain_bases, 1u) << "crash_at=" << crash_at;
+  }
+}
+
+TEST_F(FaultHarnessTest, ChainModeRepeatedCrashesRebaseAndConverge) {
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  FaultPlan plan;
+  plan.chain_mode = true;
+  plan.chain_limit = 2;
+  plan.snapshot_every_messages = 7;
+  plan.crash_after_messages = {9, 23, 40, workload_.size() - 1};
+  const HarnessRun faulted = harness.run(workload_, plan);
+
+  EXPECT_EQ(faulted.crashes, 4u);
+  EXPECT_EQ(faulted.restores, 4u);
+  EXPECT_GT(faulted.chain_deltas, 0u);
+  // Each recovery plus each chain_limit overflow forces a fresh base.
+  EXPECT_GE(faulted.chain_bases, 4u);
+  EXPECT_TRUE(verdict_parity(faulted, baseline));
+  expect_expected_predictions(faulted);
+}
+
+TEST_F(FaultHarnessTest, TornDeltaWriteFallsBackToThePreviousCapture) {
+  // Power loss mid-write of a DELTA: the torn file fails the chain
+  // replay, is discarded loudly (one fallback), and recovery lands on
+  // the previous capture — still exact parity, never a crash.
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  FaultPlan plan;
+  plan.chain_mode = true;
+  plan.snapshot_every_messages = 5;
+  plan.torn_snapshot_writes = {3};  // third capture: a delta
+  const HarnessRun faulted = harness.run(workload_, plan);
+
+  EXPECT_EQ(faulted.torn_writes, 1u);
+  EXPECT_EQ(faulted.crashes, 1u);
+  EXPECT_EQ(faulted.fallbacks, 1u);
+  EXPECT_EQ(faulted.restores, 1u);
+  EXPECT_TRUE(verdict_parity(faulted, baseline));
+  expect_expected_predictions(faulted);
+}
+
+TEST_F(FaultHarnessTest, TornBaseWriteRestartsFromScratch) {
+  // Power loss mid-write of the FIRST base leaves no older capture to
+  // fall back to: recovery must restart from scratch (loudly), not
+  // boot off the torn file.
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  FaultPlan plan;
+  plan.chain_mode = true;
+  plan.snapshot_every_messages = 6;
+  plan.torn_snapshot_writes = {1};
+  const HarnessRun faulted = harness.run(workload_, plan);
+
+  EXPECT_EQ(faulted.torn_writes, 1u);
+  EXPECT_GE(faulted.fallbacks, 1u);
+  EXPECT_EQ(faulted.restarts_from_scratch, 1u);
+  EXPECT_TRUE(verdict_parity(faulted, baseline));
+}
+
+TEST_F(FaultHarnessTest, TornFullSnapshotWriteFailsLoudlyThenReplays) {
+  // V1 mode torn final file: the lone snapshot file is a torn prefix,
+  // restore throws, recovery replays the trace from the beginning.
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  FaultPlan plan;
+  plan.snapshot_every_messages = 9;
+  plan.torn_snapshot_writes = {2};
+  const HarnessRun faulted = harness.run(workload_, plan);
+
+  EXPECT_EQ(faulted.torn_writes, 1u);
+  EXPECT_EQ(faulted.fallbacks, 1u);
+  EXPECT_EQ(faulted.restarts_from_scratch, 1u);
+  EXPECT_TRUE(verdict_parity(faulted, baseline));
+  expect_expected_predictions(faulted);
+}
+
+TEST_F(FaultHarnessTest, ChainModeEqualsFullSnapshotModeAtEveryCadence) {
+  // The two persistence formats must be interchangeable: for a spread
+  // of cadences and one fixed crash point, chain-mode recovery and
+  // V1-mode recovery produce identical verdict tables.
+  FaultHarness harness(factory());
+  const HarnessRun baseline = harness.run_baseline(workload_);
+
+  for (const std::size_t cadence : {3u, 5u, 8u, 13u}) {
+    FaultPlan v1;
+    v1.snapshot_every_messages = cadence;
+    v1.crash_after_messages = {workload_.size() / 2};
+    FaultPlan chain = v1;
+    chain.chain_mode = true;
+    chain.chain_limit = 4;
+    const HarnessRun v1_run = harness.run(workload_, v1);
+    const HarnessRun chain_run = harness.run(workload_, chain);
+    EXPECT_TRUE(verdict_parity(chain_run, v1_run)) << "cadence=" << cadence;
+    EXPECT_TRUE(verdict_parity(chain_run, baseline)) << "cadence=" << cadence;
+  }
+}
+
 TEST_F(FaultHarnessTest, StatsContinuitySurvivesTheCrash) {
   FaultHarness harness(factory());
   FaultPlan plan;

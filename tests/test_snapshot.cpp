@@ -584,4 +584,298 @@ TEST_F(SnapshotFixture, SnapshotUnderLiveTrafficStaysRestorable) {
   }
 }
 
+// --- EFD-SNAP-V2: incremental base+delta capture chains ----------------
+
+class SnapshotChainFixture : public SnapshotFixture {
+ protected:
+  /// restore_chain() takes a span of istream pointers; build one over a
+  /// vector of capture byte strings.
+  static ServiceRestoreInfo restore_from(RecognitionService& service,
+                                         const std::vector<std::string>& parts,
+                                         std::size_t count) {
+    std::vector<std::istringstream> streams;
+    streams.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) streams.emplace_back(parts[i]);
+    std::vector<std::istream*> pointers;
+    pointers.reserve(count);
+    for (auto& stream : streams) pointers.push_back(&stream);
+    return service.restore_chain(pointers);
+  }
+
+  /// Drains and sorts a finished service's verdicts for table diffs.
+  static std::vector<JobVerdict> sorted_verdicts(RecognitionService& service) {
+    auto verdicts = service.drain_verdicts();
+    std::sort(verdicts.begin(), verdicts.end(),
+              [](const JobVerdict& a, const JobVerdict& b) {
+                return a.job_id < b.job_id;
+              });
+    return verdicts;
+  }
+};
+
+TEST_F(SnapshotChainFixture, FirstCaptureIsABaseAndRestoresLikeV1) {
+  RecognitionService original = make_service();
+  ASSERT_TRUE(original.open_job(1, 2));
+  ASSERT_TRUE(original.open_job(2, 2));
+  stream_range(original, 1, 6030.0, 0, 80);
+  stream_range(original, 2, 6080.0, 0, 95);
+
+  SnapshotChainState chain;
+  std::ostringstream capture_out;
+  const SnapshotCaptureInfo info =
+      original.snapshot_capture(capture_out, chain, false, 321);
+  EXPECT_TRUE(info.base);
+  EXPECT_EQ(info.capture_id, 1u);
+  EXPECT_EQ(info.parent_id, 0u);
+  EXPECT_EQ(info.streams_written, 2u);
+  EXPECT_EQ(chain.last_capture_id, 1u);
+  EXPECT_EQ(chain.deltas_since_base, 0u);
+
+  RecognitionService restored = make_service();
+  const ServiceRestoreInfo restore_info =
+      restore_from(restored, {std::move(capture_out).str()}, 1);
+  EXPECT_EQ(restore_info.replay_cursor, 321u);
+  EXPECT_EQ(restore_info.jobs_restored, 2u);
+
+  stream_range(original, 1, 6030.0, 80, 130);
+  stream_range(original, 2, 6080.0, 95, 130);
+  stream_range(restored, 1, 6030.0, 80, 130);
+  stream_range(restored, 2, 6080.0, 95, 130);
+  const auto expected = sorted_verdicts(original);
+  const auto actual = sorted_verdicts(restored);
+  ASSERT_EQ(expected.size(), 2u);
+  ASSERT_EQ(actual.size(), 2u);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expect_same_result(expected[i].result, actual[i].result,
+                       "job " + std::to_string(expected[i].job_id));
+  }
+}
+
+TEST_F(SnapshotChainFixture, ChainRestoreEqualsFullSnapshotAtEveryLength) {
+  // Grow a chain one capture at a time; after EVERY capture, the chain
+  // restore and a plain V1 snapshot of the same instant must finish the
+  // replay with identical verdict tables.
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  ASSERT_TRUE(service.open_job(2, 2));
+  ASSERT_TRUE(service.open_job(3, 2));
+
+  SnapshotChainState chain;
+  std::vector<std::string> captures;
+  const auto advance = [&](int from, int to) {
+    stream_range(service, 1, 6030.0, from, to);
+    stream_range(service, 2, 6080.0, from, to);
+    stream_range(service, 3, 6030.0, from, std::min(to, 110));
+  };
+
+  int cursor = 0;
+  for (const int upto : {20, 45, 70, 95, 120}) {
+    advance(cursor, upto);
+    cursor = upto;
+    std::ostringstream capture_out;
+    service.snapshot_capture(capture_out, chain, false,
+                             static_cast<std::uint64_t>(upto));
+    captures.push_back(std::move(capture_out).str());
+
+    std::ostringstream full_out;
+    service.snapshot(full_out, static_cast<std::uint64_t>(upto));
+
+    RecognitionService from_chain = make_service();
+    const ServiceRestoreInfo chain_info =
+        restore_from(from_chain, captures, captures.size());
+    RecognitionService from_full = make_service();
+    std::istringstream full_in(std::move(full_out).str());
+    const ServiceRestoreInfo full_info = from_full.restore(full_in);
+    EXPECT_EQ(chain_info.replay_cursor, full_info.replay_cursor);
+    EXPECT_EQ(chain_info.jobs_restored, full_info.jobs_restored);
+    EXPECT_EQ(chain_info.verdicts_restored, full_info.verdicts_restored);
+
+    for (RecognitionService* target : {&from_chain, &from_full}) {
+      stream_range(*target, 1, 6030.0, cursor, 130);
+      stream_range(*target, 2, 6080.0, cursor, 130);
+      if (cursor < 110) stream_range(*target, 3, 6030.0, cursor, 110);
+      if (target->has_job(3)) ASSERT_TRUE(target->close_job(3));
+    }
+    const auto expected = sorted_verdicts(from_full);
+    const auto actual = sorted_verdicts(from_chain);
+    ASSERT_EQ(actual.size(), expected.size()) << "chain len " << captures.size();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].job_id, expected[i].job_id);
+      expect_same_result(expected[i].result, actual[i].result,
+                         "chain len " + std::to_string(captures.size()) +
+                             " job " + std::to_string(expected[i].job_id));
+    }
+  }
+  // The whole run stayed one base + four deltas.
+  EXPECT_EQ(chain.deltas_since_base, 4u);
+}
+
+TEST_F(SnapshotChainFixture, DeltaOmitsUnchangedStreamsAndStaysSmall) {
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  ASSERT_TRUE(service.open_job(2, 2));
+  stream_range(service, 1, 6030.0, 0, 60);
+  stream_range(service, 2, 6080.0, 0, 60);
+
+  SnapshotChainState chain;
+  std::ostringstream base_out;
+  const SnapshotCaptureInfo base = service.snapshot_capture(base_out, chain);
+  ASSERT_TRUE(base.base);
+
+  // Only job 1 moves: the delta must carry exactly one stream section
+  // and be dramatically smaller than the base (no Dictionary inside).
+  stream_range(service, 1, 6030.0, 60, 70);
+  std::ostringstream delta_out;
+  const SnapshotCaptureInfo delta = service.snapshot_capture(delta_out, chain);
+  EXPECT_FALSE(delta.base);
+  EXPECT_EQ(delta.parent_id, base.capture_id);
+  EXPECT_EQ(delta.streams_written, 1u);
+  EXPECT_EQ(delta.streams_unchanged, 1u);
+  // This fixture's two-application dictionary is tiny, so the base is
+  // artificially small; the production-shape ≥5x ratio is measured by
+  // bench_retrain_cycle. Here: the delta must at least beat the base.
+  EXPECT_LT(delta.bytes, base.bytes)
+      << "delta " << delta.bytes << " B vs base " << base.bytes << " B";
+
+  // Nothing moves at all: a pure cursor tick writes zero streams.
+  std::ostringstream idle_out;
+  const SnapshotCaptureInfo idle = service.snapshot_capture(idle_out, chain);
+  EXPECT_FALSE(idle.base);
+  EXPECT_EQ(idle.streams_written, 0u);
+  EXPECT_EQ(idle.streams_unchanged, 2u);
+}
+
+TEST_F(SnapshotChainFixture, ClosedJobsTravelInDeltasAndEpochChangeForcesBase) {
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  ASSERT_TRUE(service.open_job(2, 2));
+  stream_range(service, 1, 6030.0, 0, 40);
+  stream_range(service, 2, 6080.0, 0, 100);  // still mid-stream at the base
+
+  SnapshotChainState chain;
+  std::ostringstream base_out;
+  ASSERT_TRUE(service.snapshot_capture(base_out, chain).base);
+
+  // Job 2 completes BETWEEN captures: its stream disappears, so the
+  // next delta must name it in ClosedJobs.
+  stream_range(service, 2, 6080.0, 100, 130);
+  ASSERT_EQ(service.drain_verdicts().size(), 1u);  // job 2 is gone
+
+  std::ostringstream delta_out;
+  const SnapshotCaptureInfo delta = service.snapshot_capture(delta_out, chain);
+  EXPECT_FALSE(delta.base);
+  EXPECT_EQ(delta.jobs_closed, 1u);
+
+  RecognitionService restored = make_service();
+  restore_from(restored, {base_out.str(), delta_out.str()}, 2);
+  EXPECT_TRUE(restored.has_job(1));
+  EXPECT_FALSE(restored.has_job(2));  // ClosedJobs removed it on replay
+
+  // A hot-swap changes the dictionary identity: the next capture MUST
+  // be a base (deltas never carry a Dictionary section).
+  add(3, "lu", 9900.0);
+  service.swap_dictionary(ShardedDictionary::from_dictionary(
+      train_dictionary(dataset_, config_of()), 8));
+  std::ostringstream rebase_out;
+  const SnapshotCaptureInfo rebase = service.snapshot_capture(rebase_out, chain);
+  EXPECT_TRUE(rebase.base);
+  EXPECT_EQ(rebase.parent_id, 0u);
+  EXPECT_EQ(chain.deltas_since_base, 0u);
+
+  // force_base also rebases even with no dictionary change.
+  std::ostringstream forced_out;
+  EXPECT_TRUE(service.snapshot_capture(forced_out, chain, true).base);
+}
+
+TEST_F(SnapshotChainFixture, BrokenChainLinksAlwaysThrowWithServiceUntouched) {
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  stream_range(service, 1, 6030.0, 0, 40);
+
+  SnapshotChainState chain;
+  std::vector<std::string> captures;
+  for (int round = 0; round < 3; ++round) {
+    stream_range(service, 1, 6030.0, 40 + round * 10, 50 + round * 10);
+    std::ostringstream out;
+    service.snapshot_capture(out, chain);
+    captures.push_back(std::move(out).str());
+  }
+
+  {
+    // A delta can never start a chain.
+    RecognitionService fresh = make_service();
+    EXPECT_THROW(restore_from(fresh, {captures[1]}, 1), SnapshotError);
+    EXPECT_EQ(fresh.stats().active_jobs, 0u);
+  }
+  {
+    // A missing middle link breaks parent_id continuity.
+    RecognitionService fresh = make_service();
+    EXPECT_THROW(restore_from(fresh, {captures[0], captures[2]}, 2),
+                 SnapshotError);
+    EXPECT_EQ(fresh.stats().active_jobs, 0u);
+  }
+  {
+    // The intact chain is the baseline: it restores.
+    RecognitionService fresh = make_service();
+    const ServiceRestoreInfo info = restore_from(fresh, captures, 3);
+    EXPECT_EQ(info.jobs_restored, 1u);
+  }
+}
+
+TEST_F(SnapshotChainFixture, FuzzDeltaCorruptionAlwaysDetected) {
+  // Every flipped byte in any capture of the chain must surface as
+  // SnapshotError on replay — CRC sections plus envelope checks leave
+  // no silent window — and the target service must stay untouched.
+  RecognitionService service = make_service();
+  ASSERT_TRUE(service.open_job(1, 2));
+  ASSERT_TRUE(service.open_job(2, 2));
+  stream_range(service, 1, 6030.0, 0, 50);
+  stream_range(service, 2, 6080.0, 0, 50);
+
+  SnapshotChainState chain;
+  std::vector<std::string> captures;
+  for (int round = 0; round < 3; ++round) {
+    stream_range(service, 1, 6030.0, 50 + round * 10, 60 + round * 10);
+    std::ostringstream out;
+    service.snapshot_capture(out, chain);
+    captures.push_back(std::move(out).str());
+  }
+
+  std::mt19937 rng(2021);
+  std::uniform_int_distribution<std::size_t> which(0, captures.size() - 1);
+  std::uniform_int_distribution<int> delta(1, 255);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> corrupted = captures;
+    const std::size_t part = which(rng);
+    std::uniform_int_distribution<std::size_t> pos(0,
+                                                   corrupted[part].size() - 1);
+    std::size_t at = pos(rng);
+    // The one deliberately unprotected window: the HEAD capture's own
+    // envelope capture_id (bytes 9..16) has no later parent link to
+    // validate it and no CRC. A flip there only skews the follower's
+    // resume cursor, which the kFollowRequest handshake self-heals
+    // (unknown cursor => the leader resends the full chain). Every
+    // other byte of every capture must be caught — steer around it.
+    while (part == captures.size() - 1 && at >= 9 && at < 17) at = pos(rng);
+    corrupted[part][at] = static_cast<char>(
+        static_cast<std::uint8_t>(corrupted[part][at]) ^
+        static_cast<std::uint8_t>(delta(rng)));
+    RecognitionService fresh = make_service();
+    EXPECT_THROW(restore_from(fresh, corrupted, corrupted.size()),
+                 SnapshotError)
+        << "round=" << round << " part=" << part << " at=" << at;
+    EXPECT_EQ(fresh.stats().active_jobs, 0u) << "round=" << round;
+  }
+
+  // Truncation of the final capture — the torn-write shape — too.
+  for (std::size_t cut = 0; cut < captures.back().size();
+       cut += (cut < 64 ? 1 : 11)) {
+    std::vector<std::string> torn = captures;
+    torn.back() = torn.back().substr(0, cut);
+    RecognitionService fresh = make_service();
+    EXPECT_THROW(restore_from(fresh, torn, torn.size()), SnapshotError)
+        << "cut=" << cut;
+  }
+}
+
 }  // namespace

@@ -375,6 +375,134 @@ TEST(WireFormat, FuzzRandomCorruptionNeverCrashes) {
   }
 }
 
+// --- Replication frames: kSnapBase/kSnapDelta/kSnapAck/kFollowRequest/
+// kPromote/kPromoteAck (the warm-standby path) --------------------------
+
+TEST(WireFormat, RoundTripsReplicationFrames) {
+  std::vector<std::uint8_t> capture = {'E', 'F', 'D', 'S', 'N', 'A', 'P', '2'};
+  capture.resize(128, 0xAB);
+  const std::vector<Message> originals = {
+      make_snap_capture(true, 1, 0, capture),
+      make_snap_capture(false, 9, 8, {0x01, 0x02, 0x03}),
+      // An empty blob is codec-valid (the follower rejects it at the
+      // envelope-check layer, like empty swap dictionaries).
+      make_snap_capture(false, 2, 1, {}),
+      make_snap_ack(true, 9),
+      make_snap_ack(false, 10, "chain validation failed"),
+      make_follow_request(0),
+      make_follow_request(12345678901234ull),
+      make_promote(),
+      make_promote_ack(true, 9),
+      make_promote_ack(false, 0, "no restorable local base"),
+  };
+
+  std::vector<std::uint8_t> bytes;
+  for (const Message& message : originals) encode_frame(message, bytes);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const std::vector<Message> decoded = decode_all(decoder);
+  ASSERT_EQ(decoded.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(decoded[i], originals[i]) << "message " << i;
+  }
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WireFormat, ReplicationFramesDecodeDefensively) {
+  {
+    // A base capture claiming a nonzero parent contradicts the chain
+    // invariant; the codec rejects it before the pipeline ever sees it.
+    std::vector<std::uint8_t> bytes =
+        encode(make_snap_capture(false, 7, 5, {0xAA}));
+    bytes[5] = static_cast<std::uint8_t>(MessageType::kSnapBase);
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+    EXPECT_NE(decoder.error().find("parent"), std::string::npos);
+  }
+  {
+    // Snap capture body shorter than its two fixed ids.
+    std::vector<std::uint8_t> bytes = {12, 0, 0, 0, 1,
+                                       static_cast<std::uint8_t>(12)};
+    bytes.resize(4 + 12, 0);  // 10 body bytes < 16
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // A snap-ack whose error length overruns the body must fail, never
+    // allocate past the bytes that arrived.
+    std::vector<std::uint8_t> bytes = encode(make_snap_ack(false, 1, "x"));
+    // error length field offset: 4 len + 2 header + 1 ok + 8 capture_id.
+    bytes[15] = 0xFF;
+    bytes[16] = 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // A follow request with trailing bytes is a malformed body.
+    std::vector<std::uint8_t> bytes = encode(make_follow_request(3));
+    bytes.push_back(0x00);
+    const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
+    }
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Promote carries no body; a byte after the header is garbage.
+    std::vector<std::uint8_t> bytes = {3, 0, 0, 0, 1,
+                                       static_cast<std::uint8_t>(15), 0};
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+}
+
+TEST(WireFormat, FuzzReplicationFrameCorruptionNeverCrashes) {
+  std::vector<std::uint8_t> valid;
+  std::vector<std::uint8_t> capture(64, 0x5A);
+  encode_frame(make_follow_request(4), valid);
+  encode_frame(make_snap_capture(true, 5, 0, capture), valid);
+  encode_frame(make_snap_capture(false, 6, 5, capture), valid);
+  encode_frame(make_snap_ack(true, 6), valid);
+  encode_frame(make_promote(), valid);
+  encode_frame(make_promote_ack(false, 6, "still syncing"), valid);
+
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> corrupted = valid;
+    const int flips = 1 + round % 8;
+    for (int f = 0; f < flips; ++f) {
+      corrupted[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    FrameDecoder decoder;
+    decoder.feed(corrupted);
+    Message message;
+    int guard = 0;
+    DecodeStatus status;
+    while ((status = decoder.next(message)) == DecodeStatus::kMessage) {
+      // A surviving snapshot blob stays bounded by what actually arrived.
+      EXPECT_LE(message.snapshot_blob.size(), corrupted.size());
+      ASSERT_LT(++guard, 1000) << "decoder failed to terminate";
+    }
+    EXPECT_TRUE(status == DecodeStatus::kNeedMore ||
+                status == DecodeStatus::kError);
+  }
+}
+
 // --- EFD-DGRAM-V1: the UDP datagram wrapper (udp_transport.hpp) --------
 
 TEST(UdpDatagram, RoundTripsHeaderAndFrame) {

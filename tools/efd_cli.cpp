@@ -14,17 +14,25 @@
 ///   serve      serve a trained dictionary over TCP: node daemons (or
 ///              `replay`) stream EFD-WIRE-V1 frames in, verdicts flow
 ///              back over the same connection. --snapshot-path makes the
-///              endpoint durable (periodic EFD-SNAP-V1 snapshots;
-///              --restore resumes in-flight jobs after a crash),
-///              --allow-swap accepts live dictionary hot-swaps, and
+///              endpoint durable (periodic EFD-SNAP-V2 base+delta
+///              capture chains, fsync'd through to disk; --restore
+///              resumes in-flight jobs after a crash or power loss),
+///              --allow-swap accepts live dictionary hot-swaps,
+///              --allow-followers streams the capture chain to warm
+///              standbys, --follow host:port runs AS a warm standby
+///              (promotable via `promote` or automatically after
+///              --promote-grace-ms of leader silence), and
 ///              --auto-retrain closes the loop: captured traffic
 ///              retrains the dictionary in the background and the
-///              result self-swaps once it clears the validation gate
+///              result self-swaps once it clears the validation gate.
+///              SIGINT/SIGTERM drain, write a final snapshot, exit 0
 ///   replay     stream a dataset CSV against a running `serve` endpoint
 ///              and print the verdicts
 ///   swap-dict  hot-swap a retrained dictionary into a running `serve`
 ///              endpoint (kSwapDictionary control frame) and report the
 ///              new dictionary epoch
+///   promote    flip a running `serve --follow` warm standby into the
+///              serving leader (kPromote control frame)
 ///
 /// Concurrency knobs: --shards selects the sharded concurrent dictionary
 /// engine (0 = heuristic), --threads sizes a dedicated worker pool, and
@@ -40,7 +48,9 @@
 ///   efd_cli replay --data new_jobs.csv --port 7411
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -48,6 +58,7 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -62,7 +73,9 @@
 #include "core/trainer.hpp"
 #include "eval/efd_experiment.hpp"
 #include "ingest/pipeline.hpp"
+#include "ingest/replication.hpp"
 #include "ingest/shm_transport.hpp"
+#include "ingest/snapshot_chain.hpp"
 #include "ingest/source_mux.hpp"
 #include "ingest/tcp_transport.hpp"
 #include "ingest/transport_feed.hpp"
@@ -82,6 +95,30 @@
 namespace {
 
 using namespace efd;
+
+/// Signal-driven shutdown flag for `serve`: SIGINT/SIGTERM flip it, the
+/// pipeline polls it (IngestPipelineConfig::external_stop) and winds
+/// down cleanly — drain, final snapshot, exit 0 — instead of dying with
+/// the on-disk snapshot stale. Lock-free atomics are async-signal-safe;
+/// nothing else happens in the handler.
+std::atomic<bool> g_shutdown_requested{false};
+
+extern "C" void handle_shutdown_signal(int) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Routes SIGINT/SIGTERM to the clean-shutdown flag for the lifetime of
+/// a serve command.
+void install_shutdown_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking syscalls (accept/poll/recv) must wake with
+  // EINTR so the poll loop observes the flag promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 int usage() {
   std::cerr <<
@@ -112,6 +149,8 @@ int usage() {
       "             [--allow-shutdown] [--allow-swap]\n"
       "             [--snapshot-path FILE] [--snapshot-interval-ms MS]\n"
       "             [--snapshot-every VERDICTS] [--restore]\n"
+      "             [--snapshot-chain-limit N] [--allow-followers]\n"
+      "             [--follow HOST:PORT] [--promote-grace-ms MS]\n"
       "             [--die-after-snapshots N]\n"
       "             [--auto-retrain] [--retrain-interval-ms MS]\n"
       "             [--retrain-min-jobs N] [--retrain-window JOBS]\n"
@@ -120,7 +159,9 @@ int usage() {
       "             [--retrain-exclude-source ID]...\n"
       "  replay     --data FILE (--port P [--udp] | --shm NAME) [--host H]\n"
       "             [--batch N] [--stride N] [--offset K] [--pace-us US]\n"
-      "  swap-dict  --dict FILE --port P [--host H]\n";
+      "  swap-dict  --dict FILE --port P [--host H]\n"
+      "  promote    --port P [--host H]  (flip a --follow standby into\n"
+      "             the serving leader)\n";
   return 2;
 }
 
@@ -313,6 +354,7 @@ std::string prometheus_exposition(const std::string& flat) {
   // Pass 1: split rows, learn the source id -> registration-name labels.
   std::map<std::string, std::string> source_names;
   std::vector<std::pair<std::string, std::string>> rows;
+  std::string snapshot_error;
   std::istringstream in(flat);
   std::string line;
   while (std::getline(in, line)) {
@@ -326,6 +368,12 @@ std::string prometheus_exposition(const std::string& flat) {
         source_names[name.substr(7, dot - 7)] = value;
         continue;  // becomes a label, not a series
       }
+    }
+    if (name == "ingest.snapshot_last_error") {
+      // Text, not a number: folded into an info-style labeled gauge
+      // below ("none" = healthy, no series at all).
+      if (value != "none") snapshot_error = value;
+      continue;
     }
     rows.emplace_back(std::move(name), std::move(value));
   }
@@ -379,6 +427,11 @@ std::string prometheus_exposition(const std::string& flat) {
   }
   for (const std::string& family : family_order) {
     for (const std::string& emitted : families[family]) out << emitted << "\n";
+  }
+  if (!snapshot_error.empty()) {
+    out << "# TYPE efd_ingest_snapshot_last_error_info gauge\n"
+        << "efd_ingest_snapshot_last_error_info{reason=\"" << snapshot_error
+        << "\"} 1\n";
   }
   return std::move(out).str();
 }
@@ -672,7 +725,15 @@ int cmd_serve(const util::ArgParser& args) {
       std::chrono::milliseconds(args.get_int("snapshot-interval-ms", 0));
   pipeline_config.snapshot_every_verdicts =
       static_cast<std::uint64_t>(args.get_int("snapshot-every", 0));
+  pipeline_config.snapshot_chain_limit = static_cast<std::uint64_t>(
+      std::max<long long>(0, args.get_int("snapshot-chain-limit", 16)));
   pipeline_config.restore_on_start = args.has("restore");
+  pipeline_config.allow_followers = args.has("allow-followers");
+  // Clean signal-driven shutdown: SIGTERM/SIGINT drain the pipeline,
+  // write the final snapshot, and exit 0 — `kill -TERM` must leave a
+  // restorable snapshot behind, not a stale one.
+  install_shutdown_handlers();
+  pipeline_config.external_stop = &g_shutdown_requested;
   if (!args.has("quiet")) {
     pipeline_config.on_verdict = [](const core::JobVerdict& verdict) {
       std::cout << "verdict job=" << verdict.job_id << " app="
@@ -759,6 +820,70 @@ int cmd_serve(const util::ArgParser& args) {
               << util::format_fixed(retrain_config.gate.margin, 4)
               << (retrain_config.dry_run ? ", DRY RUN" : "") << std::endl;
   }
+  // Warm-standby mode: mirror the leader's capture chain onto the local
+  // snapshot path until promotion (operator kPromote, or auto after
+  // --promote-grace-ms of leader silence), then fall through to normal
+  // serving restored from that chain — the failover path.
+  const std::string follow = args.get("follow");
+  if (!follow.empty()) {
+    const std::size_t colon = follow.rfind(':');
+    std::optional<long long> follow_port;
+    if (colon != std::string::npos) {
+      follow_port = util::parse_int(follow.substr(colon + 1));
+    }
+    if (!follow_port || *follow_port <= 0 || *follow_port > 65535) {
+      std::cerr << "error: --follow needs HOST:PORT, got " << follow << "\n";
+      return usage();
+    }
+    if (pipeline_config.snapshot_path.empty()) {
+      std::cerr << "error: --follow requires --snapshot-path (the local "
+                   "chain the standby persists and promotes from)\n";
+      return usage();
+    }
+    ingest::FollowerConfig follower_config;
+    follower_config.leader_host = follow.substr(0, colon);
+    follower_config.leader_port = static_cast<std::uint16_t>(*follow_port);
+    follower_config.snapshot_path = pipeline_config.snapshot_path;
+    follower_config.promote_grace = std::chrono::milliseconds(
+        std::max<long long>(0, args.get_int("promote-grace-ms", 0)));
+    follower_config.external_stop = &g_shutdown_requested;
+    follower_config.control = &sources;
+    // Every replicated capture is validated by restoring the full local
+    // chain into a throwaway service configured like the one a
+    // promotion would boot (workers off — it only replays).
+    core::RecognitionServiceConfig shadow_config = service_config;
+    shadow_config.worker_count = 0;
+    follower_config.shadow_factory = [dict, shard_count, shadow_config] {
+      return std::make_unique<core::RecognitionService>(
+          core::ShardedDictionary::load_file(dict, shard_count),
+          shadow_config);
+    };
+    if (!args.has("quiet")) {
+      follower_config.log = [](const std::string& line) {
+        std::cout << line << std::endl;
+      };
+    }
+    ingest::ReplicationFollower follower(std::move(follower_config));
+    std::cout << "following " << follow << " (promote grace "
+              << args.get_int("promote-grace-ms", 0) << " ms)" << std::endl;
+    const auto outcome = follower.run();
+    const ingest::FollowerStats fstats = follower.stats();
+    std::cout << "follower: " << fstats.captures_applied
+              << " captures applied (" << fstats.bases_applied << " bases, "
+              << fstats.captures_rejected << " rejected), "
+              << fstats.reconnects << " reconnects, newest capture "
+              << fstats.last_capture_id << std::endl;
+    if (outcome == ingest::ReplicationFollower::Outcome::kStopped) {
+      for (Listener& listener : listeners) listener.stop();
+      return 0;
+    }
+    std::cout << "promoted: serving from the local chain" << std::endl;
+    // Serve exactly what was replicated; the promotion itself must not
+    // be poisoned by a stale shutdown signal.
+    pipeline_config.restore_on_start = true;
+    g_shutdown_requested.store(false, std::memory_order_relaxed);
+  }
+
   ingest::IngestPipeline pipeline(service, sources, pipeline_config,
                                   pool.get());
   const std::uint64_t delivered = pipeline.run();
@@ -852,6 +977,34 @@ int cmd_swap_dict(const util::ArgParser& args) {
     return 1;
   }
   std::cerr << "error: no swap ack from " << host << ":" << port << "\n";
+  return 1;
+}
+
+/// promote: flip a running `serve --follow` warm standby into the
+/// serving leader. Modeled on swap-dict: one control frame, one ack.
+int cmd_promote(const util::ArgParser& args) {
+  const auto port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) return usage();
+  const std::string host = args.get("host", "127.0.0.1");
+
+  ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+  client.send(ingest::make_promote());
+
+  ingest::Message reply;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!client.receive(reply, std::chrono::milliseconds(250))) continue;
+    if (reply.type != ingest::MessageType::kPromoteAck) continue;
+    if (reply.snap_ack.ok) {
+      std::cout << "promoted: standby will serve from capture "
+                << reply.snap_ack.capture_id << "\n";
+      return 0;
+    }
+    std::cerr << "promotion rejected: " << reply.snap_ack.error << "\n";
+    return 1;
+  }
+  std::cerr << "error: no promote ack from " << host << ":" << port << "\n";
   return 1;
 }
 
@@ -1050,6 +1203,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "swap-dict") return cmd_swap_dict(args);
+    if (command == "promote") return cmd_promote(args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
