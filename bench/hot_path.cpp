@@ -13,7 +13,12 @@
 ///     `batch_scoring_speedup`;
 ///  3. frame decode — FrameDecoder with fresh sample vectors per frame
 ///     (set_buffer_pool(nullptr), the pre-pool behavior) vs. the
-///     recycling pool, in ns/sample.
+///     recycling pool, in ns/sample;
+///  4. observability overhead — the full RecognitionService open/push/
+///     close loop with the obs::hot_path() stage timers enabled vs.
+///     disabled, in ns/sample; `obs_overhead_ratio` (off/on) gates that
+///     instrumentation stays within the CI budget (>= 0.95 means the
+///     timers cost at most ~5%).
 ///
 /// CI runs this via the hot-path-smoke job and feeds the JSONL line to
 /// tools/bench_check.py, which compares the ratio fields against the
@@ -32,12 +37,15 @@
 #include "bench_common.hpp"
 #include "core/fingerprint.hpp"
 #include "core/matcher.hpp"
+#include "core/online/recognition_service.hpp"
 #include "core/recognition_scratch.hpp"
 #include "core/rounding.hpp"
 #include "core/rounding_kernel.hpp"
+#include "core/sharded_dictionary.hpp"
 #include "core/trainer.hpp"
 #include "ingest/buffer_pool.hpp"
 #include "ingest/wire_format.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -202,6 +210,67 @@ int main(int argc, char** argv) {
   std::cout << "decode_pooled_speedup: " << util::format_mean(decode_speedup)
             << "x\n";
 
+  // --- Stage 4: observability overhead ------------------------------
+  // Full service loop (open -> push_batch -> close -> drain) with the
+  // hot-path stage timers on vs. off. The ratio is what hot-path-smoke
+  // gates: instrumentation must never buy back the PRs that made this
+  // path fast.
+  constexpr std::size_t kServeJobs = 64;
+  constexpr std::size_t kBatchesPerJob = 16;
+  constexpr std::size_t kServeBatch = 48;
+  std::vector<std::vector<core::RecognitionService::SamplePush>> batches(
+      kBatchesPerJob);
+  for (std::size_t b = 0; b < kBatchesPerJob; ++b) {
+    batches[b].reserve(kServeBatch);
+    for (std::size_t i = 0; i < kServeBatch; ++i) {
+      core::RecognitionService::SamplePush push;
+      push.node_id = static_cast<std::uint32_t>(i % 8);
+      push.t = static_cast<int>(b * kServeBatch + i);
+      push.value = 6000.0 + static_cast<double>((b * kServeBatch + i) % 97);
+      push.metric = config.metrics[i % config.metrics.size()];
+      batches[b].push_back(push);
+    }
+  }
+  const auto service_rep = [&](bool timers_on) {
+    obs::hot_path().enabled.store(timers_on, std::memory_order_relaxed);
+    core::RecognitionService service(
+        core::ShardedDictionary::from_dictionary(dictionary), {});
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t job = 1; job <= kServeJobs; ++job) {
+      service.open_job(job, 8, 0);
+      for (const auto& samples : batches) {
+        service.push_batch(job, samples);
+      }
+      service.close_job(job);
+    }
+    g_sink = static_cast<double>(service.drain_verdicts().size());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                   .count()) /
+           (kServeJobs * kBatchesPerJob * kServeBatch);
+  };
+  // Interleave the on/off repetitions (and double them up — this stage
+  // gates CI, so a machine-load blip must not decide the ratio): each
+  // mode's best-of competes under the same drift.
+  service_rep(true);  // warm-up, not measured
+  double obs_on_ns = std::numeric_limits<double>::infinity();
+  double obs_off_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2 * repetitions; ++rep) {
+    obs_on_ns = std::min(obs_on_ns, service_rep(true));
+    obs_off_ns = std::min(obs_off_ns, service_rep(false));
+  }
+  obs::hot_path().enabled.store(true, std::memory_order_relaxed);
+  const double obs_overhead_ratio = obs_off_ns / obs_on_ns;
+
+  std::cout << "\n";
+  util::TablePrinter obs_table({"service loop", "ns/sample"});
+  obs_table.add_row({"obs timers on", util::format_mean(obs_on_ns)});
+  obs_table.add_row({"obs timers off", util::format_mean(obs_off_ns)});
+  obs_table.print(std::cout);
+  std::cout << "obs_overhead_ratio: " << util::format_mean(obs_overhead_ratio)
+            << " (off/on; 1.0 = free instrumentation)\n";
+
   bench::JsonRecord record;
   record.field("bench", "hot_path")
       .field("kernel", core::kernel_name())
@@ -216,6 +285,9 @@ int main(int argc, char** argv) {
       .field("decode_fresh_ns_per_sample", fresh_ns)
       .field("decode_pooled_ns_per_sample", pooled_ns)
       .field("decode_pooled_speedup", decode_speedup)
+      .field("obs_on_ns_per_sample", obs_on_ns)
+      .field("obs_off_ns_per_sample", obs_off_ns)
+      .field("obs_overhead_ratio", obs_overhead_ratio)
       .field("records", dataset.size());
   bench::emit_json(args, record);
   return 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efd::core {
@@ -282,7 +283,8 @@ std::shared_ptr<RecognitionService::JobStream> RecognitionService::find_stream(
 
 bool RecognitionService::enqueue_locked(
     const std::shared_ptr<JobStream>& stream_ptr,
-    std::unique_lock<std::mutex>& lock, const SamplePush& sample) {
+    std::unique_lock<std::mutex>& lock, const SamplePush& sample,
+    std::int64_t enqueue_ns) {
   JobStream& stream = *stream_ptr;
   if (stream.done.load(std::memory_order_relaxed)) {
     // The verdict already fired; the stream lingers until the next
@@ -365,7 +367,8 @@ bool RecognitionService::enqueue_locked(
   // reads the pinned epoch's immutable config, so it is safe while a
   // drainer owns the recognizer's mutable state.
   stream.queue.push_back(Sample{sample.node_id, sample.t, sample.value,
-                                stream.recognizer.metric_slot(sample.metric)});
+                                stream.recognizer.metric_slot(sample.metric),
+                                enqueue_ns});
   stream.queued.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -387,12 +390,20 @@ std::size_t RecognitionService::push_batch(
   }
 
   std::size_t accepted = 0;
+  // One clock read serves the whole batch: every accepted sample shares
+  // this admission stamp (the e2e latency origin) and it doubles as the
+  // stream's activity time, so latency stamping adds no steady-state
+  // clock calls.
+  const std::int64_t batch_ns = now_ns();
+  auto& hot = obs::hot_path();
+  const bool timed = hot.sample_now();
   std::unique_lock lock(stream->mutex);
   for (const SamplePush& sample : samples) {
-    if (enqueue_locked(stream, lock, sample)) ++accepted;
+    if (enqueue_locked(stream, lock, sample, batch_ns)) ++accepted;
   }
+  if (timed) hot.enqueue_ns.observe(now_ns() - batch_ns);
   if (accepted > 0) {
-    stream->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+    stream->last_activity_ns.store(batch_ns, std::memory_order_relaxed);
     if (!config_.deferred) {
       drain_stream(*stream, lock);
     } else if (!workers_.empty()) {
@@ -408,6 +419,8 @@ std::size_t RecognitionService::drain_stream(
   if (stream.draining) return 0;  // the token holder will consume our samples
   stream.draining = true;
 
+  auto& hot = obs::hot_path();
+  const bool timed = hot.sample_now();
   std::size_t fed_total = 0;
   // Swap the whole queue out into the stream-owned drain buffer: both
   // vectors reach the stream's high-water capacity and then recycle it,
@@ -423,8 +436,10 @@ std::size_t RecognitionService::drain_stream(
 
     // The drain token makes the recognizer ours outside the mutex, so
     // producers keep enqueueing while this batch is recognized.
+    const std::int64_t score_start = timed ? now_ns() : 0;
     std::size_t fed = 0;
     bool fired = false;
+    std::int64_t fired_enqueue_ns = 0;
     RecognitionResult verdict;
     for (const Sample& sample : batch) {
       if (sample.metric_slot != kNoMetricSlot) {
@@ -444,9 +459,11 @@ std::size_t RecognitionService::drain_stream(
                                          : stream.recognizer.result();
         if (result) verdict = *result;
         fired = true;
+        fired_enqueue_ns = sample.enqueue_ns;
         break;
       }
     }
+    if (timed) hot.score_ns.observe(now_ns() - score_start);
     fed_total += fed;
     samples_pushed_.fetch_add(fed, std::memory_order_relaxed);
     if (stream.ingress != nullptr) {
@@ -463,7 +480,9 @@ std::size_t RecognitionService::drain_stream(
       // done cannot have been set meanwhile: close/evict wait for the
       // drain token before finishing a stream. Queue the verdict before
       // publishing done (the reap treats done==true as "verdict queued").
-      queue_verdict(stream.job_id, std::move(verdict));
+      queue_verdict(stream.job_id, std::move(verdict),
+                    stream.ingress != nullptr ? stream.ingress->source : 0,
+                    fired_enqueue_ns);
       if (stream.ingress != nullptr) {
         stream.ingress->jobs_completed.fetch_add(1,
                                                  std::memory_order_relaxed);
@@ -550,7 +569,10 @@ void RecognitionService::finish_stream(JobStream& stream) {
   // Queued before done is published, as in drain_stream().
   RecognitionResult verdict;
   if (auto result = stream.recognizer.result()) verdict = *result;
-  queue_verdict(stream.job_id, std::move(verdict));
+  // Force-closed verdicts carry no enqueue stamp: their latency is
+  // dominated by the close/evict decision, not the scoring path.
+  queue_verdict(stream.job_id, std::move(verdict),
+                stream.ingress != nullptr ? stream.ingress->source : 0, 0);
   if (stream.ingress != nullptr) {
     stream.ingress->jobs_completed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -691,14 +713,39 @@ RecognitionServiceStats RecognitionService::stats() const {
   return stats;
 }
 
+std::vector<std::uint64_t> RecognitionService::open_job_ids() const {
+  std::vector<std::uint64_t> ids;
+  {
+    std::shared_lock lock(jobs_mutex_);
+    ids.reserve(jobs_.size());
+    for (const auto& [job_id, stream] : jobs_) {
+      if (!stream->done.load(std::memory_order_acquire)) {
+        ids.push_back(job_id);
+      }
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void RecognitionService::queue_verdict(std::uint64_t job_id,
-                                       RecognitionResult result) {
+                                       RecognitionResult result,
+                                       std::uint32_t source,
+                                       std::int64_t enqueue_ns) {
   // The seq stamp (taken under the firing stream's mutex) is the global
   // completion order; drain_verdicts sorts by it, so the drained stream
   // is identical whether verdicts staged per-worker or centrally.
   const std::uint64_t seq =
       verdict_seq_.fetch_add(1, std::memory_order_relaxed);
-  PendingVerdict pending{seq, {job_id, std::move(result)}};
+  const std::int64_t verdict_ns = now_ns();
+  if (enqueue_ns > 0) {
+    auto& hot = obs::hot_path();
+    if (hot.enabled.load(std::memory_order_relaxed)) {
+      hot.verdict_e2e_ns.observe(verdict_ns - enqueue_ns);
+    }
+  }
+  PendingVerdict pending{
+      seq, {job_id, std::move(result), source, enqueue_ns, verdict_ns}};
   if (tl_worker_ != nullptr && tl_worker_->owner == this) {
     // Worker fast path: stage locally; no cross-worker lock traffic on
     // the scoring path.

@@ -91,10 +91,19 @@ class ThreadPool;
 
 namespace efd::core {
 
-/// A finished job's recognition outcome.
+/// A finished job's recognition outcome. The latency stamps are
+/// steady_clock nanoseconds (now_ns() epoch): `enqueue_ns` is when the
+/// sample that completed the job was admitted, `verdict_ns` when the
+/// verdict was computed — their difference is the end-to-end
+/// enqueue → verdict latency the observability plane histograms. Both
+/// are 0 when unknown (force-closed, evicted, or snapshot-restored
+/// verdicts). `source` is the ingest source tag the job arrived on.
 struct JobVerdict {
   std::uint64_t job_id = 0;
   RecognitionResult result;
+  std::uint32_t source = 0;
+  std::int64_t enqueue_ns = 0;
+  std::int64_t verdict_ns = 0;
 };
 
 /// What happens to a push when a job's sample queue is full.
@@ -397,20 +406,28 @@ class RecognitionService {
 
   RecognitionServiceStats stats() const;
 
+  /// Ids of every currently open job, ascending (observability /index
+  /// material; takes the jobs map shared).
+  std::vector<std::uint64_t> open_job_ids() const;
+
  private:
   struct SourceIngress;
 
   /// One queued monitoring sample. POD: the metric travels as the
   /// recognizer's slot index (resolved once at enqueue, since the push
   /// caller's string_view does not outlive the call), so queue churn
-  /// copies 20 bytes instead of constructing strings. kNoMetricSlot
+  /// copies plain bytes instead of constructing strings. kNoMetricSlot
   /// marks metrics the dictionary does not fingerprint — still queued,
-  /// because the legacy path counted them as fed.
+  /// because the legacy path counted them as fed. `enqueue_ns` is the
+  /// admission stamp (one now_ns() per accepted batch, shared by its
+  /// samples) that the verdict latency histogram measures from; 0 for
+  /// snapshot-restored samples.
   struct Sample {
     std::uint32_t node_id = 0;
     int t = 0;
     double value = 0.0;
     std::uint32_t metric_slot = kNoMetricSlot;
+    std::int64_t enqueue_ns = 0;
   };
 
   struct JobStream {
@@ -529,7 +546,7 @@ class RecognitionService {
   /// self-drain). Returns false when the sample was not enqueued.
   bool enqueue_locked(const std::shared_ptr<JobStream>& stream,
                       std::unique_lock<std::mutex>& lock,
-                      const SamplePush& sample);
+                      const SamplePush& sample, std::int64_t enqueue_ns);
   /// Drains the stream's queue with the drain token held; \p lock must
   /// hold stream->mutex on entry and holds it again on return. Returns
   /// samples recognized.
@@ -537,7 +554,10 @@ class RecognitionService {
   /// Computes and queues a force-close verdict; caller holds the mutex
   /// and has waited out any drainer. Flushes queued samples first.
   void finish_stream(JobStream& stream);
-  void queue_verdict(std::uint64_t job_id, RecognitionResult result);
+  /// \p enqueue_ns is the admission stamp of the sample that completed
+  /// the job (0 = unknown); the verdict's verdict_ns is stamped here.
+  void queue_verdict(std::uint64_t job_id, RecognitionResult result,
+                     std::uint32_t source, std::int64_t enqueue_ns);
   static std::int64_t now_ns();
 
   /// Worker pool plumbing (all no-ops / unused when worker_count == 0).

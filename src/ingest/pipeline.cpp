@@ -2,23 +2,66 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <span>
 #include <sstream>
+#include <string_view>
 #include <system_error>
 #include <utility>
 #include <vector>
 
 #include "core/online/service_snapshot.hpp"
+#include "core/rounding_kernel.hpp"
 #include "ingest/buffer_pool.hpp"
 #include "ingest/snapshot_chain.hpp"
+#include "ingest/subscription.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_server.hpp"
+#include "obs/metrics.hpp"
 #include "retrain/retrain_controller.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efd::ingest {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimal JSON string escape for /index values (source names, error
+// text): quotes, backslashes, and control bytes.
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Message make_verdict_message(const core::JobVerdict& verdict) {
   Message message;
@@ -38,7 +81,9 @@ IngestPipeline::IngestPipeline(core::RecognitionService& service,
                                SourceMux& sources,
                                IngestPipelineConfig config,
                                util::ThreadPool* pool)
-    : service_(service), sources_(&sources), config_(config), pool_(pool) {}
+    : service_(service), sources_(&sources), config_(config), pool_(pool) {
+  init_observability();
+}
 
 IngestPipeline::IngestPipeline(core::RecognitionService& service,
                                SampleSource& source,
@@ -50,6 +95,39 @@ IngestPipeline::IngestPipeline(core::RecognitionService& service,
       config_(config),
       pool_(pool) {
   owned_mux_->add_source("source", source);
+  init_observability();
+}
+
+void IngestPipeline::init_observability() {
+  start_ns_ = steady_now_ns();
+  if (config_.http_port < 0) return;
+  // Started here, not in run(): readiness probes should see the endpoint
+  // as soon as the process constructed its pipeline, and a bind conflict
+  // should fail construction loudly instead of surfacing mid-serve.
+  http_ = std::make_unique<obs::HttpServer>(
+      static_cast<std::uint16_t>(config_.http_port),
+      [this](const obs::HttpRequest& request) {
+        obs::HttpResponse response;
+        if (request.target == "/metrics") {
+          response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+          response.body =
+              obs::render_metrics(render_stats_text(), obs::global_metrics());
+        } else if (request.target == "/index") {
+          response.content_type = "application/json";
+          response.body = render_index_json();
+        } else if (request.target == "/healthz") {
+          response.content_type = "application/json";
+          response.body = "{\"status\":\"ok\",\"role\":\"leader\"}\n";
+        } else {
+          response.status = 404;
+          response.body = "not found\n";
+        }
+        return response;
+      });
+}
+
+std::uint16_t IngestPipeline::http_port() const noexcept {
+  return http_ != nullptr ? http_->port() : 0;
 }
 
 IngestPipeline::~IngestPipeline() {
@@ -223,6 +301,9 @@ void IngestPipeline::dispatch(Envelope& envelope) {
     case MessageType::kFollowRequest:
       handle_follow_request(envelope);
       break;
+    case MessageType::kSubscribe:
+      handle_subscribe(envelope);
+      break;
     case MessageType::kSnapAck:
       // A follower's receipt: the capture is durable on ITS disk (or
       // was rejected — the follower re-handshakes on its own).
@@ -246,12 +327,35 @@ void IngestPipeline::dispatch(Envelope& envelope) {
     case MessageType::kSnapBase:
     case MessageType::kSnapDelta:
     case MessageType::kPromoteAck:
+    case MessageType::kSubscribeAck:
+    case MessageType::kVerdictEvent:
     default:
       // Verdicts, acks, stats replies, retrain reports, and replicated
       // captures flow outbound only; anything else is a peer bug.
       unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+void IngestPipeline::handle_subscribe(Envelope& envelope) {
+  if (envelope.reply == nullptr) {
+    // Fire-and-forget transport (UDP, replayed file): there is no
+    // channel to stream events back on, so the subscription is a peer
+    // bug, not a half-honorable request.
+    unexpected_messages_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (hub_ == nullptr) {
+    // Lazy: a pipeline nobody subscribes to never pays for the hub's
+    // dispatcher thread. Created on the run() thread; readers (stats,
+    // /metrics) see it only through the released pointer below.
+    hub_ = std::make_unique<SubscriptionHub>(config_.subscriber_queue_capacity);
+    hub_ptr_.store(hub_.get(), std::memory_order_release);
+  }
+  const std::uint64_t id =
+      hub_->subscribe(envelope.reply, std::move(envelope.message.subscribe));
+  subscribe_requests_.fetch_add(1, std::memory_order_relaxed);
+  envelope.reply->deliver(make_subscribe_ack(true, id));
 }
 
 std::string IngestPipeline::render_stats_text() const {
@@ -313,7 +417,9 @@ std::string IngestPipeline::render_stats_text() const {
       << "ingest.dictionary_swaps " << pipeline.dictionary_swaps << "\n"
       << "ingest.swaps_rejected " << pipeline.swaps_rejected << "\n"
       << "ingest.stats_requests " << pipeline.stats_requests << "\n"
-      << "ingest.retrain_reports " << pipeline.retrain_reports << "\n";
+      << "ingest.retrain_reports " << pipeline.retrain_reports << "\n"
+      << "ingest.subscribe_requests " << pipeline.subscribe_requests << "\n"
+      << "ingest.verdict_events " << pipeline.verdict_events << "\n";
 
   // The scrape format is one value token per line, so the reason text
   // is whitespace-folded; "none" keeps the row present (and diffable)
@@ -398,6 +504,114 @@ std::string IngestPipeline::render_stats_text() const {
         << "retrain.samples_filtered " << recorder.samples_filtered << "\n"
         << "retrain.window_resets " << recorder.window_resets << "\n";
   }
+
+  // Process identity and age — folded into efd_build_info /
+  // efd_uptime_seconds by the Prometheus exposition.
+  out << "uptime.seconds "
+      << (steady_now_ns() - start_ns_) / 1'000'000'000 << "\n"
+      << "build.version " << obs::build_version() << "\n"
+      << "build.sha " << obs::build_sha() << "\n"
+      << "build.kernel " << core::kernel_name() << "\n";
+
+  // One row block per live verdict subscriber: delivered/dropped tell an
+  // operator WHICH consumer is too slow for the verdict rate.
+  if (const SubscriptionHub* hub = hub_ptr_.load(std::memory_order_acquire)) {
+    for (const SubscriptionHub::SubscriberStats& sub : hub->stats()) {
+      const std::string prefix = "subscriber." + std::to_string(sub.id) + ".";
+      out << prefix << "delivered " << sub.delivered << "\n"
+          << prefix << "dropped " << sub.dropped << "\n"
+          << prefix << "queued " << sub.queued << "\n";
+    }
+  }
+
+  // Deterministic row order: the blocks above are emitted in code order,
+  // but consumers diff scrapes and the Prometheus renderer groups rows
+  // into families — a global lexicographic sort makes both stable no
+  // matter how the blocks above grow or reorder.
+  std::string text = std::move(out).str();
+  std::vector<std::string_view> rows;
+  for (std::size_t at = 0; at < text.size();) {
+    std::size_t end = text.find('\n', at);
+    if (end == std::string::npos) end = text.size();
+    rows.push_back(std::string_view(text).substr(at, end - at));
+    at = end + 1;
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string sorted;
+  sorted.reserve(text.size());
+  for (const std::string_view row : rows) {
+    sorted.append(row);
+    sorted.push_back('\n');
+  }
+  return sorted;
+}
+
+std::string IngestPipeline::render_index_json() const {
+  // Everything here reads thread-safe snapshots (service stats, mux
+  // stats, this pipeline's atomics) — callable from the HTTP thread
+  // while run() is mid-poll.
+  constexpr std::size_t kMaxListedJobs = 256;
+  const core::RecognitionServiceStats service = service_.stats();
+  const std::vector<std::uint64_t> jobs = service_.open_job_ids();
+  const IngestPipelineStats pipeline = stats();
+
+  std::ostringstream out;
+  out << "{\"uptime_seconds\":"
+      << (steady_now_ns() - start_ns_) / 1'000'000'000
+      << ",\"build\":{\"version\":\"" << json_escape(obs::build_version())
+      << "\",\"sha\":\"" << json_escape(obs::build_sha())
+      << "\",\"kernel\":\"" << json_escape(core::kernel_name()) << "\"}"
+      << ",\"dictionary\":{\"epoch\":" << service.dictionary_epoch
+      << ",\"swaps\":" << service.dictionary_swaps << "}";
+
+  out << ",\"jobs\":{\"active\":" << service.active_jobs
+      << ",\"pending_verdicts\":" << service.pending_verdicts << ",\"ids\":[";
+  const std::size_t listed = std::min(jobs.size(), kMaxListedJobs);
+  for (std::size_t i = 0; i < listed; ++i) {
+    if (i != 0) out << ',';
+    out << jobs[i];
+  }
+  out << "],\"ids_truncated\":" << (jobs.size() > listed ? "true" : "false")
+      << "}";
+
+  out << ",\"sources\":[";
+  bool first = true;
+  for (const SourceMuxStats& source : sources_->stats()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"id\":" << source.id << ",\"name\":\""
+        << json_escape(source.name) << "\",\"envelopes\":" << source.envelopes
+        << ",\"samples\":" << source.samples
+        << ",\"verdicts\":" << source.verdicts
+        << ",\"exhausted\":" << (source.exhausted ? "true" : "false") << "}";
+  }
+  out << "]";
+
+  out << ",\"snapshot_chain\":{\"length\":"
+      << chain_length_.load(std::memory_order_relaxed)
+      << ",\"last_capture_id\":"
+      << chain_last_capture_id_.load(std::memory_order_relaxed)
+      << ",\"written\":" << pipeline.snapshots_written
+      << ",\"failures\":" << pipeline.snapshot_failures
+      << ",\"last_error\":\"" << json_escape(pipeline.snapshot_last_error)
+      << "\"}";
+
+  out << ",\"followers\":{\"live\":"
+      << followers_live_.load(std::memory_order_relaxed)
+      << ",\"accepted\":" << pipeline.followers_accepted << "}";
+
+  out << ",\"subscribers\":[";
+  if (const SubscriptionHub* hub = hub_ptr_.load(std::memory_order_acquire)) {
+    first = true;
+    for (const SubscriptionHub::SubscriberStats& sub : hub->stats()) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"id\":" << sub.id << ",\"delivered\":" << sub.delivered
+          << ",\"dropped\":" << sub.dropped << ",\"queued\":" << sub.queued
+          << "}";
+    }
+  }
+  out << "]}\n";
   return std::move(out).str();
 }
 
@@ -527,6 +741,11 @@ void IngestPipeline::write_snapshot() {
     }
   }
   chain_records_.push_back(std::move(record));
+  // Mirror the run()-thread-only chain/follower bookkeeping into atomics
+  // for the HTTP /index handler.
+  chain_length_.store(chain_records_.size(), std::memory_order_relaxed);
+  chain_last_capture_id_.store(info.capture_id, std::memory_order_relaxed);
+  followers_live_.store(followers_.size(), std::memory_order_relaxed);
 
   const std::uint64_t count =
       snapshots_written_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -582,6 +801,7 @@ void IngestPipeline::handle_follow_request(Envelope& envelope) {
     if (existing.lock() == envelope.reply) return;  // re-handshake, same link
   }
   followers_.push_back(envelope.reply);
+  followers_live_.store(followers_.size(), std::memory_order_relaxed);
 }
 
 std::uint64_t IngestPipeline::flush_verdicts() {
@@ -591,12 +811,33 @@ std::uint64_t IngestPipeline::flush_verdicts() {
   // per verdict. The staging vectors are members, so a steady verdict
   // rate reuses their capacity allocation-free.
   std::uint64_t delivered = 0;
+  obs::HotPathMetrics& hot = obs::hot_path();
+  const bool timed = hot.enabled.load(std::memory_order_relaxed);
+  const std::int64_t flush_start = timed ? steady_now_ns() : 0;
+  // hub_ is created and owned by this (the run()) thread; publish() fans
+  // a copy of each verdict out to subscriber queues without ever
+  // blocking — slow consumers shed events in the hub, not here.
+  SubscriptionHub* const hub =
+      hub_ != nullptr && hub_->has_subscribers() ? hub_.get() : nullptr;
   std::vector<Message>& messages = outbound_verdicts_;
   std::vector<ReplyRoute>& routes = outbound_routes_;
   messages.clear();
   routes.clear();
   for (const core::JobVerdict& verdict : service_.drain_verdicts()) {
     if (config_.on_verdict) config_.on_verdict(verdict);
+    if (hub != nullptr) {
+      const std::uint64_t latency_ns =
+          verdict.enqueue_ns > 0 && verdict.verdict_ns > verdict.enqueue_ns
+              ? static_cast<std::uint64_t>(verdict.verdict_ns -
+                                           verdict.enqueue_ns)
+              : 0;
+      Message event = make_verdict_message(verdict);
+      event.type = MessageType::kVerdictEvent;
+      event.verdict_event.source = verdict.source;
+      event.verdict_event.latency_ns = latency_ns;
+      hub->publish(event, event.verdict.application);
+      verdict_events_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (config_.retrain != nullptr) {
       // Capture tap: the verdict's label is what the captured samples
       // train under (self-training from served traffic).
@@ -630,6 +871,10 @@ std::uint64_t IngestPipeline::flush_verdicts() {
   routes.clear();
   if (delivered > 0) {
     verdicts_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+    // Only flushes that moved a verdict are observed — the poll loop
+    // calls this every iteration and empty passes would swamp the
+    // histogram with no-op timings.
+    if (timed) hot.flush_ns.observe(steady_now_ns() - flush_start);
   }
   return delivered;
 }
@@ -839,6 +1084,9 @@ IngestPipelineStats IngestPipeline::stats() const {
   stats.swaps_rejected = swaps_rejected_.load(std::memory_order_relaxed);
   stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   stats.retrain_reports = retrain_reports_.load(std::memory_order_relaxed);
+  stats.subscribe_requests =
+      subscribe_requests_.load(std::memory_order_relaxed);
+  stats.verdict_events = verdict_events_.load(std::memory_order_relaxed);
   return stats;
 }
 

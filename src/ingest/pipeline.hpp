@@ -89,8 +89,13 @@ class ThreadPool;
 namespace efd::retrain {
 class RetrainController;
 }
+namespace efd::obs {
+class HttpServer;
+}
 
 namespace efd::ingest {
+
+class SubscriptionHub;
 
 struct IngestPipelineConfig {
   /// Max wait per poll; bounds stop() latency and sweep cadence jitter.
@@ -148,6 +153,18 @@ struct IngestPipelineConfig {
   /// Null disables capture, triggering, retrain reports, and the
   /// Retrain snapshot section.
   retrain::RetrainController* retrain = nullptr;
+
+  /// HTTP observability plane (`serve --http PORT`): -1 disables it,
+  /// 0 binds an ephemeral port (tests), otherwise the given port on
+  /// 127.0.0.1. Serves GET /metrics (Prometheus text), /index (JSON
+  /// inventory), and /healthz. The listener starts in the constructor —
+  /// before run() — so probes see the endpoint as soon as the process
+  /// is up; a bind failure throws out of the constructor.
+  int http_port = -1;
+
+  /// Per-subscriber outbound queue bound for verdict pub/sub
+  /// (kSubscribe). Full queues drop-and-count; see subscription.hpp.
+  std::size_t subscriber_queue_capacity = 1024;
 };
 
 struct IngestPipelineStats {
@@ -183,6 +200,8 @@ struct IngestPipelineStats {
   std::uint64_t swaps_rejected = 0;   ///< disabled, bad blob, or already-active
   std::uint64_t stats_requests = 0;   ///< kStatsRequest frames answered
   std::uint64_t retrain_reports = 0;  ///< kRetrainReport deliveries (fan-out)
+  std::uint64_t subscribe_requests = 0;   ///< kSubscribe frames accepted
+  std::uint64_t verdict_events = 0;   ///< kVerdictEvent publishes (pre-queue)
 };
 
 class IngestPipeline {
@@ -223,6 +242,17 @@ class IngestPipeline {
   /// The registered source set (per-source counters live here).
   const SourceMux& sources() const noexcept { return *sources_; }
 
+  /// Flat "name value" text block (kStatsReply body / scrape source).
+  /// Thread-safe: reads only thread-safe stats snapshots and atomics.
+  std::string render_stats_text() const;
+
+  /// JSON inventory for GET /index: live jobs, sources, dictionary
+  /// epoch, snapshot-chain and follower state. Thread-safe.
+  std::string render_index_json() const;
+
+  /// The HTTP listener's bound port; 0 when config.http_port was -1.
+  std::uint16_t http_port() const noexcept;
+
  private:
   /// Where a job's verdict goes back: the connection it arrived on plus
   /// the source that connection belongs to (per-source accounting).
@@ -255,8 +285,11 @@ class IngestPipeline {
   void observe_sink(const std::shared_ptr<VerdictSink>& reply);
   /// Ships finished retrain cycles to every live observed connection.
   void publish_retrain_reports();
-  /// Flat "name value" text block for kStatsReply.
-  std::string render_stats_text() const;
+  /// Registers a kSubscribe peer with the hub and acks (run() thread).
+  void handle_subscribe(Envelope& envelope);
+  /// Shared constructor tail: stamps the start time and starts the HTTP
+  /// listener when configured (bind failure throws TransportError).
+  void init_observability();
 
   core::RecognitionService& service_;
   /// Legacy single-source wrap (owned); sources_ points at it then.
@@ -335,8 +368,29 @@ class IngestPipeline {
   std::atomic<std::uint64_t> swaps_rejected_{0};
   std::atomic<std::uint64_t> stats_requests_{0};
   std::atomic<std::uint64_t> retrain_reports_{0};
+  std::atomic<std::uint64_t> subscribe_requests_{0};
+  std::atomic<std::uint64_t> verdict_events_{0};
   /// Verdicts delivered when the last snapshot was taken (run() thread).
   std::uint64_t verdicts_at_last_snapshot_ = 0;
+
+  /// Atomic mirrors of run()-thread-only chain/follower bookkeeping so
+  /// the HTTP threads can report them without touching chain_records_.
+  std::atomic<std::uint64_t> chain_length_{0};
+  std::atomic<std::uint64_t> chain_last_capture_id_{0};
+  std::atomic<std::uint64_t> followers_live_{0};
+
+  /// Construction time (uptime.seconds scrape row).
+  std::int64_t start_ns_ = 0;
+
+  /// Verdict pub/sub hub (created lazily on the first kSubscribe; the
+  /// pointer itself is published via atomic for stats readers).
+  std::unique_ptr<SubscriptionHub> hub_;
+  std::atomic<SubscriptionHub*> hub_ptr_{nullptr};
+
+  /// HTTP observability listener (config.http_port >= 0). Declared last
+  /// so it is destroyed first — its handler threads call back into the
+  /// pipeline's render methods.
+  std::unique_ptr<obs::HttpServer> http_;
 };
 
 /// Builds a kVerdict message from a finished job's result.

@@ -1,9 +1,11 @@
 #include "ingest/wire_format.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "ingest/buffer_pool.hpp"
+#include "obs/metrics.hpp"
 #include "util/binary_io.hpp"
 
 namespace efd::ingest {
@@ -29,6 +31,8 @@ constexpr std::size_t kRetrainReportBody = 8 + 1 + 8 + 8 + 8 + 8 + 8;
 constexpr std::size_t kSnapCapturePrefix = 8 + 8;  // capture_id + parent_id
 constexpr std::size_t kSnapAckFixed = 1 + 8 + 2;
 constexpr std::size_t kFollowRequestBody = 8;
+constexpr std::size_t kSubscribePrefix = 4;        // app_count (then sources)
+constexpr std::size_t kVerdictEventFixed = 8 + 4 + 8 + 1 + 4 + 4 + 2 + 2;
 
 void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
                        std::size_t frame_start);
@@ -135,6 +139,36 @@ Message make_promote_ack(bool ok, std::uint64_t capture_id,
   return message;
 }
 
+Message make_subscribe(std::vector<std::string> applications,
+                       std::vector<std::uint32_t> sources) {
+  Message message;
+  message.type = MessageType::kSubscribe;
+  message.subscribe.applications = std::move(applications);
+  message.subscribe.sources = std::move(sources);
+  return message;
+}
+
+Message make_subscribe_ack(bool ok, std::uint64_t subscriber_id,
+                           std::string error) {
+  Message message;
+  message.type = MessageType::kSubscribeAck;
+  message.snap_ack.ok = ok;
+  message.snap_ack.capture_id = subscriber_id;
+  message.snap_ack.error = std::move(error);
+  return message;
+}
+
+Message make_verdict_event(std::uint64_t job_id, std::uint32_t source,
+                           std::uint64_t latency_ns, WireVerdict verdict) {
+  Message message;
+  message.type = MessageType::kVerdictEvent;
+  message.job_id = job_id;
+  message.verdict_event.source = source;
+  message.verdict_event.latency_ns = latency_ns;
+  message.verdict = std::move(verdict);
+  return message;
+}
+
 void encode_frame(const Message& message, std::vector<std::uint8_t>& out) {
   const std::size_t frame_start = out.size();
   try {
@@ -235,6 +269,38 @@ void encode_frame_impl(const Message& message, std::vector<std::uint8_t>& out,
       break;
     case MessageType::kPromote:
       break;
+    case MessageType::kSubscribe: {
+      if (message.subscribe.applications.size() > kMaxSubscribeFilters ||
+          message.subscribe.sources.size() > kMaxSubscribeFilters) {
+        throw std::invalid_argument("subscribe filter list exceeds wire limit");
+      }
+      put_u32(out, static_cast<std::uint32_t>(
+                       message.subscribe.applications.size()));
+      for (const std::string& application : message.subscribe.applications) {
+        put_string(out, application);
+      }
+      put_u32(out,
+              static_cast<std::uint32_t>(message.subscribe.sources.size()));
+      for (const std::uint32_t source : message.subscribe.sources) {
+        put_u32(out, source);
+      }
+      break;
+    }
+    case MessageType::kSubscribeAck:
+      out.push_back(message.snap_ack.ok ? 1 : 0);
+      put_u64(out, message.snap_ack.capture_id);
+      put_string(out, message.snap_ack.error);
+      break;
+    case MessageType::kVerdictEvent:
+      put_u64(out, message.job_id);
+      put_u32(out, message.verdict_event.source);
+      put_u64(out, message.verdict_event.latency_ns);
+      out.push_back(message.verdict.recognized ? 1 : 0);
+      put_u32(out, message.verdict.matched);
+      put_u32(out, message.verdict.fingerprints);
+      put_string(out, message.verdict.application);
+      put_string(out, message.verdict.label);
+      break;
   }
 
   const std::size_t payload = out.size() - frame_start - 4;
@@ -281,6 +347,13 @@ DecodeStatus FrameDecoder::fail(std::string reason) {
 
 DecodeStatus FrameDecoder::next(Message& out) {
   if (failed_) return DecodeStatus::kError;
+
+  // Decode-stage timer: one steady_clock pair per sampled frame (1 in
+  // HotPathMetrics::kSampleEvery); gated so bench_hot_path can measure
+  // the instrumentation on/off.
+  const bool timed = obs::hot_path().sample_now();
+  const auto decode_start = timed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
 
   const std::size_t available = buffer_.size() - offset_;
   if (available < 4) return DecodeStatus::kNeedMore;
@@ -460,6 +533,72 @@ DecodeStatus FrameDecoder::next(Message& out) {
       message.type = MessageType::kPromote;
       if (reader.remaining() != 0) return fail("malformed promote body");
       break;
+    case MessageType::kSubscribe: {
+      message.type = MessageType::kSubscribe;
+      std::uint32_t app_count = 0;
+      if (reader.remaining() < kSubscribePrefix ||
+          !reader.read_u32(app_count)) {
+        return fail("malformed subscribe prefix");
+      }
+      // Each filter name costs at least its u16 length prefix; the body
+      // that actually arrived bounds the allocation, never the count.
+      if (static_cast<std::size_t>(app_count) * 2 > reader.remaining()) {
+        return fail("subscribe app count inconsistent with frame length");
+      }
+      message.subscribe.applications.resize(app_count);
+      for (std::uint32_t i = 0; i < app_count; ++i) {
+        if (!reader.read_string(message.subscribe.applications[i])) {
+          return fail("truncated subscribe application filter");
+        }
+      }
+      std::uint32_t source_count = 0;
+      if (!reader.read_u32(source_count) ||
+          static_cast<std::size_t>(source_count) * 4 > reader.remaining()) {
+        return fail("subscribe source count inconsistent with frame length");
+      }
+      message.subscribe.sources.resize(source_count);
+      for (std::uint32_t i = 0; i < source_count; ++i) {
+        if (!reader.read_u32(message.subscribe.sources[i])) {
+          return fail("truncated subscribe source filter");
+        }
+      }
+      if (reader.remaining() != 0) return fail("trailing bytes in subscribe");
+      break;
+    }
+    case MessageType::kSubscribeAck: {
+      message.type = MessageType::kSubscribeAck;
+      std::uint8_t ok = 0;
+      if (reader.remaining() < kSnapAckFixed || !reader.read_u8(ok) ||
+          !reader.read_u64(message.snap_ack.capture_id) ||
+          !reader.read_string(message.snap_ack.error)) {
+        return fail("malformed subscribe-ack body");
+      }
+      message.snap_ack.ok = ok != 0;
+      if (reader.remaining() != 0) {
+        return fail("trailing bytes in subscribe-ack");
+      }
+      break;
+    }
+    case MessageType::kVerdictEvent: {
+      message.type = MessageType::kVerdictEvent;
+      std::uint8_t recognized = 0;
+      if (reader.remaining() < kVerdictEventFixed ||
+          !reader.read_u64(message.job_id) ||
+          !reader.read_u32(message.verdict_event.source) ||
+          !reader.read_u64(message.verdict_event.latency_ns) ||
+          !reader.read_u8(recognized) ||
+          !reader.read_u32(message.verdict.matched) ||
+          !reader.read_u32(message.verdict.fingerprints) ||
+          !reader.read_string(message.verdict.application) ||
+          !reader.read_string(message.verdict.label)) {
+        return fail("malformed verdict-event body");
+      }
+      message.verdict.recognized = recognized != 0;
+      if (reader.remaining() != 0) {
+        return fail("trailing bytes in verdict-event");
+      }
+      break;
+    }
     default:
       return fail("unknown message type");
   }
@@ -467,6 +606,12 @@ DecodeStatus FrameDecoder::next(Message& out) {
   offset_ += 4 + payload_len;
   ++frames_decoded_;
   out = std::move(message);
+  if (timed) {
+    obs::hot_path().decode_ns.observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - decode_start)
+            .count());
+  }
   return DecodeStatus::kMessage;
 }
 

@@ -37,6 +37,23 @@
 ///   FollowRequest body := u64 last_capture_id (0 = send the full chain)
 ///   Promote     body := (empty)
 ///   PromoteAck  body := u8 ok | u64 capture_id | u16 err_len | err
+///   Subscribe   body := u32 app_count | app_count * (u16 len | name)
+///                       | u32 source_count | source_count * u32 source
+///   SubscribeAck body := u8 ok | u64 subscriber_id | u16 err_len | err
+///   VerdictEvent body := u64 job_id | u32 source | u64 latency_ns
+///                       | u8 recognized | u32 matched | u32 fingerprints
+///                       | u16 app_len | app | u16 label_len | label
+///
+/// Subscribe/SubscribeAck/VerdictEvent are the verdict pub/sub path: any
+/// connected peer sends kSubscribe with optional per-application and
+/// per-source filters (empty filter lists mean "everything"), gets back a
+/// kSubscribeAck carrying its subscriber id, and from then on receives a
+/// kVerdictEvent copy of every matching verdict the pipeline flushes.
+/// Events ride per-subscriber bounded queues that drop-and-count when the
+/// consumer is slow — the verdict flush path never blocks on a
+/// subscriber (see ingest/subscription.hpp). latency_ns is the end-to-end
+/// sample-enqueue to verdict latency (0 when unknown, e.g. force-closed
+/// or snapshot-restored jobs).
 ///
 /// SnapBase/SnapDelta/SnapAck/FollowRequest are the warm-standby
 /// replication path: a follower (`serve --follow host:port`) connects
@@ -120,7 +137,13 @@ enum class MessageType : std::uint8_t {
   kFollowRequest = 14,  ///< follower's cursor handshake (last capture id)
   kPromote = 15,        ///< operator: stop following, start serving
   kPromoteAck = 16,     ///< follower's reply before it switches over
+  kSubscribe = 17,      ///< peer: start streaming me matching verdicts
+  kSubscribeAck = 18,   ///< pipeline's reply with the subscriber id
+  kVerdictEvent = 19,   ///< one flushed verdict, pushed to subscribers
 };
+
+/// Encode-side cap on kSubscribe filter-list lengths (per list).
+inline constexpr std::size_t kMaxSubscribeFilters = 64;
 
 /// One monitoring sample as it travels the wire.
 struct WireSample {
@@ -178,6 +201,25 @@ struct WireSnapAck {
   bool operator==(const WireSnapAck&) const = default;
 };
 
+/// A kSubscribe request's filters. Empty lists match everything; a
+/// verdict is forwarded when its application matches (or `applications`
+/// is empty) AND its source id matches (or `sources` is empty).
+struct WireSubscribe {
+  std::vector<std::string> applications;
+  std::vector<std::uint32_t> sources;
+
+  bool operator==(const WireSubscribe&) const = default;
+};
+
+/// kVerdictEvent metadata beyond the verdict itself (which reuses
+/// Message::verdict and Message::job_id).
+struct WireVerdictEvent {
+  std::uint32_t source = 0;      ///< source id the job arrived on
+  std::uint64_t latency_ns = 0;  ///< enqueue -> verdict latency (0 unknown)
+
+  bool operator==(const WireVerdictEvent&) const = default;
+};
+
 /// One decoded (or to-encode) message. Only the fields of the active
 /// type are meaningful.
 struct Message {
@@ -194,7 +236,11 @@ struct Message {
                                        ///< kFollowRequest: newest durable id
   std::uint64_t parent_id = 0;         ///< kSnapBase (0) / kSnapDelta
   std::vector<std::uint8_t> snapshot_blob;  ///< kSnapBase/kSnapDelta capture
-  WireSnapAck snap_ack;                ///< kSnapAck / kPromoteAck
+  WireSnapAck snap_ack;                ///< kSnapAck / kPromoteAck /
+                                       ///< kSubscribeAck (capture_id carries
+                                       ///< the subscriber id)
+  WireSubscribe subscribe;             ///< kSubscribe
+  WireVerdictEvent verdict_event;      ///< kVerdictEvent (+ verdict, job_id)
 
   bool operator==(const Message&) const = default;
 };
@@ -218,6 +264,12 @@ Message make_follow_request(std::uint64_t last_capture_id);
 Message make_promote();
 Message make_promote_ack(bool ok, std::uint64_t capture_id,
                          std::string error = {});
+Message make_subscribe(std::vector<std::string> applications = {},
+                       std::vector<std::uint32_t> sources = {});
+Message make_subscribe_ack(bool ok, std::uint64_t subscriber_id,
+                           std::string error = {});
+Message make_verdict_event(std::uint64_t job_id, std::uint32_t source,
+                           std::uint64_t latency_ns, WireVerdict verdict);
 
 /// Appends one encoded frame to \p out. Throws std::invalid_argument if
 /// the message would exceed the wire limits (batch too large, string too

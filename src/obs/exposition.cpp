@@ -1,0 +1,192 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace efd::obs {
+
+std::string escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_gauge_metric(const std::string& name) {
+  static const char* kGaugeSuffixes[] = {
+      "active_jobs", "pending_verdicts", "queued_samples",
+      "jobs_on_stale_epoch", "dictionary_epoch", "window_jobs",
+      "window_samples", "window_applications", "exhausted",
+      "restored_cursor", "last_cycle", "last_promoted_epoch",
+      "last_candidate_score", "last_incumbent_score", ".queued"};
+  for (const char* suffix : kGaugeSuffixes) {
+    const std::string_view view(suffix);
+    if (name.size() >= view.size() &&
+        name.compare(name.size() - view.size(), view.size(), view) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string prometheus_exposition(const std::string& flat) {
+  // Pass 1: split rows, learn the source id -> registration-name labels,
+  // and pull out the rows that fold into special series (snapshot error,
+  // build info, uptime).
+  std::map<std::string, std::string> source_names;
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::string snapshot_error;
+  std::string build_version;
+  std::string build_sha;
+  std::string build_kernel;
+  std::string uptime_seconds;
+  std::istringstream in(flat);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) continue;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    if (name.rfind("source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 7);
+      if (dot != std::string::npos && name.substr(dot + 1) == "name") {
+        source_names[name.substr(7, dot - 7)] = value;
+        continue;  // becomes a label, not a series
+      }
+    }
+    if (name == "ingest.snapshot_last_error") {
+      // Text, not a number: folded into an info-style labeled gauge
+      // below ("none" = healthy, no series at all).
+      if (value != "none") snapshot_error = value;
+      continue;
+    }
+    if (name == "build.version") {
+      build_version = value;
+      continue;
+    }
+    if (name == "build.sha") {
+      build_sha = value;
+      continue;
+    }
+    if (name == "build.kernel") {
+      build_kernel = value;
+      continue;
+    }
+    if (name == "uptime.seconds") {
+      uptime_seconds = value;
+      continue;
+    }
+    rows.emplace_back(std::move(name), std::move(value));
+  }
+
+  // Pass 2: emit, grouping every row of one metric family under a
+  // single # TYPE header (Prometheus rejects duplicate TYPE lines).
+  // Sample lines within a family are sorted so the scrape is
+  // byte-deterministic regardless of producer iteration order.
+  std::ostringstream out;
+  std::map<std::string, std::vector<std::string>> families;  // name -> lines
+  std::vector<std::string> family_order;
+  const auto add = [&](const std::string& family, std::string sample,
+                       const std::string& type_hint) {
+    auto it = families.find(family);
+    if (it == families.end()) {
+      family_order.push_back(family);
+      it = families.emplace(family, std::vector<std::string>{}).first;
+      it->second.push_back("# TYPE " + family + " " + type_hint);
+    }
+    it->second.push_back(std::move(sample));
+  };
+  for (const auto& [name, value] : rows) {
+    const std::string type_hint = is_gauge_metric(name) ? "gauge" : "counter";
+    if (name.rfind("source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 7);
+      if (dot != std::string::npos) {
+        const std::string id = name.substr(7, dot - 7);
+        const std::string family = "efd_source_" + name.substr(dot + 1);
+        std::string labels = "source=\"" + escape_label_value(id) + "\"";
+        const auto label = source_names.find(id);
+        if (label != source_names.end()) {
+          labels += ",name=\"" + escape_label_value(label->second) + "\"";
+        }
+        add(family, family + "{" + labels + "} " + value, type_hint);
+        continue;
+      }
+    }
+    if (name.rfind("service.source.", 0) == 0) {
+      const std::size_t dot = name.find('.', 15);
+      if (dot != std::string::npos) {
+        const std::string family =
+            "efd_service_source_" + name.substr(dot + 1);
+        add(family,
+            family + "{source=\"" +
+                escape_label_value(name.substr(15, dot - 15)) + "\"} " + value,
+            type_hint);
+        continue;
+      }
+    }
+    if (name.rfind("subscriber.", 0) == 0) {
+      const std::size_t dot = name.find('.', 11);
+      if (dot != std::string::npos) {
+        const std::string family = "efd_subscriber_" + name.substr(dot + 1);
+        add(family,
+            family + "{subscriber=\"" +
+                escape_label_value(name.substr(11, dot - 11)) + "\"} " + value,
+            type_hint);
+        continue;
+      }
+    }
+    std::string family = "efd_" + name;
+    std::replace(family.begin(), family.end(), '.', '_');
+    add(family, family + " " + value, type_hint);
+  }
+  for (const std::string& family : family_order) {
+    std::vector<std::string>& lines = families[family];
+    std::sort(lines.begin() + 1, lines.end());
+    for (const std::string& emitted : lines) out << emitted << "\n";
+  }
+  if (!snapshot_error.empty()) {
+    out << "# TYPE efd_ingest_snapshot_last_error_info gauge\n"
+        << "efd_ingest_snapshot_last_error_info{reason=\""
+        << escape_label_value(snapshot_error) << "\"} 1\n";
+  }
+  if (!build_version.empty() || !build_sha.empty() || !build_kernel.empty()) {
+    out << "# TYPE efd_build_info gauge\n"
+        << "efd_build_info{version=\"" << escape_label_value(build_version)
+        << "\",sha=\"" << escape_label_value(build_sha) << "\",kernel=\""
+        << escape_label_value(build_kernel) << "\"} 1\n";
+  }
+  if (!uptime_seconds.empty()) {
+    out << "# TYPE efd_uptime_seconds gauge\n"
+        << "efd_uptime_seconds " << uptime_seconds << "\n";
+  }
+  return std::move(out).str();
+}
+
+std::string render_metrics(const std::string& flat,
+                           const MetricsRegistry& registry) {
+  std::string out = prometheus_exposition(flat);
+  out += registry.render();
+  return out;
+}
+
+}  // namespace efd::obs

@@ -1,0 +1,40 @@
+#pragma once
+
+// Prometheus text exposition shared by `efd_cli stats --prometheus` and the
+// HTTP `/metrics` endpoint.  Renders the flat `name value` stats scrape into
+// labeled families and appends the native registry families (latency
+// histograms, build info, uptime), so `/metrics` is a byte-compatible
+// superset of the CLI output.
+
+#include <string>
+#include <string_view>
+
+namespace efd::obs {
+
+class MetricsRegistry;
+
+/// Escapes a raw string for use inside a Prometheus label value per the
+/// text-format spec: backslash, double-quote, and newline become \\, \",
+/// and \n.
+std::string escape_label_value(std::string_view raw);
+
+/// True for scrape rows that describe a current level rather than a
+/// lifetime total — they render as `gauge`, everything else as `counter`.
+bool is_gauge_metric(const std::string& name);
+
+/// Renders the flat `name value` scrape as Prometheus text exposition:
+/// dots become underscores under an `efd_` prefix, every metric family gets
+/// a single `# TYPE` line, per-source rows (`source.<id>.*`,
+/// `service.source.<tag>.*`) and per-subscriber rows (`subscriber.<id>.*`)
+/// fold into labeled series, and rows within a family are emitted sorted so
+/// scrape diffs are deterministic.  `build.*` rows fold into one
+/// `efd_build_info` gauge and `uptime.seconds` renders as
+/// `efd_uptime_seconds`.
+std::string prometheus_exposition(const std::string& flat);
+
+/// Full `/metrics` payload: the flat-derived exposition plus every family
+/// registered in `registry` (histograms, build info, uptime).
+std::string render_metrics(const std::string& flat,
+                           const MetricsRegistry& registry);
+
+}  // namespace efd::obs

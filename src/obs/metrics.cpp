@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#ifndef EFD_VERSION
+#define EFD_VERSION "0.9.0"
+#endif
+#ifndef EFD_GIT_SHA
+#define EFD_GIT_SHA "unknown"
+#endif
+
+namespace efd::obs {
+namespace {
+
+// Rendered bucket range: 2^10 ns (~1 us) through 2^36 ns (~69 s).
+// Observations outside the range are folded into the edge buckets, so the
+// +Inf cumulative count always equals the true observation count.
+constexpr int kFirstRenderedBucket = 10;
+constexpr int kLastRenderedBucket = 36;
+
+void render_histogram(std::ostringstream& out, const std::string& name,
+                      const std::string& labels, const Histogram& histogram) {
+  const auto series = [&labels](const char* extra) {
+    std::string body = labels;
+    if (!body.empty() && extra[0] != '\0') body += ",";
+    body += extra;
+    return body.empty() ? std::string() : "{" + body + "}";
+  };
+  std::uint64_t cumulative = 0;
+  int bucket = 0;
+  for (int rendered = kFirstRenderedBucket; rendered <= kLastRenderedBucket;
+       ++rendered) {
+    for (; bucket <= rendered; ++bucket) {
+      cumulative += histogram.bucket(bucket);
+    }
+    out << name << "_bucket"
+        << series(("le=\"" + std::to_string(1ULL << rendered) + "\"").c_str())
+        << " " << cumulative << "\n";
+  }
+  for (; bucket < Histogram::kBuckets; ++bucket) {
+    cumulative += histogram.bucket(bucket);
+  }
+  out << name << "_bucket" << series("le=\"+Inf\"") << " " << cumulative
+      << "\n";
+  out << name << "_sum" << series("") << " " << histogram.sum() << "\n";
+  out << name << "_count" << series("") << " " << cumulative << "\n";
+}
+
+}  // namespace
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) total += bucket(i);
+  return total;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> snap{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<std::size_t>(i)] = bucket(i);
+    total += snap[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += snap[static_cast<std::size_t>(i)];
+    if (static_cast<double>(cumulative) >= target) {
+      return i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+    }
+  }
+  return static_cast<double>(1ULL << (kBuckets - 1));
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_locked(
+    const std::string& name, const std::string& help, Kind kind) {
+  for (auto& family : families_) {
+    if (family->name == name) return *family;
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->kind = kind;
+  families_.push_back(std::move(family));
+  return *families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_locked(
+    Family& family, const std::string& labels) {
+  for (auto& series : family.series) {
+    if (series.labels == labels) return series;
+  }
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return family.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& family,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series =
+      series_locked(family_locked(family, help, Kind::kCounter), labels);
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& family,
+                              const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series =
+      series_locked(family_locked(family, help, Kind::kGauge), labels);
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& family,
+                                      const std::string& help,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series =
+      series_locked(family_locked(family, help, Kind::kHistogram), labels);
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>();
+  return *series.histogram;
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Family*> ordered;
+  ordered.reserve(families_.size());
+  for (const auto& family : families_) ordered.push_back(family.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Family* a, const Family* b) { return a->name < b->name; });
+
+  std::ostringstream out;
+  for (const Family* family : ordered) {
+    std::vector<const Series*> series;
+    series.reserve(family->series.size());
+    for (const auto& s : family->series) series.push_back(&s);
+    std::sort(series.begin(), series.end(),
+              [](const Series* a, const Series* b) {
+                return a->labels < b->labels;
+              });
+
+    if (!family->help.empty()) {
+      out << "# HELP " << family->name << " " << family->help << "\n";
+    }
+    const char* type = family->kind == Kind::kCounter    ? "counter"
+                       : family->kind == Kind::kGauge    ? "gauge"
+                                                         : "histogram";
+    out << "# TYPE " << family->name << " " << type << "\n";
+    for (const Series* s : series) {
+      const std::string suffix =
+          s->labels.empty() ? std::string() : "{" + s->labels + "}";
+      switch (family->kind) {
+        case Kind::kCounter:
+          out << family->name << suffix << " " << s->counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          out << family->name << suffix << " " << s->gauge->value() << "\n";
+          break;
+        case Kind::kHistogram:
+          render_histogram(out, family->name, s->labels, *s->histogram);
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+HotPathMetrics& hot_path() {
+  static HotPathMetrics* metrics = [] {
+    auto& registry = global_metrics();
+    const std::string help =
+        "Hot-path stage duration in nanoseconds (log2 buckets)";
+    return new HotPathMetrics{
+        .decode_ns = registry.histogram("efd_stage_duration_ns", help,
+                                        "stage=\"decode\""),
+        .enqueue_ns = registry.histogram("efd_stage_duration_ns", help,
+                                         "stage=\"enqueue\""),
+        .score_ns = registry.histogram("efd_stage_duration_ns", help,
+                                       "stage=\"score\""),
+        .flush_ns = registry.histogram("efd_stage_duration_ns", help,
+                                       "stage=\"verdict_flush\""),
+        .verdict_e2e_ns = registry.histogram(
+            "efd_verdict_latency_ns",
+            "End-to-end sample-enqueue to verdict latency in nanoseconds "
+            "(log2 buckets)"),
+    };
+  }();
+  return *metrics;
+}
+
+const char* build_version() noexcept { return EFD_VERSION; }
+const char* build_sha() noexcept { return EFD_GIT_SHA; }
+
+}  // namespace efd::obs

@@ -1,0 +1,125 @@
+/// \file test_logging.cpp
+/// \brief util::Logger coverage: level parsing/printing, threshold
+/// gating, stream redirection, line format, the EFD_LOG macro's lazy
+/// formatting, and thread safety of concurrent log calls.
+
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace efd::util;
+
+/// Redirects the singleton logger into a buffer for one test and
+/// restores stderr + the previous level on exit.
+class CapturedLogger {
+ public:
+  CapturedLogger() : previous_level_(Logger::instance().level()) {
+    Logger::instance().set_stream(&buffer_);
+  }
+  ~CapturedLogger() {
+    Logger::instance().set_stream(nullptr);
+    Logger::instance().set_level(previous_level_);
+  }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  LogLevel previous_level_;
+};
+
+TEST(Logging, LevelNamesRoundTrip) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  // Unknown input falls back to the safe default, never throws.
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Logging, ThresholdGatesLowerLevels) {
+  CapturedLogger capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kTrace));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+
+  Logger::instance().log(LogLevel::kInfo, "test", "filtered");
+  Logger::instance().log(LogLevel::kError, "test", "emitted");
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("filtered"), std::string::npos);
+  EXPECT_NE(text.find("[ERROR] test: emitted"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  CapturedLogger capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  Logger::instance().log(LogLevel::kError, "test", "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logging, FormatsLevelComponentMessage) {
+  CapturedLogger capture;
+  Logger::instance().set_level(LogLevel::kTrace);
+  Logger::instance().log(LogLevel::kDebug, "pipeline", "polled 3 envelopes");
+  EXPECT_EQ(capture.text(), "[DEBUG] pipeline: polled 3 envelopes\n");
+}
+
+TEST(Logging, MacroStreamsAndRespectsThreshold) {
+  CapturedLogger capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  EFD_LOG(kInfo, "trainer") << "built " << 42 << " keys";
+  EFD_LOG(kDebug, "trainer") << "not " << "emitted";
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("[INFO] trainer: built 42 keys"), std::string::npos);
+  EXPECT_EQ(text.find("not emitted"), std::string::npos);
+}
+
+TEST(Logging, ConcurrentLogLinesStayIntact) {
+  CapturedLogger capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        Logger::instance().log(LogLevel::kInfo, "worker",
+                               "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every emitted line must be whole — no interleaved fragments.
+  std::istringstream in(capture.text());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("[INFO] worker: thread ", 0), 0u) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+}  // namespace

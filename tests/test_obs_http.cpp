@@ -1,0 +1,148 @@
+/// \file test_obs_http.cpp
+/// \brief obs::HttpServer coverage via a raw loopback socket client:
+/// ephemeral binds, GET/HEAD dispatch, query stripping, handler status
+/// passthrough, 405/400 handling, and request counters.
+
+#include "obs/http_server.hpp"
+#include "ingest/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace {
+
+using namespace efd::obs;
+
+/// Sends one raw request to 127.0.0.1:<port> and returns the full
+/// response (headers + body). Empty string on connect failure.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[1024];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target,
+                     const std::string& method = "GET") {
+  return raw_request(port, method + " " + target +
+                               " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+HttpServer::Handler echo_handler() {
+  return [](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.target == "/missing") {
+      response.status = 404;
+      response.body = "not found\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = "{\"target\":\"" + request.target + "\"}";
+    return response;
+  };
+}
+
+TEST(ObsHttp, BindsEphemeralPortAndDispatchesGet) {
+  HttpServer server(0, echo_handler());
+  ASSERT_NE(server.port(), 0);
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("{\"target\":\"/healthz\"}"), std::string::npos);
+  const HttpServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.bad_requests, 0u);
+}
+
+TEST(ObsHttp, StripsQueryString) {
+  HttpServer server(0, echo_handler());
+  const std::string response =
+      http_get(server.port(), "/metrics?debug=1&verbose=yes");
+  EXPECT_NE(response.find("{\"target\":\"/metrics\"}"), std::string::npos);
+}
+
+TEST(ObsHttp, PropagatesHandlerStatus) {
+  HttpServer server(0, echo_handler());
+  const std::string response = http_get(server.port(), "/missing");
+  EXPECT_EQ(response.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
+  EXPECT_NE(response.find("not found\n"), std::string::npos);
+}
+
+TEST(ObsHttp, HeadOmitsBody) {
+  HttpServer server(0, echo_handler());
+  const std::string response = http_get(server.port(), "/healthz", "HEAD");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::size_t end = response.find("\r\n\r\n");
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(response.substr(end + 4), "");
+}
+
+TEST(ObsHttp, RejectsOtherMethods) {
+  HttpServer server(0, echo_handler());
+  const std::string response = http_get(server.port(), "/metrics", "POST");
+  EXPECT_EQ(response.rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0), 0u);
+  EXPECT_EQ(server.stats().requests, 1u);  // parsed, counted, rejected
+}
+
+TEST(ObsHttp, CountsMalformedRequests) {
+  HttpServer server(0, echo_handler());
+  const std::string response = raw_request(server.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 400 Bad Request\r\n", 0), 0u);
+  const HttpServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.bad_requests, 1u);
+}
+
+TEST(ObsHttp, ServesSequentialConnections) {
+  HttpServer server(0, echo_handler());
+  for (int i = 0; i < 5; ++i) {
+    const std::string response = http_get(server.port(), "/healthz");
+    EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << i;
+  }
+  EXPECT_EQ(server.stats().requests, 5u);
+}
+
+TEST(ObsHttp, StopIsIdempotent) {
+  HttpServer server(0, echo_handler());
+  server.stop();
+  server.stop();
+  EXPECT_TRUE(http_get(server.port(), "/healthz").empty());
+}
+
+TEST(ObsHttp, ExplicitPortConflictThrows) {
+  HttpServer server(0, echo_handler());
+  EXPECT_THROW(HttpServer(server.port(), echo_handler()),
+               efd::ingest::TransportError);
+}
+
+}  // namespace

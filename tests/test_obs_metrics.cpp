@@ -1,0 +1,203 @@
+/// \file test_obs_metrics.cpp
+/// \brief obs metrics + exposition coverage: log2 histogram bucket math,
+/// registry series identity and deterministic rendering, label escaping,
+/// and the flat-scrape -> Prometheus folding rules (source/subscriber
+/// labels, build info, snapshot-error info series).
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace {
+
+using namespace efd::obs;
+
+TEST(ObsHistogram, BucketsByBitWidth) {
+  Histogram h;
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bit_width(1) == 1
+  h.observe(2);     // bit_width(2) == 2
+  h.observe(3);     // bit_width(3) == 2
+  h.observe(1000);  // bit_width(1000) == 10
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1u + 2u + 3u + 1000u);
+}
+
+TEST(ObsHistogram, ClampsEdges) {
+  Histogram h;
+  h.observe(-5);  // negative -> treated as 0
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsHistogram, QuantileUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.observe(700);    // bucket 10, edge 1024
+  for (int i = 0; i < 10; ++i) h.observe(70000);  // bucket 17, edge 131072
+  EXPECT_EQ(h.quantile(0.5), 1024.0);
+  EXPECT_EQ(h.quantile(0.9), 1024.0);
+  EXPECT_EQ(h.quantile(0.99), 131072.0);
+  EXPECT_EQ(h.quantile(1.0), 131072.0);
+}
+
+TEST(ObsRegistry, ReturnsStableSeriesReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("efd_test_total", "help");
+  Counter& b = registry.counter("efd_test_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled =
+      registry.counter("efd_test_total", "help", "kind=\"x\"");
+  EXPECT_NE(&a, &labeled);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsRegistry, RendersSortedFamiliesAndSeries) {
+  MetricsRegistry registry;
+  registry.counter("efd_zz_total", "last").add(1);
+  registry.gauge("efd_aa_level", "first").set(2.5);
+  registry.counter("efd_mm_total", "mid", "stage=\"b\"").add(4);
+  registry.counter("efd_mm_total", "mid", "stage=\"a\"").add(7);
+  const std::string text = registry.render();
+  const std::size_t aa = text.find("# TYPE efd_aa_level gauge");
+  const std::size_t mm = text.find("# TYPE efd_mm_total counter");
+  const std::size_t zz = text.find("# TYPE efd_zz_total counter");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(mm, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, mm);
+  EXPECT_LT(mm, zz);
+  // Series within a family sort by label set.
+  const std::size_t stage_a = text.find("efd_mm_total{stage=\"a\"} 7");
+  const std::size_t stage_b = text.find("efd_mm_total{stage=\"b\"} 4");
+  ASSERT_NE(stage_a, std::string::npos);
+  ASSERT_NE(stage_b, std::string::npos);
+  EXPECT_LT(stage_a, stage_b);
+  EXPECT_NE(text.find("efd_aa_level 2.5"), std::string::npos);
+}
+
+TEST(ObsRegistry, RendersCumulativeHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("efd_lat_ns", "latency");
+  h.observe(5);        // below the first rendered bucket (2^10)
+  h.observe(2000);     // bucket 11
+  h.observe(1 << 30);  // bucket 31
+  const std::string text = registry.render();
+  EXPECT_NE(text.find("# TYPE efd_lat_ns histogram"), std::string::npos);
+  // Sub-1us observations fold into the first rendered bucket.
+  EXPECT_NE(text.find("efd_lat_ns_bucket{le=\"1024\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("efd_lat_ns_bucket{le=\"2048\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("efd_lat_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("efd_lat_ns_count 3"), std::string::npos);
+  const std::string sum =
+      "efd_lat_ns_sum " + std::to_string(5u + 2000u + (1u << 30));
+  EXPECT_NE(text.find(sum), std::string::npos);
+}
+
+TEST(ObsExposition, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(ObsExposition, ClassifiesGauges) {
+  EXPECT_TRUE(is_gauge_metric("service.active_jobs"));
+  EXPECT_TRUE(is_gauge_metric("ingest.dictionary_epoch"));
+  EXPECT_TRUE(is_gauge_metric("subscriber.1.queued"));
+  EXPECT_FALSE(is_gauge_metric("ingest.envelopes"));
+  EXPECT_FALSE(is_gauge_metric("subscriber.1.delivered"));
+}
+
+TEST(ObsExposition, FoldsSourceRowsIntoLabeledSeries) {
+  const std::string flat =
+      "source.0.name replay\n"
+      "source.0.envelopes 12\n"
+      "source.1.envelopes 3\n"
+      "service.source.7.samples 99\n";
+  const std::string text = prometheus_exposition(flat);
+  // One # TYPE line even though the family's rows are interleaved with
+  // other sources.
+  EXPECT_EQ(text.find("# TYPE efd_source_envelopes counter"),
+            text.rfind("# TYPE efd_source_envelopes counter"));
+  EXPECT_NE(
+      text.find("efd_source_envelopes{source=\"0\",name=\"replay\"} 12"),
+      std::string::npos);
+  EXPECT_NE(text.find("efd_source_envelopes{source=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("efd_service_source_samples{source=\"7\"} 99"),
+            std::string::npos);
+  // The name row becomes a label, never its own series.
+  EXPECT_EQ(text.find("efd_source_name"), std::string::npos);
+}
+
+TEST(ObsExposition, FoldsSubscriberRows) {
+  const std::string flat =
+      "subscriber.2.delivered 10\n"
+      "subscriber.2.dropped 4\n"
+      "subscriber.2.queued 1\n";
+  const std::string text = prometheus_exposition(flat);
+  EXPECT_NE(text.find("efd_subscriber_delivered{subscriber=\"2\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("efd_subscriber_dropped{subscriber=\"2\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE efd_subscriber_queued gauge"),
+            std::string::npos);
+}
+
+TEST(ObsExposition, SnapshotErrorBecomesEscapedInfoSeries) {
+  EXPECT_EQ(prometheus_exposition("ingest.snapshot_last_error none\n")
+                .find("snapshot_last_error"),
+            std::string::npos);
+  const std::string text = prometheus_exposition(
+      "ingest.snapshot_last_error open(\"/tmp/x\")_failed\n");
+  EXPECT_NE(text.find("# TYPE efd_ingest_snapshot_last_error_info gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("efd_ingest_snapshot_last_error_info{reason="
+                "\"open(\\\"/tmp/x\\\")_failed\"} 1"),
+      std::string::npos);
+}
+
+TEST(ObsExposition, FoldsBuildInfoAndUptime) {
+  const std::string flat =
+      "build.version 0.9.0\n"
+      "build.sha abc123\n"
+      "build.kernel avx2\n"
+      "uptime.seconds 42\n";
+  const std::string text = prometheus_exposition(flat);
+  EXPECT_NE(text.find("efd_build_info{version=\"0.9.0\",sha=\"abc123\","
+                      "kernel=\"avx2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("efd_uptime_seconds 42"), std::string::npos);
+  // Folded rows never leak through as plain series.
+  EXPECT_EQ(text.find("efd_build_version"), std::string::npos);
+  EXPECT_EQ(text.find("efd_uptime_seconds 42\nefd_uptime_seconds"),
+            std::string::npos);
+}
+
+TEST(ObsExposition, RenderMetricsIsSupersetOfFlatExposition) {
+  hot_path().verdict_e2e_ns.observe(5000);  // ensure the family exists
+  const std::string flat = "ingest.envelopes 8\n";
+  const std::string text = render_metrics(flat, global_metrics());
+  const std::string flat_only = prometheus_exposition(flat);
+  EXPECT_EQ(text.rfind(flat_only, 0), 0u);  // flat rows lead, byte-identical
+  EXPECT_NE(text.find("# TYPE efd_verdict_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("efd_stage_duration_ns_bucket{stage=\"decode\","),
+            std::string::npos);
+}
+
+}  // namespace

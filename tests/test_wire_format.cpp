@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace {
@@ -68,6 +69,13 @@ TEST(WireFormat, RoundTripsEveryMessageType) {
       make_stats_reply("service.active_jobs 3\nretrain.cycles_promoted 1\n"),
       make_stats_reply(""),
       make_retrain_report({12, 1, 4, 0.97, 0.85, 64, 16}),
+      make_subscribe({"ft", "mg"}, {0, 2}),
+      make_subscribe(),  // empty filters = match everything
+      make_subscribe_ack(true, 9),
+      make_subscribe_ack(false, 0, "subscriptions disabled"),
+      make_verdict_event(77, 1, 123456,
+                         {true, 3, 4, "ft", "ft_X"}),
+      make_verdict_event(78, 0, 0, {false, 0, 4, "unknown", "unknown"}),
   };
 
   std::vector<std::uint8_t> bytes;
@@ -156,6 +164,70 @@ TEST(WireFormat, SwapFramesDecodeDefensively) {
     decoder.feed(bytes);
     Message message;
     EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+}
+
+TEST(WireFormat, PubSubFramesDecodeDefensively) {
+  {
+    // A subscribe whose declared application count exceeds what the
+    // frame's bytes could possibly hold must fail without allocating
+    // the claimed count.
+    std::vector<std::uint8_t> bytes = encode(make_subscribe({"ft"}, {}));
+    // app_count field offset: 4 frame len + 2 header.
+    bytes[6] = 0xFF;
+    bytes[7] = 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Hostile source count after a valid (empty) application list.
+    std::vector<std::uint8_t> bytes = encode(make_subscribe({}, {3}));
+    // source_count offset: 4 len + 2 header + 4 app_count(=0).
+    bytes[10] = 0xFF;
+    bytes[11] = 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Trailing bytes after a complete subscribe body.
+    std::vector<std::uint8_t> bytes = encode(make_subscribe());
+    bytes.push_back(0xAB);
+    const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
+    }
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // Truncated verdict event (body shorter than the fixed layout).
+    std::vector<std::uint8_t> bytes =
+        encode(make_verdict_event(1, 0, 99, {true, 2, 2, "ft", "ft_X"}));
+    bytes.resize(bytes.size() - 12);
+    const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
+    }
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Message message;
+    EXPECT_EQ(decoder.next(message), DecodeStatus::kError);
+  }
+  {
+    // The encoder refuses filter lists beyond the wire cap — peer bugs
+    // fail at the sender, not as a giant frame at every subscriber host.
+    Message subscribe = make_subscribe();
+    subscribe.subscribe.sources.assign(kMaxSubscribeFilters + 1, 0);
+    std::vector<std::uint8_t> out;
+    EXPECT_THROW(encode_frame(subscribe, out), std::invalid_argument);
   }
 }
 

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition scraped from `/metrics`.
+
+Checks (stdlib only, exit 0 = clean, 1 = violations, 2 = usage):
+
+  * every sample line parses as `name[{labels}] value`
+  * metric and label names are legal Prometheus identifiers
+  * exactly one `# TYPE` line per family, and it precedes the samples
+  * every sample belongs to a declared family (histogram samples match
+    their family's `_bucket`/`_sum`/`_count` suffixes)
+  * histogram buckets are cumulative (monotone non-decreasing in `le`
+    order), end with `le="+Inf"`, and the +Inf count equals `_count`
+  * required families (defaults below, extend with --require) exist
+
+With `--flat FILE` (the `efd_cli stats` flat `name value` scrape) it
+additionally asserts that every flat row is represented in the
+exposition under the documented folding rules (per-source /
+per-subscriber labels, build info, uptime, snapshot error).
+
+Usage:
+  check_exposition.py METRICS_FILE [--flat FLAT_FILE] [--require FAMILY]...
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" with \\, \", \n escapes allowed in the value.
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$")
+
+DEFAULT_REQUIRED = [
+    "efd_verdict_latency_ns",
+    "efd_stage_duration_ns",
+    "efd_build_info",
+    "efd_uptime_seconds",
+]
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name, types):
+    """Maps a sample name to its declared family (histograms declare the
+    bare name but emit suffixed samples)."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_number(text):
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint(text, required):
+    errors = []
+    types = {}  # family -> type
+    seen_samples = set()
+    # histogram series key -> list of (le, value) in emission order
+    buckets = {}
+    counts = {}
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                errors.append(f"line {lineno}: malformed TYPE line: {line}")
+                continue
+            family = parts[2]
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            if not METRIC_NAME.match(family):
+                errors.append(f"line {lineno}: illegal family name {family}")
+            types[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        name, _, labels_body, value_text = match.groups()
+        value = parse_number(value_text)
+        if value is None:
+            errors.append(f"line {lineno}: non-numeric value: {line}")
+            continue
+        labels = []
+        if labels_body:
+            consumed = LABEL_PAIR.sub("", labels_body).strip(", ")
+            if consumed:
+                errors.append(
+                    f"line {lineno}: malformed label body: {labels_body}"
+                )
+            labels = LABEL_PAIR.findall(labels_body)
+            for label_name, _ in labels:
+                if not LABEL_NAME.match(label_name):
+                    errors.append(
+                        f"line {lineno}: illegal label name {label_name}"
+                    )
+        family = base_family(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample without TYPE: {name}")
+            continue
+        if types[family] == "histogram":
+            other = tuple(
+                (k, v) for k, v in sorted(labels) if k != "le"
+            )
+            series = (family, other)
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: bucket without le: {line}")
+                else:
+                    buckets.setdefault(series, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[series] = value
+        else:
+            key = (name, tuple(sorted(labels)))
+            if key in seen_samples:
+                errors.append(f"line {lineno}: duplicate sample: {line}")
+            seen_samples.add(key)
+
+    for series, entries in sorted(buckets.items()):
+        family, labels = series
+        where = family + (str(dict(labels)) if labels else "")
+        if entries[-1][0] != "+Inf":
+            errors.append(f"{where}: buckets do not end with le=\"+Inf\"")
+            continue
+        previous = -1.0
+        for le, value in entries:
+            if value < previous:
+                errors.append(
+                    f"{where}: bucket le={le} not cumulative "
+                    f"({value} < {previous})"
+                )
+            previous = value
+        if series not in counts:
+            errors.append(f"{where}: histogram without _count sample")
+        elif counts[series] != entries[-1][1]:
+            errors.append(
+                f"{where}: +Inf bucket {entries[-1][1]} != _count "
+                f"{counts[series]}"
+            )
+
+    for family in required:
+        if family not in types:
+            errors.append(f"required family missing: {family}")
+
+    return errors, types
+
+
+def flat_row_family(name):
+    """The family a flat scrape row folds into, or None when the row is
+    consumed as a label / special series."""
+    if name.startswith("source."):
+        rest = name.split(".", 2)
+        if len(rest) == 3:
+            return None if rest[2] == "name" else "efd_source_" + rest[2]
+    if name.startswith("service.source."):
+        rest = name.split(".", 3)
+        if len(rest) == 4:
+            return "efd_service_source_" + rest[3]
+    if name.startswith("subscriber."):
+        rest = name.split(".", 2)
+        if len(rest) == 3:
+            return "efd_subscriber_" + rest[2]
+    if name == "ingest.snapshot_last_error":
+        return None  # only surfaces (as _info) when not "none"
+    if name in ("build.version", "build.sha", "build.kernel"):
+        return "efd_build_info"
+    if name == "uptime.seconds":
+        return "efd_uptime_seconds"
+    return "efd_" + name.replace(".", "_")
+
+
+def check_flat(flat_text, types):
+    errors = []
+    for raw in flat_text.splitlines():
+        line = raw.strip()
+        if not line or " " not in line:
+            continue
+        name = line.split(" ", 1)[0]
+        family = flat_row_family(name)
+        if family is not None and family not in types:
+            errors.append(f"flat row not represented in exposition: {name}")
+    return errors
+
+
+def main(argv):
+    metrics_file = None
+    flat_file = None
+    required = list(DEFAULT_REQUIRED)
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--flat":
+            flat_file = next(it, None)
+        elif arg == "--require":
+            value = next(it, None)
+            if value:
+                required.append(value)
+        elif metrics_file is None:
+            metrics_file = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if metrics_file is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(metrics_file, encoding="utf-8") as handle:
+        text = handle.read()
+    errors, types = lint(text, required)
+    if flat_file:
+        with open(flat_file, encoding="utf-8") as handle:
+            errors.extend(check_flat(handle.read(), types))
+
+    for error in errors:
+        print(f"check_exposition: {error}", file=sys.stderr)
+    if not errors:
+        print(
+            f"check_exposition: OK ({len(types)} families, "
+            f"{len(text.splitlines())} lines)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

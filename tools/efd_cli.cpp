@@ -33,6 +33,9 @@
 ///              new dictionary epoch
 ///   promote    flip a running `serve --follow` warm standby into the
 ///              serving leader (kPromote control frame)
+///   watch      subscribe to a running `serve` endpoint's verdict
+///              stream (kSubscribe, optional --app/--source filters)
+///              and tail the kVerdictEvent frames
 ///
 /// Concurrency knobs: --shards selects the sharded concurrent dictionary
 /// engine (0 = heuristic), --threads sizes a dedicated worker pool, and
@@ -74,6 +77,8 @@
 #include "eval/efd_experiment.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/replication.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_server.hpp"
 #include "ingest/shm_transport.hpp"
 #include "ingest/snapshot_chain.hpp"
 #include "ingest/source_mux.hpp"
@@ -146,7 +151,7 @@ int usage() {
       "             every listener feeds the same service; default tcp)\n"
       "             [--policy block|drop-oldest|reject] [--queue-capacity N]\n"
       "             [--workers N] [--ttl-seconds S] [--max-jobs N] [--quiet]\n"
-      "             [--allow-shutdown] [--allow-swap]\n"
+      "             [--allow-shutdown] [--allow-swap] [--http PORT]\n"
       "             [--snapshot-path FILE] [--snapshot-interval-ms MS]\n"
       "             [--snapshot-every VERDICTS] [--restore]\n"
       "             [--snapshot-chain-limit N] [--allow-followers]\n"
@@ -161,7 +166,10 @@ int usage() {
       "             [--batch N] [--stride N] [--offset K] [--pace-us US]\n"
       "  swap-dict  --dict FILE --port P [--host H]\n"
       "  promote    --port P [--host H]  (flip a --follow standby into\n"
-      "             the serving leader)\n";
+      "             the serving leader)\n"
+      "  watch      --port P [--host H] [--app NAME]... [--source ID]...\n"
+      "             [--count N] [--timeout-ms MS]  (tail the verdict\n"
+      "             stream of a running serve endpoint)\n";
   return 2;
 }
 
@@ -322,120 +330,6 @@ int cmd_dump(const util::ArgParser& args) {
   return 0;
 }
 
-/// True for scrape rows that describe a current level rather than a
-/// lifetime total — they render as `gauge`, everything else as
-/// `counter` (both monotonic counters and epochs/scores, which are at
-/// least non-decreasing in practice are fine as counters for dashboards
-/// that only rate() the true totals).
-bool is_gauge_metric(const std::string& name) {
-  static const char* kGaugeSuffixes[] = {
-      "active_jobs", "pending_verdicts", "queued_samples",
-      "jobs_on_stale_epoch", "dictionary_epoch", "window_jobs",
-      "window_samples", "window_applications", "exhausted",
-      "restored_cursor", "last_cycle", "last_promoted_epoch",
-      "last_candidate_score", "last_incumbent_score"};
-  for (const char* suffix : kGaugeSuffixes) {
-    const std::string_view view(suffix);
-    if (name.size() >= view.size() &&
-        name.compare(name.size() - view.size(), view.size(), view) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// Renders the flat `name value` scrape as Prometheus text exposition:
-/// dots become underscores under an `efd_` prefix, every metric gets a
-/// `# TYPE` line, and the per-source rows (`source.<id>.*`,
-/// `service.source.<tag>.*`) are folded into labeled series —
-/// `efd_source_gaps{source="1",name="udp:7412"} 3` — so one dashboard
-/// query covers any number of transports.
-std::string prometheus_exposition(const std::string& flat) {
-  // Pass 1: split rows, learn the source id -> registration-name labels.
-  std::map<std::string, std::string> source_names;
-  std::vector<std::pair<std::string, std::string>> rows;
-  std::string snapshot_error;
-  std::istringstream in(flat);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t space = line.find(' ');
-    if (space == std::string::npos || space == 0) continue;
-    std::string name = line.substr(0, space);
-    std::string value = line.substr(space + 1);
-    if (name.rfind("source.", 0) == 0) {
-      const std::size_t dot = name.find('.', 7);
-      if (dot != std::string::npos && name.substr(dot + 1) == "name") {
-        source_names[name.substr(7, dot - 7)] = value;
-        continue;  // becomes a label, not a series
-      }
-    }
-    if (name == "ingest.snapshot_last_error") {
-      // Text, not a number: folded into an info-style labeled gauge
-      // below ("none" = healthy, no series at all).
-      if (value != "none") snapshot_error = value;
-      continue;
-    }
-    rows.emplace_back(std::move(name), std::move(value));
-  }
-
-  // Pass 2: emit, grouping every row of one metric family under a
-  // single # TYPE header (Prometheus rejects duplicate TYPE lines).
-  std::ostringstream out;
-  std::map<std::string, std::vector<std::string>> families;  // name -> lines
-  std::vector<std::string> family_order;
-  const auto add = [&](const std::string& family, std::string sample,
-                       const std::string& type_hint) {
-    auto it = families.find(family);
-    if (it == families.end()) {
-      family_order.push_back(family);
-      it = families.emplace(family, std::vector<std::string>{}).first;
-      it->second.push_back("# TYPE " + family + " " + type_hint);
-    }
-    it->second.push_back(std::move(sample));
-  };
-  for (const auto& [name, value] : rows) {
-    const std::string type_hint = is_gauge_metric(name) ? "gauge" : "counter";
-    if (name.rfind("source.", 0) == 0) {
-      const std::size_t dot = name.find('.', 7);
-      if (dot != std::string::npos) {
-        const std::string id = name.substr(7, dot - 7);
-        const std::string family = "efd_source_" + name.substr(dot + 1);
-        std::string labels = "source=\"" + id + "\"";
-        const auto label = source_names.find(id);
-        if (label != source_names.end()) {
-          labels += ",name=\"" + label->second + "\"";
-        }
-        add(family, family + "{" + labels + "} " + value, type_hint);
-        continue;
-      }
-    }
-    if (name.rfind("service.source.", 0) == 0) {
-      const std::size_t dot = name.find('.', 15);
-      if (dot != std::string::npos) {
-        const std::string family =
-            "efd_service_source_" + name.substr(dot + 1);
-        add(family,
-            family + "{source=\"" + name.substr(15, dot - 15) + "\"} " +
-                value,
-            type_hint);
-        continue;
-      }
-    }
-    std::string family = "efd_" + name;
-    std::replace(family.begin(), family.end(), '.', '_');
-    add(family, family + " " + value, type_hint);
-  }
-  for (const std::string& family : family_order) {
-    for (const std::string& emitted : families[family]) out << emitted << "\n";
-  }
-  if (!snapshot_error.empty()) {
-    out << "# TYPE efd_ingest_snapshot_last_error_info gauge\n"
-        << "efd_ingest_snapshot_last_error_info{reason=\"" << snapshot_error
-        << "\"} 1\n";
-  }
-  return std::move(out).str();
-}
-
 int cmd_stats(const util::ArgParser& args) {
   // Remote mode: scrape a running serve endpoint (kStatsRequest →
   // kStatsReply) and print its flat `name value` block verbatim, or —
@@ -453,7 +347,7 @@ int cmd_stats(const util::ArgParser& args) {
       if (!client.receive(reply, std::chrono::milliseconds(250))) continue;
       if (reply.type != ingest::MessageType::kStatsReply) continue;
       if (args.has("prometheus")) {
-        std::cout << prometheus_exposition(reply.stats_text);
+        std::cout << obs::prometheus_exposition(reply.stats_text);
       } else {
         std::cout << reply.stats_text;
       }
@@ -729,6 +623,9 @@ int cmd_serve(const util::ArgParser& args) {
       std::max<long long>(0, args.get_int("snapshot-chain-limit", 16)));
   pipeline_config.restore_on_start = args.has("restore");
   pipeline_config.allow_followers = args.has("allow-followers");
+  // --http PORT starts the observability plane (GET /metrics, /index,
+  // /healthz) on 127.0.0.1; 0 binds an ephemeral port (printed below).
+  pipeline_config.http_port = static_cast<int>(args.get_int("http", -1));
   // Clean signal-driven shutdown: SIGTERM/SIGINT drain the pipeline,
   // write the final snapshot, and exit 0 — `kill -TERM` must leave a
   // restorable snapshot behind, not a stale one.
@@ -863,10 +760,35 @@ int cmd_serve(const util::ArgParser& args) {
         std::cout << line << std::endl;
       };
     }
+    // Standby observability: while following, /healthz answers 503 so a
+    // load balancer never routes traffic here pre-promotion. The standby
+    // listener is torn down before the promoted pipeline binds its own
+    // (same port when --http was explicit; a fresh ephemeral one for 0).
+    std::unique_ptr<obs::HttpServer> standby_http;
+    if (pipeline_config.http_port >= 0) {
+      standby_http = std::make_unique<obs::HttpServer>(
+          static_cast<std::uint16_t>(pipeline_config.http_port),
+          [](const obs::HttpRequest& request) {
+            obs::HttpResponse response;
+            if (request.target == "/healthz") {
+              response.status = 503;
+              response.content_type = "application/json";
+              response.body =
+                  "{\"status\":\"standby\",\"role\":\"follower\"}\n";
+            } else {
+              response.status = 404;
+              response.body = "not found\n";
+            }
+            return response;
+          });
+      std::cout << "http: standby listening on 127.0.0.1:"
+                << standby_http->port() << std::endl;
+    }
     ingest::ReplicationFollower follower(std::move(follower_config));
     std::cout << "following " << follow << " (promote grace "
               << args.get_int("promote-grace-ms", 0) << " ms)" << std::endl;
     const auto outcome = follower.run();
+    standby_http.reset();
     const ingest::FollowerStats fstats = follower.stats();
     std::cout << "follower: " << fstats.captures_applied
               << " captures applied (" << fstats.bases_applied << " bases, "
@@ -886,6 +808,10 @@ int cmd_serve(const util::ArgParser& args) {
 
   ingest::IngestPipeline pipeline(service, sources, pipeline_config,
                                   pool.get());
+  if (pipeline.http_port() != 0) {
+    std::cout << "http: listening on 127.0.0.1:" << pipeline.http_port()
+              << std::endl;
+  }
   const std::uint64_t delivered = pipeline.run();
   for (Listener& listener : listeners) listener.stop();
 
@@ -1006,6 +932,80 @@ int cmd_promote(const util::ArgParser& args) {
   }
   std::cerr << "error: no promote ack from " << host << ":" << port << "\n";
   return 1;
+}
+
+/// watch: subscribe to a running serve endpoint's verdict stream
+/// (kSubscribe, optionally filtered by --app NAME / --source ID, both
+/// repeatable) and tail the kVerdictEvent frames it fans out. The
+/// server never blocks on a slow watcher: a full subscriber queue sheds
+/// events, counted in the `subscriber.<id>.dropped` scrape row.
+int cmd_watch(const util::ArgParser& args) {
+  const auto port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) return usage();
+  const std::string host = args.get("host", "127.0.0.1");
+  std::vector<std::string> applications = args.get_all("app");
+  std::vector<std::uint32_t> source_filters;
+  for (const std::string& spec : args.get_all("source")) {
+    if (const auto id = util::parse_int(spec)) {
+      source_filters.push_back(static_cast<std::uint32_t>(*id));
+    }
+  }
+  const long long count = args.get_int("count", 0);          // 0 = forever
+  const long long timeout_ms = args.get_int("timeout-ms", 0);  // 0 = none
+
+  ingest::TcpClient client(host, static_cast<std::uint16_t>(port));
+  client.send(ingest::make_subscribe(std::move(applications),
+                                     std::move(source_filters)));
+
+  ingest::Message message;
+  const auto ack_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool acked = false;
+  while (!acked && std::chrono::steady_clock::now() < ack_deadline) {
+    if (!client.receive(message, std::chrono::milliseconds(250))) continue;
+    if (message.type != ingest::MessageType::kSubscribeAck) continue;
+    if (!message.snap_ack.ok) {
+      std::cerr << "error: subscription rejected: " << message.snap_ack.error
+                << "\n";
+      return 1;
+    }
+    std::cout << "subscribed id=" << message.snap_ack.capture_id << std::endl;
+    acked = true;
+  }
+  if (!acked) {
+    std::cerr << "error: no subscribe ack from " << host << ":" << port
+              << "\n";
+    return 1;
+  }
+
+  install_shutdown_handlers();
+  const auto start = std::chrono::steady_clock::now();
+  long long seen = 0;
+  while (!g_shutdown_requested.load(std::memory_order_relaxed)) {
+    if (timeout_ms > 0 &&
+        std::chrono::steady_clock::now() - start >
+            std::chrono::milliseconds(timeout_ms)) {
+      break;
+    }
+    const auto status =
+        client.receive_status(message, std::chrono::milliseconds(250));
+    if (status == ingest::TcpClient::ReceiveStatus::kClosed) {
+      std::cerr << "connection closed by server\n";
+      return seen > 0 ? 0 : 1;
+    }
+    if (status != ingest::TcpClient::ReceiveStatus::kMessage) continue;
+    if (message.type != ingest::MessageType::kVerdictEvent) continue;
+    std::cout << "verdict job=" << message.job_id << " source="
+              << message.verdict_event.source << " app="
+              << message.verdict.application << " label="
+              << message.verdict.label << " matched="
+              << message.verdict.matched << "/"
+              << message.verdict.fingerprints << " latency_us="
+              << message.verdict_event.latency_ns / 1000 << std::endl;
+    ++seen;
+    if (count > 0 && seen >= count) break;
+  }
+  return 0;
 }
 
 /// Inserts a fixed delay after every frame — the throttle `--pace-us`
@@ -1204,6 +1204,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "swap-dict") return cmd_swap_dict(args);
     if (command == "promote") return cmd_promote(args);
+    if (command == "watch") return cmd_watch(args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
