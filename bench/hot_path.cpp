@@ -18,7 +18,11 @@
 ///     close loop with the obs::hot_path() stage timers enabled vs.
 ///     disabled, in ns/sample; `obs_overhead_ratio` (off/on) gates that
 ///     instrumentation stays within the CI budget (>= 0.95 means the
-///     timers cost at most ~5%).
+///     timers cost at most ~5%);
+///  5. dictionary lookup — batch probes resolved through the sharded
+///     (per-shard shared_mutex + node-based hash map) path vs. the
+///     compiled flat probe index (dictionary_index.hpp), in ns/key over
+///     identical pre-built key sets; the ratio is `lookup_speedup`.
 ///
 /// CI runs this via the hot-path-smoke job and feeds the JSONL line to
 /// tools/bench_check.py, which compares the ratio fields against the
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/dictionary_index.hpp"
 #include "core/fingerprint.hpp"
 #include "core/matcher.hpp"
 #include "core/online/recognition_service.hpp"
@@ -271,6 +276,61 @@ int main(int argc, char** argv) {
   std::cout << "obs_overhead_ratio: " << util::format_mean(obs_overhead_ratio)
             << " (off/on; 1.0 = free instrumentation)\n";
 
+  // --- Stage 5: dictionary lookup (sharded locks vs flat index) -----
+  // Two dictionaries with byte-identical content; only one compiles the
+  // probe index. Keys are pre-built once so the stage prices exactly the
+  // lookup+tally loop the serve path runs per verdict, nothing else.
+  core::ShardedDictionary sharded_dict =
+      core::ShardedDictionary::from_dictionary(dictionary);
+  core::ShardedDictionary indexed_dict =
+      core::ShardedDictionary::from_dictionary(dictionary);
+  indexed_dict.compile_probe_index();
+  if (indexed_dict.probe_index() == nullptr) {
+    std::cerr << "bench_hot_path: no flat index compiled (EFD_FLAT_INDEX=off?);"
+                 " the lookup stage requires one\n";
+    return 1;
+  }
+  std::vector<std::vector<core::FingerprintKey>> key_sets;
+  std::size_t key_total = 0;
+  for (const telemetry::ExecutionRecord& record : dataset.records()) {
+    key_sets.push_back(core::build_fingerprints(record, config, slots));
+    key_total += key_sets.back().size();
+  }
+  const core::Matcher sharded_matcher(sharded_dict);
+  const core::Matcher indexed_matcher(indexed_dict);
+  core::RecognitionScratch lookup_scratch;
+  constexpr int kLookupPasses = 16;  // amortize timer granularity
+  const auto lookup_loop = [&](const core::Matcher& matcher) {
+    std::size_t matched = 0;
+    for (int pass = 0; pass < kLookupPasses; ++pass) {
+      for (const std::vector<core::FingerprintKey>& keys : key_sets) {
+        matcher.recognize_keys_into(keys, lookup_scratch);
+        matched += lookup_scratch.result().matched_count;
+      }
+    }
+    g_sink = static_cast<double>(matched);
+  };
+  const double lookup_sharded_ns =
+      best_of(repetitions, [&] { lookup_loop(sharded_matcher); }) /
+      (key_total * kLookupPasses);
+  const double lookup_index_ns =
+      best_of(repetitions, [&] { lookup_loop(indexed_matcher); }) /
+      (key_total * kLookupPasses);
+  const double lookup_speedup = lookup_sharded_ns / lookup_index_ns;
+
+  std::cout << "\n";
+  util::TablePrinter lookup({"dictionary lookup", "ns/key"});
+  lookup.add_row({"sharded (locked)", util::format_mean(lookup_sharded_ns)});
+  lookup.add_row({std::string("flat index (") + core::index_kernel_name() +
+                      " tag scan)",
+                  util::format_mean(lookup_index_ns)});
+  lookup.print(std::cout);
+  std::cout << "lookup_speedup: " << util::format_mean(lookup_speedup)
+            << "x over " << key_total << " keys (index "
+            << indexed_dict.index_resident_bytes() << " bytes, built in "
+            << util::format_mean(indexed_dict.index_build_seconds() * 1e3)
+            << " ms)\n";
+
   bench::JsonRecord record;
   record.field("bench", "hot_path")
       .field("kernel", core::kernel_name())
@@ -288,6 +348,13 @@ int main(int argc, char** argv) {
       .field("obs_on_ns_per_sample", obs_on_ns)
       .field("obs_off_ns_per_sample", obs_off_ns)
       .field("obs_overhead_ratio", obs_overhead_ratio)
+      .field("lookup_sharded_ns_per_key", lookup_sharded_ns)
+      .field("lookup_index_ns_per_key", lookup_index_ns)
+      .field("lookup_speedup", lookup_speedup)
+      .field("index_kernel", core::index_kernel_name())
+      .field("index_bytes",
+             static_cast<long long>(indexed_dict.index_resident_bytes()))
+      .field("index_build_seconds", indexed_dict.index_build_seconds())
       .field("records", dataset.size());
   bench::emit_json(args, record);
   return 0;

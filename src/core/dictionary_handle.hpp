@@ -43,8 +43,17 @@ class DictionaryHandle {
   /// dictionary itself is internally synchronized (online learning keeps
   /// inserting into the active epoch while streams recognize against it).
   struct Epoch {
+    /// Construction is the publication point for the dictionary's derived
+    /// read structures: the flat probe index (dictionary_index.hpp) is
+    /// compiled here, so every path that publishes an epoch — initial
+    /// handle construction (train completion), swap(), and the snapshot
+    /// restorer's pre-built epoch for reset() — atomically ships
+    /// structure + index together. In-flight streams keep their pinned
+    /// epoch's index; EFD_FLAT_INDEX=off skips compilation.
     Epoch(std::uint64_t version, ShardedDictionary dictionary)
-        : version(version), dictionary(std::move(dictionary)) {}
+        : version(version), dictionary(std::move(dictionary)) {
+      this->dictionary.compile_probe_index();
+    }
 
     const std::uint64_t version;
     ShardedDictionary dictionary;

@@ -22,6 +22,7 @@
 namespace efd::core {
 
 struct DictionaryEntry;
+class DictionaryIndex;
 class LabelTable;
 
 /// Read-only view of a trained dictionary. Implementations state their
@@ -49,6 +50,17 @@ class DictionaryView {
   /// back to string-keyed scoring). The table is append-only and owned by
   /// the dictionary; ids are stable for the dictionary's lifetime.
   virtual const LabelTable* label_table() const noexcept { return nullptr; }
+
+  /// Compiled flat probe index (dictionary_index.hpp), or nullptr when no
+  /// index is published — because the implementation never compiles one,
+  /// EFD_FLAT_INDEX=off, or the dictionary has learned since the last
+  /// compile (the index is a snapshot of frozen content, never patched).
+  /// Callers holding the dictionary may hold the returned pointer for the
+  /// same lifetime: a compiled index is only ever released with its
+  /// dictionary.
+  virtual const DictionaryIndex* probe_index() const noexcept {
+    return nullptr;
+  }
 };
 
 }  // namespace efd::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/dictionary_index.hpp"
 #include "core/recognition_scratch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -95,6 +96,34 @@ void Matcher::recognize_keys_into(std::span<const FingerprintKey> keys,
   const LabelTable* table = dictionary_->label_table();
   if (table == nullptr) {
     scratch.set_legacy(recognize_key_span(keys));
+    return;
+  }
+  if (const DictionaryIndex* index = dictionary_->probe_index()) {
+    // Flat-index batch probe: every key's hash first (one pass of pure
+    // arithmetic over the arena), then a software-pipelined probe loop —
+    // prefetch probe i+K's bucket while resolving probe i, so the
+    // random-access cache miss of each lookup overlaps the tag scan and
+    // vote tally of an earlier one instead of serializing behind it.
+    scratch.begin(*table);
+    std::vector<std::uint64_t>& hashes = scratch.hash_buffer();
+    hashes.resize(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      hashes[i] = DictionaryIndex::hash_key(keys[i]);
+    }
+    constexpr std::size_t kPrefetchDistance = 8;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i + kPrefetchDistance < keys.size()) {
+        index->prefetch(hashes[i + kPrefetchDistance]);
+      }
+      const DictionaryIndex::Entry* entry =
+          index->find_hashed(keys[i], hashes[i]);
+      if (entry == nullptr) continue;
+      if (!scratch.score_entry_ids(index->label_ids(*entry))) {
+        scratch.set_legacy(recognize_key_span(keys));  // defensive
+        return;
+      }
+    }
+    scratch.finish(*dictionary_, keys.size());
     return;
   }
   scratch.begin(*table);

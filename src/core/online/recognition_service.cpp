@@ -665,6 +665,11 @@ RecognitionServiceStats RecognitionService::stats() const {
   stats.dictionary_epoch = handle_.version();
   stats.dictionary_swaps = handle_.swap_count();
   {
+    const std::shared_ptr<DictionaryHandle::Epoch> epoch = handle_.acquire();
+    stats.index_build_seconds = epoch->dictionary.index_build_seconds();
+    stats.index_bytes = epoch->dictionary.index_resident_bytes();
+  }
+  {
     std::shared_lock lock(jobs_mutex_);
     for (const auto& [job_id, stream] : jobs_) {
       if (!stream->done.load(std::memory_order_acquire)) {

@@ -183,6 +183,13 @@ struct RecognitionServiceStats {
   /// Open streams still pinned to a superseded dictionary epoch (they
   /// finish against it; drops to 0 once pre-swap streams drain).
   std::size_t jobs_on_stale_epoch = 0;
+  /// Flat probe index (dictionary_index.hpp) of the active epoch: compile
+  /// wall-clock cost and resident footprint. Both 0 when no index was
+  /// compiled (EFD_FLAT_INDEX=off or unusable content); the build cost is
+  /// reported even after online learning staled the index, so the
+  /// swap-time cost stays visible on the scrape.
+  double index_build_seconds = 0.0;
+  std::uint64_t index_bytes = 0;
   /// Per-source ingress, ordered by tag. Populated only once a tagged
   /// open_job arrived (a single untagged source keeps this empty, so the
   /// legacy scrape is unchanged).

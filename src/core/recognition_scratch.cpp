@@ -44,12 +44,12 @@ void RecognitionScratch::begin(const LabelTable& table) {
   result_.label_votes.clear();
 }
 
-bool RecognitionScratch::score_entry(const DictionaryEntry& entry) {
-  if (entry.label_ids.size() != entry.labels.size()) return false;
+bool RecognitionScratch::score_entry_ids(
+    std::span<const std::uint32_t> label_ids) {
   ++result_.matched_count;
   ++entry_serial_;
 
-  for (const std::uint32_t label_id : entry.label_ids) {
+  for (const std::uint32_t label_id : label_ids) {
     // Concurrent interning can publish ids past the counts begin() saw;
     // grow to cover them (rare, training-time only).
     if (label_id >= label_votes_.size()) {

@@ -102,6 +102,11 @@ class RecognitionScratch {
   std::vector<std::uint8_t>& covered_lane() noexcept { return covered_; }
   std::string& name_buffer() noexcept { return combined_name_; }
 
+  /// Reused per-batch key-hash buffer for the flat-index probe pipeline
+  /// (Matcher precomputes every hash, then prefetches probe i+K's bucket
+  /// while resolving probe i).
+  std::vector<std::uint64_t>& hash_buffer() noexcept { return hashes_; }
+
   // --- scoring (driven by Matcher::recognize_keys_into) ---
 
   /// Starts a scoring pass against \p table: sizes the vote arrays to
@@ -111,7 +116,18 @@ class RecognitionScratch {
   /// Tallies one matched entry's votes. Returns false when the entry's
   /// label_ids are unusable (misaligned with labels) — the caller falls
   /// back to string-keyed scoring for the whole key set.
-  bool score_entry(const DictionaryEntry& entry);
+  bool score_entry(const DictionaryEntry& entry) {
+    if (entry.label_ids.size() != entry.labels.size()) return false;
+    return score_entry_ids(entry.label_ids);
+  }
+
+  /// The tallying core, shared verbatim by the sharded copy-out path
+  /// (score_entry) and the flat-index path (which feeds
+  /// DictionaryIndex::label_ids spans directly) — vote parity between the
+  /// two probe paths holds by construction, not by testing alone.
+  /// Returns false on an unassigned id (defensive; compiled indexes
+  /// reject those at build time).
+  bool score_entry_ids(std::span<const std::uint32_t> label_ids);
 
   /// Finalizes result(): copies touched votes out and computes the tied
   /// winner array in \p dictionary first-seen order.
@@ -144,6 +160,7 @@ class RecognitionScratch {
   std::vector<double> means_;
   std::vector<std::uint8_t> covered_;
   std::string combined_name_;
+  std::vector<std::uint64_t> hashes_;
 
   // Vote arrays indexed by label/application id, valid for the current
   // generation only (stamp != generation_ means "zero").

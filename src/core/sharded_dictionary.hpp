@@ -30,6 +30,7 @@
 ///    lock one shard at a time; they are safe against concurrent
 ///    inserts/lookups but see a point-in-time view per shard.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -40,6 +41,7 @@
 
 #include "core/app_registry.hpp"
 #include "core/dictionary.hpp"
+#include "core/dictionary_index.hpp"
 #include "core/dictionary_view.hpp"
 #include "core/fingerprint.hpp"
 #include "core/label_table.hpp"
@@ -141,7 +143,44 @@ class ShardedDictionary final : public DictionaryView {
                                            std::size_t shard_count = 0);
   Dictionary to_dictionary() const;
 
+  /// Compiles the flat probe index from the current content (no-op under
+  /// EFD_FLAT_INDEX=off). Call ONLY while the dictionary is frozen and
+  /// pre-publication — DictionaryHandle::Epoch's constructor is the
+  /// intended (and sole in-tree) production call site, covering train
+  /// completion, epoch swap, and snapshot restore. The index is derived
+  /// state: never serialized, and hidden again by the stale flag the
+  /// moment insert()/merge()/prune_rare() mutate the content.
+  void compile_probe_index();
+
+  /// The compiled index, or nullptr when none was compiled or the content
+  /// has mutated since compilation (online learn() into the active epoch
+  /// self-invalidates; readers fall back to the sharded path). Lock-free.
+  const DictionaryIndex* probe_index() const noexcept override {
+    if (index_ == nullptr) return nullptr;
+    if (index_stale_.load(std::memory_order_acquire)) return nullptr;
+    return index_.get();
+  }
+
+  /// Build cost / footprint of the last compiled index (0 when none) —
+  /// reported even while stale, so the swap-time gauges survive the
+  /// first post-swap learn(). Lock-free.
+  double index_build_seconds() const noexcept {
+    return index_ != nullptr ? index_->build_seconds() : 0.0;
+  }
+  std::uint64_t index_resident_bytes() const noexcept {
+    return index_ != nullptr ? index_->resident_bytes() : 0;
+  }
+
  private:
+  /// Hides the index from probe_index() on the first content mutation
+  /// after compilation. The branch keeps training-loop inserts (index_
+  /// never compiled) from hammering a shared cache line.
+  void invalidate_probe_index() noexcept {
+    if (index_ != nullptr && !index_stale_.load(std::memory_order_relaxed)) {
+      index_stale_.store(true, std::memory_order_release);
+    }
+  }
+
   struct Shard {
     mutable std::shared_mutex mutex;
     std::unordered_map<FingerprintKey, DictionaryEntry, FingerprintKeyHash>
@@ -152,6 +191,11 @@ class ShardedDictionary final : public DictionaryView {
   std::vector<std::unique_ptr<Shard>> shards_;
   ApplicationRegistry applications_;
   std::shared_ptr<LabelTable> labels_ = std::make_shared<LabelTable>();
+  /// Set once by compile_probe_index() before publication, then released
+  /// only with the dictionary — so probe_index()'s raw pointer stays
+  /// valid for every reader that outlives its epoch pin.
+  std::shared_ptr<const DictionaryIndex> index_;
+  std::atomic<bool> index_stale_{false};
 };
 
 }  // namespace efd::core

@@ -381,7 +381,10 @@ std::string IngestPipeline::render_stats_text() const {
       << "service.dictionary_swaps_noop " << service.dictionary_swaps_noop
       << "\n"
       << "service.jobs_on_stale_epoch " << service.jobs_on_stale_epoch
-      << "\n";
+      << "\n"
+      << "dictionary.index_build_seconds " << service.index_build_seconds
+      << "\n"
+      << "dictionary.index_bytes " << service.index_bytes << "\n";
   for (const core::SourceIngressStats& ingress : service.by_source) {
     const std::string prefix =
         "service.source." + std::to_string(ingress.source) + ".";

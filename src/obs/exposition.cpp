@@ -38,7 +38,8 @@ bool is_gauge_metric(const std::string& name) {
       "jobs_on_stale_epoch", "dictionary_epoch", "window_jobs",
       "window_samples", "window_applications", "exhausted",
       "restored_cursor", "last_cycle", "last_promoted_epoch",
-      "last_candidate_score", "last_incumbent_score", ".queued"};
+      "last_candidate_score", "last_incumbent_score", ".queued",
+      "index_build_seconds", "index_bytes"};
   for (const char* suffix : kGaugeSuffixes) {
     const std::string_view view(suffix);
     if (name.size() >= view.size() &&

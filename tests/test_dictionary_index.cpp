@@ -1,0 +1,473 @@
+/// \file test_dictionary_index.cpp
+/// \brief Flat probe index suite: verdict parity between the index and
+/// sharded probe paths (randomized dictionaries, tie order, empty and
+/// collision-heavy tables), restored-snapshot == live-training index
+/// equivalence, EFD_FLAT_INDEX gating, publication at every epoch
+/// point, scalar/AVX2 tag-scan mask identity, and a TSan-facing
+/// swap-storm test (workers probing while epochs churn).
+
+#include "core/dictionary_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/dictionary_handle.hpp"
+#include "core/matcher.hpp"
+#include "core/online/recognition_service.hpp"
+#include "core/recognition_scratch.hpp"
+#include "core/sharded_dictionary.hpp"
+#include "obs/exposition.hpp"
+
+namespace {
+
+using namespace efd;
+using namespace efd::core;
+
+// This suite exercises both sides of the EFD_FLAT_INDEX toggle itself
+// (FlatIndexOffDisablesCompilationAndKeepsVerdicts flips it off
+// locally), so pin it on before main — under an ambient
+// EFD_FLAT_INDEX=off run every compilation-dependent test would
+// otherwise fail for the wrong reason.
+const int kPinFlatIndexOn = (::setenv("EFD_FLAT_INDEX", "on", 1), 0);
+
+FingerprintKey key_of(double mean, std::uint32_t node = 0,
+                      const std::string& metric = "nr_mapped_vmstat") {
+  FingerprintKey key;
+  key.metric = metric;
+  key.node_id = node;
+  key.interval = {60, 120};
+  key.rounded_means = {mean};
+  return key;
+}
+
+FingerprintConfig config_of() {
+  FingerprintConfig config;
+  config.metrics = {"nr_mapped_vmstat"};
+  config.rounding_depth = 2;
+  return config;
+}
+
+/// One training observation; a scripted sequence applied to two
+/// dictionaries reproduces identical content AND identical tie-break
+/// epoch order in both.
+struct Observation {
+  FingerprintKey key;
+  std::string label;
+};
+
+std::vector<Observation> random_observations(std::mt19937_64& rng,
+                                             std::size_t count) {
+  const char* metrics[] = {"nr_mapped_vmstat", "MemFree_meminfo"};
+  const char* apps[] = {"ft", "mg", "lu", "sp", "bt"};
+  const char* sizes[] = {"X", "Y"};
+  std::vector<Observation> observations;
+  observations.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Observation obs;
+    obs.key.metric = metrics[rng() % 2];
+    obs.key.node_id = static_cast<std::uint32_t>(rng() % 8);
+    obs.key.interval = (rng() % 2 == 0) ? telemetry::Interval{60, 120}
+                                        : telemetry::Interval{0, 60};
+    // Few distinct means -> many shared keys -> multi-label entries and
+    // application collisions, the tie-break-relevant shape.
+    obs.key.rounded_means = {static_cast<double>(100 * (1 + rng() % 24))};
+    if (rng() % 4 == 0) {
+      obs.key.rounded_means.push_back(
+          static_cast<double>(1000 * (1 + rng() % 8)));
+    }
+    obs.label = std::string(apps[rng() % 5]) + "_" + sizes[rng() % 2];
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+ShardedDictionary dictionary_from(const std::vector<Observation>& observations,
+                                  std::size_t shards = 8) {
+  ShardedDictionary dictionary(config_of(), shards);
+  for (const Observation& obs : observations) {
+    dictionary.insert(obs.key, obs.label);
+  }
+  return dictionary;
+}
+
+/// Probe batch: every distinct trained key plus a near-miss variant of
+/// each (same shape, shifted mean — exercises tag collisions and the
+/// empty-slot termination path).
+std::vector<FingerprintKey> probe_batch(
+    const std::vector<Observation>& observations) {
+  std::vector<FingerprintKey> keys;
+  for (const Observation& obs : observations) {
+    keys.push_back(obs.key);
+    FingerprintKey miss = obs.key;
+    miss.rounded_means[0] += 1.0;
+    keys.push_back(std::move(miss));
+  }
+  return keys;
+}
+
+void expect_same_result(const RecognitionResult& a, const RecognitionResult& b,
+                        const char* context) {
+  EXPECT_EQ(a.recognized, b.recognized) << context;
+  EXPECT_EQ(a.applications, b.applications) << context;
+  EXPECT_EQ(a.votes, b.votes) << context;
+  EXPECT_EQ(a.label_votes, b.label_votes) << context;
+  EXPECT_EQ(a.matched_labels, b.matched_labels) << context;
+  EXPECT_EQ(a.fingerprint_count, b.fingerprint_count) << context;
+  EXPECT_EQ(a.matched_count, b.matched_count) << context;
+}
+
+RecognitionResult scored_via(const ShardedDictionary& dictionary,
+                             std::span<const FingerprintKey> keys) {
+  Matcher matcher(dictionary);
+  RecognitionScratch scratch;
+  matcher.recognize_keys_into(keys, scratch);
+  RecognitionResult result;
+  scratch.render_result(result);
+  return result;
+}
+
+TEST(DictionaryIndex, CompileFindAndMiss) {
+  ShardedDictionary dictionary(config_of(), 4);
+  dictionary.insert(key_of(6000.0), "ft_X");
+  dictionary.insert(key_of(6000.0), "mg_X");
+  dictionary.insert(key_of(7000.0, 3), "mg_X");
+  dictionary.compile_probe_index();
+
+  const DictionaryIndex* index = dictionary.probe_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->key_count(), 2u);
+  EXPECT_GT(index->resident_bytes(), 0u);
+  EXPECT_GE(index->build_seconds(), 0.0);
+
+  const DictionaryIndex::Entry* entry = index->find(key_of(6000.0));
+  ASSERT_NE(entry, nullptr);
+  DictionaryEntry reference;
+  ASSERT_TRUE(dictionary.lookup_entry(key_of(6000.0), reference));
+  const auto ids = index->label_ids(*entry);
+  ASSERT_EQ(ids.size(), reference.label_ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], reference.label_ids[i]);
+  }
+
+  EXPECT_EQ(index->find(key_of(9999.0)), nullptr);
+  EXPECT_EQ(index->find(key_of(6000.0, 1)), nullptr);       // node differs
+  EXPECT_EQ(index->find(key_of(6000.0, 0, "other")), nullptr);
+  FingerprintKey wrong_interval = key_of(6000.0);
+  wrong_interval.interval = {0, 60};
+  EXPECT_EQ(index->find(wrong_interval), nullptr);
+}
+
+TEST(DictionaryIndex, EmptyDictionaryCompilesAndMisses) {
+  ShardedDictionary dictionary(config_of(), 2);
+  dictionary.compile_probe_index();
+  const DictionaryIndex* index = dictionary.probe_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->key_count(), 0u);
+  EXPECT_EQ(index->find(key_of(6000.0)), nullptr);
+
+  const std::vector<FingerprintKey> keys = {key_of(6000.0)};
+  const RecognitionResult result = scored_via(dictionary, keys);
+  EXPECT_FALSE(result.recognized);
+  EXPECT_EQ(result.prediction(), kUnknownApplication);
+}
+
+TEST(DictionaryIndex, RandomizedVerdictParityWithShardedPath) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL, 1234ULL}) {
+    std::mt19937_64 rng(seed);
+    const auto observations = random_observations(rng, 400);
+    // Two dictionaries from the same scripted sequence: identical
+    // content and epoch order, but only one compiles an index.
+    ShardedDictionary indexed = dictionary_from(observations);
+    const ShardedDictionary sharded = dictionary_from(observations);
+    indexed.compile_probe_index();
+    ASSERT_NE(indexed.probe_index(), nullptr);
+    ASSERT_EQ(sharded.probe_index(), nullptr);
+
+    const std::vector<FingerprintKey> keys = probe_batch(observations);
+    const RecognitionResult via_index = scored_via(indexed, keys);
+    const RecognitionResult via_shards = scored_via(sharded, keys);
+    expect_same_result(via_index, via_shards, "index vs sharded scratch");
+
+    // And against the string-keyed legacy scorer — three paths, one
+    // verdict table.
+    const RecognitionResult via_legacy =
+        Matcher(sharded).recognize_keys(keys);
+    expect_same_result(via_index, via_legacy, "index vs legacy strings");
+    EXPECT_GT(via_index.matched_count, 0u) << "degenerate seed " << seed;
+  }
+}
+
+TEST(DictionaryIndex, TieOrderMatchesDictionaryFirstSeenOrder) {
+  // sp learned before bt; one shared key gives each app one vote — the
+  // tie array must come back [sp, bt] on both probe paths.
+  std::vector<Observation> observations = {
+      {key_of(7500.0), "sp_X"},
+      {key_of(7500.0), "bt_X"},
+  };
+  ShardedDictionary indexed = dictionary_from(observations);
+  const ShardedDictionary sharded = dictionary_from(observations);
+  indexed.compile_probe_index();
+  ASSERT_NE(indexed.probe_index(), nullptr);
+
+  const std::vector<FingerprintKey> keys = {key_of(7500.0)};
+  const RecognitionResult via_index = scored_via(indexed, keys);
+  expect_same_result(via_index, scored_via(sharded, keys), "tie order");
+  EXPECT_EQ(via_index.applications,
+            (std::vector<std::string>{"sp", "bt"}));
+}
+
+TEST(DictionaryIndex, CollisionHeavyTableFindsEveryKey) {
+  // Thousands of keys stress natural probe-chain collisions; every
+  // trained key must resolve and every near-miss must terminate absent.
+  ShardedDictionary dictionary(config_of(), 16);
+  std::vector<FingerprintKey> present;
+  for (std::uint32_t node = 0; node < 40; ++node) {
+    for (int mean = 1; mean <= 80; ++mean) {
+      FingerprintKey key = key_of(static_cast<double>(100 * mean), node);
+      dictionary.insert(key, node % 2 == 0 ? "ft_X" : "mg_X");
+      present.push_back(std::move(key));
+    }
+  }
+  dictionary.compile_probe_index();
+  const DictionaryIndex* index = dictionary.probe_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->key_count(), present.size());
+
+  for (const FingerprintKey& key : present) {
+    EXPECT_NE(index->find(key), nullptr) << key.to_string();
+    FingerprintKey miss = key;
+    miss.rounded_means[0] += 1.0;
+    EXPECT_EQ(index->find(miss), nullptr) << miss.to_string();
+  }
+}
+
+TEST(DictionaryIndex, ScalarAndAvx2TagScansProduceIdenticalMasks) {
+  std::mt19937_64 rng(42);
+  std::vector<std::uint8_t> tags(kTagScanWindow);
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint8_t& tag : tags) {
+      // Mix of empties, a hot needle value, and arbitrary tags.
+      const std::uint64_t roll = rng() % 4;
+      tag = roll == 0 ? 0 : (roll == 1 ? 0x85 : (0x80 | (rng() & 0x7F)));
+    }
+    std::uint32_t scalar_match = 0;
+    std::uint32_t scalar_empty = 0;
+    index_detail::tag_scan_scalar(tags.data(), 0x85, &scalar_match,
+                                  &scalar_empty);
+#if defined(__x86_64__) || defined(__i386__)
+    if (!__builtin_cpu_supports("avx2")) GTEST_SKIP() << "no AVX2";
+#endif
+    std::uint32_t simd_match = 0;
+    std::uint32_t simd_empty = 0;
+    index_detail::tag_scan_avx2(tags.data(), 0x85, &simd_match, &simd_empty);
+    ASSERT_EQ(scalar_match, simd_match) << "round " << round;
+    ASSERT_EQ(scalar_empty, simd_empty) << "round " << round;
+  }
+}
+
+TEST(DictionaryIndex, RestoredSnapshotIndexEqualsLiveTrainingIndex) {
+  std::mt19937_64 rng(2024);
+  const auto observations = random_observations(rng, 300);
+  ShardedDictionary live = dictionary_from(observations);
+
+  // EFD-DICT-V1 round-trip: the serialized bytes carry no index (it is
+  // derived state), yet the restored dictionary must compile an index
+  // with the identical shape and identical probe behavior.
+  std::stringstream bytes;
+  live.save(bytes);
+  ShardedDictionary restored = ShardedDictionary::load(bytes, 8);
+
+  live.compile_probe_index();
+  restored.compile_probe_index();
+  const DictionaryIndex* live_index = live.probe_index();
+  const DictionaryIndex* restored_index = restored.probe_index();
+  ASSERT_NE(live_index, nullptr);
+  ASSERT_NE(restored_index, nullptr);
+  EXPECT_EQ(live_index->key_count(), restored_index->key_count());
+  EXPECT_EQ(live_index->slot_count(), restored_index->slot_count());
+  EXPECT_EQ(live_index->resident_bytes(), restored_index->resident_bytes());
+
+  const std::vector<FingerprintKey> keys = probe_batch(observations);
+  expect_same_result(scored_via(live, keys), scored_via(restored, keys),
+                     "live vs restored");
+}
+
+TEST(DictionaryIndex, LearnInvalidatesPublishedIndex) {
+  ShardedDictionary dictionary(config_of(), 4);
+  dictionary.insert(key_of(6000.0), "ft_X");
+  dictionary.compile_probe_index();
+  ASSERT_NE(dictionary.probe_index(), nullptr);
+  EXPECT_GT(dictionary.index_resident_bytes(), 0u);
+
+  // Online learning into the published epoch: the index is a snapshot of
+  // frozen content, so the first insert hides it...
+  dictionary.insert(key_of(8000.0), "lu_X");
+  EXPECT_EQ(dictionary.probe_index(), nullptr);
+  // ...but the swap-time gauges keep reporting the last compile.
+  EXPECT_GT(dictionary.index_resident_bytes(), 0u);
+
+  // The sharded fallback sees the new observation immediately.
+  const std::vector<FingerprintKey> keys = {key_of(8000.0)};
+  EXPECT_EQ(scored_via(dictionary, keys).prediction(), "lu");
+
+  // Recompiling (what the next epoch publication does) restores the
+  // fast path with the learned content included.
+  dictionary.compile_probe_index();
+  ASSERT_NE(dictionary.probe_index(), nullptr);
+  EXPECT_EQ(scored_via(dictionary, keys).prediction(), "lu");
+}
+
+TEST(DictionaryIndex, FlatIndexOffDisablesCompilationAndKeepsVerdicts) {
+  std::mt19937_64 rng(5);
+  const auto observations = random_observations(rng, 150);
+  const std::vector<FingerprintKey> keys = probe_batch(observations);
+
+  ShardedDictionary indexed = dictionary_from(observations);
+  indexed.compile_probe_index();
+  const RecognitionResult with_index = scored_via(indexed, keys);
+
+  ::setenv("EFD_FLAT_INDEX", "off", 1);
+  EXPECT_FALSE(flat_index_enabled());
+  ShardedDictionary gated = dictionary_from(observations);
+  gated.compile_probe_index();
+  EXPECT_EQ(gated.probe_index(), nullptr);
+  const RecognitionResult without_index = scored_via(gated, keys);
+  ::unsetenv("EFD_FLAT_INDEX");
+  EXPECT_TRUE(flat_index_enabled());
+
+  expect_same_result(with_index, without_index, "EFD_FLAT_INDEX=off");
+}
+
+TEST(DictionaryIndex, EpochPublicationCompilesAtConstructionSwapAndReset) {
+  ShardedDictionary initial(config_of(), 4);
+  initial.insert(key_of(6000.0), "ft_X");
+  DictionaryHandle handle(std::move(initial));
+
+  // Train completion: the initial epoch ships with its index.
+  const std::shared_ptr<DictionaryHandle::Epoch> first = handle.acquire();
+  const DictionaryIndex* first_index = first->dictionary.probe_index();
+  ASSERT_NE(first_index, nullptr);
+  EXPECT_EQ(first_index->key_count(), 1u);
+
+  // Swap: the successor compiles its own; the pinned epoch keeps the old
+  // index untouched for its in-flight streams.
+  ShardedDictionary next(config_of(), 4);
+  next.insert(key_of(6000.0), "ft_X");
+  next.insert(key_of(8000.0), "lu_X");
+  handle.swap(std::move(next));
+  const std::shared_ptr<DictionaryHandle::Epoch> second = handle.acquire();
+  ASSERT_NE(second->dictionary.probe_index(), nullptr);
+  EXPECT_EQ(second->dictionary.probe_index()->key_count(), 2u);
+  EXPECT_EQ(first->dictionary.probe_index(), first_index);
+  EXPECT_EQ(first_index->key_count(), 1u);
+
+  // Restore: reset() takes a ready-made epoch — built through the same
+  // constructor, so the index is already compiled pre-publication.
+  ShardedDictionary restored(config_of(), 4);
+  restored.insert(key_of(9000.0), "sp_X");
+  auto epoch = std::make_shared<DictionaryHandle::Epoch>(7, std::move(restored));
+  ASSERT_NE(epoch->dictionary.probe_index(), nullptr);
+  handle.reset(epoch, 3);
+  EXPECT_EQ(handle.acquire()->dictionary.probe_index(),
+            epoch->dictionary.probe_index());
+}
+
+TEST(DictionaryIndex, ServiceStatsExposeBuildCostAndFootprint) {
+  ShardedDictionary dictionary(config_of(), 4);
+  dictionary.insert(key_of(6000.0), "ft_X");
+  RecognitionService service(std::move(dictionary), {});
+  const RecognitionServiceStats stats = service.stats();
+  EXPECT_GT(stats.index_bytes, 0u);
+  EXPECT_GE(stats.index_build_seconds, 0.0);
+}
+
+TEST(DictionaryIndex, ExpositionTypesIndexRowsAsGauges) {
+  const std::string exposition = obs::prometheus_exposition(
+      "dictionary.index_build_seconds 0.0012\ndictionary.index_bytes 4096\n");
+  EXPECT_NE(exposition.find("# TYPE efd_dictionary_index_build_seconds gauge"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("# TYPE efd_dictionary_index_bytes gauge"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("efd_dictionary_index_bytes 4096"),
+            std::string::npos)
+      << exposition;
+}
+
+/// The TSan target: four workers batch-probe pinned epochs while a
+/// swapper churns publications. Workers must always see a fully built
+/// index (or a clean fallback), never a torn one, and verdicts must
+/// match the pinned epoch's content.
+TEST(DictionaryIndex, SwapStormConcurrentProbesStayCoherent) {
+  constexpr int kWorkers = 4;
+  constexpr int kSwaps = 60;
+  constexpr int kProbesPerPin = 16;
+
+  const auto build_generation = [](int generation) {
+    ShardedDictionary dictionary(config_of(), 4);
+    for (std::uint32_t node = 0; node < 4; ++node) {
+      dictionary.insert(key_of(6000.0, node), "ft_X");
+      dictionary.insert(key_of(7000.0, node), "mg_X");
+      // Generation-varying content so successive indexes differ.
+      dictionary.insert(key_of(8000.0 + 100.0 * (generation % 5), node),
+                        "lu_X");
+    }
+    return dictionary;
+  };
+
+  DictionaryHandle handle(build_generation(0));
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> probes{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      RecognitionScratch scratch;
+      std::vector<FingerprintKey> keys;
+      for (std::uint32_t node = 0; node < 4; ++node) {
+        keys.push_back(key_of(6000.0, node));
+        keys.push_back(key_of(7000.0, node));
+        keys.push_back(key_of(12345.0, node));  // always absent
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        // Pin once, probe many — the stream lifecycle in miniature.
+        const std::shared_ptr<DictionaryHandle::Epoch> epoch =
+            handle.acquire();
+        const Matcher matcher(epoch->dictionary);
+        for (int probe = 0; probe < kProbesPerPin; ++probe) {
+          matcher.recognize_keys_into(keys, scratch);
+          RecognitionResult result;
+          scratch.render_result(result);
+          // ft and mg tie at 4 votes each on every generation; ft was
+          // always inserted first.
+          ASSERT_TRUE(result.recognized);
+          ASSERT_EQ(result.matched_count, 8u);
+          ASSERT_EQ(result.prediction(), "ft");
+          ASSERT_EQ(result.applications,
+                    (std::vector<std::string>{"ft", "mg"}));
+          probes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int swap = 1; swap <= kSwaps; ++swap) {
+    handle.swap(build_generation(swap));
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(handle.version(), static_cast<std::uint64_t>(1 + kSwaps));
+  EXPECT_GT(probes.load(), 0u);
+}
+
+}  // namespace

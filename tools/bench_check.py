@@ -2,6 +2,7 @@
 """Compare a benchmark's JSONL output against checked-in thresholds.
 
 Usage: tools/bench_check.py BASELINE.json RESULTS.jsonl
+       tools/bench_check.py --compare OLD.jsonl NEW.jsonl
 
 BASELINE.json carries a "thresholds" object whose keys name a field of
 the benchmark record plus a _min or _max suffix:
@@ -16,6 +17,14 @@ Exit status 0 when every threshold passes, 1 with a per-threshold report
 on the first failure, 2 on malformed input. Ratios (speedups) are the
 intended gate: absolute ns/* numbers vary with hardware, but "the pooled
 path must stay faster than the fresh-vector path" holds on any machine.
+
+--compare sidesteps thresholds entirely: it prints per-metric deltas
+between two JSONL runs captured on the SAME machine (typically the base
+and head of one PR), so a change can show relative before/after numbers
+instead of only clearing absolute floors. Fields ending in _ns/_ns_per_*
+or _seconds are lower-is-better; everything else numeric is reported as
+higher-is-better. Always exits 0 on well-formed input: the deltas
+inform, the thresholds gate.
 """
 
 import json
@@ -42,7 +51,43 @@ def load_results(path):
     return merged
 
 
+def lower_is_better(field):
+    return (field.endswith("_seconds") or field.endswith("_ns")
+            or "_ns_per_" in field)
+
+
+def compare(old_path, new_path):
+    old = load_results(old_path)
+    new = load_results(new_path)
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    shared = [f for f in sorted(old)
+              if f in new and numeric(old[f]) and numeric(new[f])]
+    if not shared:
+        print("no shared numeric fields to compare", file=sys.stderr)
+        return 2
+    width = max(len(f) for f in shared)
+    print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  delta")
+    for field in shared:
+        before, after = old[field], new[field]
+        line = f"{field:<{width}}  {before:>12.4g}  {after:>12.4g}"
+        if before:
+            change = (after - before) / abs(before) * 100.0
+            line += f"  {change:+.1f}%"
+            # Flag the direction so a reviewer doesn't have to remember
+            # which fields are costs and which are speedups.
+            if abs(change) >= 1.0:
+                improved = change < 0 if lower_is_better(field) else change > 0
+                line += " (better)" if improved else " (worse)"
+        print(line)
+    for field in sorted(set(old) ^ set(new)):
+        side = "old" if field in old else "new"
+        print(f"{field}: only in {side}")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 4 and argv[1] == "--compare":
+        return compare(argv[2], argv[3])
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
